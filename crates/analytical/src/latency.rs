@@ -1,0 +1,43 @@
+//! Latency constants shared by the analytical model.
+
+/// Memory-hierarchy and pipeline latency constants (cycles at 1 GHz).
+///
+/// Defaults are textbook values for a small out-of-order core; the
+/// cycle-level simulator in `dse-sim` uses compatible numbers so that LF
+/// and HF disagree through *modeling abstraction*, not through
+/// inconsistent physics.
+///
+/// # Examples
+///
+/// ```
+/// let lat = dse_analytical::Latencies::default();
+/// assert!(lat.dram > lat.l2_hit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Latencies {
+    /// L2 hit latency seen by an L1 miss.
+    pub l2_hit: f64,
+    /// DRAM access latency seen by an L2 miss.
+    pub dram: f64,
+    /// Cycles lost per mispredicted branch (pipeline refill).
+    pub flush_penalty: f64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Self { l2_hit: 18.0, dram: 180.0, flush_penalty: 12.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered() {
+        let l = Latencies::default();
+        assert!(l.l2_hit > 1.0);
+        assert!(l.dram > l.l2_hit);
+        assert!(l.flush_penalty > 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! McPAT-substitute area model.
+//!
+//! The paper uses McPAT to "provide fast estimations for areas of the
+//! designs", and the RL episode grows a design parameter-by-parameter
+//! until a per-benchmark area limit (6–10 mm², Table 2) is reached. The
+//! DSE algorithms only consume area as a *monotone feasibility
+//! constraint*, so this substitute models each structure with standard
+//! first-order scaling rules (documented on [`AreaModel`]) and is
+//! calibrated such that the paper's limits bisect the Table 1 space:
+//! the smallest design is ≈2.7 mm², the largest ≈13.9 mm².
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_area::AreaModel;
+//! use dse_space::DesignSpace;
+//!
+//! let space = DesignSpace::boom();
+//! let model = AreaModel::new();
+//! let small = model.area_mm2(&space, &space.smallest());
+//! let large = model.area_mm2(&space, &space.largest());
+//! assert!(small < 8.0 && large > 8.0, "an 8 mm² budget must bind");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod power;
+
+pub use power::{Activity, PowerBreakdown, PowerModel};
+
+use dse_space::{DesignPoint, DesignSpace, Param};
+
+/// Per-structure area breakdown in mm², for inspection and debugging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Fixed core overhead (fetch, rename, regfiles, bypass).
+    pub base: f64,
+    /// L1 data cache (SRAM array + per-way tag/mux overhead).
+    pub l1: f64,
+    /// Unified L2 cache.
+    pub l2: f64,
+    /// Miss-status holding registers.
+    pub mshr: f64,
+    /// Decode/dispatch (superlinear in width).
+    pub decode: f64,
+    /// Reorder buffer.
+    pub rob: f64,
+    /// Functional units (Mem + Int + FP).
+    pub fu: f64,
+    /// Issue queue (CAM-style wakeup grows with entries).
+    pub iq: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.base + self.l1 + self.l2 + self.mshr + self.decode + self.rob + self.fu + self.iq
+    }
+}
+
+/// First-order per-structure area model (McPAT substitute).
+///
+/// Scaling rules, with constants chosen for a generic 7 nm-class node:
+///
+/// * caches: `capacity × density` plus a per-way tag/comparator term —
+///   SRAM arrays dominate, associativity adds peripheral overhead;
+/// * decode: `k·w^1.5` — dependency-check and rename port wiring grow
+///   superlinearly with width;
+/// * ROB/IQ/MSHR: linear per entry (IQ entries are the most expensive:
+///   CAM wakeup);
+/// * FUs: fixed cost per unit, FP units the largest.
+///
+/// The absolute numbers are *not* McPAT's; only the relative ordering
+/// and the monotone, roughly-additive structure matter for the DSE
+/// algorithms (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    base_mm2: f64,
+    l1_mm2_per_kib: f64,
+    l2_mm2_per_kib: f64,
+    way_overhead_mm2: f64,
+    mshr_mm2_per_entry: f64,
+    decode_mm2_coeff: f64,
+    rob_mm2_per_entry: f64,
+    mem_fu_mm2: f64,
+    int_fu_mm2: f64,
+    fp_fu_mm2: f64,
+    iq_mm2_per_entry: f64,
+}
+
+impl AreaModel {
+    /// The default calibration used throughout the experiments.
+    pub fn new() -> Self {
+        Self {
+            base_mm2: 1.5,
+            l1_mm2_per_kib: 0.02,
+            l2_mm2_per_kib: 0.003,
+            way_overhead_mm2: 0.01,
+            mshr_mm2_per_entry: 0.02,
+            decode_mm2_coeff: 0.15,
+            rob_mm2_per_entry: 0.004,
+            mem_fu_mm2: 0.20,
+            int_fu_mm2: 0.15,
+            fp_fu_mm2: 0.35,
+            iq_mm2_per_entry: 0.015,
+        }
+    }
+
+    /// Full per-structure breakdown for a design point.
+    pub fn breakdown(&self, space: &DesignSpace, point: &DesignPoint) -> AreaBreakdown {
+        let v = |p: Param| point.value(space, p);
+        let line_kib = 64.0 / 1024.0;
+        let l1_kib = v(Param::L1CacheSet) * v(Param::L1CacheWay) * line_kib;
+        let l2_kib = v(Param::L2CacheSet) * v(Param::L2CacheWay) * line_kib;
+        AreaBreakdown {
+            base: self.base_mm2,
+            l1: l1_kib * self.l1_mm2_per_kib + v(Param::L1CacheWay) * self.way_overhead_mm2,
+            l2: l2_kib * self.l2_mm2_per_kib + v(Param::L2CacheWay) * self.way_overhead_mm2,
+            mshr: v(Param::NMshr) * self.mshr_mm2_per_entry,
+            decode: self.decode_mm2_coeff * v(Param::DecodeWidth).powf(1.5),
+            rob: v(Param::RobEntry) * self.rob_mm2_per_entry,
+            fu: v(Param::MemFu) * self.mem_fu_mm2
+                + v(Param::IntFu) * self.int_fu_mm2
+                + v(Param::FpFu) * self.fp_fu_mm2,
+            iq: v(Param::IssueQueueEntry) * self.iq_mm2_per_entry,
+        }
+    }
+
+    /// Total area of a design point in mm².
+    pub fn area_mm2(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        self.breakdown(space, point).total()
+    }
+
+    /// Whether `point` fits within `limit_mm2`.
+    pub fn fits(&self, space: &DesignSpace, point: &DesignPoint, limit_mm2: f64) -> bool {
+        self.area_mm2(space, point) <= limit_mm2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let space = DesignSpace::boom();
+        let model = AreaModel::new();
+        let p = space.decode(1_234_567);
+        let b = model.breakdown(&space, &p);
+        assert!((b.total() - model.area_mm2(&space, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_brackets_paper_budgets() {
+        // Table 2 uses limits between 6 and 10 mm²; every limit must
+        // exclude the largest design and admit the smallest.
+        let space = DesignSpace::boom();
+        let model = AreaModel::new();
+        let small = model.area_mm2(&space, &space.smallest());
+        let large = model.area_mm2(&space, &space.largest());
+        for limit in [6.0, 7.5, 8.0, 10.0] {
+            assert!(small < limit, "smallest design ({small}) must fit {limit}");
+            assert!(large > limit, "largest design ({large}) must exceed {limit}");
+        }
+    }
+
+    #[test]
+    fn fp_unit_costs_more_than_int_unit() {
+        let space = DesignSpace::boom();
+        let model = AreaModel::new();
+        let base = space.smallest();
+        let plus_int = base.increased(&space, Param::IntFu).unwrap();
+        let plus_fp = base.increased(&space, Param::FpFu).unwrap();
+        let d_int = model.area_mm2(&space, &plus_int) - model.area_mm2(&space, &base);
+        let d_fp = model.area_mm2(&space, &plus_fp) - model.area_mm2(&space, &base);
+        assert!(d_fp > d_int);
+    }
+
+    #[test]
+    fn decode_cost_is_superlinear() {
+        let space = DesignSpace::boom();
+        let model = AreaModel::new();
+        let mut p = space.smallest();
+        let mut deltas = Vec::new();
+        while let Some(next) = p.increased(&space, Param::DecodeWidth) {
+            deltas.push(model.area_mm2(&space, &next) - model.area_mm2(&space, &p));
+            p = next;
+        }
+        for w in deltas.windows(2) {
+            assert!(w[1] > w[0], "marginal decode cost must grow: {deltas:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn area_is_monotone_in_every_parameter(code in 0u64..3_000_000) {
+            let space = DesignSpace::boom();
+            let model = AreaModel::new();
+            let p = space.decode(code);
+            let a = model.area_mm2(&space, &p);
+            for param in Param::ALL {
+                if let Some(up) = p.increased(&space, param) {
+                    prop_assert!(model.area_mm2(&space, &up) > a,
+                        "increasing {param} did not grow area");
+                }
+            }
+        }
+
+        #[test]
+        fn area_is_always_positive_and_finite(code in 0u64..3_000_000) {
+            let space = DesignSpace::boom();
+            let model = AreaModel::new();
+            let a = model.area_mm2(&space, &space.decode(code));
+            prop_assert!(a.is_finite() && a > 0.0);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order power model (the power half of the McPAT substitute).
+//!
+//! The paper only consumes McPAT's area numbers, but McPAT is a power/
+//! area/timing framework and a realistic DSE adopter immediately asks
+//! for power-aware exploration. This model provides the standard
+//! first-order decomposition:
+//!
+//! * **leakage** — proportional to gate count, i.e. to each structure's
+//!   area, with SRAM leaking less per mm² than random logic;
+//! * **dynamic** — energy per micro-event (instruction processed, cache
+//!   array probed, flush recovered) times the event rates an activity
+//!   profile reports, times the clock frequency.
+
+use dse_space::{DesignPoint, DesignSpace, Param};
+
+use crate::AreaModel;
+
+/// Per-interval activity counts, the power model's workload input.
+///
+/// The `archdse` crate adapts the simulator's `SimResult` into this
+/// shape; any other activity source (a sampled trace, a measured run)
+/// works the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Activity {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// L1 data-cache probes.
+    pub l1_accesses: u64,
+    /// L2 probes.
+    pub l2_accesses: u64,
+    /// DRAM accesses (L2 misses).
+    pub dram_accesses: u64,
+    /// Pipeline flushes.
+    pub flushes: u64,
+}
+
+/// Power estimate in milliwatts, split by origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Static (leakage) power.
+    pub leakage_mw: f64,
+    /// Activity-proportional (dynamic) power.
+    pub dynamic_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.leakage_mw + self.dynamic_mw
+    }
+}
+
+/// The first-order power model.
+///
+/// # Examples
+///
+/// ```
+/// use dse_area::{Activity, PowerModel};
+/// use dse_space::DesignSpace;
+///
+/// let space = DesignSpace::boom();
+/// let model = PowerModel::new();
+/// let activity = Activity { instructions: 10_000, cycles: 15_000, ..Default::default() };
+/// let small = model.power_mw(&space, &space.smallest(), &activity);
+/// let large = model.power_mw(&space, &space.largest(), &activity);
+/// assert!(large.leakage_mw > small.leakage_mw, "more silicon leaks more");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    area: AreaModel,
+    /// Leakage density of logic structures (mW per mm²).
+    logic_leak_mw_per_mm2: f64,
+    /// Leakage density of SRAM (mW per mm²) — lower than logic.
+    sram_leak_mw_per_mm2: f64,
+    /// Clock frequency in GHz (the paper simulates at 1 GHz).
+    freq_ghz: f64,
+    /// Base energy per committed instruction (pJ), scaled by width.
+    instr_energy_pj: f64,
+    /// Energy per L1 probe (pJ), grows with associativity.
+    l1_probe_energy_pj: f64,
+    /// Energy per L2 probe (pJ).
+    l2_probe_energy_pj: f64,
+    /// Energy per DRAM access (pJ).
+    dram_energy_pj: f64,
+    /// Energy wasted per pipeline flush (pJ), scaled by width.
+    flush_energy_pj: f64,
+}
+
+impl PowerModel {
+    /// The default calibration (generic 7 nm-class, 1 GHz).
+    pub fn new() -> Self {
+        Self {
+            area: AreaModel::new(),
+            logic_leak_mw_per_mm2: 18.0,
+            sram_leak_mw_per_mm2: 6.0,
+            freq_ghz: 1.0,
+            instr_energy_pj: 8.0,
+            l1_probe_energy_pj: 10.0,
+            l2_probe_energy_pj: 40.0,
+            dram_energy_pj: 2_000.0,
+            flush_energy_pj: 60.0,
+        }
+    }
+
+    /// Leakage power of a configuration in mW.
+    pub fn leakage_mw(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        let b = self.area.breakdown(space, point);
+        let sram = b.l1 + b.l2;
+        let logic = b.total() - sram;
+        logic * self.logic_leak_mw_per_mm2 + sram * self.sram_leak_mw_per_mm2
+    }
+
+    /// Dynamic power in mW given an activity profile.
+    ///
+    /// Returns 0 for an empty interval (zero cycles).
+    pub fn dynamic_mw(
+        &self,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        activity: &Activity,
+    ) -> f64 {
+        if activity.cycles == 0 {
+            return 0.0;
+        }
+        let width = point.value(space, Param::DecodeWidth);
+        let l1_ways = point.value(space, Param::L1CacheWay);
+        // Energy per event, with the width/associativity scalings that
+        // make big machines pay for their parallelism.
+        let instr_pj = self.instr_energy_pj * (1.0 + 0.15 * (width - 1.0));
+        let l1_pj = self.l1_probe_energy_pj * (1.0 + 0.05 * l1_ways);
+        let flush_pj = self.flush_energy_pj * width;
+        let total_pj = activity.instructions as f64 * instr_pj
+            + activity.l1_accesses as f64 * l1_pj
+            + activity.l2_accesses as f64 * self.l2_probe_energy_pj
+            + activity.dram_accesses as f64 * self.dram_energy_pj
+            + activity.flushes as f64 * flush_pj;
+        // pJ per cycle × cycles/second: pJ/cycle × GHz = mW.
+        total_pj / activity.cycles as f64 * self.freq_ghz
+    }
+
+    /// Combined leakage + dynamic power.
+    pub fn power_mw(
+        &self,
+        space: &DesignSpace,
+        point: &DesignPoint,
+        activity: &Activity,
+    ) -> PowerBreakdown {
+        PowerBreakdown {
+            leakage_mw: self.leakage_mw(space, point),
+            dynamic_mw: self.dynamic_mw(space, point, activity),
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn activity() -> Activity {
+        Activity {
+            instructions: 100_000,
+            cycles: 150_000,
+            l1_accesses: 35_000,
+            l2_accesses: 5_000,
+            dram_accesses: 500,
+            flushes: 800,
+        }
+    }
+
+    #[test]
+    fn leakage_is_monotone_in_every_parameter() {
+        let space = DesignSpace::boom();
+        let model = PowerModel::new();
+        let p = space.decode(654_321);
+        let base = model.leakage_mw(&space, &p);
+        for param in Param::ALL {
+            if let Some(up) = p.increased(&space, param) {
+                assert!(model.leakage_mw(&space, &up) > base, "{param}");
+            }
+        }
+    }
+
+    #[test]
+    fn dram_traffic_dominates_dynamic_power_when_heavy() {
+        let space = DesignSpace::boom();
+        let model = PowerModel::new();
+        let p = space.smallest();
+        let light = model.dynamic_mw(&space, &p, &activity());
+        let mut heavy_act = activity();
+        heavy_act.dram_accesses *= 50;
+        let heavy = model.dynamic_mw(&space, &p, &heavy_act);
+        assert!(heavy > 2.0 * light);
+    }
+
+    #[test]
+    fn wider_machines_pay_more_per_instruction() {
+        let space = DesignSpace::boom();
+        let model = PowerModel::new();
+        let narrow = space.smallest();
+        let mut wide = space.smallest();
+        while let Some(next) = wide.increased(&space, Param::DecodeWidth) {
+            wide = next;
+        }
+        let a = activity();
+        assert!(model.dynamic_mw(&space, &wide, &a) > model.dynamic_mw(&space, &narrow, &a));
+    }
+
+    #[test]
+    fn empty_interval_draws_no_dynamic_power() {
+        let space = DesignSpace::boom();
+        let model = PowerModel::new();
+        assert_eq!(model.dynamic_mw(&space, &space.smallest(), &Activity::default()), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn power_is_finite_and_positive(code in 0u64..3_000_000) {
+            let space = DesignSpace::boom();
+            let model = PowerModel::new();
+            let p = space.decode(code);
+            let b = model.power_mw(&space, &p, &activity());
+            prop_assert!(b.leakage_mw > 0.0 && b.leakage_mw.is_finite());
+            prop_assert!(b.dynamic_mw > 0.0 && b.dynamic_mw.is_finite());
+            prop_assert!((b.total_mw() - b.leakage_mw - b.dynamic_mw).abs() < 1e-12);
+        }
+    }
+}

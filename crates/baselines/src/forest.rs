@@ -1,0 +1,138 @@
+//! Random-forest regression (bagged trees with feature subsampling).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dse_linalg::vector;
+
+use crate::RegressionTree;
+
+/// A random-forest regressor \[Breiman 2001\]: bootstrap-bagged CART
+/// trees with per-tree feature masking. The spread of per-tree
+/// predictions doubles as an uncertainty estimate for acquisition.
+///
+/// # Examples
+///
+/// ```
+/// use dse_baselines::RandomForest;
+///
+/// let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|p| p[0] * 2.0).collect();
+/// let rf = RandomForest::fit(&x, &y, 20, 4, 7);
+/// let (mean, _std) = rf.predict(&[0.5]);
+/// assert!((mean - 1.0).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<(RegressionTree, Vec<usize>)>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` trees of depth `max_depth` on bootstrap samples.
+    ///
+    /// Each tree sees a random subset of ⌈√d⌉·2 features (clamped to
+    /// `d`), the usual de-correlation device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data is empty or `n_trees` is zero.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(!x.is_empty(), "cannot fit a forest to no data");
+        assert!(n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = x[0].len();
+        let n_feats = ((dim as f64).sqrt().ceil() as usize * 2).clamp(1, dim);
+        let trees = (0..n_trees)
+            .map(|_| {
+                // Bootstrap rows.
+                let rows: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                // Random feature subset.
+                let mut feats: Vec<usize> = (0..dim).collect();
+                for i in (1..feats.len()).rev() {
+                    feats.swap(i, rng.gen_range(0..=i));
+                }
+                feats.truncate(n_feats);
+                let bx: Vec<Vec<f64>> =
+                    rows.iter().map(|&r| feats.iter().map(|&f| x[r][f]).collect()).collect();
+                let by: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+                (RegressionTree::fit(&bx, &by, None, max_depth, 2), feats)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Posterior-style prediction: mean and standard deviation of the
+    /// per-tree predictions.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self
+            .trees
+            .iter()
+            .map(|(t, feats)| {
+                let proj: Vec<f64> = feats.iter().map(|&f| x[f]).collect();
+                t.predict(&proj)
+            })
+            .collect();
+        (vector::mean(&preds), vector::variance(&preds).sqrt())
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![(i % 10) as f64 / 9.0, (i / 10) as f64 / 5.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| 3.0 * p[0] - p[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn forest_tracks_a_linear_target() {
+        let (x, y) = linear_data();
+        let rf = RandomForest::fit(&x, &y, 40, 5, 1);
+        let mut worst: f64 = 0.0;
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, _) = rf.predict(xi);
+            worst = worst.max((m - yi).abs());
+        }
+        assert!(worst < 1.0, "training-set error {worst} too large");
+    }
+
+    #[test]
+    fn uncertainty_is_nonnegative_and_finite() {
+        let (x, y) = linear_data();
+        let rf = RandomForest::fit(&x, &y, 10, 4, 2);
+        let (_, s) = rf.predict(&[0.5, 0.5]);
+        assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = linear_data();
+        let a = RandomForest::fit(&x, &y, 10, 4, 3).predict(&[0.3, 0.3]);
+        let b = RandomForest::fit(&x, &y, 10, 4, 3).predict(&[0.3, 0.3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_trees_tighten_the_estimate() {
+        let (x, y) = linear_data();
+        let small = RandomForest::fit(&x, &y, 3, 5, 4);
+        let big = RandomForest::fit(&x, &y, 60, 5, 4);
+        let err = |rf: &RandomForest| {
+            x.iter().zip(&y).map(|(xi, yi)| (rf.predict(xi).0 - yi).abs()).sum::<f64>()
+        };
+        assert!(err(&big) <= err(&small) * 1.2, "bagging should not hurt much");
+    }
+}

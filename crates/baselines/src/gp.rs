@@ -1,0 +1,238 @@
+//! Gaussian-process regression with an optional feature-map ("deep")
+//! kernel — the surrogate behind BOOM-Explorer and SCBO.
+
+use dse_linalg::{vector, Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Gaussian-process regressor with an RBF kernel.
+///
+/// BOOM-Explorer's deep-kernel GP learns a neural feature map jointly
+/// with the GP; as a laptop-scale substitute (documented in `DESIGN.md`)
+/// we optionally pass inputs through a fixed random two-layer tanh
+/// feature map — the same *family* of kernels, with the lengthscale (the
+/// remaining hyper-parameter) selected by marginal likelihood over a
+/// small grid in [`GaussianProcess::fit`].
+///
+/// # Examples
+///
+/// ```
+/// use dse_baselines::GaussianProcess;
+///
+/// let x: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|p| p[0] * p[0]).collect();
+/// let gp = GaussianProcess::fit(&x, &y, false, 0).expect("kernel is PD");
+/// let (mean, std) = gp.predict(&[0.5]);
+/// assert!((mean - 0.25).abs() < 0.1);
+/// assert!(std >= 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Cholesky,
+    lengthscale: f64,
+    signal: f64,
+    noise: f64,
+    y_mean: f64,
+    feature_map: Option<FeatureMap>,
+}
+
+/// Fixed random two-layer tanh feature map (deep-kernel substitute).
+#[derive(Debug, Clone)]
+struct FeatureMap {
+    w1: Vec<Vec<f64>>,
+    w2: Vec<Vec<f64>>,
+}
+
+impl FeatureMap {
+    fn new(dim: usize, hidden: usize, out: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEEF);
+        let mut layer = |rows: usize, cols: usize| -> Vec<Vec<f64>> {
+            (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0) / (cols as f64).sqrt()).collect())
+                .collect()
+        };
+        Self { w1: layer(hidden, dim), w2: layer(out, hidden) }
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let h: Vec<f64> = self.w1.iter().map(|row| vector::dot(row, x).tanh()).collect();
+        self.w2.iter().map(|row| vector::dot(row, &h).tanh()).collect()
+    }
+}
+
+impl GaussianProcess {
+    /// Fits a GP with lengthscale selected by log marginal likelihood
+    /// over a logarithmic grid; `deep_kernel` enables the feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the Cholesky error if no grid point yields a positive-
+    /// definite kernel matrix (pathological duplicate data); callers can
+    /// add jitter by perturbing inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged data.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        deep_kernel: bool,
+        seed: u64,
+    ) -> Result<Self, dse_linalg::FactorizeError> {
+        assert!(!x.is_empty(), "cannot fit a GP to no data");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dim = x[0].len();
+        let feature_map = deep_kernel.then(|| FeatureMap::new(dim, 16, 8, seed));
+        let z: Vec<Vec<f64>> = match &feature_map {
+            Some(fm) => x.iter().map(|xi| fm.apply(xi)).collect(),
+            None => x.to_vec(),
+        };
+        let y_mean = vector::mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let signal = vector::variance(&yc).max(1e-6);
+        let noise = signal * 1e-4 + 1e-8;
+
+        let mut best: Option<(f64, f64, Cholesky)> = None; // (lml, ℓ, chol)
+        let mut last_err = dse_linalg::FactorizeError::NotSquare;
+        for &lengthscale in &[0.1, 0.2, 0.4, 0.8, 1.6, 3.2] {
+            let k = kernel_matrix(&z, lengthscale, signal, noise);
+            match Cholesky::new(&k) {
+                Ok(chol) => {
+                    let alpha = chol.solve(&yc);
+                    let lml = -0.5 * vector::dot(&yc, &alpha)
+                        - 0.5 * chol.log_det()
+                        - 0.5 * (z.len() as f64) * (2.0 * std::f64::consts::PI).ln();
+                    if best.as_ref().is_none_or(|(b, _, _)| lml > *b) {
+                        best = Some((lml, lengthscale, chol));
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let (_, lengthscale, chol) = best.ok_or(last_err)?;
+        let alpha = chol.solve(&yc);
+        Ok(Self { x: z, alpha, chol, lengthscale, signal, noise, y_mean, feature_map })
+    }
+
+    /// Posterior mean and standard deviation at a query point.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let z = match &self.feature_map {
+            Some(fm) => fm.apply(x),
+            None => x.to_vec(),
+        };
+        let k_star: Vec<f64> =
+            self.x.iter().map(|xi| rbf(xi, &z, self.lengthscale, self.signal)).collect();
+        let mean = self.y_mean + vector::dot(&k_star, &self.alpha);
+        let v = self.chol.solve_lower(&k_star);
+        let var = (self.signal + self.noise - vector::dot(&v, &v)).max(0.0);
+        (mean, var.sqrt())
+    }
+
+    /// Draws an (independent-marginal) posterior sample at each query —
+    /// the Thompson-sampling device used by SCBO. Marginal rather than
+    /// joint sampling is a standard large-candidate-set approximation.
+    pub fn sample_at(&self, xs: &[Vec<f64>], rng: &mut StdRng) -> Vec<f64> {
+        xs.iter()
+            .map(|x| {
+                let (m, s) = self.predict(x);
+                m + s * standard_normal(rng)
+            })
+            .collect()
+    }
+
+    /// The lengthscale selected by marginal likelihood.
+    pub fn lengthscale(&self) -> f64 {
+        self.lengthscale
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], lengthscale: f64, signal: f64) -> f64 {
+    signal * (-vector::squared_distance(a, b) / (2.0 * lengthscale * lengthscale)).exp()
+}
+
+fn kernel_matrix(x: &[Vec<f64>], lengthscale: f64, signal: f64, noise: f64) -> Matrix {
+    let n = x.len();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = rbf(&x[i], &x[j], lengthscale, signal);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] += noise;
+    }
+    k
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let y: Vec<f64> = x.iter().map(|p| (3.0 * p[0]).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (x, y) = data();
+        let gp = GaussianProcess::fit(&x, &y, false, 0).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, s) = gp.predict(xi);
+            assert!((m - yi).abs() < 0.05, "mean {m} vs {yi}");
+            assert!(s < 0.1, "training-point std {s} should be small");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (x, y) = data();
+        let gp = GaussianProcess::fit(&x, &y, false, 0).unwrap();
+        let (_, near) = gp.predict(&[0.5]);
+        let (_, far) = gp.predict(&[5.0]);
+        assert!(far > near);
+        assert!((far * far - (gp.signal + gp.noise)).abs() < 1e-6, "prior variance far away");
+    }
+
+    #[test]
+    fn deep_kernel_variant_fits() {
+        let (x, y) = data();
+        let gp = GaussianProcess::fit(&x, &y, true, 3).unwrap();
+        let (m, s) = gp.predict(&x[7]);
+        assert!(m.is_finite() && s.is_finite());
+    }
+
+    #[test]
+    fn thompson_samples_follow_the_posterior() {
+        let (x, y) = data();
+        let gp = GaussianProcess::fit(&x, &y, false, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let qs = vec![vec![0.25], vec![0.75]];
+        let draws: Vec<Vec<f64>> = (0..200).map(|_| gp.sample_at(&qs, &mut rng)).collect();
+        let mean0 = draws.iter().map(|d| d[0]).sum::<f64>() / draws.len() as f64;
+        let (m0, _) = gp.predict(&qs[0]);
+        assert!((mean0 - m0).abs() < 0.1, "sample mean {mean0} vs posterior {m0}");
+    }
+
+    proptest! {
+        #[test]
+        fn posterior_variance_is_nonnegative(q in -3.0_f64..3.0) {
+            let (x, y) = data();
+            let gp = GaussianProcess::fit(&x, &y, false, 0).unwrap();
+            let (_, s) = gp.predict(&[q]);
+            prop_assert!(s.is_finite());
+            prop_assert!(s >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Lloyd's k-means over feature vectors — the diversity-initialization
+//! device behind BOOM-Explorer's MicroAL.
+//!
+//! BOOM-Explorer initializes its GP with a *diversity-maximizing* set of
+//! designs (its "MicroAL" uses domain-informed clustering). We cluster
+//! the candidate pool with k-means and seed the surrogate with the
+//! member nearest each centroid, which spreads the initial simulations
+//! across the feasible region's modes rather than wherever max–min
+//! greedy happens to walk.
+
+use dse_linalg::vector;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Final centroids (k × dim).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Index of the input point nearest to centroid `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range or `points` is empty.
+    pub fn nearest_member(&self, points: &[Vec<f64>], c: usize) -> usize {
+        assert!(c < self.centroids.len(), "cluster index out of range");
+        points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                vector::squared_distance(a, &self.centroids[c])
+                    .total_cmp(&vector::squared_distance(b, &self.centroids[c]))
+            })
+            .map(|(i, _)| i)
+            .expect("points non-empty")
+    }
+
+    /// Sum of squared distances of points to their assigned centroids.
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignment)
+            .map(|(p, &c)| vector::squared_distance(p, &self.centroids[c]))
+            .sum()
+    }
+}
+
+/// Runs Lloyd's algorithm with k-means++-style seeding for `iters`
+/// rounds (converges much earlier on the small pools used here).
+///
+/// `k` is clamped to the number of points.
+///
+/// # Panics
+///
+/// Panics on an empty input or `k == 0`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, rng: &mut StdRng) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster no points");
+    assert!(k > 0, "need at least one cluster");
+    let k = k.min(points.len());
+
+    // k-means++ seeding: first centroid uniform, the rest proportional
+    // to squared distance from the nearest chosen centroid.
+    let mut centroids: Vec<Vec<f64>> = vec![points[rng.gen_range(0..points.len())].clone()];
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| vector::squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 1e-30 {
+            rng.gen_range(0..points.len()) // all points coincide
+        } else {
+            let mut u = rng.gen_range(0.0..total);
+            let mut pick = points.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if u < d {
+                    pick = i;
+                    break;
+                }
+                u -= d;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    vector::squared_distance(p, &centroids[a])
+                        .total_cmp(&vector::squared_distance(p, &centroids[b]))
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let dim = points[0].len();
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == c)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue; // keep the old centroid for empty clusters
+            }
+            *centroid = (0..dim)
+                .map(|d| members.iter().map(|m| m[d]).sum::<f64>() / members.len() as f64)
+                .collect();
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering { centroids, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.01;
+            pts.push(vec![0.0 + j, 0.0 + j]);
+            pts.push(vec![5.0 + j, 5.0 + j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = kmeans(&pts, 2, 50, &mut rng);
+        // Points of the same blob share a cluster.
+        for i in (0..pts.len()).step_by(2) {
+            assert_eq!(c.assignment[i], c.assignment[0], "blob A split");
+        }
+        for i in (1..pts.len()).step_by(2) {
+            assert_eq!(c.assignment[i], c.assignment[1], "blob B split");
+        }
+        assert_ne!(c.assignment[0], c.assignment[1]);
+        assert!(c.inertia(&pts) < 0.1, "tight blobs → tiny inertia");
+    }
+
+    #[test]
+    fn nearest_member_is_an_input_point() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = kmeans(&pts, 3, 30, &mut rng);
+        for cluster in 0..c.centroids.len() {
+            let m = c.nearest_member(&pts, cluster);
+            assert!(m < pts.len());
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = kmeans(&pts, 10, 10, &mut rng);
+        assert_eq!(c.centroids.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_do_not_panic() {
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = kmeans(&pts, 3, 10, &mut rng);
+        assert_eq!(c.assignment.len(), 8);
+        assert!(c.inertia(&pts) < 1e-12);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let pts = two_blobs();
+        let mut inertias = Vec::new();
+        for k in [1usize, 2, 4] {
+            // Best of a few seeds to dodge unlucky initializations.
+            let best = (0..5)
+                .map(|s| {
+                    let mut rng = StdRng::seed_from_u64(s);
+                    kmeans(&pts, k, 50, &mut rng).inertia(&pts)
+                })
+                .fold(f64::INFINITY, f64::min);
+            inertias.push(best);
+        }
+        assert!(inertias[1] <= inertias[0] + 1e-9);
+        assert!(inertias[2] <= inertias[1] + 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! The common optimizer/objective interface and evaluation bookkeeping.
+
+use std::collections::HashSet;
+
+use dse_space::{DesignPoint, DesignSpace};
+use rand::rngs::StdRng;
+
+/// The expensive black-box objective a baseline optimizes: HF CPI under
+/// an area-feasibility predicate.
+pub trait Objective {
+    /// Runs the high-fidelity evaluation (counts against the budget).
+    fn evaluate(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64;
+
+    /// Cheap feasibility check (the area model).
+    fn is_feasible(&self, space: &DesignSpace, point: &DesignPoint) -> bool;
+}
+
+/// Outcome of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// Best *feasible* evaluated design (overall best if nothing
+    /// feasible was evaluated).
+    pub best_point: DesignPoint,
+    /// Its objective value.
+    pub best_value: f64,
+    /// Every evaluation in order `(design, value)`.
+    pub history: Vec<(DesignPoint, f64)>,
+}
+
+/// A budgeted black-box optimizer (one of the Fig. 5 baselines).
+pub trait Optimizer {
+    /// Display name used in the experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the optimizer for exactly `budget` objective evaluations.
+    fn optimize(
+        &mut self,
+        space: &DesignSpace,
+        objective: &mut dyn Objective,
+        budget: usize,
+        seed: u64,
+    ) -> OptimizationResult;
+}
+
+/// Draws `n` distinct feasible design points by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if feasible points are so rare that 10 000·n rejections fail —
+/// with the Table 2 area limits feasibility is plentiful.
+pub fn sample_feasible(
+    space: &DesignSpace,
+    objective: &dyn Objective,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<DesignPoint> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen = HashSet::new();
+    let mut attempts = 0usize;
+    while out.len() < n {
+        attempts += 1;
+        assert!(attempts < 10_000 * n.max(1), "feasible designs too rare to sample");
+        let p = space.random_point(rng);
+        if !objective.is_feasible(space, &p) {
+            continue;
+        }
+        if seen.insert(space.encode(&p)) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Shared evaluation bookkeeping: budget accounting, dedup, and
+/// best-feasible tracking.
+#[derive(Debug)]
+pub(crate) struct EvalLog {
+    pub history: Vec<(DesignPoint, f64)>,
+    pub feasible: Vec<bool>,
+    seen: HashSet<u64>,
+    budget: usize,
+}
+
+impl EvalLog {
+    pub fn new(budget: usize) -> Self {
+        Self { history: Vec::new(), feasible: Vec::new(), seen: HashSet::new(), budget }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.budget - self.history.len()
+    }
+
+    pub fn contains(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
+        self.seen.contains(&space.encode(point))
+    }
+
+    /// Evaluates `point` if budget remains and it is unseen; returns the
+    /// value when an evaluation happened.
+    pub fn evaluate(
+        &mut self,
+        space: &DesignSpace,
+        objective: &mut dyn Objective,
+        point: &DesignPoint,
+    ) -> Option<f64> {
+        if self.remaining() == 0 || !self.seen.insert(space.encode(point)) {
+            return None;
+        }
+        let value = objective.evaluate(space, point);
+        self.history.push((point.clone(), value));
+        self.feasible.push(objective.is_feasible(space, point));
+        Some(value)
+    }
+
+    /// Training data for surrogates: normalized features and values.
+    pub fn training_data(&self, space: &DesignSpace) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x = self.history.iter().map(|(p, _)| p.feature_vector(space)).collect();
+        let y = self.history.iter().map(|(_, v)| *v).collect();
+        (x, y)
+    }
+
+    /// Best feasible value so far (infinity if none).
+    pub fn best_feasible_value(&self) -> f64 {
+        self.history
+            .iter()
+            .zip(&self.feasible)
+            .filter(|(_, &f)| f)
+            .map(|((_, v), _)| *v)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn into_result(self) -> OptimizationResult {
+        assert!(!self.history.is_empty(), "optimizer made no evaluations");
+        let best = self
+            .history
+            .iter()
+            .zip(&self.feasible)
+            .filter(|(_, &f)| f)
+            .map(|(h, _)| h)
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .or_else(|| self.history.iter().min_by(|a, b| a.1.total_cmp(&b.1)))
+            .expect("non-empty history");
+        OptimizationResult {
+            best_point: best.0.clone(),
+            best_value: best.1,
+            history: self.history.clone(),
+        }
+    }
+}
+
+/// Draws `n` random feasible candidates for acquisition ranking,
+/// excluding already-evaluated designs.
+pub(crate) fn candidate_pool(
+    space: &DesignSpace,
+    objective: &dyn Objective,
+    log: &EvalLog,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<DesignPoint> {
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0;
+    while out.len() < n && attempts < 50 * n {
+        attempts += 1;
+        let p = space.random_point(rng);
+        if objective.is_feasible(space, &p) && !log.contains(space, &p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Draws one uniform feasible unseen point (fallback exploration).
+pub(crate) fn random_unseen(
+    space: &DesignSpace,
+    objective: &dyn Objective,
+    log: &EvalLog,
+    rng: &mut StdRng,
+) -> DesignPoint {
+    loop {
+        let p = space.random_point(rng);
+        if objective.is_feasible(space, &p) && !log.contains(space, &p) {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// A synthetic smooth objective with a known optimum at the largest
+    /// feasible design.
+    #[derive(Debug, Default)]
+    pub struct SphereObjective {
+        pub evals: usize,
+    }
+
+    impl Objective for SphereObjective {
+        fn evaluate(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+            self.evals += 1;
+            let f = point.feature_vector(space);
+            // Minimum at all-ones, i.e. the largest design; feasibility
+            // caps the reachable region.
+            3.0 - f.iter().sum::<f64>() / f.len() as f64
+                + 0.3 * f.iter().map(|v| (v - 0.7) * (v - 0.7)).sum::<f64>()
+        }
+
+        fn is_feasible(&self, _space: &DesignSpace, point: &DesignPoint) -> bool {
+            point.indices().iter().sum::<usize>() <= 20
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::SphereObjective;
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_feasible_respects_the_predicate() {
+        let space = DesignSpace::boom();
+        let obj = SphereObjective::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for p in sample_feasible(&space, &obj, 20, &mut rng) {
+            assert!(obj.is_feasible(&space, &p));
+        }
+    }
+
+    #[test]
+    fn eval_log_enforces_budget_and_dedup() {
+        let space = DesignSpace::boom();
+        let mut obj = SphereObjective::default();
+        let mut log = EvalLog::new(3);
+        let p = space.smallest();
+        assert!(log.evaluate(&space, &mut obj, &p).is_some());
+        assert!(log.evaluate(&space, &mut obj, &p).is_none(), "duplicate rejected");
+        assert_eq!(obj.evals, 1);
+        let q = p.increased(&space, dse_space::Param::IntFu).unwrap();
+        let r = q.increased(&space, dse_space::Param::IntFu).unwrap();
+        assert!(log.evaluate(&space, &mut obj, &q).is_some());
+        assert!(log.evaluate(&space, &mut obj, &r).is_some());
+        assert_eq!(log.remaining(), 0);
+        let s = r.increased(&space, dse_space::Param::IntFu).unwrap();
+        assert!(log.evaluate(&space, &mut obj, &s).is_none(), "budget exhausted");
+    }
+
+    #[test]
+    fn into_result_prefers_feasible_designs() {
+        let space = DesignSpace::boom();
+        let mut obj = SphereObjective::default();
+        let mut log = EvalLog::new(2);
+        // The largest design is infeasible but has the lowest objective.
+        log.evaluate(&space, &mut obj, &space.largest());
+        log.evaluate(&space, &mut obj, &space.smallest());
+        let result = log.into_result();
+        assert_eq!(result.best_point, space.smallest());
+    }
+}

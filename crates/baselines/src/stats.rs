@@ -1,0 +1,120 @@
+//! Small statistical helpers (normal distribution, weighted median).
+
+/// Standard normal probability density.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution, via the Abramowitz–Stegun
+/// erf approximation (max absolute error ≈ 1.5e-7 — ample for
+/// acquisition functions).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement for *minimization*: how much below `best` the
+/// posterior `N(mean, std²)` is expected to land.
+pub fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    // Clamp at zero: the erf approximation's ~1e-7 absolute error can
+    // push the analytically-nonnegative EI fractionally below zero deep
+    // in the no-improvement tail.
+    ((best - mean) * normal_cdf(z) + std * normal_pdf(z)).max(0.0)
+}
+
+/// Weighted median of `(value, weight)` pairs — the AdaBoost.R2
+/// combination rule.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or all weights are non-positive.
+pub fn weighted_median(pairs: &mut [(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "weighted median of nothing");
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = pairs.iter().map(|(_, w)| w).sum();
+    assert!(total > 0.0, "weights must be positive");
+    let mut acc = 0.0;
+    for &(v, w) in pairs.iter() {
+        acc += w;
+        if acc >= total / 2.0 {
+            return v;
+        }
+    }
+    pairs.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ei_is_zero_far_above_best() {
+        // Posterior mean far worse than the incumbent, tiny std.
+        assert!(expected_improvement(10.0, 0.01, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty() {
+        let tight = expected_improvement(2.0, 0.1, 1.0);
+        let loose = expected_improvement(2.0, 2.0, 1.0);
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn deterministic_ei_at_zero_std() {
+        assert_eq!(expected_improvement(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(expected_improvement(1.5, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_median_simple() {
+        let mut pairs = vec![(1.0, 1.0), (2.0, 1.0), (10.0, 1.0)];
+        assert_eq!(weighted_median(&mut pairs), 2.0);
+        let mut pairs = vec![(1.0, 5.0), (2.0, 1.0), (10.0, 1.0)];
+        assert_eq!(weighted_median(&mut pairs), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(a in -5.0_f64..5.0, b in -5.0_f64..5.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn ei_is_nonnegative(mean in -5.0_f64..5.0, std in 0.0_f64..3.0, best in -5.0_f64..5.0) {
+            prop_assert!(expected_improvement(mean, std, best) >= 0.0);
+        }
+
+        #[test]
+        fn weighted_median_is_one_of_the_values(
+            vals in proptest::collection::vec((-100.0_f64..100.0, 0.1_f64..5.0), 1..20)
+        ) {
+            let mut pairs = vals.clone();
+            let m = weighted_median(&mut pairs);
+            prop_assert!(vals.iter().any(|&(v, _)| v == m));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! CART-style regression trees — the weak learner behind the forest and
+//! boosting baselines.
+
+use dse_linalg::vector;
+
+/// A binary regression tree fit by variance-reduction splitting.
+///
+/// # Examples
+///
+/// ```
+/// use dse_baselines::RegressionTree;
+///
+/// // y = step at x0 = 0.5
+/// let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+/// let y: Vec<f64> = x.iter().map(|p| if p[0] < 0.5 { 0.0 } else { 1.0 }).collect();
+/// let tree = RegressionTree::fit(&x, &y, None, 4, 2);
+/// assert!(tree.predict(&[0.1]) < 0.2);
+/// assert!(tree.predict(&[0.9]) > 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    root: Node,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)` with optional per-sample `weights`.
+    ///
+    /// `max_depth` bounds the tree height; nodes with fewer than
+    /// `min_samples` points become leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, lengths mismatch, or rows are ragged.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        weights: Option<&[f64]>,
+        max_depth: usize,
+        min_samples: usize,
+    ) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree to no data");
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged feature rows");
+        let w: Vec<f64> = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), y.len(), "weight length mismatch");
+                w.to_vec()
+            }
+            None => vec![1.0; y.len()],
+        };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = build(x, y, &w, &idx, max_depth, min_samples.max(1));
+        Self { root }
+    }
+
+    /// Predicts the target at a feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] < *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (diagnostic).
+    pub fn leaf_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn weighted_mean(y: &[f64], w: &[f64], idx: &[usize]) -> f64 {
+    let sw: f64 = idx.iter().map(|&i| w[i]).sum();
+    if sw <= 0.0 {
+        return vector::mean(&idx.iter().map(|&i| y[i]).collect::<Vec<_>>());
+    }
+    idx.iter().map(|&i| w[i] * y[i]).sum::<f64>() / sw
+}
+
+/// Weighted sum of squared errors around the weighted mean.
+fn wsse(y: &[f64], w: &[f64], idx: &[usize]) -> f64 {
+    let m = weighted_mean(y, w, idx);
+    idx.iter().map(|&i| w[i] * (y[i] - m) * (y[i] - m)).sum()
+}
+
+fn build(
+    x: &[Vec<f64>],
+    y: &[f64],
+    w: &[f64],
+    idx: &[usize],
+    depth: usize,
+    min_samples: usize,
+) -> Node {
+    if depth == 0 || idx.len() < 2 * min_samples {
+        return Node::Leaf(weighted_mean(y, w, idx));
+    }
+    let parent_sse = wsse(y, w, idx);
+    if parent_sse <= 1e-12 {
+        return Node::Leaf(weighted_mean(y, w, idx));
+    }
+    let dim = x[0].len();
+    let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+    // Indexing by feature id is clearer than iterating columns here.
+    #[allow(clippy::needless_range_loop)]
+    for f in 0..dim {
+        let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
+        values.sort_by(f64::total_cmp);
+        values.dedup();
+        for pair in values.windows(2) {
+            let thr = (pair[0] + pair[1]) / 2.0;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][f] < thr {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.len() < min_samples || right.len() < min_samples {
+                continue;
+            }
+            let sse = wsse(y, w, &left) + wsse(y, w, &right);
+            if best.as_ref().is_none_or(|(b, _, _)| sse < *b) {
+                best = Some((sse, f, thr));
+            }
+        }
+    }
+    match best {
+        Some((sse, feature, threshold)) if sse < parent_sse - 1e-12 => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in idx {
+                if x[i][feature] < threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(x, y, w, &left, depth - 1, min_samples)),
+                right: Box::new(build(x, y, w, &right, depth - 1, min_samples)),
+            }
+        }
+        _ => Node::Leaf(weighted_mean(y, w, idx)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid2d(n: usize) -> Vec<Vec<f64>> {
+        (0..n * n).map(|k| vec![(k % n) as f64 / (n - 1) as f64, (k / n) as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn fits_an_axis_aligned_quadrant() {
+        let x = grid2d(8);
+        let y: Vec<f64> =
+            x.iter().map(|p| if p[0] > 0.5 && p[1] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let t = RegressionTree::fit(&x, &y, None, 4, 1);
+        assert!(t.predict(&[0.9, 0.9]) > 0.9);
+        assert!(t.predict(&[0.1, 0.9]) < 0.1);
+        assert!(t.predict(&[0.9, 0.1]) < 0.1);
+    }
+
+    #[test]
+    fn depth_zero_is_the_mean() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![2.0, 4.0];
+        let t = RegressionTree::fit(&x, &y, None, 0, 1);
+        assert_eq!(t.predict(&[0.0]), 3.0);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn weights_bias_the_leaf_values() {
+        let x = vec![vec![0.0], vec![0.0]];
+        let y = vec![0.0, 10.0];
+        let t = RegressionTree::fit(&x, &y, Some(&[9.0, 1.0]), 2, 1);
+        assert!((t.predict(&[0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_target_gives_single_leaf() {
+        let x = grid2d(4);
+        let y = vec![5.0; x.len()];
+        let t = RegressionTree::fit(&x, &y, None, 6, 1);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.predict(&[0.3, 0.7]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_data_panics() {
+        let _ = RegressionTree::fit(&[], &[], None, 3, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn predictions_stay_within_target_range(
+            seed in 0u64..50,
+            depth in 1usize..6,
+        ) {
+            // Targets in [0, 1] → every prediction is a (weighted) mean
+            // of targets, so it must stay in [0, 1].
+            let mut s = seed;
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let x: Vec<Vec<f64>> = (0..40).map(|_| vec![next(), next(), next()]).collect();
+            let y: Vec<f64> = (0..40).map(|_| next()).collect();
+            let t = RegressionTree::fit(&x, &y, None, depth, 2);
+            for p in &x {
+                let v = t.predict(p);
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Component microbenchmarks: the cost claims behind the paper's
+//! multi-fidelity premise.
+//!
+//! * the analytical model should evaluate in ~microseconds (the paper
+//!   quotes "about 0.1 ms per design");
+//! * the cycle-level simulator is the expensive proxy (milliseconds);
+//! * FNN forward+backward and GP fit/predict set the per-episode and
+//!   per-acquisition costs of our method and the BO baselines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use archdse::{AnalyticalModel, CoreConfig, DesignSpace, FnnBuilder, Simulator};
+use dse_baselines::GaussianProcess;
+use dse_sim::Cache;
+use dse_workloads::Benchmark;
+
+fn bench_analytical(c: &mut Criterion) {
+    let space = DesignSpace::boom();
+    let model = AnalyticalModel::new(&space, Benchmark::Mm.profile());
+    let point = space.decode(1_234_567);
+    let mut group = c.benchmark_group("analytical");
+    group.bench_function("cpi", |b| {
+        b.iter(|| std::hint::black_box(model.cpi_in(&space, &point)))
+    });
+    group.bench_function("cpi_with_gradient", |b| {
+        b.iter(|| std::hint::black_box(model.cpi_with_gradient(&space, &point)))
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let space = DesignSpace::boom();
+    let trace = Benchmark::Quicksort.trace(10_000, 1);
+    let config = CoreConfig::from_point(&space, &space.decode(1_999_999));
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("quicksort_10k_instructions", |b| {
+        b.iter_batched(
+            || Simulator::new(config.clone()),
+            |sim| std::hint::black_box(sim.run(&trace).cpi()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_fnn(c: &mut Criterion) {
+    let space = DesignSpace::boom();
+    let fnn = FnnBuilder::for_space(&space).build();
+    let obs = fnn.observation(&space, &space.decode(777_777), 1.4);
+    let mut group = c.benchmark_group("fnn");
+    group.bench_function("forward_192_rules", |b| {
+        b.iter(|| std::hint::black_box(fnn.forward(&obs).scores[0]))
+    });
+    let pass = fnn.forward(&obs);
+    let d_scores = vec![0.1; fnn.output_count()];
+    group.bench_function("backward_192_rules", |b| {
+        b.iter(|| std::hint::black_box(fnn.backward(&pass, &d_scores).consequents[0][0]))
+    });
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let x: Vec<Vec<f64>> = (0..12)
+        .map(|i| (0..11).map(|d| ((i * 11 + d) as f64 * 0.37).sin().abs()).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>()).collect();
+    let mut group = c.benchmark_group("gp");
+    group.bench_function("fit_12_points", |b| {
+        b.iter(|| std::hint::black_box(GaussianProcess::fit(&x, &y, true, 0).unwrap().lengthscale()))
+    });
+    let gp = GaussianProcess::fit(&x, &y, true, 0).unwrap();
+    group.bench_function("predict", |b| {
+        b.iter(|| std::hint::black_box(gp.predict(&x[5])))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.bench_function("access_64x8", |b| {
+        b.iter_batched(
+            || Cache::new(64, 8),
+            |mut cache| {
+                let mut h = 0u64;
+                for i in 0..1_000u64 {
+                    h += cache.access(i.wrapping_mul(0x9E3779B97F4A7C15) % (1 << 18)) as u64;
+                }
+                std::hint::black_box(h)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytical, bench_simulator, bench_fnn, bench_gp, bench_cache);
+criterion_main!(benches);

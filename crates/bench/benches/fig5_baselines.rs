@@ -1,0 +1,49 @@
+//! Fig. 5 regeneration + per-optimizer timing.
+//!
+//! Prints the reproduced baseline comparison (mean best CPI per method),
+//! then times each baseline optimizer for one budgeted run against the
+//! real simulator objective.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archdse::eval::{AreaLimit, HfObjective, SimulatorHf};
+use archdse::experiments::{fig5, Fig5Config};
+use archdse::DesignSpace;
+use dse_baselines::{
+    ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Optimizer, RandomForestOptimizer,
+    RandomSearchOptimizer, ScboOptimizer,
+};
+use dse_workloads::Benchmark;
+
+fn bench_fig5(c: &mut Criterion) {
+    let result = fig5(&Fig5Config::quick());
+    dse_bench::print_artifact("Fig. 5: comparison with baselines (quick scale)", &result.to_markdown());
+
+    let space = DesignSpace::boom();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let mut optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(RandomSearchOptimizer),
+        Box::new(RandomForestOptimizer),
+        Box::new(ActBoostOptimizer),
+        Box::new(BagGbrtOptimizer),
+        Box::new(BoomExplorerOptimizer),
+        Box::new(ScboOptimizer::default()),
+    ];
+    for opt in &mut optimizers {
+        let name = opt.name().replace(' ', "_").to_lowercase();
+        group.bench_function(format!("{name}_budget4"), |b| {
+            b.iter(|| {
+                let mut obj = HfObjective::new(
+                    SimulatorHf::for_benchmark(Benchmark::Quicksort, 1_000, 3, 1.0),
+                    AreaLimit::new(8.0),
+                );
+                std::hint::black_box(opt.optimize(&space, &mut obj, 4, 1).best_value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

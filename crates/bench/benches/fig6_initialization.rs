@@ -1,0 +1,36 @@
+//! Fig. 6 regeneration + timing of the LF training phase.
+//!
+//! Prints the reproduced initialization study (convergence speed per
+//! membership-center setting), then times a block of LF episodes — the
+//! dominant cost of the initialization experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archdse::eval::{AnalyticalLf, AreaLimit};
+use archdse::experiments::{fig6, Fig6Config};
+use archdse::{DesignSpace, FnnBuilder};
+use dse_mfrl::{LfPhase, LfPhaseConfig};
+use dse_workloads::Benchmark;
+
+fn bench_fig6(c: &mut Criterion) {
+    let result = fig6(&Fig6Config::quick());
+    dse_bench::print_artifact("Fig. 6: initialization study (quick scale)", &result.to_markdown());
+
+    let space = DesignSpace::boom();
+    let lf = AnalyticalLf::for_benchmark(&space, Benchmark::Dijkstra, 8.0);
+    let area = AreaLimit::new(10.0);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("lf_phase_20_episodes", |b| {
+        b.iter(|| {
+            let mut fnn = FnnBuilder::for_space(&space).build();
+            let outcome = LfPhase::new(LfPhaseConfig { episodes: 20, seed: 3, ..Default::default() })
+                .run(&mut fnn, &space, &lf, &area);
+            std::hint::black_box(outcome.converged_cpi)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

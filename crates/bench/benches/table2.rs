@@ -1,0 +1,37 @@
+//! Table 2 regeneration + timing of the application-specific flow.
+//!
+//! Prints the reproduced Table 2 rows (LF regret, HF regret, improvement
+//! ratio per benchmark), then times one full LF→HF exploration as the
+//! representative kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use archdse::experiments::{table2, Table2Config};
+use archdse::Explorer;
+use dse_workloads::Benchmark;
+
+fn bench_table2(c: &mut Criterion) {
+    // Regenerate the table once at bench-quick scale.
+    let result = table2(&Table2Config::quick());
+    dse_bench::print_artifact("Table 2: application-specific DSE (quick scale)", &result.to_markdown());
+
+    // Representative kernel: one benchmark's full flow.
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("explore_ss_full_flow", |b| {
+        b.iter(|| {
+            let report = Explorer::for_benchmark(Benchmark::StringSearch)
+                .area_limit_mm2(6.0)
+                .lf_episodes(20)
+                .hf_budget(3)
+                .trace_len(2_000)
+                .seed(1)
+                .run();
+            std::hint::black_box(report.best_cpi)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each Criterion bench target regenerates one of the paper's evaluation
+//! artifacts (printing the same rows/series the paper reports) and then
+//! times a representative kernel of that experiment, so `cargo bench`
+//! doubles as both the reproduction driver and a performance regression
+//! net.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a titled experiment artifact to stderr (Criterion owns
+/// stdout), so bench logs contain the regenerated tables.
+pub fn print_artifact(title: &str, body: &str) {
+    eprintln!("\n================ {title} ================");
+    eprintln!("{body}");
+    eprintln!("==========================================\n");
+}

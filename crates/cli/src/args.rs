@@ -1,0 +1,169 @@
+//! Minimal `--flag value` / `--switch` argument parsing.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing or extracting arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared at the end of the line with no value and was
+    /// requested as a valued option.
+    MissingValue(String),
+    /// A flag's value failed to parse as the requested type.
+    InvalidValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+    },
+    /// A positional/unknown token appeared.
+    Unexpected(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "missing value for --{flag}"),
+            ArgError::InvalidValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+            ArgError::Unexpected(token) => write!(f, "unexpected argument {token:?}"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// Parsed arguments: a subcommand plus `--flag [value]` options.
+///
+/// # Examples
+///
+/// ```
+/// use archdse_cli::Args;
+///
+/// let args = Args::parse(["explore", "--area", "7.5", "--full"].map(String::from))?;
+/// assert_eq!(args.command(), Some("explore"));
+/// assert_eq!(args.value_of::<f64>("area")?, Some(7.5));
+/// assert!(args.switch("full"));
+/// # Ok::<(), archdse_cli::ArgError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    options: BTreeMap<String, Option<String>>,
+}
+
+impl Args {
+    /// Parses a token stream (excluding the program name).
+    ///
+    /// The first non-flag token is the subcommand. A flag's value is the
+    /// following token unless that token is itself a flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Unexpected`] for stray positional tokens
+    /// after the subcommand.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(flag) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                args.options.insert(flag.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                return Err(ArgError::Unexpected(token));
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// Whether a bare `--switch` (or valued flag) was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// A flag's value parsed as `T`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingValue`] if the flag was present without a
+    /// value, [`ArgError::InvalidValue`] if parsing failed.
+    pub fn value_of<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(None) => Err(ArgError::MissingValue(name.to_string())),
+            Some(Some(raw)) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| ArgError::InvalidValue { flag: name.to_string(), value: raw.clone() }),
+        }
+    }
+
+    /// Like [`Args::value_of`] with a default for absence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Args::value_of`] errors.
+    pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        Ok(self.value_of(name)?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse(&["table2", "--full", "--seed", "7"]).unwrap();
+        assert_eq!(a.command(), Some("table2"));
+        assert!(a.switch("full"));
+        assert_eq!(a.value_of::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(a.value_of::<u64>("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_a_switch() {
+        let a = parse(&["explore", "--quick", "--area", "8.0"]).unwrap();
+        assert!(a.switch("quick"));
+        assert_eq!(a.value_of::<f64>("area").unwrap(), Some(8.0));
+    }
+
+    #[test]
+    fn stray_positional_is_rejected() {
+        assert_eq!(
+            parse(&["explore", "oops"]).unwrap_err(),
+            ArgError::Unexpected("oops".to_string())
+        );
+    }
+
+    #[test]
+    fn bad_value_reports_the_flag() {
+        let a = parse(&["explore", "--seed", "banana"]).unwrap();
+        assert_eq!(
+            a.value_of::<u64>("seed").unwrap_err(),
+            ArgError::InvalidValue { flag: "seed".to_string(), value: "banana".to_string() }
+        );
+    }
+
+    #[test]
+    fn value_or_supplies_default() {
+        let a = parse(&["explore"]).unwrap();
+        assert_eq!(a.value_or("seed", 42u64).unwrap(), 42);
+    }
+}

@@ -1,0 +1,281 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+
+use serde::Serialize;
+
+use archdse::experiments::{
+    ablations, fig5, fig6, fig7, table2, AblationConfig, Fig5Config, Fig6Config, Fig7Config,
+    Table2Config,
+};
+use archdse::{DesignSpace, Explorer, Fnn, Param};
+use dse_fnn::explain_top_action;
+use dse_mfrl::{Constraint as _, LowFidelity as _};
+use dse_workloads::Benchmark;
+
+use crate::Args;
+
+/// Usage text printed by `archdse help` or on a bad invocation.
+pub const USAGE: &str = "\
+archdse — explainable FNN + multi-fidelity RL micro-architecture DSE
+
+USAGE:
+  archdse <COMMAND> [OPTIONS]
+
+COMMANDS:
+  space                      print the Table 1 design space
+  explore                    run one DSE flow and print design + rules
+      --benchmark <name>     dijkstra|mm|fp-vvadd|quicksort|fft|ss
+      --general              optimize the six-benchmark average instead
+      --area <mm2>           area limit (default 8.0)
+      --leakage <mw>         optional static-power budget
+      --seed <n>             master seed (default 0)
+      --lf-episodes <n>      LF training episodes (default 300)
+      --hf-budget <n>        HF simulations (default 9)
+      --trace-len <n>        trace length (default 30000)
+      --save-fnn <file>      persist the trained network as JSON
+  explain                    walk a saved network greedily, explaining
+                             each decision's top rules
+      --fnn <file>           trained network from `explore --save-fnn`
+      --benchmark <name>     workload for the CPI observations
+      --area <mm2>           area limit (default 8.0)
+      --steps <n>            decisions to explain (default 5)
+  table2 | fig5 | fig6 | fig7 | ablations
+                             regenerate a paper artifact
+      --full                 paper-scale budgets (default: quick)
+      --json <file>          also write the result as JSON
+  help                       show this text
+";
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, dse_workloads::ParseBenchmarkError> {
+    name.parse()
+}
+
+fn maybe_write_json<T: Serialize>(args: &Args, value: &T) -> Result<(), Box<dyn Error>> {
+    if let Some(path) = args.value_of::<String>("json")? {
+        std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+        println!("(wrote JSON to {path})");
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed invocation; returns the process exit code.
+///
+/// # Errors
+///
+/// Returns any argument, IO or serialization error for `main` to print.
+pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
+    match args.command() {
+        Some("space") => cmd_space(),
+        Some("explore") => cmd_explore(args),
+        Some("explain") => cmd_explain(args),
+        Some("table2") => {
+            let config =
+                if args.switch("full") { Table2Config::default() } else { Table2Config::quick() };
+            let result = table2(&config);
+            println!("{}", result.to_markdown());
+            maybe_write_json(args, &result)?;
+            Ok(0)
+        }
+        Some("fig5") => {
+            let config =
+                if args.switch("full") { Fig5Config::default() } else { Fig5Config::quick() };
+            let result = fig5(&config);
+            println!("{}", result.to_markdown());
+            maybe_write_json(args, &result)?;
+            Ok(0)
+        }
+        Some("fig6") => {
+            let config =
+                if args.switch("full") { Fig6Config::default() } else { Fig6Config::quick() };
+            let result = fig6(&config);
+            println!("{}", result.to_markdown());
+            maybe_write_json(args, &result)?;
+            Ok(0)
+        }
+        Some("fig7") => {
+            let config =
+                if args.switch("full") { Fig7Config::default() } else { Fig7Config::quick() };
+            let result = fig7(&config);
+            println!("{}", result.to_markdown());
+            maybe_write_json(args, &result)?;
+            Ok(0)
+        }
+        Some("ablations") => {
+            let config =
+                if args.switch("full") { AblationConfig::default() } else { AblationConfig::quick() };
+            let result = ablations(&config);
+            println!("{}", result.to_markdown());
+            maybe_write_json(args, &result)?;
+            Ok(0)
+        }
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            Ok(2)
+        }
+    }
+}
+
+fn cmd_space() -> Result<i32, Box<dyn Error>> {
+    let space = DesignSpace::boom();
+    println!("{:<18} candidates", "parameter");
+    for p in Param::ALL {
+        let cands: Vec<String> = space.candidates(p).iter().map(|v| format!("{v}")).collect();
+        println!("{:<18} {}", p.name(), cands.join(", "));
+    }
+    println!("total designs: {}", space.size());
+    Ok(0)
+}
+
+fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let mut explorer = if args.switch("general") {
+        Explorer::general_purpose()
+    } else {
+        let name = args.value_or("benchmark", "mm".to_string())?;
+        Explorer::for_benchmark(parse_benchmark(&name)?)
+    };
+    explorer = explorer
+        .area_limit_mm2(args.value_or("area", 8.0)?)
+        .seed(args.value_or("seed", 0)?)
+        .lf_episodes(args.value_or("lf-episodes", 300)?)
+        .hf_budget(args.value_or("hf-budget", 9)?)
+        .trace_len(args.value_or("trace-len", 30_000)?);
+    if let Some(leakage) = args.value_of::<f64>("leakage")? {
+        explorer = explorer.leakage_limit_mw(leakage);
+    }
+
+    let report = explorer.run();
+    println!("best design  : {}", report.best_point.describe(explorer.space()));
+    println!(
+        "area         : {:.2} mm2 (limit {:.2})",
+        explorer.area().area_mm2(explorer.space(), &report.best_point),
+        explorer.area().limit_mm2()
+    );
+    println!("simulated CPI: {:.4}", report.best_cpi);
+    println!("HF sims used : {}", report.hf.evaluations);
+    println!("\nlearned rules:");
+    for rule in report.rules.iter().take(12) {
+        println!("  {rule}");
+    }
+    if let Some(path) = args.value_of::<String>("save-fnn")? {
+        std::fs::write(&path, serde_json::to_string_pretty(&report.fnn)?)?;
+        println!("\n(saved trained network to {path})");
+    }
+    Ok(0)
+}
+
+fn cmd_explain(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let Some(path) = args.value_of::<String>("fnn")? else {
+        eprintln!("explain requires --fnn <file> (produce one with explore --save-fnn)");
+        return Ok(2);
+    };
+    let fnn: Fnn = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    let name = args.value_or("benchmark", "mm".to_string())?;
+    let benchmark = parse_benchmark(&name)?;
+    let steps: usize = args.value_or("steps", 5)?;
+    let explorer =
+        Explorer::for_benchmark(benchmark).area_limit_mm2(args.value_or("area", 8.0)?);
+    let space = explorer.space();
+    let lf = explorer.lf_model();
+    let area = explorer.area();
+
+    let mut point = space.smallest();
+    for step in 0..steps {
+        let obs = fnn.observation(space, &point, lf.cpi(space, &point));
+        let explanation = explain_top_action(&fnn, &obs, 3);
+        println!("step {step}: grow `{}`\n{explanation}\n", explanation.output_name);
+        let Some(param) = Param::from_index(explanation.output) else { break };
+        match point.increased(space, param) {
+            Some(next) if area.fits(space, &next) => point = next,
+            _ => {
+                println!("(area limit reached)");
+                break;
+            }
+        }
+    }
+    println!("reached design: {}", point.describe(space));
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn benchmark_names_parse() {
+        for b in Benchmark::ALL {
+            assert_eq!(parse_benchmark(b.name()).unwrap(), b);
+        }
+        assert!(parse_benchmark("nope").is_err());
+    }
+
+    #[test]
+    fn help_and_space_succeed() {
+        assert_eq!(run(&args(&["help"])).unwrap(), 0);
+        assert_eq!(run(&args(&["space"])).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_command_exits_nonzero() {
+        assert_eq!(run(&args(&["frobnicate"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn explore_quick_runs_end_to_end() {
+        let a = args(&[
+            "explore",
+            "--benchmark",
+            "ss",
+            "--area",
+            "6.0",
+            "--lf-episodes",
+            "15",
+            "--hf-budget",
+            "2",
+            "--trace-len",
+            "1000",
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn explore_saves_a_network_that_explain_can_load() {
+        let dir = std::env::temp_dir().join("archdse_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fnn.json");
+        let path_str = path.to_str().unwrap();
+        let a = args(&[
+            "explore",
+            "--benchmark",
+            "ss",
+            "--area",
+            "6.0",
+            "--lf-episodes",
+            "10",
+            "--hf-budget",
+            "2",
+            "--trace-len",
+            "1000",
+            "--save-fnn",
+            path_str,
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
+        assert!(path.exists());
+        let e = args(&["explain", "--fnn", path_str, "--benchmark", "ss", "--steps", "3"]);
+        assert_eq!(run(&e).unwrap(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn explain_without_fnn_exits_nonzero() {
+        assert_eq!(run(&args(&["explain"])).unwrap(), 2);
+    }
+}

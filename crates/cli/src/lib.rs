@@ -1,0 +1,24 @@
+//! Library backing the `archdse` command-line tool.
+//!
+//! The CLI wraps the [`archdse`] crate's `Explorer` and experiment
+//! drivers behind subcommands, so the whole reproduction is usable
+//! without writing Rust:
+//!
+//! ```text
+//! archdse space
+//! archdse explore --benchmark mm --area 7.5 --seed 42
+//! archdse table2 --full
+//! archdse fig5 | fig6 | fig7 | ablations [--full] [--json FILE]
+//! ```
+//!
+//! Argument parsing is hand-rolled (see [`args`]) to stay within the
+//! workspace's dependency budget; it supports `--flag value` and bare
+//! `--switch` forms only, which is all the tool needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};

@@ -1,0 +1,22 @@
+//! The `archdse` command-line entry point.
+
+use std::process::ExitCode;
+
+use archdse_cli::{commands, Args};
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match commands::run(&args) {
+        Ok(code) => ExitCode::from(code as u8),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

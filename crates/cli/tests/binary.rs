@@ -1,0 +1,85 @@
+//! End-to-end tests of the compiled `archdse` binary.
+
+use std::process::Command;
+
+fn archdse() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_archdse"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = archdse().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("explore"));
+}
+
+#[test]
+fn space_prints_table1() {
+    let out = archdse().arg("space").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Decode Width"));
+    assert!(text.contains("3000000"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = archdse().arg("florble").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn bad_flag_value_is_reported() {
+    let out = archdse()
+        .args(["explore", "--benchmark", "nonsense"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("nonsense"), "stderr: {err}");
+}
+
+#[test]
+fn quick_explore_emits_a_design_and_rules_header() {
+    let out = archdse()
+        .args([
+            "explore",
+            "--benchmark",
+            "ss",
+            "--area",
+            "6.0",
+            "--lf-episodes",
+            "10",
+            "--hf-budget",
+            "2",
+            "--trace-len",
+            "1000",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("best design"));
+    assert!(text.contains("simulated CPI"));
+    assert!(text.contains("learned rules"));
+}
+
+#[test]
+fn json_output_is_valid_json() {
+    let dir = std::env::temp_dir().join("archdse_bin_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig6.json");
+    let out = archdse()
+        .args(["fig6", "--json", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(parsed["curves"].is_array());
+    std::fs::remove_file(&path).unwrap();
+}

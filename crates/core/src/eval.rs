@@ -1,0 +1,366 @@
+//! Fidelity plumbing: adapters wiring the analytical model, the
+//! cycle-level simulator and the area model into the RL traits and the
+//! baseline-optimizer interface.
+
+use std::collections::HashMap;
+
+use dse_analytical::AnalyticalModel;
+use dse_area::{Activity, AreaModel, PowerModel};
+use dse_mfrl::{Constraint, HighFidelity, LowFidelity};
+use dse_sim::{CoreConfig, SimResult, Simulator};
+use dse_space::{DesignPoint, DesignSpace, Param};
+use dse_workloads::{Benchmark, Trace};
+
+/// Adapts simulator statistics into the power model's activity profile.
+///
+/// # Examples
+///
+/// ```
+/// use archdse::eval::activity_of;
+/// use archdse::{CoreConfig, DesignSpace, Simulator};
+/// use dse_workloads::Benchmark;
+///
+/// let space = DesignSpace::boom();
+/// let result = Simulator::new(CoreConfig::from_point(&space, &space.smallest()))
+///     .run(&Benchmark::Mm.trace(2_000, 1));
+/// let activity = activity_of(&result);
+/// assert_eq!(activity.instructions, 2_000);
+/// ```
+pub fn activity_of(result: &SimResult) -> Activity {
+    Activity {
+        instructions: result.instructions,
+        cycles: result.cycles,
+        l1_accesses: result.l1_accesses,
+        l2_accesses: result.l2_accesses,
+        dram_accesses: result.l2_misses,
+        flushes: result.flushes,
+    }
+}
+
+/// Low-fidelity adapter: one analytical model per benchmark, averaged.
+///
+/// For application-specific DSE (Table 2) this holds a single model; for
+/// general-purpose DSE (Fig. 5) it averages all six. CPI/IPC average
+/// across models; the gradient mask endorses a parameter when the *mean*
+/// predicted step benefit is negative.
+#[derive(Debug, Clone)]
+pub struct AnalyticalLf {
+    models: Vec<AnalyticalModel>,
+}
+
+/// Minimum mean per-step CPI reduction for the mask (mirrors the
+/// threshold inside [`AnalyticalModel::beneficial_params`]).
+const BENEFIT_EPS: f64 = 1e-6;
+
+impl AnalyticalLf {
+    /// Builds the LF proxy for one benchmark at a data scale.
+    pub fn for_benchmark(space: &DesignSpace, benchmark: Benchmark, data_scale: f64) -> Self {
+        Self { models: vec![AnalyticalModel::new(space, benchmark.profile_scaled(data_scale))] }
+    }
+
+    /// Builds the general-purpose LF proxy averaging `benchmarks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty.
+    pub fn for_benchmarks(space: &DesignSpace, benchmarks: &[Benchmark], data_scale: f64) -> Self {
+        assert!(!benchmarks.is_empty(), "need at least one benchmark");
+        Self {
+            models: benchmarks
+                .iter()
+                .map(|&b| AnalyticalModel::new(space, b.profile_scaled(data_scale)))
+                .collect(),
+        }
+    }
+
+    /// The underlying per-benchmark models.
+    pub fn models(&self) -> &[AnalyticalModel] {
+        &self.models
+    }
+}
+
+impl LowFidelity for AnalyticalLf {
+    fn cpi(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        self.models.iter().map(|m| m.cpi_in(space, point)).sum::<f64>() / self.models.len() as f64
+    }
+
+    fn beneficial_params(&self, space: &DesignSpace, point: &DesignPoint) -> Vec<Param> {
+        let mut mean_delta = [0.0f64; Param::COUNT];
+        let mut at_max = [false; Param::COUNT];
+        for model in &self.models {
+            for (i, delta) in model.step_deltas(space, point).into_iter().enumerate() {
+                match delta {
+                    Some(d) => mean_delta[i] += d / self.models.len() as f64,
+                    None => at_max[i] = true,
+                }
+            }
+        }
+        Param::ALL
+            .into_iter()
+            .filter(|&p| !at_max[p.index()] && mean_delta[p.index()] < -BENEFIT_EPS)
+            .collect()
+    }
+}
+
+/// High-fidelity adapter: the cycle-level simulator over pre-generated
+/// benchmark traces, with memoization and evaluation counting.
+///
+/// One "HF simulation" in the paper's accounting simulates *all* of this
+/// evaluator's benchmarks for one design (the Fig. 5 objective is the
+/// six-benchmark average CPI); the result is cached so re-proposals of a
+/// design are free.
+#[derive(Debug)]
+pub struct SimulatorHf {
+    traces: Vec<Trace>,
+    cache: HashMap<u64, f64>,
+    evals: usize,
+}
+
+impl SimulatorHf {
+    /// Builds the HF evaluator for one benchmark.
+    pub fn for_benchmark(benchmark: Benchmark, trace_len: usize, seed: u64, data_scale: f64) -> Self {
+        Self::for_benchmarks(&[benchmark], trace_len, seed, data_scale)
+    }
+
+    /// Builds the HF evaluator averaging several benchmarks.
+    ///
+    /// Traces are generated once here, so every design is judged on the
+    /// identical instruction streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` is empty or `trace_len` is zero.
+    pub fn for_benchmarks(
+        benchmarks: &[Benchmark],
+        trace_len: usize,
+        seed: u64,
+        data_scale: f64,
+    ) -> Self {
+        assert!(!benchmarks.is_empty(), "need at least one benchmark");
+        assert!(trace_len > 0, "trace length must be positive");
+        let traces =
+            benchmarks.iter().map(|&b| b.trace_scaled(trace_len, seed, data_scale)).collect();
+        Self { traces, cache: HashMap::new(), evals: 0 }
+    }
+
+    /// CPI of a design without budget side effects (used by the regret
+    /// reference pass; still cached).
+    pub fn cpi_uncounted(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        let key = space.encode(point);
+        if let Some(&c) = self.cache.get(&key) {
+            return c;
+        }
+        let config = CoreConfig::from_point(space, point);
+        let mean = self
+            .traces
+            .iter()
+            .map(|t| Simulator::new(config.clone()).run(t).cpi())
+            .sum::<f64>()
+            / self.traces.len() as f64;
+        self.cache.insert(key, mean);
+        mean
+    }
+}
+
+impl HighFidelity for SimulatorHf {
+    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        let key = space.encode(point);
+        if let Some(&c) = self.cache.get(&key) {
+            return c;
+        }
+        self.evals += 1;
+        let cpi = self.cpi_uncounted(space, point);
+        debug_assert!(self.cache.contains_key(&key));
+        cpi
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+/// The area constraint (eq. "grow until the limit", Table 2 budgets).
+#[derive(Debug, Clone)]
+pub struct AreaLimit {
+    model: AreaModel,
+    limit_mm2: f64,
+}
+
+impl AreaLimit {
+    /// A limit of `limit_mm2` under the default [`AreaModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limit is not positive.
+    pub fn new(limit_mm2: f64) -> Self {
+        assert!(limit_mm2 > 0.0, "area limit must be positive");
+        Self { model: AreaModel::new(), limit_mm2 }
+    }
+
+    /// The limit in mm².
+    pub fn limit_mm2(&self) -> f64 {
+        self.limit_mm2
+    }
+
+    /// Area of a point under the limit's model.
+    pub fn area_mm2(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        self.model.area_mm2(space, point)
+    }
+}
+
+impl Constraint for AreaLimit {
+    fn fits(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
+        self.model.fits(space, point, self.limit_mm2)
+    }
+}
+
+/// The full feasibility predicate: the area limit, optionally tightened
+/// by a static-power (leakage) budget.
+///
+/// Leakage is a pure function of the configuration (no workload
+/// activity needed), so it can gate every episode step just like area —
+/// the natural extension for power-conscious exploration.
+#[derive(Debug, Clone)]
+pub struct DesignConstraints {
+    area: AreaLimit,
+    leakage_limit_mw: Option<f64>,
+    power: PowerModel,
+}
+
+impl DesignConstraints {
+    /// Area-only constraints (the paper's setting).
+    pub fn area_only(area: AreaLimit) -> Self {
+        Self { area, leakage_limit_mw: None, power: PowerModel::new() }
+    }
+
+    /// Adds a leakage budget in mW on top of the area limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is not positive.
+    pub fn with_leakage_limit(mut self, limit_mw: f64) -> Self {
+        assert!(limit_mw > 0.0, "leakage budget must be positive");
+        self.leakage_limit_mw = Some(limit_mw);
+        self
+    }
+
+    /// The wrapped area limit.
+    pub fn area(&self) -> &AreaLimit {
+        &self.area
+    }
+
+    /// The leakage budget, if any.
+    pub fn leakage_limit_mw(&self) -> Option<f64> {
+        self.leakage_limit_mw
+    }
+}
+
+impl Constraint for DesignConstraints {
+    fn fits(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
+        if !self.area.fits(space, point) {
+            return false;
+        }
+        match self.leakage_limit_mw {
+            Some(limit) => self.power.leakage_mw(space, point) <= limit,
+            None => true,
+        }
+    }
+}
+
+/// The baseline-optimizer view of the same stack: HF CPI as the
+/// objective, the area limit as feasibility.
+#[derive(Debug)]
+pub struct HfObjective {
+    hf: SimulatorHf,
+    area: AreaLimit,
+}
+
+impl HfObjective {
+    /// Wraps an HF evaluator and an area limit.
+    pub fn new(hf: SimulatorHf, area: AreaLimit) -> Self {
+        Self { hf, area }
+    }
+
+    /// Unique HF simulations performed.
+    pub fn evaluations(&self) -> usize {
+        self.hf.evaluations()
+    }
+
+    /// Recovers the HF evaluator (and its cache).
+    pub fn into_inner(self) -> (SimulatorHf, AreaLimit) {
+        (self.hf, self.area)
+    }
+}
+
+impl dse_baselines::Objective for HfObjective {
+    fn evaluate(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        self.hf.cpi(space, point)
+    }
+
+    fn is_feasible(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
+        use dse_mfrl::Constraint as _;
+        self.area.fits(space, point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_lf_averages_models() {
+        let space = DesignSpace::boom();
+        let single_mm = AnalyticalLf::for_benchmark(&space, Benchmark::Mm, 1.0);
+        let single_ss = AnalyticalLf::for_benchmark(&space, Benchmark::StringSearch, 1.0);
+        let both =
+            AnalyticalLf::for_benchmarks(&space, &[Benchmark::Mm, Benchmark::StringSearch], 1.0);
+        let p = space.decode(1_000_000);
+        let avg = (single_mm.cpi(&space, &p) + single_ss.cpi(&space, &p)) / 2.0;
+        assert!((both.cpi(&space, &p) - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hf_caching_counts_unique_designs_only() {
+        let space = DesignSpace::boom();
+        let mut hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
+        let p = space.smallest();
+        let a = hf.cpi(&space, &p);
+        let b = hf.cpi(&space, &p);
+        assert_eq!(a, b);
+        assert_eq!(hf.evaluations(), 1);
+        let q = p.increased(&space, Param::DecodeWidth).unwrap();
+        let _ = hf.cpi(&space, &q);
+        assert_eq!(hf.evaluations(), 2);
+    }
+
+    #[test]
+    fn uncounted_evaluations_do_not_consume_budget() {
+        let space = DesignSpace::boom();
+        let mut hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
+        let _ = hf.cpi_uncounted(&space, &space.smallest());
+        assert_eq!(hf.evaluations(), 0);
+        // And the cache is shared: a later counted call is free too —
+        // by design, the reference pass may warm the cache.
+        let _ = hf.cpi(&space, &space.smallest());
+        assert_eq!(hf.evaluations(), 0);
+    }
+
+    #[test]
+    fn area_limit_matches_the_model() {
+        let space = DesignSpace::boom();
+        let limit = AreaLimit::new(8.0);
+        assert!(limit.fits(&space, &space.smallest()));
+        assert!(!limit.fits(&space, &space.largest()));
+        assert!(limit.area_mm2(&space, &space.smallest()) < 8.0);
+    }
+
+    #[test]
+    fn lf_mask_subset_of_in_range_params() {
+        let space = DesignSpace::boom();
+        let lf = AnalyticalLf::for_benchmarks(&space, &Benchmark::ALL, 1.0);
+        let p = space.decode(2_345_678);
+        for param in lf.beneficial_params(&space, &p) {
+            assert!(!p.is_max(&space, param));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Ablation study over the framework's design choices.
+//!
+//! The paper motivates three design decisions without isolating them:
+//! gradient-masked LF actions (§3.1), the aggressive eq. 3 reward, and
+//! the two-phase multi-fidelity split itself. This driver knocks each
+//! out in turn and reports the final simulated CPI, per seed:
+//!
+//! | variant | what changes |
+//! |---------|--------------|
+//! | `full` | the complete method |
+//! | `no gradient mask` | LF actions unrestricted by the analytical gradient |
+//! | `plain reward` | episode reward = IPC instead of IPC − IPC* + ε |
+//! | `LF only` | the HF budget is 1 (just the anchor simulation) |
+//! | `HF only` | no LF training episodes, budget spent from scratch |
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use dse_mfrl::RewardKind;
+use dse_workloads::Benchmark;
+
+use crate::Explorer;
+
+/// Configuration of the ablation study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationConfig {
+    /// The benchmark to ablate on.
+    pub benchmark: Benchmark,
+    /// Area limit in mm².
+    pub area_limit_mm2: f64,
+    /// LF training episodes (where applicable).
+    pub lf_episodes: usize,
+    /// HF simulation budget (except the LF-only variant).
+    pub hf_budget: usize,
+    /// Synthetic trace length.
+    pub trace_len: usize,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            benchmark: Benchmark::Quicksort,
+            area_limit_mm2: 7.5,
+            lf_episodes: 300,
+            hf_budget: 9,
+            trace_len: 30_000,
+            seeds: vec![1, 2, 3, 4, 5],
+        }
+    }
+}
+
+impl AblationConfig {
+    /// A seconds-scale configuration for smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            lf_episodes: 30,
+            hf_budget: 4,
+            trace_len: 2_000,
+            seeds: vec![1, 2],
+            ..Default::default()
+        }
+    }
+}
+
+/// One ablated variant's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Mean best simulated CPI over the seeds.
+    pub mean_best_cpi: f64,
+    /// Best CPI per seed.
+    pub per_seed: Vec<f64>,
+}
+
+/// All variants, in knock-out order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// One row per variant; `rows[0]` is the full method.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationResult {
+    /// Renders the study as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let full = self.rows.first().map(|r| r.mean_best_cpi).unwrap_or(f64::NAN);
+        let mut s = String::new();
+        let _ = writeln!(s, "| variant | mean best CPI | vs full |");
+        let _ = writeln!(s, "|---------|--------------:|--------:|");
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "| {} | {:.4} | {:+.1}% |",
+                r.variant,
+                r.mean_best_cpi,
+                (r.mean_best_cpi / full - 1.0) * 100.0
+            );
+        }
+        s
+    }
+
+    /// The row for a variant, if present.
+    pub fn row(&self, variant: &str) -> Option<&AblationRow> {
+        self.rows.iter().find(|r| r.variant == variant)
+    }
+}
+
+/// A labelled explorer factory (one ablation variant).
+type Variant<'a> = (&'a str, Box<dyn Fn(u64) -> Explorer + 'a>);
+
+/// Runs the ablation study.
+pub fn ablations(config: &AblationConfig) -> AblationResult {
+    let base = |seed: u64| {
+        Explorer::for_benchmark(config.benchmark)
+            .area_limit_mm2(config.area_limit_mm2)
+            .lf_episodes(config.lf_episodes)
+            .hf_budget(config.hf_budget)
+            .trace_len(config.trace_len)
+            .seed(seed)
+    };
+    let variants: Vec<Variant> = vec![
+        ("full", Box::new(&base)),
+        ("no gradient mask", Box::new(move |s| base(s).gradient_mask(false))),
+        ("plain reward", Box::new(move |s| base(s).reward(RewardKind::PlainIpc))),
+        ("LF only", Box::new(move |s| base(s).hf_budget(1))),
+        ("HF only", Box::new(move |s| base(s).lf_episodes(0).gradient_mask(false))),
+    ];
+
+    let rows = variants
+        .into_iter()
+        .map(|(label, make)| {
+            let per_seed: Vec<f64> =
+                config.seeds.iter().map(|&s| make(s).run().best_cpi).collect();
+            AblationRow {
+                variant: label.to_string(),
+                mean_best_cpi: per_seed.iter().sum::<f64>() / per_seed.len() as f64,
+                per_seed,
+            }
+        })
+        .collect();
+    AblationResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_ablations_cover_all_variants() {
+        let result = ablations(&AblationConfig::quick());
+        assert_eq!(result.rows.len(), 5);
+        for r in &result.rows {
+            assert_eq!(r.per_seed.len(), 2, "{}", r.variant);
+            assert!(r.mean_best_cpi > 0.0 && r.mean_best_cpi.is_finite(), "{}", r.variant);
+        }
+        // The full method must not lose to the LF-only variant: the HF
+        // phase starts from the LF anchor and can only improve on it.
+        let full = result.row("full").unwrap().mean_best_cpi;
+        let lf_only = result.row("LF only").unwrap().mean_best_cpi;
+        assert!(full <= lf_only + 1e-9, "full {full} vs LF-only {lf_only}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fig. 5: general-purpose DSE versus the baseline optimizers.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use dse_baselines::{
+    ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Optimizer, RandomForestOptimizer,
+    RandomSearchOptimizer, ScboOptimizer,
+};
+use dse_workloads::Benchmark;
+
+use crate::eval::{AreaLimit, HfObjective, SimulatorHf};
+use crate::Explorer;
+
+/// Configuration of the Fig. 5 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Config {
+    /// Seeds (the paper runs 5 and reports the mean).
+    pub seeds: Vec<u64>,
+    /// HF budget for the baselines (paper: 10).
+    pub baseline_budget: usize,
+    /// HF budget for our method (paper: 9, equalizing wall-clock since
+    /// the LF training costs about one HF simulation).
+    pub our_budget: usize,
+    /// LF training episodes for our method.
+    pub lf_episodes: usize,
+    /// Synthetic trace length.
+    pub trace_len: usize,
+    /// The shared area constraint (paper: 8 mm²).
+    pub area_limit_mm2: f64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Self {
+            seeds: vec![1, 2, 3, 4, 5],
+            baseline_budget: 10,
+            our_budget: 9,
+            lf_episodes: 300,
+            trace_len: 30_000,
+            area_limit_mm2: 8.0,
+        }
+    }
+}
+
+impl Fig5Config {
+    /// A seconds-scale configuration for smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            seeds: vec![1, 2],
+            baseline_budget: 5,
+            our_budget: 4,
+            lf_episodes: 25,
+            trace_len: 2_000,
+            area_limit_mm2: 8.0,
+        }
+    }
+}
+
+/// One method's aggregated outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Method name.
+    pub method: String,
+    /// Mean best CPI over the seeds (the paper's reported number).
+    pub mean_best_cpi: f64,
+    /// Sample standard deviation over the seeds.
+    pub std_dev: f64,
+    /// Best CPI per seed.
+    pub per_seed: Vec<f64>,
+}
+
+/// All methods' outcomes, sorted best-first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Result {
+    /// One row per method.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Result {
+    /// Renders the comparison as a markdown table, including each
+    /// baseline's one-sided paired-bootstrap p-value against our method
+    /// (small p ⇒ our win is unlikely to be seed luck).
+    pub fn to_markdown(&self) -> String {
+        let ours = self.row("FNN-MFRL (ours)");
+        let mut s = String::new();
+        let _ = writeln!(s, "| method | mean best CPI | std dev | p(ours ≥ method) |");
+        let _ = writeln!(s, "|--------|--------------:|--------:|------------------:|");
+        for r in &self.rows {
+            let p = match ours {
+                Some(o) if o.method != r.method && o.per_seed.len() == r.per_seed.len() => {
+                    format!("{:.3}", crate::stats::paired_bootstrap_p(&o.per_seed, &r.per_seed, 5_000, 7))
+                }
+                _ => "—".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "| {} | {:.4} | {:.4} | {} |",
+                r.method, r.mean_best_cpi, r.std_dev, p
+            );
+        }
+        s
+    }
+
+    /// The row for a method, if present.
+    pub fn row(&self, method: &str) -> Option<&Fig5Row> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+/// Runs the Fig. 5 experiment: six-benchmark average CPI under an 8 mm²
+/// limit, our method against the five baselines (plus random search),
+/// each repeated over the configured seeds.
+///
+/// All methods share one memoizing simulator, so identical designs are
+/// simulated once — results are unaffected (the simulator is
+/// deterministic) and the experiment runs much faster.
+pub fn fig5(config: &Fig5Config) -> Fig5Result {
+    let space = dse_space::DesignSpace::boom();
+    let mut rows = Vec::new();
+
+    // Baselines first, through the Objective adapter.
+    let hf = SimulatorHf::for_benchmarks(&Benchmark::ALL, config.trace_len, 0x51, 1.0);
+    let mut objective = HfObjective::new(hf, AreaLimit::new(config.area_limit_mm2));
+    let mut baselines: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(BoomExplorerOptimizer),
+        Box::new(BagGbrtOptimizer),
+        Box::new(ActBoostOptimizer),
+        Box::new(ScboOptimizer::default()),
+        Box::new(RandomForestOptimizer),
+        Box::new(RandomSearchOptimizer),
+    ];
+    for opt in &mut baselines {
+        let mut per_seed = Vec::new();
+        for &seed in &config.seeds {
+            let result = opt.optimize(&space, &mut objective, config.baseline_budget, seed);
+            per_seed.push(result.best_value);
+        }
+        rows.push(Fig5Row {
+            method: opt.name().to_string(),
+            mean_best_cpi: mean(&per_seed),
+            std_dev: crate::stats::std_dev(&per_seed),
+            per_seed,
+        });
+    }
+
+    // Our method, reusing the now-warm memoized simulator.
+    let (mut hf, _) = objective.into_inner();
+    let mut ours = Vec::new();
+    for &seed in &config.seeds {
+        let explorer = Explorer::general_purpose()
+            .area_limit_mm2(config.area_limit_mm2)
+            .lf_episodes(config.lf_episodes)
+            .hf_budget(config.our_budget)
+            .trace_len(config.trace_len)
+            .seed(seed);
+        let report = explorer.run_with_hf(&mut hf);
+        ours.push(report.best_cpi);
+    }
+    rows.push(Fig5Row {
+        method: "FNN-MFRL (ours)".to_string(),
+        mean_best_cpi: mean(&ours),
+        std_dev: crate::stats::std_dev(&ours),
+        per_seed: ours,
+    });
+
+    rows.sort_by(|a, b| a.mean_best_cpi.total_cmp(&b.mean_best_cpi));
+    Fig5Result { rows }
+}
+
+use crate::stats::mean;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig5_covers_all_methods() {
+        let result = fig5(&Fig5Config::quick());
+        assert_eq!(result.rows.len(), 7);
+        for r in &result.rows {
+            assert_eq!(r.per_seed.len(), 2, "{}", r.method);
+            assert!(r.mean_best_cpi > 0.0 && r.mean_best_cpi.is_finite());
+        }
+        assert!(result.row("FNN-MFRL (ours)").is_some());
+        assert!(result.row("BOOM-Explorer").is_some());
+        // Sorted best-first.
+        for w in result.rows.windows(2) {
+            assert!(w[0].mean_best_cpi <= w[1].mean_best_cpi);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Drivers regenerating every table and figure of the paper's
+//! evaluation (§4).
+//!
+//! Each experiment has a `Config` with two constructors — `Default`
+//! (paper-scale) and `quick()` (seconds-scale, for CI and smoke tests) —
+//! and returns a serializable result type with a `to_markdown` renderer,
+//! so the bench harness and the examples print the same rows the paper
+//! reports.
+//!
+//! | Paper artifact | Driver |
+//! |----------------|--------|
+//! | Table 2 (application-specific LF/HF regrets) | [`table2`] |
+//! | Fig. 5 (baseline comparison) | [`fig5`] |
+//! | Fig. 6 (initialization study) | [`fig6`] |
+//! | Fig. 7 (preference embedding) | [`fig7`] |
+//! | §4.3 rule listing | [`ExplorationReport::rules`](crate::ExplorationReport) |
+//! | design-choice ablations (this repo's addition) | [`ablations`] |
+
+mod ablations;
+mod fig5;
+mod fig6;
+mod fig7;
+mod table2;
+
+pub use ablations::{ablations, AblationConfig, AblationResult, AblationRow};
+pub use fig5::{fig5, Fig5Config, Fig5Result, Fig5Row};
+pub use fig6::{fig6, Fig6Config, Fig6Curve, Fig6Result};
+pub use fig7::{fig7, Fig7Config, Fig7Result, ParamTrajectory};
+pub use table2::{table2, Table2Config, Table2Result, Table2Row};

@@ -1,0 +1,171 @@
+//! Table 2: application-specific DSE — LF vs HF regret per benchmark.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use dse_workloads::Benchmark;
+
+use crate::regret::{improvement, reference_optimum, regret, ReferenceConfig};
+use crate::Explorer;
+
+/// The paper's per-benchmark area limits (Table 2, in mm²).
+pub const AREA_LIMITS: [(Benchmark, f64); 6] = [
+    (Benchmark::Dijkstra, 10.0),
+    (Benchmark::Mm, 7.5),
+    (Benchmark::FpVvadd, 6.0),
+    (Benchmark::Quicksort, 7.5),
+    (Benchmark::Fft, 8.0),
+    (Benchmark::StringSearch, 6.0),
+];
+
+/// Configuration of the Table 2 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Config {
+    /// LF training episodes per benchmark.
+    pub lf_episodes: usize,
+    /// HF simulation budget per benchmark (paper: 9).
+    pub hf_budget: usize,
+    /// Synthetic trace length.
+    pub trace_len: usize,
+    /// Reference-optimum sampling settings (paper: ≥ 500 samples).
+    pub reference: ReferenceConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            lf_episodes: 300,
+            hf_budget: 9,
+            trace_len: 30_000,
+            reference: ReferenceConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+impl Table2Config {
+    /// A seconds-scale configuration for smoke tests.
+    pub fn quick() -> Self {
+        Self {
+            lf_episodes: 30,
+            hf_budget: 4,
+            trace_len: 2_000,
+            reference: ReferenceConfig { samples: 20, ..Default::default() },
+            seed: 1,
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Its area limit in mm².
+    pub area_limit_mm2: f64,
+    /// Reference optimum õpt (simulated CPI).
+    pub opt_cpi: f64,
+    /// Simulated CPI of the LF phase's converged design.
+    pub lf_cpi: f64,
+    /// Simulated CPI of the final multi-fidelity result.
+    pub hf_cpi: f64,
+    /// LF regret (eq. 5).
+    pub lf_regret: f64,
+    /// HF regret (eq. 5).
+    pub hf_regret: f64,
+    /// Improvement ratio Regret_LF / Regret_HF (eq. 6).
+    pub improvement: f64,
+}
+
+/// The full table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// One row per benchmark.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Result {
+    /// Renders the table in the paper's layout.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "| benchmark | area limit | LF regret | HF regret | Imp. |");
+        let _ = writeln!(s, "|-----------|-----------:|----------:|----------:|-----:|");
+        for r in &self.rows {
+            let imp = if r.improvement.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:.2}x", r.improvement)
+            };
+            let _ = writeln!(
+                s,
+                "| {} | {} mm2 | {:.3} | {:.3} | {} |",
+                r.benchmark, r.area_limit_mm2, r.lf_regret, r.hf_regret, imp
+            );
+        }
+        s
+    }
+}
+
+/// Runs the Table 2 experiment: for each benchmark, run the full LF→HF
+/// flow at its area limit, simulate the LF-converged design offline, and
+/// report both regrets against the sampled reference optimum.
+pub fn table2(config: &Table2Config) -> Table2Result {
+    let rows = AREA_LIMITS
+        .iter()
+        .map(|&(benchmark, limit)| {
+            let explorer = Explorer::for_benchmark(benchmark)
+                .area_limit_mm2(limit)
+                .lf_episodes(config.lf_episodes)
+                .hf_budget(config.hf_budget)
+                .trace_len(config.trace_len)
+                .seed(config.seed);
+            let mut hf = explorer.hf_evaluator();
+            let report = explorer.run_with_hf(&mut hf);
+            // The LF result's quality, measured offline on the simulator
+            // (does not consume DSE budget).
+            let space = explorer.space().clone();
+            let lf_cpi = hf.cpi_uncounted(&space, &report.lf.converged);
+            let reference =
+                reference_optimum(&space, &mut hf, &explorer.area(), &config.reference);
+            let lf_regret = regret(lf_cpi, &reference);
+            let hf_regret = regret(report.best_cpi, &reference);
+            Table2Row {
+                benchmark,
+                area_limit_mm2: limit,
+                opt_cpi: reference.cpi,
+                lf_cpi,
+                hf_cpi: report.best_cpi,
+                lf_regret,
+                hf_regret,
+                improvement: improvement(lf_regret, hf_regret),
+            }
+        })
+        .collect();
+    Table2Result { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table2_has_consistent_rows() {
+        let result = table2(&Table2Config::quick());
+        assert_eq!(result.rows.len(), 6);
+        for r in &result.rows {
+            assert!(r.opt_cpi > 0.0);
+            assert!(r.lf_regret >= 0.0 && r.hf_regret >= 0.0);
+            assert!(
+                r.hf_cpi <= r.lf_cpi + 1e-12,
+                "{}: HF phase must not be worse than its LF anchor",
+                r.benchmark
+            );
+            assert!(r.improvement >= 1.0 - 1e-9, "{}: eq. 6 ratio below 1", r.benchmark);
+        }
+        let md = result.to_markdown();
+        assert!(md.contains("dijkstra") && md.contains("Imp."));
+    }
+}

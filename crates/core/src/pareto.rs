@@ -1,0 +1,194 @@
+//! Pareto-dominance utilities for multi-objective design comparison.
+//!
+//! The paper optimizes CPI under a hard area constraint; a practicing
+//! team usually also wants the CPI/area/power trade-off surface. These
+//! helpers compute Pareto fronts over arbitrary minimization objectives
+//! (see the `pareto_frontier` example for the sweep that uses them).
+
+use serde::{Deserialize, Serialize};
+
+use dse_space::DesignPoint;
+
+/// A design annotated with the three headline metrics (all minimized;
+/// spend metrics like area/power trade against CPI).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignMetrics {
+    /// The design.
+    pub point: DesignPoint,
+    /// Simulated cycles per instruction.
+    pub cpi: f64,
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Estimated power in mW.
+    pub power_mw: f64,
+}
+
+impl DesignMetrics {
+    /// The objective vector `(cpi, area, power)`.
+    pub fn objectives(&self) -> [f64; 3] {
+        [self.cpi, self.area_mm2, self.power_mw]
+    }
+}
+
+/// Whether objective vector `a` Pareto-dominates `b` (all objectives ≤,
+/// at least one strictly <; minimization).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use archdse::pareto::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "trade-offs don't dominate");
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equality is not dominance");
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective arity mismatch");
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the Pareto-optimal items under an objective extractor
+/// (minimization), in input order.
+///
+/// # Examples
+///
+/// ```
+/// use archdse::pareto::pareto_front;
+///
+/// let points = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (4.0, 1.0)];
+/// let front = pareto_front(&points, |&(a, b)| vec![a, b]);
+/// assert_eq!(front, vec![0, 1, 3]); // (3,3) is dominated by (2,2)
+/// ```
+pub fn pareto_front<T>(items: &[T], objectives: impl Fn(&T) -> Vec<f64>) -> Vec<usize> {
+    let vecs: Vec<Vec<f64>> = items.iter().map(&objectives).collect();
+    (0..items.len())
+        .filter(|&i| !vecs.iter().enumerate().any(|(j, v)| j != i && dominates(v, &vecs[i])))
+        .collect()
+}
+
+/// Two-objective hypervolume (area dominated below a reference point),
+/// the standard scalar quality measure of a front. Objectives are
+/// minimized; points outside the reference box contribute nothing.
+///
+/// # Panics
+///
+/// Panics if any objective vector is not 2-dimensional.
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<&Vec<f64>> = front
+        .iter()
+        .inspect(|v| assert_eq!(v.len(), 2, "hypervolume_2d needs 2 objectives"))
+        .filter(|v| v[0] < reference[0] && v[1] < reference[1])
+        .collect();
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in pts {
+        if p[1] < prev_y {
+            hv += (reference[0] - p[0]) * (prev_y - p[1]);
+            prev_y = p[1];
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn front_of_a_chain_is_the_minimum() {
+        // Totally ordered points: only the best survives.
+        let pts = [3.0, 1.0, 2.0];
+        let front = pareto_front(&pts, |&x| vec![x]);
+        assert_eq!(front, vec![1]);
+    }
+
+    #[test]
+    fn anti_chain_survives_whole() {
+        let pts = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)];
+        assert_eq!(pareto_front(&pts, |&(a, b)| vec![a, b]).len(), 3);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        // Equal points don't dominate each other.
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front(&pts, |&(a, b)| vec![a, b]).len(), 2);
+    }
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], [3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_beyond_reference() {
+        let hv = hypervolume_2d(&[vec![5.0, 5.0]], [3.0, 3.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn hypervolume_of_staircase() {
+        let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        // (3-1)(3-2) + (3-2)(2-1) = 2 + 1
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn front_members_are_mutually_nondominating(
+            pts in proptest::collection::vec((0.0_f64..10.0, 0.0_f64..10.0), 1..40)
+        ) {
+            let front = pareto_front(&pts, |&(a, b)| vec![a, b]);
+            for &i in &front {
+                for &j in &front {
+                    if i != j {
+                        prop_assert!(!dominates(&[pts[i].0, pts[i].1], &[pts[j].0, pts[j].1]));
+                    }
+                }
+            }
+            prop_assert!(!front.is_empty());
+        }
+
+        #[test]
+        fn dominated_points_are_excluded(
+            pts in proptest::collection::vec((0.0_f64..10.0, 0.0_f64..10.0), 2..40)
+        ) {
+            let front = pareto_front(&pts, |&(a, b)| vec![a, b]);
+            for i in 0..pts.len() {
+                let dominated = pts.iter().enumerate().any(|(j, q)| {
+                    j != i && dominates(&[q.0, q.1], &[pts[i].0, pts[i].1])
+                });
+                prop_assert_eq!(!dominated, front.contains(&i));
+            }
+        }
+
+        #[test]
+        fn adding_points_never_shrinks_hypervolume(
+            pts in proptest::collection::vec((0.0_f64..5.0, 0.0_f64..5.0), 1..20),
+            extra in (0.0_f64..5.0, 0.0_f64..5.0),
+        ) {
+            let reference = [6.0, 6.0];
+            let base: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a, b]).collect();
+            let mut extended = base.clone();
+            extended.push(vec![extra.0, extra.1]);
+            prop_assert!(hypervolume_2d(&extended, reference) + 1e-12
+                >= hypervolume_2d(&base, reference));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Small statistics helpers for experiment reporting.
+//!
+//! The paper reports "the mean of the best CPI" over 5 seeds; a careful
+//! reproduction should also report spread and whether the win is more
+//! than seed luck. These helpers keep that analysis dependency-free.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for fewer than 2
+/// points).
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+}
+
+/// Paired bootstrap test that `a` is smaller than `b` (both are
+/// per-seed results of two methods run on the *same* seeds).
+///
+/// Returns the estimated probability that the mean paired difference
+/// `a − b` is ≥ 0, i.e. a one-sided p-value for "method a is better
+/// (lower)". Values near 0 mean a convincingly wins.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use archdse::stats::paired_bootstrap_p;
+///
+/// let ours = [1.0, 1.1, 0.9, 1.0, 1.05];
+/// let theirs = [1.5, 1.6, 1.4, 1.55, 1.45];
+/// assert!(paired_bootstrap_p(&ours, &theirs, 2_000, 0) < 0.05);
+/// ```
+pub fn paired_bootstrap_p(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length samples");
+    assert!(!a.is_empty(), "paired test needs data");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at_least_zero = 0usize;
+    for _ in 0..resamples {
+        let resampled_mean = (0..diffs.len())
+            .map(|_| diffs[rng.gen_range(0..diffs.len())])
+            .sum::<f64>()
+            / diffs.len() as f64;
+        if resampled_mean >= 0.0 {
+            at_least_zero += 1;
+        }
+    }
+    at_least_zero as f64 / resamples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn std_dev_of_known_sample() {
+        // Sample std-dev of [2,4,4,4,5,5,7,9] is sqrt(32/7).
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn clear_winner_gets_small_p() {
+        let a = [1.0, 1.0, 1.0, 1.0, 1.0];
+        let b = [2.0, 2.1, 1.9, 2.0, 2.05];
+        assert!(paired_bootstrap_p(&a, &b, 2_000, 1) < 0.01);
+    }
+
+    #[test]
+    fn identical_methods_get_p_about_one() {
+        // a - b is exactly 0 everywhere → every resample mean is ≥ 0.
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(paired_bootstrap_p(&a, &a, 500, 2), 1.0);
+    }
+
+    #[test]
+    fn clear_loser_gets_large_p() {
+        let a = [2.0, 2.1, 1.9];
+        let b = [1.0, 1.0, 1.0];
+        assert!(paired_bootstrap_p(&a, &b, 1_000, 3) > 0.99);
+    }
+
+    proptest! {
+        #[test]
+        fn p_is_a_probability(
+            pairs in proptest::collection::vec((-5.0_f64..5.0, -5.0_f64..5.0), 2..20),
+            seed in 0u64..10,
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let p = paired_bootstrap_p(&a, &b, 200, seed);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn std_dev_is_translation_invariant(
+            v in proptest::collection::vec(-10.0_f64..10.0, 2..20),
+            shift in -100.0_f64..100.0,
+        ) {
+            let shifted: Vec<f64> = v.iter().map(|x| x + shift).collect();
+            prop_assert!((std_dev(&v) - std_dev(&shifted)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Fuzzy membership functions.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a membership function.
+///
+/// The paper's §2.3 assignment: metric fuzzy sets *low/avg/high* use
+/// inverse-sigmoid / bell / sigmoid; parameter sets *low/enough* use
+/// inverse-sigmoid / sigmoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MembershipKind {
+    /// `μ(x) = σ((x − c)/w)` — grows with `x`; models "high"/"enough".
+    Sigmoid,
+    /// `μ(x) = 1 − σ((x − c)/w)` — shrinks with `x`; models "low".
+    InvSigmoid,
+    /// Generalized bell `μ(x) = 1 / (1 + ((x − c)/w)⁴)` — peaks at `c`;
+    /// models "average".
+    Bell,
+}
+
+/// A parameterized membership function: degree of membership of a crisp
+/// value in one fuzzy set.
+///
+/// `center` is the set's semantic anchor (e.g. *"a CPI above 5 is
+/// 'high'"* means a sigmoid with center 5); `width` controls how fuzzy
+/// the transition is. Centers of parameter sets are trainable via
+/// [`Membership::d_center`]; widths are fixed hyper-parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dse_fnn::{Membership, MembershipKind};
+///
+/// let high = Membership::new(MembershipKind::Sigmoid, 5.0, 1.0);
+/// assert!(high.eval(8.0) > 0.9);
+/// assert!(high.eval(2.0) < 0.1);
+/// assert_eq!(high.eval(5.0), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Membership {
+    kind: MembershipKind,
+    center: f64,
+    width: f64,
+}
+
+impl Membership {
+    /// Creates a membership function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn new(kind: MembershipKind, center: f64, width: f64) -> Self {
+        assert!(width.is_finite() && width > 0.0, "membership width must be positive");
+        Self { kind, center, width }
+    }
+
+    /// The function's shape.
+    pub fn kind(&self) -> MembershipKind {
+        self.kind
+    }
+
+    /// The current center.
+    pub fn center(&self) -> f64 {
+        self.center
+    }
+
+    /// The (fixed) width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Moves the center (used by gradient updates and preference
+    /// embedding).
+    pub fn set_center(&mut self, center: f64) {
+        self.center = center;
+    }
+
+    /// Degree of membership of `x`, in `[0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (x - self.center) / self.width;
+        match self.kind {
+            MembershipKind::Sigmoid => sigmoid(t),
+            MembershipKind::InvSigmoid => 1.0 - sigmoid(t),
+            MembershipKind::Bell => 1.0 / (1.0 + t.powi(4)),
+        }
+    }
+
+    /// Partial derivative `∂μ/∂center` at `x`.
+    pub fn d_center(&self, x: f64) -> f64 {
+        let t = (x - self.center) / self.width;
+        match self.kind {
+            MembershipKind::Sigmoid => {
+                let s = sigmoid(t);
+                -s * (1.0 - s) / self.width
+            }
+            MembershipKind::InvSigmoid => {
+                let s = sigmoid(t);
+                s * (1.0 - s) / self.width
+            }
+            MembershipKind::Bell => {
+                let mu = 1.0 / (1.0 + t.powi(4));
+                4.0 * t.powi(3) * mu * mu / self.width
+            }
+        }
+    }
+}
+
+fn sigmoid(t: f64) -> f64 {
+    1.0 / (1.0 + (-t).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shapes_behave_as_linguistic_labels() {
+        let low = Membership::new(MembershipKind::InvSigmoid, 2.0, 0.5);
+        let avg = Membership::new(MembershipKind::Bell, 3.0, 1.0);
+        let high = Membership::new(MembershipKind::Sigmoid, 4.0, 0.5);
+        // A crisp value of 3: clearly "avg", not "low" or "high".
+        assert!(avg.eval(3.0) > 0.99);
+        assert!(low.eval(3.0) < 0.2);
+        assert!(high.eval(3.0) < 0.2);
+        // A crisp value of 6: "high".
+        assert!(high.eval(6.0) > 0.95);
+        assert!(avg.eval(6.0) < 0.02);
+    }
+
+    #[test]
+    fn bell_peaks_at_center() {
+        let bell = Membership::new(MembershipKind::Bell, 3.0, 1.0);
+        assert_eq!(bell.eval(3.0), 1.0);
+        assert!(bell.eval(2.0) < 1.0);
+        assert!((bell.eval(2.0) - bell.eval(4.0)).abs() < 1e-12, "bell is symmetric");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = Membership::new(MembershipKind::Sigmoid, 0.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn memberships_stay_in_unit_interval(
+            x in -100.0_f64..100.0,
+            c in -10.0_f64..10.0,
+            w in 0.1_f64..10.0,
+        ) {
+            for kind in [MembershipKind::Sigmoid, MembershipKind::InvSigmoid, MembershipKind::Bell] {
+                let mu = Membership::new(kind, c, w).eval(x);
+                prop_assert!((0.0..=1.0).contains(&mu), "{kind:?} gave {mu}");
+            }
+        }
+
+        #[test]
+        fn d_center_matches_finite_difference(
+            x in -5.0_f64..5.0,
+            c in -5.0_f64..5.0,
+            w in 0.2_f64..5.0,
+        ) {
+            for kind in [MembershipKind::Sigmoid, MembershipKind::InvSigmoid, MembershipKind::Bell] {
+                let m = Membership::new(kind, c, w);
+                let h = 1e-6;
+                let up = Membership::new(kind, c + h, w);
+                let down = Membership::new(kind, c - h, w);
+                let fd = (up.eval(x) - down.eval(x)) / (2.0 * h);
+                prop_assert!((m.d_center(x) - fd).abs() < 1e-4,
+                    "{kind:?}: analytic {} vs fd {fd}", m.d_center(x));
+            }
+        }
+
+        #[test]
+        fn sigmoid_pair_is_complementary(x in -10.0_f64..10.0) {
+            let s = Membership::new(MembershipKind::Sigmoid, 1.0, 2.0);
+            let i = Membership::new(MembershipKind::InvSigmoid, 1.0, 2.0);
+            prop_assert!((s.eval(x) + i.eval(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

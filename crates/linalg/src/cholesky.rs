@@ -1,0 +1,232 @@
+//! Cholesky (LLᵀ) factorization of symmetric positive-definite matrices.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Matrix;
+
+/// Error returned when a matrix cannot be Cholesky-factorized.
+///
+/// Produced by [`Cholesky::new`] when the input is not square, not
+/// (numerically) symmetric positive-definite, or contains non-finite
+/// entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorizeError {
+    /// The input matrix was not square.
+    NotSquare,
+    /// A pivot at the reported column was non-positive or non-finite, so
+    /// the matrix is not positive-definite.
+    NotPositiveDefinite {
+        /// Column at which factorization broke down.
+        column: usize,
+    },
+}
+
+impl fmt::Display for FactorizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorizeError::NotSquare => write!(f, "matrix is not square"),
+            FactorizeError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive-definite (pivot {column})")
+            }
+        }
+    }
+}
+
+impl Error for FactorizeError {}
+
+/// The lower-triangular Cholesky factor `L` of an SPD matrix `A = L·Lᵀ`.
+///
+/// Used by the GP baselines to solve `A·x = b` and to compute the
+/// log-determinant term of the GP marginal likelihood.
+///
+/// # Examples
+///
+/// ```
+/// use dse_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), dse_linalg::FactorizeError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let chol = Cholesky::new(&a)?;
+/// // log det(A) = ln 3
+/// assert!((chol.log_det() - 3.0f64.ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so slight asymmetry from
+    /// floating-point noise in kernel construction is tolerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FactorizeError::NotSquare`] for rectangular input and
+    /// [`FactorizeError::NotPositiveDefinite`] when a pivot is not a
+    /// finite positive number (add diagonal jitter and retry in that
+    /// case).
+    pub fn new(a: &Matrix) -> Result<Self, FactorizeError> {
+        if !a.is_square() {
+            return Err(FactorizeError::NotSquare);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if !(diag.is_finite() && diag > 0.0) {
+                return Err(FactorizeError::NotPositiveDefinite { column: j });
+            }
+            let diag = diag.sqrt();
+            l[(j, j)] = diag;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / diag;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrows the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `L·y = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                v -= self.l[(i, k)] * yk;
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ·x = y` (backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != self.dim()`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                v -= self.l[(k, i)] * xk;
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves the full system `A·x = b` where `A = L·Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Log-determinant of the factorized matrix `A`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // B·Bᵀ + n·I is SPD for any B.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        (&b * &b.transpose()).add_diagonal(n as f64)
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd(6, 42);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let reconstructed = l * &l.transpose();
+        assert!(reconstructed.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn solve_satisfies_system() {
+        let a = spd(8, 7);
+        let chol = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let x = chol.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-8, "residual too large: {ri} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(Cholesky::new(&a).unwrap_err(), FactorizeError::NotSquare);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        match Cholesky::new(&a).unwrap_err() {
+            FactorizeError::NotPositiveDefinite { column } => assert_eq!(column, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            Cholesky::new(&a).unwrap_err(),
+            FactorizeError::NotPositiveDefinite { column: 0 }
+        ));
+    }
+}

@@ -1,0 +1,39 @@
+//! Small dense linear-algebra kernels used by the ArchDSE baselines.
+//!
+//! The Gaussian-process surrogates behind the BOOM-Explorer and SCBO
+//! baselines need dense symmetric solves on kernel matrices of a few
+//! hundred rows at most, so this crate deliberately implements a compact,
+//! dependency-free toolkit instead of pulling in a full BLAS stack:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual
+//!   constructors and arithmetic;
+//! * [`Cholesky`] — an LLᵀ factorization with forward/backward solves and
+//!   a log-determinant, the workhorse of GP regression;
+//! * [`vector`] — free functions on `&[f64]` slices (dot products, norms,
+//!   elementwise combinations).
+//!
+//! # Examples
+//!
+//! Solving a small symmetric positive-definite system:
+//!
+//! ```
+//! use dse_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), dse_linalg::FactorizeError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve(&[1.0, 2.0]);
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod matrix;
+pub mod vector;
+
+pub use cholesky::{Cholesky, FactorizeError};
+pub use matrix::Matrix;

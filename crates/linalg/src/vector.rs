@@ -1,0 +1,126 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! These helpers keep the GP/tree baselines readable without introducing a
+//! dedicated vector type: design points and kernel rows are plain slices
+//! everywhere in this workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dse_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Arithmetic mean; returns 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; returns 0 for slices shorter than 2.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Index of the minimum value; `None` for an empty slice, ignoring NaNs.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    a.iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .min_by(|(_, x), (_, y)| x.total_cmp(y))
+        .map(|(i, _)| i)
+}
+
+/// Index of the maximum value; `None` for an empty slice, ignoring NaNs.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    a.iter()
+        .enumerate()
+        .filter(|(_, v)| !v.is_nan())
+        .max_by(|(_, x), (_, y)| x.total_cmp(y))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&a), 5.0);
+        assert_eq!(variance(&a), 4.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn argmin_argmax_skip_nan() {
+        let a = [3.0, f64::NAN, -1.0, 5.0];
+        assert_eq!(argmin(&a), Some(2));
+        assert_eq!(argmax(&a), Some(3));
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn squared_distance_is_symmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, -2.0, 4.0];
+        assert_eq!(squared_distance(&a, &b), squared_distance(&b, &a));
+        assert_eq!(squared_distance(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Episode rollouts: grow a design until the area limit binds.
+
+use dse_fnn::{Fnn, ForwardPass};
+use dse_space::{DesignPoint, DesignSpace, Param};
+use rand::Rng;
+
+use crate::{policy, Constraint, LowFidelity};
+
+/// One decision of an episode, retained for the policy-gradient update.
+#[derive(Debug, Clone)]
+pub struct EpisodeStep {
+    /// Cached FNN activations at the decision state.
+    pub pass: ForwardPass,
+    /// Action probabilities the step was sampled from.
+    pub probs: Vec<f64>,
+    /// The chosen action (index into [`Param::ALL`]).
+    pub action: usize,
+}
+
+/// A complete episode: the decision trajectory and the terminal design.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Decisions in order.
+    pub steps: Vec<EpisodeStep>,
+    /// The design reached when no legal action remained.
+    pub final_point: DesignPoint,
+}
+
+/// Builds the legal-action mask at `point`: in-range, feasible after the
+/// step, and (when `allowed` is given) endorsed by the LF gradient.
+fn legal_mask(
+    space: &DesignSpace,
+    point: &DesignPoint,
+    constraint: &impl Constraint,
+    allowed: Option<&[Param]>,
+) -> Vec<bool> {
+    Param::ALL
+        .iter()
+        .map(|&p| {
+            if let Some(set) = allowed {
+                if !set.contains(&p) {
+                    return false;
+                }
+            }
+            match point.increased(space, p) {
+                Some(next) => constraint.fits(space, &next),
+                None => false,
+            }
+        })
+        .collect()
+}
+
+/// Rolls out one stochastic episode (§3): starting from `start`, sample
+/// one parameter to grow per step from the FNN's masked softmax until no
+/// legal action remains.
+///
+/// In the LF phase `masked` is true and only gradient-endorsed actions
+/// are legal; the HF phase passes false ("the actions in the HF phase
+/// are no longer restricted by the analytical model").
+///
+/// The CPI fed to the FNN's metric input is always the LF estimate —
+/// running the HF simulator at every intermediate step would blow the
+/// simulation budget the paper's evaluation is premised on.
+pub fn rollout(
+    fnn: &Fnn,
+    space: &DesignSpace,
+    lf: &impl LowFidelity,
+    constraint: &impl Constraint,
+    start: DesignPoint,
+    masked: bool,
+    rng: &mut impl Rng,
+) -> Episode {
+    let mut point = start;
+    let mut steps = Vec::new();
+    loop {
+        let allowed = if masked { Some(lf.beneficial_params(space, &point)) } else { None };
+        let legal = legal_mask(space, &point, constraint, allowed.as_deref());
+        if !legal.iter().any(|&l| l) {
+            break;
+        }
+        let obs = fnn.observation(space, &point, lf.cpi(space, &point));
+        let pass = fnn.forward(&obs);
+        let probs = policy::softmax_masked(&pass.scores, &legal);
+        let action = policy::sample(&probs, rng);
+        let param = Param::from_index(action).expect("action indexes Param::ALL");
+        point = point.increased(space, param).expect("legal actions are in range");
+        steps.push(EpisodeStep { pass, probs, action });
+    }
+    Episode { steps, final_point: point }
+}
+
+/// Deterministic greedy rollout ("the parameter with the highest score
+/// should increase", §2.3) — used to read off the design the trained
+/// network has converged to.
+pub fn greedy_rollout(
+    fnn: &Fnn,
+    space: &DesignSpace,
+    lf: &impl LowFidelity,
+    constraint: &impl Constraint,
+    start: DesignPoint,
+    masked: bool,
+) -> DesignPoint {
+    let mut point = start;
+    loop {
+        let allowed = if masked { Some(lf.beneficial_params(space, &point)) } else { None };
+        let legal = legal_mask(space, &point, constraint, allowed.as_deref());
+        if !legal.iter().any(|&l| l) {
+            return point;
+        }
+        let obs = fnn.observation(space, &point, lf.cpi(space, &point));
+        let pass = fnn.forward(&obs);
+        let action = policy::argmax_masked(&pass.scores, &legal);
+        let param = Param::from_index(action).expect("action indexes Param::ALL");
+        point = point.increased(space, param).expect("legal actions are in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{QuadraticLf, SumConstraint};
+    use dse_fnn::FnnBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn episodes_respect_the_constraint() {
+        let space = DesignSpace::boom();
+        let fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 12 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let ep = rollout(&fnn, &space, &lf, &constraint, space.smallest(), false, &mut rng);
+        let sum: usize = ep.final_point.indices().iter().sum();
+        assert!(sum <= 12, "constraint violated: {sum}");
+        assert_eq!(ep.steps.len(), sum, "one index bump per step");
+    }
+
+    #[test]
+    fn masked_episodes_only_take_endorsed_actions() {
+        let space = DesignSpace::boom();
+        let fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space); // endorses only the first 3 params
+        let constraint = SumConstraint { max_index_sum: 40 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let ep = rollout(&fnn, &space, &lf, &constraint, space.smallest(), true, &mut rng);
+        for (i, &idx) in ep.final_point.indices().iter().enumerate() {
+            if !QuadraticLf::ENDORSED.contains(&i) {
+                assert_eq!(idx, 0, "param {i} was grown despite not being endorsed");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_rollout_is_deterministic() {
+        let space = DesignSpace::boom();
+        let fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 10 };
+        let a = greedy_rollout(&fnn, &space, &lf, &constraint, space.smallest(), false);
+        let b = greedy_rollout(&fnn, &space, &lf, &constraint, space.smallest(), false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn episode_from_saturated_start_is_empty() {
+        let space = DesignSpace::boom();
+        let fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let ep = rollout(&fnn, &space, &lf, &constraint, space.smallest(), false, &mut rng);
+        assert!(ep.steps.is_empty());
+        assert_eq!(ep.final_point, space.smallest());
+    }
+}

@@ -1,0 +1,45 @@
+//! Fidelity and constraint abstractions.
+
+use dse_space::{DesignPoint, DesignSpace, Param};
+
+/// The cheap, differentiable evaluation proxy (the analytical model).
+///
+/// `beneficial_params` is the LF action mask of §3.1: the parameters
+/// whose next candidate step the model predicts to reduce CPI. The LF
+/// phase never takes an action outside this set.
+pub trait LowFidelity {
+    /// Estimated cycles per instruction.
+    fn cpi(&self, space: &DesignSpace, point: &DesignPoint) -> f64;
+
+    /// Parameters whose increase the model's gradient endorses.
+    fn beneficial_params(&self, space: &DesignSpace, point: &DesignPoint) -> Vec<Param>;
+
+    /// Estimated instructions per cycle.
+    fn ipc(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        1.0 / self.cpi(space, point)
+    }
+}
+
+/// The expensive, accurate evaluation proxy (the cycle-level simulator).
+///
+/// Takes `&mut self` so implementations can count invocations and cache
+/// results — the HF budget accounting in the experiments depends on it.
+pub trait HighFidelity {
+    /// Simulated cycles per instruction.
+    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64;
+
+    /// Number of *unique* simulations performed so far.
+    fn evaluations(&self) -> usize;
+}
+
+/// A feasibility constraint on designs (the area limit).
+pub trait Constraint {
+    /// Whether `point` is feasible.
+    fn fits(&self, space: &DesignSpace, point: &DesignPoint) -> bool;
+}
+
+impl<F: Fn(&DesignSpace, &DesignPoint) -> bool> Constraint for F {
+    fn fits(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
+        self(space, point)
+    }
+}

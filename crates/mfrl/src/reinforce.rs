@@ -1,0 +1,118 @@
+//! REINFORCE policy-gradient updates.
+
+use dse_fnn::{Fnn, FnnGradients};
+
+use crate::{policy, Episode};
+
+/// Learning-rate configuration for the policy-gradient update.
+///
+/// `lr_center` applies to the trainable parameter-MF centers; the paper
+/// notes these need gentler steps ("if the centers of the MFs are
+/// updated beyond the limits of the design space … the learning rate
+/// needs to be reduced").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReinforceConfig {
+    /// Learning rate for the TS consequent matrix.
+    pub lr_consequent: f64,
+    /// Learning rate for the parameter membership centers.
+    pub lr_center: f64,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        Self { lr_consequent: 0.05, lr_center: 0.005 }
+    }
+}
+
+/// Applies one REINFORCE update for a finished episode.
+///
+/// The paper assigns the episode-terminal reward to every action of the
+/// episode; the surrogate loss per step is `−R·log π(a|s)`, so
+/// `∂L/∂scores = −R·(1{a} − π)`. Per-step gradients are *summed* — every
+/// action earns the full episode reward, exactly the paper's credit
+/// assignment — and applied once at episode end.
+///
+/// Does nothing for an empty episode.
+pub fn train_on_episode(fnn: &mut Fnn, episode: &Episode, reward: f64, cfg: &ReinforceConfig) {
+    if episode.steps.is_empty() {
+        return;
+    }
+    let mut total: Option<FnnGradients> = None;
+    for step in &episode.steps {
+        let d_log = policy::d_log_prob(&step.probs, step.action);
+        let d_scores: Vec<f64> = d_log.iter().map(|g| -reward * g).collect();
+        let grads = fnn.backward(&step.pass, &d_scores);
+        match &mut total {
+            None => total = Some(grads),
+            Some(t) => t.accumulate(&grads),
+        }
+    }
+    let total = total.expect("non-empty episode produced gradients");
+    fnn.apply(&total, cfg.lr_consequent, cfg.lr_center);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{QuadraticLf, SumConstraint};
+    use crate::{rollout, EPSILON};
+    use dse_fnn::FnnBuilder;
+    use dse_space::DesignSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positive_reward_raises_chosen_action_probability() {
+        let space = DesignSpace::boom();
+        let mut fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 5 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let ep = rollout(&fnn, &space, &lf, &constraint, space.smallest(), false, &mut rng);
+        assert!(!ep.steps.is_empty());
+        let step0 = &ep.steps[0];
+        let before = step0.probs[step0.action];
+        train_on_episode(&mut fnn, &ep, 1.0, &ReinforceConfig::default());
+        // Re-evaluate the policy at the same first state.
+        let pass = fnn.forward(&obs_of(&fnn, &space, &lf));
+        let legal: Vec<bool> = step0.probs.iter().map(|&p| p > 0.0).collect();
+        let after = crate::policy::softmax_masked(&pass.scores, &legal)[step0.action];
+        assert!(after > before, "prob should rise: {before} → {after}");
+    }
+
+    #[test]
+    fn negative_reward_lowers_chosen_action_probability() {
+        let space = DesignSpace::boom();
+        let mut fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 5 };
+        let mut rng = StdRng::seed_from_u64(8);
+        let ep = rollout(&fnn, &space, &lf, &constraint, space.smallest(), false, &mut rng);
+        let step0 = &ep.steps[0];
+        let before = step0.probs[step0.action];
+        train_on_episode(&mut fnn, &ep, -1.0, &ReinforceConfig::default());
+        let pass = fnn.forward(&obs_of(&fnn, &space, &lf));
+        let legal: Vec<bool> = step0.probs.iter().map(|&p| p > 0.0).collect();
+        let after = crate::policy::softmax_masked(&pass.scores, &legal)[step0.action];
+        assert!(after < before, "prob should fall: {before} → {after}");
+    }
+
+    #[test]
+    fn empty_episode_is_a_no_op() {
+        let space = DesignSpace::boom();
+        let mut fnn = FnnBuilder::for_space(&space).build();
+        let before = fnn.clone();
+        let ep = Episode { steps: Vec::new(), final_point: space.smallest() };
+        train_on_episode(&mut fnn, &ep, EPSILON, &ReinforceConfig::default());
+        assert_eq!(fnn, before);
+    }
+
+    fn obs_of(
+        fnn: &Fnn,
+        space: &DesignSpace,
+        lf: &QuadraticLf,
+    ) -> dse_fnn::Observation {
+        use crate::LowFidelity as _;
+        fnn.observation(space, &space.smallest(), lf.cpi(space, &space.smallest()))
+    }
+}

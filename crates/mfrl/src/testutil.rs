@@ -1,0 +1,98 @@
+//! Synthetic fidelity models for unit-testing the RL machinery without
+//! the real analytical model or simulator.
+
+use std::collections::HashMap;
+
+use dse_space::{DesignPoint, DesignSpace, Param};
+
+use crate::{Constraint, HighFidelity, LowFidelity};
+
+/// A synthetic LF model with a known optimum: CPI falls linearly with
+/// the candidate indices of the endorsed parameters and rises slightly
+/// with everything else.
+#[derive(Debug, Clone)]
+pub struct QuadraticLf {
+    _space_size: u64,
+}
+
+impl QuadraticLf {
+    /// Parameter indices (into [`Param::ALL`]) this model endorses.
+    pub const ENDORSED: [usize; 3] = [0, 1, 2];
+
+    /// Creates the model for a space (shape recorded for sanity only).
+    pub fn new(space: &DesignSpace) -> Self {
+        Self { _space_size: space.size() }
+    }
+
+    fn cpi_of(point: &DesignPoint) -> f64 {
+        let idx = point.indices();
+        let good: usize = Self::ENDORSED.iter().map(|&i| idx[i]).sum();
+        let bad: usize = (0..idx.len())
+            .filter(|i| !Self::ENDORSED.contains(i))
+            .map(|i| idx[i])
+            .sum();
+        3.0 - 0.12 * good as f64 + 0.02 * bad as f64
+    }
+}
+
+impl LowFidelity for QuadraticLf {
+    fn cpi(&self, _space: &DesignSpace, point: &DesignPoint) -> f64 {
+        Self::cpi_of(point)
+    }
+
+    fn beneficial_params(&self, space: &DesignSpace, point: &DesignPoint) -> Vec<Param> {
+        Self::ENDORSED
+            .iter()
+            .filter_map(|&i| Param::from_index(i))
+            .filter(|&p| !point.is_max(space, p))
+            .collect()
+    }
+}
+
+/// A synthetic HF model that mostly agrees with [`QuadraticLf`] but also
+/// rewards parameter 3 — a benefit the LF mask hides, mirroring the
+/// paper's ROB story. Counts and caches evaluations.
+#[derive(Debug, Clone)]
+pub struct SyntheticHf {
+    cache: HashMap<u64, f64>,
+    evals: usize,
+}
+
+impl SyntheticHf {
+    /// Creates a fresh evaluator with an empty cache.
+    pub fn new(_space: &DesignSpace) -> Self {
+        Self { cache: HashMap::new(), evals: 0 }
+    }
+}
+
+impl HighFidelity for SyntheticHf {
+    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        let key = space.encode(point);
+        if let Some(&c) = self.cache.get(&key) {
+            return c;
+        }
+        self.evals += 1;
+        let idx = point.indices();
+        let cpi = QuadraticLf::cpi_of(point) - 0.10 * idx[3] as f64;
+        self.cache.insert(key, cpi);
+        cpi
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+/// A monotone stand-in for the area limit: the sum of candidate indices
+/// may not exceed `max_index_sum`.
+#[derive(Debug, Clone, Copy)]
+pub struct SumConstraint {
+    /// Maximum allowed sum of candidate indices.
+    pub max_index_sum: usize,
+}
+
+impl Constraint for SumConstraint {
+    fn fits(&self, _space: &DesignSpace, point: &DesignPoint) -> bool {
+        point.indices().iter().sum::<usize>() <= self.max_index_sum
+    }
+}

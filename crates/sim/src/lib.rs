@@ -1,0 +1,46 @@
+//! Cycle-level trace-driven out-of-order core simulator — the
+//! high-fidelity proxy.
+//!
+//! Substitutes the paper's Chipyard-generated BOOM RTL + VCS simulation.
+//! The DSE algorithms only observe the CPI of a configuration, so what
+//! this substrate must deliver is a *cycle-level* model that responds to
+//! every Table 1 parameter through the same mechanisms the RTL does:
+//!
+//! * a front end of [`CoreConfig::decode_width`], stalled by
+//!   mispredicted branches until resolution plus a refill penalty;
+//! * a reorder buffer bounding the in-flight window — unlike the
+//!   analytical model, a small ROB here fails to hide even L2 latency
+//!   (this is precisely the LF-model bias the paper discusses);
+//! * an issue queue holding dispatched-but-unissued instructions;
+//! * per-class functional units (Int/Mem/FP), fully pipelined;
+//! * a two-level set-associative cache hierarchy with LRU replacement,
+//!   where the number of MSHRs caps outstanding L1 load misses.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_sim::{CoreConfig, Simulator};
+//! use dse_space::DesignSpace;
+//! use dse_workloads::Benchmark;
+//!
+//! let space = DesignSpace::boom();
+//! let config = CoreConfig::from_point(&space, &space.largest());
+//! let trace = Benchmark::Mm.trace(20_000, 7);
+//! let result = Simulator::new(config).run(&trace);
+//! assert!(result.cpi() > 0.2, "cannot beat the dispatch bound by much");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod pipeline;
+mod predictor;
+mod result;
+
+pub use cache::Cache;
+pub use config::{CoreConfig, SimLatencies};
+pub use pipeline::Simulator;
+pub use predictor::{BranchModel, Gshare};
+pub use result::SimResult;

@@ -1,0 +1,601 @@
+//! The cycle-by-cycle out-of-order pipeline model.
+
+use std::collections::VecDeque;
+
+use dse_workloads::{Instr, Op, Trace};
+
+use crate::{BranchModel, Cache, CoreConfig, Gshare, SimResult};
+
+/// Progress guard: if nothing commits for this many cycles the pipeline
+/// has deadlocked, which is a simulator bug worth failing loudly on.
+const DEADLOCK_CYCLES: u64 = 1_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// In the issue queue, waiting for operands and a functional unit.
+    Dispatched,
+    /// Executing; completes at the stored cycle.
+    Issued { done_at: u64 },
+    /// Finished executing; awaiting in-order commit.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    trace_idx: usize,
+    op: Op,
+    addr: Option<u64>,
+    deps: [Option<u32>; 2],
+    state: State,
+}
+
+/// The cycle-level out-of-order core simulator.
+///
+/// Per simulated cycle the pipeline, in order: retires completed
+/// executions, commits up to `decode_width` instructions in order,
+/// issues ready instructions from the issue-queue window to free
+/// functional units (loads probing the cache hierarchy, gated by MSHR
+/// availability), and dispatches new instructions unless a mispredicted
+/// branch has frozen the front end.
+///
+/// A `Simulator` owns its cache state, so one instance simulates one
+/// trace; construct a fresh instance per design evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use dse_sim::{CoreConfig, Simulator};
+/// use dse_space::DesignSpace;
+/// use dse_workloads::Benchmark;
+///
+/// let space = DesignSpace::boom();
+/// let cfg = CoreConfig::from_point(&space, &space.smallest());
+/// let result = Simulator::new(cfg).run(&Benchmark::StringSearch.trace(5_000, 1));
+/// assert_eq!(result.instructions, 5_000);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: CoreConfig,
+    l1: Cache,
+    l2: Cache,
+    predictor: Option<Gshare>,
+}
+
+impl Simulator {
+    /// Creates a simulator with cold caches for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn new(config: CoreConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid core configuration: {e}");
+        }
+        let l1 = Cache::new(config.l1_sets, config.l1_ways);
+        let l2 = Cache::new(config.l2_sets, config.l2_ways);
+        let predictor = match config.branch_model {
+            BranchModel::FromTrace => None,
+            BranchModel::Gshare { history_bits, table_bits } => {
+                Some(Gshare::new(history_bits, table_bits))
+            }
+        };
+        Self { config, l1, l2, predictor }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Simulates a trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace, or if the pipeline stops making
+    /// progress (which would indicate a simulator bug).
+    pub fn run(mut self, trace: &Trace) -> SimResult {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        let cfg = self.config.clone();
+        let lat = cfg.latencies;
+
+        let mut stats = SimResult::default();
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(cfg.rob_entries);
+        // Completion cycle per trace index (u64::MAX = not yet done).
+        let mut done_at = vec![u64::MAX; trace.len()];
+        // Outstanding L1 miss completion times (MSHR occupancy).
+        let mut mshr_busy: Vec<u64> = Vec::with_capacity(cfg.mshrs);
+        // Count of dispatched-but-unissued entries (IQ occupancy).
+        let mut iq_occupancy: usize = 0;
+
+        let mut next_fetch = 0usize; // next trace index to dispatch
+        let mut committed = 0usize;
+        let mut cycle: u64 = 0;
+        let mut fetch_resume_at: u64 = 0;
+        // Trace index of an unresolved mispredicted branch blocking fetch.
+        let mut pending_flush: Option<usize> = None;
+        let mut last_commit_cycle: u64 = 0;
+
+        while committed < trace.len() {
+            cycle += 1;
+            assert!(
+                cycle - last_commit_cycle < DEADLOCK_CYCLES,
+                "pipeline deadlock at cycle {cycle} (committed {committed}/{})",
+                trace.len()
+            );
+
+            // 1. Complete executions whose latency has elapsed.
+            for entry in rob.iter_mut() {
+                if let State::Issued { done_at: t } = entry.state {
+                    if t <= cycle {
+                        entry.state = State::Done;
+                        done_at[entry.trace_idx] = t;
+                        if pending_flush == Some(entry.trace_idx) {
+                            pending_flush = None;
+                            fetch_resume_at = t + lat.flush_penalty;
+                            stats.flushes += 1;
+                        }
+                    }
+                }
+            }
+            mshr_busy.retain(|&t| t > cycle);
+
+            // 2. In-order commit, up to the machine width.
+            let mut commits = 0;
+            while commits < cfg.decode_width {
+                match rob.front() {
+                    Some(e) if e.state == State::Done => {
+                        rob.pop_front();
+                        committed += 1;
+                        commits += 1;
+                        last_commit_cycle = cycle;
+                    }
+                    _ => break,
+                }
+            }
+
+            // 3. Issue from the issue-queue window (the oldest
+            //    `iq_entries` unissued instructions), oldest first.
+            let mut int_slots = cfg.int_fus;
+            let mut mem_slots = cfg.mem_fus;
+            let mut fp_slots = cfg.fp_fus;
+            let mut window_seen = 0usize;
+            let mut mshr_blocked_load = false;
+            for entry in rob.iter_mut() {
+                if entry.state != State::Dispatched {
+                    continue;
+                }
+                window_seen += 1;
+                if window_seen > cfg.iq_entries {
+                    break;
+                }
+                let idx = entry.trace_idx;
+                let ready = entry.deps.iter().flatten().all(|&d| {
+                    let producer = idx - d as usize;
+                    done_at[producer] <= cycle
+                });
+                if !ready {
+                    continue;
+                }
+                match entry.op {
+                    Op::IntAlu | Op::IntMul | Op::Branch => {
+                        if int_slots == 0 {
+                            continue;
+                        }
+                        int_slots -= 1;
+                        let l = match entry.op {
+                            Op::IntMul => lat.int_mul,
+                            _ => lat.int_alu,
+                        };
+                        entry.state = State::Issued { done_at: cycle + l };
+                    }
+                    Op::FpAlu => {
+                        if fp_slots == 0 {
+                            continue;
+                        }
+                        fp_slots -= 1;
+                        entry.state = State::Issued { done_at: cycle + lat.fp };
+                    }
+                    Op::Load => {
+                        if mem_slots == 0 {
+                            continue;
+                        }
+                        // A load needs a free MSHR in case it misses; if
+                        // none is free it must wait (BOOM blocks the
+                        // pipe the same way).
+                        if mshr_busy.len() >= cfg.mshrs {
+                            mshr_blocked_load = true;
+                            continue;
+                        }
+                        mem_slots -= 1;
+                        let addr = entry.addr.expect("loads carry addresses");
+                        stats.l1_accesses += 1;
+                        let latency = if self.l1.access(addr) {
+                            lat.l1_hit
+                        } else {
+                            stats.l1_misses += 1;
+                            stats.l2_accesses += 1;
+                            let t = if self.l2.access(addr) {
+                                lat.l1_hit + lat.l2_hit
+                            } else {
+                                stats.l2_misses += 1;
+                                if cfg.l2_next_line_prefetch {
+                                    // Idealized next-line prefetch: the
+                                    // following line is resident by the
+                                    // time a streaming access wants it.
+                                    self.l2.access(addr + crate::cache::LINE_BYTES);
+                                    stats.prefetches += 1;
+                                }
+                                lat.l1_hit + lat.l2_hit + lat.dram
+                            };
+                            mshr_busy.push(cycle + t);
+                            t
+                        };
+                        entry.state = State::Issued { done_at: cycle + latency };
+                    }
+                    Op::Store => {
+                        if mem_slots == 0 {
+                            continue;
+                        }
+                        mem_slots -= 1;
+                        // Stores retire into a store buffer: they update
+                        // the cache state but never stall the pipeline.
+                        let addr = entry.addr.expect("stores carry addresses");
+                        stats.l1_accesses += 1;
+                        if !self.l1.access(addr) {
+                            stats.l1_misses += 1;
+                            stats.l2_accesses += 1;
+                            if !self.l2.access(addr) {
+                                stats.l2_misses += 1;
+                            }
+                        }
+                        entry.state = State::Issued { done_at: cycle + 1 };
+                    }
+                }
+                if matches!(entry.state, State::Issued { .. }) {
+                    iq_occupancy -= 1;
+                }
+            }
+            if mshr_blocked_load {
+                stats.mshr_stall_cycles += 1;
+            }
+
+            // 4. Dispatch new instructions unless the front end is
+            //    frozen by an unresolved mispredict or refilling after a
+            //    flush.
+            if pending_flush.is_none() && cycle >= fetch_resume_at {
+                let mut dispatched = 0;
+                while dispatched < cfg.decode_width
+                    && next_fetch < trace.len()
+                    && rob.len() < cfg.rob_entries
+                    && iq_occupancy < cfg.iq_entries
+                {
+                    let instr: &Instr = &trace[next_fetch];
+                    rob.push_back(RobEntry {
+                        trace_idx: next_fetch,
+                        op: instr.op,
+                        addr: instr.addr,
+                        deps: instr.deps,
+                        state: State::Dispatched,
+                    });
+                    iq_occupancy += 1;
+                    // Resolve the prediction at fetch: either the trace
+                    // oracle or the live gshare predictor.
+                    let was_mispredict = match (&mut self.predictor, instr.branch) {
+                        (Some(p), Some(info)) => p.mispredicts(&info),
+                        (None, Some(info)) => info.mispredicted,
+                        _ => false,
+                    };
+                    next_fetch += 1;
+                    dispatched += 1;
+                    if was_mispredict {
+                        pending_flush = Some(next_fetch - 1);
+                        break;
+                    }
+                }
+            }
+        }
+
+        stats.cycles = cycle;
+        stats.instructions = committed as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_space::{DesignSpace, Param};
+    use dse_workloads::Benchmark;
+
+    fn config_at(point_code: u64) -> CoreConfig {
+        let space = DesignSpace::boom();
+        CoreConfig::from_point(&space, &space.decode(point_code))
+    }
+
+    fn smallest() -> CoreConfig {
+        let space = DesignSpace::boom();
+        CoreConfig::from_point(&space, &space.smallest())
+    }
+
+    fn largest() -> CoreConfig {
+        let space = DesignSpace::boom();
+        CoreConfig::from_point(&space, &space.largest())
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_the_dispatch_bound() {
+        // A pure stream of independent 1-cycle integer ops on a wide
+        // machine should approach CPI = 1/width.
+        let trace: Trace = (0..10_000).map(|_| Instr::nop()).collect();
+        let cfg = largest();
+        let width = cfg.decode_width as f64;
+        let r = Simulator::new(cfg).run(&trace);
+        let cpi = r.cpi();
+        assert!(cpi < 1.05 / width + 0.05, "cpi {cpi} vs ideal {}", 1.0 / width);
+    }
+
+    #[test]
+    fn serial_dependency_chain_forces_cpi_of_one() {
+        // Every op depends on its predecessor: no machine can beat CPI 1
+        // with 1-cycle ALUs.
+        let trace: Trace = (0..5_000)
+            .map(|i| Instr {
+                op: Op::IntAlu,
+                deps: [if i > 0 { Some(1) } else { None }, None],
+                addr: None,
+                branch: None,
+            })
+            .collect();
+        let r = Simulator::new(largest()).run(&trace);
+        assert!(r.cpi() >= 1.0, "cpi {} beats the dataflow bound", r.cpi());
+        assert!(r.cpi() < 1.3, "cpi {} too far above the dataflow bound", r.cpi());
+    }
+
+    #[test]
+    fn wider_decode_helps_parallel_code() {
+        let trace: Trace = (0..20_000).map(|_| Instr::nop()).collect();
+        let narrow = Simulator::new(smallest()).run(&trace).cpi();
+        let wide = Simulator::new(largest()).run(&trace).cpi();
+        assert!(wide < narrow / 2.0, "narrow {narrow} wide {wide}");
+    }
+
+    #[test]
+    fn cache_misses_slow_execution() {
+        // Random loads over 1 MiB vs over 1 KiB.
+        let mk = |span: u64| -> Trace {
+            (0..5_000u64)
+                .map(|i| Instr {
+                    op: Op::Load,
+                    deps: [None, None],
+                    addr: Some((i.wrapping_mul(0x9E3779B97F4A7C15) % (span / 8)) * 8),
+                    branch: None,
+                })
+                .collect()
+        };
+        let hot = Simulator::new(smallest()).run(&mk(1024));
+        let cold = Simulator::new(smallest()).run(&mk(1 << 20));
+        assert!(cold.cpi() > 2.0 * hot.cpi(), "hot {} cold {}", hot.cpi(), cold.cpi());
+        assert!(cold.l1_miss_rate() > hot.l1_miss_rate());
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        let mk = |mispredict: bool| -> Trace {
+            (0..10_000)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Instr::branch(1, true, mispredict && i % 10 == 0)
+                    } else {
+                        Instr::nop()
+                    }
+                })
+                .collect()
+        };
+        let clean = Simulator::new(smallest()).run(&mk(false));
+        let flushy = Simulator::new(smallest()).run(&mk(true));
+        assert!(flushy.cpi() > clean.cpi());
+        assert!(flushy.flushes > 0);
+        assert_eq!(clean.flushes, 0);
+    }
+
+    #[test]
+    fn rob_size_matters_under_memory_latency() {
+        // Unlike the analytical model, the cycle-level core needs ROB
+        // entries to hide L2-and-beyond latency behind independent work.
+        let space = DesignSpace::boom();
+        let mut small_rob = space.largest();
+        while let Some(next) = small_rob.decreased(Param::RobEntry) {
+            small_rob = next;
+        }
+        let trace = Benchmark::Dijkstra.trace(30_000, 3);
+        let big = Simulator::new(CoreConfig::from_point(&space, &space.largest())).run(&trace);
+        let small =
+            Simulator::new(CoreConfig::from_point(&space, &small_rob)).run(&trace);
+        assert!(
+            small.cpi() > big.cpi() * 1.02,
+            "shrinking ROB 160→32 should hurt: big {} small {}",
+            big.cpi(),
+            small.cpi()
+        );
+    }
+
+    #[test]
+    fn mshrs_matter_for_streaming_workloads() {
+        let space = DesignSpace::boom();
+        let mut few_mshr = space.largest();
+        while let Some(next) = few_mshr.decreased(Param::NMshr) {
+            few_mshr = next;
+        }
+        let trace = Benchmark::FpVvadd.trace(30_000, 5);
+        let many = Simulator::new(CoreConfig::from_point(&space, &space.largest())).run(&trace);
+        let few = Simulator::new(CoreConfig::from_point(&space, &few_mshr)).run(&trace);
+        assert!(
+            few.cpi() > many.cpi(),
+            "2 MSHRs should throttle vvadd: many {} few {}",
+            many.cpi(),
+            few.cpi()
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let trace = Benchmark::Quicksort.trace(10_000, 9);
+        let a = Simulator::new(config_at(777)).run(&trace);
+        let b = Simulator::new(config_at(777)).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn commits_every_instruction_once() {
+        for b in Benchmark::ALL {
+            let trace = b.trace(5_000, 13);
+            let r = Simulator::new(config_at(1_999_999)).run(&trace);
+            assert_eq!(r.instructions, 5_000, "{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = Simulator::new(smallest()).run(&Vec::new());
+    }
+
+    mod fuzz {
+        //! Property-based stress tests: arbitrary (but structurally
+        //! valid) traces must never wedge the pipeline or break its
+        //! accounting, on any corner of the design space.
+        use super::*;
+        use proptest::prelude::*;
+
+        prop_compose! {
+            /// An arbitrary valid instruction at position `i`.
+            fn arb_instr(i: usize)(
+                kind in 0u8..6,
+                d1 in proptest::option::of(1u32..64),
+                d2 in proptest::option::of(1u32..64),
+                addr in 0u64..(1 << 22),
+                site in 0u16..64,
+                taken in proptest::bool::ANY,
+                mispredicted in proptest::bool::weighted(0.2),
+            ) -> Instr {
+                let op = match kind {
+                    0 => Op::IntAlu,
+                    1 => Op::IntMul,
+                    2 => Op::Load,
+                    3 => Op::Store,
+                    4 => Op::FpAlu,
+                    _ => Op::Branch,
+                };
+                let clamp = |d: Option<u32>| d.map(|d| d.min(i as u32)).filter(|&d| d > 0);
+                Instr {
+                    op,
+                    deps: [clamp(d1), clamp(d2)],
+                    addr: matches!(op, Op::Load | Op::Store).then_some(addr & !7),
+                    branch: (op == Op::Branch).then_some(dse_workloads::BranchInfo {
+                        site,
+                        taken,
+                        mispredicted,
+                    }),
+                }
+            }
+        }
+
+        fn arb_trace(len: usize) -> impl Strategy<Value = Trace> {
+            (0..len).map(arb_instr).collect::<Vec<_>>()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn any_trace_terminates_with_consistent_accounting(
+                trace in arb_trace(600),
+                code in 0u64..3_000_000,
+                gshare in proptest::bool::ANY,
+                prefetch in proptest::bool::ANY,
+            ) {
+                prop_assume!(!trace.is_empty());
+                let space = DesignSpace::boom();
+                let mut cfg = CoreConfig::from_point(&space, &space.decode(code));
+                if gshare {
+                    cfg.branch_model =
+                        crate::BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+                }
+                cfg.l2_next_line_prefetch = prefetch;
+                let width = cfg.decode_width as u64;
+                let r = Simulator::new(cfg).run(&trace);
+                // Every instruction commits exactly once.
+                prop_assert_eq!(r.instructions, trace.len() as u64);
+                // The machine cannot beat its own dispatch width.
+                prop_assert!(r.cycles * width >= r.instructions);
+                // Cache accounting is hierarchical.
+                prop_assert!(r.l1_misses <= r.l1_accesses);
+                prop_assert_eq!(r.l2_accesses, r.l1_misses);
+                prop_assert!(r.l2_misses <= r.l2_accesses);
+                // Flushes can't exceed the number of branches.
+                let branches = trace.iter().filter(|i| i.op == Op::Branch).count() as u64;
+                prop_assert!(r.flushes <= branches);
+            }
+        }
+    }
+
+    #[test]
+    fn gshare_model_is_calibrated_to_the_oracle_rate() {
+        // The trace generator calibrates branch-outcome entropy so a
+        // learned predictor's miss rate lands near the profile's
+        // misprediction rate — the two front-end models must agree to
+        // within a factor of two on a branchy workload.
+        let trace = Benchmark::Quicksort.trace(20_000, 7);
+        let oracle = Simulator::new(smallest()).run(&trace);
+        let mut cfg = smallest();
+        cfg.branch_model = crate::BranchModel::Gshare { history_bits: 4, table_bits: 12 };
+        let gshare = Simulator::new(cfg).run(&trace);
+        assert!(gshare.flushes > 0, "some branches must still mispredict");
+        let ratio = gshare.flushes as f64 / oracle.flushes as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "gshare ({}) vs oracle ({}) flushes diverge by {ratio:.2}x",
+            gshare.flushes,
+            oracle.flushes
+        );
+    }
+
+    #[test]
+    fn next_line_prefetch_helps_streaming_loads() {
+        // A pure streaming load pattern: every line is touched in order,
+        // so the next-line prefetcher converts most L2 misses into hits.
+        let trace: Trace = (0..8_000u64)
+            .map(|i| Instr {
+                op: Op::Load,
+                deps: [None, None],
+                addr: Some(i * 64),
+                branch: None,
+            })
+            .collect();
+        let plain = Simulator::new(smallest()).run(&trace);
+        let mut cfg = smallest();
+        cfg.l2_next_line_prefetch = true;
+        let prefetched = Simulator::new(cfg).run(&trace);
+        assert!(prefetched.prefetches > 0);
+        assert_eq!(plain.prefetches, 0);
+        // Miss-triggered degree-1 next-line prefetching converts every
+        // other miss of a pure stream: expect ~50%.
+        assert!(
+            prefetched.l2_misses <= plain.l2_misses / 2 + 1,
+            "prefetching should halve streaming L2 misses: {} vs {}",
+            prefetched.l2_misses,
+            plain.l2_misses
+        );
+        assert!(prefetched.cpi() < plain.cpi());
+    }
+
+    #[test]
+    fn gshare_model_is_deterministic() {
+        let trace = Benchmark::StringSearch.trace(5_000, 2);
+        let mut cfg = smallest();
+        cfg.branch_model = crate::BranchModel::Gshare { history_bits: 8, table_bits: 10 };
+        let a = Simulator::new(cfg.clone()).run(&trace);
+        let b = Simulator::new(cfg).run(&trace);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Branch predictors for the simulated front end.
+
+use dse_workloads::BranchInfo;
+
+/// How the simulated front end decides branch mispredictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchModel {
+    /// Trust the trace's precomputed oracle flag (the profile-rate
+    /// Bernoulli) — the default, matching the paper's setup where the
+    /// misprediction rate is a workload characteristic.
+    #[default]
+    FromTrace,
+    /// Run a gshare predictor over the trace's branch sites and actual
+    /// outcomes, so the misprediction rate becomes a simulated property.
+    Gshare {
+        /// Global-history length in bits (≤ 16).
+        history_bits: u8,
+        /// log2 of the pattern-history-table size (≤ 16).
+        table_bits: u8,
+    },
+}
+
+/// A gshare predictor: global history XOR branch site indexes a table of
+/// 2-bit saturating counters.
+///
+/// # Examples
+///
+/// ```
+/// use dse_sim::Gshare;
+///
+/// let mut p = Gshare::new(8, 10);
+/// // A heavily-biased branch becomes predictable after warm-up.
+/// for _ in 0..16 {
+///     p.predict_and_update(3, true);
+/// }
+/// assert!(!p.predict_and_update(3, true), "warm branch predicts correctly");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u16,
+    history_mask: u16,
+    index_mask: usize,
+}
+
+impl Gshare {
+    /// Creates a predictor with the given history length and table size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size exceeds 16 bits.
+    pub fn new(history_bits: u8, table_bits: u8) -> Self {
+        assert!(history_bits <= 16, "history too long");
+        assert!(table_bits <= 16, "table too large");
+        Self {
+            table: vec![1u8; 1 << table_bits], // weakly not-taken
+            history: 0,
+            history_mask: ((1u32 << history_bits) - 1) as u16,
+            index_mask: (1usize << table_bits) - 1,
+        }
+    }
+
+    /// Predicts branch `site`, observes the actual `taken` outcome,
+    /// updates the counters/history, and returns whether the prediction
+    /// was *wrong* (a misprediction).
+    pub fn predict_and_update(&mut self, site: u16, taken: bool) -> bool {
+        let index = ((site as usize) ^ (self.history as usize)) & self.index_mask;
+        let counter = &mut self.table[index];
+        let predicted_taken = *counter >= 2;
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u16) & self.history_mask;
+        predicted_taken != taken
+    }
+
+    /// Resolves one dynamic branch under this predictor.
+    pub fn mispredicts(&mut self, info: &BranchInfo) -> bool {
+        self.predict_and_update(info.site, info.taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workloads::Benchmark;
+
+    #[test]
+    fn biased_branch_becomes_predictable() {
+        let mut p = Gshare::new(8, 10);
+        let mut late_misses = 0;
+        for i in 0..200 {
+            let miss = p.predict_and_update(5, true);
+            if i >= 50 && miss {
+                late_misses += 1;
+            }
+        }
+        assert_eq!(late_misses, 0, "an always-taken branch must be learned");
+    }
+
+    #[test]
+    fn alternating_pattern_is_learned_through_history() {
+        // T,N,T,N… defeats a counter but not history-indexed counters.
+        let mut p = Gshare::new(8, 12);
+        let mut late_misses = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let miss = p.predict_and_update(9, taken);
+            if i >= 100 && miss {
+                late_misses += 1;
+            }
+        }
+        assert!(late_misses <= 4, "history should capture the alternation: {late_misses}");
+    }
+
+    #[test]
+    fn random_branches_mispredict_about_half_the_time() {
+        let mut p = Gshare::new(8, 10);
+        let mut misses = 0;
+        let mut state = 0x1234_5678_u64;
+        let n = 10_000;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (state >> 60) & 1 == 1;
+            misses += p.predict_and_update(2, taken) as u32;
+        }
+        let rate = misses as f64 / n as f64;
+        assert!((0.4..0.6).contains(&rate), "random outcomes gave rate {rate}");
+    }
+
+    #[test]
+    fn benchmark_traces_are_substantially_predictable() {
+        // The trace generator's mostly-loopy branch sites must let
+        // gshare do far better than a coin flip.
+        for b in [Benchmark::StringSearch, Benchmark::Quicksort] {
+            let trace = b.trace(30_000, 3);
+            let mut p = Gshare::new(4, 12);
+            let (mut branches, mut misses) = (0u32, 0u32);
+            for instr in &trace {
+                if let Some(info) = instr.branch {
+                    branches += 1;
+                    misses += p.mispredicts(&info) as u32;
+                }
+            }
+            let rate = misses as f64 / branches as f64;
+            assert!(rate < 0.25, "{b}: gshare mispredict rate {rate} too high");
+            assert!(rate > 0.01, "{b}: rate {rate} implausibly perfect");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "table too large")]
+    fn oversized_table_rejected() {
+        let _ = Gshare::new(8, 20);
+    }
+}

@@ -1,0 +1,90 @@
+//! Simulation statistics.
+
+/// Statistics of one simulated trace.
+///
+/// `cpi()` is the quantity the DSE loop optimizes; the remaining
+/// counters exist for debugging and for validating that the simulator
+/// responds to the design parameters through the intended mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimResult {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// L1 data-cache accesses.
+    pub l1_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 accesses (= L1 misses that probed the L2).
+    pub l2_accesses: u64,
+    /// L2 misses (went to DRAM).
+    pub l2_misses: u64,
+    /// Resolved mispredicted branches (front-end flushes).
+    pub flushes: u64,
+    /// Cycles in which a ready load could not issue because all MSHRs
+    /// were busy.
+    pub mshr_stall_cycles: u64,
+    /// Next-line prefetches issued by the L2 (0 unless the prefetcher
+    /// is enabled).
+    pub prefetches: u64,
+}
+
+impl SimResult {
+    /// Cycles per committed instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instructions were committed.
+    pub fn cpi(&self) -> f64 {
+        assert!(self.instructions > 0, "no instructions committed");
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Instructions per cycle (1 / CPI).
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi()
+    }
+
+    /// L1 miss rate over L1 accesses (0 if never accessed).
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 miss rate over L2 accesses (0 if never accessed).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_and_ipc_are_reciprocal() {
+        let r = SimResult { cycles: 150, instructions: 100, ..Default::default() };
+        assert!((r.cpi() - 1.5).abs() < 1e-12);
+        assert!((r.cpi() * r.ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rates_handle_zero_accesses() {
+        let r = SimResult { cycles: 1, instructions: 1, ..Default::default() };
+        assert_eq!(r.l1_miss_rate(), 0.0);
+        assert_eq!(r.l2_miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no instructions committed")]
+    fn cpi_panics_without_instructions() {
+        let _ = SimResult::default().cpi();
+    }
+}

@@ -1,0 +1,43 @@
+//! The micro-architecture design space of the paper's Table 1.
+//!
+//! Eleven BOOM-style design parameters — L1/L2 cache geometry, MSHRs,
+//! decode width, ROB size, functional-unit counts and issue-queue size —
+//! each with a small candidate list, spanning 3 million configurations.
+//!
+//! The crate provides:
+//!
+//! * [`Param`] — the eleven typed design parameters;
+//! * [`DesignSpace`] — candidate values per parameter (the paper's
+//!   Table 1 via [`DesignSpace::boom`], or custom spaces for the
+//!   "concentrate on the higher range" workflow of §2.3);
+//! * [`DesignPoint`] — a concrete configuration, stored as per-parameter
+//!   candidate indices with encode/decode, stepping and feature-vector
+//!   helpers;
+//! * [`MergedParam`] — the six merged antecedent groups (§2.3: "merge
+//!   cache set and way as cache size") the fuzzy network conditions on.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_space::{DesignSpace, Param};
+//!
+//! let space = DesignSpace::boom();
+//! assert_eq!(space.size(), 3_000_000);
+//! let mut point = space.smallest();
+//! assert_eq!(point.value(&space, Param::DecodeWidth), 1.0);
+//! point = point.increased(&space, Param::DecodeWidth).expect("not at max");
+//! assert_eq!(point.value(&space, Param::DecodeWidth), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod merged;
+mod param;
+mod point;
+mod space;
+
+pub use merged::MergedParam;
+pub use param::Param;
+pub use point::DesignPoint;
+pub use space::DesignSpace;

@@ -1,0 +1,194 @@
+//! Merged antecedent groups for the fuzzy network.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DesignPoint, DesignSpace, Param};
+
+/// Cache line size assumed when converting cache geometry to capacity.
+pub const CACHE_LINE_BYTES: f64 = 64.0;
+
+/// A merged design-parameter group used as an FNN antecedent.
+///
+/// §2.3 of the paper: *"to enhance efficiency and facilitate inspection,
+/// we can merge related design parameters, e.g., merge cache set and way
+/// as cache size"*. The rule examples in §4.3 condition on exactly these
+/// six groups (L1, L2, decode, ROB, FU, IQ), which keeps the rule count
+/// at 3 · 2⁶ = 192 instead of 3 · 2¹¹.
+///
+/// # Examples
+///
+/// ```
+/// use dse_space::{DesignSpace, MergedParam};
+///
+/// let space = DesignSpace::boom();
+/// let small = space.smallest();
+/// // 16 sets × 2 ways × 64 B = 2 KiB
+/// assert_eq!(MergedParam::L1Size.value(&space, &small), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MergedParam {
+    /// L1 data-cache capacity in KiB (sets × ways × 64 B).
+    L1Size,
+    /// L2 cache capacity in KiB (sets × ways × 64 B).
+    L2Size,
+    /// Decode width (unmerged).
+    Decode,
+    /// ROB entries (unmerged).
+    Rob,
+    /// Total functional units (Mem + Int + FP).
+    Fu,
+    /// Issue-queue entries (unmerged).
+    Iq,
+}
+
+impl MergedParam {
+    /// All merged groups in canonical order.
+    pub const ALL: [MergedParam; 6] = [
+        MergedParam::L1Size,
+        MergedParam::L2Size,
+        MergedParam::Decode,
+        MergedParam::Rob,
+        MergedParam::Fu,
+        MergedParam::Iq,
+    ];
+
+    /// Number of merged groups.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Canonical index in [`MergedParam::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The raw [`Param`]s folded into this group.
+    pub fn members(self) -> &'static [Param] {
+        match self {
+            MergedParam::L1Size => &[Param::L1CacheSet, Param::L1CacheWay],
+            MergedParam::L2Size => &[Param::L2CacheSet, Param::L2CacheWay],
+            MergedParam::Decode => &[Param::DecodeWidth],
+            MergedParam::Rob => &[Param::RobEntry],
+            MergedParam::Fu => &[Param::MemFu, Param::IntFu, Param::FpFu],
+            MergedParam::Iq => &[Param::IssueQueueEntry],
+        }
+    }
+
+    /// The merged group a raw parameter belongs to, if any (nMSHR is not
+    /// part of any antecedent group, matching the paper's rule examples).
+    pub fn containing(p: Param) -> Option<MergedParam> {
+        MergedParam::ALL.into_iter().find(|g| g.members().contains(&p))
+    }
+
+    /// The merged value of this group at a design point.
+    ///
+    /// Cache groups report capacity in KiB; the FU group reports the
+    /// total unit count; pass-through groups report the raw value.
+    pub fn value(self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        match self {
+            MergedParam::L1Size => {
+                point.value(space, Param::L1CacheSet)
+                    * point.value(space, Param::L1CacheWay)
+                    * CACHE_LINE_BYTES
+                    / 1024.0
+            }
+            MergedParam::L2Size => {
+                point.value(space, Param::L2CacheSet)
+                    * point.value(space, Param::L2CacheWay)
+                    * CACHE_LINE_BYTES
+                    / 1024.0
+            }
+            MergedParam::Decode => point.value(space, Param::DecodeWidth),
+            MergedParam::Rob => point.value(space, Param::RobEntry),
+            MergedParam::Fu => {
+                point.value(space, Param::MemFu)
+                    + point.value(space, Param::IntFu)
+                    + point.value(space, Param::FpFu)
+            }
+            MergedParam::Iq => point.value(space, Param::IssueQueueEntry),
+        }
+    }
+
+    /// The smallest and largest merged values over the whole space, used
+    /// to place default membership-function centers.
+    pub fn range(self, space: &DesignSpace) -> (f64, f64) {
+        (self.value(space, &space.smallest()), self.value(space, &space.largest()))
+    }
+
+    /// Terse identifier used in extracted rules, matching §4.3's wording.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            MergedParam::L1Size => "L1",
+            MergedParam::L2Size => "L2",
+            MergedParam::Decode => "decode",
+            MergedParam::Rob => "ROB",
+            MergedParam::Fu => "FU",
+            MergedParam::Iq => "IQ",
+        }
+    }
+}
+
+impl fmt::Display for MergedParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn members_cover_ten_of_eleven_params() {
+        let covered: usize = MergedParam::ALL.iter().map(|g| g.members().len()).sum();
+        assert_eq!(covered, Param::COUNT - 1); // all but nMSHR
+        assert_eq!(MergedParam::containing(Param::NMshr), None);
+        assert_eq!(MergedParam::containing(Param::L1CacheWay), Some(MergedParam::L1Size));
+        assert_eq!(MergedParam::containing(Param::IntFu), Some(MergedParam::Fu));
+    }
+
+    #[test]
+    fn cache_sizes_in_kib() {
+        let space = DesignSpace::boom();
+        let largest = space.largest();
+        // 64 sets × 16 ways × 64 B = 64 KiB
+        assert_eq!(MergedParam::L1Size.value(&space, &largest), 64.0);
+        // 2048 sets × 16 ways × 64 B = 2048 KiB
+        assert_eq!(MergedParam::L2Size.value(&space, &largest), 2048.0);
+    }
+
+    #[test]
+    fn fu_counts_sum() {
+        let space = DesignSpace::boom();
+        assert_eq!(MergedParam::Fu.value(&space, &space.smallest()), 3.0);
+        assert_eq!(MergedParam::Fu.value(&space, &space.largest()), 9.0);
+    }
+
+    #[test]
+    fn range_is_ordered() {
+        let space = DesignSpace::boom();
+        for g in MergedParam::ALL {
+            let (lo, hi) = g.range(&space);
+            assert!(lo < hi, "{g} range degenerate: {lo}..{hi}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn merged_values_monotone_in_members(code in 0u64..3_000_000) {
+            // Increasing any member parameter must not decrease its
+            // group's merged value.
+            let space = DesignSpace::boom();
+            let point = space.decode(code);
+            for g in MergedParam::ALL {
+                let base = g.value(&space, &point);
+                for &m in g.members() {
+                    if let Some(up) = point.increased(&space, m) {
+                        prop_assert!(g.value(&space, &up) > base);
+                    }
+                }
+            }
+        }
+    }
+}

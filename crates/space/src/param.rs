@@ -1,0 +1,147 @@
+//! The eleven design parameters of Table 1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A tunable micro-architecture parameter (Table 1 of the paper).
+///
+/// The discriminant order is the canonical parameter order used for
+/// design-point indices, FNN output scores and analytical-model
+/// gradients throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use dse_space::Param;
+///
+/// assert_eq!(Param::ALL.len(), 11);
+/// assert_eq!(Param::DecodeWidth.index(), 5);
+/// assert_eq!(Param::from_index(5), Some(Param::DecodeWidth));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Param {
+    /// Number of sets in the L1 data cache.
+    L1CacheSet,
+    /// Associativity of the L1 data cache.
+    L1CacheWay,
+    /// Number of sets in the unified L2 cache.
+    L2CacheSet,
+    /// Associativity of the unified L2 cache.
+    L2CacheWay,
+    /// Miss-status holding registers (outstanding-miss parallelism).
+    NMshr,
+    /// Front-end decode width.
+    DecodeWidth,
+    /// Reorder-buffer entries.
+    RobEntry,
+    /// Memory (load/store) functional units.
+    MemFu,
+    /// Integer ALUs.
+    IntFu,
+    /// Floating-point units.
+    FpFu,
+    /// Issue-queue entries.
+    IssueQueueEntry,
+}
+
+impl Param {
+    /// All parameters in canonical (Table 1) order.
+    pub const ALL: [Param; 11] = [
+        Param::L1CacheSet,
+        Param::L1CacheWay,
+        Param::L2CacheSet,
+        Param::L2CacheWay,
+        Param::NMshr,
+        Param::DecodeWidth,
+        Param::RobEntry,
+        Param::MemFu,
+        Param::IntFu,
+        Param::FpFu,
+        Param::IssueQueueEntry,
+    ];
+
+    /// Number of parameters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Canonical index of this parameter in [`Param::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Param::index`]; `None` if out of range.
+    pub fn from_index(i: usize) -> Option<Param> {
+        Param::ALL.get(i).copied()
+    }
+
+    /// Human-readable name, matching Table 1's wording.
+    pub fn name(self) -> &'static str {
+        match self {
+            Param::L1CacheSet => "L1 Cache Set",
+            Param::L1CacheWay => "L1 Cache Way",
+            Param::L2CacheSet => "L2 Cache Set",
+            Param::L2CacheWay => "L2 Cache Way",
+            Param::NMshr => "nMSHR",
+            Param::DecodeWidth => "Decode Width",
+            Param::RobEntry => "ROB Entry",
+            Param::MemFu => "Mem FU",
+            Param::IntFu => "Int FU",
+            Param::FpFu => "FP FU",
+            Param::IssueQueueEntry => "Issue Queue Entry",
+        }
+    }
+
+    /// Terse identifier used in extracted rules and logs.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Param::L1CacheSet => "l1set",
+            Param::L1CacheWay => "l1way",
+            Param::L2CacheSet => "l2set",
+            Param::L2CacheWay => "l2way",
+            Param::NMshr => "mshr",
+            Param::DecodeWidth => "decode",
+            Param::RobEntry => "rob",
+            Param::MemFu => "memfu",
+            Param::IntFu => "intfu",
+            Param::FpFu => "fpfu",
+            Param::IssueQueueEntry => "iq",
+        }
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for p in Param::ALL {
+            assert_eq!(Param::from_index(p.index()), Some(p));
+        }
+        assert_eq!(Param::from_index(11), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Param::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Param::COUNT);
+        let mut shorts: Vec<_> = Param::ALL.iter().map(|p| p.short_name()).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), Param::COUNT);
+    }
+
+    #[test]
+    fn display_matches_table1() {
+        assert_eq!(Param::NMshr.to_string(), "nMSHR");
+        assert_eq!(Param::IssueQueueEntry.to_string(), "Issue Queue Entry");
+    }
+}

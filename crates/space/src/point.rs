@@ -1,0 +1,197 @@
+//! A concrete design configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DesignSpace, Param};
+
+/// A design point: one candidate index per [`Param`].
+///
+/// Points are stored as indices rather than raw values so that "increase
+/// parameter by 1" — the only action of the paper's RL formulation — is a
+/// single index bump regardless of the candidate spacing (e.g. ROB steps
+/// of 32, L2 sets doubling).
+///
+/// A point is tied to a [`DesignSpace`] only through the methods that
+/// take one; the indices themselves are space-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use dse_space::{DesignSpace, Param};
+///
+/// let space = DesignSpace::boom();
+/// let p = space.smallest()
+///     .increased(&space, Param::IntFu).expect("int fu has headroom")
+///     .increased(&space, Param::IntFu).expect("int fu has headroom");
+/// assert_eq!(p.value(&space, Param::IntFu), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignPoint {
+    idx: Vec<usize>,
+}
+
+impl DesignPoint {
+    /// Builds a point from per-parameter candidate indices in
+    /// [`Param::ALL`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != Param::COUNT`.
+    pub fn from_indices(idx: Vec<usize>) -> Self {
+        assert_eq!(idx.len(), Param::COUNT, "need one index per parameter");
+        Self { idx }
+    }
+
+    /// The candidate indices, in [`Param::ALL`] order.
+    pub fn indices(&self) -> &[usize] {
+        &self.idx
+    }
+
+    /// Candidate index of one parameter.
+    pub fn index_of(&self, p: Param) -> usize {
+        self.idx[p.index()]
+    }
+
+    /// The concrete value of a parameter under `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored index is out of range for `space` (the point
+    /// came from a different space).
+    pub fn value(&self, space: &DesignSpace, p: Param) -> f64 {
+        space.candidates(p)[self.idx[p.index()]]
+    }
+
+    /// All eleven concrete values in [`Param::ALL`] order.
+    pub fn values(&self, space: &DesignSpace) -> Vec<f64> {
+        Param::ALL.iter().map(|&p| self.value(space, p)).collect()
+    }
+
+    /// Values rescaled to `[0, 1]` by candidate rank — the feature
+    /// encoding consumed by the surrogate-model baselines.
+    pub fn feature_vector(&self, space: &DesignSpace) -> Vec<f64> {
+        Param::ALL
+            .iter()
+            .map(|&p| {
+                let n = space.cardinality(p);
+                if n <= 1 {
+                    0.0
+                } else {
+                    self.idx[p.index()] as f64 / (n - 1) as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Returns the point with `p` bumped to its next candidate, or `None`
+    /// if `p` is already at its maximum in `space`.
+    pub fn increased(&self, space: &DesignSpace, p: Param) -> Option<DesignPoint> {
+        let i = p.index();
+        if self.idx[i] + 1 < space.cardinality(p) {
+            let mut idx = self.idx.clone();
+            idx[i] += 1;
+            Some(DesignPoint { idx })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the point with `p` dropped to its previous candidate, or
+    /// `None` if `p` is already at its minimum.
+    pub fn decreased(&self, p: Param) -> Option<DesignPoint> {
+        let i = p.index();
+        if self.idx[i] > 0 {
+            let mut idx = self.idx.clone();
+            idx[i] -= 1;
+            Some(DesignPoint { idx })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `p` is at its largest candidate in `space`.
+    pub fn is_max(&self, space: &DesignSpace, p: Param) -> bool {
+        self.idx[p.index()] + 1 == space.cardinality(p)
+    }
+
+    /// Renders the point with parameter names and values.
+    pub fn describe(&self, space: &DesignSpace) -> String {
+        Param::ALL
+            .iter()
+            .map(|&p| format!("{}={}", p.short_name(), self.value(space, p)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DesignPoint{:?}", self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn increase_stops_at_max() {
+        let space = DesignSpace::boom();
+        let mut p = space.smallest();
+        let mut steps = 0;
+        while let Some(next) = p.increased(&space, Param::MemFu) {
+            p = next;
+            steps += 1;
+        }
+        assert_eq!(steps, 1); // Mem FU has two candidates
+        assert!(p.is_max(&space, Param::MemFu));
+        assert!(p.increased(&space, Param::MemFu).is_none());
+    }
+
+    #[test]
+    fn decrease_stops_at_min() {
+        let space = DesignSpace::boom();
+        assert!(space.smallest().decreased(Param::RobEntry).is_none());
+        let p = space.largest();
+        assert_eq!(p.decreased(Param::RobEntry).unwrap().value(&space, Param::RobEntry), 128.0);
+    }
+
+    #[test]
+    fn feature_vector_bounds() {
+        let space = DesignSpace::boom();
+        assert!(space.smallest().feature_vector(&space).iter().all(|&v| v == 0.0));
+        assert!(space.largest().feature_vector(&space).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn describe_contains_all_short_names() {
+        let space = DesignSpace::boom();
+        let d = space.smallest().describe(&space);
+        for p in Param::ALL {
+            assert!(d.contains(p.short_name()), "{d} missing {}", p.short_name());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn increase_then_decrease_roundtrip(code in 0u64..3_000_000, pi in 0usize..11) {
+            let space = DesignSpace::boom();
+            let p = space.decode(code);
+            let param = Param::from_index(pi).unwrap();
+            if let Some(up) = p.increased(&space, param) {
+                prop_assert_eq!(up.decreased(param).unwrap(), p);
+            }
+        }
+
+        #[test]
+        fn feature_vector_in_unit_cube(code in 0u64..3_000_000) {
+            let space = DesignSpace::boom();
+            let f = space.decode(code).feature_vector(&space);
+            prop_assert!(f.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert_eq!(f.len(), Param::COUNT);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Candidate values per parameter and whole-space operations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DesignPoint, Param};
+
+/// A discrete design space: one sorted candidate list per [`Param`].
+///
+/// [`DesignSpace::boom`] reproduces the paper's Table 1 exactly
+/// (3 000 000 points). Custom spaces support the §2.3 workflow where a
+/// designer, after inspecting rules, "adjusts the design space to
+/// concentrate on the higher range of a parameter".
+///
+/// # Examples
+///
+/// ```
+/// use dse_space::{DesignSpace, Param};
+///
+/// let space = DesignSpace::boom();
+/// assert_eq!(space.candidates(Param::L2CacheSet), &[128.0, 256.0, 512.0, 1024.0, 2048.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    candidates: Vec<Vec<f64>>,
+}
+
+impl DesignSpace {
+    /// Builds a space from one candidate list per parameter, in
+    /// [`Param::ALL`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`Param::COUNT`] non-empty, strictly
+    /// increasing candidate lists are supplied.
+    pub fn new(candidates: Vec<Vec<f64>>) -> Self {
+        assert_eq!(candidates.len(), Param::COUNT, "need one candidate list per parameter");
+        for (i, list) in candidates.iter().enumerate() {
+            assert!(!list.is_empty(), "empty candidate list for parameter {i}");
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "candidates for parameter {i} not strictly increasing"
+            );
+        }
+        Self { candidates }
+    }
+
+    /// The paper's Table 1 design space (3 million points).
+    pub fn boom() -> Self {
+        Self::new(vec![
+            vec![16.0, 32.0, 64.0],                        // L1 Cache Set
+            vec![2.0, 4.0, 8.0, 16.0],                     // L1 Cache Way
+            vec![128.0, 256.0, 512.0, 1024.0, 2048.0],     // L2 Cache Set
+            vec![2.0, 4.0, 8.0, 16.0],                     // L2 Cache Way
+            vec![2.0, 4.0, 6.0, 8.0, 10.0],                // nMSHR
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],                 // Decode Width
+            vec![32.0, 64.0, 96.0, 128.0, 160.0],          // ROB Entry
+            vec![1.0, 2.0],                                // Mem FU
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],                 // Int FU
+            vec![1.0, 2.0],                                // FP FU
+            vec![2.0, 4.0, 8.0, 16.0, 24.0],               // Issue Queue Entry
+        ])
+    }
+
+    /// Candidate values for one parameter, sorted ascending.
+    pub fn candidates(&self, p: Param) -> &[f64] {
+        &self.candidates[p.index()]
+    }
+
+    /// Number of candidates for one parameter.
+    pub fn cardinality(&self, p: Param) -> usize {
+        self.candidates[p.index()].len()
+    }
+
+    /// Total number of design points (product of cardinalities).
+    pub fn size(&self) -> u64 {
+        self.candidates.iter().map(|c| c.len() as u64).product()
+    }
+
+    /// The smallest design: every parameter at its first candidate.
+    ///
+    /// This is the paper's episode start: "the initial design is the
+    /// smallest µ-arch in the design space".
+    pub fn smallest(&self) -> DesignPoint {
+        DesignPoint::from_indices(vec![0; Param::COUNT])
+    }
+
+    /// The largest design: every parameter at its last candidate.
+    pub fn largest(&self) -> DesignPoint {
+        DesignPoint::from_indices(self.candidates.iter().map(|c| c.len() - 1).collect())
+    }
+
+    /// Decodes a lexicographic index (`0..self.size()`) into a point.
+    ///
+    /// The last parameter varies fastest; inverse of
+    /// [`DesignSpace::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= self.size()`.
+    pub fn decode(&self, code: u64) -> DesignPoint {
+        assert!(code < self.size(), "code {code} out of range");
+        let mut rest = code;
+        let mut idx = vec![0usize; Param::COUNT];
+        for p in (0..Param::COUNT).rev() {
+            let n = self.candidates[p].len() as u64;
+            idx[p] = (rest % n) as usize;
+            rest /= n;
+        }
+        DesignPoint::from_indices(idx)
+    }
+
+    /// Encodes a point into its lexicographic index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point does not belong to this space.
+    pub fn encode(&self, point: &DesignPoint) -> u64 {
+        let mut code = 0u64;
+        for p in 0..Param::COUNT {
+            let n = self.candidates[p].len();
+            let i = point.indices()[p];
+            assert!(i < n, "point index {i} out of range for parameter {p}");
+            code = code * n as u64 + i as u64;
+        }
+        code
+    }
+
+    /// Draws a uniformly random design point.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> DesignPoint {
+        DesignPoint::from_indices(
+            self.candidates.iter().map(|c| rng.gen_range(0..c.len())).collect(),
+        )
+    }
+
+    /// Returns this space with `param`'s candidates restricted to values
+    /// in `[min_value, max_value]` — the §2.3 workflow where a designer,
+    /// after inspecting the rules, "adjusts the design space to
+    /// concentrate on the higher range of this parameter".
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate survives the restriction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dse_space::{DesignSpace, Param};
+    ///
+    /// let narrowed = DesignSpace::boom().restrict(Param::DecodeWidth, 3.0, f64::INFINITY);
+    /// assert_eq!(narrowed.candidates(Param::DecodeWidth), &[3.0, 4.0, 5.0]);
+    /// assert_eq!(narrowed.size(), 1_800_000);
+    /// ```
+    pub fn restrict(&self, param: Param, min_value: f64, max_value: f64) -> DesignSpace {
+        let mut candidates = self.candidates.clone();
+        let list: Vec<f64> = candidates[param.index()]
+            .iter()
+            .copied()
+            .filter(|&v| v >= min_value && v <= max_value)
+            .collect();
+        assert!(
+            !list.is_empty(),
+            "restriction [{min_value}, {max_value}] removes every candidate of {param}"
+        );
+        candidates[param.index()] = list;
+        DesignSpace::new(candidates)
+    }
+
+    /// All points one single-parameter step (up or down) away from
+    /// `point`.
+    pub fn neighbors(&self, point: &DesignPoint) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for p in Param::ALL {
+            if let Some(up) = point.increased(self, p) {
+                out.push(up);
+            }
+            if let Some(down) = point.decreased(p) {
+                out.push(down);
+            }
+        }
+        out
+    }
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self::boom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boom_space_matches_table1_size() {
+        assert_eq!(DesignSpace::boom().size(), 3_000_000);
+    }
+
+    #[test]
+    fn boom_candidates_match_table1() {
+        let s = DesignSpace::boom();
+        assert_eq!(s.candidates(Param::L1CacheSet), &[16.0, 32.0, 64.0]);
+        assert_eq!(s.candidates(Param::L1CacheWay), &[2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(s.candidates(Param::NMshr), &[2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(s.candidates(Param::DecodeWidth), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.candidates(Param::RobEntry), &[32.0, 64.0, 96.0, 128.0, 160.0]);
+        assert_eq!(s.candidates(Param::MemFu), &[1.0, 2.0]);
+        assert_eq!(s.candidates(Param::IntFu), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.candidates(Param::FpFu), &[1.0, 2.0]);
+        assert_eq!(s.candidates(Param::IssueQueueEntry), &[2.0, 4.0, 8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn smallest_and_largest_are_extremes() {
+        let s = DesignSpace::boom();
+        assert_eq!(s.encode(&s.smallest()), 0);
+        assert_eq!(s.encode(&s.largest()), s.size() - 1);
+    }
+
+    #[test]
+    fn neighbors_of_smallest_only_step_up() {
+        let s = DesignSpace::boom();
+        let n = s.neighbors(&s.smallest());
+        assert_eq!(n.len(), Param::COUNT); // no downward neighbours exist
+    }
+
+    #[test]
+    fn restrict_narrows_one_parameter_only() {
+        let s = DesignSpace::boom().restrict(Param::RobEntry, 96.0, 160.0);
+        assert_eq!(s.candidates(Param::RobEntry), &[96.0, 128.0, 160.0]);
+        assert_eq!(s.candidates(Param::DecodeWidth), DesignSpace::boom().candidates(Param::DecodeWidth));
+        assert_eq!(s.size(), 3_000_000 / 5 * 3);
+        // The smallest design of the narrowed space starts at the floor.
+        assert_eq!(s.smallest().value(&s, Param::RobEntry), 96.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "removes every candidate")]
+    fn restrict_to_nothing_panics() {
+        let _ = DesignSpace::boom().restrict(Param::MemFu, 7.0, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn rejects_unsorted_candidates() {
+        let mut lists = vec![vec![1.0, 2.0]; Param::COUNT];
+        lists[3] = vec![2.0, 1.0];
+        let _ = DesignSpace::new(lists);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(code in 0u64..3_000_000) {
+            let s = DesignSpace::boom();
+            prop_assert_eq!(s.encode(&s.decode(code)), code);
+        }
+
+        #[test]
+        fn random_points_are_valid(seed in 0u64..1_000) {
+            let s = DesignSpace::boom();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = s.random_point(&mut rng);
+            prop_assert!(s.encode(&p) < s.size());
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The six evaluation benchmarks and their characterizations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{InstMix, Trace, TraceParams, WorkloadProfile};
+
+/// One of the paper's six evaluation benchmarks (§4).
+///
+/// Each variant carries a hand-calibrated characterization capturing the
+/// benchmark's architectural signature:
+///
+/// * **dijkstra** — latency-bound pointer chasing over a large graph;
+///   cache capacity helps, MLP is inherently low;
+/// * **mm** — blocked matrix multiply; strong L1 reuse, FP- and
+///   ILP-rich;
+/// * **fp-vvadd** — streaming FP vector addition; almost no temporal
+///   reuse, very high MLP, front-end/FU bound once MSHRs suffice;
+/// * **quicksort** — branchy partition loops over a medium working set;
+/// * **fft** — strided butterflies; associativity-sensitive conflict
+///   misses, FP-heavy;
+/// * **ss** (string search) — tiny working set, branch- and
+///   decode-bound byte scanning.
+///
+/// # Examples
+///
+/// ```
+/// use dse_workloads::Benchmark;
+///
+/// for b in Benchmark::ALL {
+///     b.profile().validate().expect("calibrations are consistent");
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Single-source shortest paths (pointer chasing).
+    Dijkstra,
+    /// Blocked dense matrix multiplication.
+    Mm,
+    /// Floating-point vector addition (streaming).
+    FpVvadd,
+    /// Quicksort over integer keys.
+    Quicksort,
+    /// Radix-2 fast Fourier transform.
+    Fft,
+    /// Naive string search over a text corpus.
+    StringSearch,
+}
+
+impl Benchmark {
+    /// All six benchmarks, in the paper's order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Dijkstra,
+        Benchmark::Mm,
+        Benchmark::FpVvadd,
+        Benchmark::Quicksort,
+        Benchmark::Fft,
+        Benchmark::StringSearch,
+    ];
+
+    /// The benchmark's name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Dijkstra => "dijkstra",
+            Benchmark::Mm => "mm",
+            Benchmark::FpVvadd => "fp-vvadd",
+            Benchmark::Quicksort => "quicksort",
+            Benchmark::Fft => "fft",
+            Benchmark::StringSearch => "ss",
+        }
+    }
+
+    /// The profiling summary at the paper's (already enlarged) default
+    /// data sizes.
+    pub fn profile(self) -> WorkloadProfile {
+        self.profile_scaled(1.0)
+    }
+
+    /// The profile with every working-set capacity scaled by `scale`
+    /// (the Fig. 6 "largely increase the data size" knob).
+    pub fn profile_scaled(self, scale: f64) -> WorkloadProfile {
+        let p = match self {
+            Benchmark::Dijkstra => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.45, int_mul: 0.02, load: 0.30, store: 0.08, fp: 0.0, branch: 0.15 },
+                mean_dep_distance: 2.5,
+                branch_mispredict_rate: 0.08,
+                streaming_frac: 0.02,
+                reuse_hit_points: vec![
+                    (2.0, 0.30),
+                    (8.0, 0.45),
+                    (32.0, 0.60),
+                    (128.0, 0.75),
+                    (512.0, 0.92),
+                    (2048.0, 0.98),
+                ],
+                mlp: 1.3,
+                conflict_frac: 0.05,
+            },
+            Benchmark::Mm => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.25, int_mul: 0.05, load: 0.30, store: 0.05, fp: 0.30, branch: 0.05 },
+                mean_dep_distance: 7.0,
+                branch_mispredict_rate: 0.01,
+                streaming_frac: 0.05,
+                reuse_hit_points: vec![
+                    (2.0, 0.55),
+                    (8.0, 0.80),
+                    (24.0, 0.93),
+                    (64.0, 0.97),
+                    (512.0, 0.995),
+                    (2048.0, 1.0),
+                ],
+                mlp: 4.0,
+                conflict_frac: 0.10,
+            },
+            Benchmark::FpVvadd => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.17, int_mul: 0.0, load: 0.33, store: 0.17, fp: 0.17, branch: 0.16 },
+                mean_dep_distance: 10.0,
+                branch_mispredict_rate: 0.01,
+                streaming_frac: 0.45,
+                reuse_hit_points: vec![(2.0, 0.40), (8.0, 0.45), (64.0, 0.50), (2048.0, 0.55)],
+                mlp: 8.0,
+                conflict_frac: 0.02,
+            },
+            Benchmark::Quicksort => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.42, int_mul: 0.0, load: 0.27, store: 0.11, fp: 0.0, branch: 0.20 },
+                mean_dep_distance: 3.5,
+                branch_mispredict_rate: 0.12,
+                streaming_frac: 0.03,
+                reuse_hit_points: vec![
+                    (2.0, 0.60),
+                    (8.0, 0.72),
+                    (32.0, 0.85),
+                    (96.0, 0.93),
+                    (512.0, 0.99),
+                    (2048.0, 1.0),
+                ],
+                mlp: 2.0,
+                conflict_frac: 0.08,
+            },
+            Benchmark::Fft => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.25, int_mul: 0.05, load: 0.28, store: 0.12, fp: 0.22, branch: 0.08 },
+                mean_dep_distance: 6.0,
+                branch_mispredict_rate: 0.03,
+                streaming_frac: 0.05,
+                reuse_hit_points: vec![
+                    (2.0, 0.45),
+                    (8.0, 0.60),
+                    (64.0, 0.80),
+                    (256.0, 0.90),
+                    (1024.0, 0.97),
+                    (2048.0, 0.99),
+                ],
+                mlp: 3.0,
+                conflict_frac: 0.25,
+            },
+            Benchmark::StringSearch => WorkloadProfile {
+                name: self.name(),
+                mix: InstMix { int_alu: 0.50, int_mul: 0.0, load: 0.22, store: 0.03, fp: 0.0, branch: 0.25 },
+                mean_dep_distance: 2.0,
+                branch_mispredict_rate: 0.10,
+                streaming_frac: 0.02,
+                reuse_hit_points: vec![(2.0, 0.85), (8.0, 0.96), (32.0, 0.99), (64.0, 1.0)],
+                mlp: 1.2,
+                conflict_frac: 0.03,
+            },
+        };
+        p.with_data_scale(scale)
+    }
+
+    /// The trace-generation parameters matching [`Benchmark::profile`].
+    pub fn trace_params(self) -> TraceParams {
+        self.trace_params_scaled(1.0)
+    }
+
+    /// Trace parameters with the memory footprint scaled by `scale`.
+    pub fn trace_params_scaled(self, scale: f64) -> TraceParams {
+        let profile = self.profile();
+        let kib = |k: f64| ((k * scale * 1024.0) as u64).max(64);
+        let (seq, stride, random, chase, stride_bytes, ws, stream) = match self {
+            Benchmark::Dijkstra => (0.15, 0.05, 0.30, 0.50, 64, kib(512.0), kib(128.0)),
+            Benchmark::Mm => (0.35, 0.40, 0.20, 0.05, 512, kib(24.0), kib(512.0)),
+            Benchmark::FpVvadd => (0.95, 0.02, 0.02, 0.01, 64, kib(16.0), kib(4096.0)),
+            Benchmark::Quicksort => (0.45, 0.05, 0.45, 0.05, 64, kib(96.0), kib(256.0)),
+            Benchmark::Fft => (0.20, 0.60, 0.15, 0.05, 4096, kib(256.0), kib(512.0)),
+            Benchmark::StringSearch => (0.80, 0.05, 0.13, 0.02, 64, kib(8.0), kib(64.0)),
+        };
+        TraceParams {
+            mix: profile.mix,
+            mean_dep_distance: profile.mean_dep_distance,
+            branch_mispredict_rate: profile.branch_mispredict_rate,
+            seq_frac: seq,
+            stride_frac: stride,
+            random_frac: random,
+            chase_frac: chase,
+            stride_bytes,
+            working_set_bytes: ws,
+            streaming_bytes: stream,
+        }
+    }
+
+    /// Generates this benchmark's deterministic trace.
+    pub fn trace(self, len: usize, seed: u64) -> Trace {
+        self.trace_params().generate(len, seed)
+    }
+
+    /// Generates the trace at a scaled data size.
+    pub fn trace_scaled(self, len: usize, seed: u64, scale: f64) -> Trace {
+        self.trace_params_scaled(scale).generate(len, seed)
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    name: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benchmark {:?}; expected one of dijkstra, mm, fp-vvadd, quicksort, fft, ss",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    /// Parses the paper's benchmark names (case-insensitive).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dse_workloads::Benchmark;
+    ///
+    /// let b: Benchmark = "fp-vvadd".parse()?;
+    /// assert_eq!(b, Benchmark::FpVvadd);
+    /// # Ok::<(), dse_workloads::ParseBenchmarkError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s.trim()))
+            .ok_or_else(|| ParseBenchmarkError { name: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::ALL {
+            b.profile().validate().unwrap_or_else(|e| panic!("{e}"));
+            b.trace_params().validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn scaled_profiles_validate() {
+        for b in Benchmark::ALL {
+            for scale in [0.5, 2.0, 8.0] {
+                b.profile_scaled(scale).validate().unwrap_or_else(|e| panic!("{e}"));
+                b.trace_params_scaled(scale).validate().unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["dijkstra", "mm", "fp-vvadd", "quicksort", "fft", "ss"]);
+    }
+
+    #[test]
+    fn from_str_round_trips_every_name() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.name().parse::<Benchmark>().unwrap(), b);
+            assert_eq!(b.name().to_uppercase().parse::<Benchmark>().unwrap(), b);
+        }
+        assert!("bogus".parse::<Benchmark>().is_err());
+        let err = "bogus".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_benchmark() {
+        for b in Benchmark::ALL {
+            assert_eq!(b.trace(2_000, 11), b.trace(2_000, 11), "{b}");
+        }
+    }
+
+    #[test]
+    fn workload_signatures_differ() {
+        // The six benchmarks must be architecturally distinguishable:
+        // dijkstra chases pointers, vvadd streams, ss fits in L1.
+        let d = Benchmark::Dijkstra.trace_params();
+        let v = Benchmark::FpVvadd.trace_params();
+        let s = Benchmark::StringSearch.trace_params();
+        assert!(d.chase_frac > 0.4);
+        assert!(v.seq_frac > 0.9);
+        assert!(s.working_set_bytes <= 8 * 1024);
+    }
+
+    #[test]
+    fn dijkstra_is_latency_bound_vvadd_is_not() {
+        let d = Benchmark::Dijkstra.profile();
+        let v = Benchmark::FpVvadd.profile();
+        assert!(d.mlp < 2.0, "dijkstra has little MLP");
+        assert!(v.mlp > 4.0, "vvadd overlaps misses");
+        assert!(v.streaming_frac > d.streaming_frac);
+    }
+}

@@ -1,0 +1,125 @@
+//! Dynamic-instruction representation shared with the simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation class of a dynamic instruction.
+///
+/// The cycle-level simulator dispatches on this class to pick a
+/// functional unit and latency; the class mix is the benchmark's
+/// instruction mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Integer ALU operation (1-cycle execute on an Int FU).
+    IntAlu,
+    /// Integer multiply/divide (multi-cycle on an Int FU).
+    IntMul,
+    /// Memory load (Mem FU + cache hierarchy).
+    Load,
+    /// Memory store (Mem FU; fire-and-forget to the cache).
+    Store,
+    /// Floating-point operation (multi-cycle on an FP FU).
+    FpAlu,
+    /// Conditional branch (Int FU; may flush the front end).
+    Branch,
+}
+
+/// Branch-specific payload of a dynamic instruction.
+///
+/// `site` identifies the *static* branch this dynamic instance came from
+/// (a stand-in for its PC), `taken` is its actual outcome, and
+/// `mispredicted` is a precomputed oracle verdict drawn from the
+/// profile's misprediction rate. The simulator's
+/// [`BranchModel`](../dse_sim/enum.BranchModel.html) chooses whether to
+/// trust the oracle bit or to run a real gshare predictor over
+/// `site`/`taken`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Static branch site (PC surrogate).
+    pub site: u16,
+    /// Actual outcome of this dynamic instance.
+    pub taken: bool,
+    /// Precomputed oracle misprediction flag (profile-rate Bernoulli).
+    pub mispredicted: bool,
+}
+
+/// One dynamic instruction of a synthetic trace.
+///
+/// Register dependencies are encoded positionally: `deps[i]` is the
+/// distance (in dynamic instructions) back to the producer of the i-th
+/// source operand, or `None`. Distances always point at *earlier*
+/// instructions, so a trace is a valid dataflow DAG by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Operation class.
+    pub op: Op,
+    /// Distances back to up to two producers.
+    pub deps: [Option<u32>; 2],
+    /// Byte address for `Load`/`Store`, `None` otherwise.
+    pub addr: Option<u64>,
+    /// Branch payload for `Branch`, `None` otherwise.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Instr {
+    /// A plain single-cycle integer op with no dependencies — useful as
+    /// filler in tests.
+    pub fn nop() -> Self {
+        Instr { op: Op::IntAlu, deps: [None, None], addr: None, branch: None }
+    }
+
+    /// A branch with the given payload and no dependencies — useful in
+    /// tests.
+    pub fn branch(site: u16, taken: bool, mispredicted: bool) -> Self {
+        Instr {
+            op: Op::Branch,
+            deps: [None, None],
+            addr: None,
+            branch: Some(BranchInfo { site, taken, mispredicted }),
+        }
+    }
+
+    /// Whether this instruction touches memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.op, Op::Load | Op::Store)
+    }
+
+    /// Whether the oracle marked this instance mispredicted.
+    pub fn oracle_mispredicted(&self) -> bool {
+        self.branch.is_some_and(|b| b.mispredicted)
+    }
+}
+
+/// A synthetic dynamic-instruction trace.
+pub type Trace = Vec<Instr>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_is_dependency_free() {
+        let n = Instr::nop();
+        assert_eq!(n.deps, [None, None]);
+        assert!(!n.is_mem());
+        assert!(!n.oracle_mispredicted());
+    }
+
+    #[test]
+    fn mem_classification() {
+        let mut i = Instr::nop();
+        i.op = Op::Load;
+        assert!(i.is_mem());
+        i.op = Op::Branch;
+        assert!(!i.is_mem());
+    }
+
+    #[test]
+    fn branch_constructor_carries_payload() {
+        let b = Instr::branch(7, true, false);
+        assert_eq!(b.op, Op::Branch);
+        let info = b.branch.unwrap();
+        assert_eq!((info.site, info.taken, info.mispredicted), (7, true, false));
+        assert!(!b.oracle_mispredicted());
+        assert!(Instr::branch(1, false, true).oracle_mispredicted());
+    }
+}

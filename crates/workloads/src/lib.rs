@@ -1,0 +1,47 @@
+//! Benchmark characterizations and synthetic traces for the six DSE
+//! workloads.
+//!
+//! The paper evaluates on six RISC-V benchmarks — dijkstra, matrix
+//! multiplication, floating-point vector addition, quicksort, FFT and
+//! string search — compiled for BOOM and profiled for its analytical
+//! model. We do not have that toolchain, so this crate substitutes the
+//! closest synthetic equivalent (documented in `DESIGN.md`): each
+//! [`Benchmark`] carries
+//!
+//! * a [`WorkloadProfile`] — instruction mix, dependency distances,
+//!   branch behaviour and a cache-reuse curve. This is what the paper's
+//!   analytical model reads from its profiling pass, and what
+//!   `dse-analytical` consumes here; and
+//! * a deterministic synthetic [`Trace`] generator with the benchmark's
+//!   access pattern (pointer chasing for dijkstra, streaming for
+//!   fp-vvadd, strided butterflies for fft, …), consumed by the
+//!   cycle-level simulator in `dse-sim`.
+//!
+//! Both views are derived from one set of [`TraceParams`], so the low-
+//! and high-fidelity proxies describe the *same* workload while
+//! disagreeing exactly where an abstract model and a cycle-level model
+//! should.
+//!
+//! # Examples
+//!
+//! ```
+//! use dse_workloads::Benchmark;
+//!
+//! let profile = Benchmark::FpVvadd.profile();
+//! assert!(profile.mix.fp > 0.1, "vvadd exercises the FP units");
+//! let trace = Benchmark::FpVvadd.trace(10_000, 42);
+//! assert_eq!(trace.len(), 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench;
+mod instr;
+mod profile;
+mod trace;
+
+pub use bench::{Benchmark, ParseBenchmarkError};
+pub use instr::{BranchInfo, Instr, Op, Trace};
+pub use profile::{InstMix, WorkloadProfile};
+pub use trace::TraceParams;

@@ -1,0 +1,174 @@
+//! Static workload characterizations consumed by the analytical model.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction-class mix (fractions of the dynamic stream, sum ≈ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstMix {
+    /// Integer ALU fraction.
+    pub int_alu: f64,
+    /// Integer multiply/divide fraction.
+    pub int_mul: f64,
+    /// Load fraction.
+    pub load: f64,
+    /// Store fraction.
+    pub store: f64,
+    /// Floating-point fraction.
+    pub fp: f64,
+    /// Branch fraction.
+    pub branch: f64,
+}
+
+impl InstMix {
+    /// Sum of all class fractions (≈ 1 for a valid mix).
+    pub fn total(&self) -> f64 {
+        self.int_alu + self.int_mul + self.load + self.store + self.fp + self.branch
+    }
+
+    /// Fraction of instructions that touch memory.
+    pub fn mem(&self) -> f64 {
+        self.load + self.store
+    }
+}
+
+/// The profiling summary of one benchmark — the exact quantities the
+/// paper's analytical model \[8\] extracts from an instrumentation run.
+///
+/// `reuse_hit_points` is a piecewise-linear CDF of temporal reuse:
+/// `(capacity_kib, hit_fraction)` pairs giving the fraction of memory
+/// accesses whose reuse distance fits in a cache of that capacity. The
+/// analytical model interpolates it (differentiably) to predict miss
+/// rates; the trace generator realizes the same locality with its
+/// working-set mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Dynamic instruction mix.
+    pub mix: InstMix,
+    /// Mean producer→consumer distance in dynamic instructions; larger
+    /// means more exploitable ILP.
+    pub mean_dep_distance: f64,
+    /// Branch misprediction rate (of branch instructions).
+    pub branch_mispredict_rate: f64,
+    /// Fraction of memory accesses that are streaming/cold and miss any
+    /// realistic cache.
+    pub streaming_frac: f64,
+    /// Reuse CDF breakpoints `(capacity KiB, hit fraction)`, strictly
+    /// increasing in capacity and non-decreasing in hit fraction.
+    pub reuse_hit_points: Vec<(f64, f64)>,
+    /// Inherent memory-level parallelism: mean number of independent
+    /// outstanding misses the code allows.
+    pub mlp: f64,
+    /// Sensitivity of the hit rate to associativity: fraction of
+    /// conflict misses at 2 ways that extra ways can recover.
+    pub conflict_frac: f64,
+}
+
+impl WorkloadProfile {
+    /// Validates the internal consistency of the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant (mix not summing to 1, fractions out of `[0,1]`,
+    /// non-monotone reuse curve, non-positive MLP).
+    pub fn validate(&self) -> Result<(), String> {
+        if (self.mix.total() - 1.0).abs() > 1e-6 {
+            return Err(format!("{}: instruction mix sums to {}", self.name, self.mix.total()));
+        }
+        for (label, v) in [
+            ("branch_mispredict_rate", self.branch_mispredict_rate),
+            ("streaming_frac", self.streaming_frac),
+            ("conflict_frac", self.conflict_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {label} = {v} outside [0,1]", self.name));
+            }
+        }
+        if self.mean_dep_distance < 1.0 {
+            return Err(format!("{}: mean_dep_distance must be ≥ 1", self.name));
+        }
+        if self.mlp < 1.0 {
+            return Err(format!("{}: mlp must be ≥ 1", self.name));
+        }
+        if self.reuse_hit_points.len() < 2 {
+            return Err(format!("{}: need ≥ 2 reuse breakpoints", self.name));
+        }
+        for w in self.reuse_hit_points.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("{}: reuse capacities not increasing", self.name));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("{}: reuse hit fractions decreasing", self.name));
+            }
+        }
+        if self.reuse_hit_points.iter().any(|&(_, h)| !(0.0..=1.0).contains(&h)) {
+            return Err(format!("{}: reuse hit fraction outside [0,1]", self.name));
+        }
+        Ok(())
+    }
+
+    /// Returns this profile with every reuse-capacity breakpoint scaled
+    /// by `scale` — the paper's "increase the data sizes of these
+    /// benchmarks" knob (§4, Fig. 6).
+    pub fn with_data_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "data scale must be positive");
+        for p in &mut self.reuse_hit_points {
+            p.0 *= scale;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "sample",
+            mix: InstMix { int_alu: 0.4, int_mul: 0.05, load: 0.25, store: 0.1, fp: 0.1, branch: 0.1 },
+            mean_dep_distance: 4.0,
+            branch_mispredict_rate: 0.05,
+            streaming_frac: 0.2,
+            reuse_hit_points: vec![(2.0, 0.5), (32.0, 0.8), (512.0, 1.0)],
+            mlp: 2.0,
+            conflict_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn sample_is_valid() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn mix_helpers() {
+        let m = sample().mix;
+        assert!((m.total() - 1.0).abs() < 1e-12);
+        assert!((m.mem() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_bad_mix() {
+        let mut p = sample();
+        p.mix.load = 0.9;
+        assert!(p.validate().unwrap_err().contains("mix"));
+    }
+
+    #[test]
+    fn detects_decreasing_reuse_curve() {
+        let mut p = sample();
+        p.reuse_hit_points = vec![(2.0, 0.9), (32.0, 0.5)];
+        assert!(p.validate().unwrap_err().contains("decreasing"));
+    }
+
+    #[test]
+    fn data_scale_moves_capacities_only() {
+        let p = sample().with_data_scale(4.0);
+        assert_eq!(p.reuse_hit_points[0], (8.0, 0.5));
+        assert_eq!(p.reuse_hit_points[2], (2048.0, 1.0));
+        p.validate().unwrap();
+    }
+}

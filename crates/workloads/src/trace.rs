@@ -1,0 +1,322 @@
+//! Deterministic synthetic trace generation.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{BranchInfo, InstMix, Instr, Op, Trace};
+
+/// Static branch sites per workload (PC surrogates for the predictor).
+const BRANCH_SITES: u16 = 64;
+/// Sites at or above this id have data-dependent (coin-flip) outcomes;
+/// below are heavily-biased loop branches.
+const DATA_SITE_BASE: u16 = 48;
+/// Residual miss rate a good predictor pays on a 99%-biased branch.
+const LOOPY_MISS_RATE: f64 = 0.01;
+
+/// Generative parameters for a synthetic instruction trace.
+///
+/// One `TraceParams` value fully determines a benchmark's dynamic
+/// behaviour (given a seed): the class mix, how far back register
+/// dependencies reach, and how load/store addresses are drawn from a
+/// blend of four archetypal access patterns:
+///
+/// * **sequential** — a streaming pointer marching through
+///   `streaming_bytes` (vvadd-style);
+/// * **strided** — constant-stride walks that stress associativity
+///   (fft-style);
+/// * **random** — uniform accesses inside `working_set_bytes`
+///   (hash/sort-style);
+/// * **chase** — serialized pointer chasing where each address depends
+///   on the previous chased load (dijkstra-style), generating
+///   load-to-load dependency chains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// Instruction-class mix.
+    pub mix: InstMix,
+    /// Mean producer→consumer distance (geometric distribution).
+    pub mean_dep_distance: f64,
+    /// Probability a branch instance mispredicts.
+    pub branch_mispredict_rate: f64,
+    /// Weight of sequential accesses among memory operations.
+    pub seq_frac: f64,
+    /// Weight of strided accesses among memory operations.
+    pub stride_frac: f64,
+    /// Weight of uniform-random accesses among memory operations.
+    pub random_frac: f64,
+    /// Weight of pointer-chase accesses among memory operations.
+    pub chase_frac: f64,
+    /// Stride in bytes for the strided pattern.
+    pub stride_bytes: u64,
+    /// Random/chase region size in bytes (the hot working set).
+    pub working_set_bytes: u64,
+    /// Streaming region length in bytes before the sequential pointer
+    /// wraps (the cold footprint).
+    pub streaming_bytes: u64,
+}
+
+impl TraceParams {
+    /// Validates pattern weights and sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let w = self.seq_frac + self.stride_frac + self.random_frac + self.chase_frac;
+        if (w - 1.0).abs() > 1e-6 {
+            return Err(format!("access-pattern weights sum to {w}"));
+        }
+        if [self.seq_frac, self.stride_frac, self.random_frac, self.chase_frac]
+            .iter()
+            .any(|&f| !(0.0..=1.0).contains(&f))
+        {
+            return Err("access-pattern weight outside [0,1]".to_string());
+        }
+        if self.working_set_bytes < 64 || self.streaming_bytes < 64 {
+            return Err("memory regions must be at least one cache line".to_string());
+        }
+        if self.mean_dep_distance < 1.0 {
+            return Err("mean_dep_distance must be ≥ 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Generates `len` instructions deterministically from `seed`.
+    ///
+    /// The same `(params, len, seed)` triple always yields the identical
+    /// trace, which is what makes HF evaluations reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`TraceParams::validate`].
+    pub fn generate(&self, len: usize, seed: u64) -> Trace {
+        if let Err(e) = self.validate() {
+            panic!("invalid trace parameters: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class_weights = [
+            self.mix.int_alu,
+            self.mix.int_mul,
+            self.mix.load,
+            self.mix.store,
+            self.mix.fp,
+            self.mix.branch,
+        ];
+        let class_dist =
+            WeightedIndex::new(class_weights).expect("instruction mix has a positive class");
+        let pattern_weights = [self.seq_frac, self.stride_frac, self.random_frac, self.chase_frac];
+        let pattern_dist = WeightedIndex::new(pattern_weights.map(|w| w.max(1e-12)))
+            .expect("pattern weights positive");
+
+        let mut trace = Vec::with_capacity(len);
+        let mut seq_ptr: u64 = 0;
+        let mut stride_ptr: u64 = 0;
+        // Index (in the trace) of the most recent chase load, so chased
+        // loads can depend on each other.
+        let mut last_chase: Option<usize> = None;
+        let mut chase_addr: u64 = 0;
+
+        for i in 0..len {
+            let op = match class_dist.sample(&mut rng) {
+                0 => Op::IntAlu,
+                1 => Op::IntMul,
+                2 => Op::Load,
+                3 => Op::Store,
+                4 => Op::FpAlu,
+                _ => Op::Branch,
+            };
+            let mut deps = [self.sample_dep(i, &mut rng), self.sample_dep(i, &mut rng)];
+            let mut addr = None;
+            if matches!(op, Op::Load | Op::Store) {
+                let (a, chase_dep) = match pattern_dist.sample(&mut rng) {
+                    0 => {
+                        seq_ptr = (seq_ptr + 8) % self.streaming_bytes;
+                        (seq_ptr, None)
+                    }
+                    1 => {
+                        stride_ptr = (stride_ptr + self.stride_bytes) % self.working_set_bytes;
+                        (stride_ptr, None)
+                    }
+                    2 => (rng.gen_range(0..self.working_set_bytes / 8) * 8, None),
+                    _ => {
+                        // Pointer chase: mix the previous chased address
+                        // into the next one and depend on that load.
+                        chase_addr = splitmix(chase_addr ^ seed) % (self.working_set_bytes / 8) * 8;
+                        let dep = last_chase.map(|j| (i - j) as u32);
+                        if op == Op::Load {
+                            last_chase = Some(i);
+                        }
+                        (chase_addr, dep)
+                    }
+                };
+                addr = Some(a);
+                if let Some(d) = chase_dep {
+                    deps[0] = Some(d);
+                }
+            }
+            let branch = (op == Op::Branch).then(|| {
+                // Outcome entropy is calibrated to the profile: loopy
+                // sites (ids below DATA_SITE_BASE) are ~99% taken and
+                // cost a good predictor ~1%, data-dependent sites are
+                // coin flips costing ~50%. Mixing them with weight `q`
+                // makes a learned predictor's miss rate land near the
+                // profile's `branch_mispredict_rate`.
+                let q = ((self.branch_mispredict_rate - LOOPY_MISS_RATE).max(0.0) * 2.0).min(0.9);
+                let (site, p_taken) = if rng.gen_bool(q) {
+                    (rng.gen_range(DATA_SITE_BASE..BRANCH_SITES), 0.5)
+                } else {
+                    // Quadratic skew toward low ids mimics a handful of
+                    // hot static loop branches.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    (((u * u * DATA_SITE_BASE as f64) as u16).min(DATA_SITE_BASE - 1), 0.99)
+                };
+                BranchInfo {
+                    site,
+                    taken: rng.gen_bool(p_taken),
+                    mispredicted: rng.gen_bool(self.branch_mispredict_rate.clamp(0.0, 1.0)),
+                }
+            });
+            trace.push(Instr { op, deps, addr, branch });
+        }
+        trace
+    }
+
+    fn sample_dep(&self, i: usize, rng: &mut StdRng) -> Option<u32> {
+        if i == 0 {
+            return None;
+        }
+        // ~70% of instructions have a register source; distance is
+        // geometric with the profile's mean.
+        if rng.gen_bool(0.7) {
+            let p = 1.0 / self.mean_dep_distance;
+            let mut d = 1u32;
+            while !rng.gen_bool(p) && (d as usize) < i && d < 64 {
+                d += 1;
+            }
+            Some(d.min(i as u32))
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a cheap deterministic address scrambler for the
+/// pointer-chase pattern.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> TraceParams {
+        TraceParams {
+            mix: InstMix { int_alu: 0.4, int_mul: 0.05, load: 0.25, store: 0.1, fp: 0.1, branch: 0.1 },
+            mean_dep_distance: 4.0,
+            branch_mispredict_rate: 0.1,
+            seq_frac: 0.4,
+            stride_frac: 0.2,
+            random_frac: 0.2,
+            chase_frac: 0.2,
+            stride_bytes: 256,
+            working_set_bytes: 64 * 1024,
+            streaming_bytes: 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = params();
+        assert_eq!(p.generate(5_000, 7), p.generate(5_000, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = params();
+        assert_ne!(p.generate(5_000, 7), p.generate(5_000, 8));
+    }
+
+    #[test]
+    fn mix_is_respected_approximately() {
+        let p = params();
+        let t = p.generate(50_000, 1);
+        let loads = t.iter().filter(|i| i.op == Op::Load).count() as f64 / t.len() as f64;
+        assert!((loads - p.mix.load).abs() < 0.02, "load fraction {loads}");
+        let branches = t.iter().filter(|i| i.op == Op::Branch).count() as f64 / t.len() as f64;
+        assert!((branches - p.mix.branch).abs() < 0.02, "branch fraction {branches}");
+    }
+
+    #[test]
+    fn addresses_stay_in_regions() {
+        let p = params();
+        let max_region = p.streaming_bytes.max(p.working_set_bytes);
+        for i in p.generate(20_000, 3) {
+            if let Some(a) = i.addr {
+                assert!(a < max_region, "address {a} escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut p = params();
+        p.seq_frac = 0.9;
+        assert!(p.validate().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn dependencies_point_backwards(seed in 0u64..50) {
+            let t = params().generate(2_000, seed);
+            for (i, instr) in t.iter().enumerate() {
+                for d in instr.deps.into_iter().flatten() {
+                    prop_assert!(d >= 1);
+                    prop_assert!((d as usize) <= i, "instr {i} depends {d} back");
+                }
+            }
+        }
+
+        #[test]
+        fn branch_payloads_only_on_branches(seed in 0u64..50) {
+            let t = params().generate(2_000, seed);
+            for instr in &t {
+                prop_assert_eq!(instr.branch.is_some(), instr.op == Op::Branch);
+                if let Some(b) = instr.branch {
+                    prop_assert!(b.site < super::BRANCH_SITES);
+                }
+            }
+        }
+
+        #[test]
+        fn site_bias_is_a_function_of_the_site_id(seed in 0u64..10) {
+            // Predictors can learn per-site behaviour: low sites are
+            // heavily taken-biased loops, high sites near-50/50 data
+            // branches.
+            let t = params().generate(30_000, seed);
+            let mut taken = vec![0u32; super::BRANCH_SITES as usize];
+            let mut total = vec![0u32; super::BRANCH_SITES as usize];
+            for instr in &t {
+                if let Some(b) = instr.branch {
+                    total[b.site as usize] += 1;
+                    taken[b.site as usize] += b.taken as u32;
+                }
+            }
+            for s in 0..total.len() {
+                if total[s] >= 200 {
+                    let rate = taken[s] as f64 / total[s] as f64;
+                    if (s as u16) < super::DATA_SITE_BASE {
+                        prop_assert!(rate > 0.9, "loop site {s} bias {rate}");
+                    } else {
+                        prop_assert!((0.35..0.65).contains(&rate), "data site {s} bias {rate}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Ablation study (this repo's addition): knock out each design choice
+//! of the framework — the gradient mask, the aggressive reward, and
+//! each fidelity phase — and measure the cost.
+//!
+//! ```text
+//! cargo run --release --example ablation_study            # quick
+//! cargo run --release --example ablation_study -- --full  # 5 seeds, paper budgets
+//! ```
+
+use archdse::experiments::{ablations, AblationConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { AblationConfig::default() } else { AblationConfig::quick() };
+    println!(
+        "Running ablations on {} ({} seeds, {} LF episodes, {} HF sims)…",
+        config.benchmark,
+        config.seeds.len(),
+        config.lf_episodes,
+        config.hf_budget
+    );
+    let result = ablations(&config);
+    println!("\n{}", result.to_markdown());
+    println!("Interpretation: the full method should sit at or near the top;");
+    println!("removing the HF phase forfeits the bias-correction headroom, and");
+    println!("removing the LF phase burns the tiny simulation budget exploring");
+    println!("from scratch.");
+}

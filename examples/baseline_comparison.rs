@@ -1,0 +1,33 @@
+//! Fig. 5 reproduction: general-purpose DSE (average CPI of the six
+//! benchmarks at 8 mm²) against Random Forest, ActBoost, BagGBRT,
+//! BOOM-Explorer and SCBO, all on an equal HF budget.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison            # quick
+//! cargo run --release --example baseline_comparison -- --full  # 5 seeds, paper budgets
+//! ```
+
+use archdse::experiments::{fig5, Fig5Config};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { Fig5Config::default() } else { Fig5Config::quick() };
+    println!(
+        "Running Fig. 5 ({} seeds, baselines {} sims, ours {} sims)…",
+        config.seeds.len(),
+        config.baseline_budget,
+        config.our_budget
+    );
+    let result = fig5(&config);
+    println!("\n{}", result.to_markdown());
+    if let (Some(ours), Some(worst)) =
+        (result.row("FNN-MFRL (ours)"), result.rows.last())
+    {
+        println!(
+            "ours {:.4} vs worst baseline {:.4} ({:+.1}%)",
+            ours.mean_best_cpi,
+            worst.mean_best_cpi,
+            (ours.mean_best_cpi / worst.mean_best_cpi - 1.0) * 100.0
+        );
+    }
+}

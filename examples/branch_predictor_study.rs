@@ -1,0 +1,40 @@
+//! Branch-predictor study (this repo's extension): replace the trace's
+//! profile-rate misprediction oracle with a live gshare predictor and
+//! measure how the front-end model shifts each benchmark's CPI.
+//!
+//! ```text
+//! cargo run --release --example branch_predictor_study
+//! ```
+
+use archdse::{CoreConfig, DesignSpace, Simulator};
+use dse_sim::BranchModel;
+use dse_workloads::Benchmark;
+
+fn main() {
+    let space = DesignSpace::boom();
+    let design = space.decode(1_999_999); // a mid-range machine
+    println!("design: {}\n", design.describe(&space));
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>14}",
+        "benchmark", "oracle CPI", "gshare CPI", "oracle flushes", "gshare flushes"
+    );
+    for b in Benchmark::ALL {
+        let trace = b.trace(30_000, 17);
+        let oracle_cfg = CoreConfig::from_point(&space, &design);
+        let mut gshare_cfg = oracle_cfg.clone();
+        gshare_cfg.branch_model = BranchModel::Gshare { history_bits: 4, table_bits: 12 };
+        let oracle = Simulator::new(oracle_cfg).run(&trace);
+        let gshare = Simulator::new(gshare_cfg).run(&trace);
+        println!(
+            "{:<10} {:>12.4} {:>12.4} {:>14} {:>14}",
+            b.name(),
+            oracle.cpi(),
+            gshare.cpi(),
+            oracle.flushes,
+            gshare.flushes
+        );
+    }
+    println!("\nThe synthetic traces are dominated by biased loop branches, so the");
+    println!("learned predictor flushes less than the fixed profile-rate oracle on");
+    println!("branchy codes (quicksort, ss) and leaves streaming codes unchanged.");
+}

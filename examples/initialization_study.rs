@@ -1,0 +1,27 @@
+//! Fig. 6 reproduction: convergence of LF training on enlarged dijkstra
+//! under low / default / high initializations of the L1/L2 membership
+//! centers. Higher centers should converge faster; all must converge.
+//!
+//! ```text
+//! cargo run --release --example initialization_study            # quick
+//! cargo run --release --example initialization_study -- --full  # 300 episodes
+//! ```
+
+use archdse::experiments::{fig6, Fig6Config};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { Fig6Config::default() } else { Fig6Config::quick() };
+    println!(
+        "Running Fig. 6 (dijkstra x{} data, {} episodes per setting)…",
+        config.data_scale, config.episodes
+    );
+    let result = fig6(&config);
+    println!("\n{}", result.to_markdown());
+    println!("Convergence curves (best-so-far LF CPI, every 5th episode):");
+    for c in &result.curves {
+        let samples: Vec<String> =
+            c.history.iter().step_by(5).map(|v| format!("{v:.3}")).collect();
+        println!("  {:<22} {}", c.label, samples.join(" "));
+    }
+}

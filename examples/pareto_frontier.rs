@@ -1,0 +1,66 @@
+//! CPI/area/power trade-off sweep (this repo's extension): run the DSE
+//! flow at a range of area budgets, estimate power for each winner, and
+//! print the Pareto frontier.
+//!
+//! ```text
+//! cargo run --release --example pareto_frontier
+//! ```
+
+use archdse::eval::activity_of;
+use archdse::pareto::{hypervolume_2d, pareto_front, DesignMetrics};
+use archdse::{CoreConfig, Explorer, Simulator};
+use dse_area::PowerModel;
+use dse_workloads::Benchmark;
+
+fn main() {
+    let benchmark = Benchmark::Fft;
+    let power_model = PowerModel::new();
+    println!("Sweeping area budgets on {benchmark}…\n");
+
+    let mut candidates: Vec<DesignMetrics> = Vec::new();
+    for limit in [4.5, 5.5, 6.5, 7.5, 8.5, 10.0, 12.0] {
+        let explorer = Explorer::for_benchmark(benchmark)
+            .area_limit_mm2(limit)
+            .lf_episodes(80)
+            .hf_budget(6)
+            .trace_len(8_000)
+            .seed(3);
+        let report = explorer.run();
+        let space = explorer.space();
+        // Re-simulate the winner once to collect its activity profile.
+        let result = Simulator::new(CoreConfig::from_point(space, &report.best_point))
+            .run(&benchmark.trace(8_000, 99));
+        let power = power_model.power_mw(space, &report.best_point, &activity_of(&result));
+        let area_mm2 = explorer.area().area_mm2(space, &report.best_point);
+        candidates.push(DesignMetrics {
+            point: report.best_point,
+            cpi: report.best_cpi,
+            area_mm2,
+            power_mw: power.total_mw(),
+        });
+    }
+
+    let front = pareto_front(&candidates, |m| m.objectives().to_vec());
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}   design",
+        "pareto", "CPI", "area mm2", "power mW"
+    );
+    for (i, m) in candidates.iter().enumerate() {
+        let marker = if front.contains(&i) { "  *" } else { "" };
+        println!(
+            "{:<8} {:>8.4} {:>10.2} {:>10.1}   {}",
+            marker,
+            m.cpi,
+            m.area_mm2,
+            m.power_mw,
+            m.point
+        );
+    }
+
+    let cpi_area: Vec<Vec<f64>> =
+        front.iter().map(|&i| vec![candidates[i].cpi, candidates[i].area_mm2]).collect();
+    println!(
+        "\nCPI-vs-area hypervolume (ref 10 CPI, 15 mm2): {:.2}",
+        hypervolume_2d(&cpi_area, [10.0, 15.0])
+    );
+}

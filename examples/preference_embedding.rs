@@ -1,0 +1,27 @@
+//! Fig. 7 reproduction: embed the designer preference "decode width
+//! should reach 4" into the FNN rule base and train on fp-vvadd, which
+//! otherwise converges to decode width 3.
+//!
+//! ```text
+//! cargo run --release --example preference_embedding            # quick
+//! cargo run --release --example preference_embedding -- --full  # 300 episodes
+//! ```
+
+use archdse::experiments::{fig7, Fig7Config};
+use archdse::Param;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let config = if full { Fig7Config::default() } else { Fig7Config::quick() };
+    println!("Running Fig. 7 (fp-vvadd, preference: decode -> 4)…");
+    let result = fig7(&config);
+    println!("\n{}", result.to_markdown());
+
+    println!("Parameter trajectories over training (every 5th episode):");
+    for t in &result.trajectories {
+        let marker = if t.param == Param::DecodeWidth { " <-- preferred" } else { "" };
+        let samples: Vec<String> =
+            t.values.iter().step_by(5).map(|v| format!("{v}")).collect();
+        println!("  {:<18} {}{marker}", t.param.name(), samples.join(" "));
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: explore the BOOM design space for one benchmark and
+//! print the best design plus the learned fuzzy rules.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use archdse::{DesignSpace, Explorer, Param};
+use dse_workloads::Benchmark;
+
+fn main() {
+    let space = DesignSpace::boom();
+    println!("== Design space (Table 1) ==");
+    for p in Param::ALL {
+        let cands: Vec<String> =
+            space.candidates(p).iter().map(|v| format!("{v}")).collect();
+        println!("  {:<18} {}", p.name(), cands.join(", "));
+    }
+    println!("  total designs: {}", space.size());
+
+    println!("\n== DSE: matrix multiplication, 7.5 mm2 budget ==");
+    let explorer = Explorer::for_benchmark(Benchmark::Mm)
+        .area_limit_mm2(7.5)
+        .lf_episodes(120)
+        .hf_budget(9)
+        .trace_len(10_000)
+        .seed(42);
+    let report = explorer.run();
+
+    println!("best design : {}", report.best_point.describe(explorer.space()));
+    println!(
+        "area        : {:.2} mm2 (limit 7.5)",
+        explorer.area().area_mm2(explorer.space(), &report.best_point)
+    );
+    println!("simulated CPI: {:.4}", report.best_cpi);
+    println!("HF simulations consumed: {}", report.hf.evaluations);
+
+    println!("\n== Learned rules (pruned) ==");
+    for rule in report.rules.iter().take(10) {
+        println!("  {rule}");
+    }
+    if report.rules.is_empty() {
+        println!("  (training too short to commit to rules — raise lf_episodes)");
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace facade for the FNN-MFRL ArchDSE reproduction.
+//!
+//! This thin crate re-exports [`archdse`] so the runnable examples and
+//! the cross-crate integration tests at the workspace root have a
+//! single dependency surface. Library users should depend on the
+//! `archdse` crate (and the `dse-*` substrate crates) directly.
+
+pub use archdse::*;

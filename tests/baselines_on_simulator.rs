@@ -1,0 +1,52 @@
+//! Integration of the baseline optimizers with the real HF objective
+//! (cycle-level simulator + area model), as used by Fig. 5.
+
+use archdse::eval::{AreaLimit, HfObjective, SimulatorHf};
+use archdse::DesignSpace;
+use dse_baselines::{
+    ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Objective as _, Optimizer,
+    RandomForestOptimizer, RandomSearchOptimizer, ScboOptimizer,
+};
+use dse_workloads::Benchmark;
+
+fn objective() -> HfObjective {
+    HfObjective::new(
+        SimulatorHf::for_benchmark(Benchmark::Quicksort, 2_000, 3, 1.0),
+        AreaLimit::new(8.0),
+    )
+}
+
+#[test]
+fn every_baseline_runs_on_the_real_stack() {
+    let space = DesignSpace::boom();
+    let mut optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(RandomSearchOptimizer),
+        Box::new(RandomForestOptimizer),
+        Box::new(ActBoostOptimizer),
+        Box::new(BagGbrtOptimizer),
+        Box::new(BoomExplorerOptimizer),
+        Box::new(ScboOptimizer::default()),
+    ];
+    for opt in &mut optimizers {
+        let mut obj = objective();
+        let result = opt.optimize(&space, &mut obj, 6, 1);
+        assert_eq!(result.history.len(), 6, "{}", opt.name());
+        assert!(result.best_value > 0.0 && result.best_value.is_finite(), "{}", opt.name());
+        assert!(
+            obj.is_feasible(&space, &result.best_point),
+            "{} returned an infeasible design",
+            opt.name()
+        );
+    }
+}
+
+#[test]
+fn memoized_objective_keeps_methods_comparable() {
+    // Two different optimizers sharing the same memoized simulator must
+    // see identical values for identical designs.
+    let space = DesignSpace::boom();
+    let mut obj = objective();
+    let a = RandomSearchOptimizer.optimize(&space, &mut obj, 4, 9);
+    let b = RandomSearchOptimizer.optimize(&space, &mut obj, 4, 9);
+    assert_eq!(a.history, b.history, "same seed + shared cache = same trajectory");
+}

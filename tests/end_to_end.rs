@@ -1,0 +1,103 @@
+//! End-to-end integration of the full DSE flow across all crates.
+
+use archdse::{Explorer, MergedParam, Param, Preference};
+use dse_mfrl::Constraint as _;
+use dse_workloads::Benchmark;
+
+fn quick(benchmark: Benchmark, seed: u64) -> Explorer {
+    Explorer::for_benchmark(benchmark)
+        .lf_episodes(40)
+        .hf_budget(5)
+        .trace_len(3_000)
+        .seed(seed)
+}
+
+#[test]
+fn full_flow_is_deterministic_and_feasible() {
+    let a = quick(Benchmark::Fft, 3).run();
+    let b = quick(Benchmark::Fft, 3).run();
+    assert_eq!(a.best_point, b.best_point);
+    assert_eq!(a.best_cpi, b.best_cpi);
+    assert_eq!(a.rules.len(), b.rules.len());
+
+    let explorer = quick(Benchmark::Fft, 3);
+    assert!(explorer.area().fits(explorer.space(), &a.best_point));
+    assert!(a.hf.evaluations <= 5);
+}
+
+#[test]
+fn hf_refinement_never_regresses_from_the_lf_anchor() {
+    // The converged LF design is the first HF simulation, so the HF
+    // best can only match or beat it — on every benchmark.
+    for (i, benchmark) in Benchmark::ALL.into_iter().enumerate() {
+        let explorer = quick(benchmark, 10 + i as u64);
+        let mut hf = explorer.hf_evaluator();
+        let report = explorer.run_with_hf(&mut hf);
+        let anchor = 1.0 / report.hf.ipc_h0;
+        assert!(
+            report.best_cpi <= anchor + 1e-12,
+            "{benchmark}: best {} worse than anchor {anchor}",
+            report.best_cpi
+        );
+    }
+}
+
+#[test]
+fn larger_area_budgets_unlock_better_designs() {
+    // More silicon must never hurt: compare the best CPI under a tight
+    // and a generous budget for a cache-hungry workload.
+    let tight = quick(Benchmark::Dijkstra, 5).area_limit_mm2(4.5).run();
+    let generous = quick(Benchmark::Dijkstra, 5).area_limit_mm2(11.0).run();
+    assert!(
+        generous.best_cpi <= tight.best_cpi * 1.02,
+        "tight {} vs generous {}",
+        tight.best_cpi,
+        generous.best_cpi
+    );
+}
+
+#[test]
+fn general_purpose_flow_covers_all_benchmarks() {
+    let explorer = Explorer::general_purpose()
+        .lf_episodes(30)
+        .hf_budget(4)
+        .trace_len(2_000)
+        .seed(1);
+    let report = explorer.run();
+    assert!(report.best_cpi.is_finite() && report.best_cpi > 0.0);
+    assert!(explorer.area().fits(explorer.space(), &report.best_point));
+}
+
+#[test]
+fn preference_changes_the_search_outcome_mechanism() {
+    // With a strong embedded preference toward decode width, the scores
+    // at low decode must favour the decode action before any training.
+    let explorer = quick(Benchmark::FpVvadd, 2).preference(Preference {
+        group: MergedParam::Decode,
+        threshold: 3.5,
+        target: Param::DecodeWidth,
+        boost: 3.0,
+    });
+    let fnn = explorer.build_fnn();
+    let space = explorer.space();
+    let obs = fnn.observation(space, &space.smallest(), 1.2);
+    let scores = fnn.forward(&obs).scores;
+    let decode = scores[Param::DecodeWidth.index()];
+    for (i, &s) in scores.iter().enumerate() {
+        if i != Param::DecodeWidth.index() {
+            assert!(decode > s, "decode score {decode} should dominate score {s} of param {i}");
+        }
+    }
+}
+
+#[test]
+fn trained_fnn_round_trips_through_serde() {
+    let report = quick(Benchmark::Mm, 8).run();
+    let json = serde_json::to_string(&report.fnn).expect("FNN serializes");
+    let restored: archdse::Fnn = serde_json::from_str(&json).expect("FNN deserializes");
+    assert_eq!(report.fnn, restored);
+    // And the restored network computes identical scores.
+    let space = archdse::DesignSpace::boom();
+    let obs = report.fnn.observation(&space, &space.smallest(), 1.0);
+    assert_eq!(report.fnn.forward(&obs).scores, restored.forward(&obs).scores);
+}

@@ -1,0 +1,69 @@
+//! Integration of the power model and Pareto utilities with the real
+//! simulation stack (the `pareto_frontier` example's invariants).
+
+use archdse::eval::activity_of;
+use archdse::pareto::{dominates, hypervolume_2d, pareto_front, DesignMetrics};
+use archdse::{AreaModel, CoreConfig, DesignSpace, Simulator};
+use dse_area::PowerModel;
+use dse_workloads::Benchmark;
+
+fn metrics_of(space: &DesignSpace, code: u64) -> DesignMetrics {
+    let point = space.decode(code);
+    let result = Simulator::new(CoreConfig::from_point(space, &point))
+        .run(&Benchmark::Quicksort.trace(5_000, 3));
+    let power = PowerModel::new().power_mw(space, &point, &activity_of(&result));
+    DesignMetrics {
+        cpi: result.cpi(),
+        area_mm2: AreaModel::new().area_mm2(space, &point),
+        power_mw: power.total_mw(),
+        point,
+    }
+}
+
+#[test]
+fn simulated_designs_form_a_nontrivial_pareto_front() {
+    let space = DesignSpace::boom();
+    let candidates: Vec<DesignMetrics> =
+        (0..12).map(|i| metrics_of(&space, i * 249_989 % space.size())).collect();
+    let front = pareto_front(&candidates, |m| m.objectives().to_vec());
+    assert!(!front.is_empty());
+    assert!(front.len() <= candidates.len());
+    // No front member dominates another.
+    for &i in &front {
+        for &j in &front {
+            if i != j {
+                assert!(!dominates(
+                    &candidates[i].objectives(),
+                    &candidates[j].objectives()
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn bigger_machines_trade_power_for_cpi() {
+    // The smallest design must draw less power than the largest, and the
+    // largest must not be slower — the trade-off the Pareto sweep maps.
+    let space = DesignSpace::boom();
+    let small = metrics_of(&space, 0);
+    let large = metrics_of(&space, space.size() - 1);
+    assert!(large.power_mw > small.power_mw, "{} vs {}", large.power_mw, small.power_mw);
+    assert!(large.area_mm2 > small.area_mm2);
+    assert!(large.cpi <= small.cpi, "{} vs {}", large.cpi, small.cpi);
+}
+
+#[test]
+fn hypervolume_reflects_front_quality() {
+    let space = DesignSpace::boom();
+    let small = metrics_of(&space, 0);
+    let large = metrics_of(&space, space.size() - 1);
+    let reference = [small.cpi.max(large.cpi) + 1.0, small.area_mm2.max(large.area_mm2) + 1.0];
+    let one = hypervolume_2d(&[vec![small.cpi, small.area_mm2]], reference);
+    let both = hypervolume_2d(
+        &[vec![small.cpi, small.area_mm2], vec![large.cpi, large.area_mm2]],
+        reference,
+    );
+    assert!(both >= one, "adding a point never shrinks the hypervolume");
+    assert!(one > 0.0);
+}
