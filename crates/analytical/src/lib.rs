@@ -179,9 +179,9 @@ impl AnalyticalModel {
         // Window ILP: the issue queue exposes parallelism up to
         // ~sqrt(IQ·dep-distance). The ROB is deliberately ABSENT here
         // (the model's documented bias).
-        let window_ilp =
-            (v(Param::IssueQueueEntry) * S::constant(self.profile.mean_dep_distance)).sqrt()
-                * S::constant(0.9);
+        let window_ilp = (v(Param::IssueQueueEntry) * S::constant(self.profile.mean_dep_distance))
+            .sqrt()
+            * S::constant(0.9);
         let ilp_cpi = window_ilp.recip();
         // FU throughput: cycles of each unit class consumed per
         // instruction, divided by the unit count.
@@ -190,7 +190,8 @@ impl AnalyticalModel {
         let mem_cpi = S::constant(mix.mem()) / v(Param::MemFu);
         let fp_cpi = S::constant(2.0 * mix.fp) / v(Param::FpFu);
         let fu_cpi = int_cpi.smooth_max(&mem_cpi, SMOOTH_BETA).smooth_max(&fp_cpi, SMOOTH_BETA);
-        let base_cpi = decode_cpi.smooth_max(&ilp_cpi, SMOOTH_BETA).smooth_max(&fu_cpi, SMOOTH_BETA);
+        let base_cpi =
+            decode_cpi.smooth_max(&ilp_cpi, SMOOTH_BETA).smooth_max(&fu_cpi, SMOOTH_BETA);
 
         // --- Memory term: L1/L2 miss penalties with MLP overlap. ---
         let l1_kib = v(Param::L1CacheSet) * v(Param::L1CacheWay) * S::constant(line_kib);
@@ -206,15 +207,16 @@ impl AnalyticalModel {
         // Overlap factors: MSHRs cap the workload's inherent MLP.
         let one = S::constant(1.0);
         let mlp = S::constant(self.profile.mlp);
-        let mshr_overlap = mlp.smooth_min(&v(Param::NMshr), SMOOTH_BETA).smooth_max(&one, SMOOTH_BETA);
+        let mshr_overlap =
+            mlp.smooth_min(&v(Param::NMshr), SMOOTH_BETA).smooth_max(&one, SMOOTH_BETA);
         // DRAM misses additionally need ROB window to stay overlapped —
         // the ONLY place the ROB appears in this model (bias).
-        let rob_overlap = (v(Param::RobEntry) * S::constant(1.0 / 48.0)).smooth_max(&one, SMOOTH_BETA);
+        let rob_overlap =
+            (v(Param::RobEntry) * S::constant(1.0 / 48.0)).smooth_max(&one, SMOOTH_BETA);
         let dram_overlap = mshr_overlap.clone().smooth_min(&rob_overlap, SMOOTH_BETA);
 
         let loads = S::constant(self.profile.mix.load);
-        let l2_pen =
-            loads.clone() * l2_served * S::constant(self.latencies.l2_hit) / mshr_overlap;
+        let l2_pen = loads.clone() * l2_served * S::constant(self.latencies.l2_hit) / mshr_overlap;
         let dram_pen = loads * miss2 * S::constant(self.latencies.dram) / dram_overlap;
         let mem_cpi_term = l2_pen + dram_pen;
 
@@ -232,8 +234,9 @@ impl AnalyticalModel {
     /// associativity.
     fn hit_rate<S: Scalar>(&self, capacity_kib: &S, ways: &S) -> S {
         let raw = self.reuse.eval(capacity_kib);
-        let clamped =
-            raw.smooth_min(&S::constant(1.0), SMOOTH_BETA).smooth_max(&S::constant(0.0), SMOOTH_BETA);
+        let clamped = raw
+            .smooth_min(&S::constant(1.0), SMOOTH_BETA)
+            .smooth_max(&S::constant(0.0), SMOOTH_BETA);
         let temporal = clamped * S::constant(1.0 - self.profile.streaming_frac);
         // Conflict factor: at 2 ways lose `conflict_frac`, halving per
         // doubling of ways.

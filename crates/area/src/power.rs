@@ -115,12 +115,7 @@ impl PowerModel {
     /// Dynamic power in mW given an activity profile.
     ///
     /// Returns 0 for an empty interval (zero cycles).
-    pub fn dynamic_mw(
-        &self,
-        space: &DesignSpace,
-        point: &DesignPoint,
-        activity: &Activity,
-    ) -> f64 {
+    pub fn dynamic_mw(&self, space: &DesignSpace, point: &DesignPoint, activity: &Activity) -> f64 {
         if activity.cycles == 0 {
             return 0.0;
         }

@@ -33,7 +33,13 @@ impl Gbrt {
     /// # Panics
     ///
     /// Panics on empty data or a non-positive learning rate.
-    pub fn fit(x: &[Vec<f64>], y: &[f64], n_stages: usize, max_depth: usize, learning_rate: f64) -> Self {
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[f64],
+        n_stages: usize,
+        max_depth: usize,
+        learning_rate: f64,
+    ) -> Self {
         assert!(!x.is_empty(), "cannot fit GBRT to no data");
         assert!(learning_rate > 0.0, "learning rate must be positive");
         let base = y.iter().sum::<f64>() / y.len() as f64;
@@ -93,7 +99,8 @@ impl AdaBoostR2 {
             let by: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
             let tree = RegressionTree::fit(&bx, &by, None, max_depth, 2);
             // Linear loss normalized by the worst error.
-            let errors: Vec<f64> = x.iter().zip(y).map(|(xi, yi)| (tree.predict(xi) - yi).abs()).collect();
+            let errors: Vec<f64> =
+                x.iter().zip(y).map(|(xi, yi)| (tree.predict(xi) - yi).abs()).collect();
             let max_err = errors.iter().cloned().fold(0.0_f64, f64::max);
             if max_err <= 1e-12 {
                 // Perfect learner: give it a large vote and stop.
@@ -194,9 +201,10 @@ mod tests {
         let (x, y) = wavy();
         let m = AdaBoostR2::fit(&x, &y, 30, 3, 1);
         assert!(m.learner_count() > 1);
-        let rmse: f64 = (x.iter().zip(&y).map(|(xi, yi)| (m.predict(xi) - yi).powi(2)).sum::<f64>()
-            / x.len() as f64)
-            .sqrt();
+        let rmse: f64 =
+            (x.iter().zip(&y).map(|(xi, yi)| (m.predict(xi) - yi).powi(2)).sum::<f64>()
+                / x.len() as f64)
+                .sqrt();
         assert!(rmse < 0.4, "rmse {rmse}");
     }
 

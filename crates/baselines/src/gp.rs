@@ -50,7 +50,9 @@ impl FeatureMap {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xDEEF);
         let mut layer = |rows: usize, cols: usize| -> Vec<Vec<f64>> {
             (0..rows)
-                .map(|_| (0..cols).map(|_| rng.gen_range(-1.0..1.0) / (cols as f64).sqrt()).collect())
+                .map(|_| {
+                    (0..cols).map(|_| rng.gen_range(-1.0..1.0) / (cols as f64).sqrt()).collect()
+                })
                 .collect()
         };
         Self { w1: layer(hidden, dim), w2: layer(out, hidden) }

@@ -113,12 +113,8 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, iters: usize, rng: &mut StdRng) -> 
         // Update.
         let dim = points[0].len();
         for (c, centroid) in centroids.iter_mut().enumerate() {
-            let members: Vec<&Vec<f64>> = points
-                .iter()
-                .zip(&assignment)
-                .filter(|(_, &a)| a == c)
-                .map(|(p, _)| p)
-                .collect();
+            let members: Vec<&Vec<f64>> =
+                points.iter().zip(&assignment).filter(|(_, &a)| a == c).map(|(p, _)| p).collect();
             if members.is_empty() {
                 continue; // keep the old centroid for empty clusters
             }

@@ -7,7 +7,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::optimizer::{candidate_pool, random_unseen, EvalLog};
 use crate::stats::expected_improvement;
-use crate::{AdaBoostR2, GaussianProcess, Gbrt, Objective, OptimizationResult, Optimizer, RandomForest};
+use crate::{
+    AdaBoostR2, GaussianProcess, Gbrt, Objective, OptimizationResult, Optimizer, RandomForest,
+};
 
 /// Size of the random candidate pool ranked by each acquisition step.
 const POOL: usize = 512;
@@ -252,7 +254,6 @@ impl Optimizer for BoomExplorerOptimizer {
     }
 }
 
-
 /// SCBO \[Eriksson & Poloczek, AISTATS'21\]: trust-region Bayesian
 /// optimization with Thompson sampling. Uniquely among the baselines it
 /// may spend budget on constraint-violating designs ("SCBO requires the
@@ -433,7 +434,9 @@ mod tests {
         // model-based baselines should (on average over seeds) find
         // better designs than pure random search.
         let space = DesignSpace::boom();
-        let seeds = [1u64, 2, 3, 4, 5];
+        // Averaged over enough seeds that the comparison reflects the
+        // optimizers rather than one PRNG stream's luck.
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
         let avg = |opt: &mut dyn Optimizer| -> f64 {
             seeds
                 .iter()

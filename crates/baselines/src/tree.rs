@@ -116,7 +116,7 @@ fn build(
     }
     let dim = x[0].len();
     let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
-    // Indexing by feature id is clearer than iterating columns here.
+                                                    // Indexing by feature id is clearer than iterating columns here.
     #[allow(clippy::needless_range_loop)]
     for f in 0..dim {
         let mut values: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
@@ -168,7 +168,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn grid2d(n: usize) -> Vec<Vec<f64>> {
-        (0..n * n).map(|k| vec![(k % n) as f64 / (n - 1) as f64, (k / n) as f64 / (n - 1) as f64]).collect()
+        (0..n * n)
+            .map(|k| vec![(k % n) as f64 / (n - 1) as f64, (k / n) as f64 / (n - 1) as f64])
+            .collect()
     }
 
     #[test]

@@ -9,7 +9,10 @@ use dse_workloads::Benchmark;
 
 fn bench_ablations(c: &mut Criterion) {
     let result = ablations(&AblationConfig::quick());
-    dse_bench::print_artifact("Ablations: design-choice knock-outs (quick scale)", &result.to_markdown());
+    dse_bench::print_artifact(
+        "Ablations: design-choice knock-outs (quick scale)",
+        &result.to_markdown(),
+    );
 
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);

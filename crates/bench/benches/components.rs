@@ -19,9 +19,7 @@ fn bench_analytical(c: &mut Criterion) {
     let model = AnalyticalModel::new(&space, Benchmark::Mm.profile());
     let point = space.decode(1_234_567);
     let mut group = c.benchmark_group("analytical");
-    group.bench_function("cpi", |b| {
-        b.iter(|| std::hint::black_box(model.cpi_in(&space, &point)))
-    });
+    group.bench_function("cpi", |b| b.iter(|| std::hint::black_box(model.cpi_in(&space, &point))));
     group.bench_function("cpi_with_gradient", |b| {
         b.iter(|| std::hint::black_box(model.cpi_with_gradient(&space, &point)))
     });
@@ -67,12 +65,12 @@ fn bench_gp(c: &mut Criterion) {
     let y: Vec<f64> = x.iter().map(|p| p.iter().sum::<f64>()).collect();
     let mut group = c.benchmark_group("gp");
     group.bench_function("fit_12_points", |b| {
-        b.iter(|| std::hint::black_box(GaussianProcess::fit(&x, &y, true, 0).unwrap().lengthscale()))
+        b.iter(|| {
+            std::hint::black_box(GaussianProcess::fit(&x, &y, true, 0).unwrap().lengthscale())
+        })
     });
     let gp = GaussianProcess::fit(&x, &y, true, 0).unwrap();
-    group.bench_function("predict", |b| {
-        b.iter(|| std::hint::black_box(gp.predict(&x[5])))
-    });
+    group.bench_function("predict", |b| b.iter(|| std::hint::black_box(gp.predict(&x[5]))));
     group.finish();
 }
 

@@ -17,7 +17,10 @@ use dse_workloads::Benchmark;
 
 fn bench_fig5(c: &mut Criterion) {
     let result = fig5(&Fig5Config::quick());
-    dse_bench::print_artifact("Fig. 5: comparison with baselines (quick scale)", &result.to_markdown());
+    dse_bench::print_artifact(
+        "Fig. 5: comparison with baselines (quick scale)",
+        &result.to_markdown(),
+    );
 
     let space = DesignSpace::boom();
     let mut group = c.benchmark_group("fig5");

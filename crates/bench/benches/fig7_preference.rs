@@ -14,7 +14,10 @@ use dse_workloads::Benchmark;
 
 fn bench_fig7(c: &mut Criterion) {
     let result = fig7(&Fig7Config::quick());
-    dse_bench::print_artifact("Fig. 7: embedding preference into FNN (quick scale)", &result.to_markdown());
+    dse_bench::print_artifact(
+        "Fig. 7: embedding preference into FNN (quick scale)",
+        &result.to_markdown(),
+    );
 
     let space = DesignSpace::boom();
     let lf = AnalyticalLf::for_benchmark(&space, Benchmark::FpVvadd, 1.0);
@@ -30,8 +33,9 @@ fn bench_fig7(c: &mut Criterion) {
                 Param::DecodeWidth.index(),
                 2.0,
             );
-            let outcome = LfPhase::new(LfPhaseConfig { episodes: 20, seed: 5, ..Default::default() })
-                .run(&mut fnn, &space, &lf, &area);
+            let outcome =
+                LfPhase::new(LfPhaseConfig { episodes: 20, seed: 5, ..Default::default() })
+                    .run(&mut fnn, &space, &lf, &area);
             std::hint::black_box(outcome.converged.value(&space, Param::DecodeWidth))
         })
     });

@@ -13,7 +13,10 @@ use dse_workloads::Benchmark;
 fn bench_table2(c: &mut Criterion) {
     // Regenerate the table once at bench-quick scale.
     let result = table2(&Table2Config::quick());
-    dse_bench::print_artifact("Table 2: application-specific DSE (quick scale)", &result.to_markdown());
+    dse_bench::print_artifact(
+        "Table 2: application-specific DSE (quick scale)",
+        &result.to_markdown(),
+    );
 
     // Representative kernel: one benchmark's full flow.
     let mut group = c.benchmark_group("table2");

@@ -4,13 +4,14 @@ use std::error::Error;
 
 use serde::Serialize;
 
+use archdse::eval::SimulatorHf;
 use archdse::experiments::{
     ablations, fig5, fig6, fig7, table2, AblationConfig, Fig5Config, Fig6Config, Fig7Config,
     Table2Config,
 };
 use archdse::{DesignSpace, Explorer, Fnn, Param};
 use dse_fnn::explain_top_action;
-use dse_mfrl::{Constraint as _, LowFidelity as _};
+use dse_mfrl::{Constraint as _, HighFidelity as _, LowFidelity as _};
 use dse_workloads::Benchmark;
 
 use crate::Args;
@@ -33,7 +34,18 @@ COMMANDS:
       --lf-episodes <n>      LF training episodes (default 300)
       --hf-budget <n>        HF simulations (default 9)
       --trace-len <n>        trace length (default 30000)
+      --threads <n>          HF worker threads (default: DSE_THREADS env
+                             var, else all cores; results are identical)
       --save-fnn <file>      persist the trained network as JSON
+  sweep                      simulate a spread of designs in one parallel
+                             batch and tabulate their CPIs
+      --benchmark <name>     workload (default mm)
+      --general              sweep the six-benchmark average instead
+      --count <n>            designs, evenly spaced over the space (default 24)
+      --trace-len <n>        trace length (default 10000)
+      --threads <n>          worker threads (default as for explore)
+      --seed <n>             trace seed (default 0)
+      --json <file>          also write the rows as JSON
   explain                    walk a saved network greedily, explaining
                              each decision's top rules
       --fnn <file>           trained network from `explore --save-fnn`
@@ -68,6 +80,7 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
     match args.command() {
         Some("space") => cmd_space(),
         Some("explore") => cmd_explore(args),
+        Some("sweep") => cmd_sweep(args),
         Some("explain") => cmd_explain(args),
         Some("table2") => {
             let config =
@@ -102,8 +115,11 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
             Ok(0)
         }
         Some("ablations") => {
-            let config =
-                if args.switch("full") { AblationConfig::default() } else { AblationConfig::quick() };
+            let config = if args.switch("full") {
+                AblationConfig::default()
+            } else {
+                AblationConfig::quick()
+            };
             let result = ablations(&config);
             println!("{}", result.to_markdown());
             maybe_write_json(args, &result)?;
@@ -147,6 +163,13 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
     if let Some(leakage) = args.value_of::<f64>("leakage")? {
         explorer = explorer.leakage_limit_mw(leakage);
     }
+    if let Some(threads) = args.value_of::<usize>("threads")? {
+        if threads == 0 {
+            eprintln!("--threads must be >= 1");
+            return Ok(2);
+        }
+        explorer = explorer.threads(threads);
+    }
 
     let report = explorer.run();
     println!("best design  : {}", report.best_point.describe(explorer.space()));
@@ -157,6 +180,10 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
     );
     println!("simulated CPI: {:.4}", report.best_cpi);
     println!("HF sims used : {}", report.hf.evaluations);
+    // The phase cache sees every episode proposal; the evaluator cache
+    // behind it only ever sees the misses, so this is the line with a
+    // meaningful hit rate.
+    println!("HF CPI cache : {}", report.hf.cache);
     println!("\nlearned rules:");
     for rule in report.rules.iter().take(12) {
         println!("  {rule}");
@@ -165,6 +192,59 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
         std::fs::write(&path, serde_json::to_string_pretty(&report.fnn)?)?;
         println!("\n(saved trained network to {path})");
     }
+    Ok(0)
+}
+
+fn cmd_sweep(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let benchmarks: Vec<Benchmark> = if args.switch("general") {
+        Benchmark::ALL.to_vec()
+    } else {
+        vec![parse_benchmark(&args.value_or("benchmark", "mm".to_string())?)?]
+    };
+    let count: u64 = args.value_or("count", 24u64)?;
+    if count == 0 {
+        eprintln!("sweep requires --count >= 1");
+        return Ok(2);
+    }
+    let space = DesignSpace::boom();
+    let count = count.min(space.size());
+    let mut hf = SimulatorHf::for_benchmarks(
+        &benchmarks,
+        args.value_or("trace-len", 10_000)?,
+        args.value_or("seed", 0u64)?,
+        1.0,
+    );
+    if let Some(threads) = args.value_of::<usize>("threads")? {
+        if threads == 0 {
+            eprintln!("--threads must be >= 1");
+            return Ok(2);
+        }
+        hf = hf.with_threads(threads);
+    }
+
+    // Evenly spaced encoded indices cover the space corner to corner.
+    let points: Vec<_> = if count == 1 {
+        vec![space.smallest()]
+    } else {
+        (0..count).map(|i| space.decode(i * (space.size() - 1) / (count - 1))).collect()
+    };
+    let cpis = hf.cpi_batch(&space, &points);
+
+    println!("{:<12} {:>8}", "design", "CPI");
+    let mut rows: Vec<(u64, f64)> = Vec::with_capacity(points.len());
+    for (point, &cpi) in points.iter().zip(&cpis) {
+        let index = space.encode(point);
+        println!("{index:<12} {cpi:>8.4}");
+        rows.push((index, cpi));
+    }
+    println!(
+        "simulated {} designs x {} traces on {} thread(s); cache: {}",
+        points.len(),
+        benchmarks.len(),
+        hf.threads(),
+        hf.cache_stats()
+    );
+    maybe_write_json(args, &rows)?;
     Ok(0)
 }
 
@@ -177,8 +257,7 @@ fn cmd_explain(args: &Args) -> Result<i32, Box<dyn Error>> {
     let name = args.value_or("benchmark", "mm".to_string())?;
     let benchmark = parse_benchmark(&name)?;
     let steps: usize = args.value_or("steps", 5)?;
-    let explorer =
-        Explorer::for_benchmark(benchmark).area_limit_mm2(args.value_or("area", 8.0)?);
+    let explorer = Explorer::for_benchmark(benchmark).area_limit_mm2(args.value_or("area", 8.0)?);
     let space = explorer.space();
     let lf = explorer.lf_model();
     let area = explorer.area();
@@ -244,6 +323,38 @@ mod tests {
             "1000",
         ]);
         assert_eq!(run(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn sweep_runs_and_writes_json() {
+        let dir = std::env::temp_dir().join("archdse_cli_test_sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let path_str = path.to_str().unwrap();
+        let a = args(&[
+            "sweep",
+            "--benchmark",
+            "ss",
+            "--count",
+            "4",
+            "--trace-len",
+            "500",
+            "--threads",
+            "2",
+            "--json",
+            path_str,
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
+        let rows: Vec<(u64, f64)> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|&(_, cpi)| cpi > 0.0 && cpi.is_finite()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sweep_with_zero_count_exits_nonzero() {
+        assert_eq!(run(&args(&["sweep", "--count", "0"])).unwrap(), 2);
     }
 
     #[test]

@@ -34,10 +34,7 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn bad_flag_value_is_reported() {
-    let out = archdse()
-        .args(["explore", "--benchmark", "nonsense"])
-        .output()
-        .expect("binary runs");
+    let out = archdse().args(["explore", "--benchmark", "nonsense"]).output().expect("binary runs");
     assert!(!out.status.success());
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("nonsense"), "stderr: {err}");
@@ -73,10 +70,8 @@ fn json_output_is_valid_json() {
     let dir = std::env::temp_dir().join("archdse_bin_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("fig6.json");
-    let out = archdse()
-        .args(["fig6", "--json", path.to_str().unwrap()])
-        .output()
-        .expect("binary runs");
+    let out =
+        archdse().args(["fig6", "--json", path.to_str().unwrap()]).output().expect("binary runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let parsed: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();

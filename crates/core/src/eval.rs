@@ -2,10 +2,9 @@
 //! cycle-level simulator and the area model into the RL traits and the
 //! baseline-optimizer interface.
 
-use std::collections::HashMap;
-
 use dse_analytical::AnalyticalModel;
 use dse_area::{Activity, AreaModel, PowerModel};
+use dse_exec::{par_map, CacheStats, CpiCache};
 use dse_mfrl::{Constraint, HighFidelity, LowFidelity};
 use dse_sim::{CoreConfig, SimResult, Simulator};
 use dse_space::{DesignPoint, DesignSpace, Param};
@@ -109,23 +108,36 @@ impl LowFidelity for AnalyticalLf {
 /// evaluator's benchmarks for one design (the Fig. 5 objective is the
 /// six-benchmark average CPI); the result is cached so re-proposals of a
 /// design are free.
+///
+/// Per-benchmark traces — and, through [`HighFidelity::cpi_batch`],
+/// whole batches of designs — are simulated on the `dse-exec` work pool.
+/// Results are gathered in input order, so the reported CPIs are
+/// bit-identical whatever the thread count (see the crate's DESIGN.md).
 #[derive(Debug)]
 pub struct SimulatorHf {
     traces: Vec<Trace>,
-    cache: HashMap<u64, f64>,
+    cache: CpiCache,
     evals: usize,
+    threads: usize,
 }
 
 impl SimulatorHf {
     /// Builds the HF evaluator for one benchmark.
-    pub fn for_benchmark(benchmark: Benchmark, trace_len: usize, seed: u64, data_scale: f64) -> Self {
+    pub fn for_benchmark(
+        benchmark: Benchmark,
+        trace_len: usize,
+        seed: u64,
+        data_scale: f64,
+    ) -> Self {
         Self::for_benchmarks(&[benchmark], trace_len, seed, data_scale)
     }
 
     /// Builds the HF evaluator averaging several benchmarks.
     ///
     /// Traces are generated once here, so every design is judged on the
-    /// identical instruction streams.
+    /// identical instruction streams. The worker count defaults to
+    /// [`dse_exec::default_threads`] (the `DSE_THREADS` environment
+    /// variable, else all cores).
     ///
     /// # Panics
     ///
@@ -140,42 +152,144 @@ impl SimulatorHf {
         assert!(trace_len > 0, "trace length must be positive");
         let traces =
             benchmarks.iter().map(|&b| b.trace_scaled(trace_len, seed, data_scale)).collect();
-        Self { traces, cache: HashMap::new(), evals: 0 }
+        Self { traces, cache: CpiCache::new(), evals: 0, threads: dse_exec::default_threads() }
+    }
+
+    /// Overrides the worker-thread count (1 = fully sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count used for batched simulation.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Counters of the memoized CPI cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// CPI of a design without budget side effects (used by the regret
     /// reference pass; still cached).
     pub fn cpi_uncounted(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         let key = space.encode(point);
-        if let Some(&c) = self.cache.get(&key) {
+        if let Some(c) = self.cache.get(key) {
             return c;
         }
+        let cpi = self.simulate(space, point);
+        self.cache.insert(key, cpi);
+        cpi
+    }
+
+    /// Simulates every trace for one design (no cache involvement),
+    /// averaging in trace order so the result does not depend on the
+    /// thread count.
+    fn simulate(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         let config = CoreConfig::from_point(space, point);
-        let mean = self
-            .traces
-            .iter()
-            .map(|t| Simulator::new(config.clone()).run(t).cpi())
-            .sum::<f64>()
-            / self.traces.len() as f64;
-        self.cache.insert(key, mean);
-        mean
+        let cpis =
+            par_map(&self.traces, self.threads, |t| Simulator::new(config.clone()).run(t).cpi());
+        cpis.iter().sum::<f64>() / self.traces.len() as f64
     }
 }
 
 impl HighFidelity for SimulatorHf {
     fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         let key = space.encode(point);
-        if let Some(&c) = self.cache.get(&key) {
+        if let Some(c) = self.cache.get(key) {
             return c;
         }
         self.evals += 1;
-        let cpi = self.cpi_uncounted(space, point);
-        debug_assert!(self.cache.contains_key(&key));
+        let cpi = self.simulate(space, point);
+        self.cache.insert(key, cpi);
         cpi
     }
 
     fn evaluations(&self) -> usize {
         self.evals
+    }
+
+    /// Batched evaluation fanning every uncached (design × trace) pair
+    /// across the work pool at once, so small trace sets still keep all
+    /// cores busy on design sweeps.
+    ///
+    /// Values, evaluation counts and cache counters are identical to
+    /// calling [`HighFidelity::cpi`] on each point in order; per-design
+    /// CPIs are averaged in trace order, so they are also bit-identical
+    /// to the sequential walk at any thread count.
+    fn cpi_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
+        // Pass 1 (sequential): replay the exact cache-lookup sequence
+        // the per-point path would issue, scheduling each design's first
+        // uncached occurrence for simulation.
+        enum Slot {
+            Done(f64),
+            // Position in `to_run`; `dup` marks occurrences after the
+            // first, whose counted cache hit is deferred to pass 3.
+            Pending { run: usize, dup: bool },
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(points.len());
+        let mut to_run: Vec<(u64, CoreConfig)> = Vec::new();
+        let mut scheduled: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for point in points {
+            let key = space.encode(point);
+            if let Some(&run) = scheduled.get(&key) {
+                slots.push(Slot::Pending { run, dup: true });
+                continue;
+            }
+            match self.cache.get(key) {
+                Some(cpi) => slots.push(Slot::Done(cpi)),
+                None => {
+                    self.evals += 1;
+                    scheduled.insert(key, to_run.len());
+                    slots.push(Slot::Pending { run: to_run.len(), dup: false });
+                    to_run.push((key, CoreConfig::from_point(space, point)));
+                }
+            }
+        }
+
+        // Pass 2 (parallel): one job per (design, trace) pair, gathered
+        // in job order and averaged per design in trace order.
+        let n_traces = self.traces.len();
+        let jobs: Vec<(usize, usize)> =
+            (0..to_run.len()).flat_map(|d| (0..n_traces).map(move |t| (d, t))).collect();
+        let traces = &self.traces;
+        let per_job = par_map(&jobs, self.threads, |&(d, t)| {
+            Simulator::new(to_run[d].1.clone()).run(&traces[t]).cpi()
+        });
+        let means: Vec<f64> = (0..to_run.len())
+            .map(|d| {
+                per_job[d * n_traces..(d + 1) * n_traces].iter().sum::<f64>() / n_traces as f64
+            })
+            .collect();
+        for (&(key, _), &mean) in to_run.iter().zip(&means) {
+            self.cache.insert(key, mean);
+        }
+
+        // Pass 3: resolve pending slots; within-batch duplicates now
+        // take the counted cache hit the sequential walk would have.
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(cpi) => cpi,
+                Slot::Pending { run, dup } => {
+                    if dup {
+                        self.cache.get(to_run[run].0).expect("inserted in pass 2")
+                    } else {
+                        means[run]
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 

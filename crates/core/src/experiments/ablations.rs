@@ -132,8 +132,7 @@ pub fn ablations(config: &AblationConfig) -> AblationResult {
     let rows = variants
         .into_iter()
         .map(|(label, make)| {
-            let per_seed: Vec<f64> =
-                config.seeds.iter().map(|&s| make(s).run().best_cpi).collect();
+            let per_seed: Vec<f64> = config.seeds.iter().map(|&s| make(s).run().best_cpi).collect();
             AblationRow {
                 variant: label.to_string(),
                 mean_best_cpi: per_seed.iter().sum::<f64>() / per_seed.len() as f64,

@@ -90,15 +90,15 @@ impl Fig5Result {
         for r in &self.rows {
             let p = match ours {
                 Some(o) if o.method != r.method && o.per_seed.len() == r.per_seed.len() => {
-                    format!("{:.3}", crate::stats::paired_bootstrap_p(&o.per_seed, &r.per_seed, 5_000, 7))
+                    format!(
+                        "{:.3}",
+                        crate::stats::paired_bootstrap_p(&o.per_seed, &r.per_seed, 5_000, 7)
+                    )
                 }
                 _ => "—".to_string(),
             };
-            let _ = writeln!(
-                s,
-                "| {} | {:.4} | {:.4} | {} |",
-                r.method, r.mean_best_cpi, r.std_dev, p
-            );
+            let _ =
+                writeln!(s, "| {} | {:.4} | {:.4} | {} |", r.method, r.mean_best_cpi, r.std_dev, p);
         }
         s
     }

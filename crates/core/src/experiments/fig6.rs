@@ -82,8 +82,14 @@ impl Fig6Result {
     /// Renders the study as a markdown table.
     pub fn to_markdown(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "| initialization | L1 center | L2 center | final best CPI | episodes to within 1% |");
-        let _ = writeln!(s, "|----------------|----------:|----------:|---------------:|----------------------:|");
+        let _ = writeln!(
+            s,
+            "| initialization | L1 center | L2 center | final best CPI | episodes to within 1% |"
+        );
+        let _ = writeln!(
+            s,
+            "|----------------|----------:|----------:|---------------:|----------------------:|"
+        );
         for c in &self.curves {
             let last = c.history.last().copied().unwrap_or(f64::NAN);
             let _ = writeln!(

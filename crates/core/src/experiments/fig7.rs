@@ -90,7 +90,8 @@ pub fn fig7(config: &Fig7Config) -> Fig7Result {
     let space = DesignSpace::boom();
     let lf = AnalyticalLf::for_benchmark(&space, Benchmark::FpVvadd, 1.0);
     let area = AreaLimit::new(config.area_limit_mm2);
-    let phase_cfg = LfPhaseConfig { episodes: config.episodes, seed: config.seed, ..Default::default() };
+    let phase_cfg =
+        LfPhaseConfig { episodes: config.episodes, seed: config.seed, ..Default::default() };
 
     // Baseline: no preference.
     let mut plain = FnnBuilder::for_space(&space).build();
@@ -108,11 +109,7 @@ pub fn fig7(config: &Fig7Config) -> Fig7Result {
         .iter()
         .map(|&param| ParamTrajectory {
             param,
-            values: outcome
-                .episode_designs
-                .iter()
-                .map(|d| d.value(&space, param))
-                .collect(),
+            values: outcome.episode_designs.iter().map(|d| d.value(&space, param)).collect(),
         })
         .collect();
 

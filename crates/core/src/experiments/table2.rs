@@ -128,8 +128,7 @@ pub fn table2(config: &Table2Config) -> Table2Result {
             // (does not consume DSE budget).
             let space = explorer.space().clone();
             let lf_cpi = hf.cpi_uncounted(&space, &report.lf.converged);
-            let reference =
-                reference_optimum(&space, &mut hf, &explorer.area(), &config.reference);
+            let reference = reference_optimum(&space, &mut hf, &explorer.area(), &config.reference);
             let lf_regret = regret(lf_cpi, &reference);
             let hf_regret = regret(report.best_cpi, &reference);
             Table2Row {

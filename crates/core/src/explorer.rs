@@ -1,7 +1,11 @@
 //! The friendly end-to-end API.
 
+use dse_exec::CacheStats;
 use dse_fnn::{extract_rules, Fnn, FnnBuilder, Rule, RuleExtractionConfig};
-use dse_mfrl::{HfOutcome, HfPhaseConfig, LfOutcome, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse, RewardKind};
+use dse_mfrl::{
+    HfOutcome, HfPhaseConfig, LfOutcome, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
+    RewardKind,
+};
 use dse_space::{DesignPoint, DesignSpace, MergedParam, Param};
 use dse_workloads::Benchmark;
 
@@ -37,6 +41,9 @@ pub struct ExplorationReport {
     pub fnn: Fnn,
     /// The extracted, pruned rule base (§4.3).
     pub rules: Vec<Rule>,
+    /// Counters of the HF evaluator's memoized CPI cache (how often the
+    /// simulator was spared by memoization across the whole run).
+    pub hf_cache: CacheStats,
 }
 
 /// The end-to-end explorer: configure a workload and an area budget,
@@ -66,6 +73,7 @@ pub struct Explorer {
     lf_episodes: usize,
     hf_budget: usize,
     trace_len: usize,
+    threads: Option<usize>,
     data_scale: f64,
     param_centers: Vec<(MergedParam, f64)>,
     preference: Option<Preference>,
@@ -95,6 +103,7 @@ impl Explorer {
             lf_episodes: 300,
             hf_budget: 9,
             trace_len: 30_000,
+            threads: None,
             data_scale: 1.0,
             param_centers: Vec::new(),
             preference: None,
@@ -161,6 +170,14 @@ impl Explorer {
         self
     }
 
+    /// Sets the HF evaluator's worker-thread count (1 = sequential).
+    /// Defaults to the `DSE_THREADS` environment variable, else all
+    /// cores; results are identical whatever the value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Scales every benchmark's data footprint (Fig. 6's enlarged
     /// dijkstra uses > 1).
     pub fn data_scale(mut self, scale: f64) -> Self {
@@ -207,7 +224,16 @@ impl Explorer {
 
     /// Builds the HF evaluator this explorer will spend budget on.
     pub fn hf_evaluator(&self) -> SimulatorHf {
-        SimulatorHf::for_benchmarks(&self.benchmarks, self.trace_len, self.seed ^ 0x51, self.data_scale)
+        let hf = SimulatorHf::for_benchmarks(
+            &self.benchmarks,
+            self.trace_len,
+            self.seed ^ 0x51,
+            self.data_scale,
+        );
+        match self.threads {
+            Some(threads) => hf.with_threads(threads),
+            None => hf,
+        }
     }
 
     /// Builds the area constraint.
@@ -261,7 +287,11 @@ impl Explorer {
                 reward: self.reward,
                 ..Default::default()
             },
-            hf: HfPhaseConfig { budget: self.hf_budget, seed: self.seed ^ 0xA5, ..Default::default() },
+            hf: HfPhaseConfig {
+                budget: self.hf_budget,
+                seed: self.seed ^ 0xA5,
+                ..Default::default()
+            },
         };
         let outcome =
             MultiFidelityDse::new(config).run(&mut fnn, &self.space, &lf, hf, &constraints);
@@ -273,6 +303,7 @@ impl Explorer {
             hf: outcome.hf,
             fnn,
             rules,
+            hf_cache: hf.cache_stats(),
         }
     }
 }
@@ -283,11 +314,7 @@ mod tests {
     use dse_mfrl::Constraint as _;
 
     fn quick(benchmark: Benchmark) -> Explorer {
-        Explorer::for_benchmark(benchmark)
-            .lf_episodes(25)
-            .hf_budget(4)
-            .trace_len(2_000)
-            .seed(7)
+        Explorer::for_benchmark(benchmark).lf_episodes(25).hf_budget(4).trace_len(2_000).seed(7)
     }
 
     #[test]
@@ -302,10 +329,7 @@ mod tests {
     #[test]
     fn training_produces_a_nonempty_rule_base() {
         let report = quick(Benchmark::Mm).run();
-        assert!(
-            !report.rules.is_empty(),
-            "a trained network should yield at least one rule"
-        );
+        assert!(!report.rules.is_empty(), "a trained network should yield at least one rule");
     }
 
     #[test]

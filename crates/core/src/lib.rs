@@ -54,7 +54,9 @@ pub use explorer::{ExplorationReport, Explorer, Preference};
 pub use dse_analytical::AnalyticalModel;
 pub use dse_area::AreaModel;
 pub use dse_fnn::{extract_rules, Fnn, FnnBuilder, Rule, RuleExtractionConfig};
-pub use dse_mfrl::{DseOutcome, HfPhaseConfig, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse};
+pub use dse_mfrl::{
+    DseOutcome, HfPhaseConfig, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
+};
 pub use dse_sim::{CoreConfig, SimResult, Simulator};
 pub use dse_space::{DesignPoint, DesignSpace, MergedParam, Param};
 pub use dse_workloads::Benchmark;

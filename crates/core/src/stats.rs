@@ -53,10 +53,9 @@ pub fn paired_bootstrap_p(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut at_least_zero = 0usize;
     for _ in 0..resamples {
-        let resampled_mean = (0..diffs.len())
-            .map(|_| diffs[rng.gen_range(0..diffs.len())])
-            .sum::<f64>()
-            / diffs.len() as f64;
+        let resampled_mean =
+            (0..diffs.len()).map(|_| diffs[rng.gen_range(0..diffs.len())]).sum::<f64>()
+                / diffs.len() as f64;
         if resampled_mean >= 0.0 {
             at_least_zero += 1;
         }

@@ -1,0 +1,303 @@
+//! Deterministic parallel evaluation backend.
+//!
+//! Every CPI evaluation in the workspace used to be strictly
+//! sequential. This crate supplies the two pieces that make batched
+//! evaluation fast *without* giving up reproducibility:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — a std-only scoped-thread work
+//!   pool (`std::thread::scope`, no dependencies) that fans a slice of
+//!   jobs across cores and gathers results **by index**, so the output
+//!   order — and therefore every downstream fold over it — is
+//!   independent of OS scheduling. Running with 1 thread or N threads
+//!   produces bit-identical results.
+//! * [`CpiCache`] — the shared memoized CPI cache keyed by a design's
+//!   encoded index, with hit/miss/eval counters ([`CacheStats`]). It
+//!   replaces the ad-hoc `HashMap` caches that used to live separately
+//!   in the HF evaluator, the HF phase and the test utilities, and its
+//!   counters surface in `HfOutcome`/`ExplorationReport` as free
+//!   observability.
+//!
+//! Thread-count policy lives in [`default_threads`]: the `DSE_THREADS`
+//! environment variable when set (a positive integer), otherwise the
+//! machine's available parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "DSE_THREADS";
+
+/// The default number of worker threads for batched evaluation.
+///
+/// Honours `DSE_THREADS` (a positive integer) when set; otherwise the
+/// machine's available parallelism; 1 when even that is unknown.
+pub fn default_threads() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results
+/// in item order regardless of scheduling.
+///
+/// Work distribution is a shared atomic cursor, so threads stay busy on
+/// uneven jobs; results are gathered by index, so `par_map(items, 1, f)`
+/// and `par_map(items, n, f)` return identical vectors whenever `f` is a
+/// pure function of its arguments. With `threads <= 1` (or fewer than
+/// two items) no threads are spawned at all.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`par_map`] variant handing `f` the item index as well.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn par_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut gathered: Vec<Option<R>> = Vec::with_capacity(items.len());
+    gathered.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            return produced;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("evaluation worker panicked") {
+                gathered[i] = Some(value);
+            }
+        }
+    });
+
+    gathered.into_iter().map(|slot| slot.expect("every index produced")).collect()
+}
+
+/// Hit/miss/eval counters of a [`CpiCache`] (or any memoized evaluator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh evaluation.
+    pub misses: u64,
+    /// Distinct designs currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Merges another counter set into this one (entry counts add).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} cached, {:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.entries,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// The shared memoized CPI cache, keyed by encoded design point.
+///
+/// One cache instance backs one evaluator (or one search phase); every
+/// lookup is counted so experiment reports can state exactly how much
+/// work memoization saved.
+///
+/// # Examples
+///
+/// ```
+/// use dse_exec::CpiCache;
+///
+/// let mut cache = CpiCache::new();
+/// assert_eq!(cache.get(7), None);
+/// cache.insert(7, 1.25);
+/// assert_eq!(cache.get(7), Some(1.25));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CpiCache {
+    map: HashMap<u64, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CpiCache {
+    /// An empty cache with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counted lookup: a hit or miss is recorded.
+    pub fn get(&mut self, key: u64) -> Option<f64> {
+        match self.map.get(&key) {
+            Some(&cpi) => {
+                self.hits += 1;
+                Some(cpi)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup (for peeking without skewing the counters).
+    pub fn peek(&self, key: u64) -> Option<f64> {
+        self.map.get(&key).copied()
+    }
+
+    /// Stores the CPI of a design.
+    pub fn insert(&mut self, key: u64, cpi: f64) {
+        self.map.insert(key, cpi);
+    }
+
+    /// Whether a design is cached (uncounted).
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of distinct designs cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, entries: self.map.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_on_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_results_are_bit_identical_across_thread_counts() {
+        // Floating-point work whose result depends on evaluation inputs
+        // only — parallel scheduling must not perturb a single bit.
+        let items: Vec<f64> = (1..200).map(|i| i as f64 * 0.37).collect();
+        let work = |&x: &f64| (x.sin() * x.sqrt()).powi(3) / (1.0 + x);
+        let sequential = par_map(&items, 1, work);
+        for threads in [2, 5, 16] {
+            let parallel = par_map(&items, threads, work);
+            let same = sequential.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_passes_the_item_index() {
+        let items = ["a", "b", "c"];
+        let labelled = par_map_indexed(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(labelled, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        assert_eq!(par_map(&[] as &[u8], 4, |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[9], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut cache = CpiCache::new();
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.get(1), None);
+        cache.insert(1, 2.5);
+        assert_eq!(cache.get(1), Some(2.5));
+        assert_eq!(cache.peek(2), None); // uncounted
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.lookups(), 3);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_absorb_adds_counters() {
+        let mut a = CacheStats { hits: 1, misses: 2, entries: 3 };
+        a.absorb(CacheStats { hits: 10, misses: 20, entries: 30 });
+        assert_eq!(a, CacheStats { hits: 11, misses: 22, entries: 33 });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -155,8 +155,7 @@ mod tests {
     fn zero_init_scores_are_zero() {
         let space = DesignSpace::boom();
         let f = FnnBuilder::for_space(&space).build();
-        let pass =
-            f.forward(&Observation { values: vec![1.0, 8.0, 256.0, 2.0, 64.0, 5.0, 8.0] });
+        let pass = f.forward(&Observation { values: vec![1.0, 8.0, 256.0, 2.0, 64.0, 5.0, 8.0] });
         assert!(pass.scores.iter().all(|&s| s == 0.0));
     }
 

@@ -163,8 +163,7 @@ mod tests {
         let (space, fnn) = trained_net();
         let obs = fnn.observation(&space, &space.smallest(), 1.8);
         let e = explain_decision(&fnn, &obs, 5, 8);
-        let total: f64 =
-            e.contributions.iter().map(|c| c.contribution).sum::<f64>() + e.residual;
+        let total: f64 = e.contributions.iter().map(|c| c.contribution).sum::<f64>() + e.residual;
         assert!((total - e.score).abs() < 1e-9, "decomposition must be exact");
     }
 
@@ -173,13 +172,8 @@ mod tests {
         let (space, fnn) = trained_net();
         let obs = fnn.observation(&space, &space.smallest(), 1.8);
         let pass = fnn.forward(&obs);
-        let argmax = pass
-            .scores
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| a.total_cmp(b))
-            .unwrap()
-            .0;
+        let argmax =
+            pass.scores.iter().enumerate().max_by(|(_, a), (_, b)| a.total_cmp(b)).unwrap().0;
         let e = explain_top_action(&fnn, &obs, 3);
         assert_eq!(e.output, argmax);
         assert_eq!(e.output, 5, "the embedded preference should win at a small design");

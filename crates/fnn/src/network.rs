@@ -302,11 +302,8 @@ impl Fnn {
         }
 
         // Through fuzzification to the trainable centers.
-        let mut d_centers: Vec<Vec<f64>> = self
-            .inputs
-            .iter()
-            .map(|spec| vec![0.0; spec.memberships.len()])
-            .collect();
+        let mut d_centers: Vec<Vec<f64>> =
+            self.inputs.iter().map(|spec| vec![0.0; spec.memberships.len()]).collect();
         for (i, spec) in self.inputs.iter().enumerate() {
             if spec.kind != InputKind::Parameter {
                 continue; // metric centers are frozen

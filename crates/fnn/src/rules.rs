@@ -207,10 +207,7 @@ mod tests {
         set_consequent(&mut f, r, 0, 1.0);
         let rules = extract_rules(&f, &RuleExtractionConfig::default());
         assert_eq!(rules.len(), 1);
-        assert_eq!(
-            rules[0].to_string(),
-            "IF A is enough AND B is low THEN x can increase"
-        );
+        assert_eq!(rules[0].to_string(), "IF A is enough AND B is low THEN x can increase");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Fidelity and constraint abstractions.
 
+use dse_exec::CacheStats;
 use dse_space::{DesignPoint, DesignSpace, Param};
 
 /// The cheap, differentiable evaluation proxy (the analytical model).
@@ -30,6 +31,24 @@ pub trait HighFidelity {
 
     /// Number of *unique* simulations performed so far.
     fn evaluations(&self) -> usize;
+
+    /// Simulated CPI of every design in `points`, in input order.
+    ///
+    /// Semantically identical to calling [`HighFidelity::cpi`] on each
+    /// point in order — same values, same evaluation accounting — and
+    /// implementations backed by a parallel executor must keep it
+    /// bit-identical to that sequential walk. The default simply *is*
+    /// the sequential walk.
+    fn cpi_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
+        points.iter().map(|p| self.cpi(space, p)).collect()
+    }
+
+    /// Memoization counters, for evaluators that keep a CPI cache.
+    ///
+    /// Evaluators without a cache report the zeroed default.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
 }
 
 /// A feasibility constraint on designs (the area limit).

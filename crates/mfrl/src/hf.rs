@@ -1,13 +1,15 @@
 //! The high-fidelity (simulator) refinement phase (§3.2).
 
-use std::collections::HashMap;
-
+use dse_exec::{CacheStats, CpiCache};
 use dse_fnn::Fnn;
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{rollout, train_on_episode, Constraint, HighFidelity, LfOutcome, LowFidelity, ReinforceConfig, EPSILON};
+use crate::{
+    rollout, train_on_episode, Constraint, HighFidelity, LfOutcome, LowFidelity, ReinforceConfig,
+    EPSILON,
+};
 
 /// Configuration of the HF phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +46,10 @@ pub struct HfOutcome {
     pub history: Vec<(DesignPoint, f64)>,
     /// The transition anchor: simulated IPC of the LF-converged design.
     pub ipc_h0: f64,
+    /// Counters of the phase's memoized CPI cache: hits are episode
+    /// proposals answered without touching the budget, misses are the
+    /// unique designs actually sent to the simulator.
+    pub cache: CacheStats,
 }
 
 /// The HF phase driver: anchors on the LF result, then fine-tunes with
@@ -78,9 +84,36 @@ impl HfPhase {
         let cfg = &self.config;
         assert!(cfg.budget > 0, "HF phase needs a positive simulation budget");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut cache: HashMap<u64, f64> = HashMap::new();
+        let mut cache = CpiCache::new();
         let mut history = Vec::new();
         let mut used = 0usize;
+
+        // LF→HF transition: simulate the converged design (IPC_h0) and a
+        // subset of the observed best designs H in one batch, so
+        // evaluators backed by the parallel executor can overlap them.
+        // Deduplicating by encoded point and capping at the budget makes
+        // the batch equivalent to evaluating sequentially through the
+        // (initially empty) cache.
+        let mut initial: Vec<DesignPoint> = vec![lf_outcome.converged.clone()];
+        let mut initial_keys: Vec<u64> = vec![space.encode(&lf_outcome.converged)];
+        for (point, _) in lf_outcome.best_designs.iter().take(cfg.initial_subset) {
+            let key = space.encode(point);
+            if !initial_keys.contains(&key) {
+                initial.push(point.clone());
+                initial_keys.push(key);
+            }
+        }
+        initial.truncate(cfg.budget);
+        initial_keys.truncate(cfg.budget);
+        let initial_cpis = hf.cpi_batch(space, &initial);
+        for ((point, &key), &cpi) in initial.iter().zip(&initial_keys).zip(&initial_cpis) {
+            // Counted lookup, same as the sequential path would issue.
+            assert!(cache.get(key).is_none(), "initial batch designs must be unique");
+            cache.insert(key, cpi);
+            used += 1;
+            history.push((point.clone(), cpi));
+        }
+        let ipc_h0 = 1.0 / initial_cpis[0];
 
         let mut eval = |point: &DesignPoint,
                         hf: &mut dyn HighFidelity,
@@ -88,7 +121,7 @@ impl HfPhase {
                         history: &mut Vec<(DesignPoint, f64)>|
          -> Option<f64> {
             let key = space.encode(point);
-            if let Some(&cpi) = cache.get(&key) {
+            if let Some(cpi) = cache.get(key) {
                 return Some(cpi);
             }
             if *used >= cfg.budget {
@@ -100,17 +133,6 @@ impl HfPhase {
             history.push((point.clone(), cpi));
             Some(cpi)
         };
-
-        // LF→HF transition: simulate the converged design (IPC_h0)…
-        let converged_cpi = eval(&lf_outcome.converged, hf, &mut used, &mut history)
-            .expect("budget > 0 admits the anchor simulation");
-        let ipc_h0 = 1.0 / converged_cpi;
-        // …and a subset of the observed best designs H.
-        for (point, _) in lf_outcome.best_designs.iter().take(cfg.initial_subset) {
-            if eval(point, hf, &mut used, &mut history).is_none() {
-                break;
-            }
-        }
 
         // Episode starts are drawn from H (falling back to the smallest
         // design if H is empty).
@@ -140,12 +162,16 @@ impl HfPhase {
             train_on_episode(fnn, &episode, reward, &cfg.reinforce);
         }
 
+        // Same tie-break as the LF candidate ranking: CPI first, encoded
+        // point second, so equal-CPI winners are stable across runs.
         let (best_point, best_cpi) = history
             .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .min_by(|a, b| {
+                a.1.total_cmp(&b.1).then_with(|| space.encode(&a.0).cmp(&space.encode(&b.0)))
+            })
             .map(|(p, c)| (p.clone(), *c))
             .expect("at least the anchor was simulated");
-        HfOutcome { best_point, best_cpi, evaluations: used, history, ipc_h0 }
+        HfOutcome { best_point, best_cpi, evaluations: used, history, ipc_h0, cache: cache.stats() }
     }
 }
 
@@ -169,8 +195,14 @@ mod tests {
         })
         .run(&mut fnn, &space, &lf, &constraint);
         let mut hf = SyntheticHf::new(&space);
-        let outcome = HfPhase::new(HfPhaseConfig { budget, seed, ..HfPhaseConfig::default() })
-            .run(&mut fnn, &space, &lf, &mut hf, &constraint, &lf_outcome);
+        let outcome = HfPhase::new(HfPhaseConfig { budget, seed, ..HfPhaseConfig::default() }).run(
+            &mut fnn,
+            &space,
+            &lf,
+            &mut hf,
+            &constraint,
+            &lf_outcome,
+        );
         (outcome, hf)
     }
 
@@ -185,11 +217,7 @@ mod tests {
     #[test]
     fn best_is_min_of_history() {
         let (outcome, _) = pipeline(8, 2);
-        let min = outcome
-            .history
-            .iter()
-            .map(|(_, c)| *c)
-            .fold(f64::INFINITY, f64::min);
+        let min = outcome.history.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
         assert_eq!(outcome.best_cpi, min);
     }
 
@@ -205,6 +233,17 @@ mod tests {
             "HF best {} must not be worse than the anchor {anchor_cpi}",
             outcome.best_cpi
         );
+    }
+
+    #[test]
+    fn cache_counters_account_for_every_proposal() {
+        let (outcome, hf) = pipeline(6, 1);
+        // Every history entry is a phase-cache miss that was simulated;
+        // further misses are proposals rejected for lack of budget.
+        assert_eq!(outcome.cache.entries, outcome.history.len());
+        assert!(outcome.cache.misses as usize >= outcome.evaluations);
+        // The evaluator's own cache saw exactly the unique designs.
+        assert_eq!(hf.cache_stats().entries, hf.evaluations());
     }
 
     #[test]

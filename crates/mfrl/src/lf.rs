@@ -7,7 +7,9 @@ use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{greedy_rollout, rollout, train_on_episode, Constraint, LowFidelity, ReinforceConfig, EPSILON};
+use crate::{
+    greedy_rollout, rollout, train_on_episode, Constraint, LowFidelity, ReinforceConfig, EPSILON,
+};
 
 /// Episode-reward shape (ablation knob; the paper uses
 /// [`RewardKind::IncumbentGap`]).
@@ -112,15 +114,8 @@ impl LfPhase {
         let mut episode_designs = Vec::with_capacity(cfg.episodes);
 
         for _ in 0..cfg.episodes {
-            let episode = rollout(
-                fnn,
-                space,
-                lf,
-                constraint,
-                space.smallest(),
-                cfg.gradient_mask,
-                &mut rng,
-            );
+            let episode =
+                rollout(fnn, space, lf, constraint, space.smallest(), cfg.gradient_mask, &mut rng);
             let cpi = lf.cpi(space, &episode.final_point);
             let ipc = 1.0 / cpi;
             best_ipc = best_ipc.max(ipc);
@@ -140,8 +135,16 @@ impl LfPhase {
             episode_designs.push(episode.final_point);
         }
 
-        let mut best_designs: Vec<(DesignPoint, f64)> = pool.into_values().collect();
-        best_designs.sort_by(|a, b| a.1.total_cmp(&b.1));
+        // Rank the pool by CPI with the encoded point as tie-break: the
+        // pool is a HashMap, whose iteration order is randomized per
+        // instance, so sorting by CPI alone would order equal-CPI
+        // designs differently from run to run — and H feeds the HF
+        // phase, making the whole flow nondeterministic.
+        let mut ranked: Vec<(u64, DesignPoint, f64)> =
+            pool.into_iter().map(|(key, (point, cpi))| (key, point, cpi)).collect();
+        ranked.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut best_designs: Vec<(DesignPoint, f64)> =
+            ranked.into_iter().map(|(_, point, cpi)| (point, cpi)).collect();
         best_designs.truncate(cfg.keep_best.max(1));
 
         let converged =
@@ -161,7 +164,7 @@ impl LfPhase {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{QuadraticLf, SumConstraint};
+    use crate::testutil::{PlateauLf, QuadraticLf, SumConstraint};
     use dse_fnn::FnnBuilder;
 
     fn run_lf(episodes: usize, seed: u64) -> (DesignSpace, LfOutcome) {
@@ -281,6 +284,36 @@ mod tests {
         let sum: usize = outcome.converged.indices().iter().sum();
         assert!(sum <= 10);
         assert!(outcome.converged_cpi.is_finite());
+    }
+
+    #[test]
+    fn equal_cpi_candidates_are_ordered_by_encoded_point() {
+        // Regression test: the candidate pool is a HashMap, whose
+        // iteration order is randomized per instance. The old CPI-only
+        // sort inherited that order for equal-CPI designs, so two runs
+        // with the same seed could hand the HF phase a differently
+        // ordered H. A plateau objective makes every candidate tie.
+        let space = DesignSpace::boom();
+        let constraint = SumConstraint { max_index_sum: 6 };
+        let run = || {
+            let mut fnn = FnnBuilder::for_space(&space).build();
+            LfPhase::new(LfPhaseConfig {
+                episodes: 40,
+                keep_best: 8,
+                seed: 21,
+                ..LfPhaseConfig::default()
+            })
+            .run(&mut fnn, &space, &PlateauLf, &constraint)
+        };
+        let keys = |o: &LfOutcome| -> Vec<u64> {
+            o.best_designs.iter().map(|(p, _)| space.encode(p)).collect()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(keys(&a), keys(&b), "same seed must produce the same candidate order");
+        assert!(a.best_designs.len() > 1, "plateau run should pool several candidates");
+        for w in keys(&a).windows(2) {
+            assert!(w[0] < w[1], "equal-CPI candidates must be ordered by encoded point");
+        }
     }
 
     #[test]

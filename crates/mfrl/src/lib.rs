@@ -42,12 +42,13 @@ mod reinforce;
 #[cfg(test)]
 mod testutil;
 
-pub use episode::{rollout, greedy_rollout, Episode, EpisodeStep};
+pub use dse_exec::{CacheStats, CpiCache};
+pub use episode::{greedy_rollout, rollout, Episode, EpisodeStep};
 pub use fidelity::{Constraint, HighFidelity, LowFidelity};
 pub use hf::{HfOutcome, HfPhase, HfPhaseConfig};
 pub use lf::{LfOutcome, LfPhase, LfPhaseConfig, RewardKind};
 pub use multi::{DseOutcome, MultiFidelityConfig, MultiFidelityDse};
-pub use reinforce::{ReinforceConfig, train_on_episode};
+pub use reinforce::{train_on_episode, ReinforceConfig};
 
 /// The paper's ε: a small constant that keeps the reward of the
 /// incumbent-best design positive (eq. 3/4): "In all our experiments,

@@ -3,7 +3,10 @@
 use dse_fnn::Fnn;
 use dse_space::DesignSpace;
 
-use crate::{Constraint, HfOutcome, HfPhase, HfPhaseConfig, HighFidelity, LfOutcome, LfPhase, LfPhaseConfig, LowFidelity};
+use crate::{
+    Constraint, HfOutcome, HfPhase, HfPhaseConfig, HighFidelity, LfOutcome, LfPhase, LfPhaseConfig,
+    LowFidelity,
+};
 
 /// Configuration for the full LF→HF flow.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -85,7 +88,8 @@ mod tests {
             lf: LfPhaseConfig { episodes: 80, keep_best: 4, seed: 1, ..Default::default() },
             hf: HfPhaseConfig { budget: 9, seed: 1, ..Default::default() },
         };
-        let outcome = MultiFidelityDse::new(config).run(&mut fnn, &space, &lf, &mut hf, &constraint);
+        let outcome =
+            MultiFidelityDse::new(config).run(&mut fnn, &space, &lf, &mut hf, &constraint);
         let sum: usize = outcome.hf.best_point.indices().iter().sum();
         assert!(sum <= 10, "best design violates the constraint");
         assert!(outcome.hf.evaluations <= 9);

@@ -33,11 +33,8 @@ pub fn softmax_masked(scores: &[f64], legal: &[bool]) -> Vec<f64> {
         .filter(|(_, &l)| l)
         .map(|(&s, _)| s)
         .fold(f64::NEG_INFINITY, f64::max);
-    let mut probs: Vec<f64> = scores
-        .iter()
-        .zip(legal)
-        .map(|(&s, &l)| if l { (s - max).exp() } else { 0.0 })
-        .collect();
+    let mut probs: Vec<f64> =
+        scores.iter().zip(legal).map(|(&s, &l)| if l { (s - max).exp() } else { 0.0 }).collect();
     let sum: f64 = probs.iter().sum();
     for p in &mut probs {
         *p /= sum;

@@ -107,11 +107,7 @@ mod tests {
         assert_eq!(fnn, before);
     }
 
-    fn obs_of(
-        fnn: &Fnn,
-        space: &DesignSpace,
-        lf: &QuadraticLf,
-    ) -> dse_fnn::Observation {
+    fn obs_of(fnn: &Fnn, space: &DesignSpace, lf: &QuadraticLf) -> dse_fnn::Observation {
         use crate::LowFidelity as _;
         fnn.observation(space, &space.smallest(), lf.cpi(space, &space.smallest()))
     }

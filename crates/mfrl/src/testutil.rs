@@ -1,8 +1,7 @@
 //! Synthetic fidelity models for unit-testing the RL machinery without
 //! the real analytical model or simulator.
 
-use std::collections::HashMap;
-
+use dse_exec::{CacheStats, CpiCache};
 use dse_space::{DesignPoint, DesignSpace, Param};
 
 use crate::{Constraint, HighFidelity, LowFidelity};
@@ -27,10 +26,8 @@ impl QuadraticLf {
     fn cpi_of(point: &DesignPoint) -> f64 {
         let idx = point.indices();
         let good: usize = Self::ENDORSED.iter().map(|&i| idx[i]).sum();
-        let bad: usize = (0..idx.len())
-            .filter(|i| !Self::ENDORSED.contains(i))
-            .map(|i| idx[i])
-            .sum();
+        let bad: usize =
+            (0..idx.len()).filter(|i| !Self::ENDORSED.contains(i)).map(|i| idx[i]).sum();
         3.0 - 0.12 * good as f64 + 0.02 * bad as f64
     }
 }
@@ -54,21 +51,21 @@ impl LowFidelity for QuadraticLf {
 /// paper's ROB story. Counts and caches evaluations.
 #[derive(Debug, Clone)]
 pub struct SyntheticHf {
-    cache: HashMap<u64, f64>,
+    cache: CpiCache,
     evals: usize,
 }
 
 impl SyntheticHf {
     /// Creates a fresh evaluator with an empty cache.
     pub fn new(_space: &DesignSpace) -> Self {
-        Self { cache: HashMap::new(), evals: 0 }
+        Self { cache: CpiCache::new(), evals: 0 }
     }
 }
 
 impl HighFidelity for SyntheticHf {
     fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         let key = space.encode(point);
-        if let Some(&c) = self.cache.get(&key) {
+        if let Some(c) = self.cache.get(key) {
             return c;
         }
         self.evals += 1;
@@ -80,6 +77,25 @@ impl HighFidelity for SyntheticHf {
 
     fn evaluations(&self) -> usize {
         self.evals
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// An LF model that scores every design identically — the worst case
+/// for candidate-set ranking, since the whole pool ties on CPI.
+#[derive(Debug, Clone, Copy)]
+pub struct PlateauLf;
+
+impl LowFidelity for PlateauLf {
+    fn cpi(&self, _space: &DesignSpace, _point: &DesignPoint) -> f64 {
+        2.0
+    }
+
+    fn beneficial_params(&self, space: &DesignSpace, point: &DesignPoint) -> Vec<Param> {
+        Param::ALL.into_iter().filter(|&p| !point.is_max(space, p)).collect()
     }
 }
 

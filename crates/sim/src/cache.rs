@@ -185,7 +185,7 @@ mod tests {
     fn working_set_fits_iff_capacity_sufficient() {
         let mut small = Cache::new(4, 2); // 512 B
         let mut large = Cache::new(32, 2); // 4 KiB
-        // 2 KiB working set, streamed twice.
+                                           // 2 KiB working set, streamed twice.
         for round in 0..2 {
             for addr in (0..2048u64).step_by(64) {
                 let hs = small.access(addr);

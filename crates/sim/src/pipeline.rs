@@ -409,8 +409,7 @@ mod tests {
         }
         let trace = Benchmark::Dijkstra.trace(30_000, 3);
         let big = Simulator::new(CoreConfig::from_point(&space, &space.largest())).run(&trace);
-        let small =
-            Simulator::new(CoreConfig::from_point(&space, &small_rob)).run(&trace);
+        let small = Simulator::new(CoreConfig::from_point(&space, &small_rob)).run(&trace);
         assert!(
             small.cpi() > big.cpi() * 1.02,
             "shrinking ROB 160→32 should hurt: big {} small {}",
@@ -565,12 +564,7 @@ mod tests {
         // A pure streaming load pattern: every line is touched in order,
         // so the next-line prefetcher converts most L2 misses into hits.
         let trace: Trace = (0..8_000u64)
-            .map(|i| Instr {
-                op: Op::Load,
-                deps: [None, None],
-                addr: Some(i * 64),
-                branch: None,
-            })
+            .map(|i| Instr { op: Op::Load, deps: [None, None], addr: Some(i * 64), branch: None })
             .collect();
         let plain = Simulator::new(smallest()).run(&trace);
         let mut cfg = smallest();

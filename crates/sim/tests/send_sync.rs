@@ -1,0 +1,30 @@
+//! The parallel evaluation backend (`dse-exec`) moves simulator state
+//! across scoped worker threads: configurations and traces are shared
+//! by reference, per-job `Simulator` instances and their results cross
+//! thread boundaries as values. These assertions pin the auto-traits
+//! that contract relies on, so an accidental `Rc`/`RefCell`/raw-pointer
+//! field shows up here instead of as an opaque inference error at the
+//! `par_map` call site.
+
+use dse_sim::{BranchModel, Cache, CoreConfig, Gshare, SimLatencies, SimResult, Simulator};
+use dse_workloads::{Instr, Trace};
+
+fn send_sync<T: Send + Sync>() {}
+
+#[test]
+fn simulator_stack_crosses_threads() {
+    send_sync::<CoreConfig>();
+    send_sync::<SimLatencies>();
+    send_sync::<Simulator>();
+    send_sync::<SimResult>();
+    send_sync::<Cache>();
+    send_sync::<Gshare>();
+    send_sync::<BranchModel>();
+}
+
+#[test]
+fn workload_traces_cross_threads() {
+    send_sync::<Instr>();
+    send_sync::<Trace>();
+    send_sync::<Vec<Trace>>();
+}

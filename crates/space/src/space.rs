@@ -48,17 +48,17 @@ impl DesignSpace {
     /// The paper's Table 1 design space (3 million points).
     pub fn boom() -> Self {
         Self::new(vec![
-            vec![16.0, 32.0, 64.0],                        // L1 Cache Set
-            vec![2.0, 4.0, 8.0, 16.0],                     // L1 Cache Way
-            vec![128.0, 256.0, 512.0, 1024.0, 2048.0],     // L2 Cache Set
-            vec![2.0, 4.0, 8.0, 16.0],                     // L2 Cache Way
-            vec![2.0, 4.0, 6.0, 8.0, 10.0],                // nMSHR
-            vec![1.0, 2.0, 3.0, 4.0, 5.0],                 // Decode Width
-            vec![32.0, 64.0, 96.0, 128.0, 160.0],          // ROB Entry
-            vec![1.0, 2.0],                                // Mem FU
-            vec![1.0, 2.0, 3.0, 4.0, 5.0],                 // Int FU
-            vec![1.0, 2.0],                                // FP FU
-            vec![2.0, 4.0, 8.0, 16.0, 24.0],               // Issue Queue Entry
+            vec![16.0, 32.0, 64.0],                    // L1 Cache Set
+            vec![2.0, 4.0, 8.0, 16.0],                 // L1 Cache Way
+            vec![128.0, 256.0, 512.0, 1024.0, 2048.0], // L2 Cache Set
+            vec![2.0, 4.0, 8.0, 16.0],                 // L2 Cache Way
+            vec![2.0, 4.0, 6.0, 8.0, 10.0],            // nMSHR
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],             // Decode Width
+            vec![32.0, 64.0, 96.0, 128.0, 160.0],      // ROB Entry
+            vec![1.0, 2.0],                            // Mem FU
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],             // Int FU
+            vec![1.0, 2.0],                            // FP FU
+            vec![2.0, 4.0, 8.0, 16.0, 24.0],           // Issue Queue Entry
         ])
     }
 
@@ -232,7 +232,10 @@ mod tests {
     fn restrict_narrows_one_parameter_only() {
         let s = DesignSpace::boom().restrict(Param::RobEntry, 96.0, 160.0);
         assert_eq!(s.candidates(Param::RobEntry), &[96.0, 128.0, 160.0]);
-        assert_eq!(s.candidates(Param::DecodeWidth), DesignSpace::boom().candidates(Param::DecodeWidth));
+        assert_eq!(
+            s.candidates(Param::DecodeWidth),
+            DesignSpace::boom().candidates(Param::DecodeWidth)
+        );
         assert_eq!(s.size(), 3_000_000 / 5 * 3);
         // The smallest design of the narrowed space starts at the floor.
         assert_eq!(s.smallest().value(&s, Param::RobEntry), 96.0);

@@ -83,7 +83,14 @@ impl Benchmark {
         let p = match self {
             Benchmark::Dijkstra => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.45, int_mul: 0.02, load: 0.30, store: 0.08, fp: 0.0, branch: 0.15 },
+                mix: InstMix {
+                    int_alu: 0.45,
+                    int_mul: 0.02,
+                    load: 0.30,
+                    store: 0.08,
+                    fp: 0.0,
+                    branch: 0.15,
+                },
                 mean_dep_distance: 2.5,
                 branch_mispredict_rate: 0.08,
                 streaming_frac: 0.02,
@@ -100,7 +107,14 @@ impl Benchmark {
             },
             Benchmark::Mm => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.25, int_mul: 0.05, load: 0.30, store: 0.05, fp: 0.30, branch: 0.05 },
+                mix: InstMix {
+                    int_alu: 0.25,
+                    int_mul: 0.05,
+                    load: 0.30,
+                    store: 0.05,
+                    fp: 0.30,
+                    branch: 0.05,
+                },
                 mean_dep_distance: 7.0,
                 branch_mispredict_rate: 0.01,
                 streaming_frac: 0.05,
@@ -117,7 +131,14 @@ impl Benchmark {
             },
             Benchmark::FpVvadd => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.17, int_mul: 0.0, load: 0.33, store: 0.17, fp: 0.17, branch: 0.16 },
+                mix: InstMix {
+                    int_alu: 0.17,
+                    int_mul: 0.0,
+                    load: 0.33,
+                    store: 0.17,
+                    fp: 0.17,
+                    branch: 0.16,
+                },
                 mean_dep_distance: 10.0,
                 branch_mispredict_rate: 0.01,
                 streaming_frac: 0.45,
@@ -127,7 +148,14 @@ impl Benchmark {
             },
             Benchmark::Quicksort => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.42, int_mul: 0.0, load: 0.27, store: 0.11, fp: 0.0, branch: 0.20 },
+                mix: InstMix {
+                    int_alu: 0.42,
+                    int_mul: 0.0,
+                    load: 0.27,
+                    store: 0.11,
+                    fp: 0.0,
+                    branch: 0.20,
+                },
                 mean_dep_distance: 3.5,
                 branch_mispredict_rate: 0.12,
                 streaming_frac: 0.03,
@@ -144,7 +172,14 @@ impl Benchmark {
             },
             Benchmark::Fft => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.25, int_mul: 0.05, load: 0.28, store: 0.12, fp: 0.22, branch: 0.08 },
+                mix: InstMix {
+                    int_alu: 0.25,
+                    int_mul: 0.05,
+                    load: 0.28,
+                    store: 0.12,
+                    fp: 0.22,
+                    branch: 0.08,
+                },
                 mean_dep_distance: 6.0,
                 branch_mispredict_rate: 0.03,
                 streaming_frac: 0.05,
@@ -161,7 +196,14 @@ impl Benchmark {
             },
             Benchmark::StringSearch => WorkloadProfile {
                 name: self.name(),
-                mix: InstMix { int_alu: 0.50, int_mul: 0.0, load: 0.22, store: 0.03, fp: 0.0, branch: 0.25 },
+                mix: InstMix {
+                    int_alu: 0.50,
+                    int_mul: 0.0,
+                    load: 0.22,
+                    store: 0.03,
+                    fp: 0.0,
+                    branch: 0.25,
+                },
                 mean_dep_distance: 2.0,
                 branch_mispredict_rate: 0.10,
                 streaming_frac: 0.02,

@@ -128,7 +128,14 @@ mod tests {
     fn sample() -> WorkloadProfile {
         WorkloadProfile {
             name: "sample",
-            mix: InstMix { int_alu: 0.4, int_mul: 0.05, load: 0.25, store: 0.1, fp: 0.1, branch: 0.1 },
+            mix: InstMix {
+                int_alu: 0.4,
+                int_mul: 0.05,
+                load: 0.25,
+                store: 0.1,
+                fp: 0.1,
+                branch: 0.1,
+            },
             mean_dep_distance: 4.0,
             branch_mispredict_rate: 0.05,
             streaming_frac: 0.2,

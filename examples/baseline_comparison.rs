@@ -20,9 +20,7 @@ fn main() {
     );
     let result = fig5(&config);
     println!("\n{}", result.to_markdown());
-    if let (Some(ours), Some(worst)) =
-        (result.row("FNN-MFRL (ours)"), result.rows.last())
-    {
+    if let (Some(ours), Some(worst)) = (result.row("FNN-MFRL (ours)"), result.rows.last()) {
         println!(
             "ours {:.4} vs worst baseline {:.4} ({:+.1}%)",
             ours.mean_best_cpi,

@@ -20,8 +20,7 @@ fn main() {
     println!("\n{}", result.to_markdown());
     println!("Convergence curves (best-so-far LF CPI, every 5th episode):");
     for c in &result.curves {
-        let samples: Vec<String> =
-            c.history.iter().step_by(5).map(|v| format!("{v:.3}")).collect();
+        let samples: Vec<String> = c.history.iter().step_by(5).map(|v| format!("{v:.3}")).collect();
         println!("  {:<22} {}", c.label, samples.join(" "));
     }
 }

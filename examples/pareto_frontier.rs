@@ -41,19 +41,12 @@ fn main() {
     }
 
     let front = pareto_front(&candidates, |m| m.objectives().to_vec());
-    println!(
-        "{:<8} {:>8} {:>10} {:>10}   design",
-        "pareto", "CPI", "area mm2", "power mW"
-    );
+    println!("{:<8} {:>8} {:>10} {:>10}   design", "pareto", "CPI", "area mm2", "power mW");
     for (i, m) in candidates.iter().enumerate() {
         let marker = if front.contains(&i) { "  *" } else { "" };
         println!(
             "{:<8} {:>8.4} {:>10.2} {:>10.1}   {}",
-            marker,
-            m.cpi,
-            m.area_mm2,
-            m.power_mw,
-            m.point
+            marker, m.cpi, m.area_mm2, m.power_mw, m.point
         );
     }
 

@@ -20,8 +20,7 @@ fn main() {
     println!("Parameter trajectories over training (every 5th episode):");
     for t in &result.trajectories {
         let marker = if t.param == Param::DecodeWidth { " <-- preferred" } else { "" };
-        let samples: Vec<String> =
-            t.values.iter().step_by(5).map(|v| format!("{v}")).collect();
+        let samples: Vec<String> = t.values.iter().step_by(5).map(|v| format!("{v}")).collect();
         println!("  {:<18} {}{marker}", t.param.name(), samples.join(" "));
     }
 }

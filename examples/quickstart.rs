@@ -12,8 +12,7 @@ fn main() {
     let space = DesignSpace::boom();
     println!("== Design space (Table 1) ==");
     for p in Param::ALL {
-        let cands: Vec<String> =
-            space.candidates(p).iter().map(|v| format!("{v}")).collect();
+        let cands: Vec<String> = space.candidates(p).iter().map(|v| format!("{v}")).collect();
         println!("  {:<18} {}", p.name(), cands.join(", "));
     }
     println!("  total designs: {}", space.size());

@@ -12,11 +12,8 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (episodes, trace_len) = if full { (400, 30_000) } else { (80, 4_000) };
     println!("Training a general-purpose FNN ({episodes} LF episodes)…");
-    let explorer = Explorer::general_purpose()
-        .lf_episodes(episodes)
-        .hf_budget(9)
-        .trace_len(trace_len)
-        .seed(7);
+    let explorer =
+        Explorer::general_purpose().lf_episodes(episodes).hf_budget(9).trace_len(trace_len).seed(7);
     let report = explorer.run();
 
     println!("\n== Rule base (default pruning) ==");

@@ -7,6 +7,7 @@ use dse_baselines::{
     ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Objective as _, Optimizer,
     RandomForestOptimizer, RandomSearchOptimizer, ScboOptimizer,
 };
+use dse_mfrl::HighFidelity as _;
 use dse_workloads::Benchmark;
 
 fn objective() -> HfObjective {
@@ -49,4 +50,26 @@ fn memoized_objective_keeps_methods_comparable() {
     let a = RandomSearchOptimizer.optimize(&space, &mut obj, 4, 9);
     let b = RandomSearchOptimizer.optimize(&space, &mut obj, 4, 9);
     assert_eq!(a.history, b.history, "same seed + shared cache = same trajectory");
+}
+
+#[test]
+fn parallel_batch_prewarm_is_invisible_to_optimizers() {
+    // A Fig. 5-style sweep pre-warms the memoized simulator through the
+    // parallel cpi_batch path; because batch results are bit-identical
+    // to sequential evaluation, an optimizer that later proposes the
+    // same designs must see exactly the trajectory it would have seen
+    // against a cold evaluator.
+    let space = DesignSpace::boom();
+    let mut cold = objective();
+    let baseline = RandomSearchOptimizer.optimize(&space, &mut cold, 5, 2);
+
+    let mut hf = SimulatorHf::for_benchmark(Benchmark::Quicksort, 2_000, 3, 1.0).with_threads(4);
+    let warm_points: Vec<_> = (0..8u64).map(|i| space.decode(i * (space.size() - 1) / 7)).collect();
+    let warm_cpis = hf.cpi_batch(&space, &warm_points);
+    assert!(warm_cpis.iter().all(|c| c.is_finite() && *c > 0.0));
+    let mut warmed = HfObjective::new(hf, AreaLimit::new(8.0));
+    let again = RandomSearchOptimizer.optimize(&space, &mut warmed, 5, 2);
+
+    assert_eq!(baseline.history, again.history, "pre-warmed cache changed observed values");
+    assert_eq!(baseline.best_point, again.best_point);
 }

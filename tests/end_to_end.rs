@@ -5,11 +5,7 @@ use dse_mfrl::Constraint as _;
 use dse_workloads::Benchmark;
 
 fn quick(benchmark: Benchmark, seed: u64) -> Explorer {
-    Explorer::for_benchmark(benchmark)
-        .lf_episodes(40)
-        .hf_budget(5)
-        .trace_len(3_000)
-        .seed(seed)
+    Explorer::for_benchmark(benchmark).lf_episodes(40).hf_budget(5).trace_len(3_000).seed(seed)
 }
 
 #[test]
@@ -58,11 +54,8 @@ fn larger_area_budgets_unlock_better_designs() {
 
 #[test]
 fn general_purpose_flow_covers_all_benchmarks() {
-    let explorer = Explorer::general_purpose()
-        .lf_episodes(30)
-        .hf_budget(4)
-        .trace_len(2_000)
-        .seed(1);
+    let explorer =
+        Explorer::general_purpose().lf_episodes(30).hf_budget(4).trace_len(2_000).seed(1);
     let report = explorer.run();
     assert!(report.best_cpi.is_finite() && report.best_cpi > 0.0);
     assert!(explorer.area().fits(explorer.space(), &report.best_point));

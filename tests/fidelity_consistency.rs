@@ -46,18 +46,14 @@ fn lf_and_hf_rank_designs_consistently() {
         let lf = AnalyticalLf::for_benchmark(&space, benchmark, 1.0);
         let trace = benchmark.trace(8_000, 11);
         // A deterministic spread of designs across the space.
-        let designs: Vec<_> =
-            (0..24).map(|i| space.decode(i * 125_003 % space.size())).collect();
+        let designs: Vec<_> = (0..24).map(|i| space.decode(i * 125_003 % space.size())).collect();
         let lf_cpi: Vec<f64> = designs.iter().map(|d| lf.cpi(&space, d)).collect();
         let hf_cpi: Vec<f64> = designs
             .iter()
             .map(|d| Simulator::new(CoreConfig::from_point(&space, d)).run(&trace).cpi())
             .collect();
         let rho = spearman(&lf_cpi, &hf_cpi);
-        assert!(
-            rho > min_rho,
-            "{benchmark}: LF/HF rank correlation {rho:.2} below {min_rho}"
-        );
+        assert!(rho > min_rho, "{benchmark}: LF/HF rank correlation {rho:.2} below {min_rho}");
     }
 }
 
@@ -105,8 +101,7 @@ fn rob_bias_diverges_between_fidelities() {
             point = next;
         }
     }
-    let lf_step = lf.models()[0]
-        .step_deltas(&space, &point)[Param::RobEntry.index()]
+    let lf_step = lf.models()[0].step_deltas(&space, &point)[Param::RobEntry.index()]
         .expect("ROB not at max");
     // LF predicts only a marginal gain per ROB step (≈ −0.01 CPI).
     assert!(lf_step < 0.0, "predicted ROB delta should be (weakly) beneficial: {lf_step}");

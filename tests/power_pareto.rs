@@ -32,10 +32,7 @@ fn simulated_designs_form_a_nontrivial_pareto_front() {
     for &i in &front {
         for &j in &front {
             if i != j {
-                assert!(!dominates(
-                    &candidates[i].objectives(),
-                    &candidates[j].objectives()
-                ));
+                assert!(!dominates(&candidates[i].objectives(), &candidates[j].objectives()));
             }
         }
     }

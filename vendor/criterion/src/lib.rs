@@ -1,0 +1,171 @@
+//! Vendored, dependency-free stand-in for the `criterion` API surface
+//! used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io; this harness keeps
+//! `cargo bench` (and `cargo test --benches`) working by running each
+//! registered routine a small, time-bounded number of iterations and
+//! printing mean wall-clock time per iteration. It performs no
+//! statistical analysis. When invoked with `--test` (as
+//! `cargo test --benches` does for `harness = false` targets), each
+//! routine runs exactly once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-routine time budget when actually benchmarking.
+const TARGET_TIME: Duration = Duration::from_millis(400);
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Registers and runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-bounded here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers and runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_one(self.criterion.test_mode, &label, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, f: &mut F) {
+    let mut bencher = Bencher { test_mode, iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else {
+        let per_iter = bencher.elapsed.checked_div(bencher.iters.max(1) as u32);
+        println!(
+            "bench {label}: {:?}/iter ({} iters)",
+            per_iter.unwrap_or_default(),
+            bencher.iters
+        );
+    }
+}
+
+/// Batch sizing hints (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters += 1;
+            return;
+        }
+        let start = Instant::now();
+        while start.elapsed() < TARGET_TIME {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.iters += 1;
+            return;
+        }
+        let deadline = Instant::now() + TARGET_TIME;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
