@@ -24,7 +24,7 @@
 //! given a seed.
 //!
 //! The supporting model zoo ([`RegressionTree`], [`RandomForest`],
-//! [`Gbrt`], [`AdaBoostR2`], [`GaussianProcess`], [`kmeans`]) is public
+//! [`Gbrt`], [`AdaBoostR2`], [`GaussianProcess`], [`mod@kmeans`]) is public
 //! so downstream users can fit the surrogates directly (e.g. for
 //! surrogate-quality diagnostics) outside the optimizer loops.
 
@@ -41,10 +41,13 @@ pub mod stats;
 mod tree;
 
 pub use boost::{AdaBoostR2, Gbrt};
+pub use dse_exec::{CostLedger, Evaluation, Evaluator, Fidelity, LedgerSummary};
 pub use forest::RandomForest;
 pub use gp::GaussianProcess;
 pub use kmeans::{kmeans, Clustering};
-pub use optimizer::{sample_feasible, Objective, OptimizationResult, Optimizer};
+pub use optimizer::{
+    sample_feasible, Objective, OptimizationResult, Optimizer, SampleFeasibleError,
+};
 pub use optimizers::{
     ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, RandomForestOptimizer,
     RandomSearchOptimizer, ScboOptimizer,

@@ -2,17 +2,59 @@
 
 use std::collections::HashSet;
 
+use dse_exec::{CostLedger, Evaluation, Evaluator, Fidelity, LedgerEntry, LedgerSummary};
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 
 /// The expensive black-box objective a baseline optimizes: HF CPI under
 /// an area-feasibility predicate.
+///
+/// This trait is the optimizer-facing *adapter* over the workspace's
+/// [`Evaluator`] layer: every call an optimizer makes is routed through
+/// the shared [`CostLedger`] inside the crate's evaluation log, so the
+/// Fig. 5 baselines and FNN-MFRL share bit-identical budget accounting.
 pub trait Objective {
     /// Runs the high-fidelity evaluation (counts against the budget).
     fn evaluate(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64;
 
     /// Cheap feasibility check (the area model).
     fn is_feasible(&self, space: &DesignSpace, point: &DesignPoint) -> bool;
+
+    /// The evaluation with full provenance. The default wraps
+    /// [`Objective::evaluate`] and stamps the feasibility predicate;
+    /// objectives backed by a real [`Evaluator`] override this to
+    /// forward its provenance (memo hits, area figures) unchanged.
+    fn evaluate_rich(&mut self, space: &DesignSpace, point: &DesignPoint) -> Evaluation {
+        let mut ev = Evaluation::new(self.evaluate(space, point), Fidelity::High);
+        ev.feasible = Some(self.is_feasible(space, point));
+        ev
+    }
+
+    /// Model-time units one fresh evaluation costs (see
+    /// [`Evaluator::cost_per_eval`]).
+    fn cost_per_eval(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The internal [`Evaluator`] view of an [`Objective`], so [`EvalLog`]
+/// can drive it through a [`CostLedger`].
+struct ObjectiveEvaluator<'a> {
+    objective: &'a mut dyn Objective,
+}
+
+impl Evaluator for ObjectiveEvaluator<'_> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::High
+    }
+
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        points.iter().map(|p| self.objective.evaluate_rich(space, p)).collect()
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        self.objective.cost_per_eval()
+    }
 }
 
 /// Outcome of one optimization run.
@@ -25,6 +67,8 @@ pub struct OptimizationResult {
     pub best_value: f64,
     /// Every evaluation in order `(design, value)`.
     pub history: Vec<(DesignPoint, f64)>,
+    /// The run's cost-ledger roll-up (budget, charges, replays, denials).
+    pub ledger: LedgerSummary,
 }
 
 /// A budgeted black-box optimizer (one of the Fig. 5 baselines).
@@ -42,24 +86,54 @@ pub trait Optimizer {
     ) -> OptimizationResult;
 }
 
+/// Rejection sampling gave up: feasible designs are too rare under the
+/// active constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleFeasibleError {
+    /// How many distinct feasible designs were requested.
+    pub requested: usize,
+    /// How many were found before giving up.
+    pub found: usize,
+    /// How many random draws were attempted.
+    pub attempts: usize,
+}
+
+impl std::fmt::Display for SampleFeasibleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "found only {} of {} requested feasible designs after {} random draws — \
+             the feasibility constraint is too tight for rejection sampling",
+            self.found, self.requested, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for SampleFeasibleError {}
+
 /// Draws `n` distinct feasible design points by rejection sampling.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if feasible points are so rare that 10 000·n rejections fail —
-/// with the Table 2 area limits feasibility is plentiful.
+/// Returns [`SampleFeasibleError`] when 10 000·n rejections fail to find
+/// enough feasible designs, so tight area limits degrade gracefully
+/// instead of aborting a whole experiment run. With the Table 2 area
+/// limits feasibility is plentiful and sampling always succeeds.
 pub fn sample_feasible(
     space: &DesignSpace,
     objective: &dyn Objective,
     n: usize,
     rng: &mut StdRng,
-) -> Vec<DesignPoint> {
+) -> Result<Vec<DesignPoint>, SampleFeasibleError> {
     let mut out = Vec::with_capacity(n);
     let mut seen = HashSet::new();
     let mut attempts = 0usize;
+    let max_attempts = 10_000 * n.max(1);
     while out.len() < n {
+        if attempts >= max_attempts {
+            return Err(SampleFeasibleError { requested: n, found: out.len(), attempts });
+        }
         attempts += 1;
-        assert!(attempts < 10_000 * n.max(1), "feasible designs too rare to sample");
         let p = space.random_point(rng);
         if !objective.is_feasible(space, &p) {
             continue;
@@ -68,47 +142,55 @@ pub fn sample_feasible(
             out.push(p);
         }
     }
-    out
+    Ok(out)
 }
 
-/// Shared evaluation bookkeeping: budget accounting, dedup, and
-/// best-feasible tracking.
+/// Shared evaluation bookkeeping for every baseline: best-feasible
+/// tracking over a [`CostLedger`], which owns the budget, the per-run
+/// dedup and all counters — the same accounting FNN-MFRL runs under.
 #[derive(Debug)]
 pub(crate) struct EvalLog {
     pub history: Vec<(DesignPoint, f64)>,
     pub feasible: Vec<bool>,
-    seen: HashSet<u64>,
-    budget: usize,
+    ledger: CostLedger,
 }
 
 impl EvalLog {
     pub fn new(budget: usize) -> Self {
-        Self { history: Vec::new(), feasible: Vec::new(), seen: HashSet::new(), budget }
+        Self {
+            history: Vec::new(),
+            feasible: Vec::new(),
+            ledger: CostLedger::new().with_hf_budget(budget),
+        }
     }
 
     pub fn remaining(&self) -> usize {
-        self.budget - self.history.len()
+        self.ledger.hf_remaining().expect("EvalLog always installs a budget")
     }
 
     pub fn contains(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
-        self.seen.contains(&space.encode(point))
+        self.ledger.knows(Fidelity::High, space.encode(point))
     }
 
     /// Evaluates `point` if budget remains and it is unseen; returns the
-    /// value when an evaluation happened.
+    /// value when a charged evaluation happened (replays and denials
+    /// both return `None`, as the optimizers expect).
     pub fn evaluate(
         &mut self,
         space: &DesignSpace,
         objective: &mut dyn Objective,
         point: &DesignPoint,
     ) -> Option<f64> {
-        if self.remaining() == 0 || !self.seen.insert(space.encode(point)) {
-            return None;
+        let entry = self.ledger.evaluate(&mut ObjectiveEvaluator { objective }, space, point);
+        match entry {
+            LedgerEntry::Charged(ev) => {
+                self.history.push((point.clone(), ev.cpi));
+                self.feasible
+                    .push(ev.feasible.unwrap_or_else(|| objective.is_feasible(space, point)));
+                Some(ev.cpi)
+            }
+            LedgerEntry::Replayed(_) | LedgerEntry::Denied => None,
         }
-        let value = objective.evaluate(space, point);
-        self.history.push((point.clone(), value));
-        self.feasible.push(objective.is_feasible(space, point));
-        Some(value)
     }
 
     /// Training data for surrogates: normalized features and values.
@@ -143,6 +225,7 @@ impl EvalLog {
             best_point: best.0.clone(),
             best_value: best.1,
             history: self.history.clone(),
+            ledger: self.ledger.summary(),
         }
     }
 }
@@ -221,9 +304,30 @@ mod tests {
         let space = DesignSpace::boom();
         let obj = SphereObjective::default();
         let mut rng = StdRng::seed_from_u64(0);
-        for p in sample_feasible(&space, &obj, 20, &mut rng) {
+        let samples = sample_feasible(&space, &obj, 20, &mut rng).expect("feasibility plentiful");
+        assert_eq!(samples.len(), 20);
+        for p in samples {
             assert!(obj.is_feasible(&space, &p));
         }
+    }
+
+    #[test]
+    fn sample_feasible_reports_an_impossible_constraint_gracefully() {
+        struct Impossible;
+        impl Objective for Impossible {
+            fn evaluate(&mut self, _space: &DesignSpace, _point: &DesignPoint) -> f64 {
+                unreachable!("infeasible designs are never evaluated")
+            }
+            fn is_feasible(&self, _space: &DesignSpace, _point: &DesignPoint) -> bool {
+                false
+            }
+        }
+        let space = DesignSpace::boom();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = sample_feasible(&space, &Impossible, 3, &mut rng).unwrap_err();
+        assert_eq!(err, SampleFeasibleError { requested: 3, found: 0, attempts: 30_000 });
+        let msg = err.to_string();
+        assert!(msg.contains("0 of 3") && msg.contains("30000 random draws"), "{msg}");
     }
 
     #[test]

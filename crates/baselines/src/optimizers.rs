@@ -385,6 +385,11 @@ mod tests {
             let result = opt.optimize(&space, &mut obj, 10, 7);
             assert_eq!(result.history.len(), 10, "{} made wrong eval count", opt.name());
             assert_eq!(obj.evals, 10, "{} bypassed the objective", opt.name());
+            // The ledger is the budget's single source of truth: every
+            // charged evaluation appears there, none beyond the budget.
+            assert_eq!(result.ledger.high.evaluations, 10, "{}", opt.name());
+            assert_eq!(result.ledger.hf_budget, Some(10), "{}", opt.name());
+            assert_eq!(result.ledger.low.evaluations, 0, "{}", opt.name());
         }
     }
 

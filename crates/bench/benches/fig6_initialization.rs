@@ -24,9 +24,15 @@ fn bench_fig6(c: &mut Criterion) {
     group.bench_function("lf_phase_20_episodes", |b| {
         b.iter(|| {
             let mut fnn = FnnBuilder::for_space(&space).build();
+            let mut ledger = archdse::CostLedger::new();
             let outcome =
-                LfPhase::new(LfPhaseConfig { episodes: 20, seed: 3, ..Default::default() })
-                    .run(&mut fnn, &space, &lf, &area);
+                LfPhase::new(LfPhaseConfig { episodes: 20, seed: 3, ..Default::default() }).run(
+                    &mut fnn,
+                    &space,
+                    &lf,
+                    &area,
+                    &mut ledger,
+                );
             std::hint::black_box(outcome.converged_cpi)
         })
     });

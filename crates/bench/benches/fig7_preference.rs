@@ -33,9 +33,15 @@ fn bench_fig7(c: &mut Criterion) {
                 Param::DecodeWidth.index(),
                 2.0,
             );
+            let mut ledger = archdse::CostLedger::new();
             let outcome =
-                LfPhase::new(LfPhaseConfig { episodes: 20, seed: 5, ..Default::default() })
-                    .run(&mut fnn, &space, &lf, &area);
+                LfPhase::new(LfPhaseConfig { episodes: 20, seed: 5, ..Default::default() }).run(
+                    &mut fnn,
+                    &space,
+                    &lf,
+                    &area,
+                    &mut ledger,
+                );
             std::hint::black_box(outcome.converged.value(&space, Param::DecodeWidth))
         })
     });

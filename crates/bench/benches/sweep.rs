@@ -10,7 +10,6 @@ use archdse::eval::SimulatorHf;
 use archdse::DesignSpace;
 use criterion::{criterion_group, criterion_main, Criterion};
 use dse_bench::print_artifact;
-use dse_mfrl::HighFidelity as _;
 use dse_space::DesignPoint;
 use dse_workloads::Benchmark;
 

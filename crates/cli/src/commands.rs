@@ -2,16 +2,16 @@
 
 use std::error::Error;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use archdse::eval::SimulatorHf;
 use archdse::experiments::{
     ablations, fig5, fig6, fig7, table2, AblationConfig, Fig5Config, Fig6Config, Fig7Config,
     Table2Config,
 };
-use archdse::{DesignSpace, Explorer, Fnn, Param};
+use archdse::{CostLedger, DesignSpace, Explorer, Fnn, LedgerSummary, Param};
 use dse_fnn::explain_top_action;
-use dse_mfrl::{Constraint as _, HighFidelity as _, LowFidelity as _};
+use dse_mfrl::{Constraint as _, LowFidelity as _};
 use dse_workloads::Benchmark;
 
 use crate::Args;
@@ -45,7 +45,7 @@ COMMANDS:
       --trace-len <n>        trace length (default 10000)
       --threads <n>          worker threads (default as for explore)
       --seed <n>             trace seed (default 0)
-      --json <file>          also write the rows as JSON
+      --json <file>          also write { rows, ledger } as JSON
   explain                    walk a saved network greedily, explaining
                              each decision's top rules
       --fnn <file>           trained network from `explore --save-fnn`
@@ -61,6 +61,14 @@ COMMANDS:
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, dse_workloads::ParseBenchmarkError> {
     name.parse()
+}
+
+/// The JSON payload of `archdse sweep --json`: the `(encoded index,
+/// CPI)` rows plus the sweep's cost ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepReport {
+    rows: Vec<(u64, f64)>,
+    ledger: LedgerSummary,
 }
 
 fn maybe_write_json<T: Serialize>(args: &Args, value: &T) -> Result<(), Box<dyn Error>> {
@@ -180,10 +188,12 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
     );
     println!("simulated CPI: {:.4}", report.best_cpi);
     println!("HF sims used : {}", report.hf.evaluations);
-    // The phase cache sees every episode proposal; the evaluator cache
-    // behind it only ever sees the misses, so this is the line with a
-    // meaningful hit rate.
-    println!("HF CPI cache : {}", report.hf.cache);
+    // The run's cost ledger is the single source of budget truth: every
+    // LF and HF proposal was replayed, charged or denied by it.
+    println!("cost ledger  :");
+    for line in report.ledger.summary().to_string().lines() {
+        println!("  {line}");
+    }
     println!("\nlearned rules:");
     for rule in report.rules.iter().take(12) {
         println!("  {rule}");
@@ -228,23 +238,29 @@ fn cmd_sweep(args: &Args) -> Result<i32, Box<dyn Error>> {
     } else {
         (0..count).map(|i| space.decode(i * (space.size() - 1) / (count - 1))).collect()
     };
-    let cpis = hf.cpi_batch(&space, &points);
+    // Even a one-shot sweep runs through a ledger, so its accounting
+    // comes out in the same shape as every other driver's.
+    let mut ledger = CostLedger::new();
+    let entries = ledger.evaluate_batch(&mut hf, &space, &points);
 
     println!("{:<12} {:>8}", "design", "CPI");
     let mut rows: Vec<(u64, f64)> = Vec::with_capacity(points.len());
-    for (point, &cpi) in points.iter().zip(&cpis) {
+    for (point, entry) in points.iter().zip(&entries) {
         let index = space.encode(point);
+        let cpi = entry.cpi().expect("sweeps install no budget, so nothing is denied");
         println!("{index:<12} {cpi:>8.4}");
         rows.push((index, cpi));
     }
     println!(
-        "simulated {} designs x {} traces on {} thread(s); cache: {}",
+        "simulated {} designs x {} traces on {} thread(s)",
         points.len(),
         benchmarks.len(),
         hf.threads(),
-        hf.cache_stats()
     );
-    maybe_write_json(args, &rows)?;
+    for line in ledger.summary().to_string().lines() {
+        println!("  {line}");
+    }
+    maybe_write_json(args, &SweepReport { rows, ledger: ledger.summary() })?;
     Ok(0)
 }
 
@@ -345,10 +361,15 @@ mod tests {
             path_str,
         ]);
         assert_eq!(run(&a).unwrap(), 0);
-        let rows: Vec<(u64, f64)> =
+        let report: SweepReport =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(rows.len(), 4);
-        assert!(rows.iter().all(|&(_, cpi)| cpi > 0.0 && cpi.is_finite()));
+        assert_eq!(report.rows.len(), 4);
+        assert!(report.rows.iter().all(|&(_, cpi)| cpi > 0.0 && cpi.is_finite()));
+        // The ledger in the report accounts for exactly the swept designs.
+        assert_eq!(report.ledger.high.evaluations, 4);
+        assert_eq!(report.ledger.high.denied, 0);
+        assert_eq!(report.ledger.hf_budget, None);
+        assert!(report.ledger.high.model_time_units > 0.0);
         std::fs::remove_file(&path).unwrap();
     }
 

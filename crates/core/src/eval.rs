@@ -1,11 +1,11 @@
 //! Fidelity plumbing: adapters wiring the analytical model, the
-//! cycle-level simulator and the area model into the RL traits and the
-//! baseline-optimizer interface.
+//! cycle-level simulator and the area model into the workspace-wide
+//! [`Evaluator`] layer and the baseline-optimizer interface.
 
 use dse_analytical::AnalyticalModel;
 use dse_area::{Activity, AreaModel, PowerModel};
-use dse_exec::{par_map, CacheStats, CpiCache};
-use dse_mfrl::{Constraint, HighFidelity, LowFidelity};
+use dse_exec::{par_map, CacheStats, CpiCache, Evaluation, Evaluator, Fidelity};
+use dse_mfrl::{Constraint, LowFidelity, LF_TRACE_EQUIVALENT};
 use dse_sim::{CoreConfig, SimResult, Simulator};
 use dse_space::{DesignPoint, DesignSpace, Param};
 use dse_workloads::{Benchmark, Trace};
@@ -42,9 +42,14 @@ pub fn activity_of(result: &SimResult) -> Activity {
 /// general-purpose DSE (Fig. 5) it averages all six. CPI/IPC average
 /// across models; the gradient mask endorses a parameter when the *mean*
 /// predicted step benefit is negative.
+///
+/// Batched estimates ([`LowFidelity::cpi_batch`]) fan designs across the
+/// `dse-exec` work pool; each design's estimate is the same pure function
+/// either way, so results are bit-identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct AnalyticalLf {
     models: Vec<AnalyticalModel>,
+    threads: usize,
 }
 
 /// Minimum mean per-step CPI reduction for the mask (mirrors the
@@ -54,7 +59,10 @@ const BENEFIT_EPS: f64 = 1e-6;
 impl AnalyticalLf {
     /// Builds the LF proxy for one benchmark at a data scale.
     pub fn for_benchmark(space: &DesignSpace, benchmark: Benchmark, data_scale: f64) -> Self {
-        Self { models: vec![AnalyticalModel::new(space, benchmark.profile_scaled(data_scale))] }
+        Self {
+            models: vec![AnalyticalModel::new(space, benchmark.profile_scaled(data_scale))],
+            threads: dse_exec::default_threads(),
+        }
     }
 
     /// Builds the general-purpose LF proxy averaging `benchmarks`.
@@ -69,7 +77,19 @@ impl AnalyticalLf {
                 .iter()
                 .map(|&b| AnalyticalModel::new(space, b.profile_scaled(data_scale)))
                 .collect(),
+            threads: dse_exec::default_threads(),
         }
+    }
+
+    /// Overrides the worker-thread count for batched estimates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
     }
 
     /// The underlying per-benchmark models.
@@ -81,6 +101,10 @@ impl AnalyticalLf {
 impl LowFidelity for AnalyticalLf {
     fn cpi(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         self.models.iter().map(|m| m.cpi_in(space, point)).sum::<f64>() / self.models.len() as f64
+    }
+
+    fn cpi_batch(&self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
+        par_map(points, self.threads, |p| self.cpi(space, p))
     }
 
     fn beneficial_params(&self, space: &DesignSpace, point: &DesignPoint) -> Vec<Param> {
@@ -99,17 +123,23 @@ impl LowFidelity for AnalyticalLf {
             .filter(|&p| !at_max[p.index()] && mean_delta[p.index()] < -BENEFIT_EPS)
             .collect()
     }
+
+    fn cost_per_eval(&self) -> f64 {
+        self.models.len() as f64 * LF_TRACE_EQUIVALENT
+    }
 }
 
 /// High-fidelity adapter: the cycle-level simulator over pre-generated
-/// benchmark traces, with memoization and evaluation counting.
+/// benchmark traces, with a memo shared across runs.
 ///
 /// One "HF simulation" in the paper's accounting simulates *all* of this
 /// evaluator's benchmarks for one design (the Fig. 5 objective is the
-/// six-benchmark average CPI); the result is cached so re-proposals of a
-/// design are free.
+/// six-benchmark average CPI); the result is memoized so re-proposals of
+/// a design never rerun the simulator. Budget enforcement and per-run
+/// accounting are *not* this type's job — drive it through a
+/// [`CostLedger`](dse_exec::CostLedger).
 ///
-/// Per-benchmark traces — and, through [`HighFidelity::cpi_batch`],
+/// Per-benchmark traces — and, through [`Evaluator::evaluate_batch`],
 /// whole batches of designs — are simulated on the `dse-exec` work pool.
 /// Results are gathered in input order, so the reported CPIs are
 /// bit-identical whatever the thread count (see the crate's DESIGN.md).
@@ -117,7 +147,6 @@ impl LowFidelity for AnalyticalLf {
 pub struct SimulatorHf {
     traces: Vec<Trace>,
     cache: CpiCache,
-    evals: usize,
     threads: usize,
 }
 
@@ -152,7 +181,7 @@ impl SimulatorHf {
         assert!(trace_len > 0, "trace length must be positive");
         let traces =
             benchmarks.iter().map(|&b| b.trace_scaled(trace_len, seed, data_scale)).collect();
-        Self { traces, cache: CpiCache::new(), evals: 0, threads: dse_exec::default_threads() }
+        Self { traces, cache: CpiCache::new(), threads: dse_exec::default_threads() }
     }
 
     /// Overrides the worker-thread count (1 = fully sequential).
@@ -176,61 +205,49 @@ impl SimulatorHf {
         self.cache.stats()
     }
 
-    /// CPI of a design without budget side effects (used by the regret
-    /// reference pass; still cached).
-    pub fn cpi_uncounted(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
-        let key = space.encode(point);
-        if let Some(c) = self.cache.get(key) {
-            return c;
-        }
-        let cpi = self.simulate(space, point);
-        self.cache.insert(key, cpi);
-        cpi
+    /// Unique designs simulated over this evaluator's lifetime (every
+    /// simulation is memoized, so this is exactly the memo's entry
+    /// count). Per-*run* charges live in the driving ledger, not here.
+    pub fn evaluations(&self) -> usize {
+        self.cache.len()
     }
 
-    /// Simulates every trace for one design (no cache involvement),
-    /// averaging in trace order so the result does not depend on the
-    /// thread count.
-    fn simulate(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
-        let config = CoreConfig::from_point(space, point);
-        let cpis =
-            par_map(&self.traces, self.threads, |t| Simulator::new(config.clone()).run(t).cpi());
-        cpis.iter().sum::<f64>() / self.traces.len() as f64
+    /// Memoized CPI of one design, outside any ledger — offline passes
+    /// (the regret reference sweep) use this so no run budget is
+    /// involved.
+    pub fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        Evaluator::evaluate(self, space, point).cpi
+    }
+
+    /// Memoized CPI of every design in `points`, outside any ledger.
+    pub fn cpi_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
+        Evaluator::evaluate_batch(self, space, points).into_iter().map(|ev| ev.cpi).collect()
     }
 }
 
-impl HighFidelity for SimulatorHf {
-    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
-        let key = space.encode(point);
-        if let Some(c) = self.cache.get(key) {
-            return c;
-        }
-        self.evals += 1;
-        let cpi = self.simulate(space, point);
-        self.cache.insert(key, cpi);
-        cpi
+impl Evaluator for SimulatorHf {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::High
     }
 
-    fn evaluations(&self) -> usize {
-        self.evals
-    }
-
-    /// Batched evaluation fanning every uncached (design × trace) pair
+    /// Batched evaluation fanning every unmemoized (design × trace) pair
     /// across the work pool at once, so small trace sets still keep all
     /// cores busy on design sweeps.
     ///
-    /// Values, evaluation counts and cache counters are identical to
-    /// calling [`HighFidelity::cpi`] on each point in order; per-design
-    /// CPIs are averaged in trace order, so they are also bit-identical
-    /// to the sequential walk at any thread count.
-    fn cpi_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
-        // Pass 1 (sequential): replay the exact cache-lookup sequence
-        // the per-point path would issue, scheduling each design's first
-        // uncached occurrence for simulation.
+    /// Values and memo counters are identical to evaluating each point
+    /// in order; per-design CPIs are averaged in trace order, so they
+    /// are also bit-identical to the sequential walk at any thread
+    /// count. Memo answers — including within-batch duplicates after
+    /// their first occurrence — come back with
+    /// [`Evaluation::cached`] set.
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        // Pass 1 (sequential): replay the exact memo-lookup sequence the
+        // per-point path would issue, scheduling each design's first
+        // unmemoized occurrence for simulation.
         enum Slot {
             Done(f64),
             // Position in `to_run`; `dup` marks occurrences after the
-            // first, whose counted cache hit is deferred to pass 3.
+            // first, whose counted memo hit is deferred to pass 3.
             Pending { run: usize, dup: bool },
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(points.len());
@@ -245,7 +262,6 @@ impl HighFidelity for SimulatorHf {
             match self.cache.get(key) {
                 Some(cpi) => slots.push(Slot::Done(cpi)),
                 None => {
-                    self.evals += 1;
                     scheduled.insert(key, to_run.len());
                     slots.push(Slot::Pending { run: to_run.len(), dup: false });
                     to_run.push((key, CoreConfig::from_point(space, point)));
@@ -272,16 +288,17 @@ impl HighFidelity for SimulatorHf {
         }
 
         // Pass 3: resolve pending slots; within-batch duplicates now
-        // take the counted cache hit the sequential walk would have.
+        // take the counted memo hit the sequential walk would have.
         slots
             .into_iter()
             .map(|slot| match slot {
-                Slot::Done(cpi) => cpi,
+                Slot::Done(cpi) => Evaluation::new(cpi, Fidelity::High).cached(true),
                 Slot::Pending { run, dup } => {
                     if dup {
-                        self.cache.get(to_run[run].0).expect("inserted in pass 2")
+                        let cpi = self.cache.get(to_run[run].0).expect("inserted in pass 2");
+                        Evaluation::new(cpi, Fidelity::High).cached(true)
                     } else {
-                        means[run]
+                        Evaluation::new(means[run], Fidelity::High)
                     }
                 }
             })
@@ -290,6 +307,10 @@ impl HighFidelity for SimulatorHf {
 
     fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        self.traces.len() as f64
     }
 }
 
@@ -367,6 +388,11 @@ impl DesignConstraints {
     pub fn leakage_limit_mw(&self) -> Option<f64> {
         self.leakage_limit_mw
     }
+
+    /// Leakage power of a point under the wrapped power model.
+    pub fn leakage_mw(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        self.power.leakage_mw(space, point)
+    }
 }
 
 impl Constraint for DesignConstraints {
@@ -383,6 +409,13 @@ impl Constraint for DesignConstraints {
 
 /// The baseline-optimizer view of the same stack: HF CPI as the
 /// objective, the area limit as feasibility.
+///
+/// The `Objective` adapter inside `dse-baselines` routes every proposal
+/// through a [`CostLedger`](dse_exec::CostLedger), so baselines and our
+/// method share bit-identical accounting; this type's
+/// [`Objective::evaluate_rich`](dse_baselines::Objective::evaluate_rich)
+/// forwards the simulator's provenance and stamps area/feasibility on
+/// top.
 #[derive(Debug)]
 pub struct HfObjective {
     hf: SimulatorHf,
@@ -395,12 +428,12 @@ impl HfObjective {
         Self { hf, area }
     }
 
-    /// Unique HF simulations performed.
+    /// Unique HF simulations performed over the evaluator's lifetime.
     pub fn evaluations(&self) -> usize {
         self.hf.evaluations()
     }
 
-    /// Recovers the HF evaluator (and its cache).
+    /// Recovers the HF evaluator (and its memo).
     pub fn into_inner(self) -> (SimulatorHf, AreaLimit) {
         (self.hf, self.area)
     }
@@ -412,14 +445,25 @@ impl dse_baselines::Objective for HfObjective {
     }
 
     fn is_feasible(&self, space: &DesignSpace, point: &DesignPoint) -> bool {
-        use dse_mfrl::Constraint as _;
         self.area.fits(space, point)
+    }
+
+    fn evaluate_rich(&mut self, space: &DesignSpace, point: &DesignPoint) -> Evaluation {
+        let mut ev = Evaluator::evaluate(&mut self.hf, space, point);
+        ev.area_mm2 = Some(self.area.area_mm2(space, point));
+        ev.feasible = Some(self.area.fits(space, point));
+        ev
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        Evaluator::cost_per_eval(&self.hf)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dse_exec::{CostLedger, LedgerEntry};
 
     #[test]
     fn analytical_lf_averages_models() {
@@ -434,7 +478,19 @@ mod tests {
     }
 
     #[test]
-    fn hf_caching_counts_unique_designs_only() {
+    fn analytical_batch_matches_the_sequential_walk() {
+        let space = DesignSpace::boom();
+        let lf = AnalyticalLf::for_benchmarks(&space, &Benchmark::ALL, 1.0).with_threads(3);
+        let points: Vec<DesignPoint> =
+            (0..17).map(|i| space.decode(i * 999_331 % space.size())).collect();
+        let batched = lf.cpi_batch(&space, &points);
+        let walked: Vec<f64> = points.iter().map(|p| lf.cpi(&space, p)).collect();
+        assert_eq!(batched, walked);
+        assert!((lf.cost_per_eval() - 6.0 * LF_TRACE_EQUIVALENT).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hf_memo_counts_unique_designs_only() {
         let space = DesignSpace::boom();
         let mut hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
         let p = space.smallest();
@@ -448,15 +504,45 @@ mod tests {
     }
 
     #[test]
-    fn uncounted_evaluations_do_not_consume_budget() {
+    fn evaluator_batch_stamps_memo_provenance() {
         let space = DesignSpace::boom();
         let mut hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
-        let _ = hf.cpi_uncounted(&space, &space.smallest());
-        assert_eq!(hf.evaluations(), 0);
-        // And the cache is shared: a later counted call is free too —
-        // by design, the reference pass may warm the cache.
-        let _ = hf.cpi(&space, &space.smallest());
-        assert_eq!(hf.evaluations(), 0);
+        let p = space.smallest();
+        let q = p.increased(&space, Param::DecodeWidth).unwrap();
+        let _ = hf.cpi(&space, &p);
+        let evs = Evaluator::evaluate_batch(&mut hf, &space, &[p.clone(), q.clone(), q.clone()]);
+        assert!(evs[0].cached, "memoized design must report cached");
+        assert!(!evs[1].cached, "fresh design must report a model run");
+        assert!(evs[2].cached, "within-batch duplicate answers from the memo");
+        assert_eq!(evs[1].cpi, evs[2].cpi);
+        assert_eq!(evs[0].fidelity, Fidelity::High);
+        assert_eq!(Evaluator::cost_per_eval(&hf), 1.0, "one benchmark = one trace");
+    }
+
+    #[test]
+    fn warm_memo_charges_the_run_but_costs_no_model_time() {
+        let space = DesignSpace::boom();
+        let mut hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
+        let p = space.smallest();
+        // An offline pass (no ledger) warms the memo without touching
+        // any run budget.
+        let offline = hf.cpi(&space, &p);
+        assert_eq!(hf.evaluations(), 1);
+        // A later metered run proposing the same design is charged one
+        // evaluation — budgets meter proposals — but spends no model
+        // time, because the memo answers.
+        let mut ledger = CostLedger::new().with_hf_budget(1);
+        let entry = ledger.evaluate(&mut hf, &space, &p);
+        match entry {
+            LedgerEntry::Charged(ev) => {
+                assert!(ev.cached);
+                assert_eq!(ev.cpi, offline);
+            }
+            other => panic!("expected a charged entry, got {other:?}"),
+        }
+        assert_eq!(ledger.evaluations(Fidelity::High), 1);
+        assert_eq!(ledger.section(Fidelity::High).model_time_units, 0.0);
+        assert_eq!(hf.evaluations(), 1, "no second simulation happened");
     }
 
     #[test]
@@ -466,6 +552,23 @@ mod tests {
         assert!(limit.fits(&space, &space.smallest()));
         assert!(!limit.fits(&space, &space.largest()));
         assert!(limit.area_mm2(&space, &space.smallest()) < 8.0);
+    }
+
+    #[test]
+    fn hf_objective_reports_rich_provenance() {
+        use dse_baselines::Objective as _;
+        let space = DesignSpace::boom();
+        let hf = SimulatorHf::for_benchmark(Benchmark::StringSearch, 2_000, 1, 1.0);
+        let area = AreaLimit::new(8.0);
+        let mut objective = HfObjective::new(hf, area.clone());
+        let p = space.smallest();
+        let ev = objective.evaluate_rich(&space, &p);
+        assert_eq!(ev.fidelity, Fidelity::High);
+        assert_eq!(ev.feasible, Some(true));
+        assert_eq!(ev.area_mm2, Some(area.area_mm2(&space, &p)));
+        assert_eq!(ev.cpi, objective.evaluate(&space, &p));
+        let big = space.largest();
+        assert_eq!(objective.evaluate_rich(&space, &big).feasible, Some(false));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use dse_exec::LedgerSummary;
 use dse_mfrl::RewardKind;
 use dse_workloads::Benchmark;
 
@@ -81,6 +82,8 @@ pub struct AblationRow {
 pub struct AblationResult {
     /// One row per variant; `rows[0]` is the full method.
     pub rows: Vec<AblationRow>,
+    /// The study's aggregated cost ledger (all variants, all seeds).
+    pub ledger: LedgerSummary,
 }
 
 impl AblationResult {
@@ -129,10 +132,19 @@ pub fn ablations(config: &AblationConfig) -> AblationResult {
         ("HF only", Box::new(move |s| base(s).lf_episodes(0).gradient_mask(false))),
     ];
 
+    let mut total = LedgerSummary::default();
     let rows = variants
         .into_iter()
         .map(|(label, make)| {
-            let per_seed: Vec<f64> = config.seeds.iter().map(|&s| make(s).run().best_cpi).collect();
+            let per_seed: Vec<f64> = config
+                .seeds
+                .iter()
+                .map(|&s| {
+                    let report = make(s).run();
+                    total.absorb(report.ledger.summary());
+                    report.best_cpi
+                })
+                .collect();
             AblationRow {
                 variant: label.to_string(),
                 mean_best_cpi: per_seed.iter().sum::<f64>() / per_seed.len() as f64,
@@ -140,7 +152,7 @@ pub fn ablations(config: &AblationConfig) -> AblationResult {
             }
         })
         .collect();
-    AblationResult { rows }
+    AblationResult { rows, ledger: total }
 }
 
 #[cfg(test)]

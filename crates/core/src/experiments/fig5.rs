@@ -8,6 +8,7 @@ use dse_baselines::{
     ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Optimizer, RandomForestOptimizer,
     RandomSearchOptimizer, ScboOptimizer,
 };
+use dse_exec::LedgerSummary;
 use dse_workloads::Benchmark;
 
 use crate::eval::{AreaLimit, HfObjective, SimulatorHf};
@@ -69,6 +70,12 @@ pub struct Fig5Row {
     pub std_dev: f64,
     /// Best CPI per seed.
     pub per_seed: Vec<f64>,
+    /// HF evaluations the method was charged, summed over the seeds
+    /// (every method's charges flow through the same ledger layer, so
+    /// these are directly comparable).
+    pub hf_evaluations: u64,
+    /// The method's aggregated cost ledger over the seeds.
+    pub ledger: LedgerSummary,
 }
 
 /// All methods' outcomes, sorted best-first.
@@ -76,6 +83,8 @@ pub struct Fig5Row {
 pub struct Fig5Result {
     /// One row per method.
     pub rows: Vec<Fig5Row>,
+    /// The whole experiment's cost ledger (all methods, all seeds).
+    pub ledger: LedgerSummary,
 }
 
 impl Fig5Result {
@@ -85,8 +94,8 @@ impl Fig5Result {
     pub fn to_markdown(&self) -> String {
         let ours = self.row("FNN-MFRL (ours)");
         let mut s = String::new();
-        let _ = writeln!(s, "| method | mean best CPI | std dev | p(ours ≥ method) |");
-        let _ = writeln!(s, "|--------|--------------:|--------:|------------------:|");
+        let _ = writeln!(s, "| method | mean best CPI | std dev | HF evals | p(ours ≥ method) |");
+        let _ = writeln!(s, "|--------|--------------:|--------:|---------:|------------------:|");
         for r in &self.rows {
             let p = match ours {
                 Some(o) if o.method != r.method && o.per_seed.len() == r.per_seed.len() => {
@@ -97,8 +106,11 @@ impl Fig5Result {
                 }
                 _ => "—".to_string(),
             };
-            let _ =
-                writeln!(s, "| {} | {:.4} | {:.4} | {} |", r.method, r.mean_best_cpi, r.std_dev, p);
+            let _ = writeln!(
+                s,
+                "| {} | {:.4} | {:.4} | {} | {} |",
+                r.method, r.mean_best_cpi, r.std_dev, r.hf_evaluations, p
+            );
         }
         s
     }
@@ -133,21 +145,26 @@ pub fn fig5(config: &Fig5Config) -> Fig5Result {
     ];
     for opt in &mut baselines {
         let mut per_seed = Vec::new();
+        let mut ledger = LedgerSummary::default();
         for &seed in &config.seeds {
             let result = opt.optimize(&space, &mut objective, config.baseline_budget, seed);
             per_seed.push(result.best_value);
+            ledger.absorb(result.ledger);
         }
         rows.push(Fig5Row {
             method: opt.name().to_string(),
             mean_best_cpi: mean(&per_seed),
             std_dev: crate::stats::std_dev(&per_seed),
             per_seed,
+            hf_evaluations: ledger.high.evaluations,
+            ledger,
         });
     }
 
     // Our method, reusing the now-warm memoized simulator.
     let (mut hf, _) = objective.into_inner();
     let mut ours = Vec::new();
+    let mut our_ledger = LedgerSummary::default();
     for &seed in &config.seeds {
         let explorer = Explorer::general_purpose()
             .area_limit_mm2(config.area_limit_mm2)
@@ -157,16 +174,23 @@ pub fn fig5(config: &Fig5Config) -> Fig5Result {
             .seed(seed);
         let report = explorer.run_with_hf(&mut hf);
         ours.push(report.best_cpi);
+        our_ledger.absorb(report.ledger.summary());
     }
     rows.push(Fig5Row {
         method: "FNN-MFRL (ours)".to_string(),
         mean_best_cpi: mean(&ours),
         std_dev: crate::stats::std_dev(&ours),
         per_seed: ours,
+        hf_evaluations: our_ledger.high.evaluations,
+        ledger: our_ledger,
     });
 
     rows.sort_by(|a, b| a.mean_best_cpi.total_cmp(&b.mean_best_cpi));
-    Fig5Result { rows }
+    let mut total = LedgerSummary::default();
+    for row in &rows {
+        total.absorb(row.ledger);
+    }
+    Fig5Result { rows, ledger: total }
 }
 
 use crate::stats::mean;
@@ -177,7 +201,8 @@ mod tests {
 
     #[test]
     fn quick_fig5_covers_all_methods() {
-        let result = fig5(&Fig5Config::quick());
+        let config = Fig5Config::quick();
+        let result = fig5(&config);
         assert_eq!(result.rows.len(), 7);
         for r in &result.rows {
             assert_eq!(r.per_seed.len(), 2, "{}", r.method);
@@ -189,5 +214,21 @@ mod tests {
         for w in result.rows.windows(2) {
             assert!(w[0].mean_best_cpi <= w[1].mean_best_cpi);
         }
+        // Every method's HF charges are budget-exact per seed (our
+        // method may underspend if its episode valve trips first): the
+        // whole point of funnelling them through one ledger layer.
+        let seeds = config.seeds.len() as u64;
+        for r in &result.rows {
+            if r.method.contains("ours") {
+                assert!(r.hf_evaluations <= seeds * config.our_budget as u64, "{}", r.method);
+                assert!(r.hf_evaluations > 0, "{}", r.method);
+                assert_eq!(r.ledger.hf_budget, Some(seeds * config.our_budget as u64));
+            } else {
+                assert_eq!(r.hf_evaluations, seeds * config.baseline_budget as u64, "{}", r.method);
+                assert_eq!(r.ledger.hf_budget, Some(seeds * config.baseline_budget as u64));
+            }
+        }
+        let total: u64 = result.rows.iter().map(|r| r.hf_evaluations).sum();
+        assert_eq!(result.ledger.high.evaluations, total);
     }
 }

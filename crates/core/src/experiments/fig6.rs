@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use dse_exec::{CostLedger, LedgerSummary};
 use dse_fnn::FnnBuilder;
 use dse_mfrl::{LfPhase, LfPhaseConfig};
 use dse_space::{DesignSpace, MergedParam};
@@ -76,6 +77,8 @@ impl Fig6Curve {
 pub struct Fig6Result {
     /// One curve per initialization.
     pub curves: Vec<Fig6Curve>,
+    /// The study's aggregated cost ledger (LF-only by construction).
+    pub ledger: LedgerSummary,
 }
 
 impl Fig6Result {
@@ -130,6 +133,7 @@ pub fn fig6(config: &Fig6Config) -> Fig6Result {
         ("high L1/L2 centers", l1_hi * 0.5, l2_hi * 0.25),
     ];
 
+    let mut total = LedgerSummary::default();
     let curves = settings
         .iter()
         .map(|&(label, l1, l2)| {
@@ -139,12 +143,14 @@ pub fn fig6(config: &Fig6Config) -> Fig6Result {
                     .param_center(MergedParam::L1Size, l1)
                     .param_center(MergedParam::L2Size, l2)
                     .build();
+                let mut ledger = CostLedger::new();
                 let outcome = LfPhase::new(LfPhaseConfig {
                     episodes: config.episodes,
                     seed: config.seed + s as u64,
                     ..Default::default()
                 })
-                .run(&mut fnn, &space, &lf, &area);
+                .run(&mut fnn, &space, &lf, &area, &mut ledger);
+                total.absorb(ledger.summary());
                 for (m, v) in mean_history.iter_mut().zip(&outcome.policy_cpi_history) {
                     *m += v / config.seeds.max(1) as f64;
                 }
@@ -157,7 +163,7 @@ pub fn fig6(config: &Fig6Config) -> Fig6Result {
             }
         })
         .collect();
-    Fig6Result { curves }
+    Fig6Result { curves, ledger: total }
 }
 
 #[cfg(test)]
@@ -181,5 +187,8 @@ mod tests {
                 c.label
             );
         }
+        // LF-only study: every charge lands on the LF side.
+        assert!(result.ledger.low.evaluations > 0);
+        assert_eq!(result.ledger.high.evaluations, 0);
     }
 }

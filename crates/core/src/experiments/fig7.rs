@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use dse_exec::{CostLedger, LedgerSummary};
 use dse_fnn::FnnBuilder;
 use dse_mfrl::{LfPhase, LfPhaseConfig};
 use dse_space::{DesignSpace, MergedParam, Param};
@@ -69,6 +70,8 @@ pub struct Fig7Result {
     /// Decode width of the converged design *without* the preference
     /// (the paper observes fp-vvadd originally converges to 3).
     pub baseline_final_decode: f64,
+    /// The study's aggregated cost ledger across both training runs.
+    pub ledger: LedgerSummary,
 }
 
 impl Fig7Result {
@@ -95,15 +98,20 @@ pub fn fig7(config: &Fig7Config) -> Fig7Result {
 
     // Baseline: no preference.
     let mut plain = FnnBuilder::for_space(&space).build();
-    let baseline = LfPhase::new(phase_cfg).run(&mut plain, &space, &lf, &area);
+    let mut baseline_ledger = CostLedger::new();
+    let baseline =
+        LfPhase::new(phase_cfg).run(&mut plain, &space, &lf, &area, &mut baseline_ledger);
     let baseline_final_decode = baseline.converged.value(&space, Param::DecodeWidth);
 
     // With the preference embedded into the rule base.
     let mut fnn = FnnBuilder::for_space(&space).build();
     let p = config.preference;
     fnn.embed_preference(1 + p.group.index(), p.threshold, p.target.index(), p.boost);
-    let outcome = LfPhase::new(phase_cfg).run(&mut fnn, &space, &lf, &area);
+    let mut ledger = CostLedger::new();
+    let outcome = LfPhase::new(phase_cfg).run(&mut fnn, &space, &lf, &area, &mut ledger);
     let final_decode = outcome.converged.value(&space, Param::DecodeWidth);
+    let mut total = baseline_ledger.summary();
+    total.absorb(ledger.summary());
 
     let trajectories = Param::ALL
         .iter()
@@ -113,7 +121,7 @@ pub fn fig7(config: &Fig7Config) -> Fig7Result {
         })
         .collect();
 
-    Fig7Result { trajectories, final_decode, baseline_final_decode }
+    Fig7Result { trajectories, final_decode, baseline_final_decode, ledger: total }
 }
 
 #[cfg(test)]

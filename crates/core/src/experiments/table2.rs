@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
+use dse_exec::LedgerSummary;
 use dse_workloads::Benchmark;
 
 use crate::regret::{improvement, reference_optimum, regret, ReferenceConfig};
@@ -78,6 +79,9 @@ pub struct Table2Row {
     pub hf_regret: f64,
     /// Improvement ratio Regret_LF / Regret_HF (eq. 6).
     pub improvement: f64,
+    /// The DSE run's cost ledger (the offline LF re-simulation and the
+    /// reference sweep are unmetered by design).
+    pub ledger: LedgerSummary,
 }
 
 /// The full table.
@@ -127,7 +131,7 @@ pub fn table2(config: &Table2Config) -> Table2Result {
             // The LF result's quality, measured offline on the simulator
             // (does not consume DSE budget).
             let space = explorer.space().clone();
-            let lf_cpi = hf.cpi_uncounted(&space, &report.lf.converged);
+            let lf_cpi = hf.cpi(&space, &report.lf.converged);
             let reference = reference_optimum(&space, &mut hf, &explorer.area(), &config.reference);
             let lf_regret = regret(lf_cpi, &reference);
             let hf_regret = regret(report.best_cpi, &reference);
@@ -140,6 +144,7 @@ pub fn table2(config: &Table2Config) -> Table2Result {
                 lf_regret,
                 hf_regret,
                 improvement: improvement(lf_regret, hf_regret),
+                ledger: report.ledger.summary(),
             }
         })
         .collect();
@@ -163,6 +168,8 @@ mod tests {
                 r.benchmark
             );
             assert!(r.improvement >= 1.0 - 1e-9, "{}: eq. 6 ratio below 1", r.benchmark);
+            assert!(r.ledger.high.evaluations <= 4, "{}: budget overrun", r.benchmark);
+            assert_eq!(r.ledger.hf_budget, Some(4), "{}", r.benchmark);
         }
         let md = result.to_markdown();
         assert!(md.contains("dijkstra") && md.contains("Imp."));

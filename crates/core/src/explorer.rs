@@ -1,6 +1,6 @@
 //! The friendly end-to-end API.
 
-use dse_exec::CacheStats;
+use dse_exec::CostLedger;
 use dse_fnn::{extract_rules, Fnn, FnnBuilder, Rule, RuleExtractionConfig};
 use dse_mfrl::{
     HfOutcome, HfPhaseConfig, LfOutcome, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
@@ -41,9 +41,9 @@ pub struct ExplorationReport {
     pub fnn: Fnn,
     /// The extracted, pruned rule base (§4.3).
     pub rules: Vec<Rule>,
-    /// Counters of the HF evaluator's memoized CPI cache (how often the
-    /// simulator was spared by memoization across the whole run).
-    pub hf_cache: CacheStats,
+    /// The run's cost ledger: every LF and HF charge, replay and denial
+    /// across both phases — the single source of budget truth.
+    pub ledger: CostLedger,
 }
 
 /// The end-to-end explorer: configure a workload and an area budget,
@@ -303,7 +303,7 @@ impl Explorer {
             hf: outcome.hf,
             fnn,
             rules,
-            hf_cache: hf.cache_stats(),
+            ledger: outcome.ledger,
         }
     }
 }
@@ -324,6 +324,11 @@ mod tests {
         assert!(explorer.area().fits(explorer.space(), &report.best_point));
         assert!(report.best_cpi > 0.0 && report.best_cpi.is_finite());
         assert!(report.hf.evaluations <= 4);
+        // The outcome mirrors the ledger, the single source of truth.
+        use dse_exec::Fidelity;
+        assert_eq!(report.ledger.evaluations(Fidelity::High), report.hf.evaluations);
+        assert_eq!(report.ledger.hf_budget(), Some(4));
+        assert!(report.ledger.evaluations(Fidelity::Low) > 0, "LF ranking must be metered");
     }
 
     #[test]

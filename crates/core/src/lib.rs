@@ -11,10 +11,11 @@
 //!   and the extracted fuzzy rules;
 //! * [`eval`] — the fidelity plumbing: [`eval::AnalyticalLf`] adapts the
 //!   differentiable analytical model to the RL's low-fidelity trait,
-//!   [`eval::SimulatorHf`] adapts the cycle-level simulator (with
-//!   caching and evaluation counting), [`eval::AreaLimit`] the area
-//!   constraint, and [`eval::HfObjective`] the baseline-optimizer view
-//!   of the same stack;
+//!   [`eval::SimulatorHf`] adapts the cycle-level simulator to the
+//!   workspace-wide batch-first [`Evaluator`] interface (memoized;
+//!   budgets and counts live in the run's [`CostLedger`]),
+//!   [`eval::AreaLimit`] the area constraint, and [`eval::HfObjective`]
+//!   the baseline-optimizer view of the same stack;
 //! * [`regret`] — the sampled reference optimum and regret metric of
 //!   §4.1 (eq. 5/6);
 //! * [`experiments`] — drivers regenerating every table and figure of
@@ -55,7 +56,8 @@ pub use dse_analytical::AnalyticalModel;
 pub use dse_area::AreaModel;
 pub use dse_fnn::{extract_rules, Fnn, FnnBuilder, Rule, RuleExtractionConfig};
 pub use dse_mfrl::{
-    DseOutcome, HfPhaseConfig, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
+    CostLedger, DseOutcome, Evaluation, Evaluator, Fidelity, FidelityLedger, HfPhaseConfig,
+    LedgerEntry, LedgerSummary, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
 };
 pub use dse_sim::{CoreConfig, SimResult, Simulator};
 pub use dse_space::{DesignPoint, DesignSpace, MergedParam, Param};

@@ -1,0 +1,158 @@
+//! The unified batch-first evaluation interface.
+//!
+//! Every cost model in the workspace — the analytical LF proxy, the
+//! cycle-level HF simulator, and the baseline objectives — speaks the
+//! same [`Evaluator`] trait: hand it a batch of design points, get back
+//! one [`Evaluation`] per point carrying the CPI plus its provenance
+//! (fidelity tag, whether the evaluator's own memo answered it, and any
+//! area/power/feasibility figures the backend knows). Search code never
+//! talks to an evaluator directly; it goes through a
+//! [`CostLedger`](crate::CostLedger), which is the single source of
+//! budget truth.
+
+use dse_space::{DesignPoint, DesignSpace};
+
+use crate::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Which cost model produced an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// The cheap analytical proxy (~1000x cheaper than a simulation).
+    Low,
+    /// The cycle-level simulator.
+    High,
+}
+
+impl Fidelity {
+    /// A short human-readable label ("LF" / "HF").
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Low => "LF",
+            Fidelity::High => "HF",
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One evaluated design point: the CPI figure plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// The cost model that produced it.
+    pub fidelity: Fidelity,
+    /// Whether the evaluator answered from its own persistent memo
+    /// (`true` means no model run happened for this point).
+    pub cached: bool,
+    /// Estimated die area, when the backend carries an area model.
+    pub area_mm2: Option<f64>,
+    /// Estimated leakage power, when the backend carries a power model.
+    pub leakage_mw: Option<f64>,
+    /// Whether the design satisfies the backend's constraints, when the
+    /// backend carries any.
+    pub feasible: Option<bool>,
+}
+
+impl Evaluation {
+    /// A bare evaluation with no provenance beyond the fidelity tag.
+    pub fn new(cpi: f64, fidelity: Fidelity) -> Self {
+        Self { cpi, fidelity, cached: false, area_mm2: None, leakage_mw: None, feasible: None }
+    }
+
+    /// Marks the evaluation as answered from the evaluator's memo.
+    pub fn cached(mut self, cached: bool) -> Self {
+        self.cached = cached;
+        self
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi
+    }
+}
+
+/// A batch-first cost model.
+///
+/// Implementations must keep `evaluate_batch` semantically identical to
+/// evaluating each point in input order — same values, same memo
+/// accounting — and backends built on [`par_map`](crate::par_map) must
+/// keep it bit-identical to that sequential walk at any thread count.
+///
+/// Evaluators are *infrastructure*: they may keep a persistent memo
+/// shared across runs, but they hold no per-run budget state. Budgets,
+/// per-run deduplication and cost counters all live in the
+/// [`CostLedger`](crate::CostLedger) that drives them.
+pub trait Evaluator {
+    /// The fidelity of this cost model.
+    fn fidelity(&self) -> Fidelity;
+
+    /// Evaluates every design in `points`, in input order.
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation>;
+
+    /// Evaluates a single design (a one-element batch).
+    fn evaluate(&mut self, space: &DesignSpace, point: &DesignPoint) -> Evaluation {
+        self.evaluate_batch(space, std::slice::from_ref(point))
+            .pop()
+            .expect("evaluate_batch returned no result for a one-point batch")
+    }
+
+    /// Counters of the evaluator's own persistent memo, when it has one.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Model-time units one fresh (non-memoized) evaluation costs.
+    ///
+    /// The unit is one simulated trace: the HF simulator reports its
+    /// trace count, the analytical proxy a ~1000x smaller figure, so a
+    /// ledger's cumulative `model_time_units` compare across fidelities.
+    fn cost_per_eval(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_carries_provenance() {
+        let ev = Evaluation::new(2.0, Fidelity::High).cached(true);
+        assert_eq!(ev.ipc(), 0.5);
+        assert!(ev.cached);
+        assert_eq!(ev.area_mm2, None);
+        assert_eq!(ev.feasible, None);
+        assert_eq!(format!("{}", ev.fidelity), "HF");
+    }
+
+    #[test]
+    fn single_evaluate_defaults_to_a_one_point_batch() {
+        struct Doubler;
+        impl Evaluator for Doubler {
+            fn fidelity(&self) -> Fidelity {
+                Fidelity::Low
+            }
+            fn evaluate_batch(
+                &mut self,
+                space: &DesignSpace,
+                points: &[DesignPoint],
+            ) -> Vec<Evaluation> {
+                points
+                    .iter()
+                    .map(|p| Evaluation::new(2.0 * space.encode(p) as f64, Fidelity::Low))
+                    .collect()
+            }
+        }
+        let space = DesignSpace::boom();
+        let point = space.decode(21);
+        assert_eq!(Doubler.evaluate(&space, &point).cpi, 42.0);
+        assert_eq!(Doubler.cost_per_eval(), 1.0);
+        assert_eq!(Doubler.cache_stats(), CacheStats::default());
+    }
+}

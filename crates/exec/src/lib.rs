@@ -17,12 +17,25 @@
 //!   counters surface in `HfOutcome`/`ExplorationReport` as free
 //!   observability.
 //!
+//! On top of the backend sit the workspace's unified evaluation types:
+//! [`Evaluator`] (the batch-first cost-model interface every fidelity
+//! and every baseline objective implements, returning [`Evaluation`]s
+//! tagged with a [`Fidelity`]) and [`CostLedger`] (the per-run,
+//! per-fidelity accounting of evaluations, cache hits/misses, denied
+//! proposals and model-time units — the single source of budget truth).
+//!
 //! Thread-count policy lives in [`default_threads`]: the `DSE_THREADS`
 //! environment variable when set (a positive integer), otherwise the
 //! machine's available parallelism.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod evaluator;
+mod ledger;
+
+pub use evaluator::{Evaluation, Evaluator, Fidelity};
+pub use ledger::{CostLedger, FidelityLedger, LedgerEntry, LedgerSummary};
 
 use std::collections::HashMap;
 
@@ -32,7 +45,9 @@ pub const THREADS_ENV: &str = "DSE_THREADS";
 /// The default number of worker threads for batched evaluation.
 ///
 /// Honours `DSE_THREADS` (a positive integer) when set; otherwise the
-/// machine's available parallelism; 1 when even that is unknown.
+/// machine's available parallelism; 1 when even that is unknown. A set
+/// but unusable value (unparsable, or zero) is reported once on stderr
+/// and otherwise ignored.
 pub fn default_threads() -> usize {
     if let Ok(value) = std::env::var(THREADS_ENV) {
         if let Ok(n) = value.trim().parse::<usize>() {
@@ -40,6 +55,13 @@ pub fn default_threads() -> usize {
                 return n;
             }
         }
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "warning: ignoring {THREADS_ENV}={value:?} (expected a positive integer); \
+                 falling back to the machine's available parallelism"
+            );
+        });
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }

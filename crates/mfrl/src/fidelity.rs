@@ -1,7 +1,18 @@
 //! Fidelity and constraint abstractions.
+//!
+//! The expensive (simulator) side of the flow speaks the workspace-wide
+//! batch-first [`Evaluator`] interface from `dse-exec`; this module
+//! keeps the cheap side: the [`LowFidelity`] proxy trait the RL phases
+//! interrogate for gradients and training observations, plus the
+//! [`LfEvaluator`] adapter that lets the same proxy be metered through a
+//! [`CostLedger`](dse_exec::CostLedger) when its answers count.
 
-use dse_exec::CacheStats;
+use dse_exec::{Evaluation, Evaluator, Fidelity};
 use dse_space::{DesignPoint, DesignSpace, Param};
+
+/// Model-time units one analytical evaluation costs, in units of one
+/// simulated trace — the paper's ~1000x LF/HF cost gap.
+pub const LF_TRACE_EQUIVALENT: f64 = 1e-3;
 
 /// The cheap, differentiable evaluation proxy (the analytical model).
 ///
@@ -19,35 +30,45 @@ pub trait LowFidelity {
     fn ipc(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
         1.0 / self.cpi(space, point)
     }
-}
 
-/// The expensive, accurate evaluation proxy (the cycle-level simulator).
-///
-/// Takes `&mut self` so implementations can count invocations and cache
-/// results — the HF budget accounting in the experiments depends on it.
-pub trait HighFidelity {
-    /// Simulated cycles per instruction.
-    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64;
-
-    /// Number of *unique* simulations performed so far.
-    fn evaluations(&self) -> usize;
-
-    /// Simulated CPI of every design in `points`, in input order.
+    /// Estimated CPI of every design in `points`, in input order.
     ///
-    /// Semantically identical to calling [`HighFidelity::cpi`] on each
-    /// point in order — same values, same evaluation accounting — and
-    /// implementations backed by a parallel executor must keep it
-    /// bit-identical to that sequential walk. The default simply *is*
-    /// the sequential walk.
-    fn cpi_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
+    /// Must equal calling [`LowFidelity::cpi`] on each point — backends
+    /// that parallelize must stay bit-identical to that sequential walk
+    /// at any thread count. The default simply *is* the sequential walk.
+    fn cpi_batch(&self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<f64> {
         points.iter().map(|p| self.cpi(space, p)).collect()
     }
 
-    /// Memoization counters, for evaluators that keep a CPI cache.
-    ///
-    /// Evaluators without a cache report the zeroed default.
-    fn cache_stats(&self) -> CacheStats {
-        CacheStats::default()
+    /// Model-time units one evaluation costs (see [`LF_TRACE_EQUIVALENT`]).
+    fn cost_per_eval(&self) -> f64 {
+        LF_TRACE_EQUIVALENT
+    }
+}
+
+/// Adapts a [`LowFidelity`] proxy (by shared reference) to the
+/// batch-first [`Evaluator`] interface, so LF work can be metered
+/// through the same [`CostLedger`](dse_exec::CostLedger) as HF work.
+///
+/// The proxy is pure (`&self`), so the adapter never memoizes: every
+/// batch is computed fresh and reported uncached.
+pub struct LfEvaluator<'a, L: LowFidelity + ?Sized>(pub &'a L);
+
+impl<L: LowFidelity + ?Sized> Evaluator for LfEvaluator<'_, L> {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Low
+    }
+
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.0
+            .cpi_batch(space, points)
+            .into_iter()
+            .map(|cpi| Evaluation::new(cpi, Fidelity::Low))
+            .collect()
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        self.0.cost_per_eval()
     }
 }
 

@@ -1,14 +1,13 @@
 //! The high-fidelity (simulator) refinement phase (§3.2).
 
-use dse_exec::{CacheStats, CpiCache};
+use dse_exec::{CostLedger, Evaluator, Fidelity, LedgerEntry};
 use dse_fnn::Fnn;
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::{
-    rollout, train_on_episode, Constraint, HighFidelity, LfOutcome, LowFidelity, ReinforceConfig,
-    EPSILON,
+    rollout, train_on_episode, Constraint, LfOutcome, LowFidelity, ReinforceConfig, EPSILON,
 };
 
 /// Configuration of the HF phase.
@@ -36,20 +35,19 @@ impl Default for HfPhaseConfig {
 /// Results of the HF phase.
 #[derive(Debug, Clone)]
 pub struct HfOutcome {
-    /// The best design found by HF simulation.
+    /// The best design found by HF simulation (the LF-converged design
+    /// when the budget allowed no simulation at all).
     pub best_point: DesignPoint,
-    /// Its simulated CPI.
+    /// Its simulated CPI (LF-estimated under a zero budget).
     pub best_cpi: f64,
-    /// Unique HF simulations actually consumed.
+    /// Unique HF simulations actually consumed — a mirror of the
+    /// ledger's HF evaluation count for convenience.
     pub evaluations: usize,
     /// Every unique HF evaluation in order `(design, CPI)`.
     pub history: Vec<(DesignPoint, f64)>,
-    /// The transition anchor: simulated IPC of the LF-converged design.
+    /// The transition anchor: simulated IPC of the LF-converged design
+    /// (its LF-estimated IPC under a zero budget).
     pub ipc_h0: f64,
-    /// Counters of the phase's memoized CPI cache: hits are episode
-    /// proposals answered without touching the budget, misses are the
-    /// unique designs actually sent to the simulator.
-    pub cache: CacheStats,
 }
 
 /// The HF phase driver: anchors on the LF result, then fine-tunes with
@@ -69,70 +67,54 @@ impl HfPhase {
 
     /// Runs the HF phase, continuing to train `fnn`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the budget is zero.
-    pub fn run(
+    /// The configured budget is installed into `ledger`, which is the
+    /// single source of budget truth from here on: every proposal is
+    /// replayed, charged or denied by the ledger, never by the phase.
+    /// A zero budget degrades gracefully — nothing is simulated and the
+    /// LF-converged design is returned with its LF CPI.
+    #[allow(clippy::too_many_arguments)] // the phase wiring is the arity
+    pub fn run<E: Evaluator + ?Sized>(
         &self,
         fnn: &mut Fnn,
         space: &DesignSpace,
         lf: &impl LowFidelity,
-        hf: &mut impl HighFidelity,
+        hf: &mut E,
         constraint: &impl Constraint,
         lf_outcome: &LfOutcome,
+        ledger: &mut CostLedger,
     ) -> HfOutcome {
         let cfg = &self.config;
-        assert!(cfg.budget > 0, "HF phase needs a positive simulation budget");
+        ledger.set_hf_budget(cfg.budget);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut cache = CpiCache::new();
-        let mut history = Vec::new();
-        let mut used = 0usize;
+        let mut history: Vec<(DesignPoint, f64)> = Vec::new();
 
         // LF→HF transition: simulate the converged design (IPC_h0) and a
         // subset of the observed best designs H in one batch, so
         // evaluators backed by the parallel executor can overlap them.
-        // Deduplicating by encoded point and capping at the budget makes
-        // the batch equivalent to evaluating sequentially through the
-        // (initially empty) cache.
+        // The ledger deduplicates the batch and stops charging when the
+        // budget runs out, counter-exact with a sequential walk.
         let mut initial: Vec<DesignPoint> = vec![lf_outcome.converged.clone()];
-        let mut initial_keys: Vec<u64> = vec![space.encode(&lf_outcome.converged)];
-        for (point, _) in lf_outcome.best_designs.iter().take(cfg.initial_subset) {
-            let key = space.encode(point);
-            if !initial_keys.contains(&key) {
-                initial.push(point.clone());
-                initial_keys.push(key);
+        initial.extend(
+            lf_outcome.best_designs.iter().take(cfg.initial_subset).map(|(p, _)| p.clone()),
+        );
+        let entries = ledger.evaluate_batch(hf, space, &initial);
+        for (point, entry) in initial.iter().zip(&entries) {
+            if let LedgerEntry::Charged(ev) = entry {
+                history.push((point.clone(), ev.cpi));
             }
         }
-        initial.truncate(cfg.budget);
-        initial_keys.truncate(cfg.budget);
-        let initial_cpis = hf.cpi_batch(space, &initial);
-        for ((point, &key), &cpi) in initial.iter().zip(&initial_keys).zip(&initial_cpis) {
-            // Counted lookup, same as the sequential path would issue.
-            assert!(cache.get(key).is_none(), "initial batch designs must be unique");
-            cache.insert(key, cpi);
-            used += 1;
-            history.push((point.clone(), cpi));
-        }
-        let ipc_h0 = 1.0 / initial_cpis[0];
-
-        let mut eval = |point: &DesignPoint,
-                        hf: &mut dyn HighFidelity,
-                        used: &mut usize,
-                        history: &mut Vec<(DesignPoint, f64)>|
-         -> Option<f64> {
-            let key = space.encode(point);
-            if let Some(cpi) = cache.get(key) {
-                return Some(cpi);
-            }
-            if *used >= cfg.budget {
-                return None;
-            }
-            let cpi = hf.cpi(space, point);
-            *used += 1;
-            cache.insert(key, cpi);
-            history.push((point.clone(), cpi));
-            Some(cpi)
+        let Some(anchor_cpi) = entries[0].cpi() else {
+            // Zero budget: the anchor itself was denied. Fall back to
+            // the LF estimate of the converged design.
+            return HfOutcome {
+                best_point: lf_outcome.converged.clone(),
+                best_cpi: lf_outcome.converged_cpi,
+                evaluations: ledger.evaluations(Fidelity::High),
+                history,
+                ipc_h0: 1.0 / lf_outcome.converged_cpi,
+            };
         };
+        let ipc_h0 = 1.0 / anchor_cpi;
 
         // Episode starts are drawn from H (falling back to the smallest
         // design if H is empty).
@@ -142,21 +124,25 @@ impl HfPhase {
             lf_outcome.best_designs.iter().map(|(p, _)| p.clone()).collect()
         };
 
-        // Fine-tune until the budget is spent. Cached designs don't
+        // Fine-tune until the budget is spent. Replayed designs don't
         // consume budget, so bound the episode count as a safety valve
         // against a policy that keeps re-proposing known designs.
         let max_episodes = cfg.budget * 20;
         for _ in 0..max_episodes {
-            if used >= cfg.budget {
+            if ledger.hf_remaining() == Some(0) {
                 break;
             }
             let start = starts[rng.gen_range(0..starts.len())].clone();
             // Unmasked: "the actions in the HF phase are no longer
             // restricted by the analytical model".
             let episode = rollout(fnn, space, lf, constraint, start, false, &mut rng);
-            let Some(cpi) = eval(&episode.final_point, hf, &mut used, &mut history) else {
+            let entry = ledger.evaluate(hf, space, &episode.final_point);
+            let Some(cpi) = entry.cpi() else {
                 break;
             };
+            if let LedgerEntry::Charged(_) = entry {
+                history.push((episode.final_point.clone(), cpi));
+            }
             // eq. 4: reward = IPC − IPC_h0 + ε.
             let reward = 1.0 / cpi - ipc_h0 + EPSILON;
             train_on_episode(fnn, &episode, reward, &cfg.reinforce);
@@ -171,7 +157,13 @@ impl HfPhase {
             })
             .map(|(p, c)| (p.clone(), *c))
             .expect("at least the anchor was simulated");
-        HfOutcome { best_point, best_cpi, evaluations: used, history, ipc_h0, cache: cache.stats() }
+        HfOutcome {
+            best_point,
+            best_cpi,
+            evaluations: ledger.evaluations(Fidelity::High),
+            history,
+            ipc_h0,
+        }
     }
 }
 
@@ -182,18 +174,19 @@ mod tests {
     use crate::{LfPhase, LfPhaseConfig};
     use dse_fnn::FnnBuilder;
 
-    fn pipeline(budget: usize, seed: u64) -> (HfOutcome, SyntheticHf) {
+    fn pipeline(budget: usize, seed: u64) -> (HfOutcome, SyntheticHf, CostLedger) {
         let space = DesignSpace::boom();
         let mut fnn = FnnBuilder::for_space(&space).build();
         let lf = QuadraticLf::new(&space);
         let constraint = SumConstraint { max_index_sum: 10 };
+        let mut ledger = CostLedger::new();
         let lf_outcome = LfPhase::new(LfPhaseConfig {
             episodes: 60,
             keep_best: 4,
             seed,
             ..LfPhaseConfig::default()
         })
-        .run(&mut fnn, &space, &lf, &constraint);
+        .run(&mut fnn, &space, &lf, &constraint, &mut ledger);
         let mut hf = SyntheticHf::new(&space);
         let outcome = HfPhase::new(HfPhaseConfig { budget, seed, ..HfPhaseConfig::default() }).run(
             &mut fnn,
@@ -202,21 +195,23 @@ mod tests {
             &mut hf,
             &constraint,
             &lf_outcome,
+            &mut ledger,
         );
-        (outcome, hf)
+        (outcome, hf, ledger)
     }
 
     #[test]
     fn budget_is_respected_exactly() {
-        let (outcome, hf) = pipeline(6, 1);
+        let (outcome, hf, ledger) = pipeline(6, 1);
         assert!(outcome.evaluations <= 6);
         assert_eq!(outcome.evaluations, hf.evaluations());
+        assert_eq!(outcome.evaluations, ledger.evaluations(Fidelity::High));
         assert_eq!(outcome.history.len(), outcome.evaluations);
     }
 
     #[test]
     fn best_is_min_of_history() {
-        let (outcome, _) = pipeline(8, 2);
+        let (outcome, _, _) = pipeline(8, 2);
         let min = outcome.history.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
         assert_eq!(outcome.best_cpi, min);
     }
@@ -226,7 +221,7 @@ mod tests {
         // The synthetic HF model rewards a parameter the LF mask forbids
         // (exactly the paper's motivation); the unmasked HF episodes
         // must find some of that headroom.
-        let (outcome, _) = pipeline(9, 3);
+        let (outcome, _, _) = pipeline(9, 3);
         let anchor_cpi = 1.0 / outcome.ipc_h0;
         assert!(
             outcome.best_cpi <= anchor_cpi,
@@ -236,19 +231,23 @@ mod tests {
     }
 
     #[test]
-    fn cache_counters_account_for_every_proposal() {
-        let (outcome, hf) = pipeline(6, 1);
-        // Every history entry is a phase-cache miss that was simulated;
-        // further misses are proposals rejected for lack of budget.
-        assert_eq!(outcome.cache.entries, outcome.history.len());
-        assert!(outcome.cache.misses as usize >= outcome.evaluations);
+    fn ledger_counters_account_for_every_proposal() {
+        let (outcome, hf, ledger) = pipeline(6, 1);
+        let high = *ledger.section(Fidelity::High);
+        // Every history entry is a run-memo miss that was simulated;
+        // further misses are proposals denied for lack of budget.
+        assert_eq!(ledger.unique_designs(Fidelity::High), outcome.history.len());
+        assert!(high.cache_misses >= high.evaluations);
+        assert_eq!(high.cache_misses, high.evaluations + high.denied);
         // The evaluator's own cache saw exactly the unique designs.
         assert_eq!(hf.cache_stats().entries, hf.evaluations());
+        // Model time: the synthetic evaluator charges 1 unit per fresh run.
+        assert_eq!(high.model_time_units, hf.evaluations() as f64);
     }
 
     #[test]
     fn history_designs_are_unique() {
-        let (outcome, _) = pipeline(9, 4);
+        let (outcome, _, _) = pipeline(9, 4);
         let space = DesignSpace::boom();
         let mut codes: Vec<u64> = outcome.history.iter().map(|(p, _)| space.encode(p)).collect();
         let before = codes.len();
@@ -258,8 +257,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive simulation budget")]
-    fn zero_budget_panics() {
-        let _ = pipeline(0, 5);
+    fn zero_budget_falls_back_to_the_lf_anchor() {
+        let (outcome, hf, ledger) = pipeline(0, 5);
+        assert_eq!(outcome.evaluations, 0);
+        assert!(outcome.history.is_empty());
+        assert_eq!(hf.evaluations(), 0, "a zero budget must not touch the simulator");
+        assert!(ledger.section(Fidelity::High).denied >= 1);
+        assert!(outcome.best_cpi.is_finite() && outcome.best_cpi > 0.0);
+        assert!((outcome.ipc_h0 - 1.0 / outcome.best_cpi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_of_one_simulates_exactly_the_anchor() {
+        let (outcome, hf, ledger) = pipeline(1, 6);
+        assert_eq!(outcome.evaluations, 1);
+        assert_eq!(outcome.history.len(), 1);
+        assert_eq!(hf.evaluations(), 1);
+        assert_eq!(ledger.hf_remaining(), Some(0));
+        // The single simulation is the anchor itself.
+        assert!((1.0 / outcome.history[0].1 - outcome.ipc_h0).abs() < 1e-12);
     }
 }

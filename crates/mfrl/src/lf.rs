@@ -2,13 +2,15 @@
 
 use std::collections::HashMap;
 
+use dse_exec::CostLedger;
 use dse_fnn::Fnn;
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{
-    greedy_rollout, rollout, train_on_episode, Constraint, LowFidelity, ReinforceConfig, EPSILON,
+    greedy_rollout, rollout, train_on_episode, Constraint, LfEvaluator, LowFidelity,
+    ReinforceConfig, EPSILON,
 };
 
 /// Episode-reward shape (ablation knob; the paper uses
@@ -97,17 +99,24 @@ impl LfPhase {
 
     /// Trains `fnn` against the analytical model, returning the
     /// candidate set and convergence record.
+    ///
+    /// Per-step and per-episode CPI queries are training *observations*
+    /// and go straight to the model; what the run pays for — the
+    /// candidate-pool ranking and the converged design — is charged to
+    /// `ledger` at [`Fidelity::Low`](dse_exec::Fidelity::Low), through
+    /// one batch call the LF backend can parallelize.
     pub fn run(
         &self,
         fnn: &mut Fnn,
         space: &DesignSpace,
         lf: &impl LowFidelity,
         constraint: &impl Constraint,
+        ledger: &mut CostLedger,
     ) -> LfOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        // Candidate pool: encoded point → LF CPI.
-        let mut pool: HashMap<u64, (DesignPoint, f64)> = HashMap::new();
+        // Candidate pool of terminal designs, keyed by encoded point.
+        let mut pool: HashMap<u64, DesignPoint> = HashMap::new();
         let mut best_ipc = f64::NEG_INFINITY;
         let mut best_cpi_history = Vec::with_capacity(cfg.episodes);
         let mut policy_cpi_history = Vec::with_capacity(cfg.episodes);
@@ -127,7 +136,7 @@ impl LfPhase {
             };
             train_on_episode(fnn, &episode, reward, &cfg.reinforce);
 
-            pool.insert(space.encode(&episode.final_point), (episode.final_point.clone(), cpi));
+            pool.insert(space.encode(&episode.final_point), episode.final_point.clone());
             best_cpi_history.push(1.0 / best_ipc);
             let greedy =
                 greedy_rollout(fnn, space, lf, constraint, space.smallest(), cfg.gradient_mask);
@@ -135,13 +144,25 @@ impl LfPhase {
             episode_designs.push(episode.final_point);
         }
 
-        // Rank the pool by CPI with the encoded point as tie-break: the
-        // pool is a HashMap, whose iteration order is randomized per
-        // instance, so sorting by CPI alone would order equal-CPI
-        // designs differently from run to run — and H feeds the HF
-        // phase, making the whole flow nondeterministic.
-        let mut ranked: Vec<(u64, DesignPoint, f64)> =
-            pool.into_iter().map(|(key, (point, cpi))| (key, point, cpi)).collect();
+        // Rank the pool through the ledger in one batch call: the batch
+        // is assembled in encoded-point order (the pool is a HashMap,
+        // whose iteration order is randomized per instance), and ranked
+        // by CPI with the encoded point as tie-break — equal-CPI designs
+        // would otherwise order differently from run to run, and H feeds
+        // the HF phase, making the whole flow nondeterministic.
+        let mut keys: Vec<u64> = pool.keys().copied().collect();
+        keys.sort_unstable();
+        let candidates: Vec<DesignPoint> =
+            keys.iter().map(|key| pool.remove(key).expect("pool key")).collect();
+        let entries = ledger.evaluate_batch(&mut LfEvaluator(lf), space, &candidates);
+        let mut ranked: Vec<(u64, DesignPoint, f64)> = keys
+            .into_iter()
+            .zip(candidates)
+            .zip(entries)
+            .map(|((key, point), entry)| {
+                (key, point, entry.cpi().expect("LF evaluations are never denied"))
+            })
+            .collect();
         ranked.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
         let mut best_designs: Vec<(DesignPoint, f64)> =
             ranked.into_iter().map(|(_, point, cpi)| (point, cpi)).collect();
@@ -149,7 +170,10 @@ impl LfPhase {
 
         let converged =
             greedy_rollout(fnn, space, lf, constraint, space.smallest(), cfg.gradient_mask);
-        let converged_cpi = lf.cpi(space, &converged);
+        let converged_cpi = ledger
+            .evaluate(&mut LfEvaluator(lf), space, &converged)
+            .cpi()
+            .expect("LF evaluations are never denied");
         LfOutcome {
             best_designs,
             converged,
@@ -178,7 +202,8 @@ mod tests {
             seed,
             ..LfPhaseConfig::default()
         });
-        let outcome = phase.run(&mut fnn, &space, &lf, &constraint);
+        let mut ledger = CostLedger::new();
+        let outcome = phase.run(&mut fnn, &space, &lf, &constraint, &mut ledger);
         (space, outcome)
     }
 
@@ -258,7 +283,7 @@ mod tests {
             seed: 9,
             ..LfPhaseConfig::default()
         })
-        .run(&mut fnn, &space, &lf, &constraint);
+        .run(&mut fnn, &space, &lf, &constraint, &mut CostLedger::new());
         let touched_non_endorsed = outcome.episode_designs.iter().any(|d| {
             d.indices()
                 .iter()
@@ -280,7 +305,7 @@ mod tests {
             seed: 4,
             ..LfPhaseConfig::default()
         })
-        .run(&mut fnn, &space, &lf, &constraint);
+        .run(&mut fnn, &space, &lf, &constraint, &mut CostLedger::new());
         let sum: usize = outcome.converged.indices().iter().sum();
         assert!(sum <= 10);
         assert!(outcome.converged_cpi.is_finite());
@@ -303,7 +328,7 @@ mod tests {
                 seed: 21,
                 ..LfPhaseConfig::default()
             })
-            .run(&mut fnn, &space, &PlateauLf, &constraint)
+            .run(&mut fnn, &space, &PlateauLf, &constraint, &mut CostLedger::new())
         };
         let keys = |o: &LfOutcome| -> Vec<u64> {
             o.best_designs.iter().map(|(p, _)| space.encode(p)).collect()
@@ -314,6 +339,31 @@ mod tests {
         for w in keys(&a).windows(2) {
             assert!(w[0] < w[1], "equal-CPI candidates must be ordered by encoded point");
         }
+    }
+
+    #[test]
+    fn ledger_meters_ranking_and_converged_design() {
+        let space = DesignSpace::boom();
+        let mut fnn = FnnBuilder::for_space(&space).build();
+        let lf = QuadraticLf::new(&space);
+        let constraint = SumConstraint { max_index_sum: 10 };
+        let mut ledger = CostLedger::new();
+        let outcome = LfPhase::new(LfPhaseConfig {
+            episodes: 30,
+            keep_best: 5,
+            seed: 7,
+            ..LfPhaseConfig::default()
+        })
+        .run(&mut fnn, &space, &lf, &constraint, &mut ledger);
+        use dse_exec::Fidelity;
+        let low = *ledger.section(Fidelity::Low);
+        // Each unique terminal design is charged exactly once; the
+        // converged design adds one more charge or a free replay.
+        assert_eq!(low.evaluations as usize, ledger.unique_designs(Fidelity::Low));
+        assert!(low.evaluations as usize >= outcome.best_designs.len());
+        assert_eq!(low.denied, 0);
+        assert!(low.model_time_units > 0.0);
+        assert_eq!(ledger.evaluations(Fidelity::High), 0);
     }
 
     #[test]

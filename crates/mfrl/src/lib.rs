@@ -19,10 +19,13 @@
 //!   unmasked episodes started from random elements of `H`, rewarding
 //!   `IPC − IPC_h0 + ε` (eq. 4) under a strict simulation budget.
 //!
-//! The fidelity proxies are traits ([`LowFidelity`], [`HighFidelity`],
-//! [`Constraint`]) so the algorithm is testable against synthetic
-//! models; the `archdse` crate wires in the real analytical model,
-//! cycle-level simulator and area model.
+//! The fidelity proxies are traits — [`LowFidelity`] for the cheap
+//! analytical side, the workspace-wide batch-first [`Evaluator`] for
+//! the simulator side, [`Constraint`] for feasibility — so the
+//! algorithm is testable against synthetic models; the `archdse` crate
+//! wires in the real analytical model, cycle-level simulator and area
+//! model. Every charge, replay and denial across both phases flows
+//! through one [`CostLedger`], the single source of budget truth.
 //!
 //! # Examples
 //!
@@ -42,9 +45,12 @@ mod reinforce;
 #[cfg(test)]
 mod testutil;
 
-pub use dse_exec::{CacheStats, CpiCache};
+pub use dse_exec::{
+    CacheStats, CostLedger, CpiCache, Evaluation, Evaluator, Fidelity, FidelityLedger, LedgerEntry,
+    LedgerSummary,
+};
 pub use episode::{greedy_rollout, rollout, Episode, EpisodeStep};
-pub use fidelity::{Constraint, HighFidelity, LowFidelity};
+pub use fidelity::{Constraint, LfEvaluator, LowFidelity, LF_TRACE_EQUIVALENT};
 pub use hf::{HfOutcome, HfPhase, HfPhaseConfig};
 pub use lf::{LfOutcome, LfPhase, LfPhaseConfig, RewardKind};
 pub use multi::{DseOutcome, MultiFidelityConfig, MultiFidelityDse};

@@ -1,11 +1,11 @@
 //! The combined multi-fidelity DSE flow (Fig. 4).
 
+use dse_exec::{CostLedger, Evaluator};
 use dse_fnn::Fnn;
 use dse_space::DesignSpace;
 
 use crate::{
-    Constraint, HfOutcome, HfPhase, HfPhaseConfig, HighFidelity, LfOutcome, LfPhase, LfPhaseConfig,
-    LowFidelity,
+    Constraint, HfOutcome, HfPhase, HfPhaseConfig, LfOutcome, LfPhase, LfPhaseConfig, LowFidelity,
 };
 
 /// Configuration for the full LF→HF flow.
@@ -25,6 +25,9 @@ pub struct DseOutcome {
     /// The HF phase record (the headline result lives in
     /// [`HfOutcome::best_point`] / [`HfOutcome::best_cpi`]).
     pub hf: HfOutcome,
+    /// The run's cost ledger: every LF and HF charge, replay and denial
+    /// across both phases, and the HF budget that governed them.
+    pub ledger: CostLedger,
 }
 
 /// The end-to-end multi-fidelity DSE driver (Fig. 4): LF exploration
@@ -55,19 +58,30 @@ impl MultiFidelityDse {
         Self { config }
     }
 
-    /// Runs both phases, training `fnn` throughout.
-    pub fn run(
+    /// Runs both phases, training `fnn` throughout. One fresh
+    /// [`CostLedger`] meters the whole run and is returned in the
+    /// outcome; `hf` may carry a memo warmed by other runs — a memo
+    /// answer costs no model time but still charges this run's budget.
+    pub fn run<E: Evaluator + ?Sized>(
         &self,
         fnn: &mut Fnn,
         space: &DesignSpace,
         lf: &impl LowFidelity,
-        hf: &mut impl HighFidelity,
+        hf: &mut E,
         constraint: &impl Constraint,
     ) -> DseOutcome {
-        let lf_outcome = LfPhase::new(self.config.lf).run(fnn, space, lf, constraint);
-        let hf_outcome =
-            HfPhase::new(self.config.hf).run(fnn, space, lf, hf, constraint, &lf_outcome);
-        DseOutcome { lf: lf_outcome, hf: hf_outcome }
+        let mut ledger = CostLedger::new();
+        let lf_outcome = LfPhase::new(self.config.lf).run(fnn, space, lf, constraint, &mut ledger);
+        let hf_outcome = HfPhase::new(self.config.hf).run(
+            fnn,
+            space,
+            lf,
+            hf,
+            constraint,
+            &lf_outcome,
+            &mut ledger,
+        );
+        DseOutcome { lf: lf_outcome, hf: hf_outcome, ledger }
     }
 }
 

@@ -1,10 +1,10 @@
 //! Synthetic fidelity models for unit-testing the RL machinery without
 //! the real analytical model or simulator.
 
-use dse_exec::{CacheStats, CpiCache};
+use dse_exec::{CacheStats, CpiCache, Evaluation, Evaluator, Fidelity};
 use dse_space::{DesignPoint, DesignSpace, Param};
 
-use crate::{Constraint, HighFidelity, LowFidelity};
+use crate::{Constraint, LowFidelity};
 
 /// A synthetic LF model with a known optimum: CPI falls linearly with
 /// the candidate indices of the endorsed parameters and rises slightly
@@ -48,35 +48,46 @@ impl LowFidelity for QuadraticLf {
 
 /// A synthetic HF model that mostly agrees with [`QuadraticLf`] but also
 /// rewards parameter 3 — a benefit the LF mask hides, mirroring the
-/// paper's ROB story. Counts and caches evaluations.
+/// paper's ROB story. Memoizes its model runs like the real simulator.
 #[derive(Debug, Clone)]
 pub struct SyntheticHf {
     cache: CpiCache,
-    evals: usize,
 }
 
 impl SyntheticHf {
-    /// Creates a fresh evaluator with an empty cache.
+    /// Creates a fresh evaluator with an empty memo.
     pub fn new(_space: &DesignSpace) -> Self {
-        Self { cache: CpiCache::new(), evals: 0 }
+        Self { cache: CpiCache::new() }
+    }
+
+    /// Number of unique model runs performed (every run is memoized, so
+    /// this is exactly the memo's entry count).
+    pub fn evaluations(&self) -> usize {
+        self.cache.len()
     }
 }
 
-impl HighFidelity for SyntheticHf {
-    fn cpi(&mut self, space: &DesignSpace, point: &DesignPoint) -> f64 {
-        let key = space.encode(point);
-        if let Some(c) = self.cache.get(key) {
-            return c;
-        }
-        self.evals += 1;
-        let idx = point.indices();
-        let cpi = QuadraticLf::cpi_of(point) - 0.10 * idx[3] as f64;
-        self.cache.insert(key, cpi);
-        cpi
+impl Evaluator for SyntheticHf {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::High
     }
 
-    fn evaluations(&self) -> usize {
-        self.evals
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        points
+            .iter()
+            .map(|point| {
+                let key = space.encode(point);
+                match self.cache.get(key) {
+                    Some(cpi) => Evaluation::new(cpi, Fidelity::High).cached(true),
+                    None => {
+                        let idx = point.indices();
+                        let cpi = QuadraticLf::cpi_of(point) - 0.10 * idx[3] as f64;
+                        self.cache.insert(key, cpi);
+                        Evaluation::new(cpi, Fidelity::High)
+                    }
+                }
+            })
+            .collect()
     }
 
     fn cache_stats(&self) -> CacheStats {

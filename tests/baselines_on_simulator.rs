@@ -7,7 +7,6 @@ use dse_baselines::{
     ActBoostOptimizer, BagGbrtOptimizer, BoomExplorerOptimizer, Objective as _, Optimizer,
     RandomForestOptimizer, RandomSearchOptimizer, ScboOptimizer,
 };
-use dse_mfrl::HighFidelity as _;
 use dse_workloads::Benchmark;
 
 fn objective() -> HfObjective {

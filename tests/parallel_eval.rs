@@ -7,7 +7,6 @@ use std::time::Instant;
 
 use archdse::eval::SimulatorHf;
 use archdse::{DesignSpace, Explorer};
-use dse_mfrl::HighFidelity as _;
 use dse_space::DesignPoint;
 use dse_workloads::Benchmark;
 
@@ -84,10 +83,9 @@ fn same_seed_explorer_runs_are_bit_identical() {
         assert_eq!(pa, pb);
         assert_eq!(ca.to_bits(), cb.to_bits());
     }
-    // And the bookkeeping agrees too.
+    // And the bookkeeping agrees too — ledgers and all.
     assert_eq!(a.hf.evaluations, b.hf.evaluations);
-    assert_eq!(a.hf.cache, b.hf.cache);
-    assert_eq!(a.hf_cache, b.hf_cache);
+    assert_eq!(a.ledger, b.ledger);
 }
 
 #[test]

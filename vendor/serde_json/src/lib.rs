@@ -1,7 +1,7 @@
 //! Vendored, dependency-free stand-in for the `serde_json` API surface
 //! used by this workspace.
 //!
-//! Serializes the vendored serde crate's [`Content`](serde::Content)
+//! Serializes the vendored serde crate's [`serde::Content`]
 //! data model to JSON text and parses JSON text back. Float formatting
 //! uses Rust's shortest-roundtrip `Display`, so `f64` values survive a
 //! write/read cycle bit-exactly (the `float_roundtrip` feature is
