@@ -118,6 +118,13 @@ impl Args {
     pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         Ok(self.value_of(name)?.unwrap_or(default))
     }
+
+    /// Every `--flag` name that was passed, in sorted order — so
+    /// commands can reject misspelled options instead of silently
+    /// ignoring them.
+    pub fn flag_names(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +172,12 @@ mod tests {
     fn value_or_supplies_default() {
         let a = parse(&["explore"]).unwrap();
         assert_eq!(a.value_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn flag_names_lists_everything_passed() {
+        let a = parse(&["explore", "--seed", "1", "--quikc"]).unwrap();
+        let names: Vec<&str> = a.flag_names().collect();
+        assert_eq!(names, vec!["quikc", "seed"]);
     }
 }

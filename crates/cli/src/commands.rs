@@ -10,6 +10,7 @@ use archdse::experiments::{
     Table2Config,
 };
 use archdse::{CostLedger, DesignSpace, Explorer, Fnn, LedgerSummary, Param};
+use archdse_serve::{run_loadgen, spawn, LoadgenConfig, ServeConfig};
 use dse_fnn::explain_top_action;
 use dse_mfrl::{Constraint as _, LowFidelity as _};
 use dse_workloads::Benchmark;
@@ -52,12 +53,110 @@ COMMANDS:
       --benchmark <name>     workload for the CPI observations
       --area <mm2>           area limit (default 8.0)
       --steps <n>            decisions to explain (default 5)
+  serve                      run the HTTP evaluation service (endpoints:
+                             /healthz /metrics /v1/evaluate /v1/explain
+                             /v1/explore /v1/jobs/<id> /v1/shutdown)
+      --addr <host:port>     bind address (default 127.0.0.1:8711; port 0
+                             picks an ephemeral port)
+      --benchmark <name>     workload behind /v1/evaluate (default mm)
+      --general              serve the six-benchmark average instead
+      --area <mm2>           area limit for feasibility stamps (default 8.0)
+      --trace-len <n>        HF trace length (default 10000)
+      --seed <n>             trace seed (default 0)
+      --threads <n>          HF worker threads inside a batch
+      --workers <n>          connection workers (default 4)
+      --max-batch <n>        coalescer points per batch (default 64)
+      --max-delay-ms <n>     coalescer gather window (default 2)
+      --queue-cap <n>        queue depth before 503 (default 128)
+      --fnn <file>           serve a trained network for /v1/explain
+  loadgen                    hammer /v1/evaluate with concurrent clients
+                             and report how the coalescer batched them
+      --addr <host:port>     target server (default: self-host a quick one)
+      --clients <n>          concurrent clients (default 4)
+      --requests <n>         requests per client (default 8)
+      --points <n>           design points per request (default 4)
+      --fidelity <lf|hf>     fidelity to request (default lf)
+      --seed <n>             point-choice seed (default 1)
   table2 | fig5 | fig6 | fig7 | ablations
                              regenerate a paper artifact
       --full                 paper-scale budgets (default: quick)
       --json <file>          also write the result as JSON
   help                       show this text
 ";
+
+/// Every valid subcommand, for the unknown-command error message.
+const COMMANDS: &[&str] = &[
+    "space",
+    "explore",
+    "sweep",
+    "explain",
+    "serve",
+    "loadgen",
+    "table2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablations",
+    "help",
+];
+
+/// The flags each subcommand accepts (misspellings are rejected, not
+/// silently ignored).
+fn allowed_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "space" | "help" => &[],
+        "explore" => &[
+            "benchmark",
+            "general",
+            "area",
+            "leakage",
+            "seed",
+            "lf-episodes",
+            "hf-budget",
+            "trace-len",
+            "threads",
+            "save-fnn",
+        ],
+        "sweep" => &["benchmark", "general", "count", "trace-len", "threads", "seed", "json"],
+        "explain" => &["fnn", "benchmark", "area", "steps"],
+        "serve" => &[
+            "addr",
+            "benchmark",
+            "general",
+            "area",
+            "leakage",
+            "trace-len",
+            "seed",
+            "threads",
+            "workers",
+            "max-batch",
+            "max-delay-ms",
+            "queue-cap",
+            "fnn",
+        ],
+        "loadgen" => &["addr", "clients", "requests", "points", "fidelity", "seed"],
+        _ => &["full", "json"],
+    }
+}
+
+/// Rejects flags the command does not know; `Some(2)` means "exit 2".
+fn check_flags(command: &str, args: &Args) -> Option<i32> {
+    let allowed = allowed_flags(command);
+    let unknown: Vec<&str> = args.flag_names().filter(|f| !allowed.contains(f)).collect();
+    if unknown.is_empty() {
+        return None;
+    }
+    let rendered: Vec<String> = unknown.iter().map(|f| format!("--{f}")).collect();
+    eprintln!("unknown option(s) for `{command}`: {}", rendered.join(", "));
+    if allowed.is_empty() {
+        eprintln!("`{command}` takes no options");
+    } else {
+        let valid: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
+        eprintln!("valid options: {}", valid.join(", "));
+    }
+    eprintln!("run `archdse help` for details");
+    Some(2)
+}
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, dse_workloads::ParseBenchmarkError> {
     name.parse()
@@ -85,11 +184,20 @@ fn maybe_write_json<T: Serialize>(args: &Args, value: &T) -> Result<(), Box<dyn 
 ///
 /// Returns any argument, IO or serialization error for `main` to print.
 pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
+    if let Some(command) = args.command() {
+        if COMMANDS.contains(&command) {
+            if let Some(code) = check_flags(command, args) {
+                return Ok(code);
+            }
+        }
+    }
     match args.command() {
         Some("space") => cmd_space(),
         Some("explore") => cmd_explore(args),
         Some("sweep") => cmd_sweep(args),
         Some("explain") => cmd_explain(args),
+        Some("serve") => cmd_serve(args),
+        Some("loadgen") => cmd_loadgen(args),
         Some("table2") => {
             let config =
                 if args.switch("full") { Table2Config::default() } else { Table2Config::quick() };
@@ -138,7 +246,9 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
             Ok(0)
         }
         Some(other) => {
-            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            eprintln!("unknown command {other:?}");
+            eprintln!("valid commands: {}", COMMANDS.join(", "));
+            eprintln!("run `archdse help` for details");
             Ok(2)
         }
     }
@@ -296,6 +406,99 @@ fn cmd_explain(args: &Args) -> Result<i32, Box<dyn Error>> {
     Ok(0)
 }
 
+/// Builds the serve/loadgen explorer template from shared flags.
+fn explorer_from_args(args: &Args, default_trace: usize) -> Result<Explorer, Box<dyn Error>> {
+    let mut explorer = if args.switch("general") {
+        Explorer::general_purpose()
+    } else {
+        let name = args.value_or("benchmark", "mm".to_string())?;
+        Explorer::for_benchmark(parse_benchmark(&name)?)
+    };
+    explorer = explorer
+        .area_limit_mm2(args.value_or("area", 8.0)?)
+        .seed(args.value_or("seed", 0)?)
+        .trace_len(args.value_or("trace-len", default_trace)?);
+    if let Some(leakage) = args.value_of::<f64>("leakage")? {
+        explorer = explorer.leakage_limit_mw(leakage);
+    }
+    if let Some(threads) = args.value_of::<usize>("threads")? {
+        explorer = explorer.threads(threads.max(1));
+    }
+    Ok(explorer)
+}
+
+fn serve_config_from_args(args: &Args, addr: &str) -> Result<ServeConfig, Box<dyn Error>> {
+    let mut config = ServeConfig::new(explorer_from_args(args, 10_000)?);
+    config.addr = addr.to_string();
+    config.workers = args.value_or("workers", config.workers)?;
+    config.batcher.max_batch_points = args.value_or("max-batch", 64usize)?.max(1);
+    config.batcher.max_delay = std::time::Duration::from_millis(args.value_or("max-delay-ms", 2)?);
+    config.batcher.queue_capacity = args.value_or("queue-cap", 128usize)?.max(1);
+    if let Some(path) = args.value_of::<String>("fnn")? {
+        config.fnn = Some(serde_json::from_str(&std::fs::read_to_string(&path)?)?);
+    }
+    Ok(config)
+}
+
+fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let addr = args.value_or("addr", "127.0.0.1:8711".to_string())?;
+    let config = serve_config_from_args(args, &addr)?;
+    let benchmarks: Vec<&str> = config.explorer.benchmarks().iter().map(|b| b.name()).collect();
+    let server = spawn(config)?;
+    // The smoke harness parses this line for the ephemeral port; keep
+    // the format stable and flush it before blocking.
+    println!("archdse-serve listening on {}", server.addr());
+    println!("serving benchmarks: {}", benchmarks.join(", "));
+    println!("POST /v1/shutdown to stop");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.join();
+    println!("archdse-serve drained and stopped");
+    Ok(0)
+}
+
+fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let fidelity = match args.value_or("fidelity", "lf".to_string())?.to_ascii_lowercase().as_str()
+    {
+        "lf" => dse_exec::Fidelity::Low,
+        "hf" => dse_exec::Fidelity::High,
+        other => {
+            eprintln!("--fidelity must be lf or hf, got {other:?}");
+            return Ok(2);
+        }
+    };
+    // Without --addr, self-host a quick server for the duration.
+    let (addr, hosted) = match args.value_of::<String>("addr")? {
+        Some(addr) => (addr, None),
+        None => {
+            let explorer = Explorer::for_benchmark(Benchmark::StringSearch).trace_len(2_000);
+            let server = spawn(ServeConfig::new(explorer))?;
+            println!("(self-hosting a quick server on {})", server.addr());
+            (server.addr().to_string(), Some(server))
+        }
+    };
+    let mut config = LoadgenConfig::new(addr);
+    config.clients = args.value_or("clients", 4usize)?.max(1);
+    config.requests_per_client = args.value_or("requests", 8usize)?;
+    config.points_per_request = args.value_or("points", 4usize)?.max(1);
+    config.fidelity = fidelity;
+    config.seed = args.value_or("seed", 1u64)?;
+    let report = run_loadgen(&config);
+    if let Some(server) = hosted {
+        server.shutdown();
+        server.join();
+    }
+    let report = report?;
+    print!("{}", report.render());
+    if report.coalescer.batches < report.coalescer.requests {
+        println!(
+            "(coalescer amortized {} requests into {} batches)",
+            report.coalescer.requests, report.coalescer.batches
+        );
+    }
+    Ok(if report.failed == 0 { 0 } else { 1 })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +524,39 @@ mod tests {
     #[test]
     fn unknown_command_exits_nonzero() {
         assert_eq!(run(&args(&["frobnicate"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn misspelled_flags_are_rejected_not_ignored() {
+        // `--seeed` must not silently fall back to the default seed.
+        assert_eq!(run(&args(&["explore", "--seeed", "7"])).unwrap(), 2);
+        assert_eq!(run(&args(&["sweep", "--trace-length", "500"])).unwrap(), 2);
+        assert_eq!(run(&args(&["space", "--verbose"])).unwrap(), 2);
+        assert_eq!(run(&args(&["serve", "--port", "8711"])).unwrap(), 2);
+        assert_eq!(run(&args(&["loadgen", "--client", "4"])).unwrap(), 2);
+        assert_eq!(run(&args(&["table2", "--fulll"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn every_command_has_a_flag_table() {
+        for &command in COMMANDS {
+            // Reaching the table at all is the test; an unknown command
+            // would fall into the artifact default arm.
+            let _ = allowed_flags(command);
+        }
+        assert!(allowed_flags("table2").contains(&"full"));
+        assert!(allowed_flags("serve").contains(&"max-batch"));
+    }
+
+    #[test]
+    fn loadgen_self_hosts_and_coalesces() {
+        let a = args(&["loadgen", "--clients", "3", "--requests", "4", "--points", "2"]);
+        assert_eq!(run(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_fidelity() {
+        assert_eq!(run(&args(&["loadgen", "--fidelity", "mid"])).unwrap(), 2);
     }
 
     #[test]

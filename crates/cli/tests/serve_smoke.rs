@@ -1,0 +1,80 @@
+//! Server smoke test over the real binary: start `archdse serve` on an
+//! ephemeral port, probe it with a raw `std::net::TcpStream` client
+//! (deliberately not the crate's own client, so the wire format is
+//! checked independently), then shut it down gracefully and verify the
+//! process exits 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One raw HTTP/1.1 exchange; returns (status, body).
+fn raw_request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let status: u16 =
+        raw.strip_prefix("HTTP/1.1 ").and_then(|r| r.get(..3)).unwrap().parse().unwrap();
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serve_answers_probes_and_shuts_down_cleanly() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_archdse"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--benchmark", "ss", "--trace-len", "2000"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+
+    // The first stdout line announces the bound (ephemeral) address.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("announce line");
+    let addr = line
+        .trim()
+        .strip_prefix("archdse-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+        .to_string();
+
+    // Probe /healthz.
+    let (status, body) = raw_request(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\""), "{body}");
+    assert!(body.contains("\"ss\""), "{body}");
+
+    // Probe one /v1/evaluate.
+    let (status, body) =
+        raw_request(&addr, "POST", "/v1/evaluate", r#"{"points": [0, 42], "fidelity": "lf"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"results\""), "{body}");
+    assert!(body.contains("\"cpi\""), "{body}");
+
+    // Graceful shutdown: the server drains and the process exits 0.
+    let (status, _) = raw_request(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let exit = loop {
+        match child.try_wait().expect("wait") {
+            Some(exit) => break exit,
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("server did not exit within 60s of shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert!(exit.success(), "server exited with {exit:?}");
+}

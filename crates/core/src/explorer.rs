@@ -217,6 +217,11 @@ impl Explorer {
         &self.space
     }
 
+    /// The benchmarks whose (average) CPI this explorer optimizes.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
     /// Builds the LF proxy this explorer will train against.
     pub fn lf_model(&self) -> AnalyticalLf {
         AnalyticalLf::for_benchmarks(&self.space, &self.benchmarks, self.data_scale)

@@ -39,6 +39,8 @@ pub use ledger::{CostLedger, FidelityLedger, LedgerEntry, LedgerSummary};
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 /// Environment variable overriding the default worker count.
 pub const THREADS_ENV: &str = "DSE_THREADS";
 
@@ -133,7 +135,10 @@ where
 }
 
 /// Hit/miss/eval counters of a [`CpiCache`] (or any memoized evaluator).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializable so services can surface memo counters verbatim in
+/// metrics payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,

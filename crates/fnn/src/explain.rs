@@ -11,10 +11,12 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::{Fnn, Observation};
 
 /// One rule's share of a decision.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuleContribution {
     /// Rule index in the network.
     pub rule: usize,
@@ -46,7 +48,7 @@ pub struct RuleContribution {
 /// let total: f64 = explanation.contributions.iter().map(|c| c.contribution).sum();
 /// assert!((total - explanation.score).abs() < 1e-9 + explanation.residual.abs());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionExplanation {
     /// Index of the explained output (design parameter).
     pub output: usize,

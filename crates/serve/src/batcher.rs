@@ -1,0 +1,192 @@
+//! The cross-request micro-batcher.
+//!
+//! Concurrent `/v1/evaluate` requests do not each pay for their own
+//! trip through the evaluation stack. Connection workers enqueue an
+//! [`EvalJob`] per request and block on its reply; a single coalescer
+//! thread gathers jobs up to a points budget ([`max_batch_points`]) or
+//! a delay window ([`max_delay`]), then submits **one**
+//! [`CostLedger::evaluate_batch`] per fidelity present in the window.
+//! The batch inherits `exec::par_map` parallelism inside the simulator
+//! while the ledger keeps the accounting counter-exact with a
+//! sequential walk, so coalescing changes throughput — never results.
+//!
+//! [`max_batch_points`]: BatcherConfig::max_batch_points
+//! [`max_delay`]: BatcherConfig::max_delay
+//! [`CostLedger::evaluate_batch`]: dse_exec::CostLedger::evaluate_batch
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use archdse::eval::{AnalyticalLf, SimulatorHf};
+use dse_exec::{CostLedger, Evaluation, Evaluator, Fidelity, LedgerEntry};
+use dse_mfrl::LowFidelity;
+use dse_space::{DesignPoint, DesignSpace};
+use serde::{Deserialize, Serialize};
+
+/// Coalescing policy of the micro-batcher.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Most design points gathered into one submitted batch.
+    pub max_batch_points: usize,
+    /// Longest a request waits for companions before the window closes.
+    pub max_delay: Duration,
+    /// Pending-request capacity; a full queue answers 503.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { max_batch_points: 64, max_delay: Duration::from_millis(2), queue_capacity: 128 }
+    }
+}
+
+/// Lifetime counters of the coalescer, surfaced by `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalescerStats {
+    /// Evaluate requests that entered the coalescer.
+    pub requests: u64,
+    /// `evaluate_batch` submissions made on their behalf.
+    pub batches: u64,
+    /// Design points carried by those submissions.
+    pub points: u64,
+}
+
+impl CoalescerStats {
+    /// Mean requests amortized per submitted batch (0 when idle).
+    pub fn amortization(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The owned low-fidelity cost model behind the service (the borrowing
+/// `dse_mfrl::LfEvaluator` adapter cannot live in long-lived state).
+#[derive(Debug)]
+pub(crate) struct LfCostModel(pub AnalyticalLf);
+
+impl Evaluator for LfCostModel {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Low
+    }
+
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.0
+            .cpi_batch(space, points)
+            .into_iter()
+            .map(|cpi| Evaluation::new(cpi, Fidelity::Low))
+            .collect()
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        LowFidelity::cost_per_eval(&self.0)
+    }
+}
+
+/// The shared evaluation stack: both cost models and the server-lifetime
+/// ledger, locked as one unit so ledger state and evaluator memos can
+/// never drift apart.
+#[derive(Debug)]
+pub(crate) struct EvalCore {
+    pub space: DesignSpace,
+    pub hf: SimulatorHf,
+    pub lf: LfCostModel,
+    pub ledger: CostLedger,
+}
+
+impl EvalCore {
+    /// Routes one batch to the evaluator of `fidelity` through the
+    /// ledger.
+    fn evaluate(&mut self, fidelity: Fidelity, points: &[DesignPoint]) -> Vec<LedgerEntry> {
+        match fidelity {
+            Fidelity::High => self.ledger.evaluate_batch(&mut self.hf, &self.space, points),
+            Fidelity::Low => self.ledger.evaluate_batch(&mut self.lf, &self.space, points),
+        }
+    }
+}
+
+/// One evaluate request, queued for the coalescer.
+pub(crate) struct EvalJob {
+    pub fidelity: Fidelity,
+    pub points: Vec<DesignPoint>,
+    /// Rendezvous back to the connection worker holding the socket.
+    pub reply: SyncSender<Vec<LedgerEntry>>,
+}
+
+/// The coalescer thread body: gather → submit → reply, until every
+/// sender is gone and the queue is drained (graceful shutdown therefore
+/// finishes all accepted work).
+pub(crate) fn run_coalescer(
+    rx: Receiver<EvalJob>,
+    core: Arc<Mutex<EvalCore>>,
+    stats: Arc<Mutex<CoalescerStats>>,
+    config: BatcherConfig,
+) {
+    loop {
+        // Block until a window opens; a disconnect here means every
+        // worker is gone and the queue is empty — time to exit.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut window = vec![first];
+        let mut gathered = window[0].points.len();
+        let deadline = Instant::now() + config.max_delay;
+        while gathered < config.max_batch_points {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    gathered += job.points.len();
+                    window.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        submit_window(window, &core, &stats);
+    }
+}
+
+/// Submits one gathered window: one ledger batch per fidelity present,
+/// results split back to each waiting request in arrival order.
+fn submit_window(window: Vec<EvalJob>, core: &Mutex<EvalCore>, stats: &Mutex<CoalescerStats>) {
+    let jobs = window;
+    // Account the window before any reply leaves: a client that reads
+    // `/metrics` right after its response must see itself counted.
+    {
+        let mut stats = stats.lock().expect("coalescer stats poisoned");
+        stats.requests += jobs.len() as u64;
+        for fidelity in [Fidelity::Low, Fidelity::High] {
+            if jobs.iter().any(|j| j.fidelity == fidelity) {
+                stats.batches += 1;
+            }
+        }
+        stats.points += jobs.iter().map(|j| j.points.len() as u64).sum::<u64>();
+    }
+    for fidelity in [Fidelity::Low, Fidelity::High] {
+        let group: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].fidelity == fidelity).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let merged: Vec<DesignPoint> =
+            group.iter().flat_map(|&i| jobs[i].points.iter().cloned()).collect();
+        let entries = {
+            let mut core = core.lock().expect("evaluation core poisoned");
+            core.evaluate(fidelity, &merged)
+        };
+        let mut cursor = 0usize;
+        for &i in &group {
+            let take = jobs[i].points.len();
+            let slice = entries[cursor..cursor + take].to_vec();
+            cursor += take;
+            // A dropped receiver means the worker gave up (socket
+            // died); the evaluation is already accounted — ignore it.
+            let _ = jobs[i].reply.send(slice);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for
+//! a JSON service: one request per connection, explicit size limits on
+//! every input, `Connection: close` on every response.
+//!
+//! The module also hosts the matching [`client`] helpers the load
+//! generator, the CLI and the tests use to talk to a running server.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub(crate) struct Request {
+    /// The request method (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// The request target path (query strings are not interpreted).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body decoded as UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, BadRequest> {
+        std::str::from_utf8(&self.body).map_err(|_| BadRequest::new(400, "body is not UTF-8"))
+    }
+}
+
+/// A request that could not be served, carrying the HTTP status to
+/// answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BadRequest {
+    /// HTTP status code for the rejection.
+    pub status: u16,
+    /// Human-readable reason, returned in the JSON error payload.
+    pub reason: String,
+}
+
+impl BadRequest {
+    pub fn new(status: u16, reason: impl Into<String>) -> Self {
+        Self { status, reason: reason.into() }
+    }
+}
+
+/// Outcome of reading one request off a connection.
+pub(crate) enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection before sending anything.
+    Closed,
+    /// The bytes on the wire were not an acceptable request.
+    Bad(BadRequest),
+    /// The socket failed (timeout included); nothing can be answered.
+    Io,
+}
+
+/// Reads a single HTTP/1.1 request, enforcing `max_body_bytes` on the
+/// payload and fixed caps on the head.
+pub(crate) fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> ReadOutcome {
+    let mut reader = BufReader::new(stream);
+    let request_line = match read_line(&mut reader) {
+        Ok(Some(line)) => line,
+        Ok(None) => return ReadOutcome::Closed,
+        Err(LineError::TooLong) => {
+            return ReadOutcome::Bad(BadRequest::new(431, "request line too long"))
+        }
+        Err(LineError::Io) => return ReadOutcome::Io,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
+        _ => return ReadOutcome::Bad(BadRequest::new(400, "malformed request line")),
+    };
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let line = match read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => return ReadOutcome::Bad(BadRequest::new(400, "truncated headers")),
+            Err(LineError::TooLong) => {
+                return ReadOutcome::Bad(BadRequest::new(431, "header line too long"))
+            }
+            Err(LineError::Io) => return ReadOutcome::Io,
+        };
+        if line.is_empty() {
+            if content_length > max_body_bytes {
+                // Drain (a bounded amount of) the oversize body before
+                // answering: closing with unread bytes in the receive
+                // buffer would RST the connection and destroy the 413
+                // response before the client can read it.
+                let drain = content_length.min(4 * 1024 * 1024);
+                let _ = io::copy(&mut reader.by_ref().take(drain as u64), &mut io::sink());
+                return ReadOutcome::Bad(BadRequest::new(
+                    413,
+                    format!("body of {content_length} bytes exceeds the {max_body_bytes} limit"),
+                ));
+            }
+            let mut body = vec![0u8; content_length];
+            return match reader.read_exact(&mut body) {
+                Ok(()) => ReadOutcome::Request(Request { method, path, body }),
+                Err(_) => ReadOutcome::Io,
+            };
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Bad(BadRequest::new(400, format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name == "content-length" {
+            match value.trim().parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ReadOutcome::Bad(BadRequest::new(400, "bad Content-Length")),
+            }
+        } else if name == "transfer-encoding" {
+            return ReadOutcome::Bad(BadRequest::new(501, "chunked bodies are not supported"));
+        }
+    }
+    ReadOutcome::Bad(BadRequest::new(431, "too many headers"))
+}
+
+enum LineError {
+    TooLong,
+    Io,
+}
+
+/// Reads one CRLF (or LF) terminated line; `None` on immediate EOF.
+fn read_line(reader: &mut BufReader<&mut TcpStream>) -> Result<Option<String>, LineError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if line.is_empty() { Ok(None) } else { Err(LineError::TooLong) };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line).map(Some).map_err(|_| LineError::Io);
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(LineError::TooLong);
+                }
+                line.push(byte[0]);
+            }
+            Err(_) => return Err(LineError::Io),
+        }
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes it.
+pub(crate) fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A tiny blocking HTTP client for talking to an `archdse-serve`
+/// instance: one request per connection, whole-response reads.
+pub mod client {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    /// A response as the client sees it: status code and body text.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ClientResponse {
+        /// The HTTP status code.
+        pub status: u16,
+        /// The response body (JSON for every service endpoint).
+        pub body: String,
+    }
+
+    /// Sends one request and reads the whole response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection, send or receive errors, or when the server
+    /// answers with something that is not an HTTP/1.1 response.
+    pub fn request(
+        addr: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            payload.len()
+        );
+        // A server may answer (e.g. 413) and stop reading mid-send;
+        // keep the write error only if no response can be read either.
+        let sent = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .and_then(|()| stream.flush());
+        let mut raw = String::new();
+        match (stream.read_to_string(&mut raw), sent) {
+            (Ok(_), _) => {}
+            (Err(_), Err(e)) | (Err(e), Ok(())) => return Err(e),
+        }
+        parse_response(&raw)
+            .ok_or_else(|| std::io::Error::other(format!("malformed HTTP response: {raw:?}")))
+    }
+
+    /// `GET path` against a server address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`request`] failures.
+    pub fn get(addr: &str, path: &str) -> std::io::Result<ClientResponse> {
+        request(addr, "GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`request`] failures.
+    pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        request(addr, "POST", path, Some(body))
+    }
+
+    fn parse_response(raw: &str) -> Option<ClientResponse> {
+        let status: u16 = raw.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()?;
+        let body = raw.split_once("\r\n\r\n")?.1.to_string();
+        Some(ClientResponse { status, body })
+    }
+}

@@ -1,0 +1,78 @@
+//! # archdse-serve — the DSE stack as a long-running service
+//!
+//! A dependency-free HTTP/1.1 JSON service over [`std::net`] exposing
+//! the evaluation, explanation and exploration layers of this
+//! workspace to concurrent clients:
+//!
+//! | Endpoint | What it does |
+//! |---|---|
+//! | `GET /healthz` | liveness + the served benchmarks and space size |
+//! | `GET /metrics` | request counters, coalescer stats, [`CostLedger`] summary, HF memo counters |
+//! | `POST /v1/evaluate` | CPI of a batch of encoded design points at `"lf"` or `"hf"` fidelity |
+//! | `POST /v1/explain` | per-rule contributions behind the FNN's decision at a design point |
+//! | `POST /v1/explore` | start a background exploration job |
+//! | `GET /v1/jobs/<id>` | poll a job |
+//! | `POST /v1/shutdown` | graceful shutdown (drains in-flight work) |
+//!
+//! ## The cross-request micro-batcher
+//!
+//! The server's core mechanism is the coalescer thread:
+//! concurrent `/v1/evaluate` requests are gathered — up to
+//! [`BatcherConfig::max_batch_points`] points or for at most
+//! [`BatcherConfig::max_delay`] — and submitted as **one**
+//! `CostLedger::evaluate_batch` per fidelity through the shared
+//! [`CpiCache`](dse_exec::CpiCache)-backed evaluator. Because the
+//! batch-first evaluator contract guarantees bit-identical results and
+//! counters versus a sequential walk, coalescing changes throughput but
+//! never answers: N concurrent clients observe exactly the CPIs and
+//! ledger totals one sequential client would.
+//!
+//! ## Robustness policy
+//!
+//! * **Backpressure** — full connection or evaluation queues answer
+//!   `503` immediately instead of queueing unboundedly.
+//! * **Timeouts** — every accepted socket gets read and write timeouts.
+//! * **Size limits** — request line, header count and body size are all
+//!   capped; oversize bodies answer `413`.
+//! * **Graceful shutdown** — `POST /v1/shutdown` (or
+//!   [`ServerHandle::shutdown`]) stops accepting, then drains every
+//!   accepted connection, queued evaluation and background job before
+//!   the process exits.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use archdse::Explorer;
+//! use archdse_serve::{client, spawn, ServeConfig};
+//! use dse_workloads::Benchmark;
+//!
+//! let server = spawn(ServeConfig::new(
+//!     Explorer::for_benchmark(Benchmark::Mm).trace_len(2_000),
+//! ))?;
+//! let addr = server.addr().to_string();
+//! let health = client::get(&addr, "/healthz")?;
+//! assert_eq!(health.status, 200);
+//! server.shutdown();
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! [`CostLedger`]: dse_exec::CostLedger
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod http;
+mod loadgen;
+mod protocol;
+mod server;
+
+pub use batcher::{BatcherConfig, CoalescerStats};
+pub use http::client;
+pub use loadgen::{run as run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{
+    EvaluateResponse, EvaluatedPoint, ExplainResponse, JobResult, JobStatus, MetricsResponse,
+    RequestCounters,
+};
+pub use server::{spawn, ServeConfig, ServerHandle};

@@ -1,0 +1,176 @@
+//! The load generator: N client threads hammering `/v1/evaluate` on a
+//! running server, then reading `/metrics` back to show how the
+//! coalescer amortized their requests into fewer ledger batches.
+
+use std::time::Duration;
+
+use dse_exec::{Fidelity, LedgerSummary};
+
+use crate::batcher::CoalescerStats;
+use crate::http::client;
+use crate::protocol::MetricsResponse;
+
+/// What the load generator should send.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Evaluate requests each client sends.
+    pub requests_per_client: usize,
+    /// Design points per request.
+    pub points_per_request: usize,
+    /// Fidelity every request asks for.
+    pub fidelity: Fidelity,
+    /// Seed of the deterministic point choice.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A default workload against `addr`: 4 clients × 8 LF requests of
+    /// 4 points each.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            clients: 4,
+            requests_per_client: 8,
+            points_per_request: 4,
+            fidelity: Fidelity::Low,
+            seed: 1,
+        }
+    }
+}
+
+/// What a load-generation run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Evaluate requests attempted.
+    pub requests: u64,
+    /// Requests answered 200.
+    pub ok: u64,
+    /// 503 backpressure answers absorbed (each was retried).
+    pub rejected: u64,
+    /// Requests that never got a 200 (gave up after retries / IO error).
+    pub failed: u64,
+    /// The server's coalescer counters after the run.
+    pub coalescer: CoalescerStats,
+    /// The server's evaluate-ledger summary after the run.
+    pub ledger: LedgerSummary,
+}
+
+impl LoadgenReport {
+    /// Renders the human-readable run summary the CLI prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen: {} requests ({} ok, {} backpressured, {} failed)\n",
+            self.requests, self.ok, self.rejected, self.failed
+        ));
+        out.push_str(&format!(
+            "coalescer: {} requests -> {} batches ({} points, {:.2} requests/batch)\n",
+            self.coalescer.requests,
+            self.coalescer.batches,
+            self.coalescer.points,
+            self.coalescer.amortization()
+        ));
+        out.push_str(&format!(
+            "ledger: {} evaluations, {} cache hits, {:.1} model-time units\n",
+            self.ledger.low.evaluations + self.ledger.high.evaluations,
+            self.ledger.low.cache_hits + self.ledger.high.cache_hits,
+            self.ledger.total_model_time()
+        ));
+        out
+    }
+}
+
+/// Deterministic point choice: an splitmix-style LCG per client, so the
+/// same config always produces the same request stream.
+fn next_code(state: &mut u64, space_size: u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let x = *state;
+    let mixed = (x ^ (x >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+    (mixed ^ (mixed >> 33)) % space_size
+}
+
+/// Runs the configured workload and gathers the server's own counters.
+///
+/// # Errors
+///
+/// Fails when the server cannot be reached or `/healthz` / `/metrics`
+/// answer something unexpected; individual evaluate failures are
+/// *counted*, not returned.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let health = client::get(&config.addr, "/healthz")?;
+    if health.status != 200 {
+        return Err(std::io::Error::other(format!("healthz answered {}", health.status)));
+    }
+    let space_size = serde_json::from_str::<serde_json::Value>(&health.body)
+        .ok()
+        .and_then(|v| v.get("space_size").and_then(|s| s.as_u64()))
+        .ok_or_else(|| std::io::Error::other("healthz reported no space_size"))?;
+
+    let fidelity = match config.fidelity {
+        Fidelity::Low => "lf",
+        Fidelity::High => "hf",
+    };
+    let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients.max(1))
+            .map(|client_id| {
+                scope.spawn(move || {
+                    let mut state = config.seed ^ ((client_id as u64 + 1) << 32);
+                    let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+                    for _ in 0..config.requests_per_client {
+                        let points: Vec<String> = (0..config.points_per_request.max(1))
+                            .map(|_| next_code(&mut state, space_size).to_string())
+                            .collect();
+                        let body = format!(
+                            "{{\"points\":[{}],\"fidelity\":\"{fidelity}\"}}",
+                            points.join(",")
+                        );
+                        // A 503 is backpressure doing its job: back off
+                        // briefly and retry the same request.
+                        let mut served = false;
+                        for _ in 0..50 {
+                            match client::post(&config.addr, "/v1/evaluate", &body) {
+                                Ok(r) if r.status == 200 => {
+                                    ok += 1;
+                                    served = true;
+                                    break;
+                                }
+                                Ok(r) if r.status == 503 => {
+                                    rejected += 1;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Ok(_) | Err(_) => break,
+                            }
+                        }
+                        if !served {
+                            failed += 1;
+                        }
+                    }
+                    (ok, rejected, failed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (o, r, f) = handle.join().expect("loadgen client panicked");
+            ok += o;
+            rejected += r;
+            failed += f;
+        }
+    });
+
+    let metrics = client::get(&config.addr, "/metrics")?;
+    let metrics: MetricsResponse = serde_json::from_str(&metrics.body)
+        .map_err(|e| std::io::Error::other(format!("bad /metrics payload: {e}")))?;
+    Ok(LoadgenReport {
+        requests: (config.clients.max(1) * config.requests_per_client) as u64,
+        ok,
+        rejected,
+        failed,
+        coalescer: metrics.coalescer,
+        ledger: metrics.ledger,
+    })
+}

@@ -1,0 +1,376 @@
+//! The JSON wire protocol: request parsing (hand-rolled over the serde
+//! `Content` tree so optional fields and precise error messages work)
+//! and the serializable response payloads.
+
+use dse_exec::{CacheStats, Fidelity, LedgerSummary};
+use dse_fnn::DecisionExplanation;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::batcher::CoalescerStats;
+
+/// A structured request rejection: message plus HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ProtocolError(pub String);
+
+impl ProtocolError {
+    fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+/// Parses a request body into the JSON tree.
+pub(crate) fn parse_body(body: &str) -> Result<Value, ProtocolError> {
+    if body.trim().is_empty() {
+        return Err(ProtocolError::new("request body must be a JSON object"));
+    }
+    serde_json::from_str(body).map_err(|e| ProtocolError::new(e.to_string()))
+}
+
+fn get_u64(value: &Value, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(value: &Value, key: &str) -> Result<Option<f64>, ProtocolError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("`{key}` must be a number"))),
+    }
+}
+
+fn get_str<'a>(value: &'a Value, key: &str) -> Result<Option<&'a str>, ProtocolError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("`{key}` must be a string"))),
+    }
+}
+
+fn get_bool(value: &Value, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::new(format!("`{key}` must be a boolean"))),
+    }
+}
+
+/// `POST /v1/evaluate` body: encoded design points plus a fidelity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct EvaluateRequest {
+    /// Encoded design indices (`DesignSpace::encode` order).
+    pub points: Vec<u64>,
+    /// Which cost model to spend.
+    pub fidelity: Fidelity,
+}
+
+impl EvaluateRequest {
+    /// Parses `{"points": [..], "fidelity": "lf"|"hf"}` and range-checks
+    /// every index against `space_size`.
+    pub fn parse(body: &str, space_size: u64, max_points: usize) -> Result<Self, ProtocolError> {
+        let value = parse_body(body)?;
+        let fidelity = match get_str(&value, "fidelity")? {
+            None | Some("hf") | Some("HF") => Fidelity::High,
+            Some("lf") | Some("LF") => Fidelity::Low,
+            Some(other) => {
+                return Err(ProtocolError::new(format!(
+                    "unknown fidelity {other:?} (expected \"lf\" or \"hf\")"
+                )))
+            }
+        };
+        let raw = value
+            .get("points")
+            .ok_or_else(|| ProtocolError::new("missing `points` array"))?
+            .as_array()
+            .ok_or_else(|| ProtocolError::new("`points` must be an array"))?;
+        if raw.is_empty() {
+            return Err(ProtocolError::new("`points` must not be empty"));
+        }
+        if raw.len() > max_points {
+            return Err(ProtocolError::new(format!(
+                "{} points exceed the per-request limit of {max_points}",
+                raw.len()
+            )));
+        }
+        let mut points = Vec::with_capacity(raw.len());
+        for (i, item) in raw.iter().enumerate() {
+            let code = item.as_u64().ok_or_else(|| {
+                ProtocolError::new(format!("points[{i}] must be a non-negative integer"))
+            })?;
+            if code >= space_size {
+                return Err(ProtocolError::new(format!(
+                    "points[{i}] = {code} is outside the design space (size {space_size})"
+                )));
+            }
+            points.push(code);
+        }
+        Ok(Self { points, fidelity })
+    }
+}
+
+/// One evaluated point in an `/v1/evaluate` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// The encoded design index this row answers.
+    pub point: u64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// `"LF"` or `"HF"`.
+    pub fidelity: String,
+    /// Whether the answer came from the run ledger or the evaluator
+    /// memo rather than a fresh model run.
+    pub cached: bool,
+    /// Die area of the design under the server's area model.
+    pub area_mm2: f64,
+    /// Static (leakage) power of the design.
+    pub leakage_mw: f64,
+    /// Whether the design satisfies the server's constraints.
+    pub feasible: bool,
+}
+
+/// `POST /v1/evaluate` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluateResponse {
+    /// One row per requested point, in request order.
+    pub results: Vec<EvaluatedPoint>,
+}
+
+/// `POST /v1/explain` body.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExplainRequest {
+    /// Encoded design index to explain at.
+    pub point: u64,
+    /// How many top rules to report.
+    pub k: usize,
+    /// Explain a specific output (by parameter name) instead of the
+    /// winning action.
+    pub output: Option<String>,
+    /// CPI observation; computed by the LF model when absent.
+    pub cpi: Option<f64>,
+}
+
+impl ExplainRequest {
+    /// Parses `{"point": n, "k": 3, "output": "rob", "cpi": 1.2}`.
+    pub fn parse(body: &str, space_size: u64) -> Result<Self, ProtocolError> {
+        let value = parse_body(body)?;
+        let point = get_u64(&value, "point")?
+            .ok_or_else(|| ProtocolError::new("missing `point` (encoded design index)"))?;
+        if point >= space_size {
+            return Err(ProtocolError::new(format!(
+                "`point` = {point} is outside the design space (size {space_size})"
+            )));
+        }
+        let k = get_u64(&value, "k")?.unwrap_or(3) as usize;
+        if k == 0 {
+            return Err(ProtocolError::new("`k` must be at least 1"));
+        }
+        let output = get_str(&value, "output")?.map(str::to_string);
+        let cpi = get_f64(&value, "cpi")?;
+        if let Some(cpi) = cpi {
+            if !cpi.is_finite() || cpi <= 0.0 {
+                return Err(ProtocolError::new("`cpi` must be a positive finite number"));
+            }
+        }
+        Ok(Self { point, k, output, cpi })
+    }
+}
+
+/// `POST /v1/explain` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// The explained design, encoded.
+    pub point: u64,
+    /// The design spelled out parameter by parameter.
+    pub design: String,
+    /// The CPI observation the explanation was computed at.
+    pub cpi: f64,
+    /// The per-rule decomposition of the chosen output's score.
+    pub explanation: DecisionExplanation,
+}
+
+/// `POST /v1/explore` body: a quick-exploration job specification.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExploreRequest {
+    /// Benchmark name, or `None` for the general-purpose average.
+    pub benchmark: Option<String>,
+    /// Area limit in mm².
+    pub area_mm2: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// LF training episodes.
+    pub lf_episodes: usize,
+    /// HF simulation budget.
+    pub hf_budget: usize,
+    /// Trace length per benchmark.
+    pub trace_len: usize,
+}
+
+impl ExploreRequest {
+    /// Parses the job spec with service-quick defaults.
+    pub fn parse(body: &str) -> Result<Self, ProtocolError> {
+        let value = parse_body(body)?;
+        let general = get_bool(&value, "general")?.unwrap_or(false);
+        let benchmark = get_str(&value, "benchmark")?.map(str::to_string);
+        if general && benchmark.is_some() {
+            return Err(ProtocolError::new("`general` and `benchmark` are mutually exclusive"));
+        }
+        let area_mm2 = get_f64(&value, "area")?.unwrap_or(8.0);
+        if !area_mm2.is_finite() || area_mm2 <= 0.0 {
+            return Err(ProtocolError::new("`area` must be a positive number"));
+        }
+        let trace_len = get_u64(&value, "trace_len")?.unwrap_or(2_000) as usize;
+        if trace_len == 0 {
+            return Err(ProtocolError::new("`trace_len` must be at least 1"));
+        }
+        Ok(Self {
+            benchmark: if general { None } else { Some(benchmark.unwrap_or_else(|| "mm".into())) },
+            area_mm2,
+            seed: get_u64(&value, "seed")?.unwrap_or(0),
+            lf_episodes: get_u64(&value, "lf_episodes")?.unwrap_or(50) as usize,
+            hf_budget: get_u64(&value, "hf_budget")?.unwrap_or(4) as usize,
+            trace_len,
+        })
+    }
+}
+
+/// The result of a finished exploration job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Best simulated design, encoded.
+    pub best_point: u64,
+    /// The same design spelled out.
+    pub best_design: String,
+    /// Its simulated CPI.
+    pub best_cpi: f64,
+    /// HF simulations the job charged.
+    pub hf_evaluations: u64,
+    /// The extracted rule base, rendered as text.
+    pub rules: Vec<String>,
+    /// The job's own cost ledger (jobs account separately from the
+    /// server's evaluate ledger).
+    pub ledger: LedgerSummary,
+}
+
+/// `GET /v1/jobs/<id>` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// The job id.
+    pub job: u64,
+    /// `"running"`, `"done"` or `"failed"`.
+    pub state: String,
+    /// The result, when done.
+    pub result: Option<JobResult>,
+    /// The failure message, when failed.
+    pub error: Option<String>,
+}
+
+/// Per-endpoint request counters in `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestCounters {
+    /// `GET /healthz` hits.
+    pub healthz: u64,
+    /// `GET /metrics` hits.
+    pub metrics: u64,
+    /// `POST /v1/evaluate` hits.
+    pub evaluate: u64,
+    /// `POST /v1/explain` hits.
+    pub explain: u64,
+    /// `POST /v1/explore` hits.
+    pub explore: u64,
+    /// `GET /v1/jobs/<id>` hits.
+    pub jobs: u64,
+    /// Requests answered 503 by backpressure (full queue).
+    pub rejected: u64,
+    /// Requests answered 4xx/5xx for any other reason.
+    pub errors: u64,
+}
+
+/// `GET /metrics` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Per-endpoint request counters.
+    pub requests: RequestCounters,
+    /// Micro-batcher counters: fewer `batches` than `requests` is the
+    /// coalescer amortizing work across concurrent clients.
+    pub coalescer: CoalescerStats,
+    /// The server-lifetime cost ledger behind `/v1/evaluate`.
+    pub ledger: LedgerSummary,
+    /// The HF evaluator's memo counters.
+    pub hf_cache: CacheStats,
+    /// Exploration jobs by state: `[running, done, failed]`.
+    pub job_states: [u64; 3],
+}
+
+/// Renders `{"error": reason}`.
+pub(crate) fn error_body(reason: &str) -> String {
+    // Built as a `Value` rather than a derived struct: the vendored
+    // derive does not support lifetime parameters.
+    let body = Value::Map(vec![("error".to_string(), Value::Str(reason.to_string()))]);
+    serde_json::to_string(&body).unwrap_or_else(|_| "{}".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_request_parses_and_validates() {
+        let ok = EvaluateRequest::parse(r#"{"points": [0, 5], "fidelity": "lf"}"#, 10, 8).unwrap();
+        assert_eq!(ok.points, vec![0, 5]);
+        assert_eq!(ok.fidelity, Fidelity::Low);
+        // Defaults to HF.
+        let hf = EvaluateRequest::parse(r#"{"points": [1]}"#, 10, 8).unwrap();
+        assert_eq!(hf.fidelity, Fidelity::High);
+        // Out of range, empty, too many, bad fidelity, junk.
+        assert!(EvaluateRequest::parse(r#"{"points": [10]}"#, 10, 8).is_err());
+        assert!(EvaluateRequest::parse(r#"{"points": []}"#, 10, 8).is_err());
+        assert!(EvaluateRequest::parse(r#"{"points": [1, 2, 3]}"#, 10, 2).is_err());
+        assert!(EvaluateRequest::parse(r#"{"points": [1], "fidelity": "mid"}"#, 10, 8).is_err());
+        assert!(EvaluateRequest::parse("nonsense", 10, 8).is_err());
+        assert!(EvaluateRequest::parse("", 10, 8).is_err());
+    }
+
+    #[test]
+    fn explain_request_defaults_and_bounds() {
+        let e = ExplainRequest::parse(r#"{"point": 3}"#, 10).unwrap();
+        assert_eq!((e.point, e.k, e.output, e.cpi), (3, 3, None, None));
+        let full =
+            ExplainRequest::parse(r#"{"point": 3, "k": 5, "output": "rob", "cpi": 1.5}"#, 10)
+                .unwrap();
+        assert_eq!(full.k, 5);
+        assert_eq!(full.output.as_deref(), Some("rob"));
+        assert_eq!(full.cpi, Some(1.5));
+        assert!(ExplainRequest::parse(r#"{"point": 99}"#, 10).is_err());
+        assert!(ExplainRequest::parse(r#"{"point": 1, "k": 0}"#, 10).is_err());
+        assert!(ExplainRequest::parse(r#"{"point": 1, "cpi": -2.0}"#, 10).is_err());
+    }
+
+    #[test]
+    fn explore_request_defaults_are_service_quick() {
+        let e = ExploreRequest::parse("{}").unwrap();
+        assert_eq!(e.benchmark.as_deref(), Some("mm"));
+        assert_eq!((e.lf_episodes, e.hf_budget, e.trace_len), (50, 4, 2_000));
+        let g = ExploreRequest::parse(r#"{"general": true, "seed": 7}"#).unwrap();
+        assert_eq!(g.benchmark, None);
+        assert_eq!(g.seed, 7);
+        assert!(ExploreRequest::parse(r#"{"general": true, "benchmark": "mm"}"#).is_err());
+        assert!(ExploreRequest::parse(r#"{"area": -1.0}"#).is_err());
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        assert_eq!(error_body("queue full"), r#"{"error":"queue full"}"#);
+    }
+}

@@ -1,0 +1,573 @@
+//! The service itself: bounded worker pool over `std::net`, request
+//! routing, background exploration jobs, and graceful shutdown that
+//! drains all accepted work.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use archdse::eval::{AnalyticalLf, DesignConstraints};
+use archdse::{Explorer, Fnn};
+use dse_exec::{CostLedger, LedgerEntry};
+use dse_fnn::{explain_decision, explain_top_action};
+use dse_mfrl::{Constraint as _, LowFidelity as _};
+use dse_space::DesignPoint;
+use dse_workloads::Benchmark;
+
+use crate::batcher::{
+    run_coalescer, BatcherConfig, CoalescerStats, EvalCore, EvalJob, LfCostModel,
+};
+use crate::http::{read_request, write_response, BadRequest, ReadOutcome, Request};
+use crate::protocol::{
+    error_body, EvaluateRequest, EvaluateResponse, EvaluatedPoint, ExplainRequest, ExplainResponse,
+    ExploreRequest, JobResult, JobStatus, MetricsResponse, ProtocolError, RequestCounters,
+};
+
+/// Full configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-worker pool size.
+    pub workers: usize,
+    /// Micro-batcher policy (window, batch size, queue depth).
+    pub batcher: BatcherConfig,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Most design points accepted in one `/v1/evaluate` request.
+    pub max_points_per_request: usize,
+    /// The workload/space/trace template the shared evaluators and the
+    /// explanation network are built from.
+    pub explorer: Explorer,
+    /// A trained network for `/v1/explain`; the explorer's untrained
+    /// network is used when absent.
+    pub fnn: Option<Fnn>,
+}
+
+impl ServeConfig {
+    /// Defaults around an explorer template: ephemeral localhost port,
+    /// 4 workers, 1 MiB bodies, 10 s socket timeouts.
+    pub fn new(explorer: Explorer) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            batcher: BatcherConfig::default(),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1024 * 1024,
+            max_points_per_request: 256,
+            explorer,
+            fnn: None,
+        }
+    }
+}
+
+enum JobState {
+    Running,
+    Done(JobResult),
+    Failed(String),
+}
+
+#[derive(Default)]
+struct JobTable {
+    next: AtomicU64,
+    states: Mutex<HashMap<u64, JobState>>,
+}
+
+/// Cross-thread server state.
+struct Shared {
+    addr: SocketAddr,
+    config: ServeConfig,
+    benchmarks: Vec<Benchmark>,
+    space_size: u64,
+    fnn: Fnn,
+    lf_explain: AnalyticalLf,
+    constraints: DesignConstraints,
+    core: Arc<Mutex<EvalCore>>,
+    coalescer_stats: Arc<Mutex<CoalescerStats>>,
+    eval_tx: Mutex<Option<SyncSender<EvalJob>>>,
+    shutdown: AtomicBool,
+    jobs: JobTable,
+    job_handles: Mutex<Vec<JoinHandle<()>>>,
+    // Request counters (the /metrics `requests` section).
+    n_healthz: AtomicU64,
+    n_metrics: AtomicU64,
+    n_evaluate: AtomicU64,
+    n_explain: AtomicU64,
+    n_explore: AtomicU64,
+    n_jobs: AtomicU64,
+    n_rejected: AtomicU64,
+    n_errors: AtomicU64,
+}
+
+impl Shared {
+    fn counters(&self) -> RequestCounters {
+        RequestCounters {
+            healthz: self.n_healthz.load(Ordering::Relaxed),
+            metrics: self.n_metrics.load(Ordering::Relaxed),
+            evaluate: self.n_evaluate.load(Ordering::Relaxed),
+            explain: self.n_explain.load(Ordering::Relaxed),
+            explore: self.n_explore.load(Ordering::Relaxed),
+            jobs: self.n_jobs.load(Ordering::Relaxed),
+            rejected: self.n_rejected.load(Ordering::Relaxed),
+            errors: self.n_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flags shutdown and pokes the acceptor awake with a throwaway
+    /// connection so it notices without polling.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server: its bound address plus shutdown/join control.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the real port even
+    /// when the config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting, finish in-flight
+    /// connections, drain the evaluation queue, join exploration jobs.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the server has fully drained and exited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor thread itself panicked.
+    pub fn join(mut self) {
+        if let Some(handle) = self.supervisor.take() {
+            handle.join().expect("server supervisor panicked");
+        }
+    }
+}
+
+/// Binds the listener and spawns the whole service (coalescer, worker
+/// pool, acceptor). Returns immediately with the running handle.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound or inspected.
+pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let explorer = &config.explorer;
+    let space = explorer.space().clone();
+    let lf_model = explorer.lf_model();
+    let core = Arc::new(Mutex::new(EvalCore {
+        space: space.clone(),
+        hf: explorer.hf_evaluator(),
+        lf: LfCostModel(lf_model.clone()),
+        ledger: CostLedger::new(),
+    }));
+    let fnn = config.fnn.clone().unwrap_or_else(|| explorer.build_fnn());
+
+    let shared = Arc::new(Shared {
+        addr,
+        benchmarks: explorer.benchmarks().to_vec(),
+        space_size: space.size(),
+        fnn,
+        lf_explain: lf_model,
+        constraints: explorer.constraints(),
+        core: Arc::clone(&core),
+        coalescer_stats: Arc::new(Mutex::new(CoalescerStats::default())),
+        eval_tx: Mutex::new(None),
+        shutdown: AtomicBool::new(false),
+        jobs: JobTable::default(),
+        job_handles: Mutex::new(Vec::new()),
+        n_healthz: AtomicU64::new(0),
+        n_metrics: AtomicU64::new(0),
+        n_evaluate: AtomicU64::new(0),
+        n_explain: AtomicU64::new(0),
+        n_explore: AtomicU64::new(0),
+        n_jobs: AtomicU64::new(0),
+        n_rejected: AtomicU64::new(0),
+        n_errors: AtomicU64::new(0),
+        config,
+    });
+
+    // Coalescer thread: owns the evaluation queue's receiving end.
+    let (eval_tx, eval_rx) = sync_channel::<EvalJob>(shared.config.batcher.queue_capacity);
+    *shared.eval_tx.lock().expect("eval_tx poisoned") = Some(eval_tx);
+    let coalescer = {
+        let core = Arc::clone(&core);
+        let stats = Arc::clone(&shared.coalescer_stats);
+        let batcher = shared.config.batcher;
+        std::thread::spawn(move || run_coalescer(eval_rx, core, stats, batcher))
+    };
+
+    // Worker pool: a bounded queue of accepted connections.
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.config.batcher.queue_capacity);
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            std::thread::spawn(move || worker_loop(&shared, &conn_rx))
+        })
+        .collect();
+
+    // The acceptor doubles as supervisor: when shutdown trips, it tears
+    // the pipeline down stage by stage so all accepted work drains.
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            accept_loop(&shared, &listener, conn_tx);
+            for worker in workers {
+                let _ = worker.join();
+            }
+            // Workers are gone; dropping the primary sender lets the
+            // coalescer drain the queue and exit.
+            *shared.eval_tx.lock().expect("eval_tx poisoned") = None;
+            let _ = coalescer.join();
+            let handles = std::mem::take(&mut *shared.job_handles.lock().expect("jobs poisoned"));
+            for handle in handles {
+                let _ = handle.join();
+            }
+        })
+    };
+
+    Ok(ServerHandle { shared, supervisor: Some(supervisor) })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, conn_tx: SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // conn_tx drops here; workers drain and exit.
+        }
+        let Ok(stream) = stream else { continue };
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Backpressure: answer 503 inline rather than queueing
+                // unbounded work.
+                shared.n_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                let _ = write_response(&mut stream, 503, &error_body("connection queue full"));
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        let next = {
+            let rx = conn_rx.lock().expect("connection queue poisoned");
+            rx.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(shared, stream),
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let request = match read_request(&mut stream, shared.config.max_body_bytes) {
+        ReadOutcome::Request(request) => request,
+        ReadOutcome::Closed | ReadOutcome::Io => return,
+        ReadOutcome::Bad(bad) => {
+            shared.n_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut stream, bad.status, &error_body(&bad.reason));
+            return;
+        }
+    };
+    let (status, body) = route(shared, &request);
+    if status >= 400 {
+        shared.n_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = write_response(&mut stream, status, &body);
+}
+
+/// JSON-serializes a response payload (an internal failure here is a
+/// plain 500, not a panic).
+fn json<T: serde::Serialize>(value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&format!("response serialization failed: {e}"))),
+    }
+}
+
+fn bad(err: ProtocolError) -> (u16, String) {
+    (400, error_body(&err.0))
+}
+
+fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("POST", "/v1/evaluate") => handle_evaluate(shared, request),
+        ("POST", "/v1/explain") => handle_explain(shared, request),
+        ("POST", "/v1/explore") => handle_explore(shared, request),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_job(shared, path),
+        ("POST", "/v1/shutdown") => {
+            shared.initiate_shutdown();
+            (200, "{\"status\":\"shutting down\"}".into())
+        }
+        (_, "/healthz" | "/metrics" | "/v1/evaluate" | "/v1/explain" | "/v1/explore") => {
+            (405, error_body("method not allowed for this endpoint"))
+        }
+        _ => (
+            404,
+            error_body(
+                "no such endpoint; try GET /healthz, GET /metrics, POST /v1/evaluate, \
+                 POST /v1/explain, POST /v1/explore, GET /v1/jobs/<id>, POST /v1/shutdown",
+            ),
+        ),
+    }
+}
+
+fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
+    shared.n_healthz.fetch_add(1, Ordering::Relaxed);
+    #[derive(serde::Serialize)]
+    struct Health {
+        status: &'static str,
+        service: &'static str,
+        benchmarks: Vec<String>,
+        space_size: u64,
+    }
+    json(&Health {
+        status: "ok",
+        service: "archdse-serve",
+        benchmarks: shared.benchmarks.iter().map(|b| b.name().to_string()).collect(),
+        space_size: shared.space_size,
+    })
+}
+
+fn handle_metrics(shared: &Arc<Shared>) -> (u16, String) {
+    shared.n_metrics.fetch_add(1, Ordering::Relaxed);
+    let (ledger, hf_cache) = {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        (core.ledger.summary(), core.hf.cache_stats())
+    };
+    let coalescer = *shared.coalescer_stats.lock().expect("coalescer stats poisoned");
+    let mut job_states = [0u64; 3];
+    for state in shared.jobs.states.lock().expect("job table poisoned").values() {
+        match state {
+            JobState::Running => job_states[0] += 1,
+            JobState::Done(_) => job_states[1] += 1,
+            JobState::Failed(_) => job_states[2] += 1,
+        }
+    }
+    json(&MetricsResponse { requests: shared.counters(), coalescer, ledger, hf_cache, job_states })
+}
+
+fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
+    shared.n_evaluate.fetch_add(1, Ordering::Relaxed);
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    let parsed =
+        match EvaluateRequest::parse(body, shared.space_size, shared.config.max_points_per_request)
+        {
+            Ok(parsed) => parsed,
+            Err(e) => return bad(e),
+        };
+    let points: Vec<DesignPoint> = {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        parsed.points.iter().map(|&code| core.space.decode(code)).collect()
+    };
+
+    // Enqueue for the coalescer; a full queue is backpressure, not an
+    // error in the request.
+    let (reply_tx, reply_rx) = sync_channel::<Vec<LedgerEntry>>(1);
+    let job = EvalJob { fidelity: parsed.fidelity, points, reply: reply_tx };
+    let sender = shared.eval_tx.lock().expect("eval_tx poisoned").clone();
+    let Some(sender) = sender else {
+        return (503, error_body("server is shutting down"));
+    };
+    match sender.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.n_rejected.fetch_add(1, Ordering::Relaxed);
+            return (503, error_body("evaluation queue full, retry later"));
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return (503, error_body("server is shutting down"));
+        }
+    }
+    let entries = match reply_rx.recv() {
+        Ok(entries) => entries,
+        Err(_) => return (500, error_body("evaluation pipeline dropped the request")),
+    };
+
+    let space = {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        core.space.clone()
+    };
+    let mut results = Vec::with_capacity(entries.len());
+    for (&code, entry) in parsed.points.iter().zip(&entries) {
+        let point = space.decode(code);
+        let (cpi, cached) = match entry {
+            LedgerEntry::Charged(ev) => (ev.cpi, ev.cached),
+            LedgerEntry::Replayed(cpi) => (*cpi, true),
+            // The service ledger installs no budget, so denial can only
+            // mean a configuration bug; fail loudly rather than fake a
+            // number.
+            LedgerEntry::Denied => {
+                return (500, error_body("evaluation was denied by the server ledger"))
+            }
+        };
+        results.push(EvaluatedPoint {
+            point: code,
+            cpi,
+            fidelity: parsed.fidelity.label().to_string(),
+            cached,
+            area_mm2: shared.constraints.area().area_mm2(&space, &point),
+            leakage_mw: shared.constraints.leakage_mw(&space, &point),
+            feasible: shared.constraints.fits(&space, &point),
+        });
+    }
+    json(&EvaluateResponse { results })
+}
+
+fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
+    shared.n_explain.fetch_add(1, Ordering::Relaxed);
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    let parsed = match ExplainRequest::parse(body, shared.space_size) {
+        Ok(parsed) => parsed,
+        Err(e) => return bad(e),
+    };
+    let space = {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        core.space.clone()
+    };
+    let point = space.decode(parsed.point);
+    // Explanations read the LF proxy directly: they are introspection,
+    // not proposals, so they are deliberately not ledger-accounted.
+    let cpi = parsed.cpi.unwrap_or_else(|| shared.lf_explain.cpi(&space, &point));
+    let obs = shared.fnn.observation(&space, &point, cpi);
+    let explanation = match parsed.output {
+        None => explain_top_action(&shared.fnn, &obs, parsed.k),
+        Some(name) => {
+            let Some(output) =
+                shared.fnn.output_names().iter().position(|n| n.eq_ignore_ascii_case(&name))
+            else {
+                return (
+                    400,
+                    error_body(&format!(
+                        "unknown output {name:?}; valid outputs: {}",
+                        shared.fnn.output_names().join(", ")
+                    )),
+                );
+            };
+            explain_decision(&shared.fnn, &obs, output, parsed.k)
+        }
+    };
+    json(&ExplainResponse { point: parsed.point, design: point.describe(&space), cpi, explanation })
+}
+
+fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
+    shared.n_explore.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (503, error_body("server is shutting down"));
+    }
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    let parsed = match ExploreRequest::parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return bad(e),
+    };
+    let explorer = match &parsed.benchmark {
+        None => Explorer::general_purpose(),
+        Some(name) => match name.parse::<Benchmark>() {
+            Ok(benchmark) => Explorer::for_benchmark(benchmark),
+            Err(e) => return (400, error_body(&e.to_string())),
+        },
+    }
+    .area_limit_mm2(parsed.area_mm2)
+    .seed(parsed.seed)
+    .lf_episodes(parsed.lf_episodes)
+    .hf_budget(parsed.hf_budget)
+    .trace_len(parsed.trace_len);
+
+    let id = shared.jobs.next.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.jobs.states.lock().expect("job table poisoned").insert(id, JobState::Running);
+    let job_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        // Jobs run their own explorer (and evaluator): a long search
+        // must not hold the shared evaluate stack's lock.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let report = explorer.run();
+            let space = explorer.space();
+            JobResult {
+                best_point: space.encode(&report.best_point),
+                best_design: report.best_point.describe(space),
+                best_cpi: report.best_cpi,
+                hf_evaluations: report.hf.evaluations as u64,
+                rules: report.rules.iter().map(|r| r.to_string()).collect(),
+                ledger: report.ledger.summary(),
+            }
+        }));
+        let state = match outcome {
+            Ok(result) => JobState::Done(result),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "exploration panicked".into());
+                JobState::Failed(msg)
+            }
+        };
+        job_shared.jobs.states.lock().expect("job table poisoned").insert(id, state);
+    });
+    shared.job_handles.lock().expect("jobs poisoned").push(handle);
+    json(&JobStatus { job: id, state: "running".into(), result: None, error: None })
+}
+
+fn handle_job(shared: &Arc<Shared>, path: &str) -> (u16, String) {
+    shared.n_jobs.fetch_add(1, Ordering::Relaxed);
+    let Some(id) = path.strip_prefix("/v1/jobs/").and_then(|raw| raw.parse::<u64>().ok()) else {
+        return (400, error_body("job ids are integers: GET /v1/jobs/<id>"));
+    };
+    let states = shared.jobs.states.lock().expect("job table poisoned");
+    match states.get(&id) {
+        None => (404, error_body(&format!("no job {id}"))),
+        Some(JobState::Running) => {
+            json(&JobStatus { job: id, state: "running".into(), result: None, error: None })
+        }
+        Some(JobState::Done(result)) => json(&JobStatus {
+            job: id,
+            state: "done".into(),
+            result: Some(result.clone()),
+            error: None,
+        }),
+        Some(JobState::Failed(msg)) => json(&JobStatus {
+            job: id,
+            state: "failed".into(),
+            result: None,
+            error: Some(msg.clone()),
+        }),
+    }
+}

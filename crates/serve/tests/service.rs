@@ -1,0 +1,158 @@
+//! End-to-end service tests over real sockets: every endpoint, the
+//! error paths, and graceful shutdown draining.
+
+use std::time::Duration;
+
+use archdse::Explorer;
+use archdse_serve::{client, spawn, EvaluateResponse, ExplainResponse, ServeConfig};
+use dse_workloads::Benchmark;
+use serde_json::Value;
+
+fn quick_config() -> ServeConfig {
+    let explorer =
+        Explorer::for_benchmark(Benchmark::StringSearch).trace_len(2_000).seed(7).threads(2);
+    let mut config = ServeConfig::new(explorer);
+    config.workers = 3;
+    config.max_body_bytes = 16 * 1024;
+    config
+}
+
+#[test]
+fn the_four_core_endpoints_answer() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // /healthz
+    let health = client::get(&addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let health: Value = serde_json::from_str(&health.body).unwrap();
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    let space_size = health.get("space_size").and_then(Value::as_u64).unwrap();
+    assert!(space_size > 1_000_000);
+
+    // /v1/evaluate at LF, then the same points again: answers must be
+    // identical and the repeats served from the ledger replay.
+    let body = r#"{"points": [0, 12345, 0], "fidelity": "lf"}"#;
+    let first = client::post(&addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    let first: EvaluateResponse = serde_json::from_str(&first.body).unwrap();
+    assert_eq!(first.results.len(), 3);
+    assert_eq!(first.results[0].point, 0);
+    assert!(first.results.iter().all(|r| r.cpi > 0.0 && r.fidelity == "LF"));
+    assert_eq!(first.results[0].cpi, first.results[2].cpi, "duplicate point, same CPI");
+    let again: EvaluateResponse =
+        serde_json::from_str(&client::post(&addr, "/v1/evaluate", body).unwrap().body).unwrap();
+    assert_eq!(again.results[1].cpi, first.results[1].cpi);
+    assert!(again.results.iter().all(|r| r.cached), "second pass replays from the ledger");
+
+    // /v1/evaluate at HF carries provenance and constraint stamps.
+    let hf = client::post(&addr, "/v1/evaluate", r#"{"points": [7], "fidelity": "hf"}"#).unwrap();
+    assert_eq!(hf.status, 200, "{}", hf.body);
+    let hf: EvaluateResponse = serde_json::from_str(&hf.body).unwrap();
+    assert_eq!(hf.results[0].fidelity, "HF");
+    assert!(hf.results[0].area_mm2 > 0.0 && hf.results[0].leakage_mw > 0.0);
+
+    // /v1/explain decomposes a decision into rule contributions.
+    let explain = client::post(&addr, "/v1/explain", r#"{"point": 12345, "k": 4}"#).unwrap();
+    assert_eq!(explain.status, 200, "{}", explain.body);
+    let explain: ExplainResponse = serde_json::from_str(&explain.body).unwrap();
+    assert_eq!(explain.point, 12345);
+    assert!(explain.cpi > 0.0);
+    assert!(!explain.explanation.contributions.is_empty());
+    assert!(!explain.design.is_empty());
+
+    // /metrics reflects all of the above.
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let metrics: archdse_serve::MetricsResponse = serde_json::from_str(&metrics.body).unwrap();
+    assert_eq!(metrics.requests.healthz, 1);
+    assert_eq!(metrics.requests.evaluate, 3);
+    assert_eq!(metrics.requests.explain, 1);
+    assert!(metrics.coalescer.requests >= 3);
+    assert!(metrics.ledger.low.evaluations >= 2);
+    assert_eq!(metrics.ledger.high.evaluations, 1);
+    assert!(metrics.hf_cache.entries >= 1);
+
+    server.shutdown();
+    server.join();
+    assert!(client::get(&addr, "/healthz").is_err(), "server must be gone after join");
+}
+
+#[test]
+fn error_paths_answer_structured_json() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    let cases = [
+        ("POST", "/v1/evaluate", Some("not json"), 400),
+        ("POST", "/v1/evaluate", Some(r#"{"points": []}"#), 400),
+        ("POST", "/v1/evaluate", Some(r#"{"points": [99999999999999]}"#), 400),
+        ("POST", "/v1/evaluate", Some(r#"{"points": [1], "fidelity": "mid"}"#), 400),
+        ("POST", "/v1/explain", Some(r#"{"k": 3}"#), 400),
+        ("POST", "/v1/explain", Some(r#"{"point": 1, "output": "nosuch"}"#), 400),
+        ("POST", "/v1/explore", Some(r#"{"general": true, "benchmark": "mm"}"#), 400),
+        ("GET", "/nope", None, 404),
+        ("GET", "/v1/jobs/999", None, 404),
+        ("GET", "/v1/jobs/xyz", None, 400),
+        ("DELETE", "/v1/evaluate", None, 405),
+    ];
+    for (method, path, body, expected) in cases {
+        let response = client::request(&addr, method, path, body).unwrap();
+        assert_eq!(response.status, expected, "{method} {path}: {}", response.body);
+        let parsed: Value = serde_json::from_str(&response.body).expect("errors are JSON");
+        assert!(parsed.get("error").is_some(), "{method} {path} lacks an error field");
+    }
+
+    // An oversize body is rejected with 413 before any parsing.
+    let huge = format!(r#"{{"points": [{}]}}"#, "1,".repeat(20_000) + "1");
+    let response = client::post(&addr, "/v1/evaluate", &huge).unwrap();
+    assert_eq!(response.status, 413, "{}", response.body);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn explore_jobs_run_in_the_background_and_complete() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    let spec =
+        r#"{"benchmark": "ss", "lf_episodes": 10, "hf_budget": 2, "trace_len": 500, "seed": 3}"#;
+    let started = client::post(&addr, "/v1/explore", spec).unwrap();
+    assert_eq!(started.status, 200, "{}", started.body);
+    let started: archdse_serve::JobStatus = serde_json::from_str(&started.body).unwrap();
+    assert_eq!(started.state, "running");
+
+    let path = format!("/v1/jobs/{}", started.job);
+    let mut last = String::new();
+    for _ in 0..600 {
+        let polled = client::get(&addr, &path).unwrap();
+        assert_eq!(polled.status, 200);
+        let status: archdse_serve::JobStatus = serde_json::from_str(&polled.body).unwrap();
+        last = status.state.clone();
+        if status.state == "done" {
+            let result = status.result.expect("done jobs carry a result");
+            assert!(result.best_cpi > 0.0);
+            assert!(result.hf_evaluations <= 2);
+            assert!(!result.best_design.is_empty());
+            assert!(result.ledger.high.evaluations <= 2);
+            server.shutdown();
+            server.join();
+            return;
+        }
+        assert_ne!(status.state, "failed", "job failed: {:?}", status.error);
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    panic!("job never finished (last state {last:?})");
+}
+
+#[test]
+fn post_shutdown_drains_and_exits() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+    let response = client::post(&addr, "/v1/shutdown", "").unwrap();
+    assert_eq!(response.status, 200);
+    server.join();
+    assert!(client::get(&addr, "/healthz").is_err());
+}

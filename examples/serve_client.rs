@@ -1,0 +1,61 @@
+//! Minimal `archdse-serve` client: self-host a server, evaluate a few
+//! designs, then ask the network to explain its decision at the best
+//! one.
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+//!
+//! Point it at an already-running `archdse serve` instance instead by
+//! passing the address: `cargo run --example serve_client -- 127.0.0.1:8711`.
+
+use archdse::Explorer;
+use archdse_serve::{client, spawn, EvaluateResponse, ExplainResponse, ServeConfig};
+use dse_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Self-host unless an address was given on the command line.
+    let (addr, hosted) = match std::env::args().nth(1) {
+        Some(addr) => (addr, None),
+        None => {
+            let explorer = Explorer::for_benchmark(Benchmark::Mm).trace_len(2_000);
+            let server = spawn(ServeConfig::new(explorer))?;
+            let addr = server.addr().to_string();
+            println!("self-hosted archdse-serve on {addr}\n");
+            (addr, Some(server))
+        }
+    };
+
+    // Evaluate a spread of encoded designs at high fidelity.
+    let body = r#"{"points": [0, 1000000, 2000000, 2999999], "fidelity": "hf"}"#;
+    let response = client::post(&addr, "/v1/evaluate", body)?;
+    let evaluated: EvaluateResponse = serde_json::from_str(&response.body)?;
+    println!("{:<10} {:>8} {:>10} {:>9}", "design", "CPI", "area mm2", "feasible");
+    for row in &evaluated.results {
+        println!("{:<10} {:>8.4} {:>10.2} {:>9}", row.point, row.cpi, row.area_mm2, row.feasible);
+    }
+
+    // Explain what the (untrained) network would grow at the feasible
+    // design with the best CPI.
+    let best = evaluated
+        .results
+        .iter()
+        .filter(|r| r.feasible)
+        .min_by(|a, b| a.cpi.total_cmp(&b.cpi))
+        .expect("at least one feasible design");
+    let body = format!(r#"{{"point": {}, "k": 3}}"#, best.point);
+    let response = client::post(&addr, "/v1/explain", &body)?;
+    let explain: ExplainResponse = serde_json::from_str(&response.body)?;
+    println!("\nbest feasible design: {}", explain.design);
+    println!("decision at CPI {:.4}:", explain.cpi);
+    for line in explain.explanation.to_string().lines() {
+        println!("  {line}");
+    }
+
+    if let Some(server) = hosted {
+        server.shutdown();
+        server.join();
+        println!("\nserver drained and stopped");
+    }
+    Ok(())
+}

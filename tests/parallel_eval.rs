@@ -1,7 +1,9 @@
 //! Guarantees of the deterministic parallel evaluation backend:
 //! batched evaluation is bit-identical to the sequential walk at any
 //! thread count, and the whole exploration flow is reproducible from a
-//! seed alone.
+//! seed alone. `tests/serve_determinism.rs` extends the same guarantees
+//! across the socket: concurrent HTTP clients of `archdse-serve` see
+//! exactly what one sequential client would.
 
 use std::time::Instant;
 

@@ -1,0 +1,144 @@
+//! The service-level determinism guarantee: N concurrent clients
+//! hammering `/v1/evaluate` observe bit-identical CPIs — and leave
+//! bit-identical `LedgerSummary` totals behind — as one sequential
+//! client issuing the same requests.
+//!
+//! Why this must hold even though the coalescer interleaves clients
+//! arbitrarily: the server's lifetime ledger installs no HF budget, so
+//! no proposal is ever denied, and every proposal is then classified
+//! purely by whether its encoded design was seen before — first
+//! occurrence charged (model time on a cold memo), repeats replayed.
+//! Those counts depend only on the *multiset* of proposals, not their
+//! order, and the memoized simulator is a pure function of the design.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use archdse::Explorer;
+use archdse_serve::{client, spawn, BatcherConfig, EvaluateResponse, MetricsResponse, ServeConfig};
+use dse_exec::LedgerSummary;
+use dse_workloads::Benchmark;
+
+const CLIENT_THREADS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 6;
+const POINTS_PER_REQUEST: usize = 3;
+
+fn config() -> ServeConfig {
+    let explorer = Explorer::for_benchmark(Benchmark::StringSearch).trace_len(500).seed(9);
+    let mut config = ServeConfig::new(explorer);
+    config.workers = CLIENT_THREADS + 1;
+    // A wide-open window maximizes cross-request coalescing, the very
+    // interleaving the guarantee must survive.
+    config.batcher = BatcherConfig {
+        max_batch_points: 16,
+        max_delay: std::time::Duration::from_millis(10),
+        queue_capacity: 64,
+    };
+    config
+}
+
+/// The deterministic request stream: client `c`'s `r`-th request. Mixes
+/// overlap (shared hot designs) with per-client designs so both the
+/// charge and the replay paths are exercised concurrently.
+fn request_body(space_size: u64, c: usize, r: usize) -> String {
+    let points: Vec<String> = (0..POINTS_PER_REQUEST)
+        .map(|i| {
+            let raw = (c * 1_000_003 + r * 7_919 + i * 104_729) as u64;
+            // Every third point is drawn from a tiny shared pool so
+            // clients constantly collide on the same designs.
+            let code = if i == 0 { raw % 5 } else { raw % space_size };
+            code.to_string()
+        })
+        .collect();
+    let fidelity = if r.is_multiple_of(2) { "hf" } else { "lf" };
+    format!("{{\"points\":[{}],\"fidelity\":\"{fidelity}\"}}", points.join(","))
+}
+
+fn space_size(addr: &str) -> u64 {
+    let health = client::get(addr, "/healthz").unwrap();
+    serde_json::from_str::<serde_json::Value>(&health.body)
+        .unwrap()
+        .get("space_size")
+        .and_then(|v| v.as_u64())
+        .unwrap()
+}
+
+fn ledger_totals(addr: &str) -> LedgerSummary {
+    let metrics = client::get(addr, "/metrics").unwrap();
+    serde_json::from_str::<MetricsResponse>(&metrics.body).unwrap().ledger
+}
+
+/// Runs the full request stream and returns per-(client, request) CPI
+/// vectors plus the server's final ledger totals.
+fn run_stream(concurrent: bool) -> (HashMap<(usize, usize), Vec<f64>>, LedgerSummary) {
+    let server = spawn(config()).expect("bind");
+    let addr = server.addr().to_string();
+    let size = space_size(&addr);
+
+    let results: Mutex<HashMap<(usize, usize), Vec<f64>>> = Mutex::new(HashMap::new());
+    if concurrent {
+        std::thread::scope(|scope| {
+            for c in 0..CLIENT_THREADS {
+                let addr = &addr;
+                let results = &results;
+                scope.spawn(move || {
+                    for r in 0..REQUESTS_PER_CLIENT {
+                        let body = request_body(size, c, r);
+                        let response = client::post(addr, "/v1/evaluate", &body).unwrap();
+                        assert_eq!(response.status, 200, "{}", response.body);
+                        let parsed: EvaluateResponse =
+                            serde_json::from_str(&response.body).unwrap();
+                        let cpis = parsed.results.iter().map(|p| p.cpi).collect();
+                        results.lock().unwrap().insert((c, r), cpis);
+                    }
+                });
+            }
+        });
+    } else {
+        for c in 0..CLIENT_THREADS {
+            for r in 0..REQUESTS_PER_CLIENT {
+                let body = request_body(size, c, r);
+                let response = client::post(&addr, "/v1/evaluate", &body).unwrap();
+                assert_eq!(response.status, 200, "{}", response.body);
+                let parsed: EvaluateResponse = serde_json::from_str(&response.body).unwrap();
+                let cpis = parsed.results.iter().map(|p| p.cpi).collect();
+                results.lock().unwrap().insert((c, r), cpis);
+            }
+        }
+    }
+
+    let ledger = ledger_totals(&addr);
+    server.shutdown();
+    server.join();
+    (results.into_inner().unwrap(), ledger)
+}
+
+#[test]
+fn concurrent_clients_match_one_sequential_client_exactly() {
+    let (sequential, sequential_ledger) = run_stream(false);
+    let (concurrent, concurrent_ledger) = run_stream(true);
+
+    assert_eq!(sequential.len(), CLIENT_THREADS * REQUESTS_PER_CLIENT);
+    assert_eq!(concurrent.len(), sequential.len());
+    for c in 0..CLIENT_THREADS {
+        for r in 0..REQUESTS_PER_CLIENT {
+            let seq = &sequential[&(c, r)];
+            let conc = &concurrent[&(c, r)];
+            assert_eq!(seq.len(), conc.len());
+            for (i, (a, b)) in seq.iter().zip(conc).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "client {c} request {r} point {i}: sequential {a} != concurrent {b}"
+                );
+            }
+        }
+    }
+
+    // The ledger totals — evaluations, replays, misses, model time, per
+    // fidelity — are order-independent, so the two runs agree exactly.
+    assert_eq!(sequential_ledger, concurrent_ledger);
+    assert_eq!(sequential_ledger.high.denied, 0, "no budget, nothing denied");
+    assert!(sequential_ledger.high.cache_hits > 0, "shared hot designs must replay");
+    assert!(sequential_ledger.low.evaluations > 0 && sequential_ledger.high.evaluations > 0);
+}

@@ -42,10 +42,12 @@ impl From<serde::DeError> for Error {
 ///
 /// # Errors
 ///
-/// Infallible for tree-shaped values; the `Result` mirrors upstream.
+/// Fails on non-finite floats (JSON has no NaN/Infinity; emitting
+/// `null` silently would corrupt round-trips), like upstream's
+/// `serde_json` does for non-self-describing writers.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&value.to_content(), &mut out, None, 0);
+    write_content(&value.to_content(), &mut out, None, 0)?;
     Ok(out)
 }
 
@@ -53,10 +55,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 ///
 /// # Errors
 ///
-/// Infallible for tree-shaped values; the `Result` mirrors upstream.
+/// Fails on non-finite floats, like [`to_string`].
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&value.to_content(), &mut out, Some("  "), 0);
+    write_content(&value.to_content(), &mut out, Some("  "), 0)?;
     Ok(out)
 }
 
@@ -76,18 +78,23 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     Ok(T::from_content(&content)?)
 }
 
-fn write_content(c: &Content, out: &mut String, indent: Option<&str>, depth: usize) {
+fn write_content(
+    c: &Content,
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+) -> Result<(), Error> {
     match c {
         Content::Null => out.push_str("null"),
         Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Content::U64(u) => out.push_str(&u.to_string()),
         Content::I64(i) => out.push_str(&i.to_string()),
-        Content::F64(f) => write_f64(*f, out),
+        Content::F64(f) => write_f64(*f, out)?,
         Content::Str(s) => write_escaped(s, out),
         Content::Seq(items) => {
             write_compound(out, indent, depth, '[', ']', items.len(), |out, i| {
-                write_content(&items[i], out, indent, depth + 1);
-            })
+                write_content(&items[i], out, indent, depth + 1)
+            })?;
         }
         Content::Map(entries) => {
             write_compound(out, indent, depth, '{', '}', entries.len(), |out, i| {
@@ -96,10 +103,11 @@ fn write_content(c: &Content, out: &mut String, indent: Option<&str>, depth: usi
                 if indent.is_some() {
                     out.push(' ');
                 }
-                write_content(&entries[i].1, out, indent, depth + 1);
-            });
+                write_content(&entries[i].1, out, indent, depth + 1)
+            })?;
         }
     }
+    Ok(())
 }
 
 fn write_compound(
@@ -109,12 +117,12 @@ fn write_compound(
     open: char,
     close: char,
     len: usize,
-    mut write_item: impl FnMut(&mut String, usize),
-) {
+    mut write_item: impl FnMut(&mut String, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
     out.push(open);
     if len == 0 {
         out.push(close);
-        return;
+        return Ok(());
     }
     for i in 0..len {
         if i > 0 {
@@ -126,7 +134,7 @@ fn write_compound(
                 out.push_str(pad);
             }
         }
-        write_item(out, i);
+        write_item(out, i)?;
     }
     if let Some(pad) = indent {
         out.push('\n');
@@ -135,13 +143,15 @@ fn write_compound(
         }
     }
     out.push(close);
+    Ok(())
 }
 
-fn write_f64(f: f64, out: &mut String) {
+fn write_f64(f: f64, out: &mut String) -> Result<(), Error> {
     if !f.is_finite() {
-        // JSON has no NaN/Infinity; upstream writes null.
-        out.push_str("null");
-        return;
+        // JSON has no NaN/Infinity. Upstream's `json!` arm writes null,
+        // but its `to_string` writer errors; silently emitting null here
+        // would corrupt round-trips, so fail loudly instead.
+        return Err(Error::new(format!("cannot serialize non-finite float `{f}` as JSON")));
     }
     let s = f.to_string();
     out.push_str(&s);
@@ -149,6 +159,7 @@ fn write_f64(f: f64, out: &mut String) {
     if !s.contains(['.', 'e', 'E']) {
         out.push_str(".0");
     }
+    Ok(())
 }
 
 fn write_escaped(s: &str, out: &mut String) {
@@ -394,6 +405,38 @@ mod tests {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         let back: Value = from_str("2.0").unwrap();
         assert_eq!(back, Content::F64(2.0));
+    }
+
+    #[test]
+    fn escape_sequences_roundtrip() {
+        // Every escape the writer emits, plus the ones only the parser
+        // accepts (\/, \b, \f, \uXXXX) must come back intact.
+        let tricky = "quote:\" back:\\ nl:\n cr:\r tab:\t nul:\u{0} bell:\u{7} snow:\u{2603}";
+        let s = to_string(&tricky).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), tricky);
+        // Control characters must leave the writer as \u escapes, never raw.
+        assert!(s.contains("\\u0000") && s.contains("\\u0007"), "{s}");
+        assert!(!s[1..s.len() - 1].contains('\n'), "raw newline escaped the writer: {s:?}");
+        // Parser-only escapes decode to the right characters.
+        assert_eq!(from_str::<String>(r#""\/\b\f☃""#).unwrap(), "/\u{8}\u{c}\u{2603}");
+        // Escapes inside map keys survive too.
+        let v = Content::Map(vec![("a\"b\\c\nd".into(), Content::U64(1))]);
+        assert_eq!(from_str::<Value>(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str::<Value>(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_fail_cleanly() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(to_string(&f).is_err(), "{f} must not serialize");
+            assert!(to_string_pretty(&f).is_err(), "{f} must not serialize pretty");
+            // Nested occurrences fail too — never an invalid or silently
+            // null document.
+            let nested = Content::Map(vec![("x".into(), Content::Seq(vec![Content::F64(f)]))]);
+            assert!(to_string(&nested).is_err(), "nested {f} must not serialize");
+        }
+        let err = to_string(&f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]
