@@ -35,7 +35,7 @@ fn bench_simulator(c: &mut Criterion) {
     group.bench_function("quicksort_10k_instructions", |b| {
         b.iter_batched(
             || Simulator::new(config.clone()),
-            |sim| std::hint::black_box(sim.run(&trace).cpi()),
+            |mut sim| std::hint::black_box(sim.run(&trace).cpi()),
             BatchSize::SmallInput,
         )
     });

@@ -1,0 +1,112 @@
+//! Event-driven kernel vs the retained cycle-by-cycle reference walk:
+//! single-thread simulation throughput on all six benchmarks.
+//!
+//! Every run first asserts full `SimResult` bit-equality between the
+//! two engines on every benchmark (so CI's quick mode catches
+//! divergence without timing anything), then measures instructions per
+//! second of each engine and records the series in
+//! `results/BENCH_sim_kernel.json` — the perf trajectory later PRs
+//! compare against.
+//!
+//! Each engine is measured as the batch path uses it: the kernel on a
+//! reused [`Simulator`] instance (the `evaluate_batch` worker pattern),
+//! the reference as the old per-evaluation cold construction.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dse_bench::{print_artifact, write_results_artifact};
+use dse_sim::{CoreConfig, ReferenceSimulator, Simulator};
+use dse_space::DesignSpace;
+use dse_workloads::{Benchmark, Trace};
+
+const TRACE_LEN: usize = 30_000;
+const TRACE_SEED: u64 = 7;
+/// Per-engine measurement floor: repeat until this much time is spent.
+const MIN_MEASURE: std::time::Duration = std::time::Duration::from_millis(300);
+const MIN_REPS: u32 = 3;
+
+/// Instructions per second of `run`, which simulates `instructions`.
+fn throughput(instructions: u64, mut run: impl FnMut() -> u64) -> f64 {
+    let start = Instant::now();
+    let mut reps = 0u32;
+    let mut checksum = 0u64;
+    while reps < MIN_REPS || start.elapsed() < MIN_MEASURE {
+        checksum = checksum.wrapping_add(run());
+        reps += 1;
+    }
+    std::hint::black_box(checksum);
+    (instructions * reps as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let space = DesignSpace::boom();
+    let config = CoreConfig::from_point(&space, &space.largest());
+    let traces: Vec<(Benchmark, Trace)> =
+        Benchmark::ALL.iter().map(|&b| (b, b.trace(TRACE_LEN, TRACE_SEED))).collect();
+
+    // Bit-identity first: the whole point of the kernel is being a
+    // faster implementation of the *same* function.
+    let mut reused = Simulator::new(config.clone());
+    for (b, trace) in &traces {
+        assert_eq!(
+            reused.run(trace),
+            ReferenceSimulator::new(config.clone()).run(trace),
+            "kernel diverged from reference on {b}"
+        );
+    }
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut log_speedup_sum = 0.0;
+    for (b, trace) in &traces {
+        let kernel_ips = throughput(TRACE_LEN as u64, || reused.run(trace).cycles);
+        let reference_ips = throughput(TRACE_LEN as u64, || {
+            ReferenceSimulator::new(config.clone()).run(trace).cycles
+        });
+        let speedup = kernel_ips / reference_ips;
+        log_speedup_sum += speedup.ln();
+        rows.push(format!(
+            "{:<14} kernel {:>8.2} Minstr/s   reference {:>7.2} Minstr/s   speedup {speedup:>5.2}x",
+            b.to_string(),
+            kernel_ips / 1e6,
+            reference_ips / 1e6
+        ));
+        json_rows.push(format!(
+            "    {{\"benchmark\": \"{b}\", \"kernel_ips\": {kernel_ips:.0}, \
+             \"reference_ips\": {reference_ips:.0}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let geomean = (log_speedup_sum / traces.len() as f64).exp();
+    rows.push(format!("{:<14} geomean speedup {geomean:>5.2}x", ""));
+    print_artifact(
+        &format!("sim_kernel: {TRACE_LEN} instr x {} benchmarks, largest design", traces.len()),
+        &rows.join("\n"),
+    );
+    write_results_artifact(
+        "BENCH_sim_kernel.json",
+        &format!(
+            "{{\n  \"bench\": \"sim_kernel\",\n  \"trace_len\": {TRACE_LEN},\n  \
+             \"trace_seed\": {TRACE_SEED},\n  \"design\": \"largest\",\n  \
+             \"benchmarks\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3}\n}}\n",
+            json_rows.join(",\n")
+        ),
+    );
+
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(10);
+    for (b, trace) in &traces {
+        group.bench_function(format!("kernel/{b}"), |bench| {
+            bench.iter(|| std::hint::black_box(reused.run(trace).cycles))
+        });
+        group.bench_function(format!("reference/{b}"), |bench| {
+            bench.iter(|| {
+                std::hint::black_box(ReferenceSimulator::new(config.clone()).run(trace).cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_kernel);
+criterion_main!(benches);

@@ -16,3 +16,25 @@ pub fn print_artifact(title: &str, body: &str) {
     eprintln!("{body}");
     eprintln!("==========================================\n");
 }
+
+/// Writes a machine-readable artifact into the repository's `results/`
+/// directory (creating it if needed) and returns the path written.
+///
+/// Bench targets use this for the JSON series later PRs compare against
+/// (e.g. `results/BENCH_sim_kernel.json`), alongside the human-readable
+/// [`print_artifact`] tables on stderr.
+///
+/// # Panics
+///
+/// Panics if the directory or file cannot be written — a bench artifact
+/// silently going missing would defeat its purpose as a perf record.
+pub fn write_results_artifact(file_name: &str, contents: &str) -> std::path::PathBuf {
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", results.display()));
+    let path = results.join(file_name);
+    std::fs::write(&path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+    path
+}

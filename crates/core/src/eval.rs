@@ -4,7 +4,7 @@
 
 use dse_analytical::AnalyticalModel;
 use dse_area::{Activity, AreaModel, PowerModel};
-use dse_exec::{par_map, CacheStats, CpiCache, Evaluation, Evaluator, Fidelity};
+use dse_exec::{par_map, par_map_with, CacheStats, CpiCache, Evaluation, Evaluator, Fidelity};
 use dse_mfrl::{Constraint, LowFidelity, LF_TRACE_EQUIVALENT};
 use dse_sim::{CoreConfig, SimResult, Simulator};
 use dse_space::{DesignPoint, DesignSpace, Param};
@@ -270,14 +270,31 @@ impl Evaluator for SimulatorHf {
         }
 
         // Pass 2 (parallel): one job per (design, trace) pair, gathered
-        // in job order and averaged per design in trace order.
+        // in job order and averaged per design in trace order. Each
+        // worker keeps one simulator and reconfigures it between
+        // designs, so cache arrays and kernel scratch allocate once per
+        // worker, not once per job; every run cold-starts the core, so
+        // results are identical to fresh construction.
         let n_traces = self.traces.len();
         let jobs: Vec<(usize, usize)> =
             (0..to_run.len()).flat_map(|d| (0..n_traces).map(move |t| (d, t))).collect();
         let traces = &self.traces;
-        let per_job = par_map(&jobs, self.threads, |&(d, t)| {
-            Simulator::new(to_run[d].1.clone()).run(&traces[t]).cpi()
-        });
+        let per_job = par_map_with(
+            &jobs,
+            self.threads,
+            || None::<Simulator>,
+            |slot, _, &(d, t)| {
+                let config = &to_run[d].1;
+                let sim = match slot {
+                    Some(sim) => {
+                        sim.reconfigure(config);
+                        sim
+                    }
+                    None => slot.insert(Simulator::new(config.clone())),
+                };
+                sim.run(&traces[t]).cpi()
+            },
+        );
         let means: Vec<f64> = (0..to_run.len())
             .map(|d| {
                 per_job[d * n_traces..(d + 1) * n_traces].iter().sum::<f64>() / n_traces as f64

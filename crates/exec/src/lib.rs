@@ -4,12 +4,14 @@
 //! sequential. This crate supplies the two pieces that make batched
 //! evaluation fast *without* giving up reproducibility:
 //!
-//! * [`par_map`] / [`par_map_indexed`] — a std-only scoped-thread work
-//!   pool (`std::thread::scope`, no dependencies) that fans a slice of
-//!   jobs across cores and gathers results **by index**, so the output
-//!   order — and therefore every downstream fold over it — is
-//!   independent of OS scheduling. Running with 1 thread or N threads
-//!   produces bit-identical results.
+//! * [`par_map`] / [`par_map_indexed`] / [`par_map_with`] — a std-only
+//!   scoped-thread work pool (`std::thread::scope`, no dependencies)
+//!   that fans a slice of jobs across cores and gathers results **by
+//!   index**, so the output order — and therefore every downstream fold
+//!   over it — is independent of OS scheduling. Running with 1 thread
+//!   or N threads produces bit-identical results. The `_with` variant
+//!   gives each worker a private scratch value (e.g. a reusable
+//!   simulator) so per-job setup costs amortize across a batch.
 //! * [`CpiCache`] — the shared memoized CPI cache keyed by a design's
 //!   encoded index, with hit/miss/eval counters ([`CacheStats`]). It
 //!   replaces the ad-hoc `HashMap` caches that used to live separately
@@ -100,9 +102,36 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), i, item| f(i, item))
+}
+
+/// [`par_map_indexed`] variant with per-worker scratch state.
+///
+/// Each worker thread calls `init` once and hands the resulting scratch
+/// value to every job it processes, so expensive per-job setup (a
+/// simulator's cache arrays, a scratch buffer) amortizes across the
+/// batch. The scratch must not influence results — job outputs are
+/// gathered by index, and the bit-identical-at-any-thread-count
+/// guarantee only holds if `f(scratch, i, item)` is a pure function of
+/// `(i, item)`.
+///
+/// With `threads <= 1` (or fewer than two items) everything runs on the
+/// calling thread with a single scratch value and no spawns.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `init` or `f`.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = threads.min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut scratch = init();
+        return items.iter().enumerate().map(|(i, item)| f(&mut scratch, i, item)).collect();
     }
 
     let cursor = std::sync::atomic::AtomicUsize::new(0);
@@ -113,13 +142,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = init();
                     let mut produced = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= items.len() {
                             return produced;
                         }
-                        produced.push((i, f(i, &items[i])));
+                        produced.push((i, f(&mut scratch, i, &items[i])));
                     }
                 })
             })
@@ -298,6 +328,44 @@ mod tests {
     fn par_map_handles_empty_and_single_inputs() {
         assert_eq!(par_map(&[] as &[u8], 4, |&x| x), Vec::<u8>::new());
         assert_eq!(par_map(&[9], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_with_reuses_scratch_within_a_worker() {
+        // The scratch is a per-worker job counter: with one worker it
+        // must see every job; results stay in item order regardless.
+        let items: Vec<u32> = (0..50).collect();
+        let out = par_map_with(
+            &items,
+            1,
+            || 0u32,
+            |count, _, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(out.iter().map(|&(x, _)| x).collect::<Vec<_>>(), items);
+        let counts: Vec<u32> = out.iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, (1..=50).collect::<Vec<_>>(), "one worker sees all jobs in order");
+    }
+
+    #[test]
+    fn par_map_with_matches_sequential_at_any_thread_count() {
+        // A pure function of (i, item) must give bit-identical output
+        // whatever the worker count, scratch reuse included.
+        let items: Vec<f64> = (1..150).map(|i| i as f64 * 0.73).collect();
+        let run = |threads: usize| {
+            par_map_with(&items, threads, Vec::<f64>::new, |buf, i, &x| {
+                buf.push(x); // scratch mutation must not leak into results
+                (x.sin().abs() * (i as f64 + 1.0)).sqrt()
+            })
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 16] {
+            let parallel = run(threads);
+            let same = sequential.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -42,6 +42,50 @@ impl LoadgenConfig {
     }
 }
 
+/// Per-request latency percentiles observed client-side.
+///
+/// Latency is measured around a request's whole service interval —
+/// including any 503-backoff retries it absorbed — for requests that
+/// were eventually served, which is the latency a well-behaved client
+/// actually experiences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Served requests the percentiles are computed over.
+    pub samples: u64,
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Slowest served request.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles over the given samples (any order).
+    /// With no samples, everything reports zero.
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| -> Duration {
+            // Nearest-rank: the smallest sample covering fraction p.
+            let n = samples.len();
+            let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        Self {
+            samples: samples.len() as u64,
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
 /// What a load-generation run observed.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
@@ -53,6 +97,8 @@ pub struct LoadgenReport {
     pub rejected: u64,
     /// Requests that never got a 200 (gave up after retries / IO error).
     pub failed: u64,
+    /// Client-side per-request latency percentiles of served requests.
+    pub latency: LatencyStats,
     /// The server's coalescer counters after the run.
     pub coalescer: CoalescerStats,
     /// The server's evaluate-ledger summary after the run.
@@ -67,6 +113,16 @@ impl LoadgenReport {
             "loadgen: {} requests ({} ok, {} backpressured, {} failed)\n",
             self.requests, self.ok, self.rejected, self.failed
         ));
+        if self.latency.samples > 0 {
+            out.push_str(&format!(
+                "latency: p50 {:?}, p95 {:?}, p99 {:?}, max {:?} ({} served)\n",
+                self.latency.p50,
+                self.latency.p95,
+                self.latency.p99,
+                self.latency.max,
+                self.latency.samples
+            ));
+        }
         out.push_str(&format!(
             "coalescer: {} requests -> {} batches ({} points, {:.2} requests/batch)\n",
             self.coalescer.requests,
@@ -115,12 +171,14 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         Fidelity::High => "hf",
     };
     let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+    let mut latencies: Vec<Duration> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
             .map(|client_id| {
                 scope.spawn(move || {
                     let mut state = config.seed ^ ((client_id as u64 + 1) << 32);
                     let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
+                    let mut latencies = Vec::with_capacity(config.requests_per_client);
                     for _ in 0..config.requests_per_client {
                         let points: Vec<String> = (0..config.points_per_request.max(1))
                             .map(|_| next_code(&mut state, space_size).to_string())
@@ -130,7 +188,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                             points.join(",")
                         );
                         // A 503 is backpressure doing its job: back off
-                        // briefly and retry the same request.
+                        // briefly and retry the same request. Latency is
+                        // the whole service interval, retries included.
+                        let started = std::time::Instant::now();
                         let mut served = false;
                         for _ in 0..50 {
                             match client::post(&config.addr, "/v1/evaluate", &body) {
@@ -146,19 +206,22 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                                 Ok(_) | Err(_) => break,
                             }
                         }
-                        if !served {
+                        if served {
+                            latencies.push(started.elapsed());
+                        } else {
                             failed += 1;
                         }
                     }
-                    (ok, rejected, failed)
+                    (ok, rejected, failed, latencies)
                 })
             })
             .collect();
         for handle in handles {
-            let (o, r, f) = handle.join().expect("loadgen client panicked");
+            let (o, r, f, l) = handle.join().expect("loadgen client panicked");
             ok += o;
             rejected += r;
             failed += f;
+            latencies.extend(l);
         }
     });
 
@@ -170,7 +233,63 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         ok,
         rejected,
         failed,
+        latency: LatencyStats::from_samples(latencies),
         coalescer: metrics.coalescer,
         ledger: metrics.ledger,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn latency_stats_empty_is_all_zero() {
+        let stats = LatencyStats::from_samples(Vec::new());
+        assert_eq!(stats, LatencyStats::default());
+        assert_eq!(stats.samples, 0);
+    }
+
+    #[test]
+    fn latency_stats_single_sample_is_every_percentile() {
+        let stats = LatencyStats::from_samples(vec![ms(7)]);
+        assert_eq!(stats.samples, 1);
+        assert_eq!((stats.p50, stats.p95, stats.p99, stats.max), (ms(7), ms(7), ms(7), ms(7)));
+    }
+
+    #[test]
+    fn latency_stats_nearest_rank_on_a_known_distribution() {
+        // 1..=100 ms, shuffled: nearest-rank percentiles are exact.
+        let mut samples: Vec<Duration> = (1..=100).map(ms).collect();
+        samples.reverse();
+        let stats = LatencyStats::from_samples(samples);
+        assert_eq!(stats.samples, 100);
+        assert_eq!(stats.p50, ms(50));
+        assert_eq!(stats.p95, ms(95));
+        assert_eq!(stats.p99, ms(99));
+        assert_eq!(stats.max, ms(100));
+    }
+
+    #[test]
+    fn report_renders_latency_line_only_when_sampled() {
+        let report = LoadgenReport {
+            requests: 4,
+            ok: 4,
+            rejected: 0,
+            failed: 0,
+            latency: LatencyStats::from_samples(vec![ms(2), ms(3), ms(4), ms(40)]),
+            coalescer: CoalescerStats::default(),
+            ledger: LedgerSummary::default(),
+        };
+        let rendered = report.render();
+        assert!(rendered.contains("latency: p50 3ms"), "{rendered}");
+        assert!(rendered.contains("max 40ms (4 served)"), "{rendered}");
+        let mut silent = report;
+        silent.latency = LatencyStats::default();
+        assert!(!silent.render().contains("latency"), "no line without samples");
+    }
 }

@@ -1,0 +1,387 @@
+//! The event-driven pipeline kernel.
+//!
+//! Replaces the reference cycle-by-cycle walk (see the `reference`
+//! module) with a kernel that pays only for events:
+//!
+//! * **Completion heap** — issued instructions schedule a
+//!   `(done_at, entry)` event in a [`CompletionQueue`]; a cycle pops its
+//!   due events instead of re-scanning every ROB entry.
+//! * **Wakeup lists** — each in-flight producer carries an intrusive
+//!   linked list of waiting consumers. A dispatched instruction counts
+//!   its unresolved operands once; it enters the ready queue exactly
+//!   when its last producer completes, so readiness is never
+//!   recomputed.
+//! * **Idle-cycle skip-ahead** — when no ready instruction can issue,
+//!   commit is blocked and the front end is frozen or back-pressured,
+//!   the clock jumps straight to the next completion event (or the
+//!   fetch-resume cycle), bulk-crediting `mshr_stall_cycles` for
+//!   skipped cycles in which a ready load sat blocked on a full MSHR
+//!   file.
+//!
+//! The kernel is *provably idle* across a skipped span: no event is
+//! due, the ROB head is not done (commit cannot retire), every ready
+//! instruction is an MSHR-blocked load (FU slots renew per cycle, so
+//! any other ready instruction would issue), and dispatch is frozen or
+//! out of ROB/IQ space — and none of those facts can change except at
+//! a completion event or the fetch-resume cycle, which bound the jump.
+//! `crates/sim/tests/kernel_equivalence.rs` and the differential
+//! proptest in `pipeline.rs` assert full [`SimResult`] bit-equality
+//! against the reference walk.
+
+use dse_workloads::{Op, Trace};
+
+use crate::events::CompletionQueue;
+use crate::{Cache, CoreConfig, Gshare, SimResult};
+
+/// Progress guard: if nothing commits for this many cycles the pipeline
+/// has deadlocked, which is a simulator bug worth failing loudly on.
+const DEADLOCK_CYCLES: u64 = 1_000_000;
+
+/// Null link of the intrusive waiter lists.
+const NO_WAITER: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Dispatched, waiting for operands and a functional unit.
+    Waiting,
+    /// Executing; a completion event is scheduled.
+    Issued,
+    /// Finished executing; awaiting in-order commit.
+    Done,
+}
+
+/// One ROB entry, stored in a ring of `rob_entries` slots.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    trace_idx: u32,
+    op: Op,
+    addr: Option<u64>,
+    state: SlotState,
+    /// Operands still waiting on an in-flight producer.
+    pending: u8,
+    /// Head of this producer's waiter list: packed
+    /// `(consumer_slot << 1) | operand`, or [`NO_WAITER`].
+    first_waiter: u32,
+}
+
+impl Slot {
+    /// Filler for never-dispatched ring slots.
+    fn vacant() -> Self {
+        Slot {
+            trace_idx: 0,
+            op: Op::IntAlu,
+            addr: None,
+            state: SlotState::Done,
+            pending: 0,
+            first_waiter: NO_WAITER,
+        }
+    }
+}
+
+/// Reusable kernel storage: the ROB ring, wakeup links, ready queue,
+/// completion heap and MSHR timers.
+///
+/// Owned by a [`Simulator`](crate::Simulator) so repeated
+/// [`run`](crate::Simulator::run) calls (and
+/// [`reconfigure`](crate::Simulator::reconfigure)d reuse across a batch
+/// of designs) recycle every allocation.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    slots: Vec<Slot>,
+    /// Per consumer slot, per operand: next packed waiter in the
+    /// producer's list.
+    next_waiter: Vec<[u32; 2]>,
+    /// Trace indices of ready, unissued entries, ascending (= ROB
+    /// order). Dispatch back-pressure caps its length at `iq_entries`.
+    ready: Vec<u32>,
+    events: CompletionQueue,
+    /// Outstanding L1 miss completion times (MSHR occupancy).
+    mshr_busy: Vec<u64>,
+}
+
+impl Scratch {
+    fn reset(&mut self, rob_entries: usize) {
+        self.slots.clear();
+        self.slots.resize(rob_entries, Slot::vacant());
+        self.next_waiter.clear();
+        self.next_waiter.resize(rob_entries, [NO_WAITER; 2]);
+        self.ready.clear();
+        self.events.clear();
+        self.mshr_busy.clear();
+    }
+}
+
+/// Runs one trace through the event-driven kernel.
+///
+/// Counter-for-counter equivalent to
+/// [`ReferenceSimulator::run`](crate::reference::ReferenceSimulator):
+/// the caller (`Simulator::run`) owns cache/predictor cold-start.
+pub(crate) fn run(
+    cfg: &CoreConfig,
+    l1: &mut Cache,
+    l2: &mut Cache,
+    mut predictor: Option<&mut Gshare>,
+    scratch: &mut Scratch,
+    trace: &Trace,
+) -> SimResult {
+    assert!(!trace.is_empty(), "cannot simulate an empty trace");
+    assert!(trace.len() <= u32::MAX as usize, "trace too long for the event queue");
+    let lat = cfg.latencies;
+    let cap = cfg.rob_entries;
+    scratch.reset(cap);
+
+    let mut stats = SimResult::default();
+    let mut committed = 0usize; // trace idx of the ROB head
+    let mut next_fetch = 0usize; // next trace index to dispatch
+    let mut iq_occupancy = 0usize; // dispatched-but-unissued entries
+    let mut cycle: u64 = 0;
+    let mut fetch_resume_at: u64 = 0;
+    // Trace index of an unresolved mispredicted branch blocking fetch.
+    let mut pending_flush: Option<usize> = None;
+    let mut last_commit_cycle: u64 = 0;
+
+    while committed < trace.len() {
+        cycle += 1;
+
+        // --- Idle-cycle skip-ahead -------------------------------
+        // `cycle` does work only if an event is due, the head can
+        // commit, a ready instruction can claim a (per-cycle renewed)
+        // FU, or the front end can dispatch. Otherwise nothing changes
+        // until the next completion event or the fetch-resume cycle.
+        let head_done =
+            committed < next_fetch && scratch.slots[committed % cap].state == SlotState::Done;
+        let event_due = scratch.events.next_at().is_some_and(|t| t <= cycle);
+        let can_issue = scratch.ready.iter().any(|&idx| {
+            scratch.slots[idx as usize % cap].op != Op::Load || scratch.mshr_busy.len() < cfg.mshrs
+        });
+        let fetch_has_room = next_fetch < trace.len()
+            && next_fetch - committed < cap
+            && iq_occupancy < cfg.iq_entries;
+        let can_dispatch = pending_flush.is_none() && fetch_has_room;
+        if !(event_due || head_done || can_issue || (can_dispatch && cycle >= fetch_resume_at)) {
+            let mut target = scratch.events.next_at().unwrap_or(u64::MAX);
+            if can_dispatch {
+                target = target.min(fetch_resume_at);
+            }
+            assert!(
+                target != u64::MAX,
+                "pipeline deadlock at cycle {cycle} (committed {committed}/{})",
+                trace.len()
+            );
+            debug_assert!(target > cycle);
+            // Every skipped cycle with a ready (necessarily
+            // MSHR-blocked) load would have counted one stall in the
+            // reference walk; credit them in bulk.
+            if !scratch.ready.is_empty() {
+                stats.mshr_stall_cycles += target - cycle;
+            }
+            cycle = target;
+        }
+        assert!(
+            cycle - last_commit_cycle < DEADLOCK_CYCLES,
+            "pipeline deadlock at cycle {cycle} (committed {committed}/{})",
+            trace.len()
+        );
+
+        // 1. Complete executions whose latency has elapsed.
+        while let Some((t, idx)) = scratch.events.pop_due(cycle) {
+            let slot = idx as usize % cap;
+            debug_assert_eq!(scratch.slots[slot].state, SlotState::Issued);
+            scratch.slots[slot].state = SlotState::Done;
+            if pending_flush == Some(idx as usize) {
+                pending_flush = None;
+                fetch_resume_at = t + lat.flush_penalty;
+                stats.flushes += 1;
+            }
+            // Wake every consumer waiting on this producer.
+            let mut waiter = scratch.slots[slot].first_waiter;
+            scratch.slots[slot].first_waiter = NO_WAITER;
+            while waiter != NO_WAITER {
+                let (consumer, operand) = ((waiter >> 1) as usize, (waiter & 1) as usize);
+                waiter = scratch.next_waiter[consumer][operand];
+                let entry = &mut scratch.slots[consumer];
+                entry.pending -= 1;
+                if entry.pending == 0 {
+                    let pos = scratch.ready.partition_point(|&r| r < entry.trace_idx);
+                    scratch.ready.insert(pos, entry.trace_idx);
+                }
+            }
+        }
+        scratch.mshr_busy.retain(|&t| t > cycle);
+
+        // 2. In-order commit, up to the machine width.
+        let mut commits = 0;
+        while commits < cfg.decode_width
+            && committed < next_fetch
+            && scratch.slots[committed % cap].state == SlotState::Done
+        {
+            committed += 1;
+            commits += 1;
+            last_commit_cycle = cycle;
+        }
+
+        // 3. Issue ready instructions, oldest first, to free functional
+        //    units. (The reference walk's issue-queue window is
+        //    vacuously satisfied: dispatch back-pressure keeps at most
+        //    `iq_entries` instructions unissued, so the window always
+        //    covers the whole ready queue.)
+        let mut int_slots = cfg.int_fus;
+        let mut mem_slots = cfg.mem_fus;
+        let mut fp_slots = cfg.fp_fus;
+        let mut mshr_blocked_load = false;
+        let mut i = 0;
+        while i < scratch.ready.len() {
+            let idx = scratch.ready[i] as usize;
+            let slot = idx % cap;
+            let done_at = match scratch.slots[slot].op {
+                Op::IntAlu | Op::IntMul | Op::Branch => {
+                    if int_slots == 0 {
+                        i += 1;
+                        continue;
+                    }
+                    int_slots -= 1;
+                    let l = match scratch.slots[slot].op {
+                        Op::IntMul => lat.int_mul,
+                        _ => lat.int_alu,
+                    };
+                    cycle + l
+                }
+                Op::FpAlu => {
+                    if fp_slots == 0 {
+                        i += 1;
+                        continue;
+                    }
+                    fp_slots -= 1;
+                    cycle + lat.fp
+                }
+                Op::Load => {
+                    if mem_slots == 0 {
+                        i += 1;
+                        continue;
+                    }
+                    // A load needs a free MSHR in case it misses; if
+                    // none is free it must wait (BOOM blocks the pipe
+                    // the same way).
+                    if scratch.mshr_busy.len() >= cfg.mshrs {
+                        mshr_blocked_load = true;
+                        i += 1;
+                        continue;
+                    }
+                    mem_slots -= 1;
+                    let addr = scratch.slots[slot].addr.expect("loads carry addresses");
+                    stats.l1_accesses += 1;
+                    let latency = if l1.access(addr) {
+                        lat.l1_hit
+                    } else {
+                        stats.l1_misses += 1;
+                        stats.l2_accesses += 1;
+                        let t = if l2.access(addr) {
+                            lat.l1_hit + lat.l2_hit
+                        } else {
+                            stats.l2_misses += 1;
+                            if cfg.l2_next_line_prefetch {
+                                // Idealized next-line prefetch: the
+                                // following line is resident by the
+                                // time a streaming access wants it.
+                                l2.access(addr + crate::cache::LINE_BYTES);
+                                stats.prefetches += 1;
+                            }
+                            lat.l1_hit + lat.l2_hit + lat.dram
+                        };
+                        scratch.mshr_busy.push(cycle + t);
+                        t
+                    };
+                    cycle + latency
+                }
+                Op::Store => {
+                    if mem_slots == 0 {
+                        i += 1;
+                        continue;
+                    }
+                    mem_slots -= 1;
+                    // Stores retire into a store buffer: they update
+                    // the cache state but never stall the pipeline.
+                    let addr = scratch.slots[slot].addr.expect("stores carry addresses");
+                    stats.l1_accesses += 1;
+                    if !l1.access(addr) {
+                        stats.l1_misses += 1;
+                        stats.l2_accesses += 1;
+                        if !l2.access(addr) {
+                            stats.l2_misses += 1;
+                        }
+                    }
+                    cycle + 1
+                }
+            };
+            scratch.slots[slot].state = SlotState::Issued;
+            scratch.events.push(done_at, idx as u32);
+            iq_occupancy -= 1;
+            scratch.ready.remove(i);
+        }
+        if mshr_blocked_load {
+            stats.mshr_stall_cycles += 1;
+        }
+
+        // 4. Dispatch new instructions unless the front end is frozen
+        //    by an unresolved mispredict or refilling after a flush.
+        if pending_flush.is_none() && cycle >= fetch_resume_at {
+            let mut dispatched = 0;
+            while dispatched < cfg.decode_width
+                && next_fetch < trace.len()
+                && next_fetch - committed < cap
+                && iq_occupancy < cfg.iq_entries
+            {
+                let instr = &trace[next_fetch];
+                let slot = next_fetch % cap;
+                // Count unresolved operands and hook this consumer
+                // into each outstanding producer's wakeup list.
+                let mut pending = 0u8;
+                for (operand, dep) in instr.deps.iter().enumerate() {
+                    if let Some(d) = dep {
+                        let producer = next_fetch - *d as usize;
+                        if producer >= committed {
+                            let p_slot = producer % cap;
+                            if scratch.slots[p_slot].state != SlotState::Done {
+                                scratch.next_waiter[slot][operand] =
+                                    scratch.slots[p_slot].first_waiter;
+                                scratch.slots[p_slot].first_waiter =
+                                    ((slot as u32) << 1) | operand as u32;
+                                pending += 1;
+                            }
+                        }
+                    }
+                }
+                scratch.slots[slot] = Slot {
+                    trace_idx: next_fetch as u32,
+                    op: instr.op,
+                    addr: instr.addr,
+                    state: SlotState::Waiting,
+                    pending,
+                    first_waiter: NO_WAITER,
+                };
+                if pending == 0 {
+                    // Newest trace index: appending keeps `ready` sorted.
+                    scratch.ready.push(next_fetch as u32);
+                }
+                iq_occupancy += 1;
+                // Resolve the prediction at fetch: either the trace
+                // oracle or the live gshare predictor.
+                let was_mispredict = match (&mut predictor, instr.branch) {
+                    (Some(p), Some(info)) => p.mispredicts(&info),
+                    (None, Some(info)) => info.mispredicted,
+                    _ => false,
+                };
+                next_fetch += 1;
+                dispatched += 1;
+                if was_mispredict {
+                    pending_flush = Some(next_fetch - 1);
+                    break;
+                }
+            }
+        }
+    }
+
+    stats.cycles = cycle;
+    stats.instructions = committed as u64;
+    stats
+}

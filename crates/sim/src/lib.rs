@@ -35,12 +35,18 @@
 
 mod cache;
 mod config;
+mod events;
+mod kernel;
 mod pipeline;
 mod predictor;
+#[cfg(any(test, feature = "reference"))]
+mod reference;
 mod result;
 
 pub use cache::Cache;
 pub use config::{CoreConfig, SimLatencies};
 pub use pipeline::Simulator;
 pub use predictor::{BranchModel, Gshare};
+#[cfg(any(test, feature = "reference"))]
+pub use reference::ReferenceSimulator;
 pub use result::SimResult;

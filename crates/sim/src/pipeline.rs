@@ -1,33 +1,9 @@
-//! The cycle-by-cycle out-of-order pipeline model.
+//! The out-of-order pipeline model: public [`Simulator`] API over the
+//! event-driven kernel.
 
-use std::collections::VecDeque;
+use dse_workloads::Trace;
 
-use dse_workloads::{Instr, Op, Trace};
-
-use crate::{BranchModel, Cache, CoreConfig, Gshare, SimResult};
-
-/// Progress guard: if nothing commits for this many cycles the pipeline
-/// has deadlocked, which is a simulator bug worth failing loudly on.
-const DEADLOCK_CYCLES: u64 = 1_000_000;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    /// In the issue queue, waiting for operands and a functional unit.
-    Dispatched,
-    /// Executing; completes at the stored cycle.
-    Issued { done_at: u64 },
-    /// Finished executing; awaiting in-order commit.
-    Done,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    trace_idx: usize,
-    op: Op,
-    addr: Option<u64>,
-    deps: [Option<u32>; 2],
-    state: State,
-}
+use crate::{kernel, BranchModel, Cache, CoreConfig, Gshare, SimResult};
 
 /// The cycle-level out-of-order core simulator.
 ///
@@ -38,8 +14,18 @@ struct RobEntry {
 /// availability), and dispatches new instructions unless a mispredicted
 /// branch has frozen the front end.
 ///
-/// A `Simulator` owns its cache state, so one instance simulates one
-/// trace; construct a fresh instance per design evaluation.
+/// Internally those semantics run on an event-driven kernel (completion
+/// heap, dependency wakeup lists, idle-cycle skip-ahead — see
+/// `kernel.rs`) that is differentially tested to produce bit-identical
+/// [`SimResult`]s to the retained cycle-by-cycle
+/// [`ReferenceSimulator`](crate::ReferenceSimulator) walk.
+///
+/// A `Simulator` owns its cache state and scratch buffers. Every
+/// [`run`](Simulator::run) starts from a cold core (caches and
+/// predictor are reset first), so results depend only on
+/// `(config, trace)`; batch evaluators reuse one instance per worker —
+/// [`reconfigure`](Simulator::reconfigure)-ing it between designs —
+/// to amortize allocations without changing any result.
 ///
 /// # Examples
 ///
@@ -59,6 +45,7 @@ pub struct Simulator {
     l1: Cache,
     l2: Cache,
     predictor: Option<Gshare>,
+    scratch: kernel::Scratch,
 }
 
 impl Simulator {
@@ -73,13 +60,17 @@ impl Simulator {
         }
         let l1 = Cache::new(config.l1_sets, config.l1_ways);
         let l2 = Cache::new(config.l2_sets, config.l2_ways);
-        let predictor = match config.branch_model {
+        let predictor = Self::build_predictor(&config);
+        Self { config, l1, l2, predictor, scratch: kernel::Scratch::default() }
+    }
+
+    fn build_predictor(config: &CoreConfig) -> Option<Gshare> {
+        match config.branch_model {
             BranchModel::FromTrace => None,
             BranchModel::Gshare { history_bits, table_bits } => {
                 Some(Gshare::new(history_bits, table_bits))
             }
-        };
-        Self { config, l1, l2, predictor }
+        }
     }
 
     /// The configuration being simulated.
@@ -87,225 +78,77 @@ impl Simulator {
         &self.config
     }
 
-    /// Simulates a trace to completion and returns the statistics.
+    /// Switches this simulator to a different configuration, reusing
+    /// cache, predictor and kernel allocations wherever the geometry
+    /// allows.
+    ///
+    /// Equivalent to replacing the simulator with
+    /// `Simulator::new(config)` — [`run`](Simulator::run) cold-starts
+    /// the core either way — but without reallocating, which is what
+    /// lets batch workers sweep many designs on one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn reconfigure(&mut self, config: &CoreConfig) {
+        if *config == self.config {
+            return;
+        }
+        if let Err(e) = config.validate() {
+            panic!("invalid core configuration: {e}");
+        }
+        self.l1.reshape(config.l1_sets, config.l1_ways);
+        self.l2.reshape(config.l2_sets, config.l2_ways);
+        self.predictor = match (config.branch_model, self.predictor.take()) {
+            (BranchModel::Gshare { history_bits, table_bits }, Some(p))
+                if p.matches_geometry(history_bits, table_bits) =>
+            {
+                Some(p)
+            }
+            _ => Self::build_predictor(config),
+        };
+        self.config = config.clone();
+    }
+
+    /// Returns the core to its just-constructed cold state: caches
+    /// emptied, predictor history and counters cleared.
+    ///
+    /// [`run`](Simulator::run) calls this itself, so repeated runs on
+    /// one instance are bit-identical to runs on fresh instances.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        if let Some(p) = &mut self.predictor {
+            p.reset();
+        }
+    }
+
+    /// Simulates a trace to completion on a cold core and returns the
+    /// statistics.
     ///
     /// # Panics
     ///
     /// Panics on an empty trace, or if the pipeline stops making
     /// progress (which would indicate a simulator bug).
-    pub fn run(mut self, trace: &Trace) -> SimResult {
-        assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        let cfg = self.config.clone();
-        let lat = cfg.latencies;
-
-        let mut stats = SimResult::default();
-        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(cfg.rob_entries);
-        // Completion cycle per trace index (u64::MAX = not yet done).
-        let mut done_at = vec![u64::MAX; trace.len()];
-        // Outstanding L1 miss completion times (MSHR occupancy).
-        let mut mshr_busy: Vec<u64> = Vec::with_capacity(cfg.mshrs);
-        // Count of dispatched-but-unissued entries (IQ occupancy).
-        let mut iq_occupancy: usize = 0;
-
-        let mut next_fetch = 0usize; // next trace index to dispatch
-        let mut committed = 0usize;
-        let mut cycle: u64 = 0;
-        let mut fetch_resume_at: u64 = 0;
-        // Trace index of an unresolved mispredicted branch blocking fetch.
-        let mut pending_flush: Option<usize> = None;
-        let mut last_commit_cycle: u64 = 0;
-
-        while committed < trace.len() {
-            cycle += 1;
-            assert!(
-                cycle - last_commit_cycle < DEADLOCK_CYCLES,
-                "pipeline deadlock at cycle {cycle} (committed {committed}/{})",
-                trace.len()
-            );
-
-            // 1. Complete executions whose latency has elapsed.
-            for entry in rob.iter_mut() {
-                if let State::Issued { done_at: t } = entry.state {
-                    if t <= cycle {
-                        entry.state = State::Done;
-                        done_at[entry.trace_idx] = t;
-                        if pending_flush == Some(entry.trace_idx) {
-                            pending_flush = None;
-                            fetch_resume_at = t + lat.flush_penalty;
-                            stats.flushes += 1;
-                        }
-                    }
-                }
-            }
-            mshr_busy.retain(|&t| t > cycle);
-
-            // 2. In-order commit, up to the machine width.
-            let mut commits = 0;
-            while commits < cfg.decode_width {
-                match rob.front() {
-                    Some(e) if e.state == State::Done => {
-                        rob.pop_front();
-                        committed += 1;
-                        commits += 1;
-                        last_commit_cycle = cycle;
-                    }
-                    _ => break,
-                }
-            }
-
-            // 3. Issue from the issue-queue window (the oldest
-            //    `iq_entries` unissued instructions), oldest first.
-            let mut int_slots = cfg.int_fus;
-            let mut mem_slots = cfg.mem_fus;
-            let mut fp_slots = cfg.fp_fus;
-            let mut window_seen = 0usize;
-            let mut mshr_blocked_load = false;
-            for entry in rob.iter_mut() {
-                if entry.state != State::Dispatched {
-                    continue;
-                }
-                window_seen += 1;
-                if window_seen > cfg.iq_entries {
-                    break;
-                }
-                let idx = entry.trace_idx;
-                let ready = entry.deps.iter().flatten().all(|&d| {
-                    let producer = idx - d as usize;
-                    done_at[producer] <= cycle
-                });
-                if !ready {
-                    continue;
-                }
-                match entry.op {
-                    Op::IntAlu | Op::IntMul | Op::Branch => {
-                        if int_slots == 0 {
-                            continue;
-                        }
-                        int_slots -= 1;
-                        let l = match entry.op {
-                            Op::IntMul => lat.int_mul,
-                            _ => lat.int_alu,
-                        };
-                        entry.state = State::Issued { done_at: cycle + l };
-                    }
-                    Op::FpAlu => {
-                        if fp_slots == 0 {
-                            continue;
-                        }
-                        fp_slots -= 1;
-                        entry.state = State::Issued { done_at: cycle + lat.fp };
-                    }
-                    Op::Load => {
-                        if mem_slots == 0 {
-                            continue;
-                        }
-                        // A load needs a free MSHR in case it misses; if
-                        // none is free it must wait (BOOM blocks the
-                        // pipe the same way).
-                        if mshr_busy.len() >= cfg.mshrs {
-                            mshr_blocked_load = true;
-                            continue;
-                        }
-                        mem_slots -= 1;
-                        let addr = entry.addr.expect("loads carry addresses");
-                        stats.l1_accesses += 1;
-                        let latency = if self.l1.access(addr) {
-                            lat.l1_hit
-                        } else {
-                            stats.l1_misses += 1;
-                            stats.l2_accesses += 1;
-                            let t = if self.l2.access(addr) {
-                                lat.l1_hit + lat.l2_hit
-                            } else {
-                                stats.l2_misses += 1;
-                                if cfg.l2_next_line_prefetch {
-                                    // Idealized next-line prefetch: the
-                                    // following line is resident by the
-                                    // time a streaming access wants it.
-                                    self.l2.access(addr + crate::cache::LINE_BYTES);
-                                    stats.prefetches += 1;
-                                }
-                                lat.l1_hit + lat.l2_hit + lat.dram
-                            };
-                            mshr_busy.push(cycle + t);
-                            t
-                        };
-                        entry.state = State::Issued { done_at: cycle + latency };
-                    }
-                    Op::Store => {
-                        if mem_slots == 0 {
-                            continue;
-                        }
-                        mem_slots -= 1;
-                        // Stores retire into a store buffer: they update
-                        // the cache state but never stall the pipeline.
-                        let addr = entry.addr.expect("stores carry addresses");
-                        stats.l1_accesses += 1;
-                        if !self.l1.access(addr) {
-                            stats.l1_misses += 1;
-                            stats.l2_accesses += 1;
-                            if !self.l2.access(addr) {
-                                stats.l2_misses += 1;
-                            }
-                        }
-                        entry.state = State::Issued { done_at: cycle + 1 };
-                    }
-                }
-                if matches!(entry.state, State::Issued { .. }) {
-                    iq_occupancy -= 1;
-                }
-            }
-            if mshr_blocked_load {
-                stats.mshr_stall_cycles += 1;
-            }
-
-            // 4. Dispatch new instructions unless the front end is
-            //    frozen by an unresolved mispredict or refilling after a
-            //    flush.
-            if pending_flush.is_none() && cycle >= fetch_resume_at {
-                let mut dispatched = 0;
-                while dispatched < cfg.decode_width
-                    && next_fetch < trace.len()
-                    && rob.len() < cfg.rob_entries
-                    && iq_occupancy < cfg.iq_entries
-                {
-                    let instr: &Instr = &trace[next_fetch];
-                    rob.push_back(RobEntry {
-                        trace_idx: next_fetch,
-                        op: instr.op,
-                        addr: instr.addr,
-                        deps: instr.deps,
-                        state: State::Dispatched,
-                    });
-                    iq_occupancy += 1;
-                    // Resolve the prediction at fetch: either the trace
-                    // oracle or the live gshare predictor.
-                    let was_mispredict = match (&mut self.predictor, instr.branch) {
-                        (Some(p), Some(info)) => p.mispredicts(&info),
-                        (None, Some(info)) => info.mispredicted,
-                        _ => false,
-                    };
-                    next_fetch += 1;
-                    dispatched += 1;
-                    if was_mispredict {
-                        pending_flush = Some(next_fetch - 1);
-                        break;
-                    }
-                }
-            }
-        }
-
-        stats.cycles = cycle;
-        stats.instructions = committed as u64;
-        stats
+    pub fn run(&mut self, trace: &Trace) -> SimResult {
+        self.reset();
+        kernel::run(
+            &self.config,
+            &mut self.l1,
+            &mut self.l2,
+            self.predictor.as_mut(),
+            &mut self.scratch,
+            trace,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ReferenceSimulator;
     use dse_space::{DesignSpace, Param};
-    use dse_workloads::Benchmark;
+    use dse_workloads::{Benchmark, Instr, Op};
 
     fn config_at(point_code: u64) -> CoreConfig {
         let space = DesignSpace::boom();
@@ -445,6 +288,91 @@ mod tests {
     }
 
     #[test]
+    fn rerunning_one_instance_matches_fresh_instances() {
+        // The reset path must leave no state behind: run → run on one
+        // simulator equals two cold constructions, bit for bit.
+        let trace_a = Benchmark::Quicksort.trace(8_000, 9);
+        let trace_b = Benchmark::Mm.trace(8_000, 4);
+        let mut cfg = config_at(123_457);
+        cfg.branch_model = crate::BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+        cfg.l2_next_line_prefetch = true;
+        let mut reused = Simulator::new(cfg.clone());
+        let first = reused.run(&trace_a);
+        let second = reused.run(&trace_b);
+        let third = reused.run(&trace_a);
+        assert_eq!(first, Simulator::new(cfg.clone()).run(&trace_a));
+        assert_eq!(second, Simulator::new(cfg.clone()).run(&trace_b));
+        assert_eq!(first, third, "a run must not leak state into the next");
+    }
+
+    #[test]
+    fn reconfigure_matches_fresh_construction() {
+        // Sweeping designs on one instance (the batch-worker pattern)
+        // must be indistinguishable from constructing each design cold.
+        let space = DesignSpace::boom();
+        let trace = Benchmark::Dijkstra.trace(6_000, 2);
+        let mut reused = Simulator::new(smallest());
+        for i in 0..8u64 {
+            let code = i * (space.size() - 1) / 7;
+            let mut cfg = config_at(code);
+            if i % 2 == 0 {
+                cfg.branch_model = crate::BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+            }
+            cfg.l2_next_line_prefetch = i % 3 == 0;
+            reused.reconfigure(&cfg);
+            assert_eq!(reused.config(), &cfg);
+            assert_eq!(
+                reused.run(&trace),
+                Simulator::new(cfg).run(&trace),
+                "design {i} diverged after reconfigure"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_ahead_preserves_serial_cold_miss_timing() {
+        // A chain of dependent cold-missing loads maximizes idle spans:
+        // each load's DRAM latency is a window where the kernel skips
+        // and the reference walks cycle by cycle. The counters — cycles
+        // above all — must still agree exactly.
+        let trace: Trace = (0..600u64)
+            .map(|i| Instr {
+                op: Op::Load,
+                deps: [if i > 0 { Some(1) } else { None }, None],
+                // A fresh line every access, far apart: always misses.
+                addr: Some(i * 8192),
+                branch: None,
+            })
+            .collect();
+        let kernel = Simulator::new(smallest()).run(&trace);
+        let reference = ReferenceSimulator::new(smallest()).run(&trace);
+        assert_eq!(kernel, reference);
+        // Sanity: the workload really is DRAM-bound serial misses.
+        assert_eq!(kernel.l1_misses, 600);
+        assert!(kernel.cycles > 600 * 100, "each load should pay DRAM latency");
+    }
+
+    #[test]
+    fn mshr_stall_bulk_credit_matches_reference() {
+        // Independent streaming cold misses on the fewest-MSHR design:
+        // ready loads sit MSHR-blocked across long spans, exercising the
+        // skip-ahead bulk credit of `mshr_stall_cycles`.
+        let space = DesignSpace::boom();
+        let mut few_mshr = space.largest();
+        while let Some(next) = few_mshr.decreased(Param::NMshr) {
+            few_mshr = next;
+        }
+        let cfg = CoreConfig::from_point(&space, &few_mshr);
+        let trace: Trace = (0..2_000u64)
+            .map(|i| Instr { op: Op::Load, deps: [None, None], addr: Some(i * 8192), branch: None })
+            .collect();
+        let kernel = Simulator::new(cfg.clone()).run(&trace);
+        let reference = ReferenceSimulator::new(cfg).run(&trace);
+        assert_eq!(kernel, reference);
+        assert!(kernel.mshr_stall_cycles > 0, "the MSHR file must saturate");
+    }
+
+    #[test]
     fn commits_every_instruction_once() {
         for b in Benchmark::ALL {
             let trace = b.trace(5_000, 13);
@@ -462,7 +390,9 @@ mod tests {
     mod fuzz {
         //! Property-based stress tests: arbitrary (but structurally
         //! valid) traces must never wedge the pipeline or break its
-        //! accounting, on any corner of the design space.
+        //! accounting, on any corner of the design space — and the
+        //! event-driven kernel must match the reference walk bit for
+        //! bit on every counter.
         use super::*;
         use proptest::prelude::*;
 
@@ -522,7 +452,10 @@ mod tests {
                 }
                 cfg.l2_next_line_prefetch = prefetch;
                 let width = cfg.decode_width as u64;
-                let r = Simulator::new(cfg).run(&trace);
+                let r = Simulator::new(cfg.clone()).run(&trace);
+                // The kernel agrees with the reference walk on every
+                // counter — the tentpole bit-identity property.
+                prop_assert_eq!(&r, &ReferenceSimulator::new(cfg).run(&trace));
                 // Every instruction commits exactly once.
                 prop_assert_eq!(r.instructions, trace.len() as u64);
                 // The machine cannot beat its own dispatch width.

@@ -80,6 +80,24 @@ impl Gshare {
     pub fn mispredicts(&mut self, info: &BranchInfo) -> bool {
         self.predict_and_update(info.site, info.taken)
     }
+
+    /// Clears all learned state (counters to weakly not-taken, history
+    /// to empty), keeping the table allocation. After a reset the
+    /// predictor behaves exactly like a freshly constructed one.
+    pub fn reset(&mut self) {
+        self.table.fill(1);
+        self.history = 0;
+    }
+
+    /// Whether this predictor already has the given geometry, so a
+    /// reconfiguring simulator can [`reset`](Gshare::reset) it instead
+    /// of reallocating the table.
+    pub fn matches_geometry(&self, history_bits: u8, table_bits: u8) -> bool {
+        history_bits <= 16
+            && table_bits <= 16
+            && self.table.len() == 1usize << table_bits
+            && self.history_mask == ((1u32 << history_bits) - 1) as u16
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +172,26 @@ mod tests {
     #[should_panic(expected = "table too large")]
     fn oversized_table_rejected() {
         let _ = Gshare::new(8, 20);
+    }
+
+    #[test]
+    fn reset_restores_fresh_predictions() {
+        let trace = Benchmark::Quicksort.trace(5_000, 11);
+        let run = |p: &mut Gshare| -> Vec<bool> {
+            trace.iter().filter_map(|i| i.branch).map(|b| p.mispredicts(&b)).collect()
+        };
+        let mut reused = Gshare::new(6, 10);
+        let first = run(&mut reused);
+        reused.reset();
+        assert_eq!(run(&mut reused), first, "reset must equal fresh construction");
+    }
+
+    #[test]
+    fn geometry_matching_distinguishes_sizes() {
+        let p = Gshare::new(6, 10);
+        assert!(p.matches_geometry(6, 10));
+        assert!(!p.matches_geometry(7, 10), "different history length");
+        assert!(!p.matches_geometry(6, 11), "different table size");
+        assert!(!p.matches_geometry(6, 20), "out-of-range geometry never matches");
     }
 }

@@ -1,0 +1,184 @@
+//! The differential suite proving the event-driven kernel bit-identical
+//! to the retained cycle-by-cycle reference walk.
+//!
+//! Equivalence is asserted on the *full* [`SimResult`] — every counter,
+//! not just CPI — across three corpora:
+//!
+//! * ≥64 random (trace, design) proptest cases, with gshare and the L2
+//!   prefetcher toggled independently of the design point;
+//! * every [`Benchmark::ALL`] trace at design-space corner points;
+//! * the exact deterministic (trace, design) pairs exercised by the
+//!   workspace-level `tests/parallel_eval.rs` and
+//!   `tests/serve_determinism.rs` suites, so their thread-count and
+//!   coalescing bit-identity guarantees provably survive the kernel
+//!   swap.
+
+use std::collections::BTreeSet;
+
+use dse_sim::{BranchModel, CoreConfig, ReferenceSimulator, SimResult, Simulator};
+use dse_space::DesignSpace;
+use dse_workloads::{Benchmark, Instr, Op, Trace};
+use proptest::prelude::*;
+
+/// One differential case: both engines, full-result equality.
+fn assert_equivalent(cfg: &CoreConfig, trace: &Trace, label: &str) -> SimResult {
+    let kernel = Simulator::new(cfg.clone()).run(trace);
+    let reference = ReferenceSimulator::new(cfg.clone()).run(trace);
+    assert_eq!(kernel, reference, "kernel diverged from reference: {label}");
+    kernel
+}
+
+fn corner_configs(space: &DesignSpace) -> Vec<(String, CoreConfig)> {
+    let mut corners =
+        vec![("smallest".to_string(), space.smallest()), ("largest".to_string(), space.largest())];
+    // Decoded extremes and mid-space codes hit mixed corners (e.g. a
+    // wide machine with a tiny IQ) that the named corners miss.
+    for code in [1, space.size() / 3, space.size() / 2, space.size() - 2] {
+        corners.push((format!("code {code}"), space.decode(code)));
+    }
+    corners.into_iter().map(|(name, point)| (name, CoreConfig::from_point(space, &point))).collect()
+}
+
+#[test]
+fn all_benchmarks_match_at_design_corners() {
+    let space = DesignSpace::boom();
+    for b in Benchmark::ALL {
+        let trace = b.trace(5_000, 13);
+        for (name, cfg) in corner_configs(&space) {
+            let r = assert_equivalent(&cfg, &trace, &format!("{b} at {name}"));
+            assert_eq!(r.instructions, 5_000, "{b} at {name}");
+        }
+    }
+}
+
+#[test]
+fn front_end_and_prefetch_variants_match() {
+    // The corner sweep runs the design points as decoded; this one
+    // forces the two config knobs that live outside the design space.
+    let space = DesignSpace::boom();
+    let trace = Benchmark::Quicksort.trace(8_000, 7);
+    for (name, base) in corner_configs(&space) {
+        for gshare in [false, true] {
+            for prefetch in [false, true] {
+                let mut cfg = base.clone();
+                if gshare {
+                    cfg.branch_model = BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+                }
+                cfg.l2_next_line_prefetch = prefetch;
+                assert_equivalent(
+                    &cfg,
+                    &trace,
+                    &format!("{name} gshare={gshare} prefetch={prefetch}"),
+                );
+            }
+        }
+    }
+}
+
+/// The exact (trace, design) pairs `tests/parallel_eval.rs` evaluates:
+/// `SimulatorHf::for_benchmarks(&[Mm, Fft, Dijkstra], 2_000, 5, 1.0)`
+/// over ten designs spread across the space.
+#[test]
+fn parallel_eval_suite_pairs_match() {
+    let space = DesignSpace::boom();
+    let traces: Vec<Trace> = [Benchmark::Mm, Benchmark::Fft, Benchmark::Dijkstra]
+        .iter()
+        .map(|&b| b.trace_scaled(2_000, 5, 1.0))
+        .collect();
+    for i in 0..10u64 {
+        let point = space.decode(i * (space.size() - 1) / 9);
+        let cfg = CoreConfig::from_point(&space, &point);
+        for (t, trace) in traces.iter().enumerate() {
+            assert_equivalent(&cfg, trace, &format!("parallel_eval design {i} trace {t}"));
+        }
+    }
+}
+
+/// The exact (trace, design) pairs `tests/serve_determinism.rs` pushes
+/// through `archdse-serve`: the Explorer's StringSearch HF evaluator
+/// (trace seed `9 ^ 0x51`) over the request stream's design codes.
+#[test]
+fn serve_determinism_suite_pairs_match() {
+    const CLIENT_THREADS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 6;
+    const POINTS_PER_REQUEST: usize = 3;
+
+    let space = DesignSpace::boom();
+    let trace = Benchmark::StringSearch.trace_scaled(500, 9 ^ 0x51, 1.0);
+    let mut codes = BTreeSet::new();
+    for c in 0..CLIENT_THREADS {
+        for r in 0..REQUESTS_PER_CLIENT {
+            for i in 0..POINTS_PER_REQUEST {
+                let raw = (c * 1_000_003 + r * 7_919 + i * 104_729) as u64;
+                codes.insert(if i == 0 { raw % 5 } else { raw % space.size() });
+            }
+        }
+    }
+    assert!(codes.len() > 10, "the stream must cover a spread of designs");
+    for code in codes {
+        let cfg = CoreConfig::from_point(&space, &space.decode(code));
+        assert_equivalent(&cfg, &trace, &format!("serve_determinism design {code}"));
+    }
+}
+
+prop_compose! {
+    /// An arbitrary valid instruction at position `i`.
+    fn arb_instr(i: usize)(
+        kind in 0u8..6,
+        d1 in proptest::option::of(1u32..64),
+        d2 in proptest::option::of(1u32..64),
+        addr in 0u64..(1 << 22),
+        site in 0u16..64,
+        taken in proptest::bool::ANY,
+        mispredicted in proptest::bool::weighted(0.2),
+    ) -> Instr {
+        let op = match kind {
+            0 => Op::IntAlu,
+            1 => Op::IntMul,
+            2 => Op::Load,
+            3 => Op::Store,
+            4 => Op::FpAlu,
+            _ => Op::Branch,
+        };
+        let clamp = |d: Option<u32>| d.map(|d| d.min(i as u32)).filter(|&d| d > 0);
+        Instr {
+            op,
+            deps: [clamp(d1), clamp(d2)],
+            addr: matches!(op, Op::Load | Op::Store).then_some(addr & !7),
+            branch: (op == Op::Branch).then_some(dse_workloads::BranchInfo {
+                site,
+                taken,
+                mispredicted,
+            }),
+        }
+    }
+}
+
+fn arb_trace(len: usize) -> impl Strategy<Value = Trace> {
+    (0..len).map(arb_instr).collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ≥64 random (trace, design, front-end, prefetch) cases, full
+    /// `SimResult` equality.
+    #[test]
+    fn random_traces_and_designs_match(
+        trace in arb_trace(500),
+        code in 0u64..3_000_000,
+        gshare in proptest::bool::ANY,
+        prefetch in proptest::bool::ANY,
+    ) {
+        prop_assume!(!trace.is_empty());
+        let space = DesignSpace::boom();
+        let mut cfg = CoreConfig::from_point(&space, &space.decode(code));
+        if gshare {
+            cfg.branch_model = BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+        }
+        cfg.l2_next_line_prefetch = prefetch;
+        let kernel = Simulator::new(cfg.clone()).run(&trace);
+        let reference = ReferenceSimulator::new(cfg).run(&trace);
+        prop_assert_eq!(kernel, reference);
+    }
+}
