@@ -38,6 +38,8 @@ COMMANDS:
       --threads <n>          HF worker threads (default: DSE_THREADS env
                              var, else all cores; results are identical)
       --save-fnn <file>      persist the trained network as JSON
+      --trace-out <file>     write a JSONL span/event trace of the run
+      --metrics-out <file>   dump the metrics registry as Prometheus text
   sweep                      simulate a spread of designs in one parallel
                              batch and tabulate their CPIs
       --benchmark <name>     workload (default mm)
@@ -77,6 +79,17 @@ COMMANDS:
       --points <n>           design points per request (default 4)
       --fidelity <lf|hf>     fidelity to request (default lf)
       --seed <n>             point-choice seed (default 1)
+                             (latency percentiles and status counts are
+                             also written to results/BENCH_loadgen.json)
+  trace-report               summarize a JSONL trace from --trace-out:
+                             per-phase wall time, per-fidelity budget
+                             totals cross-checked against the ledger,
+                             and the hottest spans
+      --trace <file>         the trace to read (required)
+      --top <n>              slowest spans to list (default 10)
+  check-metrics              validate a Prometheus text exposition
+                             (from --metrics-out or /metrics)
+      --file <path>          the exposition to check (required)
   table2 | fig5 | fig6 | fig7 | ablations
                              regenerate a paper artifact
       --full                 paper-scale budgets (default: quick)
@@ -92,6 +105,8 @@ const COMMANDS: &[&str] = &[
     "explain",
     "serve",
     "loadgen",
+    "trace-report",
+    "check-metrics",
     "table2",
     "fig5",
     "fig6",
@@ -116,6 +131,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "trace-len",
             "threads",
             "save-fnn",
+            "trace-out",
+            "metrics-out",
         ],
         "sweep" => &["benchmark", "general", "count", "trace-len", "threads", "seed", "json"],
         "explain" => &["fnn", "benchmark", "area", "steps"],
@@ -135,6 +152,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "fnn",
         ],
         "loadgen" => &["addr", "clients", "requests", "points", "fidelity", "seed"],
+        "trace-report" => &["trace", "top"],
+        "check-metrics" => &["file"],
         _ => &["full", "json"],
     }
 }
@@ -198,6 +217,8 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
         Some("explain") => cmd_explain(args),
         Some("serve") => cmd_serve(args),
         Some("loadgen") => cmd_loadgen(args),
+        Some("trace-report") => cmd_trace_report(args),
+        Some("check-metrics") => cmd_check_metrics(args),
         Some("table2") => {
             let config =
                 if args.switch("full") { Table2Config::default() } else { Table2Config::quick() };
@@ -288,8 +309,42 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
         }
         explorer = explorer.threads(threads);
     }
+    let trace_out = args.value_of::<String>("trace-out")?;
+    if let Some(path) = &trace_out {
+        dse_obs::trace::install_file(path)?;
+    }
 
     let report = explorer.run();
+    if let Some(path) = &trace_out {
+        // The closing event carries the run's final LedgerSummary, the
+        // reference `trace-report` reconciles the per-batch deltas
+        // against.
+        let summary = report.ledger.summary();
+        let mut fields: Vec<(&str, dse_obs::trace::FieldValue)> = vec![
+            ("best_cpi", report.best_cpi.into()),
+            ("hf_sims", (report.hf.evaluations as u64).into()),
+            ("lf_evaluations", summary.low.evaluations.into()),
+            ("lf_cache_hits", summary.low.cache_hits.into()),
+            ("lf_cache_misses", summary.low.cache_misses.into()),
+            ("lf_denied", summary.low.denied.into()),
+            ("lf_model_time_units", summary.low.model_time_units.into()),
+            ("hf_evaluations", summary.high.evaluations.into()),
+            ("hf_cache_hits", summary.high.cache_hits.into()),
+            ("hf_cache_misses", summary.high.cache_misses.into()),
+            ("hf_denied", summary.high.denied.into()),
+            ("hf_model_time_units", summary.high.model_time_units.into()),
+        ];
+        if let Some(budget) = summary.hf_budget {
+            fields.push(("hf_budget", budget.into()));
+        }
+        dse_obs::trace::event("run_summary", &fields);
+        dse_obs::trace::shutdown()?;
+        println!("(wrote trace to {path})");
+    }
+    if let Some(path) = args.value_of::<String>("metrics-out")? {
+        std::fs::write(&path, dse_obs::global().snapshot().to_prometheus_text())?;
+        println!("(wrote metrics to {path})");
+    }
     println!("best design  : {}", report.best_point.describe(explorer.space()));
     println!(
         "area         : {:.2} mm2 (limit {:.2})",
@@ -496,7 +551,85 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
             report.coalescer.requests, report.coalescer.batches
         );
     }
+    // Persist the run as a bench-style artifact so service latency has
+    // the same durable record as kernel throughput.
+    let artifact = serde_json::to_string_pretty(&LoadgenArtifact {
+        requests: report.requests,
+        ok: report.ok,
+        rejected: report.rejected,
+        failed: report.failed,
+        latency_us: LatencyMicros {
+            samples: report.latency.samples,
+            p50: report.latency.p50.as_micros() as u64,
+            p95: report.latency.p95.as_micros() as u64,
+            p99: report.latency.p99.as_micros() as u64,
+            max: report.latency.max.as_micros() as u64,
+        },
+        coalescer: report.coalescer,
+    })?;
+    dse_bench::write_results_artifact("BENCH_loadgen.json", &artifact);
     Ok(if report.failed == 0 { 0 } else { 1 })
+}
+
+/// Latency percentiles in microseconds, for the loadgen artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LatencyMicros {
+    samples: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+/// The `results/BENCH_loadgen.json` payload: per-status request counts
+/// plus client-side latency percentiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadgenArtifact {
+    requests: u64,
+    ok: u64,
+    rejected: u64,
+    failed: u64,
+    latency_us: LatencyMicros,
+    coalescer: archdse_serve::CoalescerStats,
+}
+
+fn cmd_trace_report(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let Some(path) = args.value_of::<String>("trace")? else {
+        eprintln!("trace-report requires --trace <file> (produce one with explore --trace-out)");
+        return Ok(2);
+    };
+    let top: usize = args.value_or("top", 10)?;
+    let text = std::fs::read_to_string(&path)?;
+    let summary = match crate::trace_report::summarize(&text, top) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return Ok(1);
+        }
+    };
+    print!("{}", crate::trace_report::render(&summary));
+    Ok(if crate::trace_report::reconcile(&summary).is_ok() { 0 } else { 1 })
+}
+
+fn cmd_check_metrics(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let Some(path) = args.value_of::<String>("file")? else {
+        eprintln!("check-metrics requires --file <path> (a Prometheus text exposition)");
+        return Ok(2);
+    };
+    let text = std::fs::read_to_string(&path)?;
+    match dse_obs::check_text(&text) {
+        Ok(summary) => {
+            println!("{path}: {summary}");
+            Ok(0)
+        }
+        Err(errors) => {
+            eprintln!("{path}: {} problem(s)", errors.len());
+            for error in &errors {
+                eprintln!("  {error}");
+            }
+            Ok(1)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -20,5 +20,6 @@
 
 pub mod args;
 pub mod commands;
+pub mod trace_report;
 
 pub use args::{ArgError, Args};

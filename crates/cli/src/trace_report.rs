@@ -1,0 +1,326 @@
+//! Offline summarization of a `--trace-out` JSONL trace.
+//!
+//! `archdse trace-report` reads the per-run trace the observability
+//! layer writes and answers the two questions a tuning session starts
+//! with: *where did the wall time go* (per-phase span totals, hottest
+//! individual spans) and *what did the budget buy* (per-fidelity ledger
+//! deltas summed back together). Because every ledger mutation flows
+//! through `CostLedger::evaluate_batch`, which emits one `ledger_batch`
+//! delta event per call, the summed deltas must reproduce the run's
+//! final `LedgerSummary` exactly — the report cross-checks that against
+//! the `run_summary` event and fails loudly on any drift.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+/// Totals accumulated from `ledger_batch` events for one fidelity.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct FidelityTotals {
+    /// `ledger_batch` events seen.
+    pub batches: u64,
+    /// Design points proposed across those batches.
+    pub proposals: u64,
+    /// Charged (fresh) evaluations.
+    pub evaluations: u64,
+    /// Run-memo replays.
+    pub cache_hits: u64,
+    /// Run-memo misses (charged or denied).
+    pub cache_misses: u64,
+    /// Proposals denied for lack of budget.
+    pub denied: u64,
+    /// Model time charged, in trace-simulation units.
+    pub model_time_units: f64,
+    /// Wall time spent inside the evaluator, microseconds.
+    pub eval_wall_us: u64,
+}
+
+/// The final ledger state as recorded by the `run_summary` event.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RunLedger {
+    /// `(evaluations, cache_hits, cache_misses, denied, model_time_units)`
+    /// for the LF section.
+    pub lf: (u64, u64, u64, u64, f64),
+    /// The same five counters for the HF section.
+    pub hf: (u64, u64, u64, u64, f64),
+}
+
+/// Everything `trace-report` extracts from one trace file.
+#[derive(Debug, Default)]
+pub struct TraceSummary {
+    /// Non-empty lines read.
+    pub lines: u64,
+    /// `event` records seen.
+    pub events: u64,
+    /// Completed spans (`span_end` records).
+    pub spans: u64,
+    /// Span name → `(count, total duration in µs)`.
+    pub phase_wall_us: BTreeMap<String, (u64, u64)>,
+    /// Fidelity label → summed `ledger_batch` deltas.
+    pub per_fidelity: BTreeMap<String, FidelityTotals>,
+    /// `episode` events per phase label.
+    pub episodes: BTreeMap<String, u64>,
+    /// The slowest individual spans, `(name, duration µs)`, descending.
+    pub hottest: Vec<(String, u64)>,
+    /// The `run_summary` event, when the trace carries one.
+    pub run_summary: Option<RunLedger>,
+}
+
+fn get_u64(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn get_f64(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Parses and aggregates a JSONL trace, keeping the `top` slowest spans.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn summarize(text: &str, top: usize) -> Result<TraceSummary, String> {
+    let mut summary = TraceSummary::default();
+    let mut all_spans: Vec<(String, u64)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        summary.lines += 1;
+        let kind = value
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing `type`", idx + 1))?
+            .to_string();
+        match kind.as_str() {
+            "span_begin" => {}
+            "span_end" => {
+                summary.spans += 1;
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {}: span_end without `name`", idx + 1))?
+                    .to_string();
+                let dur = get_u64(&value, "dur_us");
+                let slot = summary.phase_wall_us.entry(name.clone()).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += dur;
+                all_spans.push((name, dur));
+            }
+            "event" => {
+                summary.events += 1;
+                let name = value.get("name").and_then(Value::as_str).unwrap_or("");
+                match name {
+                    "ledger_batch" => {
+                        let fidelity = value
+                            .get("fidelity")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unknown")
+                            .to_string();
+                        let t = summary.per_fidelity.entry(fidelity).or_default();
+                        t.batches += 1;
+                        t.proposals += get_u64(&value, "proposals");
+                        t.evaluations += get_u64(&value, "evaluations");
+                        t.cache_hits += get_u64(&value, "cache_hits");
+                        t.cache_misses += get_u64(&value, "cache_misses");
+                        t.denied += get_u64(&value, "denied");
+                        t.model_time_units += get_f64(&value, "model_time_units");
+                        t.eval_wall_us += get_u64(&value, "dur_us");
+                    }
+                    "episode" => {
+                        let phase =
+                            value.get("phase").and_then(Value::as_str).unwrap_or("?").to_string();
+                        *summary.episodes.entry(phase).or_insert(0) += 1;
+                    }
+                    "run_summary" => {
+                        summary.run_summary = Some(RunLedger {
+                            lf: (
+                                get_u64(&value, "lf_evaluations"),
+                                get_u64(&value, "lf_cache_hits"),
+                                get_u64(&value, "lf_cache_misses"),
+                                get_u64(&value, "lf_denied"),
+                                get_f64(&value, "lf_model_time_units"),
+                            ),
+                            hf: (
+                                get_u64(&value, "hf_evaluations"),
+                                get_u64(&value, "hf_cache_hits"),
+                                get_u64(&value, "hf_cache_misses"),
+                                get_u64(&value, "hf_denied"),
+                                get_f64(&value, "hf_model_time_units"),
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            other => return Err(format!("line {}: unknown record type {other:?}", idx + 1)),
+        }
+    }
+    all_spans.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    all_spans.truncate(top);
+    summary.hottest = all_spans;
+    Ok(summary)
+}
+
+/// Checks the summed `ledger_batch` deltas against the `run_summary`
+/// event.
+///
+/// # Errors
+///
+/// One message per counter that disagrees, or a single message when the
+/// trace has no `run_summary` to check against.
+pub fn reconcile(summary: &TraceSummary) -> Result<(), Vec<String>> {
+    let Some(run) = &summary.run_summary else {
+        return Err(vec!["trace carries no run_summary event to reconcile against".into()]);
+    };
+    let mut errors = Vec::new();
+    for (label, expected) in [("lf", run.lf), ("hf", run.hf)] {
+        let got = summary.per_fidelity.get(label).copied().unwrap_or_default();
+        let pairs = [
+            ("evaluations", got.evaluations, expected.0),
+            ("cache_hits", got.cache_hits, expected.1),
+            ("cache_misses", got.cache_misses, expected.2),
+            ("denied", got.denied, expected.3),
+        ];
+        for (field, got, want) in pairs {
+            if got != want {
+                errors.push(format!("{label}.{field}: deltas sum to {got}, ledger says {want}"));
+            }
+        }
+        if (got.model_time_units - expected.4).abs() > 1e-6 {
+            errors.push(format!(
+                "{label}.model_time_units: deltas sum to {}, ledger says {}",
+                got.model_time_units, expected.4
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1_000.0
+}
+
+/// Renders the human-readable report the CLI prints.
+pub fn render(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace report: {} lines ({} spans, {} events)",
+        summary.lines, summary.spans, summary.events
+    );
+    if !summary.phase_wall_us.is_empty() {
+        let _ = writeln!(out, "\nper-phase wall time:");
+        for (name, (count, total)) in &summary.phase_wall_us {
+            let _ = writeln!(out, "  {name:<14} {:>10.3} ms  ({count} span(s))", ms(*total));
+        }
+    }
+    if !summary.per_fidelity.is_empty() {
+        let _ = writeln!(out, "\nper-fidelity budget totals (summed ledger_batch deltas):");
+        for (label, t) in &summary.per_fidelity {
+            let _ = writeln!(
+                out,
+                "  {label}: {} batches, {} proposals -> {} evaluations, {} hits, {} misses, \
+                 {} denied, {:.3} model time units, {:.3} ms eval wall",
+                t.batches,
+                t.proposals,
+                t.evaluations,
+                t.cache_hits,
+                t.cache_misses,
+                t.denied,
+                t.model_time_units,
+                ms(t.eval_wall_us)
+            );
+        }
+    }
+    if !summary.episodes.is_empty() {
+        let rendered: Vec<String> =
+            summary.episodes.iter().map(|(phase, n)| format!("{phase} {n}")).collect();
+        let _ = writeln!(out, "\nepisodes: {}", rendered.join(", "));
+    }
+    match reconcile(summary) {
+        Ok(()) => {
+            let _ = writeln!(out, "\nreconciliation vs run_summary: exact match");
+        }
+        Err(errors) => {
+            let _ = writeln!(out, "\nreconciliation vs run_summary: FAILED");
+            for error in &errors {
+                let _ = writeln!(out, "  {error}");
+            }
+        }
+    }
+    if !summary.hottest.is_empty() {
+        let _ = writeln!(out, "\nhottest spans:");
+        for (rank, (name, dur)) in summary.hottest.iter().enumerate() {
+            let _ = writeln!(out, "  {:>2}. {name:<14} {:>10.3} ms", rank + 1, ms(*dur));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = r#"{"type":"span_begin","id":1,"parent":null,"name":"mfrl_run","ts_us":0}
+{"type":"span_begin","id":2,"parent":1,"name":"lf_phase","ts_us":1}
+{"type":"event","name":"episode","span":2,"ts_us":2,"phase":"lf","episode":0,"cpi":1.5}
+{"type":"event","name":"ledger_batch","span":2,"ts_us":3,"fidelity":"lf","proposals":4,"evaluations":3,"cache_hits":1,"cache_misses":3,"denied":0,"model_time_units":3.0,"dur_us":120}
+{"type":"span_end","id":2,"name":"lf_phase","ts_us":10,"dur_us":9}
+{"type":"event","name":"ledger_batch","span":1,"ts_us":11,"fidelity":"hf","proposals":2,"evaluations":2,"cache_hits":0,"cache_misses":2,"denied":0,"model_time_units":2.0,"dur_us":300}
+{"type":"span_end","id":1,"name":"mfrl_run","ts_us":20,"dur_us":20}
+{"type":"event","name":"run_summary","span":null,"ts_us":21,"lf_evaluations":3,"lf_cache_hits":1,"lf_cache_misses":3,"lf_denied":0,"lf_model_time_units":3.0,"hf_evaluations":2,"hf_cache_hits":0,"hf_cache_misses":2,"hf_denied":0,"hf_model_time_units":2.0}
+"#;
+
+    #[test]
+    fn summarize_aggregates_spans_and_deltas() {
+        let s = summarize(TRACE, 5).unwrap();
+        assert_eq!((s.lines, s.spans, s.events), (8, 2, 4));
+        assert_eq!(s.phase_wall_us["lf_phase"], (1, 9));
+        assert_eq!(s.per_fidelity["lf"].evaluations, 3);
+        assert_eq!(s.per_fidelity["hf"].eval_wall_us, 300);
+        assert_eq!(s.episodes["lf"], 1);
+        assert_eq!(s.hottest[0], ("mfrl_run".to_string(), 20));
+        assert!(reconcile(&s).is_ok());
+    }
+
+    #[test]
+    fn reconcile_catches_drift() {
+        let tampered = TRACE.replace(r#""lf_evaluations":3"#, r#""lf_evaluations":4"#);
+        let s = summarize(&tampered, 5).unwrap();
+        let errors = reconcile(&s).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("lf.evaluations"), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_run_summary_is_an_error() {
+        let truncated: String = TRACE.lines().take(7).map(|l| format!("{l}\n")).collect();
+        let s = summarize(&truncated, 5).unwrap();
+        assert!(reconcile(&s).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_named() {
+        let err = summarize("{\"type\":\"span_end\"}\nnot json\n", 3).unwrap_err();
+        assert!(err.contains("line 1") || err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let s = summarize(TRACE, 5).unwrap();
+        let text = render(&s);
+        for needle in
+            ["per-phase wall time", "budget totals", "episodes:", "exact match", "hottest spans"]
+        {
+            assert!(text.contains(needle), "report lacks {needle:?}:\n{text}");
+        }
+    }
+}

@@ -20,11 +20,56 @@
 //! trace, so LF and HF spend are comparable on one axis.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
 
+use dse_obs::{trace, Histogram};
 use dse_space::{DesignPoint, DesignSpace};
 use serde::{Deserialize, Serialize};
 
 use crate::{Evaluation, Evaluator, Fidelity};
+
+/// Short label for a fidelity in metrics and trace events.
+fn fidelity_label(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Low => "lf",
+        Fidelity::High => "hf",
+    }
+}
+
+/// Cached per-fidelity handle for the evaluator-call latency histogram.
+fn eval_batch_seconds(fidelity: Fidelity) -> &'static Histogram {
+    static LF: OnceLock<Histogram> = OnceLock::new();
+    static HF: OnceLock<Histogram> = OnceLock::new();
+    let cell = match fidelity {
+        Fidelity::Low => &LF,
+        Fidelity::High => &HF,
+    };
+    cell.get_or_init(|| {
+        dse_obs::global().histogram_with(
+            "exec_eval_batch_seconds",
+            &[("fidelity", fidelity_label(fidelity))],
+            dse_obs::LATENCY_BUCKETS_S,
+        )
+    })
+}
+
+/// Cached per-fidelity handle for the scheduled-batch-size histogram.
+fn eval_batch_points(fidelity: Fidelity) -> &'static Histogram {
+    static LF: OnceLock<Histogram> = OnceLock::new();
+    static HF: OnceLock<Histogram> = OnceLock::new();
+    let cell = match fidelity {
+        Fidelity::Low => &LF,
+        Fidelity::High => &HF,
+    };
+    cell.get_or_init(|| {
+        dse_obs::global().histogram_with(
+            "exec_eval_batch_points",
+            &[("fidelity", fidelity_label(fidelity))],
+            dse_obs::SIZE_BUCKETS,
+        )
+    })
+}
 
 /// Counters for one fidelity level of a [`CostLedger`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -240,6 +285,7 @@ impl CostLedger {
             Dup(usize),
         }
         let fidelity = evaluator.fidelity();
+        let before = *self.section(fidelity);
         // Pass 1 (sequential, input order): replay run-memo hits, fold
         // within-batch duplicates, charge or deny the rest.
         let mut scheduled: Vec<DesignPoint> = Vec::new();
@@ -271,11 +317,13 @@ impl CostLedger {
         }
         // Pass 2: one batch call into the evaluator (parallel backends
         // keep this bit-identical to the sequential walk).
+        let eval_start = Instant::now();
         let evaluated = if scheduled.is_empty() {
             Vec::new()
         } else {
             evaluator.evaluate_batch(space, &scheduled)
         };
+        let eval_elapsed = eval_start.elapsed();
         assert_eq!(
             evaluated.len(),
             scheduled.len(),
@@ -291,6 +339,35 @@ impl CostLedger {
                 self.section_mut(fidelity).model_time_units += cost;
             }
             self.seen_mut(fidelity).insert(space.encode(point), ev.cpi);
+        }
+        if !points.is_empty() {
+            if !scheduled.is_empty() {
+                eval_batch_seconds(fidelity).observe_duration(eval_elapsed);
+                eval_batch_points(fidelity).observe(scheduled.len() as f64);
+            }
+            if trace::enabled() {
+                // Every ledger mutation flows through this method, so
+                // summing these deltas per fidelity over a whole trace
+                // reproduces the final `LedgerSummary` exactly — the
+                // invariant `trace-report` checks offline.
+                let after = *self.section(fidelity);
+                trace::event(
+                    "ledger_batch",
+                    &[
+                        ("fidelity", fidelity_label(fidelity).into()),
+                        ("proposals", points.len().into()),
+                        ("evaluations", (after.evaluations - before.evaluations).into()),
+                        ("cache_hits", (after.cache_hits - before.cache_hits).into()),
+                        ("cache_misses", (after.cache_misses - before.cache_misses).into()),
+                        ("denied", (after.denied - before.denied).into()),
+                        (
+                            "model_time_units",
+                            (after.model_time_units - before.model_time_units).into(),
+                        ),
+                        ("dur_us", (eval_elapsed.as_micros() as u64).into()),
+                    ],
+                );
+            }
         }
         slots
             .into_iter()

@@ -134,10 +134,12 @@ where
         return items.iter().enumerate().map(|(i, item)| f(&mut scratch, i, item)).collect();
     }
 
+    let start = std::time::Instant::now();
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let mut gathered: Vec<Option<R>> = Vec::with_capacity(items.len());
     gathered.resize_with(items.len(), || None);
 
+    let mut gather_time = std::time::Duration::ZERO;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -154,14 +156,47 @@ where
                 })
             })
             .collect();
+        // Joins run in spawn order: the first join also absorbs the
+        // straggler wait, later ones are pure scatter-by-index.
+        let gather_start = std::time::Instant::now();
         for handle in handles {
             for (i, value) in handle.join().expect("evaluation worker panicked") {
                 gathered[i] = Some(value);
             }
         }
+        gather_time = gather_start.elapsed();
     });
 
+    metrics().record(items.len(), start.elapsed(), gather_time);
     gathered.into_iter().map(|slot| slot.expect("every index produced")).collect()
+}
+
+/// Cached registry handles for the `par_map` wall/gather histograms.
+struct ParMapMetrics {
+    wall_seconds: dse_obs::Histogram,
+    gather_seconds: dse_obs::Histogram,
+    items: dse_obs::Histogram,
+}
+
+impl ParMapMetrics {
+    fn record(&self, n_items: usize, wall: std::time::Duration, gather: std::time::Duration) {
+        self.wall_seconds.observe_duration(wall);
+        self.gather_seconds.observe_duration(gather);
+        self.items.observe(n_items as f64);
+    }
+}
+
+fn metrics() -> &'static ParMapMetrics {
+    static METRICS: std::sync::OnceLock<ParMapMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = dse_obs::global();
+        ParMapMetrics {
+            wall_seconds: registry.histogram("exec_par_map_seconds", dse_obs::LATENCY_BUCKETS_S),
+            gather_seconds: registry
+                .histogram("exec_par_map_gather_seconds", dse_obs::LATENCY_BUCKETS_S),
+            items: registry.histogram("exec_par_map_items", dse_obs::SIZE_BUCKETS),
+        }
+    })
 }
 
 /// Hit/miss/eval counters of a [`CpiCache`] (or any memoized evaluator).

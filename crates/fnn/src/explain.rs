@@ -62,6 +62,22 @@ pub struct DecisionExplanation {
     pub residual: f64,
 }
 
+impl DecisionExplanation {
+    /// Compact single-line rendering for structured logs and trace
+    /// events: `output<-rule3:+0.4210,rule7:-0.093`. Rule order follows
+    /// [`contributions`](Self::contributions) (largest magnitude first),
+    /// so the string is deterministic for a given network and
+    /// observation.
+    pub fn compact(&self) -> String {
+        let rules: Vec<String> = self
+            .contributions
+            .iter()
+            .map(|c| format!("rule{}:{:+.4}", c.rule, c.contribution))
+            .collect();
+        format!("{}<-{}", self.output_name, rules.join(","))
+    }
+}
+
 impl fmt::Display for DecisionExplanation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "score[{}] = {:+.4}, decomposed:", self.output_name, self.score)?;
@@ -200,6 +216,17 @@ mod tests {
         for name in ["CPI", "L1", "L2", "decode", "ROB", "FU", "IQ"] {
             assert!(text.contains(name), "{text} missing {name}");
         }
+    }
+
+    #[test]
+    fn compact_rendering_is_deterministic_and_ordered() {
+        let (space, fnn) = trained_net();
+        let obs = fnn.observation(&space, &space.smallest(), 1.8);
+        let a = explain_top_action(&fnn, &obs, 2).compact();
+        let b = explain_top_action(&fnn, &obs, 2).compact();
+        assert_eq!(a, b);
+        assert!(a.starts_with("decode<-rule"), "unexpected rendering: {a}");
+        assert_eq!(a.matches("rule").count(), 2);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The high-fidelity (simulator) refinement phase (§3.2).
 
 use dse_exec::{CostLedger, Evaluator, Fidelity, LedgerEntry};
-use dse_fnn::Fnn;
+use dse_fnn::{explain_top_action, Fnn};
+use dse_obs::trace;
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +85,7 @@ impl HfPhase {
         ledger: &mut CostLedger,
     ) -> HfOutcome {
         let cfg = &self.config;
+        let _phase_span = trace::span("hf_phase");
         ledger.set_hf_budget(cfg.budget);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history: Vec<(DesignPoint, f64)> = Vec::new();
@@ -115,6 +117,18 @@ impl HfPhase {
             };
         };
         let ipc_h0 = 1.0 / anchor_cpi;
+        if trace::enabled() {
+            trace::event(
+                "promotion",
+                &[
+                    ("phase", "hf".into()),
+                    ("anchor_cpi", anchor_cpi.into()),
+                    ("ipc_h0", ipc_h0.into()),
+                    ("initial_batch", initial.len().into()),
+                    ("charged", history.len().into()),
+                ],
+            );
+        }
 
         // Episode starts are drawn from H (falling back to the smallest
         // design if H is empty).
@@ -128,7 +142,7 @@ impl HfPhase {
         // consume budget, so bound the episode count as a safety valve
         // against a policy that keeps re-proposing known designs.
         let max_episodes = cfg.budget * 20;
-        for _ in 0..max_episodes {
+        for episode_idx in 0..max_episodes {
             if ledger.hf_remaining() == Some(0) {
                 break;
             }
@@ -146,6 +160,23 @@ impl HfPhase {
             // eq. 4: reward = IPC − IPC_h0 + ε.
             let reward = 1.0 / cpi - ipc_h0 + EPSILON;
             train_on_episode(fnn, &episode, reward, &cfg.reinforce);
+            if trace::enabled() {
+                let best_cpi = history.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+                let obs = fnn.observation(space, &episode.final_point, cpi);
+                let top = explain_top_action(fnn, &obs, 3);
+                trace::event(
+                    "episode",
+                    &[
+                        ("phase", "hf".into()),
+                        ("episode", episode_idx.into()),
+                        ("steps", episode.steps.len().into()),
+                        ("cpi", cpi.into()),
+                        ("reward", reward.into()),
+                        ("best_cpi", best_cpi.into()),
+                        ("top_rules", top.compact().into()),
+                    ],
+                );
+            }
         }
 
         // Same tie-break as the LF candidate ranking: CPI first, encoded

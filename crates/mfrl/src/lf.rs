@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 
 use dse_exec::CostLedger;
-use dse_fnn::Fnn;
+use dse_fnn::{explain_top_action, Fnn};
+use dse_obs::trace;
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,6 +115,7 @@ impl LfPhase {
         ledger: &mut CostLedger,
     ) -> LfOutcome {
         let cfg = &self.config;
+        let _phase_span = trace::span("lf_phase");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // Candidate pool of terminal designs, keyed by encoded point.
         let mut pool: HashMap<u64, DesignPoint> = HashMap::new();
@@ -122,7 +124,7 @@ impl LfPhase {
         let mut policy_cpi_history = Vec::with_capacity(cfg.episodes);
         let mut episode_designs = Vec::with_capacity(cfg.episodes);
 
-        for _ in 0..cfg.episodes {
+        for episode_idx in 0..cfg.episodes {
             let episode =
                 rollout(fnn, space, lf, constraint, space.smallest(), cfg.gradient_mask, &mut rng);
             let cpi = lf.cpi(space, &episode.final_point);
@@ -135,6 +137,24 @@ impl LfPhase {
                 RewardKind::PlainIpc => ipc,
             };
             train_on_episode(fnn, &episode, reward, &cfg.reinforce);
+            if trace::enabled() {
+                // The decomposition is trace-only: the extra forward
+                // pass never runs when tracing is off.
+                let obs = fnn.observation(space, &episode.final_point, cpi);
+                let top = explain_top_action(fnn, &obs, 3);
+                trace::event(
+                    "episode",
+                    &[
+                        ("phase", "lf".into()),
+                        ("episode", episode_idx.into()),
+                        ("steps", episode.steps.len().into()),
+                        ("cpi", cpi.into()),
+                        ("reward", reward.into()),
+                        ("best_cpi", (1.0 / best_ipc).into()),
+                        ("top_rules", top.compact().into()),
+                    ],
+                );
+            }
 
             pool.insert(space.encode(&episode.final_point), episode.final_point.clone());
             best_cpi_history.push(1.0 / best_ipc);

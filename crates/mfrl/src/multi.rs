@@ -2,6 +2,7 @@
 
 use dse_exec::{CostLedger, Evaluator};
 use dse_fnn::Fnn;
+use dse_obs::trace;
 use dse_space::DesignSpace;
 
 use crate::{
@@ -70,6 +71,7 @@ impl MultiFidelityDse {
         hf: &mut E,
         constraint: &impl Constraint,
     ) -> DseOutcome {
+        let _run_span = trace::span("mfrl_run");
         let mut ledger = CostLedger::new();
         let lf_outcome = LfPhase::new(self.config.lf).run(fnn, space, lf, constraint, &mut ledger);
         let hf_outcome = HfPhase::new(self.config.hf).run(

@@ -1,0 +1,120 @@
+//! Shared exposition-format helpers: metric-name grammar, number
+//! formatting and JSON string escaping used by the registry renderers,
+//! the tracer and the Prometheus text checker.
+
+/// Whether `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` matches the label-name grammar
+/// `[a-zA-Z_][a-zA-Z0-9_]*`.
+pub fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Formats an `f64` for Prometheus text: shortest round-trip decimal,
+/// with the special values spelled the way promtool expects.
+pub fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats an `f64` as a JSON value. JSON has no NaN/Inf literals, so
+/// non-finite values become `null` (they never appear in practice:
+/// counters and histogram sums stay finite).
+pub fn format_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a label value for the text format (`\\`, `\"`, `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Appends a JSON string literal (quotes included) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_grammar() {
+        assert!(is_valid_metric_name("sim_kernel_events_popped_total"));
+        assert!(is_valid_metric_name("_x"));
+        assert!(is_valid_metric_name("ns:metric"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("9lives"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name("has-dash"));
+    }
+
+    #[test]
+    fn label_name_grammar_rejects_colons() {
+        assert!(is_valid_label_name("fidelity"));
+        assert!(!is_valid_label_name("ns:label"));
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(format_f64(1.0), "1");
+        assert_eq!(format_f64(0.25), "0.25");
+        assert_eq!(format_f64(f64::INFINITY), "+Inf");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+        assert_eq!(format_json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,412 @@
+//! A promtool-style validator for the Prometheus text exposition
+//! format — pure string processing so CI can lint `/metrics` output
+//! with no network dependencies.
+//!
+//! [`check_text`] verifies, line by line:
+//!
+//! * comment grammar (`# TYPE name kind` with a known kind, declared
+//!   at most once per metric);
+//! * sample grammar: metric name `[a-zA-Z_:][a-zA-Z0-9_:]*`, label
+//!   names `[a-zA-Z_][a-zA-Z0-9_]*`, properly quoted/escaped label
+//!   values, and a parseable value;
+//! * every sample belongs to a declared `# TYPE` family;
+//! * histogram families form complete `_bucket`/`_sum`/`_count`
+//!   triples per label set: `le` bounds strictly increasing and ending
+//!   at `+Inf`, cumulative bucket values non-decreasing, the `+Inf`
+//!   bucket equal to `_count`, and `_sum` finite and non-negative.
+
+use std::collections::BTreeMap;
+
+use crate::expo;
+
+/// What a successful [`check_text`] run covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Non-empty lines inspected.
+    pub lines: usize,
+    /// Sample (non-comment) lines parsed.
+    pub samples: usize,
+    /// `# TYPE` families declared.
+    pub families: usize,
+    /// Histogram label-sets whose triples were verified.
+    pub histograms: usize,
+}
+
+impl std::fmt::Display for CheckSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} lines, {} samples, {} families, {} histogram series: OK",
+            self.lines, self.samples, self.families, self.histograms
+        )
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+struct Sample {
+    line: usize,
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Validates Prometheus text exposition output.
+///
+/// # Errors
+///
+/// Returns every problem found, each as a `line N: ...` message.
+pub fn check_text(text: &str) -> Result<CheckSummary, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut families: BTreeMap<String, &str> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut summary = CheckSummary::default();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        summary.lines += 1;
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let Some(name) = parts.next() else {
+                    errors.push(format!("line {n}: `# TYPE` without a metric name"));
+                    continue;
+                };
+                if !expo::is_valid_metric_name(name) {
+                    errors.push(format!("line {n}: invalid metric name {name:?} in TYPE"));
+                }
+                let kind = parts.next().unwrap_or("");
+                let kind = match kind {
+                    "counter" => "counter",
+                    "gauge" => "gauge",
+                    "histogram" => "histogram",
+                    "summary" => "summary",
+                    "untyped" => "untyped",
+                    other => {
+                        errors.push(format!("line {n}: unknown metric type {other:?}"));
+                        continue;
+                    }
+                };
+                if families.insert(name.to_string(), kind).is_some() {
+                    errors.push(format!("line {n}: duplicate TYPE for {name}"));
+                }
+            }
+            // `# HELP` and free-form comments are always legal.
+            continue;
+        }
+        match parse_sample(n, line) {
+            Ok(sample) => {
+                summary.samples += 1;
+                samples.push(sample);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    summary.families = families.len();
+
+    // Family membership: every sample must trace back to a TYPE line.
+    for s in &samples {
+        let family = histogram_family(&families, &s.name).unwrap_or(s.name.as_str());
+        if !families.contains_key(family) {
+            errors.push(format!("line {}: sample {} has no `# TYPE` declaration", s.line, s.name));
+        }
+        if families.get(family) == Some(&"counter") && s.value < 0.0 {
+            errors.push(format!("line {}: counter {} is negative", s.line, s.name));
+        }
+    }
+
+    // Histogram triples, grouped by (family, labels-without-le).
+    for (family, kind) in &families {
+        if *kind != "histogram" {
+            continue;
+        }
+        summary.histograms += check_histogram_family(family, &samples, &mut errors);
+    }
+
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+/// If `name` is a `_bucket`/`_sum`/`_count` series of a declared
+/// histogram family, returns that family name.
+fn histogram_family<'a>(families: &BTreeMap<String, &str>, name: &'a str) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if families.get(base) == Some(&"histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Checks every label-set of one histogram family; returns how many
+/// label-sets were verified.
+fn check_histogram_family(family: &str, samples: &[Sample], errors: &mut Vec<String>) -> usize {
+    type LabelSet = Vec<(String, String)>;
+    // Per label-set: cumulative (le, value) in file order, plus _sum/_count.
+    let mut buckets: BTreeMap<LabelSet, Vec<(usize, f64, f64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<LabelSet, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<LabelSet, f64> = BTreeMap::new();
+    for s in samples {
+        if s.name == format!("{family}_bucket") {
+            let mut rest: LabelSet = Vec::new();
+            let mut le: Option<(usize, f64)> = None;
+            for (k, v) in &s.labels {
+                if k == "le" {
+                    match parse_value(v) {
+                        Some(bound) => le = Some((s.line, bound)),
+                        None => {
+                            errors.push(format!("line {}: unparseable le={v:?}", s.line));
+                        }
+                    }
+                } else {
+                    rest.push((k.clone(), v.clone()));
+                }
+            }
+            match le {
+                Some((line, bound)) => {
+                    buckets.entry(rest).or_default().push((line, bound, s.value));
+                }
+                None => errors.push(format!("line {}: {}_bucket without le label", s.line, family)),
+            }
+        } else if s.name == format!("{family}_sum") {
+            sums.insert(s.labels.clone(), s.value);
+        } else if s.name == format!("{family}_count") {
+            counts.insert(s.labels.clone(), s.value);
+        }
+    }
+
+    let mut checked = 0;
+    for (labels, series) in &buckets {
+        checked += 1;
+        let label_desc = if labels.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "{{{}}}",
+                labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect::<Vec<_>>().join(",")
+            )
+        };
+        for pair in series.windows(2) {
+            let (line, lo, v_lo) = pair[0];
+            let (_, hi, v_hi) = pair[1];
+            if lo >= hi {
+                errors.push(format!(
+                    "line {line}: {family}_bucket{label_desc} le bounds not increasing \
+                     ({lo} then {hi})"
+                ));
+            }
+            if v_lo > v_hi {
+                errors.push(format!(
+                    "line {line}: {family}_bucket{label_desc} cumulative values decrease \
+                     ({v_lo} then {v_hi})"
+                ));
+            }
+        }
+        let Some(&(line, last_le, inf_value)) = series.last() else { continue };
+        if last_le != f64::INFINITY {
+            errors.push(format!(
+                "line {line}: {family}_bucket{label_desc} missing the le=\"+Inf\" bucket"
+            ));
+            continue;
+        }
+        match counts.get(labels) {
+            Some(&count) if count == inf_value => {}
+            Some(&count) => errors.push(format!(
+                "line {line}: {family}{label_desc} _count {count} != +Inf bucket {inf_value}"
+            )),
+            None => errors.push(format!("line {line}: {family}{label_desc} missing _count")),
+        }
+        match sums.get(labels) {
+            Some(sum) if sum.is_finite() && *sum >= 0.0 => {}
+            Some(sum) => errors.push(format!(
+                "line {line}: {family}{label_desc} _sum {sum} is not finite and non-negative"
+            )),
+            None => errors.push(format!("line {line}: {family}{label_desc} missing _sum")),
+        }
+    }
+    checked
+}
+
+/// Parses a sample value, accepting the Prometheus special spellings.
+fn parse_value(v: &str) -> Option<f64> {
+    match v {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parses `name{labels} value [timestamp]`.
+fn parse_sample(n: usize, line: &str) -> Result<Sample, String> {
+    let (series, rest) = match line.find(['{', ' ', '\t']) {
+        Some(pos) if line.as_bytes()[pos] == b'{' => {
+            let close = line[pos..]
+                .find('}')
+                .map(|o| pos + o)
+                .ok_or_else(|| format!("line {n}: unterminated label braces"))?;
+            (line[..close + 1].to_string(), &line[close + 1..])
+        }
+        Some(pos) => (line[..pos].to_string(), &line[pos..]),
+        None => return Err(format!("line {n}: sample without a value")),
+    };
+    let (name, labels) = match series.find('{') {
+        Some(pos) => {
+            let inner = &series[pos + 1..series.len() - 1];
+            (series[..pos].to_string(), parse_labels(n, inner)?)
+        }
+        None => (series, Vec::new()),
+    };
+    if !expo::is_valid_metric_name(&name) {
+        return Err(format!("line {n}: invalid metric name {name:?}"));
+    }
+    let mut parts = rest.split_whitespace();
+    let value_token = parts.next().ok_or_else(|| format!("line {n}: sample without a value"))?;
+    let value = parse_value(value_token)
+        .ok_or_else(|| format!("line {n}: unparseable value {value_token:?}"))?;
+    if let Some(ts) = parts.next() {
+        // Optional millisecond timestamp.
+        ts.parse::<i64>().map_err(|_| format!("line {n}: trailing garbage {ts:?}"))?;
+    }
+    if let Some(extra) = parts.next() {
+        return Err(format!("line {n}: trailing garbage {extra:?}"));
+    }
+    Ok(Sample { line: n, name, labels, value })
+}
+
+/// Parses the inside of `{...}`: comma-separated `key="value"` pairs.
+fn parse_labels(n: usize, inner: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("line {n}: label without `=`"))?;
+        let key = rest[..eq].trim();
+        if !expo::is_valid_label_name(key) {
+            return Err(format!("line {n}: invalid label name {key:?}"));
+        }
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return Err(format!("line {n}: label value for {key:?} is not quoted"));
+        }
+        // Scan for the closing quote, honoring backslash escapes.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("line {n}: unterminated label value for {key:?}")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("line {n}: bad escape in label {key:?}")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    // Step over one UTF-8 char.
+                    let ch = after[i..].chars().next().expect("in bounds");
+                    value.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+        rest = after[i + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("line {n}: expected `,` between labels"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_document_passes() {
+        let text = "\
+# TYPE requests_total counter
+requests_total{endpoint=\"/healthz\"} 3
+requests_total{endpoint=\"/metrics\"} 1
+# TYPE depth gauge
+depth 4.5
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le=\"0.1\"} 1
+lat_seconds_bucket{le=\"1\"} 2
+lat_seconds_bucket{le=\"+Inf\"} 3
+lat_seconds_sum 2.55
+lat_seconds_count 3
+";
+        let summary = check_text(text).expect("valid");
+        assert_eq!(summary, CheckSummary { lines: 11, samples: 8, families: 3, histograms: 1 });
+    }
+
+    #[test]
+    fn own_renderer_output_passes() {
+        let r = crate::Registry::new();
+        r.counter_with("reqs_total", &[("endpoint", "/v1/evaluate"), ("status", "200")]).add(7);
+        r.gauge("queue_depth").set(3.0);
+        let h =
+            r.histogram_with("lat_seconds", &[("endpoint", "/healthz")], crate::LATENCY_BUCKETS_S);
+        h.observe(0.002);
+        h.observe(0.3);
+        h.observe(42.0);
+        check_text(&r.snapshot().to_prometheus_text()).expect("renderer output must validate");
+    }
+
+    #[test]
+    fn bad_name_and_grammar_are_caught() {
+        assert!(check_text("# TYPE 9bad counter\n9bad 1\n").is_err());
+        assert!(check_text("# TYPE x counter\nx{le=0.1} 1\n").is_err(), "unquoted label value");
+        assert!(check_text("# TYPE x counter\nx nope\n").is_err(), "unparseable value");
+        assert!(check_text("x 1\n").is_err(), "sample without TYPE");
+        assert!(check_text("# TYPE x counter\nx -1\n").is_err(), "negative counter");
+        assert!(check_text("# TYPE x wat\n").is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn histogram_invariants_are_enforced() {
+        // Missing +Inf bucket.
+        assert!(
+            check_text("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n").is_err()
+        );
+        // _count disagrees with +Inf.
+        assert!(check_text("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n")
+            .is_err());
+        // Cumulative values must not decrease.
+        assert!(check_text(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"
+        )
+        .is_err());
+        // Bounds must increase.
+        assert!(check_text(
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\n\
+             h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n"
+        )
+        .is_err());
+        // Missing _sum.
+        assert!(check_text("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 0\nh_count 0\n").is_err());
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "# TYPE x counter\nx{msg=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let summary = check_text(text).expect("escaped labels are legal");
+        assert_eq!(summary.samples, 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Golden tests for the two exposition formats (satellite: "JSON and
+//! Prometheus snapshots agree on every metric value").
+//!
+//! The Prometheus text is parsed line-by-line with the in-repo
+//! `promcheck` grammar; the JSON document with the vendored
+//! `serde_json`. Every sample the text form exposes must be derivable
+//! from the JSON form, value for value — including the cumulative
+//! `_bucket` sums the text format requires but JSON stores raw.
+
+use std::collections::BTreeMap;
+
+use dse_obs::{promcheck, Registry};
+use serde_json::Value;
+
+/// A registry exercising every metric type, with and without labels.
+fn populated_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("plain_total").add(3);
+    r.counter_with("requests_total", &[("endpoint", "/healthz"), ("status", "200")]).add(41);
+    r.counter_with("requests_total", &[("endpoint", "/v1/evaluate"), ("status", "503")]).inc();
+    r.gauge("heap_peak_depth").set(17.0);
+    let h = r.histogram("eval_seconds", &[0.001, 0.01, 0.1, 1.0]);
+    for v in [0.0004, 0.002, 0.002, 0.05, 0.5, 7.0] {
+        h.observe(v);
+    }
+    let hl = r.histogram_with("batch_points", &[("fidelity", "lf")], &[1.0, 4.0, 16.0]);
+    hl.observe(3.0);
+    hl.observe(40.0);
+    r
+}
+
+/// Flattens the Prometheus text into `rendered-series -> value`.
+fn text_samples(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample lines are `series value`");
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            v => v.parse().expect("numeric value"),
+        };
+        assert!(out.insert(series.to_string(), value).is_none(), "duplicate series {series}");
+    }
+    out
+}
+
+/// Renders the same `series -> value` map from the JSON document,
+/// deriving the text format's cumulative buckets.
+fn json_samples(doc: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for m in doc["metrics"].as_array().expect("metrics array") {
+        let name = m["name"].as_str().expect("name");
+        let labels: Vec<(String, String)> = m["labels"]
+            .as_map()
+            .expect("labels object")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_str().expect("label value").to_string()))
+            .collect();
+        let rendered = |extra_le: Option<String>, suffix: &str| {
+            let mut pairs: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            if let Some(le) = extra_le {
+                pairs.push(format!("le=\"{le}\""));
+            }
+            if pairs.is_empty() {
+                format!("{name}{suffix}")
+            } else {
+                format!("{name}{suffix}{{{}}}", pairs.join(","))
+            }
+        };
+        match m["type"].as_str().expect("type") {
+            "counter" | "gauge" => {
+                out.insert(rendered(None, ""), m["value"].as_f64().expect("value"));
+            }
+            "histogram" => {
+                let bounds = m["bounds"].as_array().expect("bounds");
+                let buckets = m["buckets"].as_array().expect("buckets");
+                assert_eq!(buckets.len(), bounds.len() + 1, "one overflow bucket");
+                let mut cumulative = 0.0;
+                for (i, hits) in buckets.iter().enumerate() {
+                    cumulative += hits.as_f64().expect("bucket count");
+                    let le = match bounds.get(i) {
+                        Some(b) => {
+                            // Match the text renderer's shortest form.
+                            format!("{}", b.as_f64().expect("bound"))
+                        }
+                        None => "+Inf".to_string(),
+                    };
+                    out.insert(rendered(Some(le), "_bucket"), cumulative);
+                }
+                out.insert(rendered(None, "_sum"), m["sum"].as_f64().expect("sum"));
+                out.insert(rendered(None, "_count"), m["count"].as_f64().expect("count"));
+            }
+            other => panic!("unknown metric type {other}"),
+        }
+    }
+    out
+}
+
+#[test]
+fn prometheus_text_validates_against_the_grammar() {
+    let text = populated_registry().snapshot().to_prometheus_text();
+    let summary = promcheck::check_text(&text).expect("own output validates");
+    // 2 histogram families, one of which has one label set each.
+    assert_eq!(summary.histograms, 2);
+    assert_eq!(summary.families, 5);
+}
+
+#[test]
+fn json_is_well_formed_and_parseable() {
+    let json = populated_registry().snapshot().to_json_string();
+    let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(doc["metrics"].as_array().unwrap().len(), 6);
+}
+
+#[test]
+fn json_and_prometheus_agree_on_every_value() {
+    let snapshot = populated_registry().snapshot();
+    let text = snapshot.to_prometheus_text();
+    let doc: Value = serde_json::from_str(&snapshot.to_json_string()).expect("valid JSON");
+
+    let from_text = text_samples(&text);
+    let from_json = json_samples(&doc);
+    assert_eq!(
+        from_text.keys().collect::<Vec<_>>(),
+        from_json.keys().collect::<Vec<_>>(),
+        "both formats expose the same series"
+    );
+    for (series, text_value) in &from_text {
+        let json_value = from_json[series];
+        assert!(
+            (text_value - json_value).abs() < 1e-9
+                || (text_value.is_infinite() && json_value.is_infinite()),
+            "{series}: text={text_value} json={json_value}"
+        );
+    }
+}
+
+#[test]
+fn histogram_triples_sum_consistently() {
+    // The acceptance criterion spelled out: `_count` equals the +Inf
+    // cumulative bucket, and `_sum` is a monotone total.
+    let r = Registry::new();
+    let h = r.histogram("t_seconds", &[0.1, 1.0]);
+    let mut last_sum = 0.0;
+    for step in 1..=5u64 {
+        h.observe(0.05 * step as f64);
+        let text = r.snapshot().to_prometheus_text();
+        promcheck::check_text(&text).expect("every incremental snapshot validates");
+        let samples = text_samples(&text);
+        assert_eq!(samples["t_seconds_count"], step as f64);
+        assert_eq!(samples["t_seconds_bucket{le=\"+Inf\"}"], step as f64);
+        assert!(samples["t_seconds_sum"] >= last_sum, "sum is monotone");
+        last_sum = samples["t_seconds_sum"];
+    }
+}

@@ -124,6 +124,7 @@ pub(crate) fn run_coalescer(
     core: Arc<Mutex<EvalCore>>,
     stats: Arc<Mutex<CoalescerStats>>,
     config: BatcherConfig,
+    batch_points: dse_obs::Histogram,
 ) {
     loop {
         // Block until a window opens; a disconnect here means every
@@ -148,13 +149,18 @@ pub(crate) fn run_coalescer(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        submit_window(window, &core, &stats);
+        submit_window(window, &core, &stats, &batch_points);
     }
 }
 
 /// Submits one gathered window: one ledger batch per fidelity present,
 /// results split back to each waiting request in arrival order.
-fn submit_window(window: Vec<EvalJob>, core: &Mutex<EvalCore>, stats: &Mutex<CoalescerStats>) {
+fn submit_window(
+    window: Vec<EvalJob>,
+    core: &Mutex<EvalCore>,
+    stats: &Mutex<CoalescerStats>,
+    batch_points: &dse_obs::Histogram,
+) {
     let jobs = window;
     // Account the window before any reply leaves: a client that reads
     // `/metrics` right after its response must see itself counted.
@@ -175,6 +181,7 @@ fn submit_window(window: Vec<EvalJob>, core: &Mutex<EvalCore>, stats: &Mutex<Coa
         }
         let merged: Vec<DesignPoint> =
             group.iter().flat_map(|&i| jobs[i].points.iter().cloned()).collect();
+        batch_points.observe(merged.len() as f64);
         let entries = {
             let mut core = core.lock().expect("evaluation core poisoned");
             core.evaluate(fidelity, &merged)

@@ -170,10 +170,20 @@ fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes it.
-pub(crate) fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+/// `Content-Type` of every JSON endpoint.
+pub(crate) const CT_JSON: &str = "application/json";
+/// `Content-Type` of the Prometheus text exposition.
+pub(crate) const CT_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
+/// Writes a complete response and flushes it.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         reason_phrase(status),
         body.len()
     );

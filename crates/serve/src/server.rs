@@ -9,20 +9,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use archdse::eval::{AnalyticalLf, DesignConstraints};
 use archdse::{Explorer, Fnn};
 use dse_exec::{CostLedger, LedgerEntry};
 use dse_fnn::{explain_decision, explain_top_action};
 use dse_mfrl::{Constraint as _, LowFidelity as _};
+use dse_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS_S, SIZE_BUCKETS};
 use dse_space::DesignPoint;
 use dse_workloads::Benchmark;
 
 use crate::batcher::{
     run_coalescer, BatcherConfig, CoalescerStats, EvalCore, EvalJob, LfCostModel,
 };
-use crate::http::{read_request, write_response, BadRequest, ReadOutcome, Request};
+use crate::http::{
+    read_request, write_response, BadRequest, ReadOutcome, Request, CT_JSON, CT_PROMETHEUS,
+};
 use crate::protocol::{
     error_body, EvaluateRequest, EvaluateResponse, EvaluatedPoint, ExplainRequest, ExplainResponse,
     ExploreRequest, JobResult, JobStatus, MetricsResponse, ProtocolError, RequestCounters,
@@ -83,6 +86,59 @@ struct JobTable {
     states: Mutex<HashMap<u64, JobState>>,
 }
 
+/// Per-server observability handles. Every request counter flows
+/// through one per-instance [`Registry`], so `/metrics` is a single
+/// consistent snapshot of the same storage both expositions read — and
+/// tests hosting several servers in one process never share counts.
+struct ServerMetrics {
+    registry: Registry,
+    healthz: Counter,
+    metrics: Counter,
+    evaluate: Counter,
+    explain: Counter,
+    explore: Counter,
+    jobs: Counter,
+    rejected: Counter,
+    errors: Counter,
+    coalescer_batch_points: Histogram,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let endpoint = |name| registry.counter_with("serve_requests_total", &[("endpoint", name)]);
+        Self {
+            healthz: endpoint("healthz"),
+            metrics: endpoint("metrics"),
+            evaluate: endpoint("evaluate"),
+            explain: endpoint("explain"),
+            explore: endpoint("explore"),
+            jobs: endpoint("jobs"),
+            rejected: registry.counter("serve_rejected_total"),
+            errors: registry.counter("serve_errors_total"),
+            coalescer_batch_points: registry
+                .histogram("serve_coalescer_batch_points", SIZE_BUCKETS),
+            registry,
+        }
+    }
+
+    /// Per-endpoint request latency series (registered on first hit).
+    fn request_seconds(&self, endpoint: &str) -> Histogram {
+        self.registry.histogram_with(
+            "serve_request_seconds",
+            &[("endpoint", endpoint)],
+            LATENCY_BUCKETS_S,
+        )
+    }
+
+    /// Per-endpoint, per-status response counter.
+    fn response(&self, endpoint: &str, status: u16) -> Counter {
+        let status = status.to_string();
+        self.registry
+            .counter_with("serve_responses_total", &[("endpoint", endpoint), ("status", &status)])
+    }
+}
+
 /// Cross-thread server state.
 struct Shared {
     addr: SocketAddr,
@@ -98,28 +154,22 @@ struct Shared {
     shutdown: AtomicBool,
     jobs: JobTable,
     job_handles: Mutex<Vec<JoinHandle<()>>>,
-    // Request counters (the /metrics `requests` section).
-    n_healthz: AtomicU64,
-    n_metrics: AtomicU64,
-    n_evaluate: AtomicU64,
-    n_explain: AtomicU64,
-    n_explore: AtomicU64,
-    n_jobs: AtomicU64,
-    n_rejected: AtomicU64,
-    n_errors: AtomicU64,
+    /// Request accounting (the `/metrics` `requests` section and the
+    /// Prometheus exposition alike).
+    metrics: ServerMetrics,
 }
 
 impl Shared {
     fn counters(&self) -> RequestCounters {
         RequestCounters {
-            healthz: self.n_healthz.load(Ordering::Relaxed),
-            metrics: self.n_metrics.load(Ordering::Relaxed),
-            evaluate: self.n_evaluate.load(Ordering::Relaxed),
-            explain: self.n_explain.load(Ordering::Relaxed),
-            explore: self.n_explore.load(Ordering::Relaxed),
-            jobs: self.n_jobs.load(Ordering::Relaxed),
-            rejected: self.n_rejected.load(Ordering::Relaxed),
-            errors: self.n_errors.load(Ordering::Relaxed),
+            healthz: self.metrics.healthz.get(),
+            metrics: self.metrics.metrics.get(),
+            evaluate: self.metrics.evaluate.get(),
+            explain: self.metrics.explain.get(),
+            explore: self.metrics.explore.get(),
+            jobs: self.metrics.jobs.get(),
+            rejected: self.metrics.rejected.get(),
+            errors: self.metrics.errors.get(),
         }
     }
 
@@ -196,14 +246,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         jobs: JobTable::default(),
         job_handles: Mutex::new(Vec::new()),
-        n_healthz: AtomicU64::new(0),
-        n_metrics: AtomicU64::new(0),
-        n_evaluate: AtomicU64::new(0),
-        n_explain: AtomicU64::new(0),
-        n_explore: AtomicU64::new(0),
-        n_jobs: AtomicU64::new(0),
-        n_rejected: AtomicU64::new(0),
-        n_errors: AtomicU64::new(0),
+        metrics: ServerMetrics::new(),
         config,
     });
 
@@ -214,7 +257,8 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         let core = Arc::clone(&core);
         let stats = Arc::clone(&shared.coalescer_stats);
         let batcher = shared.config.batcher;
-        std::thread::spawn(move || run_coalescer(eval_rx, core, stats, batcher))
+        let batch_points = shared.metrics.coalescer_batch_points.clone();
+        std::thread::spawn(move || run_coalescer(eval_rx, core, stats, batcher, batch_points))
     };
 
     // Worker pool: a bounded queue of accepted connections.
@@ -262,9 +306,10 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, conn_tx: SyncSender
             Err(TrySendError::Full(mut stream)) => {
                 // Backpressure: answer 503 inline rather than queueing
                 // unbounded work.
-                shared.n_rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected.inc();
                 let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-                let _ = write_response(&mut stream, 503, &error_body("connection queue full"));
+                let _ =
+                    write_response(&mut stream, 503, CT_JSON, &error_body("connection queue full"));
             }
             Err(TrySendError::Disconnected(_)) => return,
         }
@@ -291,16 +336,37 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         ReadOutcome::Request(request) => request,
         ReadOutcome::Closed | ReadOutcome::Io => return,
         ReadOutcome::Bad(bad) => {
-            shared.n_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut stream, bad.status, &error_body(&bad.reason));
+            shared.metrics.errors.inc();
+            shared.metrics.response("unparsed", bad.status).inc();
+            let _ = write_response(&mut stream, bad.status, CT_JSON, &error_body(&bad.reason));
             return;
         }
     };
-    let (status, body) = route(shared, &request);
+    let started = Instant::now();
+    let (status, body, content_type) = route(shared, &request);
+    let endpoint = endpoint_label(&request.path);
+    shared.metrics.request_seconds(endpoint).observe_duration(started.elapsed());
+    shared.metrics.response(endpoint, status).inc();
     if status >= 400 {
-        shared.n_errors.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.errors.inc();
     }
-    let _ = write_response(&mut stream, status, &body);
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+/// The low-cardinality endpoint label of a request path (query string
+/// and job ids stripped).
+fn endpoint_label(path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/v1/evaluate" => "evaluate",
+        "/v1/explain" => "explain",
+        "/v1/explore" => "explore",
+        "/v1/shutdown" => "shutdown",
+        p if p.starts_with("/v1/jobs/") => "jobs",
+        _ => "other",
+    }
 }
 
 /// JSON-serializes a response payload (an internal failure here is a
@@ -316,10 +382,18 @@ fn bad(err: ProtocolError) -> (u16, String) {
     (400, error_body(&err.0))
 }
 
-fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
-    match (request.method.as_str(), request.path.as_str()) {
+fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str) {
+    // The query string is only meaningful on `/metrics` (the exposition
+    // format selector); everywhere else it is ignored, as before.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    if let ("GET", "/metrics") = (request.method.as_str(), path) {
+        return handle_metrics(shared, query);
+    }
+    let (status, body) = match (request.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(shared),
-        ("GET", "/metrics") => handle_metrics(shared),
         ("POST", "/v1/evaluate") => handle_evaluate(shared, request),
         ("POST", "/v1/explain") => handle_explain(shared, request),
         ("POST", "/v1/explore") => handle_explore(shared, request),
@@ -338,11 +412,12 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
                  POST /v1/explain, POST /v1/explore, GET /v1/jobs/<id>, POST /v1/shutdown",
             ),
         ),
-    }
+    };
+    (status, body, CT_JSON)
 }
 
 fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
-    shared.n_healthz.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.healthz.inc();
     #[derive(serde::Serialize)]
     struct Health {
         status: &'static str,
@@ -358,26 +433,55 @@ fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
     })
 }
 
-fn handle_metrics(shared: &Arc<Shared>) -> (u16, String) {
-    shared.n_metrics.fetch_add(1, Ordering::Relaxed);
-    let (ledger, hf_cache) = {
-        let core = shared.core.lock().expect("evaluation core poisoned");
-        (core.ledger.summary(), core.hf.cache_stats())
-    };
-    let coalescer = *shared.coalescer_stats.lock().expect("coalescer stats poisoned");
-    let mut job_states = [0u64; 3];
-    for state in shared.jobs.states.lock().expect("job table poisoned").values() {
-        match state {
-            JobState::Running => job_states[0] += 1,
-            JobState::Done(_) => job_states[1] += 1,
-            JobState::Failed(_) => job_states[2] += 1,
+fn handle_metrics(shared: &Arc<Shared>, query: &str) -> (u16, String, &'static str) {
+    shared.metrics.metrics.inc();
+    let format = query.split('&').find_map(|pair| pair.strip_prefix("format=")).unwrap_or("json");
+    match format {
+        "prometheus" => {
+            // The per-server registry first, then the process-global one
+            // (sim kernel, executor, MFRL series); on a name collision
+            // the server's own series wins.
+            let text = shared
+                .metrics
+                .registry
+                .snapshot()
+                .merged(dse_obs::global().snapshot())
+                .to_prometheus_text();
+            (200, text, CT_PROMETHEUS)
         }
+        "json" => {
+            let (ledger, hf_cache) = {
+                let core = shared.core.lock().expect("evaluation core poisoned");
+                (core.ledger.summary(), core.hf.cache_stats())
+            };
+            let coalescer = *shared.coalescer_stats.lock().expect("coalescer stats poisoned");
+            let mut job_states = [0u64; 3];
+            for state in shared.jobs.states.lock().expect("job table poisoned").values() {
+                match state {
+                    JobState::Running => job_states[0] += 1,
+                    JobState::Done(_) => job_states[1] += 1,
+                    JobState::Failed(_) => job_states[2] += 1,
+                }
+            }
+            let (status, body) = json(&MetricsResponse {
+                requests: shared.counters(),
+                coalescer,
+                ledger,
+                hf_cache,
+                job_states,
+            });
+            (status, body, CT_JSON)
+        }
+        other => (
+            400,
+            error_body(&format!("unknown format {other:?} (expected \"json\" or \"prometheus\")")),
+            CT_JSON,
+        ),
     }
-    json(&MetricsResponse { requests: shared.counters(), coalescer, ledger, hf_cache, job_states })
 }
 
 fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
-    shared.n_evaluate.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.evaluate.inc();
     let body = match request.body_utf8() {
         Ok(body) => body,
         Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
@@ -404,7 +508,7 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     match sender.try_send(job) {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
-            shared.n_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.rejected.inc();
             return (503, error_body("evaluation queue full, retry later"));
         }
         Err(TrySendError::Disconnected(_)) => {
@@ -447,7 +551,7 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
 }
 
 fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
-    shared.n_explain.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.explain.inc();
     let body = match request.body_utf8() {
         Ok(body) => body,
         Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
@@ -486,7 +590,7 @@ fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
 }
 
 fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
-    shared.n_explore.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.explore.inc();
     if shared.shutdown.load(Ordering::SeqCst) {
         return (503, error_body("server is shutting down"));
     }
@@ -547,7 +651,7 @@ fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
 }
 
 fn handle_job(shared: &Arc<Shared>, path: &str) -> (u16, String) {
-    shared.n_jobs.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.jobs.inc();
     let Some(id) = path.strip_prefix("/v1/jobs/").and_then(|raw| raw.parse::<u64>().ok()) else {
         return (400, error_body("job ids are integers: GET /v1/jobs/<id>"));
     };

@@ -148,6 +148,47 @@ fn explore_jobs_run_in_the_background_and_complete() {
 }
 
 #[test]
+fn prometheus_exposition_is_valid_and_agrees_with_json() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    client::get(&addr, "/healthz").unwrap();
+    let body = r#"{"points": [0, 42], "fidelity": "lf"}"#;
+    assert_eq!(client::post(&addr, "/v1/evaluate", body).unwrap().status, 200);
+
+    // The text form must satisfy the Prometheus grammar and histogram
+    // invariants (checked by the in-repo promtool-style validator).
+    let prom = client::get(&addr, "/metrics?format=prometheus").unwrap();
+    assert_eq!(prom.status, 200);
+    let summary = dse_obs::check_text(&prom.body)
+        .unwrap_or_else(|errors| panic!("invalid exposition: {errors:?}"));
+    assert!(summary.samples > 0);
+    assert!(summary.histograms >= 1, "request latency histograms must be exposed");
+
+    // Read-your-own-request consistency: the JSON snapshot (taken after
+    // the text one) must agree with what the text form already showed.
+    let metrics = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let metrics: archdse_serve::MetricsResponse = serde_json::from_str(&metrics.body).unwrap();
+    assert_eq!(metrics.requests.healthz, 1);
+    assert_eq!(metrics.requests.evaluate, 1);
+    assert_eq!(metrics.requests.metrics, 2, "both /metrics hits are counted");
+    let healthz_line = prom
+        .body
+        .lines()
+        .find(|l| l.starts_with("serve_requests_total{endpoint=\"healthz\"}"))
+        .expect("healthz counter series");
+    assert!(healthz_line.ends_with(" 1"), "unexpected sample: {healthz_line}");
+
+    // An unknown format is a client error, not a silent default.
+    let bad = client::get(&addr, "/metrics?format=xml").unwrap();
+    assert_eq!(bad.status, 400);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn post_shutdown_drains_and_exits() {
     let server = spawn(quick_config()).expect("bind");
     let addr = server.addr().to_string();

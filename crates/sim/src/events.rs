@@ -44,6 +44,11 @@ impl CompletionQueue {
         }
     }
 
+    /// Number of scheduled events (the kernel tracks its peak).
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
     /// Drops all events, keeping the allocation for the next run.
     pub(crate) fn clear(&mut self) {
         self.heap.clear();

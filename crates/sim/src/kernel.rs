@@ -97,6 +97,23 @@ pub(crate) struct Scratch {
     events: CompletionQueue,
     /// Outstanding L1 miss completion times (MSHR occupancy).
     mshr_busy: Vec<u64>,
+    /// Kernel activity counters of the latest run, for observability
+    /// only — deliberately outside [`SimResult`], whose full equality
+    /// against the reference walk the bit-identity tests compare.
+    pub(crate) counters: KernelCounters,
+}
+
+/// What the kernel did on its latest run: plain locals folded in at
+/// the end of [`run`], so the hot loop pays a handful of integer adds
+/// and the caller decides whether to publish them anywhere.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct KernelCounters {
+    /// Completion events popped from the heap.
+    pub(crate) events_popped: u64,
+    /// Cycles the skip-ahead jumped over instead of walking.
+    pub(crate) skipped_cycles: u64,
+    /// Peak depth of the completion heap.
+    pub(crate) heap_peak: usize,
 }
 
 impl Scratch {
@@ -131,6 +148,7 @@ pub(crate) fn run(
     scratch.reset(cap);
 
     let mut stats = SimResult::default();
+    let mut counters = KernelCounters::default();
     let mut committed = 0usize; // trace idx of the ROB head
     let mut next_fetch = 0usize; // next trace index to dispatch
     let mut iq_occupancy = 0usize; // dispatched-but-unissued entries
@@ -175,6 +193,7 @@ pub(crate) fn run(
             if !scratch.ready.is_empty() {
                 stats.mshr_stall_cycles += target - cycle;
             }
+            counters.skipped_cycles += target - cycle;
             cycle = target;
         }
         assert!(
@@ -185,6 +204,7 @@ pub(crate) fn run(
 
         // 1. Complete executions whose latency has elapsed.
         while let Some((t, idx)) = scratch.events.pop_due(cycle) {
+            counters.events_popped += 1;
             let slot = idx as usize % cap;
             debug_assert_eq!(scratch.slots[slot].state, SlotState::Issued);
             scratch.slots[slot].state = SlotState::Done;
@@ -315,6 +335,7 @@ pub(crate) fn run(
             };
             scratch.slots[slot].state = SlotState::Issued;
             scratch.events.push(done_at, idx as u32);
+            counters.heap_peak = counters.heap_peak.max(scratch.events.len());
             iq_occupancy -= 1;
             scratch.ready.remove(i);
         }
@@ -383,5 +404,6 @@ pub(crate) fn run(
 
     stats.cycles = cycle;
     stats.instructions = committed as u64;
+    scratch.counters = counters;
     stats
 }

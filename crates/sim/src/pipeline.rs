@@ -132,15 +132,55 @@ impl Simulator {
     /// progress (which would indicate a simulator bug).
     pub fn run(&mut self, trace: &Trace) -> SimResult {
         self.reset();
-        kernel::run(
+        let start = std::time::Instant::now();
+        let result = kernel::run(
             &self.config,
             &mut self.l1,
             &mut self.l2,
             self.predictor.as_mut(),
             &mut self.scratch,
             trace,
-        )
+        );
+        // Kernel activity goes to the atomic metrics registry, never
+        // into `SimResult` (whose bit-identity the equivalence tests
+        // compare) and never into the trace (worker threads complete
+        // in nondeterministic order; counters are order-free).
+        metrics().record(&self.scratch.counters, start.elapsed());
+        result
     }
+}
+
+/// Cached registry handles for per-run kernel metrics.
+struct KernelMetrics {
+    runs: dse_obs::Counter,
+    events_popped: dse_obs::Counter,
+    skipped_cycles: dse_obs::Counter,
+    heap_peak: dse_obs::Histogram,
+    run_seconds: dse_obs::Histogram,
+}
+
+impl KernelMetrics {
+    fn record(&self, counters: &kernel::KernelCounters, wall: std::time::Duration) {
+        self.runs.inc();
+        self.events_popped.add(counters.events_popped);
+        self.skipped_cycles.add(counters.skipped_cycles);
+        self.heap_peak.observe(counters.heap_peak as f64);
+        self.run_seconds.observe_duration(wall);
+    }
+}
+
+fn metrics() -> &'static KernelMetrics {
+    static METRICS: std::sync::OnceLock<KernelMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = dse_obs::global();
+        KernelMetrics {
+            runs: registry.counter("sim_kernel_runs_total"),
+            events_popped: registry.counter("sim_kernel_events_popped_total"),
+            skipped_cycles: registry.counter("sim_kernel_skipped_cycles_total"),
+            heap_peak: registry.histogram("sim_kernel_heap_peak_depth", dse_obs::SIZE_BUCKETS),
+            run_seconds: registry.histogram("sim_kernel_run_seconds", dse_obs::LATENCY_BUCKETS_S),
+        }
+    })
 }
 
 #[cfg(test)]

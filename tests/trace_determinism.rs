@@ -1,0 +1,82 @@
+//! Trace determinism: two explorations with the same seed must emit
+//! byte-identical JSONL traces once wall-clock fields are stripped.
+//!
+//! This is the observability analogue of the existing result-determinism
+//! guarantees — the trace is part of the run's reproducible output, not a
+//! best-effort log. Only `ts_us` and `dur_us` (monotonic-clock readings)
+//! may differ between runs.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_traced_explore(trace_path: &Path) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fnn-mfrl-archdse"))
+        .args([
+            "explore",
+            "--benchmark",
+            "ss",
+            "--area",
+            "6.0",
+            "--seed",
+            "7",
+            "--lf-episodes",
+            "12",
+            "--hf-budget",
+            "2",
+            "--trace-len",
+            "1000",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// Drop the `ts_us` / `dur_us` keys from one JSONL line, keeping
+/// everything else (including field order) intact.
+fn strip_timestamps(line: &str) -> String {
+    let parsed: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
+    let map = parsed.as_map().expect("trace line is an object");
+    let kept: Vec<String> = map
+        .iter()
+        .filter(|(key, _)| key != "ts_us" && key != "dur_us")
+        .map(|(key, value)| {
+            format!(
+                "{}:{}",
+                serde_json::to_string(key).unwrap(),
+                serde_json::to_string(value).unwrap()
+            )
+        })
+        .collect();
+    format!("{{{}}}", kept.join(","))
+}
+
+#[test]
+fn same_seed_runs_emit_identical_traces_modulo_timestamps() {
+    let dir = std::env::temp_dir().join("archdse_trace_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let first = dir.join("run_a.jsonl");
+    let second = dir.join("run_b.jsonl");
+
+    run_traced_explore(&first);
+    run_traced_explore(&second);
+
+    let text_a = std::fs::read_to_string(&first).unwrap();
+    let text_b = std::fs::read_to_string(&second).unwrap();
+    assert!(!text_a.is_empty(), "first run produced an empty trace");
+    assert_eq!(
+        text_a.lines().count(),
+        text_b.lines().count(),
+        "trace line counts differ between same-seed runs"
+    );
+
+    for (idx, (line_a, line_b)) in text_a.lines().zip(text_b.lines()).enumerate() {
+        let stripped_a = strip_timestamps(line_a);
+        let stripped_b = strip_timestamps(line_b);
+        assert_eq!(stripped_a, stripped_b, "trace line {} differs between runs", idx + 1);
+    }
+
+    std::fs::remove_file(&first).unwrap();
+    std::fs::remove_file(&second).unwrap();
+}
