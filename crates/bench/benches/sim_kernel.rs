@@ -11,12 +11,19 @@
 //! Each engine is measured as the batch path uses it: the kernel on a
 //! reused [`Simulator`] instance (the `evaluate_batch` worker pattern),
 //! the reference as the old per-evaluation cold construction.
+//!
+//! A second section measures design-batched lockstep execution: a
+//! [`BatchSimulator`] advancing K designs over one shared
+//! [`ExpandedTrace`] versus the same K designs swept per-run on a
+//! reused `Simulator`. Lockstep results are asserted bit-identical to
+//! the per-run sweep before any timing, and the `batch` series lands in
+//! the same JSON artifact.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dse_bench::{print_artifact, write_results_artifact};
-use dse_sim::{CoreConfig, ReferenceSimulator, Simulator};
+use dse_sim::{BatchSimulator, CoreConfig, ExpandedTrace, ReferenceSimulator, Simulator};
 use dse_space::DesignSpace;
 use dse_workloads::{Benchmark, Trace};
 
@@ -25,6 +32,8 @@ const TRACE_SEED: u64 = 7;
 /// Per-engine measurement floor: repeat until this much time is spent.
 const MIN_MEASURE: std::time::Duration = std::time::Duration::from_millis(300);
 const MIN_REPS: u32 = 3;
+/// Lockstep pack sizes measured against the per-run design sweep.
+const BATCH_SIZES: [usize; 3] = [4, 16, 64];
 
 /// Instructions per second of `run`, which simulates `instructions`.
 fn throughput(instructions: u64, mut run: impl FnMut() -> u64) -> f64 {
@@ -79,6 +88,78 @@ fn bench_sim_kernel(c: &mut Criterion) {
     }
     let geomean = (log_speedup_sum / traces.len() as f64).exp();
     rows.push(format!("{:<14} geomean speedup {geomean:>5.2}x", ""));
+
+    // --- Design-batched lockstep vs per-run design sweeps -----------
+    // K designs spread across the space over one trace: the per-run
+    // sweep re-streams the trace K times through a reused Simulator
+    // (the old evaluate_batch worker pattern); the lockstep pack
+    // streams the shared expansion once.
+    let batch_bench = Benchmark::Dijkstra;
+    let batch_trace = batch_bench.trace(TRACE_LEN, TRACE_SEED);
+    let expanded = ExpandedTrace::expand(&batch_trace);
+    let designs_at = |k: usize| -> Vec<CoreConfig> {
+        (0..k as u64)
+            .map(|i| {
+                let code = i * (space.size() - 1) / (k as u64 - 1).max(1);
+                CoreConfig::from_point(&space, &space.decode(code))
+            })
+            .collect()
+    };
+
+    // Bit-identity first, at every measured pack size: lockstep is
+    // only a faster schedule for the *same* per-design function.
+    let mut batch_sim = BatchSimulator::new();
+    for k in BATCH_SIZES {
+        let pack = designs_at(k);
+        let lockstep = batch_sim.run_pack(&pack, &expanded);
+        for (lane, cfg) in pack.iter().enumerate() {
+            assert_eq!(
+                lockstep[lane],
+                Simulator::new(cfg.clone()).run(&batch_trace),
+                "lockstep diverged from per-run at K={k}, lane {lane}"
+            );
+        }
+    }
+
+    let mut batch_json_rows = Vec::new();
+    for k in BATCH_SIZES {
+        let pack = designs_at(k);
+        let swept = (k * TRACE_LEN) as u64;
+        // Paired rounds — alternate the two engines so slow clock
+        // drift (thermal, noisy neighbours) biases both sides equally
+        // instead of whichever happened to run second.
+        let mut batch_secs = 0.0;
+        let mut per_run_secs = 0.0;
+        let mut reps = 0u32;
+        let floor = 2.0 * MIN_MEASURE.as_secs_f64();
+        while reps < MIN_REPS || batch_secs + per_run_secs < floor {
+            let start = Instant::now();
+            std::hint::black_box(batch_sim.run_pack(&pack, &expanded).last().unwrap().cycles);
+            batch_secs += start.elapsed().as_secs_f64();
+            let start = Instant::now();
+            let mut cycles = 0;
+            for cfg in &pack {
+                reused.reconfigure(cfg);
+                cycles += reused.run(&batch_trace).cycles;
+            }
+            std::hint::black_box(cycles);
+            per_run_secs += start.elapsed().as_secs_f64();
+            reps += 1;
+        }
+        let batch_ips = (swept * reps as u64) as f64 / batch_secs;
+        let per_run_ips = (swept * reps as u64) as f64 / per_run_secs;
+        let speedup = batch_ips / per_run_ips;
+        rows.push(format!(
+            "batch K={k:<3}    lockstep {:>7.2} Minstr/s   per-run {:>9.2} Minstr/s   speedup {speedup:>5.2}x",
+            batch_ips / 1e6,
+            per_run_ips / 1e6
+        ));
+        batch_json_rows.push(format!(
+            "    {{\"k\": {k}, \"benchmark\": \"{batch_bench}\", \"batch_ips\": {batch_ips:.0}, \
+             \"per_run_ips\": {per_run_ips:.0}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
     print_artifact(
         &format!("sim_kernel: {TRACE_LEN} instr x {} benchmarks, largest design", traces.len()),
         &rows.join("\n"),
@@ -88,8 +169,10 @@ fn bench_sim_kernel(c: &mut Criterion) {
         &format!(
             "{{\n  \"bench\": \"sim_kernel\",\n  \"trace_len\": {TRACE_LEN},\n  \
              \"trace_seed\": {TRACE_SEED},\n  \"design\": \"largest\",\n  \
-             \"benchmarks\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3}\n}}\n",
-            json_rows.join(",\n")
+             \"benchmarks\": [\n{}\n  ],\n  \"geomean_speedup\": {geomean:.3},\n  \
+             \"batch\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n"),
+            batch_json_rows.join(",\n")
         ),
     );
 

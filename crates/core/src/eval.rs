@@ -6,7 +6,7 @@ use dse_analytical::AnalyticalModel;
 use dse_area::{Activity, AreaModel, PowerModel};
 use dse_exec::{par_map, par_map_with, CacheStats, CpiCache, Evaluation, Evaluator, Fidelity};
 use dse_mfrl::{Constraint, LowFidelity, LF_TRACE_EQUIVALENT};
-use dse_sim::{CoreConfig, SimResult, Simulator};
+use dse_sim::{BatchSimulator, CoreConfig, ExpandedTrace, SimResult};
 use dse_space::{DesignPoint, DesignSpace, Param};
 use dse_workloads::{Benchmark, Trace};
 
@@ -141,14 +141,26 @@ impl LowFidelity for AnalyticalLf {
 ///
 /// Per-benchmark traces — and, through [`Evaluator::evaluate_batch`],
 /// whole batches of designs — are simulated on the `dse-exec` work pool.
-/// Results are gathered in input order, so the reported CPIs are
-/// bit-identical whatever the thread count (see the crate's DESIGN.md).
+/// Each trace is expanded once into struct-of-arrays form at
+/// construction, and batches run as design-packs advanced in lockstep
+/// over the shared expansion by [`BatchSimulator`] (see the sim crate's
+/// batch module). Results are gathered in input order and lockstep
+/// results are bit-identical to per-run simulation, so the reported
+/// CPIs are bit-identical whatever the thread count or pack size (see
+/// the crate's DESIGN.md).
 #[derive(Debug)]
 pub struct SimulatorHf {
     traces: Vec<Trace>,
+    expanded: Vec<ExpandedTrace>,
     cache: CpiCache,
     threads: usize,
+    pack_size: usize,
 }
+
+/// Default designs per lockstep pack: enough to amortize each trace
+/// window across several cores' worth of state without the lanes' own
+/// cache models evicting the shared window.
+const DEFAULT_PACK_SIZE: usize = 8;
 
 impl SimulatorHf {
     /// Builds the HF evaluator for one benchmark.
@@ -179,9 +191,16 @@ impl SimulatorHf {
     ) -> Self {
         assert!(!benchmarks.is_empty(), "need at least one benchmark");
         assert!(trace_len > 0, "trace length must be positive");
-        let traces =
+        let traces: Vec<Trace> =
             benchmarks.iter().map(|&b| b.trace_scaled(trace_len, seed, data_scale)).collect();
-        Self { traces, cache: CpiCache::new(), threads: dse_exec::default_threads() }
+        let expanded = traces.iter().map(ExpandedTrace::expand).collect();
+        Self {
+            traces,
+            expanded,
+            cache: CpiCache::new(),
+            threads: dse_exec::default_threads(),
+            pack_size: DEFAULT_PACK_SIZE,
+        }
     }
 
     /// Overrides the worker-thread count (1 = fully sequential).
@@ -198,6 +217,26 @@ impl SimulatorHf {
     /// The worker-thread count used for batched simulation.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Overrides how many designs share one lockstep pack.
+    ///
+    /// Any pack size yields bit-identical CPIs; the size only tunes
+    /// how far each trace window is amortized against how much lane
+    /// state competes for cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pack_size` is zero.
+    pub fn with_pack_size(mut self, pack_size: usize) -> Self {
+        assert!(pack_size > 0, "need at least one design per pack");
+        self.pack_size = pack_size;
+        self
+    }
+
+    /// Designs per lockstep pack in batched simulation.
+    pub fn pack_size(&self) -> usize {
+        self.pack_size
     }
 
     /// Counters of the memoized CPI cache.
@@ -230,15 +269,18 @@ impl Evaluator for SimulatorHf {
         Fidelity::High
     }
 
-    /// Batched evaluation fanning every unmemoized (design × trace) pair
-    /// across the work pool at once, so small trace sets still keep all
-    /// cores busy on design sweeps.
+    /// Batched evaluation grouping the unmemoized designs into lockstep
+    /// packs per trace and fanning the (trace × pack) jobs across the
+    /// work pool, so small trace sets still keep all cores busy on
+    /// design sweeps while each pack re-streams its trace from the
+    /// shared expansion exactly once.
     ///
     /// Values and memo counters are identical to evaluating each point
-    /// in order; per-design CPIs are averaged in trace order, so they
-    /// are also bit-identical to the sequential walk at any thread
-    /// count. Memo answers — including within-batch duplicates after
-    /// their first occurrence — come back with
+    /// in order; lockstep simulation is bit-identical to per-run
+    /// simulation and per-design CPIs are averaged in trace order, so
+    /// they are also bit-identical to the sequential walk at any thread
+    /// count and pack size. Memo answers — including within-batch
+    /// duplicates after their first occurrence — come back with
     /// [`Evaluation::cached`] set.
     fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
         // Pass 1 (sequential): replay the exact memo-lookup sequence the
@@ -269,36 +311,42 @@ impl Evaluator for SimulatorHf {
             }
         }
 
-        // Pass 2 (parallel): one job per (design, trace) pair, gathered
-        // in job order and averaged per design in trace order. Each
-        // worker keeps one simulator and reconfigures it between
-        // designs, so cache arrays and kernel scratch allocate once per
-        // worker, not once per job; every run cold-starts the core, so
-        // results are identical to fresh construction.
+        // Pass 2 (parallel): one job per (trace, design-pack) pair —
+        // each job advances its pack of designs in lockstep over the
+        // trace's shared expansion, so the trace is streamed once per
+        // pack instead of once per design. Jobs are gathered in job
+        // order and CPIs averaged per design in trace order. Each
+        // worker keeps one batch simulator whose lanes recycle cache
+        // arrays and kernel scratch across packs; every pack
+        // cold-starts its lanes and lockstep results are bit-identical
+        // to per-run simulation, so nothing here depends on pack
+        // grouping, thread count or worker reuse.
         let n_traces = self.traces.len();
-        let jobs: Vec<(usize, usize)> =
-            (0..to_run.len()).flat_map(|d| (0..n_traces).map(move |t| (d, t))).collect();
-        let traces = &self.traces;
+        let configs: Vec<CoreConfig> = to_run.iter().map(|(_, c)| c.clone()).collect();
+        let pack_size = self.pack_size;
+        let jobs: Vec<(usize, usize)> = (0..n_traces)
+            .flat_map(|t| (0..configs.len()).step_by(pack_size).map(move |d0| (t, d0)))
+            .collect();
+        let (configs, expanded) = (&configs, &self.expanded);
         let per_job = par_map_with(
             &jobs,
             self.threads,
-            || None::<Simulator>,
-            |slot, _, &(d, t)| {
-                let config = &to_run[d].1;
-                let sim = match slot {
-                    Some(sim) => {
-                        sim.reconfigure(config);
-                        sim
-                    }
-                    None => slot.insert(Simulator::new(config.clone())),
-                };
-                sim.run(&traces[t]).cpi()
+            || None::<BatchSimulator>,
+            |slot, _, &(t, d0)| {
+                let batch = slot.get_or_insert_with(BatchSimulator::new);
+                let pack = &configs[d0..(d0 + pack_size).min(configs.len())];
+                let results = batch.run_pack(pack, &expanded[t]);
+                results.iter().map(SimResult::cpi).collect::<Vec<f64>>()
             },
         );
+        let mut cpis = vec![0.0f64; configs.len() * n_traces];
+        for (&(t, d0), pack_cpis) in jobs.iter().zip(&per_job) {
+            for (i, &cpi) in pack_cpis.iter().enumerate() {
+                cpis[(d0 + i) * n_traces + t] = cpi;
+            }
+        }
         let means: Vec<f64> = (0..to_run.len())
-            .map(|d| {
-                per_job[d * n_traces..(d + 1) * n_traces].iter().sum::<f64>() / n_traces as f64
-            })
+            .map(|d| cpis[d * n_traces..(d + 1) * n_traces].iter().sum::<f64>() / n_traces as f64)
             .collect();
         for (&(key, _), &mean) in to_run.iter().zip(&means) {
             self.cache.insert(key, mean);

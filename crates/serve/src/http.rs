@@ -65,7 +65,9 @@ pub(crate) fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Rea
     let mut reader = BufReader::new(stream);
     let request_line = match read_line(&mut reader) {
         Ok(Some(line)) => line,
-        Ok(None) => return ReadOutcome::Closed,
+        // A peer that sends nothing — or gives up mid-line — never
+        // completed a request; there is no one to answer.
+        Ok(None) | Err(LineError::Truncated) => return ReadOutcome::Closed,
         Err(LineError::TooLong) => {
             return ReadOutcome::Bad(BadRequest::new(431, "request line too long"))
         }
@@ -77,17 +79,21 @@ pub(crate) fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Rea
         _ => return ReadOutcome::Bad(BadRequest::new(400, "malformed request line")),
     };
 
-    let mut content_length = 0usize;
-    for _ in 0..MAX_HEADERS {
+    let mut content_length: Option<usize> = None;
+    let mut headers_seen = 0usize;
+    loop {
         let line = match read_line(&mut reader) {
             Ok(Some(line)) => line,
-            Ok(None) => return ReadOutcome::Bad(BadRequest::new(400, "truncated headers")),
+            Ok(None) | Err(LineError::Truncated) => {
+                return ReadOutcome::Bad(BadRequest::new(400, "truncated headers"))
+            }
             Err(LineError::TooLong) => {
                 return ReadOutcome::Bad(BadRequest::new(431, "header line too long"))
             }
             Err(LineError::Io) => return ReadOutcome::Io,
         };
         if line.is_empty() {
+            let content_length = content_length.unwrap_or(0);
             if content_length > max_body_bytes {
                 // Drain (a bounded amount of) the oversize body before
                 // answering: closing with unread bytes in the receive
@@ -106,24 +112,40 @@ pub(crate) fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Rea
                 Err(_) => ReadOutcome::Io,
             };
         }
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return ReadOutcome::Bad(BadRequest::new(431, "too many headers"));
+        }
         let Some((name, value)) = line.split_once(':') else {
             return ReadOutcome::Bad(BadRequest::new(400, format!("malformed header {line:?}")));
         };
         let name = name.trim().to_ascii_lowercase();
         if name == "content-length" {
-            match value.trim().parse::<usize>() {
-                Ok(n) => content_length = n,
-                Err(_) => return ReadOutcome::Bad(BadRequest::new(400, "bad Content-Length")),
+            // Digits only: `usize::from_str` would also accept a
+            // leading `+`, a classic request-smuggling discrepancy
+            // between front ends.
+            let value = value.trim();
+            let digits = !value.is_empty() && value.bytes().all(|b| b.is_ascii_digit());
+            let Some(n) = digits.then(|| value.parse::<usize>().ok()).flatten() else {
+                return ReadOutcome::Bad(BadRequest::new(400, "bad Content-Length"));
+            };
+            // Duplicates must agree; a conflicting pair means two
+            // parsers could frame the message differently.
+            if content_length.replace(n).is_some_and(|prev| prev != n) {
+                return ReadOutcome::Bad(BadRequest::new(400, "conflicting Content-Length"));
             }
         } else if name == "transfer-encoding" {
             return ReadOutcome::Bad(BadRequest::new(501, "chunked bodies are not supported"));
         }
     }
-    ReadOutcome::Bad(BadRequest::new(431, "too many headers"))
 }
 
 enum LineError {
+    /// The line exceeded [`MAX_LINE_BYTES`].
     TooLong,
+    /// The peer hit EOF mid-line: the request was cut off, not oversize.
+    Truncated,
+    /// The socket failed or the bytes were not UTF-8.
     Io,
 }
 
@@ -134,7 +156,7 @@ fn read_line(reader: &mut BufReader<&mut TcpStream>) -> Result<Option<String>, L
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
             Ok(0) => {
-                return if line.is_empty() { Ok(None) } else { Err(LineError::TooLong) };
+                return if line.is_empty() { Ok(None) } else { Err(LineError::Truncated) };
             }
             Ok(_) => {
                 if byte[0] == b'\n' {

@@ -1,0 +1,1052 @@
+//! Design-batched lockstep simulation over an expanded trace.
+//!
+//! [`BatchSimulator`] advances K designs ("lanes") over one shared
+//! [`ExpandedTrace`] in lockstep *windows*: lane 0 simulates until its
+//! fetch pointer crosses the current window boundary, then lane 1, …,
+//! then the window advances. Each lane is an independent deterministic
+//! state machine, so pausing and resuming it at window boundaries
+//! cannot change a single counter — per-lane results are bit-identical
+//! to running [`Simulator`](crate::Simulator) on the original trace,
+//! at any pack size and any window length (asserted by
+//! `crates/sim/tests/batch_equivalence.rs`). What lockstep buys is
+//! locality: a window of trace data stays hot in cache while all K
+//! designs consume it, instead of the whole trace being re-streamed
+//! once per design.
+//!
+//! The lane kernel is the event-driven kernel of `kernel.rs` re-plumbed
+//! for the struct-of-arrays trace, with mechanical speedups that
+//! change no observable behaviour:
+//!
+//! * ROB bookkeeping works in slot indices, so the hot loops never
+//!   compute `idx % rob_entries` (an integer division) — head/fetch
+//!   slots advance by wrapping increments, dependency slots by a
+//!   compare-and-subtract;
+//! * completion events live in a bucketed [`TimingWheel`] instead of a
+//!   binary heap — O(1) flat-array push/pop with a cached earliest due
+//!   time — and instructions whose latency is a single cycle (stores,
+//!   and int/fp ops at unit latency) never enter it at all: they
+//!   complete at issue time with the due time and side effects an
+//!   event popping next cycle would have had, their consumer wakeups
+//!   staged until the issue scan ends so nothing issues a cycle early;
+//! * the ready "queue" is one bit per ROB slot: wakeup is a bit-set
+//!   (the per-run kernel pays a sorted insert), and the issue scan
+//!   walks set bits once around the ring from the ROB head — exactly
+//!   ascending age order — stopping early once every functional-unit
+//!   class is spent for the cycle;
+//! * the per-cycle "can anything issue?" probe is O(1) (ready count,
+//!   ready-load count, MSHR count), and on cycles where it proves
+//!   nothing can issue the scan is skipped entirely, crediting the
+//!   same single MSHR stall the full scan would have found;
+//! * the caches are [`LaneCache`]s — decision-identical to
+//!   [`Cache`](crate::Cache) but indexed by shift/mask for the
+//!   power-of-two geometries of the design space — and the MSHR file
+//!   is a counter decremented on load completion instead of a per-cycle
+//!   expiry scan, because an MSHR frees exactly when its load's
+//!   completion event pops.
+
+use dse_workloads::Op;
+
+use crate::expand::{BR_IS_BRANCH, BR_MISPREDICTED, BR_SITE_SHIFT, BR_TAKEN, NO_DEP};
+use crate::{BranchModel, CoreConfig, ExpandedTrace, Gshare, SimResult};
+
+/// Progress guard, mirroring the per-run kernel's deadlock tripwire.
+const DEADLOCK_CYCLES: u64 = 1_000_000;
+
+/// Null link of the intrusive waiter lists.
+const NO_WAITER: u32 = u32::MAX;
+
+/// Default lockstep window, in instructions. At ~21 bytes per expanded
+/// instruction a window is ~86 KiB — small enough to stay resident in
+/// L2 while every lane of a pack consumes it.
+const DEFAULT_WINDOW: usize = 4_096;
+
+/// Lanes advanced per lockstep rotation. Large packs run as a sequence
+/// of clusters this big, so the combined per-lane simulator state
+/// stays cache-resident across window switches; the shared expanded
+/// trace is small enough that re-streaming it once per cluster is
+/// cheap. Purely a scheduling choice — results are identical at any
+/// cluster size.
+const LANE_CLUSTER: usize = 8;
+
+/// Completion events bucketed by cycle — a timing wheel.
+///
+/// Every scheduled latency is at most one worst-case memory access
+/// (`l1_hit + l2_hit + dram`), so at any instant all live events span at
+/// most `horizon` cycles; with the bucket count sized past that horizon,
+/// bucket indices are unambiguous within one lap of the earliest event.
+/// Buckets are intrusive singly-linked lists threaded through a per-slot
+/// `next` array (a ROB slot has at most one event in flight), so push
+/// and pop are O(1) flat-array writes with no per-bucket allocation, and
+/// the earliest due time is a cached field — peeking costs one load.
+///
+/// Events due on the same cycle pop in per-bucket LIFO order. Like the
+/// binary heap's unspecified tie order this is observation-free:
+/// equal-time completions only do order-independent work (see
+/// `events.rs`).
+#[derive(Debug, Default)]
+struct TimingWheel {
+    /// Per bucket: head slot of the chain, or [`NO_WAITER`].
+    head: Vec<u32>,
+    /// Per ROB slot: next slot in the same bucket's chain.
+    next: Vec<u32>,
+    /// One bit per bucket, set while the bucket is non-empty.
+    occupied: Vec<u64>,
+    /// Cached earliest due time; `u64::MAX` when empty.
+    next_due: u64,
+    len: usize,
+}
+
+impl TimingWheel {
+    /// Grows the wheel so every latency up to `horizon` cycles fits
+    /// within one lap, and sizes the chain links for `slots` ROB
+    /// entries. Bucket storage never shrinks — a wheel sized for a slow
+    /// design keeps working for a fast one.
+    fn reshape(&mut self, horizon: u64, slots: usize) {
+        let need = ((horizon + 1).next_power_of_two() as usize).max(64);
+        if self.head.len() < need {
+            self.head.resize(need, NO_WAITER);
+            self.occupied.resize(need / 64, 0);
+        }
+        // Link values are only read while reachable from a head, so
+        // grown entries need no particular value.
+        self.next.resize(slots.max(self.next.len()), NO_WAITER);
+    }
+
+    /// Removes every event for a fresh run.
+    fn clear(&mut self) {
+        if self.len > 0 {
+            for w in 0..self.occupied.len() {
+                let mut bits = self.occupied[w];
+                while bits != 0 {
+                    self.head[w * 64 + bits.trailing_zeros() as usize] = NO_WAITER;
+                    bits &= bits - 1;
+                }
+                self.occupied[w] = 0;
+            }
+        }
+        self.len = 0;
+        self.next_due = u64::MAX;
+    }
+
+    /// Schedules `slot` to complete at cycle `at`.
+    fn push(&mut self, at: u64, slot: u32) {
+        debug_assert!(
+            self.next_due == u64::MAX || at.abs_diff(self.next_due) < self.head.len() as u64,
+            "event at {at} more than one wheel lap from earliest {}",
+            self.next_due
+        );
+        let b = (at as usize) & (self.head.len() - 1);
+        self.next[slot as usize] = self.head[b];
+        if self.head[b] == NO_WAITER {
+            self.occupied[b / 64] |= 1 << (b % 64);
+        }
+        self.head[b] = slot;
+        self.len += 1;
+        self.next_due = self.next_due.min(at);
+    }
+
+    /// The earliest pending completion time, if any (one load).
+    fn next_at(&self) -> Option<u64> {
+        (self.next_due != u64::MAX).then_some(self.next_due)
+    }
+
+    /// Pops one event due at or before `now`, with its due time.
+    fn pop_due(&mut self, now: u64) -> Option<(u64, u32)> {
+        let at = self.next_due;
+        if at > now {
+            return None;
+        }
+        let b = (at as usize) & (self.head.len() - 1);
+        let slot = self.head[b];
+        let rest = self.next[slot as usize];
+        self.head[b] = rest;
+        self.len -= 1;
+        if rest == NO_WAITER {
+            self.occupied[b / 64] &= !(1 << (b % 64));
+            self.next_due = self.scan_from(at + 1);
+        }
+        Some((at, slot))
+    }
+
+    /// Earliest live due time at or after `from`, or `u64::MAX` if the
+    /// wheel is empty. All live events lie within `horizon` (< one lap)
+    /// of each other, so one lap of the occupancy bitmap from `from`'s
+    /// bucket finds the minimum unambiguously.
+    fn scan_from(&self, from: u64) -> u64 {
+        if self.len == 0 {
+            return u64::MAX;
+        }
+        let n = self.head.len();
+        let start = (from as usize) & (n - 1);
+        let words = self.occupied.len();
+        let mut w = start / 64;
+        let mut word = self.occupied[w] & (!0u64 << (start % 64));
+        for _ in 0..=words {
+            if word != 0 {
+                let b = w * 64 + word.trailing_zeros() as usize;
+                return from + ((b + n - start) & (n - 1)) as u64;
+            }
+            w += 1;
+            if w == words {
+                w = 0;
+            }
+            word = self.occupied[w];
+        }
+        unreachable!("timing wheel holds {} events but no occupied bucket", self.len)
+    }
+}
+
+/// The lane-local cache model: hit/miss and victim decisions exactly
+/// match [`Cache`] (same set/tag split, same true-LRU with first-empty
+/// preference and lowest-index tie break), laid out for the batch
+/// kernel's access pattern. `(tag, stamp)` pairs interleave in one array
+/// so a set probe walks one contiguous stream instead of two, and the
+/// in-design-space power-of-two set counts index by shift/mask instead
+/// of two 64-bit divisions (non-power-of-two geometries fall back to the
+/// exact divisions).
+#[derive(Debug, Default)]
+struct LaneCache {
+    sets: usize,
+    ways: usize,
+    /// `log2(sets)` when `sets` is a power of two, else `u32::MAX`.
+    shift: u32,
+    /// `(tag + 1, last-access stamp)` per line; tag 0 marks empty.
+    /// `lines[set * ways + way]`, like [`Cache`].
+    lines: Vec<(u64, u64)>,
+    tick: u64,
+}
+
+impl LaneCache {
+    /// Re-geometries to empty `sets × ways`, reusing the line storage.
+    fn reshape(&mut self, sets: usize, ways: usize) {
+        debug_assert!(sets > 0 && ways > 0);
+        self.sets = sets;
+        self.ways = ways;
+        self.shift = if sets.is_power_of_two() { sets.trailing_zeros() } else { u32::MAX };
+        self.lines.clear();
+        self.lines.resize(sets * ways, (0, 0));
+        self.tick = 0;
+    }
+
+    /// Empties the cache; equivalent to a fresh reshape.
+    fn reset(&mut self) {
+        self.lines.fill((0, 0));
+        self.tick = 0;
+    }
+
+    /// Accesses `addr`, returning whether it hit; allocates on miss and
+    /// updates LRU state either way — bit-for-bit the decisions of
+    /// [`Cache::access`].
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr / crate::cache::LINE_BYTES;
+        let (set, tag) = if self.shift != u32::MAX {
+            (line as usize & (self.sets - 1), line >> self.shift)
+        } else {
+            ((line % self.sets as u64) as usize, line / self.sets as u64)
+        };
+        // Tags get +1 so 0 can mark an empty way; `line` cannot
+        // overflow: it is `addr / 64`, so `tag + 1` fits.
+        let key = tag + 1;
+        let set = &mut self.lines[set * self.ways..(set + 1) * self.ways];
+        for way in set.iter_mut() {
+            if way.0 == key {
+                way.1 = self.tick;
+                return true;
+            }
+        }
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for (w, way) in set.iter().enumerate() {
+            if way.0 == 0 {
+                victim = w;
+                break;
+            }
+            if way.1 < oldest {
+                oldest = way.1;
+                victim = w;
+            }
+        }
+        set[victim] = (key, self.tick);
+        false
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Dispatched, waiting for operands and a functional unit.
+    Waiting,
+    /// Executing; a completion event is scheduled.
+    Issued,
+    /// Finished executing; awaiting in-order commit.
+    Done,
+}
+
+/// One ROB entry of a lane, stored in a ring of `rob_entries` slots.
+/// 16 bytes — four entries per cache line.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    addr: u64,
+    /// Head of this producer's waiter list: packed
+    /// `(consumer_slot << 1) | operand`, or [`NO_WAITER`].
+    first_waiter: u32,
+    op: Op,
+    state: SlotState,
+    /// Operands still waiting on an in-flight producer.
+    pending: u8,
+    /// Whether this in-flight load occupies an MSHR (released when its
+    /// completion event pops — the release times coincide exactly).
+    holds_mshr: bool,
+}
+
+impl Slot {
+    /// Filler for never-dispatched ring slots.
+    fn vacant() -> Self {
+        Slot {
+            addr: 0,
+            first_waiter: NO_WAITER,
+            op: Op::IntAlu,
+            state: SlotState::Done,
+            pending: 0,
+            holds_mshr: false,
+        }
+    }
+}
+
+/// One design's complete simulation state: core structures plus the
+/// paused position of its run. Lanes recycle every allocation across
+/// packs, exactly like a reused [`Simulator`](crate::Simulator).
+#[derive(Debug)]
+struct Lane {
+    config: CoreConfig,
+    l1: LaneCache,
+    l2: LaneCache,
+    predictor: Option<Gshare>,
+    slots: Vec<Slot>,
+    /// Per consumer slot, per operand: next packed waiter in the
+    /// producer's list.
+    next_waiter: Vec<[u32; 2]>,
+    /// One bit per ROB slot, set while the slot is ready to issue.
+    /// Scanning set bits from `head_slot` (wrapping once) visits ready
+    /// entries in ROB age = ascending trace-index order — exactly the
+    /// order a sorted ready queue would, with O(1) insertion instead of
+    /// a sorted `Vec::insert` memmove.
+    ready_bits: Vec<u64>,
+    /// Number of set bits in `ready_bits`.
+    ready_len: usize,
+    /// Ready entries that are loads (the only class whose issue can be
+    /// blocked by a full MSHR file rather than a per-cycle FU slot).
+    ready_loads: usize,
+    /// Consumers woken by completions, staged until the current stage
+    /// finishes. Staging keeps a wakeup that happens *during* the issue
+    /// scan (an instruction completing at issue time) from becoming
+    /// issue-eligible one cycle early.
+    woken: Vec<(u32, Op)>,
+    /// Pending completion events, bucketed by due cycle.
+    events: TimingWheel,
+    /// Loads currently holding an MSHR (outstanding L1 misses). An MSHR
+    /// frees exactly when its load's completion event pops, so a count
+    /// replaces the per-cycle expiry scan over release times.
+    mshr_inflight: usize,
+    stats: SimResult,
+    /// Trace index of the ROB head (committed instructions).
+    committed: usize,
+    /// Next trace index to dispatch.
+    next_fetch: usize,
+    /// `committed % rob_entries`, maintained by wrapping increment.
+    head_slot: usize,
+    /// `next_fetch % rob_entries`, maintained by wrapping increment.
+    fetch_slot: usize,
+    /// Dispatched-but-unissued entries.
+    iq_occupancy: usize,
+    cycle: u64,
+    fetch_resume_at: u64,
+    /// ROB slot of an unresolved mispredicted branch blocking fetch.
+    /// Slots are unambiguous here: fetch freezes until the flush
+    /// resolves, so the branch's slot cannot be reused meanwhile.
+    pending_flush: Option<u32>,
+    last_commit_cycle: u64,
+    /// Whether this lane has committed its whole trace.
+    done: bool,
+}
+
+impl Lane {
+    fn new(config: &CoreConfig) -> Self {
+        let mut l1 = LaneCache::default();
+        l1.reshape(config.l1_sets, config.l1_ways);
+        let mut l2 = LaneCache::default();
+        l2.reshape(config.l2_sets, config.l2_ways);
+        Self {
+            l1,
+            l2,
+            predictor: build_predictor(config),
+            config: config.clone(),
+            slots: Vec::new(),
+            next_waiter: Vec::new(),
+            ready_bits: Vec::new(),
+            ready_len: 0,
+            ready_loads: 0,
+            woken: Vec::new(),
+            events: TimingWheel::default(),
+            mshr_inflight: 0,
+            stats: SimResult::default(),
+            committed: 0,
+            next_fetch: 0,
+            head_slot: 0,
+            fetch_slot: 0,
+            iq_occupancy: 0,
+            cycle: 0,
+            fetch_resume_at: 0,
+            pending_flush: None,
+            last_commit_cycle: 0,
+            done: false,
+        }
+    }
+
+    /// Points this lane at `config` and returns it to the cold-core
+    /// state a fresh [`Simulator`](crate::Simulator) would start from,
+    /// reusing allocations wherever the geometry allows.
+    fn start(&mut self, config: &CoreConfig) {
+        if *config != self.config {
+            self.l1.reshape(config.l1_sets, config.l1_ways);
+            self.l2.reshape(config.l2_sets, config.l2_ways);
+            self.predictor = match (config.branch_model, self.predictor.take()) {
+                (BranchModel::Gshare { history_bits, table_bits }, Some(p))
+                    if p.matches_geometry(history_bits, table_bits) =>
+                {
+                    Some(p)
+                }
+                _ => build_predictor(config),
+            };
+            self.config = config.clone();
+        }
+        self.l1.reset();
+        self.l2.reset();
+        if let Some(p) = &mut self.predictor {
+            p.reset();
+        }
+        let cap = self.config.rob_entries;
+        self.slots.clear();
+        self.slots.resize(cap, Slot::vacant());
+        self.next_waiter.clear();
+        self.next_waiter.resize(cap, [NO_WAITER; 2]);
+        self.ready_bits.clear();
+        self.ready_bits.resize(cap.div_ceil(64), 0);
+        self.ready_len = 0;
+        self.ready_loads = 0;
+        self.woken.clear();
+        let lat = self.config.latencies;
+        self.events.reshape(
+            (lat.l1_hit + lat.l2_hit + lat.dram)
+                .max(lat.int_alu)
+                .max(lat.int_mul)
+                .max(lat.fp)
+                .max(1),
+            cap,
+        );
+        self.events.clear();
+        self.mshr_inflight = 0;
+        self.stats = SimResult::default();
+        self.committed = 0;
+        self.next_fetch = 0;
+        self.head_slot = 0;
+        self.fetch_slot = 0;
+        self.iq_occupancy = 0;
+        self.cycle = 0;
+        self.fetch_resume_at = 0;
+        self.pending_flush = None;
+        self.last_commit_cycle = 0;
+        self.done = false;
+    }
+
+    /// Marks `slot` ready to issue.
+    #[inline]
+    fn make_ready(&mut self, slot: u32, op: Op) {
+        self.ready_bits[slot as usize / 64] |= 1 << (slot % 64);
+        self.ready_len += 1;
+        self.ready_loads += usize::from(op == Op::Load);
+    }
+
+    /// Publishes staged wakeups into the ready bitmap.
+    #[inline]
+    fn drain_woken(&mut self) {
+        for k in 0..self.woken.len() {
+            let (slot, op) = self.woken[k];
+            self.make_ready(slot, op);
+        }
+        self.woken.clear();
+    }
+
+    /// Retires the execution of `slot`, whose completion fell due at
+    /// cycle `t`: marks it done, releases its MSHR, resolves a flush it
+    /// was blocking, and stages a wakeup for every consumer waiting on
+    /// it (the caller publishes them with [`Self::drain_woken`]).
+    /// Same-cycle completions may run in any order — all of this is
+    /// order-independent (see `events.rs`).
+    #[inline]
+    fn complete(&mut self, slot: usize, t: u64) {
+        debug_assert_eq!(self.slots[slot].state, SlotState::Issued);
+        self.slots[slot].state = SlotState::Done;
+        if self.slots[slot].holds_mshr {
+            self.slots[slot].holds_mshr = false;
+            self.mshr_inflight -= 1;
+        }
+        if self.pending_flush == Some(slot as u32) {
+            self.pending_flush = None;
+            self.fetch_resume_at = t + self.config.latencies.flush_penalty;
+            self.stats.flushes += 1;
+        }
+        // Wake every consumer waiting on this producer.
+        let mut waiter = self.slots[slot].first_waiter;
+        self.slots[slot].first_waiter = NO_WAITER;
+        while waiter != NO_WAITER {
+            let (consumer, operand) = ((waiter >> 1) as usize, (waiter & 1) as usize);
+            waiter = self.next_waiter[consumer][operand];
+            let entry = self.slots[consumer];
+            self.slots[consumer].pending = entry.pending - 1;
+            if entry.pending == 1 {
+                self.woken.push((consumer as u32, entry.op));
+            }
+        }
+    }
+
+    /// Runs this lane until it either commits the whole trace or its
+    /// fetch pointer reaches `fetch_limit` (the lockstep window edge).
+    /// Resuming with a later limit continues the run exactly where it
+    /// paused — the pause is invisible to every counter.
+    fn advance(&mut self, x: &ExpandedTrace, fetch_limit: usize) {
+        let lat = self.config.latencies;
+        let cap = self.config.rob_entries;
+
+        while self.committed < x.len() {
+            if self.next_fetch >= fetch_limit {
+                return;
+            }
+            self.cycle += 1;
+
+            // --- Idle-cycle skip-ahead (O(1) probes) -----------------
+            let head_done = self.committed < self.next_fetch
+                && self.slots[self.head_slot].state == SlotState::Done;
+            let event_due = self.events.next_at().is_some_and(|t| t <= self.cycle);
+            let can_issue = self.ready_len > self.ready_loads
+                || (self.ready_loads > 0 && self.mshr_inflight < self.config.mshrs);
+            let fetch_has_room = self.next_fetch < x.len()
+                && self.next_fetch - self.committed < cap
+                && self.iq_occupancy < self.config.iq_entries;
+            let can_dispatch = self.pending_flush.is_none() && fetch_has_room;
+            if !(event_due
+                || head_done
+                || can_issue
+                || (can_dispatch && self.cycle >= self.fetch_resume_at))
+            {
+                let mut target = self.events.next_at().unwrap_or(u64::MAX);
+                if can_dispatch {
+                    target = target.min(self.fetch_resume_at);
+                }
+                assert!(
+                    target != u64::MAX,
+                    "pipeline deadlock at cycle {} (committed {}/{})",
+                    self.cycle,
+                    self.committed,
+                    x.len()
+                );
+                debug_assert!(target > self.cycle);
+                // Every skipped cycle with a ready (necessarily
+                // MSHR-blocked) load would have counted one stall in
+                // the per-cycle walk; credit them in bulk.
+                if self.ready_len > 0 {
+                    self.stats.mshr_stall_cycles += target - self.cycle;
+                }
+                self.cycle = target;
+            }
+            assert!(
+                self.cycle - self.last_commit_cycle < DEADLOCK_CYCLES,
+                "pipeline deadlock at cycle {} (committed {}/{})",
+                self.cycle,
+                self.committed,
+                x.len()
+            );
+
+            // 1. Complete executions whose latency has elapsed. (Unit-
+            //    latency instructions never get here: they complete at
+            //    issue time, below.) Wakeups publish before the issue
+            //    stage, so a woken consumer is issue-eligible this
+            //    cycle — just as it would be in the per-run kernel.
+            while let Some((t, slot)) = self.events.pop_due(self.cycle) {
+                self.complete(slot as usize, t);
+            }
+            self.drain_woken();
+
+            // 2. In-order commit, up to the machine width.
+            let mut commits = 0;
+            while commits < self.config.decode_width
+                && self.committed < self.next_fetch
+                && self.slots[self.head_slot].state == SlotState::Done
+            {
+                self.committed += 1;
+                self.head_slot += 1;
+                if self.head_slot == cap {
+                    self.head_slot = 0;
+                }
+                commits += 1;
+            }
+            if commits > 0 {
+                self.last_commit_cycle = self.cycle;
+            }
+
+            // 3. Issue ready instructions, oldest first, to free
+            //    functional units. When the O(1) probe proves nothing
+            //    can issue, the only scan-observable effect would be
+            //    the single MSHR stall a blocked ready load records.
+            let issuable = self.ready_len > self.ready_loads
+                || (self.ready_loads > 0 && self.mshr_inflight < self.config.mshrs);
+            if !issuable {
+                if self.ready_loads > 0 {
+                    self.stats.mshr_stall_cycles += 1;
+                }
+            } else {
+                let mut int_slots = self.config.int_fus;
+                let mut mem_slots = self.config.mem_fus;
+                let mut fp_slots = self.config.fp_fus;
+                let mut mshr_blocked_load = false;
+                // Walk set bits once around the ring starting at the
+                // ROB head: [head_slot..cap) then [0..head_slot), which
+                // is exactly ascending trace-index (age) order. The
+                // head word is visited twice, masked to its high then
+                // its low bits.
+                let words = self.ready_bits.len();
+                let high = !0u64 << (self.head_slot % 64);
+                let mut w = self.head_slot / 64;
+                'scan: for step in 0..=words {
+                    let sel = if step == 0 {
+                        high
+                    } else if step == words {
+                        !high
+                    } else {
+                        !0
+                    };
+                    let mut bits = self.ready_bits[w] & sel;
+                    while bits != 0 {
+                        if int_slots == 0 && mem_slots == 0 && fp_slots == 0 {
+                            // Every functional-unit class is spent for
+                            // this cycle, so each remaining entry would
+                            // take its `*_slots == 0` skip — a load
+                            // blocked this way never even probes the
+                            // MSHR file. Leave the rest ready and stop.
+                            break 'scan;
+                        }
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let slot = w * 64 + bit;
+                        let entry = self.slots[slot];
+                        let done_at = match entry.op {
+                            Op::IntAlu | Op::IntMul | Op::Branch => {
+                                if int_slots == 0 {
+                                    continue;
+                                }
+                                int_slots -= 1;
+                                let l =
+                                    if entry.op == Op::IntMul { lat.int_mul } else { lat.int_alu };
+                                self.cycle + l
+                            }
+                            Op::FpAlu => {
+                                if fp_slots == 0 {
+                                    continue;
+                                }
+                                fp_slots -= 1;
+                                self.cycle + lat.fp
+                            }
+                            Op::Load => {
+                                if mem_slots == 0 {
+                                    continue;
+                                }
+                                // A load needs a free MSHR in case it
+                                // misses; if none is free it must wait.
+                                if self.mshr_inflight >= self.config.mshrs {
+                                    mshr_blocked_load = true;
+                                    continue;
+                                }
+                                mem_slots -= 1;
+                                self.stats.l1_accesses += 1;
+                                let latency = if self.l1.access(entry.addr) {
+                                    lat.l1_hit
+                                } else {
+                                    self.stats.l1_misses += 1;
+                                    self.stats.l2_accesses += 1;
+                                    let t = if self.l2.access(entry.addr) {
+                                        lat.l1_hit + lat.l2_hit
+                                    } else {
+                                        self.stats.l2_misses += 1;
+                                        if self.config.l2_next_line_prefetch {
+                                            // Idealized next-line
+                                            // prefetch, as in the
+                                            // per-run kernel.
+                                            self.l2.access(entry.addr + crate::cache::LINE_BYTES);
+                                            self.stats.prefetches += 1;
+                                        }
+                                        lat.l1_hit + lat.l2_hit + lat.dram
+                                    };
+                                    self.slots[slot].holds_mshr = true;
+                                    self.mshr_inflight += 1;
+                                    t
+                                };
+                                self.ready_loads -= 1;
+                                self.cycle + latency
+                            }
+                            Op::Store => {
+                                if mem_slots == 0 {
+                                    continue;
+                                }
+                                mem_slots -= 1;
+                                // Stores retire into a store buffer:
+                                // they update cache state but never
+                                // stall.
+                                self.stats.l1_accesses += 1;
+                                if !self.l1.access(entry.addr) {
+                                    self.stats.l1_misses += 1;
+                                    self.stats.l2_accesses += 1;
+                                    if !self.l2.access(entry.addr) {
+                                        self.stats.l2_misses += 1;
+                                    }
+                                }
+                                self.cycle + 1
+                            }
+                        };
+                        self.ready_bits[w] &= !(1u64 << bit);
+                        self.ready_len -= 1;
+                        self.iq_occupancy -= 1;
+                        self.slots[slot].state = SlotState::Issued;
+                        if done_at == self.cycle + 1 && !self.slots[slot].holds_mshr {
+                            // Unit latency: complete right now instead
+                            // of taking a wheel round-trip through the
+                            // next iteration. The due time and every
+                            // observable side effect are those of an
+                            // event popping at `cycle + 1`; staged
+                            // wakeups publish after the scan, so a
+                            // woken consumer still cannot issue before
+                            // the next cycle.
+                            self.complete(slot, done_at);
+                        } else {
+                            self.events.push(done_at, slot as u32);
+                        }
+                    }
+                    w += 1;
+                    if w == words {
+                        w = 0;
+                    }
+                }
+                if mshr_blocked_load {
+                    self.stats.mshr_stall_cycles += 1;
+                }
+                self.drain_woken();
+            }
+
+            // 4. Dispatch new instructions unless the front end is
+            //    frozen by an unresolved mispredict or refilling.
+            if self.pending_flush.is_none() && self.cycle >= self.fetch_resume_at {
+                // All four dispatch bounds shrink by exactly one per
+                // dispatched instruction, so the burst length is known
+                // up front; only a mispredict cuts it short.
+                let burst = self
+                    .config
+                    .decode_width
+                    .min(x.len() - self.next_fetch)
+                    .min(cap - (self.next_fetch - self.committed))
+                    .min(self.config.iq_entries - self.iq_occupancy);
+                let mut dispatched = 0;
+                while dispatched < burst {
+                    let i = self.next_fetch;
+                    let slot = self.fetch_slot;
+                    let op = x.ops[i];
+                    // Count unresolved operands and hook this consumer
+                    // into each outstanding producer's wakeup list. A
+                    // distance inside the in-flight window resolves to
+                    // a live slot without any modulo: the window is at
+                    // most `cap` deep, so one wrap-around compare does.
+                    let in_flight = i - self.committed;
+                    let mut pending = 0u8;
+                    for (operand, &d) in x.deps[i].iter().enumerate() {
+                        let d = d as usize;
+                        if d != NO_DEP as usize && d <= in_flight {
+                            let p_slot = if slot >= d { slot - d } else { slot + cap - d };
+                            if self.slots[p_slot].state != SlotState::Done {
+                                self.next_waiter[slot][operand] = self.slots[p_slot].first_waiter;
+                                self.slots[p_slot].first_waiter =
+                                    ((slot as u32) << 1) | operand as u32;
+                                pending += 1;
+                            }
+                        }
+                    }
+                    self.slots[slot] = Slot {
+                        addr: x.addrs[i],
+                        first_waiter: NO_WAITER,
+                        op,
+                        state: SlotState::Waiting,
+                        pending,
+                        holds_mshr: false,
+                    };
+                    if pending == 0 {
+                        self.make_ready(slot as u32, op);
+                    }
+                    self.iq_occupancy += 1;
+                    // Resolve the prediction at fetch: either the trace
+                    // oracle or the live gshare predictor.
+                    let meta = x.branches[i];
+                    let was_mispredict = if meta & BR_IS_BRANCH == 0 {
+                        false
+                    } else {
+                        match &mut self.predictor {
+                            Some(p) => p.predict_and_update(
+                                (meta >> BR_SITE_SHIFT) as u16,
+                                meta & BR_TAKEN != 0,
+                            ),
+                            None => meta & BR_MISPREDICTED != 0,
+                        }
+                    };
+                    self.next_fetch += 1;
+                    self.fetch_slot += 1;
+                    if self.fetch_slot == cap {
+                        self.fetch_slot = 0;
+                    }
+                    dispatched += 1;
+                    if was_mispredict {
+                        self.pending_flush = Some(slot as u32);
+                        break;
+                    }
+                }
+            }
+        }
+
+        self.stats.cycles = self.cycle;
+        self.stats.instructions = self.committed as u64;
+        self.done = true;
+    }
+}
+
+fn build_predictor(config: &CoreConfig) -> Option<Gshare> {
+    match config.branch_model {
+        BranchModel::FromTrace => None,
+        BranchModel::Gshare { history_bits, table_bits } => {
+            Some(Gshare::new(history_bits, table_bits))
+        }
+    }
+}
+
+/// Simulates a pack of designs in lockstep over one shared
+/// [`ExpandedTrace`].
+///
+/// Results are bit-identical to running each design through
+/// [`Simulator`](crate::Simulator) on the original trace — the lockstep
+/// schedule only changes *when* each design's deterministic state
+/// machine runs, never what it computes — while the shared trace window
+/// stays hot in cache across all designs of the pack.
+///
+/// A `BatchSimulator` reuses its per-lane allocations (ROB rings, cache
+/// arrays, timing wheels) across packs, so a worker thread sweeping
+/// many packs allocates once per lane, not once per design.
+///
+/// # Examples
+///
+/// ```
+/// use dse_sim::{BatchSimulator, CoreConfig, ExpandedTrace, Simulator};
+/// use dse_space::DesignSpace;
+/// use dse_workloads::Benchmark;
+///
+/// let space = DesignSpace::boom();
+/// let trace = Benchmark::Mm.trace(2_000, 7);
+/// let configs: Vec<CoreConfig> = [space.smallest(), space.largest()]
+///     .iter()
+///     .map(|p| CoreConfig::from_point(&space, p))
+///     .collect();
+/// let batch = BatchSimulator::new().run_pack(&configs, &ExpandedTrace::expand(&trace));
+/// assert_eq!(batch[1], Simulator::new(configs[1].clone()).run(&trace));
+/// ```
+#[derive(Debug)]
+pub struct BatchSimulator {
+    lanes: Vec<Lane>,
+    window: usize,
+}
+
+impl Default for BatchSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchSimulator {
+    /// Creates a batch simulator with the default lockstep window.
+    pub fn new() -> Self {
+        Self { lanes: Vec::new(), window: DEFAULT_WINDOW }
+    }
+
+    /// Overrides the lockstep window length, in instructions.
+    ///
+    /// Any window produces bit-identical results; the length only
+    /// tunes how much trace data is shared per lane switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "lockstep window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// The lockstep window length, in instructions.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Simulates every design of `configs` over `trace`, returning one
+    /// [`SimResult`] per design in input order.
+    ///
+    /// Each result is bit-identical to
+    /// `Simulator::new(config).run(&original_trace)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace, an empty pack, or an invalid
+    /// configuration.
+    pub fn run_pack(&mut self, configs: &[CoreConfig], trace: &ExpandedTrace) -> Vec<SimResult> {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        assert!(!configs.is_empty(), "cannot simulate an empty design pack");
+        for config in configs {
+            if let Err(e) = config.validate() {
+                panic!("invalid core configuration: {e}");
+            }
+        }
+        while self.lanes.len() < configs.len() {
+            self.lanes.push(Lane::new(&configs[self.lanes.len()]));
+        }
+        let lanes = &mut self.lanes[..configs.len()];
+        for (lane, config) in lanes.iter_mut().zip(configs) {
+            lane.start(config);
+        }
+
+        // Lanes are visited in clusters: every lane of a cluster
+        // finishes the whole trace before the next cluster starts.
+        // Within a cluster the window rotation shares trace data; the
+        // cluster bound keeps the combined lane state (ROB rings plus
+        // cache-model arrays, which can reach ~1 MiB per large design)
+        // resident across window switches instead of thrashing when a
+        // caller hands over a very large pack. Scheduling order cannot
+        // change any result: lanes never interact.
+        for cluster in lanes.chunks_mut(LANE_CLUSTER) {
+            let mut fetch_limit = self.window;
+            loop {
+                let limit = if fetch_limit >= trace.len() { usize::MAX } else { fetch_limit };
+                let mut all_done = true;
+                for lane in cluster.iter_mut() {
+                    if !lane.done {
+                        lane.advance(trace, limit);
+                        all_done &= lane.done;
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                fetch_limit += self.window;
+            }
+        }
+
+        let m = metrics();
+        m.packs.inc();
+        m.pack_designs.observe(configs.len() as f64);
+        m.expansion_reuse.inc();
+        lanes.iter().map(|lane| lane.stats).collect()
+    }
+}
+
+/// Cached registry handles for batch-kernel metrics.
+struct BatchMetrics {
+    packs: dse_obs::Counter,
+    pack_designs: dse_obs::Histogram,
+    /// Packs served from an already-expanded trace; together with
+    /// `sim_trace_expansions_total` this measures how far each one-time
+    /// expansion was amortized.
+    expansion_reuse: dse_obs::Counter,
+}
+
+fn metrics() -> &'static BatchMetrics {
+    static METRICS: std::sync::OnceLock<BatchMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = dse_obs::global();
+        BatchMetrics {
+            packs: registry.counter("sim_batch_packs_total"),
+            pack_designs: registry.histogram("sim_batch_pack_designs", dse_obs::SIZE_BUCKETS),
+            expansion_reuse: registry.counter("sim_batch_expansion_reuse_total"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use dse_space::DesignSpace;
+    use dse_workloads::Benchmark;
+
+    fn configs(count: u64) -> Vec<CoreConfig> {
+        let space = DesignSpace::boom();
+        (0..count)
+            .map(|i| {
+                CoreConfig::from_point(&space, &space.decode(i * (space.size() - 1) / count.max(2)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_matches_per_run_simulation() {
+        let trace = Benchmark::Dijkstra.trace(6_000, 3);
+        let x = ExpandedTrace::expand(&trace);
+        let cfgs = configs(5);
+        let batch = BatchSimulator::new().run_pack(&cfgs, &x);
+        for (i, (cfg, got)) in cfgs.iter().zip(&batch).enumerate() {
+            assert_eq!(*got, Simulator::new(cfg.clone()).run(&trace), "design {i}");
+        }
+    }
+
+    #[test]
+    fn window_length_is_invisible_to_results() {
+        let trace = Benchmark::FpVvadd.trace(4_000, 5);
+        let x = ExpandedTrace::expand(&trace);
+        let cfgs = configs(3);
+        let reference = BatchSimulator::new().run_pack(&cfgs, &x);
+        for window in [1, 7, 100, 4_000, 1 << 20] {
+            let got = BatchSimulator::new().with_window(window).run_pack(&cfgs, &x);
+            assert_eq!(got, reference, "window {window}");
+        }
+    }
+
+    #[test]
+    fn pack_reuse_matches_fresh_packs() {
+        // One BatchSimulator across packs of different sizes and
+        // designs must behave like a fresh one each time.
+        let trace_a = Benchmark::Mm.trace(3_000, 2);
+        let trace_b = Benchmark::Quicksort.trace(3_000, 8);
+        let (xa, xb) = (ExpandedTrace::expand(&trace_a), ExpandedTrace::expand(&trace_b));
+        let cfgs = configs(6);
+        let mut reused = BatchSimulator::new();
+        let first = reused.run_pack(&cfgs, &xa);
+        let second = reused.run_pack(&cfgs[..2], &xb);
+        let third = reused.run_pack(&cfgs, &xa);
+        assert_eq!(first, BatchSimulator::new().run_pack(&cfgs, &xa));
+        assert_eq!(second, BatchSimulator::new().run_pack(&cfgs[..2], &xb));
+        assert_eq!(first, third, "a pack must not leak state into the next");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design pack")]
+    fn empty_pack_panics() {
+        let x = ExpandedTrace::expand(&Benchmark::Mm.trace(100, 1));
+        let _ = BatchSimulator::new().run_pack(&[], &x);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let x = ExpandedTrace::expand(&Vec::new());
+        let _ = BatchSimulator::new().run_pack(&configs(1), &x);
+    }
+}

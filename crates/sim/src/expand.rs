@@ -1,0 +1,171 @@
+//! One-time trace expansion into a flat struct-of-arrays form.
+//!
+//! A DSE sweep runs hundreds of designs over the *same* trace. The
+//! per-run kernel walks the trace as a slice of [`Instr`] records —
+//! roughly 40 bytes each, most of it `Option` discriminants the
+//! dispatch stage re-decodes on every single run. [`ExpandedTrace`]
+//! pays that decode exactly once: operation classes, dependency
+//! distances, memory addresses and branch metadata are split into
+//! dense parallel arrays with all `Option`s pre-resolved, so the
+//! batch kernel's dispatch stage reads exactly the bytes it needs and
+//! K lockstep designs share one read-only copy (the type is `Sync` —
+//! plain owned arrays, no interior mutability).
+
+use dse_workloads::{Op, Trace};
+
+/// `deps` sentinel: this operand has no register producer.
+pub(crate) const NO_DEP: u32 = 0;
+
+/// Branch-metadata flag: the instruction is a branch.
+pub(crate) const BR_IS_BRANCH: u32 = 1;
+/// Branch-metadata flag: the branch was actually taken.
+pub(crate) const BR_TAKEN: u32 = 1 << 1;
+/// Branch-metadata flag: the trace oracle marked it mispredicted.
+pub(crate) const BR_MISPREDICTED: u32 = 1 << 2;
+/// Shift of the static branch site in the packed branch metadata.
+pub(crate) const BR_SITE_SHIFT: u32 = 16;
+
+/// A [`Trace`] decoded once into flat struct-of-arrays storage.
+///
+/// Produced by [`ExpandedTrace::expand`] and consumed by
+/// [`BatchSimulator`](crate::BatchSimulator): the expansion is paid one
+/// time per trace, then shared read-only by every worker and every
+/// design pack that sweeps over it.
+///
+/// # Examples
+///
+/// ```
+/// use dse_sim::ExpandedTrace;
+/// use dse_workloads::Benchmark;
+///
+/// let trace = Benchmark::Mm.trace(2_000, 7);
+/// let expanded = ExpandedTrace::expand(&trace);
+/// assert_eq!(expanded.len(), trace.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpandedTrace {
+    /// Operation class per instruction.
+    pub(crate) ops: Vec<Op>,
+    /// Register-dependency distances per instruction ([`NO_DEP`] when
+    /// the operand has no producer). Distances are ≥ 1 and point at
+    /// earlier instructions, exactly as in [`Instr::deps`].
+    ///
+    /// [`Instr::deps`]: dse_workloads::Instr::deps
+    pub(crate) deps: Vec<[u32; 2]>,
+    /// Byte address per instruction (0 for non-memory instructions,
+    /// which never read it).
+    pub(crate) addrs: Vec<u64>,
+    /// Packed branch metadata per instruction: [`BR_IS_BRANCH`],
+    /// [`BR_TAKEN`] and [`BR_MISPREDICTED`] flags plus the static site
+    /// in the bits at [`BR_SITE_SHIFT`]; 0 for non-branches.
+    pub(crate) branches: Vec<u32>,
+}
+
+impl ExpandedTrace {
+    /// Decodes `trace` into struct-of-arrays form.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dependency distance of 0 (a self-dependency, which
+    /// no well-formed trace contains) or a trace longer than the
+    /// kernel's `u32` entry ids can index.
+    pub fn expand(trace: &Trace) -> Self {
+        assert!(trace.len() <= u32::MAX as usize, "trace too long for the event queue");
+        let mut ops = Vec::with_capacity(trace.len());
+        let mut deps = Vec::with_capacity(trace.len());
+        let mut addrs = Vec::with_capacity(trace.len());
+        let mut branches = Vec::with_capacity(trace.len());
+        for instr in trace {
+            ops.push(instr.op);
+            let dep = |d: Option<u32>| match d {
+                Some(d) => {
+                    assert!(d >= 1, "dependency distances must be >= 1");
+                    d
+                }
+                None => NO_DEP,
+            };
+            deps.push([dep(instr.deps[0]), dep(instr.deps[1])]);
+            addrs.push(instr.addr.unwrap_or(0));
+            branches.push(match instr.branch {
+                Some(b) => {
+                    BR_IS_BRANCH
+                        | if b.taken { BR_TAKEN } else { 0 }
+                        | if b.mispredicted { BR_MISPREDICTED } else { 0 }
+                        | (u32::from(b.site) << BR_SITE_SHIFT)
+                }
+                None => 0,
+            });
+        }
+        metrics().expansions.inc();
+        Self { ops, deps, addrs, branches }
+    }
+
+    /// Number of instructions in the expanded trace.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Cached registry handle for the expansion counter.
+struct ExpandMetrics {
+    expansions: dse_obs::Counter,
+}
+
+fn metrics() -> &'static ExpandMetrics {
+    static METRICS: std::sync::OnceLock<ExpandMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| ExpandMetrics {
+        expansions: dse_obs::global().counter("sim_trace_expansions_total"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workloads::{Benchmark, Instr};
+
+    #[test]
+    fn expansion_round_trips_every_field() {
+        let trace = Benchmark::Quicksort.trace(5_000, 3);
+        let x = ExpandedTrace::expand(&trace);
+        assert_eq!(x.len(), trace.len());
+        for (i, instr) in trace.iter().enumerate() {
+            assert_eq!(x.ops[i], instr.op);
+            for op in 0..2 {
+                match instr.deps[op] {
+                    Some(d) => assert_eq!(x.deps[i][op], d),
+                    None => assert_eq!(x.deps[i][op], NO_DEP),
+                }
+            }
+            assert_eq!(x.addrs[i], instr.addr.unwrap_or(0));
+            match instr.branch {
+                Some(b) => {
+                    assert_ne!(x.branches[i] & BR_IS_BRANCH, 0);
+                    assert_eq!(x.branches[i] & BR_TAKEN != 0, b.taken);
+                    assert_eq!(x.branches[i] & BR_MISPREDICTED != 0, b.mispredicted);
+                    assert_eq!((x.branches[i] >> BR_SITE_SHIFT) as u16, b.site);
+                }
+                None => assert_eq!(x.branches[i], 0),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_expands_empty() {
+        let x = ExpandedTrace::expand(&Vec::new());
+        assert!(x.is_empty());
+        assert_eq!(x.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distances must be >= 1")]
+    fn self_dependency_is_rejected() {
+        let mut instr = Instr::nop();
+        instr.deps[0] = Some(0);
+        let _ = ExpandedTrace::expand(&vec![instr]);
+    }
+}

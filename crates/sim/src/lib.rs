@@ -33,9 +33,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cache;
 mod config;
 mod events;
+mod expand;
 mod kernel;
 mod pipeline;
 mod predictor;
@@ -43,8 +45,10 @@ mod predictor;
 mod reference;
 mod result;
 
+pub use batch::BatchSimulator;
 pub use cache::Cache;
 pub use config::{CoreConfig, SimLatencies};
+pub use expand::ExpandedTrace;
 pub use pipeline::Simulator;
 pub use predictor::{BranchModel, Gshare};
 #[cfg(any(test, feature = "reference"))]

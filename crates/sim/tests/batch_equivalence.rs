@@ -1,0 +1,220 @@
+//! The differential suite proving design-batched lockstep simulation
+//! bit-identical to the per-run kernel (which is itself differentially
+//! tested against the cycle-by-cycle reference walk — see
+//! `kernel_equivalence.rs`; together the two suites chain the batch
+//! path all the way to the original oracle).
+//!
+//! Equivalence is asserted on the *full* [`SimResult`] — every counter,
+//! not just CPI — across:
+//!
+//! * every [`Benchmark::ALL`] trace with a pack of design-space corner
+//!   points advanced in lockstep;
+//! * pack-shape sweeps: packs of 1, 2, K, a pack larger than the design
+//!   count (padded with repeats), and every split of one design list
+//!   into packs — grouping must be invisible;
+//! * lockstep-window sweeps, including a window of one instruction and
+//!   one far larger than the trace;
+//! * front-end (gshare) and prefetch variants, mixed *within* one pack;
+//! * ≥64 random (trace, pack) proptest cases over random pack sizes.
+
+use dse_sim::{BatchSimulator, BranchModel, CoreConfig, ExpandedTrace, SimResult, Simulator};
+use dse_space::DesignSpace;
+use dse_workloads::{Benchmark, Instr, Op, Trace};
+use proptest::prelude::*;
+
+/// Per-run results for every design, the anchor the batch must hit.
+fn per_run(configs: &[CoreConfig], trace: &Trace) -> Vec<SimResult> {
+    configs.iter().map(|cfg| Simulator::new(cfg.clone()).run(trace)).collect()
+}
+
+/// One differential case: the whole pack in lockstep versus each design
+/// per-run, full-result equality lane by lane.
+fn assert_pack_equivalent(configs: &[CoreConfig], trace: &Trace, label: &str) -> Vec<SimResult> {
+    let batch = BatchSimulator::new().run_pack(configs, &ExpandedTrace::expand(trace));
+    let anchor = per_run(configs, trace);
+    assert_eq!(batch.len(), anchor.len(), "lane count: {label}");
+    for (lane, (got, want)) in batch.iter().zip(&anchor).enumerate() {
+        assert_eq!(got, want, "lane {lane} diverged from per-run: {label}");
+    }
+    batch
+}
+
+fn corner_configs(space: &DesignSpace) -> Vec<CoreConfig> {
+    let mut corners = vec![space.smallest(), space.largest()];
+    for code in [1, space.size() / 3, space.size() / 2, space.size() - 2] {
+        corners.push(space.decode(code));
+    }
+    corners.iter().map(|point| CoreConfig::from_point(space, point)).collect()
+}
+
+#[test]
+fn all_benchmarks_match_with_a_corner_pack() {
+    let space = DesignSpace::boom();
+    let pack = corner_configs(&space);
+    for b in Benchmark::ALL {
+        let trace = b.trace(5_000, 13);
+        let results = assert_pack_equivalent(&pack, &trace, &format!("{b} corner pack"));
+        for r in results {
+            assert_eq!(r.instructions, 5_000, "{b}");
+        }
+    }
+}
+
+#[test]
+fn pack_shape_is_invisible() {
+    // The same six designs, grouped every way the scheduler might:
+    // the per-design results must never depend on who shares a pack.
+    let space = DesignSpace::boom();
+    let configs = corner_configs(&space);
+    let trace = Benchmark::Dijkstra.trace(6_000, 3);
+    let x = ExpandedTrace::expand(&trace);
+    let anchor = per_run(&configs, &trace);
+
+    for pack_size in 1..=configs.len() {
+        let mut batch = BatchSimulator::new();
+        let mut got = Vec::new();
+        for pack in configs.chunks(pack_size) {
+            got.extend(batch.run_pack(pack, &x));
+        }
+        assert_eq!(got, anchor, "pack size {pack_size}");
+    }
+
+    // A pack larger than the distinct design count: repeats share the
+    // trace with their own twin and still agree lane for lane.
+    let mut padded = configs.clone();
+    padded.extend(configs.iter().cloned());
+    let got = BatchSimulator::new().run_pack(&padded, &x);
+    for (lane, r) in got.iter().enumerate() {
+        assert_eq!(r, &anchor[lane % configs.len()], "padded lane {lane}");
+    }
+}
+
+#[test]
+fn lockstep_window_is_invisible() {
+    let space = DesignSpace::boom();
+    let configs = corner_configs(&space);
+    let trace = Benchmark::FpVvadd.trace(4_000, 5);
+    let x = ExpandedTrace::expand(&trace);
+    let anchor = per_run(&configs, &trace);
+    for window in [1, 17, 512, 4_000, 1 << 24] {
+        let got = BatchSimulator::new().with_window(window).run_pack(&configs, &x);
+        assert_eq!(got, anchor, "window {window}");
+    }
+}
+
+#[test]
+fn front_end_and_prefetch_variants_match_within_one_pack() {
+    // All four (gshare × prefetch) variants of every corner share a
+    // single pack, so lanes with different front-end models run in
+    // lockstep next to each other.
+    let space = DesignSpace::boom();
+    let trace = Benchmark::Quicksort.trace(8_000, 7);
+    let mut pack = Vec::new();
+    for base in corner_configs(&space) {
+        for gshare in [false, true] {
+            for prefetch in [false, true] {
+                let mut cfg = base.clone();
+                if gshare {
+                    cfg.branch_model = BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+                }
+                cfg.l2_next_line_prefetch = prefetch;
+                pack.push(cfg);
+            }
+        }
+    }
+    assert_pack_equivalent(&pack, &trace, "mixed front-end pack");
+}
+
+#[test]
+fn batch_simulator_reuse_across_traces_matches_fresh() {
+    // One BatchSimulator sweeping (trace, pack) jobs back to back — the
+    // worker pattern in `SimulatorHf::evaluate_batch` — must match
+    // fresh construction per job.
+    let space = DesignSpace::boom();
+    let configs = corner_configs(&space);
+    let mut reused = BatchSimulator::new();
+    for (i, b) in [Benchmark::Mm, Benchmark::Fft, Benchmark::Dijkstra].into_iter().enumerate() {
+        let trace = b.trace(3_000, 11);
+        let x = ExpandedTrace::expand(&trace);
+        let pack = &configs[..configs.len() - (i % 2)];
+        assert_eq!(
+            reused.run_pack(pack, &x),
+            BatchSimulator::new().run_pack(pack, &x),
+            "{b} on the reused simulator"
+        );
+    }
+}
+
+prop_compose! {
+    /// An arbitrary valid instruction at position `i`.
+    fn arb_instr(i: usize)(
+        kind in 0u8..6,
+        d1 in proptest::option::of(1u32..64),
+        d2 in proptest::option::of(1u32..64),
+        addr in 0u64..(1 << 22),
+        site in 0u16..64,
+        taken in proptest::bool::ANY,
+        mispredicted in proptest::bool::weighted(0.2),
+    ) -> Instr {
+        let op = match kind {
+            0 => Op::IntAlu,
+            1 => Op::IntMul,
+            2 => Op::Load,
+            3 => Op::Store,
+            4 => Op::FpAlu,
+            _ => Op::Branch,
+        };
+        let clamp = |d: Option<u32>| d.map(|d| d.min(i as u32)).filter(|&d| d > 0);
+        Instr {
+            op,
+            deps: [clamp(d1), clamp(d2)],
+            addr: matches!(op, Op::Load | Op::Store).then_some(addr & !7),
+            branch: (op == Op::Branch).then_some(dse_workloads::BranchInfo {
+                site,
+                taken,
+                mispredicted,
+            }),
+        }
+    }
+}
+
+fn arb_trace(len: usize) -> impl Strategy<Value = Trace> {
+    (0..len).map(arb_instr).collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ≥64 random (trace, pack, window) cases: a pack of designs drawn
+    /// from random codes — with random front-end/prefetch flips — in
+    /// lockstep versus per-run, full `SimResult` equality.
+    #[test]
+    fn random_packs_match_per_run(
+        trace in arb_trace(400),
+        codes in proptest::collection::vec(0u64..3_000_000, 1..7),
+        gshare in proptest::bool::ANY,
+        prefetch in proptest::bool::ANY,
+        window in 1usize..1_000,
+    ) {
+        prop_assume!(!trace.is_empty());
+        let space = DesignSpace::boom();
+        let pack: Vec<CoreConfig> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &code)| {
+                let mut cfg = CoreConfig::from_point(&space, &space.decode(code));
+                // Flip the out-of-space knobs on alternating lanes so
+                // mixed packs are the common case, not the corner.
+                if gshare && i % 2 == 0 {
+                    cfg.branch_model = BranchModel::Gshare { history_bits: 6, table_bits: 10 };
+                }
+                cfg.l2_next_line_prefetch = prefetch && i % 2 == 1;
+                cfg
+            })
+            .collect();
+        let got = BatchSimulator::new()
+            .with_window(window)
+            .run_pack(&pack, &ExpandedTrace::expand(&trace));
+        prop_assert_eq!(got, per_run(&pack, &trace));
+    }
+}

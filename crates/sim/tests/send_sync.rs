@@ -6,7 +6,10 @@
 //! field shows up here instead of as an opaque inference error at the
 //! `par_map` call site.
 
-use dse_sim::{BranchModel, Cache, CoreConfig, Gshare, SimLatencies, SimResult, Simulator};
+use dse_sim::{
+    BatchSimulator, BranchModel, Cache, CoreConfig, ExpandedTrace, Gshare, SimLatencies, SimResult,
+    Simulator,
+};
 use dse_workloads::{Instr, Trace};
 
 fn send_sync<T: Send + Sync>() {}
@@ -20,6 +23,14 @@ fn simulator_stack_crosses_threads() {
     send_sync::<Cache>();
     send_sync::<Gshare>();
     send_sync::<BranchModel>();
+}
+
+#[test]
+fn batch_stack_crosses_threads() {
+    // One `ExpandedTrace` is shared by reference across every worker's
+    // packs (`Sync`); each worker owns a `BatchSimulator` (`Send`).
+    send_sync::<ExpandedTrace>();
+    send_sync::<BatchSimulator>();
 }
 
 #[test]
