@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use dse_exec::{CostLedger, Evaluation, Evaluator, Fidelity, LedgerEntry, LedgerSummary};
+use dse_exec::{CostLedger, CpiModel, Evaluation, Fidelity, LedgerEntry, LedgerSummary};
 use dse_space::{DesignPoint, DesignSpace};
 use rand::rngs::StdRng;
 
@@ -10,7 +10,8 @@ use rand::rngs::StdRng;
 /// an area-feasibility predicate.
 ///
 /// This trait is the optimizer-facing *adapter* over the workspace's
-/// [`Evaluator`] layer: every call an optimizer makes is routed through
+/// [`Evaluator`](dse_exec::Evaluator) layer: every call an optimizer
+/// makes is routed through
 /// the shared [`CostLedger`] inside the crate's evaluation log, so the
 /// Fig. 5 baselines and FNN-MFRL share bit-identical budget accounting.
 pub trait Objective {
@@ -22,8 +23,9 @@ pub trait Objective {
 
     /// The evaluation with full provenance. The default wraps
     /// [`Objective::evaluate`] and stamps the feasibility predicate;
-    /// objectives backed by a real [`Evaluator`] override this to
-    /// forward its provenance (memo hits, area figures) unchanged.
+    /// objectives backed by a real [`Evaluator`](dse_exec::Evaluator)
+    /// override this to forward its provenance (memo hits, area
+    /// figures) unchanged.
     fn evaluate_rich(&mut self, space: &DesignSpace, point: &DesignPoint) -> Evaluation {
         let mut ev = Evaluation::new(self.evaluate(space, point), Fidelity::High);
         ev.feasible = Some(self.is_feasible(space, point));
@@ -31,24 +33,25 @@ pub trait Objective {
     }
 
     /// Model-time units one fresh evaluation costs (see
-    /// [`Evaluator::cost_per_eval`]).
+    /// [`Evaluator::cost_per_eval`](dse_exec::Evaluator::cost_per_eval)).
     fn cost_per_eval(&self) -> f64 {
         1.0
     }
 }
 
-/// The internal [`Evaluator`] view of an [`Objective`], so [`EvalLog`]
-/// can drive it through a [`CostLedger`].
+/// The internal [`Evaluator`](dse_exec::Evaluator) view of an
+/// [`Objective`] — via the [`CpiModel`] blanket adapter — so
+/// [`EvalLog`] can drive it through a [`CostLedger`].
 struct ObjectiveEvaluator<'a> {
     objective: &'a mut dyn Objective,
 }
 
-impl Evaluator for ObjectiveEvaluator<'_> {
+impl CpiModel for ObjectiveEvaluator<'_> {
     fn fidelity(&self) -> Fidelity {
         Fidelity::High
     }
 
-    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+    fn evaluations(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
         points.iter().map(|p| self.objective.evaluate_rich(space, p)).collect()
     }
 

@@ -34,6 +34,12 @@ COMMANDS:
       --seed <n>             master seed (default 0)
       --lf-episodes <n>      LF training episodes (default 300)
       --hf-budget <n>        HF simulations (default 9)
+      --tiers <2|3>          fidelity tiers: 2 = LF+HF, 3 adds the
+                             online-learned mid tier with gate routing
+                             (default 2)
+      --gate-threshold <e>   learned-tier confidence gate: answer when
+                             the conformal error bound is below e
+                             (default 0.05; 3-tier runs only)
       --trace-len <n>        trace length (default 30000)
       --threads <n>          HF worker threads (default: DSE_THREADS env
                              var, else all cores; results are identical)
@@ -77,7 +83,8 @@ COMMANDS:
       --clients <n>          concurrent clients (default 4)
       --requests <n>         requests per client (default 8)
       --points <n>           design points per request (default 4)
-      --fidelity <lf|hf>     fidelity to request (default lf)
+      --fidelity <name>      tier to request: lf|learned|hf, or auto to
+                             let the uncertainty gate route (default lf)
       --seed <n>             point-choice seed (default 1)
                              (latency percentiles and status counts are
                              also written to results/BENCH_loadgen.json)
@@ -128,6 +135,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "seed",
             "lf-episodes",
             "hf-budget",
+            "tiers",
+            "gate-threshold",
             "trace-len",
             "threads",
             "save-fnn",
@@ -293,11 +302,18 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
         let name = args.value_or("benchmark", "mm".to_string())?;
         Explorer::for_benchmark(parse_benchmark(&name)?)
     };
+    let tiers: usize = args.value_or("tiers", 2usize)?;
+    if !(2..=dse_exec::Fidelity::COUNT).contains(&tiers) {
+        eprintln!("--tiers must be 2 or {}, got {tiers}", dse_exec::Fidelity::COUNT);
+        return Ok(2);
+    }
     explorer = explorer
         .area_limit_mm2(args.value_or("area", 8.0)?)
         .seed(args.value_or("seed", 0)?)
         .lf_episodes(args.value_or("lf-episodes", 300)?)
         .hf_budget(args.value_or("hf-budget", 9)?)
+        .tiers(tiers)
+        .gate_threshold(args.value_or("gate-threshold", 0.05)?)
         .trace_len(args.value_or("trace-len", 30_000)?);
     if let Some(leakage) = args.value_of::<f64>("leakage")? {
         explorer = explorer.leakage_limit_mw(leakage);
@@ -328,6 +344,12 @@ fn cmd_explore(args: &Args) -> Result<i32, Box<dyn Error>> {
             ("lf_cache_misses", summary.low.cache_misses.into()),
             ("lf_denied", summary.low.denied.into()),
             ("lf_model_time_units", summary.low.model_time_units.into()),
+            ("learned_evaluations", summary.learned.evaluations.into()),
+            ("learned_cache_hits", summary.learned.cache_hits.into()),
+            ("learned_cache_misses", summary.learned.cache_misses.into()),
+            ("learned_denied", summary.learned.denied.into()),
+            ("learned_model_time_units", summary.learned.model_time_units.into()),
+            ("budget_floor", summary.budget_floor.key().into()),
             ("hf_evaluations", summary.high.evaluations.into()),
             ("hf_cache_hits", summary.high.cache_hits.into()),
             ("hf_cache_misses", summary.high.cache_misses.into()),
@@ -513,15 +535,11 @@ fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
 }
 
 fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
-    let fidelity = match args.value_or("fidelity", "lf".to_string())?.to_ascii_lowercase().as_str()
-    {
-        "lf" => dse_exec::Fidelity::Low,
-        "hf" => dse_exec::Fidelity::High,
-        other => {
-            eprintln!("--fidelity must be lf or hf, got {other:?}");
-            return Ok(2);
-        }
-    };
+    let fidelity = args.value_or("fidelity", "lf".to_string())?.to_ascii_lowercase();
+    if fidelity != "auto" && dse_exec::Fidelity::from_key(&fidelity).is_none() {
+        eprintln!("--fidelity must be lf, learned, hf or auto, got {fidelity:?}");
+        return Ok(2);
+    }
     // Without --addr, self-host a quick server for the duration.
     let (addr, hosted) = match args.value_of::<String>("addr")? {
         Some(addr) => (addr, None),
@@ -566,9 +584,28 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
             max: report.latency.max.as_micros() as u64,
         },
         coalescer: report.coalescer,
+        tiers: report
+            .ledger
+            .sections()
+            .iter()
+            .map(|(fidelity, section)| TierCounts {
+                tier: fidelity.key().to_string(),
+                answered: section.evaluations,
+                cached: section.cache_hits,
+            })
+            .collect(),
+        escalations: report.escalations,
     })?;
     dse_bench::write_results_artifact("BENCH_loadgen.json", &artifact);
     Ok(if report.failed == 0 { 0 } else { 1 })
+}
+
+/// Per-tier answered counts in the loadgen artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TierCounts {
+    tier: String,
+    answered: u64,
+    cached: u64,
 }
 
 /// Latency percentiles in microseconds, for the loadgen artifact.
@@ -591,6 +628,10 @@ struct LoadgenArtifact {
     failed: u64,
     latency_us: LatencyMicros,
     coalescer: archdse_serve::CoalescerStats,
+    /// Answered/cached counts per fidelity tier, cheapest first.
+    tiers: Vec<TierCounts>,
+    /// Gate escalations the server recorded during the run.
+    escalations: u64,
 }
 
 fn cmd_trace_report(args: &Args) -> Result<i32, Box<dyn Error>> {

@@ -42,6 +42,9 @@ pub struct RunLedger {
     /// `(evaluations, cache_hits, cache_misses, denied, model_time_units)`
     /// for the LF section.
     pub lf: (u64, u64, u64, u64, f64),
+    /// The same five counters for the learned mid tier (all zero in a
+    /// two-tier trace, which predates the field and reconciles as such).
+    pub learned: (u64, u64, u64, u64, f64),
     /// The same five counters for the HF section.
     pub hf: (u64, u64, u64, u64, f64),
 }
@@ -144,6 +147,13 @@ pub fn summarize(text: &str, top: usize) -> Result<TraceSummary, String> {
                                 get_u64(&value, "lf_denied"),
                                 get_f64(&value, "lf_model_time_units"),
                             ),
+                            learned: (
+                                get_u64(&value, "learned_evaluations"),
+                                get_u64(&value, "learned_cache_hits"),
+                                get_u64(&value, "learned_cache_misses"),
+                                get_u64(&value, "learned_denied"),
+                                get_f64(&value, "learned_model_time_units"),
+                            ),
                             hf: (
                                 get_u64(&value, "hf_evaluations"),
                                 get_u64(&value, "hf_cache_hits"),
@@ -177,7 +187,7 @@ pub fn reconcile(summary: &TraceSummary) -> Result<(), Vec<String>> {
         return Err(vec!["trace carries no run_summary event to reconcile against".into()]);
     };
     let mut errors = Vec::new();
-    for (label, expected) in [("lf", run.lf), ("hf", run.hf)] {
+    for (label, expected) in [("lf", run.lf), ("learned", run.learned), ("hf", run.hf)] {
         let got = summary.per_fidelity.get(label).copied().unwrap_or_default();
         let pairs = [
             ("evaluations", got.evaluations, expected.0),
@@ -274,17 +284,19 @@ mod tests {
 {"type":"event","name":"episode","span":2,"ts_us":2,"phase":"lf","episode":0,"cpi":1.5}
 {"type":"event","name":"ledger_batch","span":2,"ts_us":3,"fidelity":"lf","proposals":4,"evaluations":3,"cache_hits":1,"cache_misses":3,"denied":0,"model_time_units":3.0,"dur_us":120}
 {"type":"span_end","id":2,"name":"lf_phase","ts_us":10,"dur_us":9}
-{"type":"event","name":"ledger_batch","span":1,"ts_us":11,"fidelity":"hf","proposals":2,"evaluations":2,"cache_hits":0,"cache_misses":2,"denied":0,"model_time_units":2.0,"dur_us":300}
+{"type":"event","name":"ledger_batch","span":1,"ts_us":11,"fidelity":"learned","proposals":2,"evaluations":1,"cache_hits":1,"cache_misses":1,"denied":0,"model_time_units":0.01,"dur_us":40}
+{"type":"event","name":"ledger_batch","span":1,"ts_us":12,"fidelity":"hf","proposals":2,"evaluations":2,"cache_hits":0,"cache_misses":2,"denied":0,"model_time_units":2.0,"dur_us":300}
 {"type":"span_end","id":1,"name":"mfrl_run","ts_us":20,"dur_us":20}
-{"type":"event","name":"run_summary","span":null,"ts_us":21,"lf_evaluations":3,"lf_cache_hits":1,"lf_cache_misses":3,"lf_denied":0,"lf_model_time_units":3.0,"hf_evaluations":2,"hf_cache_hits":0,"hf_cache_misses":2,"hf_denied":0,"hf_model_time_units":2.0}
+{"type":"event","name":"run_summary","span":null,"ts_us":21,"lf_evaluations":3,"lf_cache_hits":1,"lf_cache_misses":3,"lf_denied":0,"lf_model_time_units":3.0,"learned_evaluations":1,"learned_cache_hits":1,"learned_cache_misses":1,"learned_denied":0,"learned_model_time_units":0.01,"budget_floor":"learned","hf_evaluations":2,"hf_cache_hits":0,"hf_cache_misses":2,"hf_denied":0,"hf_model_time_units":2.0}
 "#;
 
     #[test]
     fn summarize_aggregates_spans_and_deltas() {
         let s = summarize(TRACE, 5).unwrap();
-        assert_eq!((s.lines, s.spans, s.events), (8, 2, 4));
+        assert_eq!((s.lines, s.spans, s.events), (9, 2, 5));
         assert_eq!(s.phase_wall_us["lf_phase"], (1, 9));
         assert_eq!(s.per_fidelity["lf"].evaluations, 3);
+        assert_eq!(s.per_fidelity["learned"].cache_hits, 1);
         assert_eq!(s.per_fidelity["hf"].eval_wall_us, 300);
         assert_eq!(s.episodes["lf"], 1);
         assert_eq!(s.hottest[0], ("mfrl_run".to_string(), 20));
@@ -298,6 +310,19 @@ mod tests {
         let errors = reconcile(&s).unwrap_err();
         assert_eq!(errors.len(), 1);
         assert!(errors[0].contains("lf.evaluations"), "{errors:?}");
+    }
+
+    #[test]
+    fn two_tier_trace_without_learned_fields_still_reconciles() {
+        // Traces written before the learned tier existed carry no
+        // learned_* fields and no "learned" ledger_batch events; both
+        // sides default to zero and must agree.
+        let trace = r#"{"type":"event","name":"ledger_batch","span":null,"ts_us":1,"fidelity":"hf","proposals":1,"evaluations":1,"cache_hits":0,"cache_misses":1,"denied":0,"model_time_units":1.0,"dur_us":10}
+{"type":"event","name":"run_summary","span":null,"ts_us":2,"lf_evaluations":0,"lf_cache_hits":0,"lf_cache_misses":0,"lf_denied":0,"lf_model_time_units":0.0,"hf_evaluations":1,"hf_cache_hits":0,"hf_cache_misses":1,"hf_denied":0,"hf_model_time_units":1.0}
+"#;
+        let s = summarize(trace, 5).unwrap();
+        assert_eq!(s.run_summary.unwrap().learned, (0, 0, 0, 0, 0.0));
+        assert!(reconcile(&s).is_ok());
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The friendly end-to-end API.
 
-use dse_exec::CostLedger;
+use dse_exec::{CostLedger, FeatureFn, Fidelity, LearnedTier, TierGate, TieredEvaluator};
 use dse_fnn::{extract_rules, Fnn, FnnBuilder, Rule, RuleExtractionConfig};
 use dse_mfrl::{
-    HfOutcome, HfPhaseConfig, LfOutcome, LfPhaseConfig, MultiFidelityConfig, MultiFidelityDse,
-    RewardKind,
+    HfOutcome, HfPhaseConfig, LfOutcome, LfPhaseConfig, LowFidelity as _, MultiFidelityConfig,
+    MultiFidelityDse, RewardKind,
 };
 use dse_space::{DesignPoint, DesignSpace, MergedParam, Param};
 use dse_workloads::Benchmark;
@@ -79,6 +79,8 @@ pub struct Explorer {
     preference: Option<Preference>,
     gradient_mask: bool,
     reward: RewardKind,
+    tiers: usize,
+    gate_threshold: f64,
 }
 
 impl Explorer {
@@ -109,6 +111,8 @@ impl Explorer {
             preference: None,
             gradient_mask: true,
             reward: RewardKind::IncumbentGap,
+            tiers: 2,
+            gate_threshold: 0.05,
         }
     }
 
@@ -212,6 +216,38 @@ impl Explorer {
         self
     }
 
+    /// Sets the fidelity-stack depth: 2 (the default) is the paper's
+    /// LF→HF flow; 3 inserts the online-learned mid tier with
+    /// uncertainty-gated routing, and the HF budget then meters learned
+    /// *and* simulated answers alike (same proposals, fewer simulator
+    /// charges). Values other than 2 or 3 panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tiers` is 2 or 3.
+    pub fn tiers(mut self, tiers: usize) -> Self {
+        assert!(
+            (2..=Fidelity::COUNT).contains(&tiers),
+            "the stack supports 2 or {} tiers, got {tiers}",
+            Fidelity::COUNT
+        );
+        self.tiers = tiers;
+        self
+    }
+
+    /// Sets the conformal error-bound threshold of the learned tier's
+    /// gate (only meaningful with [`Explorer::tiers`]\(3\)). Tighter
+    /// thresholds escalate more proposals to the simulator.
+    pub fn gate_threshold(mut self, threshold: f64) -> Self {
+        self.gate_threshold = threshold;
+        self
+    }
+
+    /// The configured stack depth (2 = plain LF→HF).
+    pub fn tier_count(&self) -> usize {
+        self.tiers
+    }
+
     /// The design space being explored.
     pub fn space(&self) -> &DesignSpace {
         &self.space
@@ -278,13 +314,30 @@ impl Explorer {
         report
     }
 
-    /// Runs the flow against a caller-supplied HF evaluator (so
-    /// experiments can share its cache across methods).
-    pub fn run_with_hf(&self, hf: &mut SimulatorHf) -> ExplorationReport {
+    /// Builds the learned mid tier's feature map: a bias, the LF
+    /// estimate and its square (so the ridge fit is an LF→HF
+    /// calibration, not a from-scratch CPI model), the normalized
+    /// design features, and their products with the LF estimate (the
+    /// LF model's blind spots — caches, branching — scale with how
+    /// busy the pipeline is, so the correction is multiplicative).
+    pub fn learned_features(&self) -> FeatureFn {
         let lf = self.lf_model();
-        let constraints = self.constraints();
-        let mut fnn = self.build_fnn();
-        let config = MultiFidelityConfig {
+        Box::new(move |space, point| {
+            let cpi = lf.cpi(space, point);
+            let design = point.feature_vector(space);
+            let mut x = Vec::with_capacity(3 + 2 * design.len());
+            x.push(1.0);
+            x.push(cpi);
+            x.push(cpi * cpi);
+            x.extend(design.iter().copied());
+            x.extend(design.iter().map(|f| f * cpi));
+            x
+        })
+    }
+
+    /// The phase configuration of this explorer's LF→HF flow.
+    fn flow_config(&self, tiered: bool) -> MultiFidelityConfig {
+        MultiFidelityConfig {
             lf: LfPhaseConfig {
                 episodes: self.lf_episodes,
                 seed: self.seed,
@@ -295,21 +348,79 @@ impl Explorer {
             hf: HfPhaseConfig {
                 budget: self.hf_budget,
                 seed: self.seed ^ 0xA5,
+                // With the learned tier in play, learned answers spend
+                // the same budget as simulations: equal proposal budget,
+                // fewer simulator charges.
+                budget_floor: if tiered { Fidelity::Learned } else { Fidelity::High },
                 ..Default::default()
             },
-        };
-        let outcome =
-            MultiFidelityDse::new(config).run(&mut fnn, &self.space, &lf, hf, &constraints);
+        }
+    }
+
+    /// Wraps a finished flow into the report, re-simulating the winner
+    /// when tiered routing may have tracked it at a learned answer —
+    /// offline and memoized, no ledger — so the reported CPI is always
+    /// the simulator's.
+    fn finish(
+        &self,
+        outcome: dse_mfrl::DseOutcome,
+        fnn: Fnn,
+        hf: &mut SimulatorHf,
+        tiered: bool,
+    ) -> ExplorationReport {
         let rules = extract_rules(&fnn, &RuleExtractionConfig::default());
+        let best_point = outcome.hf.best_point.clone();
+        let best_cpi = if tiered { hf.cpi(&self.space, &best_point) } else { outcome.hf.best_cpi };
         ExplorationReport {
-            best_point: outcome.hf.best_point.clone(),
-            best_cpi: outcome.hf.best_cpi,
+            best_point,
+            best_cpi,
             lf: outcome.lf,
             hf: outcome.hf,
             fnn,
             rules,
             ledger: outcome.ledger,
         }
+    }
+
+    /// Runs the flow against a caller-supplied HF evaluator (so
+    /// experiments can share its cache across methods). With three
+    /// tiers, a fresh learned tier is trained within the run; use
+    /// [`Explorer::run_with_hf_and_tier`] to carry one across runs.
+    pub fn run_with_hf(&self, hf: &mut SimulatorHf) -> ExplorationReport {
+        if self.tiers >= 3 {
+            let mut learned = LearnedTier::new(self.learned_features());
+            return self.run_with_hf_and_tier(hf, &mut learned);
+        }
+        let lf = self.lf_model();
+        let constraints = self.constraints();
+        let mut fnn = self.build_fnn();
+        let dse = MultiFidelityDse::new(self.flow_config(false));
+        let outcome = dse.run(&mut fnn, &self.space, &lf, hf, &constraints);
+        self.finish(outcome, fnn, hf, false)
+    }
+
+    /// Runs the three-tier flow against a caller-owned learned tier as
+    /// well as a caller-owned simulator. The tier is infrastructure
+    /// like the simulator's memo: experiments that run many seeds hand
+    /// the same tier to each run, so the ridge keeps training online
+    /// across the whole campaign and later runs route more answers to
+    /// it. Ignores [`Explorer::tiers`]\(2\) — calling this *is* opting
+    /// into the stack.
+    pub fn run_with_hf_and_tier(
+        &self,
+        hf: &mut SimulatorHf,
+        learned: &mut LearnedTier,
+    ) -> ExplorationReport {
+        let lf = self.lf_model();
+        let constraints = self.constraints();
+        let mut fnn = self.build_fnn();
+        let dse = MultiFidelityDse::new(self.flow_config(true));
+        let outcome = {
+            let mut router =
+                TieredEvaluator::new(learned, hf, TierGate::enabled(self.gate_threshold));
+            dse.run(&mut fnn, &self.space, &lf, &mut router, &constraints)
+        };
+        self.finish(outcome, fnn, hf, true)
     }
 }
 
@@ -386,6 +497,25 @@ mod tests {
         // The unconstrained run is free to (and with 12 mm² will) leak more.
         let free_leak = power.leakage_mw(&space, &unconstrained.best_point);
         assert!(free_leak > capped_leak * 0.8, "sanity: budgets actually differ");
+    }
+
+    #[test]
+    fn three_tier_stack_shares_the_budget_and_reports_simulated_cpi() {
+        use dse_exec::Fidelity;
+        let report = quick(Benchmark::StringSearch).tiers(3).run();
+        // Learned and HF charges share the one budget of 4.
+        assert!(report.ledger.budgeted_evaluations() <= 4);
+        assert!(report.ledger.evaluations(Fidelity::High) <= 4);
+        assert_eq!(report.ledger.budget_floor(), Fidelity::Learned);
+        // The headline CPI is always the simulator's, never a learned
+        // estimate, and the winner is feasible.
+        assert!(report.best_cpi > 0.0 && report.best_cpi.is_finite());
+        let explorer = quick(Benchmark::StringSearch);
+        assert!(explorer.constraints().fits(explorer.space(), &report.best_point));
+        // Deterministic like every other flow.
+        let again = quick(Benchmark::StringSearch).tiers(3).run();
+        assert_eq!(report.best_point, again.best_point);
+        assert_eq!(report.best_cpi, again.best_cpi);
     }
 
     #[test]

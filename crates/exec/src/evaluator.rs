@@ -13,30 +13,88 @@
 use dse_space::{DesignPoint, DesignSpace};
 
 use crate::CacheStats;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
-/// Which cost model produced an evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Fidelity {
-    /// The cheap analytical proxy (~1000x cheaper than a simulation).
-    Low,
-    /// The cycle-level simulator.
-    High,
+/// One tier of the ordered fidelity stack.
+///
+/// A `Fidelity` is a tier index plus static labels: tier 0 is the
+/// cheapest cost model, higher tiers are more expensive and more
+/// trustworthy. This repo's stack is [`Fidelity::Low`] (the analytical
+/// proxy), [`Fidelity::Learned`] (the online-trained mid tier) and
+/// [`Fidelity::High`] (the cycle-level simulator); [`Fidelity::STACK`]
+/// lists them cheapest-first. Ordering (`<`, `>`) follows the tier
+/// index, so "escalate" is simply [`Fidelity::next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fidelity {
+    tier: u8,
+    label: &'static str,
+    key: &'static str,
 }
 
+#[allow(non_upper_case_globals)]
 impl Fidelity {
-    /// A short human-readable label ("LF" / "HF").
-    pub fn label(self) -> &'static str {
-        match self {
-            Fidelity::Low => "LF",
-            Fidelity::High => "HF",
-        }
+    /// Tier 0: the cheap analytical proxy (~1000x cheaper than a
+    /// simulation).
+    pub const Low: Fidelity = Fidelity { tier: 0, label: "LF", key: "lf" };
+    /// Tier 1: the learned mid tier — an online regressor trained from
+    /// the HF evaluations the ledger commits.
+    pub const Learned: Fidelity = Fidelity { tier: 1, label: "learned", key: "learned" };
+    /// Tier 2: the cycle-level simulator, the ground truth of the stack.
+    pub const High: Fidelity = Fidelity { tier: 2, label: "HF", key: "hf" };
+
+    /// The ordered tier stack, cheapest first.
+    pub const STACK: [Fidelity; 3] = [Fidelity::Low, Fidelity::Learned, Fidelity::High];
+
+    /// Number of tiers in the stack.
+    pub const COUNT: usize = Self::STACK.len();
+
+    /// The tier index (0 = cheapest).
+    pub const fn tier(self) -> usize {
+        self.tier as usize
+    }
+
+    /// A short human-readable label ("LF" / "learned" / "HF").
+    pub const fn label(self) -> &'static str {
+        self.label
+    }
+
+    /// The lowercase key used in metric labels, trace events and wire
+    /// formats ("lf" / "learned" / "hf").
+    pub const fn key(self) -> &'static str {
+        self.key
+    }
+
+    /// Looks a tier up by its wire/metric key (case-insensitive; the
+    /// human-readable labels are accepted too).
+    pub fn from_key(name: &str) -> Option<Fidelity> {
+        Self::STACK
+            .into_iter()
+            .find(|f| f.key.eq_ignore_ascii_case(name) || f.label.eq_ignore_ascii_case(name))
+    }
+
+    /// The next (more expensive) tier, if any — the escalation step.
+    pub fn next(self) -> Option<Fidelity> {
+        Self::STACK.get(self.tier() + 1).copied()
     }
 }
 
 impl std::fmt::Display for Fidelity {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl Serialize for Fidelity {
+    fn to_content(&self) -> Content {
+        Content::Str(self.key().to_owned())
+    }
+}
+
+impl Deserialize for Fidelity {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let name = c.as_str().ok_or_else(|| DeError::new("expected a fidelity tier name"))?;
+        Fidelity::from_key(name)
+            .ok_or_else(|| DeError::new(format!("unknown fidelity tier {name:?}")))
     }
 }
 
@@ -74,6 +132,11 @@ impl Evaluation {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
         1.0 / self.cpi
+    }
+
+    /// Wraps a batch of bare CPI figures, stamping each with `fidelity`.
+    pub fn batch(cpis: Vec<f64>, fidelity: Fidelity) -> Vec<Evaluation> {
+        cpis.into_iter().map(|cpi| Evaluation::new(cpi, fidelity)).collect()
     }
 }
 
@@ -117,9 +180,99 @@ pub trait Evaluator {
     }
 }
 
+/// A cost model expressed as plain batch evaluations at a fixed tier.
+///
+/// This is the one adapter every proxy in the workspace shares: instead
+/// of each crate hand-rolling an [`Evaluator`] impl that forwards
+/// `fidelity`/`cost_per_eval` and maps CPIs into [`Evaluation`]s, a
+/// proxy implements `CpiModel` (usually three one-line methods) and the
+/// blanket impl below makes it an [`Evaluator`] wherever one is needed.
+pub trait CpiModel {
+    /// The tier this model answers at.
+    fn fidelity(&self) -> Fidelity;
+
+    /// Evaluates every design in `points`, in input order (see
+    /// [`Evaluation::batch`] for the common bare-CPI case).
+    fn evaluations(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation>;
+
+    /// Model-time units one fresh evaluation costs
+    /// (see [`Evaluator::cost_per_eval`]).
+    fn cost_per_eval(&self) -> f64 {
+        1.0
+    }
+
+    /// Counters of the model's own persistent memo, when it has one.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+impl<M: CpiModel + ?Sized> Evaluator for M {
+    fn fidelity(&self) -> Fidelity {
+        CpiModel::fidelity(self)
+    }
+
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        self.evaluations(space, points)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CpiModel::cache_stats(self)
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        CpiModel::cost_per_eval(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tier_stack_orders_labels_and_round_trips() {
+        assert!(Fidelity::Low < Fidelity::Learned && Fidelity::Learned < Fidelity::High);
+        assert_eq!(Fidelity::Low.next(), Some(Fidelity::Learned));
+        assert_eq!(Fidelity::Learned.next(), Some(Fidelity::High));
+        assert_eq!(Fidelity::High.next(), None);
+        assert_eq!(Fidelity::Learned.tier(), 1);
+        assert_eq!(Fidelity::from_key("hf"), Some(Fidelity::High));
+        assert_eq!(Fidelity::from_key("LF"), Some(Fidelity::Low));
+        assert_eq!(Fidelity::from_key("Learned"), Some(Fidelity::Learned));
+        assert_eq!(Fidelity::from_key("medium"), None);
+        for fidelity in Fidelity::STACK {
+            let content = fidelity.to_content();
+            assert_eq!(Fidelity::from_content(&content).unwrap(), fidelity);
+        }
+        assert!(Fidelity::from_content(&Content::Str("warp".into())).is_err());
+    }
+
+    #[test]
+    fn cpi_model_blanket_impl_is_a_full_evaluator() {
+        struct Flat;
+        impl CpiModel for Flat {
+            fn fidelity(&self) -> Fidelity {
+                Fidelity::Learned
+            }
+            fn evaluations(
+                &mut self,
+                _space: &DesignSpace,
+                points: &[DesignPoint],
+            ) -> Vec<Evaluation> {
+                Evaluation::batch(vec![2.5; points.len()], Fidelity::Learned)
+            }
+            fn cost_per_eval(&self) -> f64 {
+                0.25
+            }
+        }
+        let space = DesignSpace::boom();
+        let mut flat = Flat;
+        let evaluator: &mut dyn Evaluator = &mut flat;
+        assert_eq!(evaluator.fidelity(), Fidelity::Learned);
+        assert_eq!(evaluator.cost_per_eval(), 0.25);
+        let ev = evaluator.evaluate(&space, &space.decode(3));
+        assert_eq!((ev.cpi, ev.fidelity), (2.5, Fidelity::Learned));
+    }
 
     #[test]
     fn evaluation_carries_provenance() {

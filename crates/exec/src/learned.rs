@@ -1,0 +1,327 @@
+//! The online-learned mid-fidelity tier: an incremental ridge regressor
+//! over design-point features, with split-conformal residual quantiles
+//! as its uncertainty estimate.
+//!
+//! The tier trains from the HF evaluations a [`CostLedger`] commits
+//! (see [`TieredEvaluator`](crate::TieredEvaluator), which feeds every
+//! fresh HF charge into [`LearnedTier::observe`]) and answers
+//! [`predict_with_uncertainty`](LearnedTier::predict_with_uncertainty):
+//! the predicted CPI plus a conformal error bound the router gates on.
+//!
+//! # Determinism
+//!
+//! Training must be bit-identical at any thread count and under any
+//! request interleaving, so the model is a *canonical function of the
+//! observation set*: observations live in a `BTreeMap` keyed by the
+//! design's encoded index, [`refit`](LearnedTier::refit) runs only at
+//! batch boundaries on the driver thread, and the split-conformal
+//! train/calibration split is by position in that canonical key order —
+//! never by arrival order. Two runs that commit the same HF results end
+//! up with the same model, no matter how the commits interleaved.
+
+use std::collections::BTreeMap;
+
+use dse_linalg::{Cholesky, Matrix};
+use dse_space::{DesignPoint, DesignSpace};
+
+use crate::{Evaluation, Evaluator, Fidelity};
+
+/// The feature map of the learned tier: encoded design point (and
+/// whatever workload-profile context the caller bakes in) → regressor
+/// input. The first feature is conventionally a constant 1.0 bias.
+pub type FeatureFn = Box<dyn Fn(&DesignSpace, &DesignPoint) -> Vec<f64> + Send>;
+
+/// Hyper-parameters of the learned tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedConfig {
+    /// Ridge regularization strength (λ on the Gram diagonal).
+    pub lambda: f64,
+    /// Conformal miscoverage rate α: the gate quantile is the
+    /// ⌈(1−α)(n+1)⌉-th smallest calibration residual (α = 0.1 → a 90%
+    /// coverage bound).
+    pub alpha: f64,
+    /// Fewest training observations before the model fits at all.
+    pub min_train: usize,
+    /// Fewest calibration residuals before the gate can open.
+    pub min_calibration: usize,
+    /// Model-time units one learned prediction costs, in simulated-trace
+    /// units (a forward pass is cheap, but not LF-cheap).
+    pub cost_per_eval: f64,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        Self { lambda: 1e-3, alpha: 0.1, min_train: 3, min_calibration: 2, cost_per_eval: 0.01 }
+    }
+}
+
+/// The online mid-tier regressor (tier [`Fidelity::Learned`]).
+pub struct LearnedTier {
+    features: FeatureFn,
+    config: LearnedConfig,
+    /// Canonical observation set: encoded design → (features, HF CPI).
+    observations: BTreeMap<u64, (Vec<f64>, f64)>,
+    weights: Option<Vec<f64>>,
+    quantile: Option<f64>,
+    prior: Option<f64>,
+    dirty: bool,
+}
+
+impl std::fmt::Debug for LearnedTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LearnedTier")
+            .field("config", &self.config)
+            .field("observations", &self.observations.len())
+            .field("fit", &self.weights.is_some())
+            .field("quantile", &self.quantile)
+            .finish()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl LearnedTier {
+    /// A fresh, untrained tier over the given feature map.
+    pub fn new(features: FeatureFn) -> Self {
+        Self::with_config(features, LearnedConfig::default())
+    }
+
+    /// A fresh tier with explicit hyper-parameters.
+    pub fn with_config(features: FeatureFn, config: LearnedConfig) -> Self {
+        Self {
+            features,
+            config,
+            observations: BTreeMap::new(),
+            weights: None,
+            quantile: None,
+            prior: None,
+            dirty: false,
+        }
+    }
+
+    /// The default feature map: a 1.0 bias plus the design's normalized
+    /// candidate indices ([`DesignPoint::feature_vector`]).
+    pub fn point_features() -> FeatureFn {
+        Box::new(|space, point| {
+            let mut x = Vec::with_capacity(1 + dse_space::Param::ALL.len());
+            x.push(1.0);
+            x.extend(point.feature_vector(space));
+            x
+        })
+    }
+
+    /// The active hyper-parameters.
+    pub fn config(&self) -> &LearnedConfig {
+        &self.config
+    }
+
+    /// How many HF observations the tier has absorbed.
+    pub fn observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Records one committed HF evaluation. Cheap; the model refits only
+    /// at the next [`refit`](Self::refit) call (a batch boundary).
+    pub fn observe(&mut self, space: &DesignSpace, point: &DesignPoint, cpi: f64) {
+        let key = space.encode(point);
+        let x = (self.features)(space, point);
+        if self.observations.insert(key, (x, cpi)).is_none() {
+            self.dirty = true;
+        }
+    }
+
+    /// Refits the regressor and the conformal quantile from the current
+    /// observation set. Call at batch boundaries on the driver thread.
+    ///
+    /// The split is canonical: walking observations in encoded-key order,
+    /// even positions train the ridge, odd positions calibrate the
+    /// residual quantile. The fit therefore depends only on *which*
+    /// observations exist, not on when they arrived.
+    pub fn refit(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.weights = None;
+        self.quantile = None;
+        let n = self.observations.len();
+        self.prior = if n == 0 {
+            None
+        } else {
+            Some(self.observations.values().map(|(_, y)| y).sum::<f64>() / n as f64)
+        };
+        let mut train: Vec<(&Vec<f64>, f64)> = Vec::new();
+        let mut calibration: Vec<(&Vec<f64>, f64)> = Vec::new();
+        for (i, (x, y)) in self.observations.values().enumerate() {
+            if i % 2 == 0 {
+                train.push((x, *y));
+            } else {
+                calibration.push((x, *y));
+            }
+        }
+        if train.len() < self.config.min_train {
+            return;
+        }
+        let d = train[0].0.len();
+        let mut gram = Matrix::zeros(d, d);
+        let mut rhs = vec![0.0; d];
+        for (x, y) in &train {
+            for i in 0..d {
+                rhs[i] += y * x[i];
+                for j in 0..d {
+                    gram[(i, j)] += x[i] * x[j];
+                }
+            }
+        }
+        for i in 0..d {
+            gram[(i, i)] += self.config.lambda;
+        }
+        let Ok(chol) = Cholesky::new(&gram) else {
+            return; // degenerate features: stay unfit, gate stays closed
+        };
+        let weights = chol.solve(&rhs);
+        // Split-conformal bound: residuals of the *held-out* half, at the
+        // finite-sample-corrected (1−α) rank.
+        let mut residuals: Vec<f64> =
+            calibration.iter().map(|(x, y)| (y - dot(&weights, x)).abs()).collect();
+        self.weights = Some(weights);
+        if residuals.len() < self.config.min_calibration {
+            return;
+        }
+        residuals.sort_by(f64::total_cmp);
+        let rank = ((1.0 - self.config.alpha) * (residuals.len() + 1) as f64).ceil() as usize;
+        if rank > residuals.len() {
+            // Too few residuals for the requested coverage: the honest
+            // bound is the max residual (still a valid, conservative gate).
+            self.quantile = residuals.last().copied();
+        } else {
+            self.quantile = Some(residuals[rank - 1]);
+        }
+    }
+
+    /// The point prediction (the fitted model, else the observation mean,
+    /// else a neutral 1.0 CPI prior).
+    pub fn predict(&self, space: &DesignSpace, point: &DesignPoint) -> f64 {
+        match &self.weights {
+            Some(w) => dot(w, &(self.features)(space, point)),
+            None => self.prior.unwrap_or(1.0),
+        }
+    }
+
+    /// The prediction plus its conformal error bound, or `None` while
+    /// the model is unfit or uncalibrated (the gate stays closed).
+    pub fn predict_with_uncertainty(
+        &self,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Option<(f64, f64)> {
+        let weights = self.weights.as_ref()?;
+        let bound = self.quantile?;
+        Some((dot(weights, &(self.features)(space, point)), bound))
+    }
+}
+
+impl Evaluator for LearnedTier {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Learned
+    }
+
+    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        points.iter().map(|p| Evaluation::new(self.predict(space, p), Fidelity::Learned)).collect()
+    }
+
+    fn cost_per_eval(&self) -> f64 {
+        self.config.cost_per_eval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_space::DesignSpace;
+
+    fn linear_cpi(space: &DesignSpace, point: &DesignPoint) -> f64 {
+        // A noiseless linear target over the default features.
+        let f = point.feature_vector(space);
+        2.0 - 0.5 * f.iter().sum::<f64>() / f.len() as f64
+    }
+
+    fn trained(space: &DesignSpace, codes: impl IntoIterator<Item = u64>) -> LearnedTier {
+        let mut tier = LearnedTier::new(LearnedTier::point_features());
+        for code in codes {
+            let p = space.decode(code);
+            let y = linear_cpi(space, &p);
+            tier.observe(space, &p, y);
+        }
+        tier.refit();
+        tier
+    }
+
+    #[test]
+    fn unfit_model_keeps_the_gate_closed_but_still_answers() {
+        let space = DesignSpace::boom();
+        let mut tier = LearnedTier::new(LearnedTier::point_features());
+        let p = space.decode(5);
+        assert_eq!(tier.predict_with_uncertainty(&space, &p), None);
+        assert_eq!(tier.predict(&space, &p), 1.0, "neutral prior");
+        tier.observe(&space, &p, 2.5);
+        tier.refit();
+        assert_eq!(tier.predict_with_uncertainty(&space, &p), None, "one point cannot calibrate");
+        assert_eq!(tier.predict(&space, &p), 2.5, "observation-mean prior");
+    }
+
+    #[test]
+    fn learns_a_linear_target_and_calibrates_tightly() {
+        let space = DesignSpace::boom();
+        let tier = trained(&space, (0..40).map(|i| i * 97 + 5));
+        let probe = space.decode(4_321);
+        let (cpi, bound) = tier.predict_with_uncertainty(&space, &probe).expect("gate open");
+        // Ridge shrinkage (λ = 1e-3) keeps the fit from being bit-exact,
+        // but on a noiseless linear target both the prediction error and
+        // the conformal bound must be far below any useful gate threshold.
+        let err = (cpi - linear_cpi(&space, &probe)).abs();
+        assert!(err < 1e-2, "noiseless fit error {err}");
+        assert!(bound < 1e-2, "conformal bound stays tight on a noiseless target: {bound}");
+        assert!(bound >= 0.0);
+    }
+
+    #[test]
+    fn fit_is_a_function_of_the_observation_set_not_its_order() {
+        let space = DesignSpace::boom();
+        let codes: Vec<u64> = (0..24).map(|i| i * 131 + 7).collect();
+        let forward = trained(&space, codes.iter().copied());
+        let reversed = trained(&space, codes.iter().rev().copied());
+        let probe = space.decode(999);
+        let a = forward.predict_with_uncertainty(&space, &probe).unwrap();
+        let b = reversed.predict_with_uncertainty(&space, &probe).unwrap();
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "prediction must be order-independent");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "bound must be order-independent");
+    }
+
+    #[test]
+    fn duplicate_observations_do_not_retrain() {
+        let space = DesignSpace::boom();
+        let mut tier = trained(&space, (0..10).map(|i| i * 11));
+        let before = tier.predict(&space, &space.decode(500));
+        let p = space.decode(0);
+        let y = linear_cpi(&space, &p);
+        tier.observe(&space, &p, y); // same key: no-op
+        tier.refit();
+        let after = tier.predict(&space, &space.decode(500));
+        assert_eq!(before.to_bits(), after.to_bits());
+    }
+
+    #[test]
+    fn evaluator_impl_answers_at_the_learned_tier() {
+        let space = DesignSpace::boom();
+        let mut tier = trained(&space, (0..20).map(|i| i * 53 + 1));
+        assert_eq!(Evaluator::fidelity(&tier), Fidelity::Learned);
+        assert_eq!(Evaluator::cost_per_eval(&tier), 0.01);
+        let p = space.decode(77);
+        let ev = tier.evaluate(&space, &p);
+        assert_eq!(ev.fidelity, Fidelity::Learned);
+        assert_eq!(ev.cpi.to_bits(), tier.predict(&space, &p).to_bits());
+    }
+}

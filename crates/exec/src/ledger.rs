@@ -1,4 +1,4 @@
-//! The per-fidelity cost ledger — the single source of budget truth.
+//! The per-tier cost ledger — the single source of budget truth.
 //!
 //! A [`CostLedger`] sits between search code and the [`Evaluator`]s it
 //! drives. Every proposal flows through [`CostLedger::evaluate`] /
@@ -8,16 +8,23 @@
 //! * **hit** — the ledger already evaluated this design earlier in the
 //!   run; the stored CPI is replayed for free ([`LedgerEntry::Replayed`]).
 //! * **miss + charged** — a design new to this run; the evaluator is
-//!   invoked, the per-fidelity evaluation count rises by one
+//!   invoked, the per-tier evaluation count rises by one
 //!   ([`LedgerEntry::Charged`]). This charges the run's budget even when
 //!   the evaluator answers from a memo warmed by *another* run — budgets
 //!   meter proposals, not simulator work.
-//! * **miss + denied** — a design new to this run proposed after the HF
+//! * **miss + denied** — a design new to this run proposed after the
 //!   budget ran out; nothing is evaluated ([`LedgerEntry::Denied`]).
+//!
+//! The budget meters charged evaluations at every tier at or above the
+//! [budget floor](CostLedger::set_budget_floor) — [`Fidelity::High`] by
+//! default, which reproduces the classic two-fidelity HF budget exactly.
+//! A tiered run lowers the floor to [`Fidelity::Learned`] so learned-
+//! and HF-tier charges spend the same budget while their
+//! `model_time_units` stay separate.
 //!
 //! `model_time_units` accumulates the actual cost of fresh model runs
 //! (an evaluator-memo answer costs nothing), in units of one simulated
-//! trace, so LF and HF spend are comparable on one axis.
+//! trace, so all tiers' spend is comparable on one axis.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -29,49 +36,33 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Evaluation, Evaluator, Fidelity};
 
-/// Short label for a fidelity in metrics and trace events.
-fn fidelity_label(fidelity: Fidelity) -> &'static str {
-    match fidelity {
-        Fidelity::Low => "lf",
-        Fidelity::High => "hf",
-    }
-}
-
-/// Cached per-fidelity handle for the evaluator-call latency histogram.
+/// Cached per-tier handle for the evaluator-call latency histogram.
 fn eval_batch_seconds(fidelity: Fidelity) -> &'static Histogram {
-    static LF: OnceLock<Histogram> = OnceLock::new();
-    static HF: OnceLock<Histogram> = OnceLock::new();
-    let cell = match fidelity {
-        Fidelity::Low => &LF,
-        Fidelity::High => &HF,
-    };
-    cell.get_or_init(|| {
+    static CELLS: [OnceLock<Histogram>; Fidelity::COUNT] =
+        [const { OnceLock::new() }; Fidelity::COUNT];
+    CELLS[fidelity.tier()].get_or_init(|| {
         dse_obs::global().histogram_with(
             "exec_eval_batch_seconds",
-            &[("fidelity", fidelity_label(fidelity))],
+            &[("fidelity", fidelity.key())],
             dse_obs::LATENCY_BUCKETS_S,
         )
     })
 }
 
-/// Cached per-fidelity handle for the scheduled-batch-size histogram.
+/// Cached per-tier handle for the scheduled-batch-size histogram.
 fn eval_batch_points(fidelity: Fidelity) -> &'static Histogram {
-    static LF: OnceLock<Histogram> = OnceLock::new();
-    static HF: OnceLock<Histogram> = OnceLock::new();
-    let cell = match fidelity {
-        Fidelity::Low => &LF,
-        Fidelity::High => &HF,
-    };
-    cell.get_or_init(|| {
+    static CELLS: [OnceLock<Histogram>; Fidelity::COUNT] =
+        [const { OnceLock::new() }; Fidelity::COUNT];
+    CELLS[fidelity.tier()].get_or_init(|| {
         dse_obs::global().histogram_with(
             "exec_eval_batch_points",
-            &[("fidelity", fidelity_label(fidelity))],
+            &[("fidelity", fidelity.key())],
             dse_obs::SIZE_BUCKETS,
         )
     })
 }
 
-/// Counters for one fidelity level of a [`CostLedger`].
+/// Counters for one tier of a [`CostLedger`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FidelityLedger {
     /// Charged evaluations: run-unique designs handed to the evaluator.
@@ -87,7 +78,7 @@ pub struct FidelityLedger {
 }
 
 impl FidelityLedger {
-    /// Total proposals that reached this fidelity.
+    /// Total proposals that reached this tier.
     pub fn proposals(&self) -> u64 {
         self.cache_hits + self.cache_misses
     }
@@ -117,39 +108,92 @@ impl std::fmt::Display for FidelityLedger {
 }
 
 /// The serializable roll-up of a [`CostLedger`] for reports.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LedgerSummary {
-    /// Low-fidelity counters.
+    /// Low-fidelity (tier 0) counters.
     pub low: FidelityLedger,
-    /// High-fidelity counters.
+    /// Learned mid-tier (tier 1) counters.
+    pub learned: FidelityLedger,
+    /// High-fidelity (tier 2) counters.
     pub high: FidelityLedger,
-    /// The HF evaluation budget, when one was installed.
+    /// The evaluation budget, when one was installed.
     pub hf_budget: Option<u64>,
+    /// The cheapest tier whose charges consume the budget.
+    pub budget_floor: Fidelity,
+}
+
+impl Default for LedgerSummary {
+    fn default() -> Self {
+        Self {
+            low: FidelityLedger::default(),
+            learned: FidelityLedger::default(),
+            high: FidelityLedger::default(),
+            hf_budget: None,
+            budget_floor: Fidelity::High,
+        }
+    }
 }
 
 impl LedgerSummary {
-    /// Total model time spent across both fidelities.
-    pub fn total_model_time(&self) -> f64 {
-        self.low.model_time_units + self.high.model_time_units
+    /// The counters of one tier.
+    pub fn section(&self, fidelity: Fidelity) -> &FidelityLedger {
+        match fidelity.tier() {
+            0 => &self.low,
+            1 => &self.learned,
+            _ => &self.high,
+        }
     }
 
-    /// Adds another summary's counters into this one (budgets add too).
+    /// Every tier's counters, cheapest first.
+    pub fn sections(&self) -> [(Fidelity, &FidelityLedger); Fidelity::COUNT] {
+        [
+            (Fidelity::Low, &self.low),
+            (Fidelity::Learned, &self.learned),
+            (Fidelity::High, &self.high),
+        ]
+    }
+
+    /// Total model time spent across all tiers.
+    pub fn total_model_time(&self) -> f64 {
+        self.sections().iter().map(|(_, s)| s.model_time_units).sum()
+    }
+
+    /// Charged evaluations at tiers at or above the budget floor.
+    pub fn budgeted_evaluations(&self) -> u64 {
+        self.sections()
+            .iter()
+            .filter(|(f, _)| *f >= self.budget_floor)
+            .map(|(_, s)| s.evaluations)
+            .sum()
+    }
+
+    /// Adds another summary's counters into this one (budgets add too;
+    /// the lower budget floor wins).
     pub fn absorb(&mut self, other: LedgerSummary) {
         self.low.absorb(other.low);
+        self.learned.absorb(other.learned);
         self.high.absorb(other.high);
         self.hf_budget = match (self.hf_budget, other.hf_budget) {
             (None, None) => None,
             (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
         };
+        self.budget_floor = self.budget_floor.min(other.budget_floor);
     }
 }
 
 impl std::fmt::Display for LedgerSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "LF: {}", self.low)?;
+        if self.learned.proposals() > 0 || self.learned.denied > 0 {
+            writeln!(f, "learned: {}", self.learned)?;
+        }
         write!(f, "HF: {}", self.high)?;
         if let Some(budget) = self.hf_budget {
-            write!(f, " [budget {budget}]")?;
+            write!(f, " [budget {budget}")?;
+            if self.budget_floor < Fidelity::High {
+                write!(f, " from {}", self.budget_floor.key())?;
+            }
+            write!(f, "]")?;
         }
         Ok(())
     }
@@ -182,20 +226,31 @@ impl LedgerEntry {
     }
 }
 
-/// Per-run evaluation accounting across both fidelities.
+/// One tier's run-local state: counters plus the run memo.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct TierState {
+    counters: FidelityLedger,
+    seen: HashMap<u64, f64>,
+}
+
+/// Per-run evaluation accounting across the whole tier stack.
 ///
 /// One ledger lives for one optimization run; evaluators (which may
 /// carry memos shared across runs) are infrastructure handed in per
 /// call. The ledger deduplicates proposals within the run, enforces the
-/// HF budget, and meters model time — search code reads budgets and
-/// counts *only* from here.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// budget over the tiers at or above the budget floor, and meters model
+/// time — search code reads budgets and counts *only* from here.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostLedger {
-    low: FidelityLedger,
-    high: FidelityLedger,
-    hf_budget: Option<u64>,
-    seen_low: HashMap<u64, f64>,
-    seen_high: HashMap<u64, f64>,
+    tiers: [TierState; Fidelity::COUNT],
+    budget: Option<u64>,
+    budget_floor: Fidelity,
+}
+
+impl Default for CostLedger {
+    fn default() -> Self {
+        Self { tiers: Default::default(), budget: None, budget_floor: Fidelity::High }
+    }
 }
 
 impl CostLedger {
@@ -204,53 +259,77 @@ impl CostLedger {
         Self::default()
     }
 
-    /// Builder: installs an HF evaluation budget.
+    /// Builder: installs an evaluation budget (floor unchanged, so by
+    /// default this is the classic HF budget).
     pub fn with_hf_budget(mut self, budget: usize) -> Self {
         self.set_hf_budget(budget);
         self
     }
 
-    /// Installs (or replaces) the HF evaluation budget.
+    /// Installs (or replaces) the evaluation budget.
     pub fn set_hf_budget(&mut self, budget: usize) {
-        self.hf_budget = Some(budget as u64);
+        self.budget = Some(budget as u64);
     }
 
-    /// The installed HF budget, if any.
+    /// Sets the cheapest tier whose charges consume the budget.
+    ///
+    /// The default floor is [`Fidelity::High`]: only HF charges spend
+    /// the budget, exactly the pre-stack behavior. A tiered run lowers
+    /// the floor to [`Fidelity::Learned`] so a confident learned-tier
+    /// answer spends one budget unit just like an HF simulation — equal
+    /// budgets then mean equal totals of budgeted answers, while the
+    /// metered model time shows what the routing actually saved.
+    pub fn set_budget_floor(&mut self, floor: Fidelity) {
+        self.budget_floor = floor;
+    }
+
+    /// The cheapest tier whose charges consume the budget.
+    pub fn budget_floor(&self) -> Fidelity {
+        self.budget_floor
+    }
+
+    /// The installed budget, if any.
     pub fn hf_budget(&self) -> Option<usize> {
-        self.hf_budget.map(|b| b as usize)
+        self.budget.map(|b| b as usize)
     }
 
-    /// HF evaluations still affordable (`None` when unlimited).
+    /// Budgeted evaluations still affordable (`None` when unlimited).
     pub fn hf_remaining(&self) -> Option<usize> {
-        self.hf_budget.map(|b| b.saturating_sub(self.high.evaluations) as usize)
+        self.budget.map(|b| b.saturating_sub(self.budgeted_evaluations()) as usize)
     }
 
-    /// The counters of one fidelity.
+    /// Charged evaluations at tiers at or above the budget floor.
+    pub fn budgeted_evaluations(&self) -> u64 {
+        Fidelity::STACK
+            .into_iter()
+            .filter(|f| *f >= self.budget_floor)
+            .map(|f| self.tiers[f.tier()].counters.evaluations)
+            .sum()
+    }
+
+    /// The counters of one tier.
     pub fn section(&self, fidelity: Fidelity) -> &FidelityLedger {
-        match fidelity {
-            Fidelity::Low => &self.low,
-            Fidelity::High => &self.high,
-        }
+        &self.tiers[fidelity.tier()].counters
     }
 
-    /// Charged evaluation count of one fidelity.
+    /// Charged evaluation count of one tier.
     pub fn evaluations(&self, fidelity: Fidelity) -> usize {
         self.section(fidelity).evaluations as usize
     }
 
     /// The CPI this run already paid for, if any (uncounted peek).
     pub fn known(&self, fidelity: Fidelity, key: u64) -> Option<f64> {
-        self.seen(fidelity).get(&key).copied()
+        self.tiers[fidelity.tier()].seen.get(&key).copied()
     }
 
     /// Whether this run already evaluated the design (uncounted).
     pub fn knows(&self, fidelity: Fidelity, key: u64) -> bool {
-        self.seen(fidelity).contains_key(&key)
+        self.tiers[fidelity.tier()].seen.contains_key(&key)
     }
 
-    /// Number of run-unique designs evaluated at one fidelity.
+    /// Number of run-unique designs evaluated at one tier.
     pub fn unique_designs(&self, fidelity: Fidelity) -> usize {
-        self.seen(fidelity).len()
+        self.tiers[fidelity.tier()].seen.len()
     }
 
     /// Proposes one design: replay, charge, or deny.
@@ -286,6 +365,7 @@ impl CostLedger {
         }
         let fidelity = evaluator.fidelity();
         let before = *self.section(fidelity);
+        let budgeted = fidelity >= self.budget_floor;
         // Pass 1 (sequential, input order): replay run-memo hits, fold
         // within-batch duplicates, charge or deny the rest.
         let mut scheduled: Vec<DesignPoint> = Vec::new();
@@ -293,7 +373,7 @@ impl CostLedger {
         let mut slots: Vec<Slot> = Vec::with_capacity(points.len());
         for point in points {
             let key = space.encode(point);
-            if let Some(&cpi) = self.seen(fidelity).get(&key) {
+            if let Some(&cpi) = self.tiers[fidelity.tier()].seen.get(&key) {
                 self.section_mut(fidelity).cache_hits += 1;
                 slots.push(Slot::Ready(LedgerEntry::Replayed(cpi)));
             } else if let Some(&idx) = scheduled_keys.get(&key) {
@@ -303,7 +383,7 @@ impl CostLedger {
                 slots.push(Slot::Dup(idx));
             } else {
                 self.section_mut(fidelity).cache_misses += 1;
-                let exhausted = fidelity == Fidelity::High && self.hf_remaining() == Some(0);
+                let exhausted = budgeted && self.hf_remaining() == Some(0);
                 if exhausted {
                     self.section_mut(fidelity).denied += 1;
                     slots.push(Slot::Ready(LedgerEntry::Denied));
@@ -338,7 +418,7 @@ impl CostLedger {
             if !ev.cached {
                 self.section_mut(fidelity).model_time_units += cost;
             }
-            self.seen_mut(fidelity).insert(space.encode(point), ev.cpi);
+            self.tiers[fidelity.tier()].seen.insert(space.encode(point), ev.cpi);
         }
         if !points.is_empty() {
             if !scheduled.is_empty() {
@@ -347,14 +427,14 @@ impl CostLedger {
             }
             if trace::enabled() {
                 // Every ledger mutation flows through this method, so
-                // summing these deltas per fidelity over a whole trace
+                // summing these deltas per tier over a whole trace
                 // reproduces the final `LedgerSummary` exactly — the
                 // invariant `trace-report` checks offline.
                 let after = *self.section(fidelity);
                 trace::event(
                     "ledger_batch",
                     &[
-                        ("fidelity", fidelity_label(fidelity).into()),
+                        ("fidelity", fidelity.key().into()),
                         ("proposals", points.len().into()),
                         ("evaluations", (after.evaluations - before.evaluations).into()),
                         ("cache_hits", (after.cache_hits - before.cache_hits).into()),
@@ -381,28 +461,17 @@ impl CostLedger {
 
     /// The serializable roll-up for reports.
     pub fn summary(&self) -> LedgerSummary {
-        LedgerSummary { low: self.low, high: self.high, hf_budget: self.hf_budget }
-    }
-
-    fn seen(&self, fidelity: Fidelity) -> &HashMap<u64, f64> {
-        match fidelity {
-            Fidelity::Low => &self.seen_low,
-            Fidelity::High => &self.seen_high,
-        }
-    }
-
-    fn seen_mut(&mut self, fidelity: Fidelity) -> &mut HashMap<u64, f64> {
-        match fidelity {
-            Fidelity::Low => &mut self.seen_low,
-            Fidelity::High => &mut self.seen_high,
+        LedgerSummary {
+            low: self.tiers[Fidelity::Low.tier()].counters,
+            learned: self.tiers[Fidelity::Learned.tier()].counters,
+            high: self.tiers[Fidelity::High.tier()].counters,
+            hf_budget: self.budget,
+            budget_floor: self.budget_floor,
         }
     }
 
     fn section_mut(&mut self, fidelity: Fidelity) -> &mut FidelityLedger {
-        match fidelity {
-            Fidelity::Low => &mut self.low,
-            Fidelity::High => &mut self.high,
-        }
+        &mut self.tiers[fidelity.tier()].counters
     }
 }
 
@@ -459,6 +528,25 @@ mod tests {
         }
         fn cost_per_eval(&self) -> f64 {
             3.0
+        }
+    }
+
+    /// A tier-tagged trivial evaluator: CPI = encoded index, fixed cost.
+    struct Flat(Fidelity, f64);
+
+    impl Evaluator for Flat {
+        fn fidelity(&self) -> Fidelity {
+            self.0
+        }
+        fn evaluate_batch(
+            &mut self,
+            space: &DesignSpace,
+            points: &[DesignPoint],
+        ) -> Vec<Evaluation> {
+            points.iter().map(|p| Evaluation::new(space.encode(p) as f64, self.0)).collect()
+        }
+        fn cost_per_eval(&self) -> f64 {
+            self.1
         }
     }
 
@@ -551,29 +639,10 @@ mod tests {
 
     #[test]
     fn fidelities_account_separately() {
-        struct Lf;
-        impl Evaluator for Lf {
-            fn fidelity(&self) -> Fidelity {
-                Fidelity::Low
-            }
-            fn evaluate_batch(
-                &mut self,
-                space: &DesignSpace,
-                points: &[DesignPoint],
-            ) -> Vec<Evaluation> {
-                points
-                    .iter()
-                    .map(|p| Evaluation::new(space.encode(p) as f64, Fidelity::Low))
-                    .collect()
-            }
-            fn cost_per_eval(&self) -> f64 {
-                0.001
-            }
-        }
         let space = DesignSpace::boom();
         let mut ledger = CostLedger::new().with_hf_budget(0);
-        // LF evaluations are never limited by the HF budget.
-        let entry = ledger.evaluate(&mut Lf, &space, &space.decode(11));
+        // LF evaluations are never limited by the budget.
+        let entry = ledger.evaluate(&mut Flat(Fidelity::Low, 0.001), &space, &space.decode(11));
         assert_eq!(entry.cpi(), Some(11.0));
         assert_eq!(ledger.evaluations(Fidelity::Low), 1);
         assert_eq!(ledger.evaluations(Fidelity::High), 0);
@@ -586,22 +655,85 @@ mod tests {
     }
 
     #[test]
+    fn every_tier_keeps_its_own_memo_and_counters() {
+        let space = DesignSpace::boom();
+        let mut ledger = CostLedger::new();
+        for fidelity in Fidelity::STACK {
+            let entries =
+                ledger.evaluate_batch(&mut Flat(fidelity, 0.5), &space, &points(&space, &[2, 2]));
+            assert_eq!(entries[0].cpi(), Some(2.0));
+            assert_eq!(entries[1], LedgerEntry::Replayed(2.0));
+        }
+        for fidelity in Fidelity::STACK {
+            let section = ledger.section(fidelity);
+            assert_eq!((section.evaluations, section.cache_hits), (1, 1));
+            assert!(ledger.knows(fidelity, 2));
+            assert_eq!(ledger.unique_designs(fidelity), 1);
+        }
+        // The summary's sections are exactly the per-tier counters, and
+        // totals are the sums over them.
+        let summary = ledger.summary();
+        for (fidelity, section) in summary.sections() {
+            assert_eq!(section, ledger.section(fidelity));
+        }
+        assert!((summary.total_model_time() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learned_floor_shares_one_budget_between_learned_and_hf() {
+        let space = DesignSpace::boom();
+        let mut ledger = CostLedger::new().with_hf_budget(3);
+        ledger.set_budget_floor(Fidelity::Learned);
+        assert_eq!(ledger.budget_floor(), Fidelity::Learned);
+
+        // Two learned charges spend two budget units...
+        let entries = ledger.evaluate_batch(
+            &mut Flat(Fidelity::Learned, 0.01),
+            &space,
+            &points(&space, &[1, 2]),
+        );
+        assert!(entries.iter().all(|e| !e.is_denied()));
+        assert_eq!(ledger.hf_remaining(), Some(1));
+        assert_eq!(ledger.budgeted_evaluations(), 2);
+
+        // ...so only one HF charge is still affordable.
+        let entries = ledger.evaluate_batch(&mut Memo::new(), &space, &points(&space, &[3, 4]));
+        assert_eq!(entries[0].cpi(), Some(3.0));
+        assert!(entries[1].is_denied());
+        assert_eq!(ledger.hf_remaining(), Some(0));
+
+        // LF stays below the floor: never denied.
+        let entry = ledger.evaluate(&mut Flat(Fidelity::Low, 0.001), &space, &space.decode(9));
+        assert_eq!(entry.cpi(), Some(9.0));
+
+        // The summary records the floor and the budgeted total.
+        let summary = ledger.summary();
+        assert_eq!(summary.budget_floor, Fidelity::Learned);
+        assert_eq!(summary.budgeted_evaluations(), 3);
+    }
+
+    #[test]
     fn summaries_absorb_counters_and_budgets() {
         let mut a = LedgerSummary {
             low: FidelityLedger { evaluations: 2, ..Default::default() },
             high: FidelityLedger { evaluations: 3, model_time_units: 9.0, ..Default::default() },
             hf_budget: Some(5),
+            ..Default::default()
         };
         let b = LedgerSummary {
             high: FidelityLedger { evaluations: 1, model_time_units: 3.0, ..Default::default() },
+            learned: FidelityLedger { evaluations: 4, ..Default::default() },
             hf_budget: None,
+            budget_floor: Fidelity::Learned,
             ..Default::default()
         };
         a.absorb(b);
         assert_eq!(a.low.evaluations, 2);
+        assert_eq!(a.learned.evaluations, 4);
         assert_eq!(a.high.evaluations, 4);
         assert_eq!(a.high.model_time_units, 12.0);
         assert_eq!(a.hf_budget, Some(5));
+        assert_eq!(a.budget_floor, Fidelity::Learned);
     }
 
     #[test]
@@ -612,5 +744,15 @@ mod tests {
         assert_eq!(summary, restored);
         let text = format!("{summary}");
         assert!(text.contains("LF:") && text.contains("HF:") && text.contains("budget 9"));
+        // An idle learned tier stays out of the rendering; an active one
+        // (or a lowered floor) shows up.
+        assert!(!text.contains("learned"), "{text}");
+        let mut ledger = CostLedger::new().with_hf_budget(4);
+        ledger.set_budget_floor(Fidelity::Learned);
+        let space = DesignSpace::boom();
+        ledger.evaluate(&mut Flat(Fidelity::Learned, 0.01), &space, &space.decode(1));
+        let text = format!("{}", ledger.summary());
+        assert!(text.contains("learned: 1 evals"), "{text}");
+        assert!(text.contains("budget 4 from learned"), "{text}");
     }
 }

@@ -34,10 +34,14 @@
 #![warn(missing_docs)]
 
 mod evaluator;
+mod learned;
 mod ledger;
+mod tiered;
 
-pub use evaluator::{Evaluation, Evaluator, Fidelity};
+pub use evaluator::{CpiModel, Evaluation, Evaluator, Fidelity};
+pub use learned::{FeatureFn, LearnedConfig, LearnedTier};
 pub use ledger::{CostLedger, FidelityLedger, LedgerEntry, LedgerSummary};
+pub use tiered::{LedgerRouter, TierGate, TieredEvaluator};
 
 use std::collections::HashMap;
 

@@ -1,0 +1,414 @@
+//! Uncertainty-gated routing across the fidelity tier stack.
+//!
+//! A [`TieredEvaluator`] answers each proposal at the cheapest tier
+//! whose conformal error bound clears the gate threshold, escalating to
+//! the next tier otherwise. Every answer still flows through the
+//! [`CostLedger`] — one `evaluate_batch` per tier per window — so the
+//! per-tier accounting stays counter-exact, and every fresh HF charge
+//! is fed back into the [`LearnedTier`] at the batch boundary.
+
+use std::sync::OnceLock;
+
+use dse_obs::Counter;
+use dse_space::{DesignPoint, DesignSpace};
+
+use crate::{CostLedger, Evaluator, Fidelity, LearnedTier, LedgerEntry};
+
+/// Why a proposal was answered at the tier it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteReason {
+    /// The run memo already held this design at the chosen tier.
+    Replay,
+    /// The learned tier's conformal bound cleared the gate threshold.
+    Confident,
+    /// Even the optimistic end of the conformal interval cannot beat
+    /// the best HF-confirmed CPI: a learned answer suffices to rule the
+    /// design out, so no simulation is spent on a sure loser.
+    RuledOut,
+    /// The gate refused (bound too wide or model unfit): escalated.
+    Escalated,
+    /// The gate is off: straight to the terminal tier.
+    Direct,
+}
+
+impl RouteReason {
+    fn key(self) -> &'static str {
+        match self {
+            RouteReason::Replay => "replay",
+            RouteReason::Confident => "confident",
+            RouteReason::RuledOut => "ruled_out",
+            RouteReason::Escalated => "escalated",
+            RouteReason::Direct => "direct",
+        }
+    }
+}
+
+/// Cached handle for one `tier_route_total{tier,reason}` series.
+fn route_counter(tier: Fidelity, reason: RouteReason) -> &'static Counter {
+    static CELLS: [[OnceLock<Counter>; 5]; Fidelity::COUNT] =
+        [const { [const { OnceLock::new() }; 5] }; Fidelity::COUNT];
+    let slot = match reason {
+        RouteReason::Replay => 0,
+        RouteReason::Confident => 1,
+        RouteReason::RuledOut => 2,
+        RouteReason::Escalated => 3,
+        RouteReason::Direct => 4,
+    };
+    CELLS[tier.tier()][slot].get_or_init(|| {
+        dse_obs::global()
+            .counter_with("tier_route_total", &[("tier", tier.key()), ("reason", reason.key())])
+    })
+}
+
+/// Cached handle for the gate-escalation counter.
+fn escalations_total() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    CELL.get_or_init(|| dse_obs::global().counter("tier_gate_escalations_total"))
+}
+
+/// The uncertainty gate of the tier router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierGate {
+    /// Whether routing through the learned tier is allowed at all. Off,
+    /// the router degenerates to the plain two-fidelity flow — every
+    /// proposal goes straight to HF, bit-identical to the pre-stack
+    /// behavior.
+    pub enabled: bool,
+    /// Largest acceptable conformal CPI-error bound for a learned-tier
+    /// answer, *relative to the predicted CPI* (0.05 = a 5% error bar).
+    /// Relative because CPI scales vary wildly across workloads and
+    /// trace lengths; an absolute threshold would be meaningless across
+    /// them. Tighter thresholds escalate more proposals to HF.
+    pub threshold: f64,
+}
+
+impl Default for TierGate {
+    fn default() -> Self {
+        Self { enabled: false, threshold: 0.05 }
+    }
+}
+
+impl TierGate {
+    /// An open gate with the given error-bound threshold.
+    pub fn enabled(threshold: f64) -> Self {
+        Self { enabled: true, threshold }
+    }
+}
+
+/// The tier router: a learned mid tier in front of a terminal HF
+/// evaluator, gated by conformal uncertainty.
+///
+/// The router is driven like an evaluator but *through* the ledger
+/// (see [`LedgerRouter`](crate::LedgerRouter)): each batch is routed on
+/// the driver thread, submitted as at most one ledger batch per tier
+/// (cheapest first), stitched back into input order, and closed with a
+/// training step that feeds every fresh HF charge into the learned tier
+/// — the batch-boundary discipline that keeps training deterministic.
+#[derive(Debug)]
+pub struct TieredEvaluator<'a, E: Evaluator + ?Sized> {
+    /// The online-learned mid tier.
+    pub learned: &'a mut LearnedTier,
+    /// The terminal high-fidelity evaluator.
+    pub hf: &'a mut E,
+    /// The routing gate.
+    pub gate: TierGate,
+    /// Best HF-confirmed CPI this router has witnessed — the incumbent
+    /// the rule-out route compares conformal intervals against.
+    best_hf: Option<f64>,
+}
+
+impl<'a, E: Evaluator + ?Sized> TieredEvaluator<'a, E> {
+    /// Builds a router over a learned tier and a terminal evaluator.
+    pub fn new(learned: &'a mut LearnedTier, hf: &'a mut E, gate: TierGate) -> Self {
+        Self { learned, hf, gate, best_hf: None }
+    }
+
+    /// Routes one batch and also reports, per point, the tier that
+    /// answered it (what the serve layer stamps into responses).
+    pub fn evaluate_batch_routed(
+        &mut self,
+        ledger: &mut CostLedger,
+        space: &DesignSpace,
+        points: &[DesignPoint],
+    ) -> (Vec<LedgerEntry>, Vec<Fidelity>) {
+        // Routing happens before any evaluation, on the driver thread:
+        // every decision in this window sees the same model state.
+        self.learned.refit();
+        let mut routes: Vec<Fidelity> = Vec::with_capacity(points.len());
+        let mut escalations = 0u64;
+        for point in points {
+            let key = space.encode(point);
+            let (tier, reason) = if ledger.knows(Fidelity::High, key) {
+                (Fidelity::High, RouteReason::Replay)
+            } else if ledger.knows(Fidelity::Learned, key) {
+                (Fidelity::Learned, RouteReason::Replay)
+            } else if !self.gate.enabled {
+                (Fidelity::High, RouteReason::Direct)
+            } else {
+                match self.learned.predict_with_uncertainty(space, point) {
+                    Some((prediction, bound))
+                        if bound <= self.gate.threshold * prediction.abs() =>
+                    {
+                        (Fidelity::Learned, RouteReason::Confident)
+                    }
+                    // A wide interval can still settle a design's fate:
+                    // when even `prediction - bound` loses to the HF
+                    // incumbent, the learned answer is good enough to
+                    // rule it out — the winner-selection path only ever
+                    // rests on HF-confirmed CPIs.
+                    Some((prediction, bound))
+                        if self.best_hf.is_some_and(|best| prediction - bound > best) =>
+                    {
+                        (Fidelity::Learned, RouteReason::RuledOut)
+                    }
+                    _ => {
+                        escalations += 1;
+                        (Fidelity::High, RouteReason::Escalated)
+                    }
+                }
+            };
+            route_counter(tier, reason).inc();
+            routes.push(tier);
+        }
+        if escalations > 0 {
+            escalations_total().add(escalations);
+        }
+        // One ledger batch per tier, cheapest first, then stitch the
+        // entries back into input order.
+        let mut entries: Vec<Option<LedgerEntry>> = vec![None; points.len()];
+        for tier in [Fidelity::Learned, Fidelity::High] {
+            let group: Vec<usize> = (0..points.len()).filter(|&i| routes[i] == tier).collect();
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<DesignPoint> = group.iter().map(|&i| points[i].clone()).collect();
+            let answered = if tier == Fidelity::Learned {
+                ledger.evaluate_batch(self.learned, space, &batch)
+            } else {
+                ledger.evaluate_batch(self.hf, space, &batch)
+            };
+            for (&i, entry) in group.iter().zip(answered) {
+                entries[i] = Some(entry);
+            }
+            if tier == Fidelity::High {
+                // Batch-boundary training: every fresh HF charge becomes
+                // a learned-tier observation (replays were observed when
+                // first charged; denials carry no result).
+                for (point, entry) in batch.iter().zip(group.iter().map(|&i| &entries[i])) {
+                    if let Some(LedgerEntry::Charged(ev)) = entry {
+                        self.learned.observe(space, point, ev.cpi);
+                    }
+                    // Any HF-answered CPI (fresh or replayed) can become
+                    // the rule-out incumbent.
+                    if let Some(cpi) = entry.as_ref().and_then(LedgerEntry::cpi) {
+                        self.best_hf = Some(self.best_hf.map_or(cpi, |b| b.min(cpi)));
+                    }
+                }
+                self.learned.refit();
+            }
+        }
+        (entries.into_iter().map(|e| e.expect("every point routed")).collect(), routes)
+    }
+}
+
+/// Anything that can answer proposals through a [`CostLedger`]: either a
+/// plain [`Evaluator`] (one tier, the blanket impl) or a
+/// [`TieredEvaluator`] (gated routing across the stack). The MFRL
+/// phases are generic over this, which is how LF→HF promotion became
+/// tier escalation without the phases knowing the stack depth.
+pub trait LedgerRouter {
+    /// Proposes a batch, in input order, through the ledger.
+    fn route_batch(
+        &mut self,
+        ledger: &mut CostLedger,
+        space: &DesignSpace,
+        points: &[DesignPoint],
+    ) -> Vec<LedgerEntry>;
+
+    /// Proposes one design (a one-point batch).
+    fn route(
+        &mut self,
+        ledger: &mut CostLedger,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> LedgerEntry {
+        self.route_batch(ledger, space, std::slice::from_ref(point))
+            .pop()
+            .expect("one-point batch produced no entry")
+    }
+}
+
+impl<E: Evaluator + ?Sized> LedgerRouter for E {
+    fn route_batch(
+        &mut self,
+        ledger: &mut CostLedger,
+        space: &DesignSpace,
+        points: &[DesignPoint],
+    ) -> Vec<LedgerEntry> {
+        ledger.evaluate_batch(self, space, points)
+    }
+}
+
+impl<E: Evaluator + ?Sized> LedgerRouter for TieredEvaluator<'_, E> {
+    fn route_batch(
+        &mut self,
+        ledger: &mut CostLedger,
+        space: &DesignSpace,
+        points: &[DesignPoint],
+    ) -> Vec<LedgerEntry> {
+        self.evaluate_batch_routed(ledger, space, points).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluation;
+    use dse_space::DesignSpace;
+
+    /// Ground truth for these tests: CPI = a fixed linear map.
+    fn truth(space: &DesignSpace, point: &DesignPoint) -> f64 {
+        let f = point.feature_vector(space);
+        2.0 - 0.5 * f.iter().sum::<f64>() / f.len() as f64
+    }
+
+    struct TruthHf {
+        runs: usize,
+    }
+
+    impl Evaluator for TruthHf {
+        fn fidelity(&self) -> Fidelity {
+            Fidelity::High
+        }
+        fn evaluate_batch(
+            &mut self,
+            space: &DesignSpace,
+            points: &[DesignPoint],
+        ) -> Vec<Evaluation> {
+            self.runs += points.len();
+            points.iter().map(|p| Evaluation::new(truth(space, p), Fidelity::High)).collect()
+        }
+        fn cost_per_eval(&self) -> f64 {
+            10.0
+        }
+    }
+
+    fn batch(space: &DesignSpace, codes: &[u64]) -> Vec<DesignPoint> {
+        codes.iter().map(|&c| space.decode(c)).collect()
+    }
+
+    #[test]
+    fn gate_off_degenerates_to_the_plain_hf_flow() {
+        let space = DesignSpace::boom();
+        let codes: Vec<u64> = (0..12).map(|i| i * 37 + 1).collect();
+
+        let mut plain_hf = TruthHf { runs: 0 };
+        let mut plain = CostLedger::new().with_hf_budget(8);
+        let expected = plain.evaluate_batch(&mut plain_hf, &space, &batch(&space, &codes));
+
+        let mut learned = LearnedTier::new(LearnedTier::point_features());
+        let mut routed_hf = TruthHf { runs: 0 };
+        let mut router = TieredEvaluator::new(&mut learned, &mut routed_hf, TierGate::default());
+        let mut ledger = CostLedger::new().with_hf_budget(8);
+        let got = router.route_batch(&mut ledger, &space, &batch(&space, &codes));
+
+        assert_eq!(got, expected);
+        assert_eq!(ledger.summary(), plain.summary(), "bit-identical degenerate accounting");
+        // Even with the gate off the HF commits train the learned tier,
+        // so a later run can open the gate warm.
+        assert_eq!(router.learned.observations(), 8);
+    }
+
+    #[test]
+    fn confident_answers_come_from_the_learned_tier_without_hf_cost() {
+        let space = DesignSpace::boom();
+        let mut learned = LearnedTier::new(LearnedTier::point_features());
+        let mut hf = TruthHf { runs: 0 };
+        let mut ledger = CostLedger::new();
+        let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(0.05));
+
+        // Cold model: the whole first window escalates (gate closed).
+        let warmup: Vec<u64> = (0..60).map(|i| i * 97 + 3).collect();
+        let (entries, routes) =
+            router.evaluate_batch_routed(&mut ledger, &space, &batch(&space, &warmup));
+        assert!(routes.iter().all(|&t| t == Fidelity::High));
+        assert!(entries.iter().all(|e| !e.is_denied()));
+        assert_eq!(ledger.evaluations(Fidelity::High), 60);
+
+        // Warm model on a noiseless target: the next window is answered
+        // by the learned tier, no new HF runs, and the predictions match
+        // the ground truth the regressor recovered.
+        let probe: Vec<u64> = (0..6).map(|i| i * 1_003 + 11).collect();
+        let before = router.hf.runs;
+        let (entries, routes) =
+            router.evaluate_batch_routed(&mut ledger, &space, &batch(&space, &probe));
+        assert!(routes.iter().all(|&t| t == Fidelity::Learned), "{routes:?}");
+        assert_eq!(router.hf.runs, before, "no HF model runs for confident answers");
+        assert_eq!(ledger.evaluations(Fidelity::Learned), 6);
+        for (code, entry) in probe.iter().zip(&entries) {
+            let cpi = entry.cpi().expect("answered");
+            assert!((cpi - truth(&space, &space.decode(*code))).abs() < 1e-2);
+        }
+        // Learned answers are metered at the learned tier's own rate.
+        let learned_time = ledger.section(Fidelity::Learned).model_time_units;
+        assert!((learned_time - 6.0 * 0.01).abs() < 1e-12, "{learned_time}");
+    }
+
+    #[test]
+    fn tighter_thresholds_escalate_no_fewer_proposals() {
+        let space = DesignSpace::boom();
+        // A *noisy* target: the regressor cannot collapse the conformal
+        // bound to zero, so the gate decision actually varies with the
+        // threshold. The tier is deterministic in its observation set, so
+        // rebuilding it per threshold yields identical models.
+        let noisy_tier = |space: &DesignSpace| {
+            let mut tier = LearnedTier::new(LearnedTier::point_features());
+            for i in 0..30u64 {
+                let p = space.decode(i * 211 + 7);
+                let noise = if i % 3 == 0 { 0.04 } else { -0.02 };
+                let cpi = truth(space, &p) + noise;
+                tier.observe(space, &p, cpi);
+            }
+            tier.refit();
+            tier
+        };
+
+        let probe = batch(&space, &(0..16).map(|i| i * 509 + 13).collect::<Vec<u64>>());
+        let mut escalated_at = Vec::new();
+        for threshold in [0.0, 0.01, 0.03, 0.1, f64::INFINITY] {
+            let mut tier = noisy_tier(&space);
+            let mut hf = TruthHf { runs: 0 };
+            let mut router = TieredEvaluator::new(&mut tier, &mut hf, TierGate::enabled(threshold));
+            let mut ledger = CostLedger::new();
+            let (_, routes) = router.evaluate_batch_routed(&mut ledger, &space, &probe);
+            escalated_at.push(routes.iter().filter(|&&t| t == Fidelity::High).count());
+        }
+        assert!(
+            escalated_at.windows(2).all(|w| w[0] >= w[1]),
+            "tighter gate must escalate no fewer: {escalated_at:?}"
+        );
+        assert_eq!(*escalated_at.first().unwrap(), probe.len(), "zero threshold escalates all");
+        assert_eq!(*escalated_at.last().unwrap(), 0, "infinite threshold escalates none");
+    }
+
+    #[test]
+    fn budget_floor_shares_the_budget_across_routed_tiers() {
+        let space = DesignSpace::boom();
+        let mut learned = LearnedTier::new(LearnedTier::point_features());
+        for i in 0..20u64 {
+            let p = space.decode(i * 97 + 3);
+            learned.observe(&space, &p, truth(&space, &p));
+        }
+        let mut hf = TruthHf { runs: 0 };
+        let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(0.05));
+        let mut ledger = CostLedger::new().with_hf_budget(4);
+        ledger.set_budget_floor(Fidelity::Learned);
+        // Six fresh proposals against a budget of 4: exactly two denials,
+        // regardless of which tier would have answered them.
+        let probe = batch(&space, &(0..6).map(|i| i * 1_003 + 11).collect::<Vec<u64>>());
+        let (entries, _) = router.evaluate_batch_routed(&mut ledger, &space, &probe);
+        assert_eq!(entries.iter().filter(|e| e.is_denied()).count(), 2);
+        assert_eq!(ledger.budgeted_evaluations(), 4);
+        assert_eq!(ledger.hf_remaining(), Some(0));
+    }
+}

@@ -7,7 +7,7 @@
 //! [`LfEvaluator`] adapter that lets the same proxy be metered through a
 //! [`CostLedger`](dse_exec::CostLedger) when its answers count.
 
-use dse_exec::{Evaluation, Evaluator, Fidelity};
+use dse_exec::{CpiModel, Evaluation, Fidelity};
 use dse_space::{DesignPoint, DesignSpace, Param};
 
 /// Model-time units one analytical evaluation costs, in units of one
@@ -47,24 +47,23 @@ pub trait LowFidelity {
 }
 
 /// Adapts a [`LowFidelity`] proxy (by shared reference) to the
-/// batch-first [`Evaluator`] interface, so LF work can be metered
-/// through the same [`CostLedger`](dse_exec::CostLedger) as HF work.
+/// batch-first [`Evaluator`](dse_exec::Evaluator) interface, so LF work
+/// can be metered through the same [`CostLedger`](dse_exec::CostLedger)
+/// as HF work.
 ///
 /// The proxy is pure (`&self`), so the adapter never memoizes: every
-/// batch is computed fresh and reported uncached.
+/// batch is computed fresh and reported uncached. The adapter is a
+/// [`CpiModel`], so `exec`'s blanket impl supplies the full `Evaluator`
+/// surface.
 pub struct LfEvaluator<'a, L: LowFidelity + ?Sized>(pub &'a L);
 
-impl<L: LowFidelity + ?Sized> Evaluator for LfEvaluator<'_, L> {
+impl<L: LowFidelity + ?Sized> CpiModel for LfEvaluator<'_, L> {
     fn fidelity(&self) -> Fidelity {
         Fidelity::Low
     }
 
-    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
-        self.0
-            .cpi_batch(space, points)
-            .into_iter()
-            .map(|cpi| Evaluation::new(cpi, Fidelity::Low))
-            .collect()
+    fn evaluations(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        Evaluation::batch(self.0.cpi_batch(space, points), Fidelity::Low)
     }
 
     fn cost_per_eval(&self) -> f64 {

@@ -1,6 +1,6 @@
 //! The high-fidelity (simulator) refinement phase (§3.2).
 
-use dse_exec::{CostLedger, Evaluator, Fidelity, LedgerEntry};
+use dse_exec::{CostLedger, Fidelity, LedgerEntry, LedgerRouter};
 use dse_fnn::{explain_top_action, Fnn};
 use dse_obs::trace;
 use dse_space::{DesignPoint, DesignSpace};
@@ -25,11 +25,23 @@ pub struct HfPhaseConfig {
     pub reinforce: ReinforceConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Cheapest tier the budget meters (see
+    /// [`CostLedger::set_budget_floor`]). The default — [`Fidelity::High`]
+    /// — reproduces the two-fidelity flow exactly; tiered runs lower it
+    /// to [`Fidelity::Learned`] so learned answers spend the same budget
+    /// as simulations.
+    pub budget_floor: Fidelity,
 }
 
 impl Default for HfPhaseConfig {
     fn default() -> Self {
-        Self { budget: 9, initial_subset: 3, reinforce: ReinforceConfig::default(), seed: 0 }
+        Self {
+            budget: 9,
+            initial_subset: 3,
+            reinforce: ReinforceConfig::default(),
+            seed: 0,
+            budget_floor: Fidelity::High,
+        }
     }
 }
 
@@ -73,13 +85,19 @@ impl HfPhase {
     /// replayed, charged or denied by the ledger, never by the phase.
     /// A zero budget degrades gracefully — nothing is simulated and the
     /// LF-converged design is returned with its LF CPI.
+    ///
+    /// `hf` is any [`LedgerRouter`]: a plain [`Evaluator`](dse_exec::Evaluator)
+    /// reproduces the two-fidelity flow, while a
+    /// [`TieredEvaluator`](dse_exec::TieredEvaluator) turns the LF→HF
+    /// promotion into gated escalation through the tier stack — the
+    /// phase itself never learns the stack depth.
     #[allow(clippy::too_many_arguments)] // the phase wiring is the arity
-    pub fn run<E: Evaluator + ?Sized>(
+    pub fn run<R: LedgerRouter + ?Sized>(
         &self,
         fnn: &mut Fnn,
         space: &DesignSpace,
         lf: &impl LowFidelity,
-        hf: &mut E,
+        hf: &mut R,
         constraint: &impl Constraint,
         lf_outcome: &LfOutcome,
         ledger: &mut CostLedger,
@@ -87,6 +105,7 @@ impl HfPhase {
         let cfg = &self.config;
         let _phase_span = trace::span("hf_phase");
         ledger.set_hf_budget(cfg.budget);
+        ledger.set_budget_floor(cfg.budget_floor);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut history: Vec<(DesignPoint, f64)> = Vec::new();
 
@@ -99,7 +118,7 @@ impl HfPhase {
         initial.extend(
             lf_outcome.best_designs.iter().take(cfg.initial_subset).map(|(p, _)| p.clone()),
         );
-        let entries = ledger.evaluate_batch(hf, space, &initial);
+        let entries = hf.route_batch(ledger, space, &initial);
         for (point, entry) in initial.iter().zip(&entries) {
             if let LedgerEntry::Charged(ev) = entry {
                 history.push((point.clone(), ev.cpi));
@@ -150,7 +169,7 @@ impl HfPhase {
             // Unmasked: "the actions in the HF phase are no longer
             // restricted by the analytical model".
             let episode = rollout(fnn, space, lf, constraint, start, false, &mut rng);
-            let entry = ledger.evaluate(hf, space, &episode.final_point);
+            let entry = hf.route(ledger, space, &episode.final_point);
             let Some(cpi) = entry.cpi() else {
                 break;
             };
@@ -203,6 +222,7 @@ mod tests {
     use super::*;
     use crate::testutil::{QuadraticLf, SumConstraint, SyntheticHf};
     use crate::{LfPhase, LfPhaseConfig};
+    use dse_exec::Evaluator as _;
     use dse_fnn::FnnBuilder;
 
     fn pipeline(budget: usize, seed: u64) -> (HfOutcome, SyntheticHf, CostLedger) {

@@ -1,6 +1,6 @@
 //! The combined multi-fidelity DSE flow (Fig. 4).
 
-use dse_exec::{CostLedger, Evaluator};
+use dse_exec::{CostLedger, LedgerRouter};
 use dse_fnn::Fnn;
 use dse_obs::trace;
 use dse_space::DesignSpace;
@@ -63,7 +63,9 @@ impl MultiFidelityDse {
     /// [`CostLedger`] meters the whole run and is returned in the
     /// outcome; `hf` may carry a memo warmed by other runs — a memo
     /// answer costs no model time but still charges this run's budget.
-    pub fn run<E: Evaluator + ?Sized>(
+    /// `hf` is any [`LedgerRouter`]: a plain evaluator gives the
+    /// two-fidelity flow, a tiered router the gated stack.
+    pub fn run<E: LedgerRouter + ?Sized>(
         &self,
         fnn: &mut Fnn,
         space: &DesignSpace,

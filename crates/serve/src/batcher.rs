@@ -5,10 +5,14 @@
 //! [`EvalJob`] per request and block on its reply; a single coalescer
 //! thread gathers jobs up to a points budget ([`max_batch_points`]) or
 //! a delay window ([`max_delay`]), then submits **one**
-//! [`CostLedger::evaluate_batch`] per fidelity present in the window.
-//! The batch inherits `exec::par_map` parallelism inside the simulator
-//! while the ledger keeps the accounting counter-exact with a
+//! [`CostLedger::evaluate_batch`] per fidelity tier present in the
+//! window (auto-routed jobs form their own group, split per tier by the
+//! router). The batch inherits `exec::par_map` parallelism inside the
+//! simulator while the ledger keeps the accounting counter-exact with a
 //! sequential walk, so coalescing changes throughput — never results.
+//! Every HF charge trains the server's learned tier at the window
+//! boundary, on the coalescer thread holding the core lock, so training
+//! order is the ledger's commit order regardless of client concurrency.
 //!
 //! [`max_batch_points`]: BatcherConfig::max_batch_points
 //! [`max_delay`]: BatcherConfig::max_delay
@@ -19,7 +23,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use archdse::eval::{AnalyticalLf, SimulatorHf};
-use dse_exec::{CostLedger, Evaluation, Evaluator, Fidelity, LedgerEntry};
+use dse_exec::{
+    CostLedger, CpiModel, Evaluation, Fidelity, LearnedTier, LedgerEntry, TierGate, TieredEvaluator,
+};
 use dse_mfrl::LowFidelity;
 use dse_space::{DesignPoint, DesignSpace};
 use serde::{Deserialize, Serialize};
@@ -68,17 +74,13 @@ impl CoalescerStats {
 #[derive(Debug)]
 pub(crate) struct LfCostModel(pub AnalyticalLf);
 
-impl Evaluator for LfCostModel {
+impl CpiModel for LfCostModel {
     fn fidelity(&self) -> Fidelity {
         Fidelity::Low
     }
 
-    fn evaluate_batch(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
-        self.0
-            .cpi_batch(space, points)
-            .into_iter()
-            .map(|cpi| Evaluation::new(cpi, Fidelity::Low))
-            .collect()
+    fn evaluations(&mut self, space: &DesignSpace, points: &[DesignPoint]) -> Vec<Evaluation> {
+        Evaluation::batch(self.0.cpi_batch(space, points), Fidelity::Low)
     }
 
     fn cost_per_eval(&self) -> f64 {
@@ -86,34 +88,74 @@ impl Evaluator for LfCostModel {
     }
 }
 
-/// The shared evaluation stack: both cost models and the server-lifetime
-/// ledger, locked as one unit so ledger state and evaluator memos can
-/// never drift apart.
+/// The shared evaluation stack: the full fidelity tier stack (analytical
+/// LF, the server-lifetime learned tier, the simulator) plus the
+/// server-lifetime ledger, locked as one unit so ledger state, evaluator
+/// memos and the learned tier's training set can never drift apart.
 #[derive(Debug)]
 pub(crate) struct EvalCore {
     pub space: DesignSpace,
     pub hf: SimulatorHf,
     pub lf: LfCostModel,
+    /// The online mid tier, trained from every HF charge the ledger
+    /// commits through this core.
+    pub learned: LearnedTier,
+    /// Gate for `"auto"` routing.
+    pub gate: TierGate,
     pub ledger: CostLedger,
 }
 
 impl EvalCore {
-    /// Routes one batch to the evaluator of `fidelity` through the
-    /// ledger.
+    /// Routes one batch to the evaluator of the *requested* tier through
+    /// the ledger.
     fn evaluate(&mut self, fidelity: Fidelity, points: &[DesignPoint]) -> Vec<LedgerEntry> {
-        match fidelity {
-            Fidelity::High => self.ledger.evaluate_batch(&mut self.hf, &self.space, points),
-            Fidelity::Low => self.ledger.evaluate_batch(&mut self.lf, &self.space, points),
+        if fidelity == Fidelity::Low {
+            return self.ledger.evaluate_batch(&mut self.lf, &self.space, points);
         }
+        if fidelity == Fidelity::Learned {
+            // Fold any pending HF observations in before answering.
+            self.learned.refit();
+            return self.ledger.evaluate_batch(&mut self.learned, &self.space, points);
+        }
+        let entries = self.ledger.evaluate_batch(&mut self.hf, &self.space, points);
+        // Window-boundary training: fresh simulator charges become
+        // learned-tier observations (deferred to the next refit).
+        for (point, entry) in points.iter().zip(&entries) {
+            if let LedgerEntry::Charged(ev) = entry {
+                self.learned.observe(&self.space, point, ev.cpi);
+            }
+        }
+        entries
     }
+
+    /// Routes one batch through the uncertainty gate: each point is
+    /// answered at the cheapest tier whose conformal bound clears the
+    /// gate, escalating to the simulator otherwise. Returns the entries
+    /// plus the tier that answered each point.
+    fn evaluate_auto(&mut self, points: &[DesignPoint]) -> (Vec<LedgerEntry>, Vec<Fidelity>) {
+        TieredEvaluator::new(&mut self.learned, &mut self.hf, self.gate).evaluate_batch_routed(
+            &mut self.ledger,
+            &self.space,
+            points,
+        )
+    }
+}
+
+/// What tier an evaluate request asked for: a fixed tier by name, or
+/// `"auto"` — let the gate route each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TierRequest {
+    Fixed(Fidelity),
+    Auto,
 }
 
 /// One evaluate request, queued for the coalescer.
 pub(crate) struct EvalJob {
-    pub fidelity: Fidelity,
+    pub tier: TierRequest,
     pub points: Vec<DesignPoint>,
-    /// Rendezvous back to the connection worker holding the socket.
-    pub reply: SyncSender<Vec<LedgerEntry>>,
+    /// Rendezvous back to the connection worker holding the socket; each
+    /// entry carries the tier that actually answered it.
+    pub reply: SyncSender<Vec<(LedgerEntry, Fidelity)>>,
 }
 
 /// The coalescer thread body: gather → submit → reply, until every
@@ -153,8 +195,9 @@ pub(crate) fn run_coalescer(
     }
 }
 
-/// Submits one gathered window: one ledger batch per fidelity present,
-/// results split back to each waiting request in arrival order.
+/// Submits one gathered window: one ledger batch per fixed tier present
+/// plus one routed batch for the `"auto"` group, results split back to
+/// each waiting request in arrival order.
 fn submit_window(
     window: Vec<EvalJob>,
     core: &Mutex<EvalCore>,
@@ -162,34 +205,46 @@ fn submit_window(
     batch_points: &dse_obs::Histogram,
 ) {
     let jobs = window;
+    let groups: Vec<TierRequest> =
+        Fidelity::STACK.iter().map(|&f| TierRequest::Fixed(f)).chain([TierRequest::Auto]).collect();
     // Account the window before any reply leaves: a client that reads
     // `/metrics` right after its response must see itself counted.
     {
         let mut stats = stats.lock().expect("coalescer stats poisoned");
         stats.requests += jobs.len() as u64;
-        for fidelity in [Fidelity::Low, Fidelity::High] {
-            if jobs.iter().any(|j| j.fidelity == fidelity) {
+        for &tier in &groups {
+            if jobs.iter().any(|j| j.tier == tier) {
                 stats.batches += 1;
             }
         }
         stats.points += jobs.iter().map(|j| j.points.len() as u64).sum::<u64>();
     }
-    for fidelity in [Fidelity::Low, Fidelity::High] {
-        let group: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].fidelity == fidelity).collect();
+    for tier in groups {
+        let group: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].tier == tier).collect();
         if group.is_empty() {
             continue;
         }
         let merged: Vec<DesignPoint> =
             group.iter().flat_map(|&i| jobs[i].points.iter().cloned()).collect();
         batch_points.observe(merged.len() as f64);
-        let entries = {
+        let answered: Vec<(LedgerEntry, Fidelity)> = {
             let mut core = core.lock().expect("evaluation core poisoned");
-            core.evaluate(fidelity, &merged)
+            match tier {
+                TierRequest::Fixed(fidelity) => core
+                    .evaluate(fidelity, &merged)
+                    .into_iter()
+                    .map(|entry| (entry, fidelity))
+                    .collect(),
+                TierRequest::Auto => {
+                    let (entries, routes) = core.evaluate_auto(&merged);
+                    entries.into_iter().zip(routes).collect()
+                }
+            }
         };
         let mut cursor = 0usize;
         for &i in &group {
             let take = jobs[i].points.len();
-            let slice = entries[cursor..cursor + take].to_vec();
+            let slice = answered[cursor..cursor + take].to_vec();
             cursor += take;
             // A dropped receiver means the worker gave up (socket
             // died); the evaluation is already accounted — ignore it.

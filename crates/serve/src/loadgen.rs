@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use dse_exec::{Fidelity, LedgerSummary};
+use dse_exec::LedgerSummary;
 
 use crate::batcher::CoalescerStats;
 use crate::http::client;
@@ -21,8 +21,9 @@ pub struct LoadgenConfig {
     pub requests_per_client: usize,
     /// Design points per request.
     pub points_per_request: usize,
-    /// Fidelity every request asks for.
-    pub fidelity: Fidelity,
+    /// The wire fidelity name every request asks for: a tier key
+    /// (`"lf"`, `"learned"`, `"hf"`) or `"auto"` for gate routing.
+    pub fidelity: String,
     /// Seed of the deterministic point choice.
     pub seed: u64,
 }
@@ -36,7 +37,7 @@ impl LoadgenConfig {
             clients: 4,
             requests_per_client: 8,
             points_per_request: 4,
-            fidelity: Fidelity::Low,
+            fidelity: "lf".into(),
             seed: 1,
         }
     }
@@ -101,8 +102,13 @@ pub struct LoadgenReport {
     pub latency: LatencyStats,
     /// The server's coalescer counters after the run.
     pub coalescer: CoalescerStats,
-    /// The server's evaluate-ledger summary after the run.
+    /// The server's evaluate-ledger summary after the run — the per-tier
+    /// answered counts live in its sections.
     pub ledger: LedgerSummary,
+    /// Gate escalations the server recorded
+    /// (`tier_gate_escalations_total`, scraped from the Prometheus
+    /// exposition; only `"auto"` requests can escalate).
+    pub escalations: u64,
 }
 
 impl LoadgenReport {
@@ -130,14 +136,41 @@ impl LoadgenReport {
             self.coalescer.points,
             self.coalescer.amortization()
         ));
+        let (mut evaluations, mut cache_hits) = (0u64, 0u64);
+        let mut tiers = Vec::new();
+        for (fidelity, section) in self.ledger.sections() {
+            evaluations += section.evaluations;
+            cache_hits += section.cache_hits;
+            tiers.push(format!(
+                "{} {} answered ({} cached)",
+                fidelity.key(),
+                section.evaluations,
+                section.cache_hits
+            ));
+        }
         out.push_str(&format!(
-            "ledger: {} evaluations, {} cache hits, {:.1} model-time units\n",
-            self.ledger.low.evaluations + self.ledger.high.evaluations,
-            self.ledger.low.cache_hits + self.ledger.high.cache_hits,
+            "tiers: {}; {} gate escalations\n",
+            tiers.join(", "),
+            self.escalations
+        ));
+        out.push_str(&format!(
+            "ledger: {evaluations} evaluations, {cache_hits} cache hits, {:.1} model-time units\n",
             self.ledger.total_model_time()
         ));
         out
     }
+}
+
+/// Pulls one un-labelled counter's value out of a Prometheus text
+/// exposition (0 when the series was never written).
+fn scrape_counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            rest.trim().parse::<f64>().ok()
+        })
+        .map(|v| v as u64)
+        .unwrap_or(0)
 }
 
 /// Deterministic point choice: an splitmix-style LCG per client, so the
@@ -166,10 +199,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         .and_then(|v| v.get("space_size").and_then(|s| s.as_u64()))
         .ok_or_else(|| std::io::Error::other("healthz reported no space_size"))?;
 
-    let fidelity = match config.fidelity {
-        Fidelity::Low => "lf",
-        Fidelity::High => "hf",
-    };
+    let fidelity = config.fidelity.as_str();
     let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
     let mut latencies: Vec<Duration> = Vec::new();
     std::thread::scope(|scope| {
@@ -228,6 +258,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let metrics = client::get(&config.addr, "/metrics")?;
     let metrics: MetricsResponse = serde_json::from_str(&metrics.body)
         .map_err(|e| std::io::Error::other(format!("bad /metrics payload: {e}")))?;
+    let exposition = client::get(&config.addr, "/metrics?format=prometheus")?;
+    let escalations = scrape_counter(&exposition.body, "tier_gate_escalations_total");
     Ok(LoadgenReport {
         requests: (config.clients.max(1) * config.requests_per_client) as u64,
         ok,
@@ -236,6 +268,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         latency: LatencyStats::from_samples(latencies),
         coalescer: metrics.coalescer,
         ledger: metrics.ledger,
+        escalations,
     })
 }
 
@@ -284,12 +317,23 @@ mod tests {
             latency: LatencyStats::from_samples(vec![ms(2), ms(3), ms(4), ms(40)]),
             coalescer: CoalescerStats::default(),
             ledger: LedgerSummary::default(),
+            escalations: 0,
         };
         let rendered = report.render();
         assert!(rendered.contains("latency: p50 3ms"), "{rendered}");
         assert!(rendered.contains("max 40ms (4 served)"), "{rendered}");
+        assert!(rendered.contains("tiers: lf 0 answered"), "{rendered}");
         let mut silent = report;
         silent.latency = LatencyStats::default();
         assert!(!silent.render().contains("latency"), "no line without samples");
+    }
+
+    #[test]
+    fn prometheus_counter_scrape_handles_absence_and_noise() {
+        let text = "# TYPE tier_gate_escalations_total counter\n\
+                    tier_route_total{tier=\"hf\",reason=\"escalated\"} 3\n\
+                    tier_gate_escalations_total 5\n";
+        assert_eq!(scrape_counter(text, "tier_gate_escalations_total"), 5);
+        assert_eq!(scrape_counter("", "tier_gate_escalations_total"), 0);
     }
 }

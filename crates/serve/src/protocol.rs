@@ -7,7 +7,7 @@ use dse_fnn::DecisionExplanation;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
-use crate::batcher::CoalescerStats;
+use crate::batcher::{CoalescerStats, TierRequest};
 
 /// A structured request rejection: message plus HTTP status.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,27 +67,35 @@ fn get_bool(value: &Value, key: &str) -> Result<Option<bool>, ProtocolError> {
     }
 }
 
-/// `POST /v1/evaluate` body: encoded design points plus a fidelity.
+/// `POST /v1/evaluate` body: encoded design points plus a fidelity tier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct EvaluateRequest {
     /// Encoded design indices (`DesignSpace::encode` order).
     pub points: Vec<u64>,
-    /// Which cost model to spend.
-    pub fidelity: Fidelity,
+    /// Which tier to spend — a fixed one, or gate-routed `"auto"`.
+    pub fidelity: TierRequest,
 }
 
 impl EvaluateRequest {
-    /// Parses `{"points": [..], "fidelity": "lf"|"hf"}` and range-checks
-    /// every index against `space_size`.
+    /// Parses `{"points": [..], "fidelity": "lf"|"learned"|"hf"|"auto"}`
+    /// (case-insensitive, default `"hf"`) and range-checks every index
+    /// against `space_size`.
     pub fn parse(body: &str, space_size: u64, max_points: usize) -> Result<Self, ProtocolError> {
         let value = parse_body(body)?;
         let fidelity = match get_str(&value, "fidelity")? {
-            None | Some("hf") | Some("HF") => Fidelity::High,
-            Some("lf") | Some("LF") => Fidelity::Low,
-            Some(other) => {
-                return Err(ProtocolError::new(format!(
-                    "unknown fidelity {other:?} (expected \"lf\" or \"hf\")"
-                )))
+            None => TierRequest::Fixed(Fidelity::High),
+            Some(name) => {
+                let key = name.to_ascii_lowercase();
+                if key == "auto" {
+                    TierRequest::Auto
+                } else if let Some(tier) = Fidelity::from_key(&key) {
+                    TierRequest::Fixed(tier)
+                } else {
+                    return Err(ProtocolError::new(format!(
+                        "unknown fidelity {name:?} (expected \"lf\", \"learned\", \"hf\" or \
+                         \"auto\")"
+                    )));
+                }
             }
         };
         let raw = value
@@ -127,7 +135,8 @@ pub struct EvaluatedPoint {
     pub point: u64,
     /// Cycles per instruction.
     pub cpi: f64,
-    /// `"LF"` or `"HF"`.
+    /// The tier that answered: `"LF"`, `"learned"` or `"HF"`. Under
+    /// `"auto"` routing this varies per row.
     pub fidelity: String,
     /// Whether the answer came from the run ledger or the evaluator
     /// memo rather than a fresh model run.
@@ -329,15 +338,23 @@ mod tests {
     fn evaluate_request_parses_and_validates() {
         let ok = EvaluateRequest::parse(r#"{"points": [0, 5], "fidelity": "lf"}"#, 10, 8).unwrap();
         assert_eq!(ok.points, vec![0, 5]);
-        assert_eq!(ok.fidelity, Fidelity::Low);
+        assert_eq!(ok.fidelity, TierRequest::Fixed(Fidelity::Low));
         // Defaults to HF.
         let hf = EvaluateRequest::parse(r#"{"points": [1]}"#, 10, 8).unwrap();
-        assert_eq!(hf.fidelity, Fidelity::High);
+        assert_eq!(hf.fidelity, TierRequest::Fixed(Fidelity::High));
+        // The full tier stack and the router are addressable by name,
+        // case-insensitively.
+        let mid = EvaluateRequest::parse(r#"{"points": [1], "fidelity": "learned"}"#, 10, 8);
+        assert_eq!(mid.unwrap().fidelity, TierRequest::Fixed(Fidelity::Learned));
+        let auto = EvaluateRequest::parse(r#"{"points": [1], "fidelity": "AUTO"}"#, 10, 8);
+        assert_eq!(auto.unwrap().fidelity, TierRequest::Auto);
         // Out of range, empty, too many, bad fidelity, junk.
         assert!(EvaluateRequest::parse(r#"{"points": [10]}"#, 10, 8).is_err());
         assert!(EvaluateRequest::parse(r#"{"points": []}"#, 10, 8).is_err());
         assert!(EvaluateRequest::parse(r#"{"points": [1, 2, 3]}"#, 10, 2).is_err());
-        assert!(EvaluateRequest::parse(r#"{"points": [1], "fidelity": "mid"}"#, 10, 8).is_err());
+        let bad = EvaluateRequest::parse(r#"{"points": [1], "fidelity": "mid"}"#, 10, 8);
+        let msg = bad.unwrap_err().0;
+        assert!(msg.contains("\"learned\"") && msg.contains("\"auto\""), "{msg}");
         assert!(EvaluateRequest::parse("nonsense", 10, 8).is_err());
         assert!(EvaluateRequest::parse("", 10, 8).is_err());
     }

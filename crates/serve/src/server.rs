@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use archdse::eval::{AnalyticalLf, DesignConstraints};
 use archdse::{Explorer, Fnn};
-use dse_exec::{CostLedger, LedgerEntry};
+use dse_exec::{CostLedger, Fidelity, LearnedTier, LedgerEntry, TierGate};
 use dse_fnn::{explain_decision, explain_top_action};
 use dse_mfrl::{Constraint as _, LowFidelity as _};
 use dse_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS_S, SIZE_BUCKETS};
@@ -76,7 +76,7 @@ impl ServeConfig {
 
 enum JobState {
     Running,
-    Done(JobResult),
+    Done(Box<JobResult>),
     Failed(String),
 }
 
@@ -229,6 +229,8 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         space: space.clone(),
         hf: explorer.hf_evaluator(),
         lf: LfCostModel(lf_model.clone()),
+        learned: LearnedTier::new(LearnedTier::point_features()),
+        gate: TierGate::enabled(0.05),
         ledger: CostLedger::new(),
     }));
     let fnn = config.fnn.clone().unwrap_or_else(|| explorer.build_fnn());
@@ -499,8 +501,8 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
 
     // Enqueue for the coalescer; a full queue is backpressure, not an
     // error in the request.
-    let (reply_tx, reply_rx) = sync_channel::<Vec<LedgerEntry>>(1);
-    let job = EvalJob { fidelity: parsed.fidelity, points, reply: reply_tx };
+    let (reply_tx, reply_rx) = sync_channel::<Vec<(LedgerEntry, Fidelity)>>(1);
+    let job = EvalJob { tier: parsed.fidelity, points, reply: reply_tx };
     let sender = shared.eval_tx.lock().expect("eval_tx poisoned").clone();
     let Some(sender) = sender else {
         return (503, error_body("server is shutting down"));
@@ -525,7 +527,7 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         core.space.clone()
     };
     let mut results = Vec::with_capacity(entries.len());
-    for (&code, entry) in parsed.points.iter().zip(&entries) {
+    for (&code, (entry, answered_by)) in parsed.points.iter().zip(&entries) {
         let point = space.decode(code);
         let (cpi, cached) = match entry {
             LedgerEntry::Charged(ev) => (ev.cpi, ev.cached),
@@ -540,7 +542,7 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         results.push(EvaluatedPoint {
             point: code,
             cpi,
-            fidelity: parsed.fidelity.label().to_string(),
+            fidelity: answered_by.label().to_string(),
             cached,
             area_mm2: shared.constraints.area().area_mm2(&space, &point),
             leakage_mw: shared.constraints.leakage_mw(&space, &point),
@@ -634,7 +636,7 @@ fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
             }
         }));
         let state = match outcome {
-            Ok(result) => JobState::Done(result),
+            Ok(result) => JobState::Done(Box::new(result)),
             Err(panic) => {
                 let msg = panic
                     .downcast_ref::<&str>()
@@ -664,7 +666,7 @@ fn handle_job(shared: &Arc<Shared>, path: &str) -> (u16, String) {
         Some(JobState::Done(result)) => json(&JobStatus {
             job: id,
             state: "done".into(),
-            result: Some(result.clone()),
+            result: Some((**result).clone()),
             error: None,
         }),
         Some(JobState::Failed(msg)) => json(&JobStatus {

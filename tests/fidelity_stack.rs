@@ -1,0 +1,260 @@
+//! Cross-layer guarantees of the three-tier fidelity stack: per-tier
+//! ledger sections that sum exactly to the run totals, a gate whose
+//! escalation count is monotone in its threshold, learned-tier routing
+//! that is bit-identical at any HF thread count and under concurrent
+//! serve clients, and budget edge cases at every tier.
+
+use archdse::eval::SimulatorHf;
+use archdse::Explorer;
+use dse_exec::{
+    CostLedger, Fidelity, LearnedTier, LedgerEntry, LedgerSummary, TierGate, TieredEvaluator,
+};
+use dse_mfrl::LfEvaluator;
+use dse_space::{DesignPoint, DesignSpace};
+use dse_workloads::Benchmark;
+
+fn simulator(trace_len: usize) -> SimulatorHf {
+    SimulatorHf::for_benchmarks(&[Benchmark::Mm], trace_len, 3, 1.0)
+}
+
+fn decode(space: &DesignSpace, codes: impl IntoIterator<Item = u64>) -> Vec<DesignPoint> {
+    codes.into_iter().map(|c| space.decode(c % space.size())).collect()
+}
+
+/// A learned tier warmed deterministically from real simulator CPIs.
+fn warm_tier(explorer: &Explorer, hf: &mut SimulatorHf, observations: u64) -> LearnedTier {
+    let space = explorer.space();
+    let mut tier = LearnedTier::new(explorer.learned_features());
+    for i in 0..observations {
+        let point = space.decode((i * 911 + 5) % space.size());
+        let cpi = hf.cpi(space, &point);
+        tier.observe(space, &point, cpi);
+    }
+    tier.refit();
+    tier
+}
+
+#[test]
+fn three_tier_sections_sum_exactly_to_the_run_totals() {
+    let explorer = Explorer::for_benchmark(Benchmark::Mm).trace_len(600);
+    let space = explorer.space().clone();
+    let mut hf = simulator(600);
+    let mut learned = warm_tier(&explorer, &mut hf, 40);
+    let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(0.25));
+    let mut ledger = CostLedger::new();
+
+    // Two windows: fresh designs (mix of confident and escalated), then
+    // a window that replays half of them — every route class occurs.
+    let first = decode(&space, (0..24).map(|i| i * 40_009 + 17));
+    let (entries_a, routes_a) = router.evaluate_batch_routed(&mut ledger, &space, &first);
+    let second =
+        decode(&space, (0..24).map(|i| if i % 2 == 0 { i * 40_009 + 17 } else { i * 70_003 + 29 }));
+    let (entries_b, routes_b) = router.evaluate_batch_routed(&mut ledger, &space, &second);
+
+    // Recount everything the router reported, per tier, and require the
+    // ledger's sections to agree counter for counter.
+    let mut charged = [0u64; Fidelity::COUNT];
+    let mut cached = [0u64; Fidelity::COUNT];
+    for (entry, route) in entries_a.iter().chain(&entries_b).zip(routes_a.iter().chain(&routes_b)) {
+        match entry {
+            LedgerEntry::Charged(_) => charged[route.tier()] += 1,
+            LedgerEntry::Replayed(_) => cached[route.tier()] += 1,
+            LedgerEntry::Denied => panic!("no budget installed, nothing may be denied"),
+        }
+    }
+    let summary = ledger.summary();
+    for (fidelity, section) in summary.sections() {
+        assert_eq!(section.evaluations, charged[fidelity.tier()], "{fidelity:?} evaluations");
+        assert_eq!(section.cache_hits, cached[fidelity.tier()], "{fidelity:?} cache hits");
+    }
+    // Both tiers actually answered something, so the identity is not
+    // vacuous, and the grand total is exactly the per-tier sum.
+    assert!(summary.learned.evaluations > 0, "gate never opened: {summary:?}");
+    assert!(summary.high.evaluations > 0, "gate never escalated: {summary:?}");
+    let per_tier_sum: f64 = summary.sections().iter().map(|(_, s)| s.model_time_units).sum();
+    assert!((summary.total_model_time() - per_tier_sum).abs() < 1e-9);
+}
+
+#[test]
+fn tighter_gate_thresholds_escalate_no_fewer_real_proposals() {
+    let explorer = Explorer::for_benchmark(Benchmark::Mm).trace_len(600);
+    let space = explorer.space().clone();
+    let mut hf = simulator(600);
+    let probe = decode(&space, (0..16).map(|i| i * 40_009 + 17));
+
+    let mut escalated_at = Vec::new();
+    for threshold in [0.0, 0.1, 0.25, 0.5, f64::INFINITY] {
+        // The tier is deterministic in its observation set, so each
+        // threshold sees an identical model.
+        let mut tier = warm_tier(&explorer, &mut hf, 40);
+        let mut arm_hf = simulator(600);
+        let mut router = TieredEvaluator::new(&mut tier, &mut arm_hf, TierGate::enabled(threshold));
+        let mut ledger = CostLedger::new();
+        let (_, routes) = router.evaluate_batch_routed(&mut ledger, &space, &probe);
+        escalated_at.push(routes.iter().filter(|&&t| t == Fidelity::High).count());
+    }
+    assert!(
+        escalated_at.windows(2).all(|w| w[0] >= w[1]),
+        "tighter gate must escalate no fewer: {escalated_at:?}"
+    );
+    assert_eq!(*escalated_at.first().unwrap(), probe.len(), "zero bound escalates everything");
+    assert_eq!(*escalated_at.last().unwrap(), 0, "infinite bound escalates nothing");
+}
+
+#[test]
+fn learned_tier_routing_is_identical_at_one_and_four_hf_threads() {
+    let explorer = Explorer::for_benchmark(Benchmark::Mm).trace_len(600);
+    let space = explorer.space().clone();
+    let windows: Vec<Vec<DesignPoint>> = vec![
+        decode(&space, (0..40).map(|i| i * 911 + 5)),
+        decode(&space, (0..20).map(|i| i * 40_009 + 17)),
+        decode(&space, (0..20).map(|i| if i % 2 == 0 { i * 911 + 5 } else { i * 70_003 + 29 })),
+    ];
+
+    type WindowOutputs = Vec<(Vec<LedgerEntry>, Vec<Fidelity>)>;
+    let run = |threads: usize| -> (WindowOutputs, LedgerSummary) {
+        let mut hf = simulator(600).with_threads(threads);
+        let mut learned = LearnedTier::new(explorer.learned_features());
+        let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(0.25));
+        let mut ledger = CostLedger::new();
+        let outputs =
+            windows.iter().map(|w| router.evaluate_batch_routed(&mut ledger, &space, w)).collect();
+        (outputs, ledger.summary())
+    };
+
+    let (sequential, summary_1) = run(1);
+    let (threaded, summary_4) = run(4);
+    assert_eq!(sequential, threaded, "routes and entries must not depend on thread count");
+    assert_eq!(summary_1, summary_4, "neither may the accounting");
+    // The workload exercised the gate both ways, so the equality is not
+    // comparing two trivially-escalate-everything runs.
+    assert!(summary_1.learned.evaluations > 0, "{summary_1:?}");
+    assert!(summary_1.high.evaluations > 0, "{summary_1:?}");
+}
+
+#[test]
+fn concurrent_learned_clients_match_one_sequential_client() {
+    use archdse_serve::{client, spawn, EvaluateResponse, MetricsResponse, ServeConfig};
+    use std::collections::HashMap;
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 5;
+
+    let spawn_server = || {
+        let explorer = Explorer::for_benchmark(Benchmark::StringSearch).trace_len(500).seed(9);
+        spawn(ServeConfig::new(explorer)).expect("bind")
+    };
+    // Client c's r-th learned request: overlapping pools so concurrent
+    // clients collide on designs (charge + replay both exercised).
+    let body = |c: usize, r: usize| {
+        let points: Vec<String> =
+            (0..3).map(|i| ((c * 7_919 + r * 104_729 + i * 611) % 3_000).to_string()).collect();
+        format!("{{\"points\":[{}],\"fidelity\":\"learned\"}}", points.join(","))
+    };
+    // An identical sequential HF warmup trains both servers' learned
+    // tiers to the same state before any learned answer is minted.
+    let warmup = r#"{"points":[1,77,901,2100,450,33,1500,9,260,720], "fidelity":"hf"}"#;
+
+    let ledger_after = |addr: &str| -> LedgerSummary {
+        let metrics = client::get(addr, "/metrics").unwrap();
+        serde_json::from_str::<MetricsResponse>(&metrics.body).unwrap().ledger
+    };
+    let record = |answers: &mut HashMap<u64, f64>, body: &str| {
+        let response: EvaluateResponse = serde_json::from_str(body).unwrap();
+        for result in response.results {
+            assert_eq!(result.fidelity, "learned");
+            let known = answers.insert(result.point, result.cpi);
+            assert!(known.is_none_or(|cpi| cpi == result.cpi), "point {}", result.point);
+        }
+    };
+
+    // Sequential reference.
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    assert_eq!(client::post(&addr, "/v1/evaluate", warmup).unwrap().status, 200);
+    let mut sequential: HashMap<u64, f64> = HashMap::new();
+    for c in 0..CLIENTS {
+        for r in 0..REQUESTS {
+            let response = client::post(&addr, "/v1/evaluate", &body(c, r)).unwrap();
+            assert_eq!(response.status, 200, "{}", response.body);
+            record(&mut sequential, &response.body);
+        }
+    }
+    let sequential_ledger = ledger_after(&addr);
+    server.shutdown();
+
+    // Concurrent run of the same request multiset.
+    let server = spawn_server();
+    let addr = server.addr().to_string();
+    assert_eq!(client::post(&addr, "/v1/evaluate", warmup).unwrap().status, 200);
+    let mut concurrent: HashMap<u64, f64> = HashMap::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = addr.clone();
+                let body = &body;
+                scope.spawn(move || {
+                    let mut bodies = Vec::new();
+                    for r in 0..REQUESTS {
+                        let response = client::post(&addr, "/v1/evaluate", &body(c, r)).unwrap();
+                        assert_eq!(response.status, 200, "{}", response.body);
+                        bodies.push(response.body);
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        for handle in handles {
+            for response in handle.join().expect("client panicked") {
+                record(&mut concurrent, &response);
+            }
+        }
+    });
+    let concurrent_ledger = ledger_after(&addr);
+    server.shutdown();
+
+    assert_eq!(sequential, concurrent, "learned answers must be interleaving-invariant");
+    assert_eq!(sequential_ledger, concurrent_ledger, "and so must the per-tier accounting");
+    assert!(sequential_ledger.learned.evaluations > 0, "{sequential_ledger:?}");
+}
+
+#[test]
+fn budget_edges_at_every_tier() {
+    let explorer = Explorer::for_benchmark(Benchmark::Mm).trace_len(600);
+    let space = explorer.space().clone();
+    let lf_model = explorer.lf_model();
+    let points = decode(&space, (0..5).map(|i| i * 40_009 + 17));
+
+    // Budget 0 with the floor at the learned tier: every routed
+    // proposal is denied — whichever of the two budgeted tiers it was
+    // headed for — while LF below the floor stays free.
+    let mut hf = simulator(600);
+    let mut learned = warm_tier(&explorer, &mut hf, 40);
+    let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(f64::INFINITY));
+    let mut ledger = CostLedger::new().with_hf_budget(0);
+    ledger.set_budget_floor(Fidelity::Learned);
+    let (entries, routes) = router.evaluate_batch_routed(&mut ledger, &space, &points);
+    assert!(routes.iter().all(|&t| t == Fidelity::Learned), "infinite bound routes learned");
+    assert!(entries.iter().all(LedgerEntry::is_denied), "budget 0 denies every learned answer");
+    let mut escalate = TieredEvaluator::new(router.learned, router.hf, TierGate::enabled(0.0));
+    let (entries, routes) = escalate.evaluate_batch_routed(&mut ledger, &space, &points);
+    assert!(routes.iter().all(|&t| t == Fidelity::High), "zero bound escalates");
+    assert!(entries.iter().all(LedgerEntry::is_denied), "budget 0 denies every HF answer");
+    let lf_entries = ledger.evaluate_batch(&mut LfEvaluator(&lf_model), &space, &points);
+    assert!(lf_entries.iter().all(|e| e.cpi().is_some()), "LF sits below the budget floor");
+    assert_eq!(ledger.budgeted_evaluations(), 0);
+
+    // Budget 1: exactly one charge goes through, and it still trains
+    // the learned tier at the batch boundary.
+    let mut hf = simulator(600);
+    let mut learned = LearnedTier::new(explorer.learned_features());
+    let mut router = TieredEvaluator::new(&mut learned, &mut hf, TierGate::enabled(0.2));
+    let mut ledger = CostLedger::new().with_hf_budget(1);
+    ledger.set_budget_floor(Fidelity::Learned);
+    let (entries, routes) = router.evaluate_batch_routed(&mut ledger, &space, &points);
+    assert!(routes.iter().all(|&t| t == Fidelity::High), "cold gate escalates everything");
+    assert_eq!(entries.iter().filter(|e| e.cpi().is_some()).count(), 1);
+    assert_eq!(entries.iter().filter(|e| e.is_denied()).count(), points.len() - 1);
+    assert_eq!(ledger.hf_remaining(), Some(0));
+    assert_eq!(router.learned.observations(), 1, "the one charge became an observation");
+}
