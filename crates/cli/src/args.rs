@@ -35,7 +35,8 @@ impl fmt::Display for ArgError {
 
 impl Error for ArgError {}
 
-/// Parsed arguments: a subcommand plus `--flag [value]` options.
+/// Parsed arguments: a subcommand plus `--flag [value]` options and
+/// positional operands.
 ///
 /// # Examples
 ///
@@ -52,18 +53,16 @@ impl Error for ArgError {}
 pub struct Args {
     command: Option<String>,
     options: BTreeMap<String, Option<String>>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses a token stream (excluding the program name).
     ///
-    /// The first non-flag token is the subcommand. A flag's value is the
-    /// following token unless that token is itself a flag.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ArgError::Unexpected`] for stray positional tokens
-    /// after the subcommand.
+    /// The first non-flag token is the subcommand; later non-flag
+    /// tokens collect as positional operands (each command decides how
+    /// many it accepts — see [`Args::positionals`]). A flag's value is
+    /// the following token unless that token is itself a flag.
     pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<Self, ArgError> {
         let mut args = Args::default();
         let mut iter = tokens.into_iter().peekable();
@@ -77,7 +76,7 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(token);
             } else {
-                return Err(ArgError::Unexpected(token));
+                args.positionals.push(token);
             }
         }
         Ok(args)
@@ -86,6 +85,12 @@ impl Args {
     /// The subcommand, if any.
     pub fn command(&self) -> Option<&str> {
         self.command.as_deref()
+    }
+
+    /// Positional operands after the subcommand, in order (e.g. the ELF
+    /// path of `ingest <elf>`). Commands that take none reject any.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// Whether a bare `--switch` (or valued flag) was present.
@@ -152,11 +157,11 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_is_rejected() {
-        assert_eq!(
-            parse(&["explore", "oops"]).unwrap_err(),
-            ArgError::Unexpected("oops".to_string())
-        );
+    fn positionals_collect_in_order() {
+        let a = parse(&["ingest", "a.elf", "--name", "x", "b.elf"]).unwrap();
+        assert_eq!(a.command(), Some("ingest"));
+        assert_eq!(a.positionals(), ["a.elf".to_string(), "b.elf".to_string()]);
+        assert_eq!(a.value_of::<String>("name").unwrap().as_deref(), Some("x"));
     }
 
     #[test]

@@ -97,6 +97,22 @@ COMMANDS:
   check-metrics              validate a Prometheus text exposition
                              (from --metrics-out or /metrics)
       --file <path>          the exposition to check (required)
+  ingest <elf>               run a statically linked RV64 ELF through the
+                             functional executor and characterize it
+      --name <s>             workload name (default: the ELF file stem)
+      --max-instrs <n>       executor instruction budget
+                             (default 50000000)
+      --trace-out <file>     write the instruction stream as a compact
+                             ADTF trace file
+      --profile-out <file>   write the characterized workload profile
+                             as JSON
+  workload-diff <elf>        ingest an ELF and diff its profile against
+                             a synthetic benchmark profile; the report
+                             persists to results/workload_diff.json
+      --benchmark <name>     synthetic baseline (default mm)
+      --golden <file>        also compare against a golden profile JSON;
+                             a mismatch exits 1
+      --json <file>          also write the diff report to this path
   table2 | fig5 | fig6 | fig7 | ablations
                              regenerate a paper artifact
       --full                 paper-scale budgets (default: quick)
@@ -114,6 +130,8 @@ const COMMANDS: &[&str] = &[
     "loadgen",
     "trace-report",
     "check-metrics",
+    "ingest",
+    "workload-diff",
     "table2",
     "fig5",
     "fig6",
@@ -163,7 +181,17 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
         "loadgen" => &["addr", "clients", "requests", "points", "fidelity", "seed"],
         "trace-report" => &["trace", "top"],
         "check-metrics" => &["file"],
+        "ingest" => &["name", "max-instrs", "trace-out", "profile-out"],
+        "workload-diff" => &["benchmark", "golden", "json"],
         _ => &["full", "json"],
+    }
+}
+
+/// How many positional operands (after the subcommand) a command takes.
+fn max_positionals(command: &str) -> usize {
+    match command {
+        "ingest" | "workload-diff" => 1,
+        _ => 0,
     }
 }
 
@@ -182,6 +210,18 @@ fn check_flags(command: &str, args: &Args) -> Option<i32> {
         let valid: Vec<String> = allowed.iter().map(|f| format!("--{f}")).collect();
         eprintln!("valid options: {}", valid.join(", "));
     }
+    eprintln!("run `archdse help` for details");
+    Some(2)
+}
+
+/// Rejects stray positional operands; `Some(2)` means "exit 2".
+fn check_positionals(command: &str, args: &Args) -> Option<i32> {
+    let extra = args.positionals().get(max_positionals(command)..).unwrap_or(&[]);
+    if extra.is_empty() {
+        return None;
+    }
+    let rendered: Vec<String> = extra.iter().map(|t| format!("{t:?}")).collect();
+    eprintln!("unexpected argument(s) for `{command}`: {}", rendered.join(", "));
     eprintln!("run `archdse help` for details");
     Some(2)
 }
@@ -217,6 +257,9 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
             if let Some(code) = check_flags(command, args) {
                 return Ok(code);
             }
+            if let Some(code) = check_positionals(command, args) {
+                return Ok(code);
+            }
         }
     }
     match args.command() {
@@ -228,6 +271,8 @@ pub fn run(args: &Args) -> Result<i32, Box<dyn Error>> {
         Some("loadgen") => cmd_loadgen(args),
         Some("trace-report") => cmd_trace_report(args),
         Some("check-metrics") => cmd_check_metrics(args),
+        Some("ingest") => cmd_ingest(args),
+        Some("workload-diff") => cmd_workload_diff(args),
         Some("table2") => {
             let config =
                 if args.switch("full") { Table2Config::default() } else { Table2Config::quick() };
@@ -673,6 +718,188 @@ fn cmd_check_metrics(args: &Args) -> Result<i32, Box<dyn Error>> {
     }
 }
 
+/// Reads the required `<elf>` positional of `ingest`/`workload-diff`;
+/// an `Err` carries the exit code after the message was printed.
+fn read_elf_positional(command: &str, args: &Args) -> Result<(String, Vec<u8>), i32> {
+    let Some(path) = args.positionals().first() else {
+        eprintln!("{command} requires an ELF path: archdse {command} <elf> [options]");
+        eprintln!("run `archdse help` for details");
+        return Err(2);
+    };
+    match std::fs::read(path) {
+        Ok(bytes) => Ok((path.clone(), bytes)),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            eprintln!("expected a statically linked RV64 ELF executable");
+            Err(2)
+        }
+    }
+}
+
+/// Ingests the `<elf>` positional; prints the named ingestion error and
+/// maps it to exit 2 so scripted callers can distinguish "bad input"
+/// from runtime failures.
+fn ingest_from_args(
+    command: &str,
+    args: &Args,
+) -> Result<Result<dse_ingest::Ingested, i32>, Box<dyn Error>> {
+    let (path, bytes) = match read_elf_positional(command, args) {
+        Ok(read) => read,
+        Err(code) => return Ok(Err(code)),
+    };
+    let stem = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("workload")
+        .to_string();
+    let name = args.value_or("name", stem)?;
+    let max_instrs = args.value_or("max-instrs", dse_ingest::ExecConfig::default().max_instrs)?;
+    match dse_ingest::ingest_elf(&name, &bytes, dse_ingest::ExecConfig { max_instrs }) {
+        Ok(ingested) => Ok(Ok(ingested)),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            Ok(Err(2))
+        }
+    }
+}
+
+fn cmd_ingest(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let ingested = match ingest_from_args("ingest", args)? {
+        Ok(ingested) => ingested,
+        Err(code) => return Ok(code),
+    };
+    let p = &ingested.profile;
+    println!("workload      : {}", ingested.name);
+    println!("instructions  : {}", ingested.trace.len());
+    println!("exit code     : {}", ingested.exit_code);
+    println!(
+        "mix           : int_alu {:.3}  int_mul {:.3}  load {:.3}  store {:.3}  fp {:.3}  branch {:.3}",
+        p.mix.int_alu, p.mix.int_mul, p.mix.load, p.mix.store, p.mix.fp, p.mix.branch
+    );
+    println!("mean dep dist : {:.2}", p.mean_dep_distance);
+    println!("mispredict    : {:.4}", p.branch_mispredict_rate);
+    println!(
+        "streaming     : {:.4}   mlp: {:.3}   conflict: {:.3}",
+        p.streaming_frac, p.mlp, p.conflict_frac
+    );
+    if let Some(out) = args.value_of::<String>("trace-out")? {
+        let bytes = dse_ingest::trace_file::encode_trace(&ingested.trace)?;
+        std::fs::write(&out, &bytes)?;
+        println!("(wrote {}-byte trace to {out})", bytes.len());
+    }
+    if let Some(out) = args.value_of::<String>("profile-out")? {
+        let mut json = serde_json::to_string_pretty(&ingested.profile)?;
+        json.push('\n');
+        std::fs::write(&out, json)?;
+        println!("(wrote profile to {out})");
+    }
+    Ok(0)
+}
+
+/// One metric row of the `workload-diff` report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DiffRow {
+    metric: String,
+    synthetic: f64,
+    ingested: f64,
+    delta: f64,
+}
+
+/// The `results/workload_diff.json` payload: per-metric deltas between
+/// a synthetic benchmark profile and an ingested one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WorkloadDiffReport {
+    workload: String,
+    benchmark: String,
+    instructions: u64,
+    exit_code: u64,
+    rows: Vec<DiffRow>,
+    /// `Some` only when `--golden` was passed.
+    golden_matched: Option<bool>,
+}
+
+/// The scalar metrics both profile kinds expose, in report order.
+fn profile_metrics(p: &dse_workloads::WorkloadProfile) -> Vec<(&'static str, f64)> {
+    vec![
+        ("mix.int_alu", p.mix.int_alu),
+        ("mix.int_mul", p.mix.int_mul),
+        ("mix.load", p.mix.load),
+        ("mix.store", p.mix.store),
+        ("mix.fp", p.mix.fp),
+        ("mix.branch", p.mix.branch),
+        ("mean_dep_distance", p.mean_dep_distance),
+        ("branch_mispredict_rate", p.branch_mispredict_rate),
+        ("streaming_frac", p.streaming_frac),
+        ("mlp", p.mlp),
+        ("conflict_frac", p.conflict_frac),
+    ]
+}
+
+fn cmd_workload_diff(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let ingested = match ingest_from_args("workload-diff", args)? {
+        Ok(ingested) => ingested,
+        Err(code) => return Ok(code),
+    };
+    let benchmark = parse_benchmark(&args.value_or("benchmark", "mm".to_string())?)?;
+    let synthetic = benchmark.profile();
+
+    let rows: Vec<DiffRow> = profile_metrics(&synthetic)
+        .into_iter()
+        .zip(profile_metrics(&ingested.profile))
+        .map(|((metric, s), (_, i))| DiffRow {
+            metric: metric.to_string(),
+            synthetic: s,
+            ingested: i,
+            delta: i - s,
+        })
+        .collect();
+
+    println!("{:<24} {:>12} {:>12} {:>12}", "metric", "synthetic", "ingested", "delta");
+    for row in &rows {
+        println!(
+            "{:<24} {:>12.4} {:>12.4} {:>+12.4}",
+            row.metric, row.synthetic, row.ingested, row.delta
+        );
+    }
+    println!("(synthetic = {}, ingested = {})", benchmark.name(), ingested.name);
+
+    // With --golden, the ingested profile must reproduce a committed
+    // golden byte for byte (same serializer, deterministic pipeline).
+    let mut golden_matched = None;
+    if let Some(golden_path) = args.value_of::<String>("golden")? {
+        let golden = std::fs::read_to_string(&golden_path)?;
+        let ours = serde_json::to_string_pretty(&ingested.profile)?;
+        let matched = golden.trim_end() == ours.trim_end();
+        golden_matched = Some(matched);
+        if matched {
+            println!("golden {golden_path}: profile matches");
+        } else {
+            eprintln!("golden {golden_path}: profile MISMATCH");
+            for (g, o) in golden.trim_end().lines().zip(ours.trim_end().lines()) {
+                if g != o {
+                    eprintln!("  golden  : {g}");
+                    eprintln!("  ingested: {o}");
+                }
+            }
+        }
+    }
+
+    let report = WorkloadDiffReport {
+        workload: ingested.name.clone(),
+        benchmark: benchmark.name().to_string(),
+        instructions: ingested.trace.len() as u64,
+        exit_code: ingested.exit_code,
+        rows,
+        golden_matched,
+    };
+    dse_bench::write_results_artifact(
+        "workload_diff.json",
+        &serde_json::to_string_pretty(&report)?,
+    );
+    maybe_write_json(args, &report)?;
+    Ok(if golden_matched == Some(false) { 1 } else { 0 })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -819,5 +1046,95 @@ mod tests {
     #[test]
     fn explain_without_fnn_exits_nonzero() {
         assert_eq!(run(&args(&["explain"])).unwrap(), 2);
+    }
+
+    fn fixture_path(stem: &str) -> String {
+        format!("{}/../ingest/tests/fixtures/{stem}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected_per_command() {
+        // Commands that take no operands still reject them, now at the
+        // dispatch layer instead of the parser.
+        assert_eq!(run(&args(&["explore", "oops"])).unwrap(), 2);
+        // `ingest` takes exactly one.
+        assert_eq!(run(&args(&["ingest", "a.elf", "b.elf"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn ingest_writes_trace_and_profile_matching_the_golden() {
+        let dir = std::env::temp_dir().join("archdse_cli_test_ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("loop_sum.trace");
+        let profile_path = dir.join("loop_sum.profile.json");
+        let a = args(&[
+            "ingest",
+            &fixture_path("loop_sum.elf"),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--profile-out",
+            profile_path.to_str().unwrap(),
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
+        let decoded = dse_ingest::trace_file::decode_trace(&std::fs::read(&trace_path).unwrap())
+            .expect("the written trace must round-trip");
+        assert_eq!(decoded.len(), 2823);
+        let golden = std::fs::read_to_string(fixture_path("loop_sum.profile.json")).unwrap();
+        let written = std::fs::read_to_string(&profile_path).unwrap();
+        assert_eq!(written, golden, "--profile-out must reproduce the committed golden");
+        std::fs::remove_file(&trace_path).unwrap();
+        std::fs::remove_file(&profile_path).unwrap();
+    }
+
+    #[test]
+    fn ingest_bad_inputs_exit_2_with_named_errors() {
+        // Missing path entirely.
+        assert_eq!(run(&args(&["ingest"])).unwrap(), 2);
+        // Nonexistent file.
+        assert_eq!(run(&args(&["ingest", "/no/such/file.elf"])).unwrap(), 2);
+        // A file that is not an ELF.
+        let dir = std::env::temp_dir().join("archdse_cli_test_ingest_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.elf");
+        std::fs::write(&junk, b"definitely not an elf").unwrap();
+        assert_eq!(run(&args(&["ingest", junk.to_str().unwrap()])).unwrap(), 2);
+        std::fs::remove_file(&junk).unwrap();
+        // Misspelled flags are rejected by the flag table.
+        assert_eq!(run(&args(&["ingest", "x.elf", "--trace-output", "t"])).unwrap(), 2);
+        assert_eq!(run(&args(&["workload-diff", "x.elf", "--gold", "g"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn workload_diff_matches_golden_and_flags_mismatch() {
+        // Against the *other* fixture's golden: mismatch exits 1.
+        let b = args(&[
+            "workload-diff",
+            &fixture_path("stride_c.elf"),
+            "--golden",
+            &fixture_path("loop_sum.profile.json"),
+        ]);
+        assert_eq!(run(&b).unwrap(), 1);
+        // Against its own golden: exit 0 and a persisted artifact.
+        let a = args(&[
+            "workload-diff",
+            &fixture_path("stride_c.elf"),
+            "--benchmark",
+            "mm",
+            "--golden",
+            &fixture_path("stride_c.profile.json"),
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
+        let artifact = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/workload_diff.json");
+        let report: WorkloadDiffReport =
+            serde_json::from_str(&std::fs::read_to_string(&artifact).unwrap()).unwrap();
+        assert_eq!(report.workload, "stride_c");
+        assert_eq!(report.benchmark, "mm");
+        assert_eq!(report.golden_matched, Some(true));
+        assert_eq!(report.rows.len(), 11);
+        assert!(
+            report.rows.iter().any(|r| r.delta != 0.0),
+            "a real binary differs from mm somewhere"
+        );
     }
 }

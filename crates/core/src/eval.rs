@@ -8,7 +8,41 @@ use dse_exec::{par_map, par_map_with, CacheStats, CpiCache, Evaluation, Evaluato
 use dse_mfrl::{Constraint, LowFidelity, LF_TRACE_EQUIVALENT};
 use dse_sim::{BatchSimulator, CoreConfig, ExpandedTrace, SimResult};
 use dse_space::{DesignPoint, DesignSpace, Param};
-use dse_workloads::{Benchmark, Trace};
+use dse_workloads::{Benchmark, Trace, WorkloadProfile};
+
+/// A workload ingested from a real binary rather than synthesized from
+/// a [`Benchmark`]: a characterized profile for the low-fidelity model
+/// plus the exact dynamic trace for the high-fidelity simulator.
+///
+/// The trace sits behind an [`Arc`](std::sync::Arc) so the explorer —
+/// which is `Clone` and gets captured by service configuration — never
+/// copies a multi-million-instruction trace.
+#[derive(Debug, Clone)]
+pub struct IngestedWorkload {
+    /// Workload name (shows up in reports and service responses).
+    pub name: String,
+    /// Characterization in the synthetic-benchmark profile form.
+    pub profile: WorkloadProfile,
+    /// The dynamic instruction trace the HF simulator replays.
+    pub trace: std::sync::Arc<Trace>,
+}
+
+impl IngestedWorkload {
+    /// Bundles a name, profile and trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace or a profile that fails
+    /// [`WorkloadProfile::validate`] — both indicate the ingestion
+    /// pipeline was bypassed.
+    pub fn new(name: impl Into<String>, profile: WorkloadProfile, trace: Trace) -> Self {
+        assert!(!trace.is_empty(), "ingested workload needs a non-empty trace");
+        if let Err(e) = profile.validate() {
+            panic!("ingested workload profile invalid: {e}");
+        }
+        Self { name: name.into(), profile, trace: std::sync::Arc::new(trace) }
+    }
+}
 
 /// Adapts simulator statistics into the power model's activity profile.
 ///
@@ -77,6 +111,23 @@ impl AnalyticalLf {
                 .iter()
                 .map(|&b| AnalyticalModel::new(space, b.profile_scaled(data_scale)))
                 .collect(),
+            threads: dse_exec::default_threads(),
+        }
+    }
+
+    /// Builds the LF proxy from explicit workload profiles — the path
+    /// ingested binaries take, since they have a characterized profile
+    /// but no [`Benchmark`] variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or any profile fails
+    /// [`WorkloadProfile::validate`] (via the analytical model's own
+    /// constructor check).
+    pub fn for_profiles(space: &DesignSpace, profiles: &[WorkloadProfile]) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        Self {
+            models: profiles.iter().map(|p| AnalyticalModel::new(space, p.clone())).collect(),
             threads: dse_exec::default_threads(),
         }
     }
@@ -193,6 +244,27 @@ impl SimulatorHf {
         assert!(trace_len > 0, "trace length must be positive");
         let traces: Vec<Trace> =
             benchmarks.iter().map(|&b| b.trace_scaled(trace_len, seed, data_scale)).collect();
+        let expanded = traces.iter().map(ExpandedTrace::expand).collect();
+        Self {
+            traces,
+            expanded,
+            cache: CpiCache::new(),
+            threads: dse_exec::default_threads(),
+            pack_size: DEFAULT_PACK_SIZE,
+        }
+    }
+
+    /// Builds the HF evaluator over explicit pre-built traces — the
+    /// path ingested binaries take. The traces are used exactly as
+    /// given (no generation, no seed), so the evaluator is
+    /// deterministic in the trace bytes alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or any trace is empty.
+    pub fn for_traces(traces: Vec<Trace>) -> Self {
+        assert!(!traces.is_empty(), "need at least one trace");
+        assert!(traces.iter().all(|t| !t.is_empty()), "traces must be non-empty");
         let expanded = traces.iter().map(ExpandedTrace::expand).collect();
         Self {
             traces,

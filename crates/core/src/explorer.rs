@@ -9,7 +9,7 @@ use dse_mfrl::{
 use dse_space::{DesignPoint, DesignSpace, MergedParam, Param};
 use dse_workloads::Benchmark;
 
-use crate::eval::{AnalyticalLf, AreaLimit, DesignConstraints, SimulatorHf};
+use crate::eval::{AnalyticalLf, AreaLimit, DesignConstraints, IngestedWorkload, SimulatorHf};
 
 /// A designer preference to embed into the rule base before training
 /// (§2.3, Fig. 7): drive `target` upward whenever its merged `group`
@@ -67,6 +67,7 @@ pub struct ExplorationReport {
 pub struct Explorer {
     space: DesignSpace,
     benchmarks: Vec<Benchmark>,
+    workload: Option<IngestedWorkload>,
     area_limit_mm2: f64,
     leakage_limit_mw: Option<f64>,
     seed: u64,
@@ -99,6 +100,7 @@ impl Explorer {
         Self {
             space: DesignSpace::boom(),
             benchmarks,
+            workload: None,
             area_limit_mm2: 8.0,
             leakage_limit_mw: None,
             seed: 0,
@@ -120,6 +122,26 @@ impl Explorer {
     /// constraint (§4.2).
     pub fn general_purpose() -> Self {
         Self::for_benchmarks(Benchmark::ALL.to_vec()).area_limit_mm2(8.0)
+    }
+
+    /// Application-specific DSE on a workload ingested from a real
+    /// binary: the characterized profile drives the LF analytical
+    /// model, the exact executed trace drives the HF simulator.
+    /// `trace_len` and the HF trace seed are ignored — the trace is
+    /// whatever the program did.
+    pub fn for_workload(workload: IngestedWorkload) -> Self {
+        // The benchmark list seeds the builder defaults; the workload
+        // then overrides both fidelity backends.
+        let mut explorer = Self::for_benchmarks(vec![Benchmark::Mm]);
+        explorer.benchmarks = Vec::new();
+        explorer.workload = Some(workload);
+        explorer
+    }
+
+    /// The ingested workload this explorer optimizes, if it was built
+    /// with [`Explorer::for_workload`].
+    pub fn workload(&self) -> Option<&IngestedWorkload> {
+        self.workload.as_ref()
     }
 
     /// Sets the area constraint in mm² (Table 2 uses 6–10).
@@ -260,17 +282,26 @@ impl Explorer {
 
     /// Builds the LF proxy this explorer will train against.
     pub fn lf_model(&self) -> AnalyticalLf {
-        AnalyticalLf::for_benchmarks(&self.space, &self.benchmarks, self.data_scale)
+        match &self.workload {
+            Some(w) => AnalyticalLf::for_profiles(
+                &self.space,
+                &[w.profile.clone().with_data_scale(self.data_scale)],
+            ),
+            None => AnalyticalLf::for_benchmarks(&self.space, &self.benchmarks, self.data_scale),
+        }
     }
 
     /// Builds the HF evaluator this explorer will spend budget on.
     pub fn hf_evaluator(&self) -> SimulatorHf {
-        let hf = SimulatorHf::for_benchmarks(
-            &self.benchmarks,
-            self.trace_len,
-            self.seed ^ 0x51,
-            self.data_scale,
-        );
+        let hf = match &self.workload {
+            Some(w) => SimulatorHf::for_traces(vec![(*w.trace).clone()]),
+            None => SimulatorHf::for_benchmarks(
+                &self.benchmarks,
+                self.trace_len,
+                self.seed ^ 0x51,
+                self.data_scale,
+            ),
+        };
         match self.threads {
             Some(threads) => hf.with_threads(threads),
             None => hf,

@@ -1,0 +1,271 @@
+//! Regenerates the committed test fixtures under `tests/fixtures/`.
+//!
+//! The container has no RISC-V toolchain, so the fixtures are
+//! assembled here with the same bit-level encoders the decoder is
+//! tested against (`dse_ingest::rv64`), wrapped in a minimal ELF64
+//! image. Run from the crate root:
+//!
+//! ```text
+//! cargo run -p dse-ingest --example make_fixtures
+//! ```
+//!
+//! Each fixture gets two files: `<name>.elf` (the binary) and
+//! `<name>.profile.json` (the golden characterization the ingest
+//! pipeline must keep reproducing). The matching `<name>.s` listings
+//! are maintained by hand next to them as human-readable references.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use dse_ingest::rv64::{enc_b, enc_i, enc_r, enc_u};
+use dse_ingest::{ingest_elf, ExecConfig};
+
+/// One emitted parcel: a full word or a compressed half.
+#[derive(Clone, Copy)]
+enum Parcel {
+    W(u32),
+    H(u16),
+}
+
+/// A branch whose offset is resolved once all labels are placed.
+struct Fixup {
+    parcel_index: usize,
+    funct3: u32,
+    rs1: u32,
+    rs2: u32,
+    label: &'static str,
+}
+
+/// Minimal two-pass assembler: emit parcels, mark labels, patch
+/// 32-bit conditional branches at the end.
+struct Asm {
+    parcels: Vec<Parcel>,
+    pc: u64,
+    pcs: Vec<u64>,
+    labels: HashMap<&'static str, u64>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    fn new(base: u64) -> Self {
+        Asm {
+            parcels: Vec::new(),
+            pc: base,
+            pcs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    fn word(&mut self, w: u32) {
+        self.pcs.push(self.pc);
+        self.pc += 4;
+        self.parcels.push(Parcel::W(w));
+    }
+
+    fn half(&mut self, h: u16) {
+        self.pcs.push(self.pc);
+        self.pc += 2;
+        self.parcels.push(Parcel::H(h));
+    }
+
+    fn label(&mut self, name: &'static str) {
+        self.labels.insert(name, self.pc);
+    }
+
+    fn branch(&mut self, funct3: u32, rs1: u32, rs2: u32, label: &'static str) {
+        self.fixups.push(Fixup { parcel_index: self.parcels.len(), funct3, rs1, rs2, label });
+        self.word(0); // patched later
+    }
+
+    fn assemble(mut self) -> Vec<u8> {
+        for f in &self.fixups {
+            let target = self.labels[f.label];
+            let offset = target as i64 - self.pcs[f.parcel_index] as i64;
+            self.parcels[f.parcel_index] =
+                Parcel::W(enc_b(0x63, f.funct3, f.rs1, f.rs2, offset as i32));
+        }
+        let mut bytes = Vec::new();
+        for p in self.parcels {
+            match p {
+                Parcel::W(w) => bytes.extend_from_slice(&w.to_le_bytes()),
+                Parcel::H(h) => bytes.extend_from_slice(&h.to_le_bytes()),
+            }
+        }
+        bytes
+    }
+}
+
+/// Wraps raw text bytes in a minimal static ELF64: one `PT_LOAD` at
+/// file offset 0x78 / vaddr `base + 0x78` (congruent mod 4096), entry
+/// at the text start.
+fn wrap_elf(base: u64, text: &[u8]) -> Vec<u8> {
+    let entry = base + 0x78;
+    let mut f = vec![0u8; 0x78];
+    f[..4].copy_from_slice(&[0x7f, b'E', b'L', b'F']);
+    f[4] = 2; // ELFCLASS64
+    f[5] = 1; // ELFDATA2LSB
+    f[6] = 1; // EV_CURRENT
+    f[16..18].copy_from_slice(&2u16.to_le_bytes()); // ET_EXEC
+    f[18..20].copy_from_slice(&243u16.to_le_bytes()); // EM_RISCV
+    f[24..32].copy_from_slice(&entry.to_le_bytes());
+    f[32..40].copy_from_slice(&64u64.to_le_bytes()); // e_phoff
+    f[52..54].copy_from_slice(&64u16.to_le_bytes()); // e_ehsize
+    f[54..56].copy_from_slice(&56u16.to_le_bytes()); // e_phentsize
+    f[56..58].copy_from_slice(&1u16.to_le_bytes()); // e_phnum
+    let ph = 64;
+    f[ph..ph + 4].copy_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+    f[ph + 4..ph + 8].copy_from_slice(&5u32.to_le_bytes()); // R+X
+    f[ph + 8..ph + 16].copy_from_slice(&0x78u64.to_le_bytes()); // p_offset
+    f[ph + 16..ph + 24].copy_from_slice(&entry.to_le_bytes()); // p_vaddr
+    f[ph + 24..ph + 32].copy_from_slice(&entry.to_le_bytes()); // p_paddr
+    f[ph + 32..ph + 40].copy_from_slice(&(text.len() as u64).to_le_bytes()); // p_filesz
+    f[ph + 40..ph + 48].copy_from_slice(&(text.len() as u64).to_le_bytes()); // p_memsz
+    f[ph + 48..ph + 56].copy_from_slice(&2u64.to_le_bytes()); // p_align (min)
+    f.extend_from_slice(text);
+    f
+}
+
+const T0: u32 = 5;
+const T1: u32 = 6;
+const T2: u32 = 7;
+const T3: u32 = 28;
+const T4: u32 = 29;
+const S0: u32 = 8;
+const A0: u32 = 10;
+const A1: u32 = 11;
+const A2: u32 = 12;
+const A3: u32 = 13;
+const A4: u32 = 14;
+const A5: u32 = 15;
+const A7: u32 = 17;
+const ECALL: u32 = 0x0000_0073;
+
+/// RV64I-only fixture: fill a 256-element array, then sum it back.
+/// Mirrors `loop_sum.s`.
+fn loop_sum() -> Vec<u8> {
+    let mut a = Asm::new(0x1_0000);
+    a.word(enc_u(0x37, T0, 0x2_0000)); // lui  t0, 0x20    (buffer 0x20000)
+    a.word(enc_i(0x13, T1, 0, 0, 0)); // li   t1, 0       (i)
+    a.word(enc_i(0x13, T2, 0, 0, 256)); // li   t2, 256   (N)
+    a.label("init");
+    a.word(enc_i(0x13, T3, 1, T1, 3)); // slli t3, t1, 3
+    a.word(enc_r(0x33, T3, 0, T3, T0, 0)); // add  t3, t3, t0
+    a.word(dse_ingest::rv64::enc_s(0x23, 3, T3, T1, 0)); // sd t1, 0(t3)
+    a.word(enc_i(0x13, T1, 0, T1, 1)); // addi t1, t1, 1
+    a.branch(4, T1, T2, "init"); // blt  t1, t2, init
+    a.word(enc_i(0x13, T1, 0, 0, 0)); // li   t1, 0
+    a.word(enc_i(0x13, A0, 0, 0, 0)); // li   a0, 0       (sum)
+    a.label("sum");
+    a.word(enc_i(0x13, T3, 1, T1, 3)); // slli t3, t1, 3
+    a.word(enc_r(0x33, T3, 0, T3, T0, 0)); // add  t3, t3, t0
+    a.word(enc_i(0x03, T4, 3, T3, 0)); // ld   t4, 0(t3)
+    a.word(enc_r(0x33, A0, 0, A0, T4, 0)); // add  a0, a0, t4
+    a.word(enc_i(0x13, T1, 0, T1, 1)); // addi t1, t1, 1
+    a.branch(4, T1, T2, "sum"); // blt  t1, t2, sum
+    a.word(enc_i(0x13, A0, 7, A0, 0xff)); // andi a0, a0, 0xff
+    a.word(enc_i(0x13, A7, 0, 0, 93)); // li   a7, 93     (exit)
+    a.word(ECALL);
+    wrap_elf(0x1_0000, &a.assemble())
+}
+
+/// RV64IMC fixture: strided store/load loops built from compressed
+/// parcels plus an M-extension multiply. Mirrors `stride_c.s`.
+fn stride_c() -> Vec<u8> {
+    // Compressed encoders for the handful of forms this fixture uses.
+    let c_li = |rd: u32, imm: i32| -> u16 {
+        let imm = imm as u32;
+        ((0b010u16) << 13)
+            | (((imm >> 5) & 1) as u16) << 12
+            | (rd as u16) << 7
+            | ((imm & 0x1f) as u16) << 2
+            | 0b01
+    };
+    // funct3 = 000, so no term at bits 15:13.
+    let c_addi = |rd: u32, imm: i32| -> u16 {
+        let imm = imm as u32;
+        (((imm >> 5) & 1) as u16) << 12 | (rd as u16) << 7 | ((imm & 0x1f) as u16) << 2 | 0b01
+    };
+    let c_mv = |rd: u32, rs2: u32| -> u16 {
+        ((0b100u16) << 13) | (rd as u16) << 7 | (rs2 as u16) << 2 | 0b10
+    };
+    let c_add = |rd: u32, rs2: u32| -> u16 {
+        ((0b100u16) << 13) | (1u16 << 12) | (rd as u16) << 7 | (rs2 as u16) << 2 | 0b10
+    };
+    // funct3 = 000, so no term at bits 15:13.
+    let c_slli = |rd: u32, shamt: u32| -> u16 {
+        (((shamt >> 5) & 1) as u16) << 12 | (rd as u16) << 7 | ((shamt & 0x1f) as u16) << 2 | 0b10
+    };
+    let creg = |r: u32| -> u16 { (r - 8) as u16 };
+    let c_sd = |rs2: u32, uimm: u32, rs1: u32| -> u16 {
+        ((0b111u16) << 13)
+            | (((uimm >> 3) & 0x7) as u16) << 10
+            | creg(rs1) << 7
+            | (((uimm >> 6) & 0x3) as u16) << 5
+            | creg(rs2) << 2
+    };
+    let c_ld = |rd: u32, uimm: u32, rs1: u32| -> u16 {
+        ((0b011u16) << 13)
+            | (((uimm >> 3) & 0x7) as u16) << 10
+            | creg(rs1) << 7
+            | (((uimm >> 6) & 0x3) as u16) << 5
+            | creg(rd) << 2
+    };
+
+    let mut a = Asm::new(0x1_0000);
+    a.word(enc_u(0x37, A2, 0x3_0000)); // lui    a2, 0x30  (buffer)
+    a.half(c_li(A3, 0)); //              c.li   a3, 0     (i)
+    a.word(enc_i(0x13, A4, 0, 0, 128)); // li   a4, 128   (N)
+    a.half(c_li(A5, 3)); //              c.li   a5, 3
+    a.label("fill");
+    a.word(enc_r(0x33, A1, 0, A3, A5, 1)); // mul a1, a3, a5
+    a.half(c_mv(A0, A3)); //             c.mv   a0, a3
+    a.half(c_slli(A0, 4)); //            c.slli a0, 4     (i*16)
+    a.half(c_add(A0, A2)); //            c.add  a0, a2
+    a.half(c_sd(A1, 0, A0)); //          c.sd   a1, 0(a0)
+    a.half(c_ld(A1, 0, A0)); //          c.ld   a1, 0(a0)
+    a.half(c_addi(A3, 1)); //            c.addi a3, 1
+    a.branch(1, A3, A4, "fill"); //      bne    a3, a4, fill
+    a.half(c_li(A3, 0)); //              c.li   a3, 0
+    a.half(c_li(A1, 0)); //              c.li   a1, 0     (sum)
+    a.word(enc_i(0x13, S0, 0, 0, 64)); // li    s0, 64
+    a.label("gather");
+    a.half(c_mv(A0, A3)); //             c.mv   a0, a3
+    a.half(c_slli(A0, 5)); //            c.slli a0, 5     (every other)
+    a.half(c_add(A0, A2)); //            c.add  a0, a2
+    a.half(c_ld(A5, 0, A0)); //          c.ld   a5, 0(a0)
+    a.half(c_add(A1, A5)); //            c.add  a1, a5
+    a.half(c_addi(A3, 1)); //            c.addi a3, 1
+    a.branch(1, A3, S0, "gather"); //    bne    a3, s0, gather
+    a.word(enc_i(0x13, A0, 7, A1, 0xff)); // andi a0, a1, 0xff
+    a.word(enc_i(0x13, A7, 0, 0, 93)); // li    a7, 93
+    a.word(ECALL);
+    wrap_elf(0x1_0000, &a.assemble())
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    fs::create_dir_all(&dir).expect("create fixtures dir");
+    for (name, bytes, expected_exit) in
+        [("loop_sum", loop_sum(), 128u64), ("stride_c", stride_c(), 64u64)]
+    {
+        let ingested = ingest_elf(name, &bytes, ExecConfig::default())
+            .unwrap_or_else(|e| panic!("{name} does not ingest: {e}"));
+        assert_eq!(
+            ingested.exit_code, expected_exit,
+            "{name}: wrong exit code — the program logic is broken"
+        );
+        let profile_json =
+            serde_json::to_string_pretty(&ingested.profile).expect("serialize profile");
+        fs::write(dir.join(format!("{name}.elf")), &bytes).expect("write elf");
+        fs::write(dir.join(format!("{name}.profile.json")), profile_json + "\n")
+            .expect("write profile");
+        println!(
+            "{name}: {} bytes, {} dynamic instructions, exit {}",
+            bytes.len(),
+            ingested.trace.len(),
+            ingested.exit_code
+        );
+    }
+}

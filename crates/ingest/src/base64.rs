@@ -1,0 +1,98 @@
+//! Minimal standard-alphabet base64 with padding — just enough for the
+//! `/v1/workloads` upload path, which must carry ELF bytes inside a
+//! JSON string over the std-only HTTP front door.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes with the standard alphabet and `=` padding.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | (b[2] as u32);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+fn value_of(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes a standard-alphabet base64 string (padding required,
+/// whitespace rejected).
+///
+/// # Errors
+///
+/// A static description of the first malformed quantum.
+pub fn decode(text: &str) -> Result<Vec<u8>, &'static str> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err("base64 length is not a multiple of 4");
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = i + 1 == bytes.len() / 4;
+        let pads = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 || (pads > 0 && !last) {
+            return Err("misplaced base64 padding");
+        }
+        let mut n = 0u32;
+        for &c in &quad[..4 - pads] {
+            n = (n << 6) | value_of(c).ok_or("invalid base64 character")?;
+        }
+        n <<= 6 * pads as u32;
+        out.push((n >> 16) as u8);
+        if pads < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pads < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_padding_lengths() {
+        for len in 0..32usize {
+            let data: Vec<u8> =
+                (0..len as u8).map(|i| i.wrapping_mul(37).wrapping_add(5)).collect();
+            let text = encode(&data);
+            assert_eq!(decode(&text).unwrap(), data, "len {len}: {text}");
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(decode("abc").is_err());
+        assert!(decode("ab=c").is_err());
+        assert!(decode("a===").is_err());
+        assert!(decode("Zg==Zm8=").is_err()); // padding before the end
+        assert!(decode("Zm 9").is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Folds an instruction-event stream into the [`WorkloadProfile`] form
+//! the analytical model consumes.
+//!
+//! The pass is single-streaming: one `observe` per dynamic instruction,
+//! O(1) amortized work each (the reuse tracker pays an extra `log n`
+//! per memory access). The quantities mirror what the paper's
+//! instrumentation run extracts:
+//!
+//! * **instruction mix** — class counts over the stream;
+//! * **mean dependency distance** — mean of all present backward
+//!   producer distances;
+//! * **branch misprediction rate** — the executor's deterministic
+//!   gshare verdicts, averaged;
+//! * **reuse CDF** — exact per-64-byte-line stack (reuse) distances via
+//!   a last-access map plus a Fenwick tree, bucketed onto a fixed
+//!   capacity grid and normalized among *non-streaming* accesses, which
+//!   matches the analytical model's `hit = curve × (1 − streaming)`
+//!   split;
+//! * **streaming fraction** — cold first touches plus reuses farther
+//!   than the largest grid capacity;
+//! * **MLP** — 1 + the mean number of independent memory operations in
+//!   the 7 instructions preceding each access (clamped to `[1, 8]`);
+//! * **conflict fraction** — total-variation skew of line-to-set
+//!   occupancy over 64 sets.
+
+use std::collections::HashMap;
+
+use dse_workloads::{InstMix, Instr, Op, WorkloadProfile};
+
+/// Cache line size assumed for reuse distances, in bytes.
+pub const LINE_BYTES: u64 = 64;
+/// Capacity grid (KiB) on which the reuse CDF is sampled.
+pub const CAPACITY_GRID_KIB: [f64; 7] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0];
+/// Sets assumed for the conflict-skew estimate.
+const CONFLICT_SETS: usize = 64;
+/// Look-back window for the MLP estimate.
+const MLP_WINDOW: usize = 7;
+
+/// Fenwick (binary-indexed) tree over mem-access timestamps, holding a
+/// 0/1 marker at the *latest* access time of each live line. Grows by
+/// doubling with an O(n) rebuild, so appends stay amortized O(log n).
+struct Fenwick {
+    tree: Vec<i64>,
+    raw: Vec<u8>,
+}
+
+impl Fenwick {
+    fn new() -> Self {
+        Fenwick { tree: vec![0], raw: Vec::new() }
+    }
+
+    /// Appends a zero slot for timestamp `raw.len() + 1`.
+    fn push_slot(&mut self) {
+        self.raw.push(0);
+        if self.raw.len() >= self.tree.len() {
+            let new_len = (self.tree.len() * 2).max(16);
+            self.tree = vec![0; new_len];
+            for i in 0..self.raw.len() {
+                if self.raw[i] == 1 {
+                    self.add_tree(i + 1, 1);
+                }
+            }
+        }
+    }
+
+    fn add_tree(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn set(&mut self, i: usize, on: bool) {
+        let want = on as u8;
+        if self.raw[i - 1] != want {
+            self.raw[i - 1] = want;
+            self.add_tree(i, if on { 1 } else { -1 });
+        }
+    }
+
+    /// Sum of markers in `[1, i]`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming workload characterizer; see the module docs for the
+/// extracted quantities.
+pub struct Characterizer {
+    name: String,
+    counts: [u64; 6],
+    dep_sum: u64,
+    dep_count: u64,
+    mispredicted: u64,
+    /// `(was_memory, instruction index)` ring of the last few retired
+    /// instructions, for the MLP window.
+    window: [bool; MLP_WINDOW],
+    index: u64,
+    /// Reuse bookkeeping.
+    last_access: HashMap<u64, usize>,
+    marks: Fenwick,
+    mem_time: usize,
+    cold: u64,
+    far: u64,
+    /// Histogram of reuse distances per grid bucket.
+    reuse_hist: [u64; CAPACITY_GRID_KIB.len()],
+    mlp_sum: u64,
+    mlp_count: u64,
+    set_counts: [u64; CONFLICT_SETS],
+}
+
+impl Characterizer {
+    /// Creates an empty characterizer for a workload called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Characterizer {
+            name: name.into(),
+            counts: [0; 6],
+            dep_sum: 0,
+            dep_count: 0,
+            mispredicted: 0,
+            window: [false; MLP_WINDOW],
+            index: 0,
+            last_access: HashMap::new(),
+            marks: Fenwick::new(),
+            mem_time: 0,
+            cold: 0,
+            far: 0,
+            reuse_hist: [0; CAPACITY_GRID_KIB.len()],
+            mlp_sum: 0,
+            mlp_count: 0,
+            set_counts: [0; CONFLICT_SETS],
+        }
+    }
+
+    /// Instructions observed so far.
+    pub fn instructions(&self) -> u64 {
+        self.index
+    }
+
+    /// Folds one dynamic instruction into the summary.
+    pub fn observe(&mut self, instr: &Instr) {
+        let class = match instr.op {
+            Op::IntAlu => 0,
+            Op::IntMul => 1,
+            Op::Load => 2,
+            Op::Store => 3,
+            Op::FpAlu => 4,
+            Op::Branch => 5,
+        };
+        self.counts[class] += 1;
+        for dep in instr.deps.into_iter().flatten() {
+            self.dep_sum += dep as u64;
+            self.dep_count += 1;
+        }
+        if let Some(b) = instr.branch {
+            if b.mispredicted {
+                self.mispredicted += 1;
+            }
+        }
+        if let Some(addr) = instr.addr {
+            self.observe_access(addr, instr.deps);
+        }
+        self.window[(self.index % MLP_WINDOW as u64) as usize] = instr.addr.is_some();
+        self.index += 1;
+    }
+
+    fn observe_access(&mut self, addr: u64, deps: [Option<u32>; 2]) {
+        // MLP: memory ops in the preceding window that are not this
+        // access's own producers count as overlappable.
+        let lookback = (self.index.min(MLP_WINDOW as u64)) as u32;
+        let mut independent = 0u64;
+        for k in 1..=lookback {
+            let slot = ((self.index - k as u64) % MLP_WINDOW as u64) as usize;
+            if self.window[slot] && deps[0] != Some(k) && deps[1] != Some(k) {
+                independent += 1;
+            }
+        }
+        self.mlp_sum += independent;
+        self.mlp_count += 1;
+
+        let line = addr / LINE_BYTES;
+        self.set_counts[(line % CONFLICT_SETS as u64) as usize] += 1;
+
+        self.mem_time += 1;
+        self.marks.push_slot();
+        match self.last_access.insert(line, self.mem_time) {
+            None => self.cold += 1,
+            Some(prev) => {
+                // Distinct lines touched strictly between the two
+                // accesses to this line, plus the line itself.
+                let distinct =
+                    (self.marks.prefix(self.mem_time - 1) - self.marks.prefix(prev)) as u64 + 1;
+                self.marks.set(prev, false);
+                let mut bucketed = false;
+                for (i, cap_kib) in CAPACITY_GRID_KIB.iter().enumerate() {
+                    if distinct <= (cap_kib * 1024.0 / LINE_BYTES as f64) as u64 {
+                        self.reuse_hist[i] += 1;
+                        bucketed = true;
+                        break;
+                    }
+                }
+                if !bucketed {
+                    self.far += 1;
+                }
+            }
+        }
+        self.marks.set(self.mem_time, true);
+    }
+
+    /// Produces the validated profile.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description when the stream was empty or the
+    /// folded quantities violate a [`WorkloadProfile::validate`]
+    /// invariant (which would indicate a bug in this pass).
+    pub fn finish(self) -> Result<WorkloadProfile, String> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return Err("no instructions observed; cannot characterize an empty stream".into());
+        }
+        let t = total as f64;
+        let mix = InstMix {
+            int_alu: self.counts[0] as f64 / t,
+            int_mul: self.counts[1] as f64 / t,
+            load: self.counts[2] as f64 / t,
+            store: self.counts[3] as f64 / t,
+            fp: self.counts[4] as f64 / t,
+            branch: self.counts[5] as f64 / t,
+        };
+        let mean_dep_distance = if self.dep_count == 0 {
+            1.0
+        } else {
+            (self.dep_sum as f64 / self.dep_count as f64).max(1.0)
+        };
+        let branches = self.counts[5];
+        let branch_mispredict_rate =
+            if branches == 0 { 0.0 } else { self.mispredicted as f64 / branches as f64 };
+        let mem_total = self.counts[2] + self.counts[3];
+        let streaming = self.cold + self.far;
+        let streaming_frac = if mem_total == 0 {
+            0.0
+        } else {
+            (streaming as f64 / mem_total as f64).clamp(0.0, 1.0)
+        };
+        let reused: u64 = self.reuse_hist.iter().sum();
+        let reuse_hit_points: Vec<(f64, f64)> = if reused == 0 {
+            // No temporal reuse at all: the curve is vacuous, and all
+            // misses are already carried by `streaming_frac`.
+            CAPACITY_GRID_KIB.iter().map(|&c| (c, 1.0)).collect()
+        } else {
+            let mut acc = 0u64;
+            CAPACITY_GRID_KIB
+                .iter()
+                .zip(self.reuse_hist.iter())
+                .map(|(&c, &n)| {
+                    acc += n;
+                    (c, acc as f64 / reused as f64)
+                })
+                .collect()
+        };
+        let mlp = if self.mlp_count == 0 {
+            1.0
+        } else {
+            (1.0 + self.mlp_sum as f64 / self.mlp_count as f64).clamp(1.0, 8.0)
+        };
+        let conflict_frac = if mem_total == 0 {
+            0.0
+        } else {
+            let uniform = 1.0 / CONFLICT_SETS as f64;
+            let tv: f64 = self
+                .set_counts
+                .iter()
+                .map(|&n| (n as f64 / mem_total as f64 - uniform).abs())
+                .sum::<f64>()
+                * 0.5;
+            tv.clamp(0.0, 1.0)
+        };
+        let profile = WorkloadProfile {
+            name: Box::leak(self.name.into_boxed_str()),
+            mix,
+            mean_dep_distance,
+            branch_mispredict_rate,
+            streaming_frac,
+            reuse_hit_points,
+            mlp,
+            conflict_frac,
+        };
+        profile.validate()?;
+        Ok(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workloads::BranchInfo;
+
+    fn load(addr: u64) -> Instr {
+        Instr { op: Op::Load, deps: [None, None], addr: Some(addr), branch: None }
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let err = Characterizer::new("empty").finish().unwrap_err();
+        assert!(err.contains("no instructions"), "{err}");
+    }
+
+    #[test]
+    fn mix_and_rates_fold_exactly() {
+        let mut c = Characterizer::new("mixed");
+        for _ in 0..6 {
+            c.observe(&Instr::nop());
+        }
+        c.observe(&load(0));
+        c.observe(&Instr { op: Op::Store, deps: [Some(1), None], addr: Some(64), branch: None });
+        c.observe(&Instr {
+            op: Op::Branch,
+            deps: [Some(3), None],
+            addr: None,
+            branch: Some(BranchInfo { site: 1, taken: true, mispredicted: true }),
+        });
+        c.observe(&Instr {
+            op: Op::Branch,
+            deps: [None, None],
+            addr: None,
+            branch: Some(BranchInfo { site: 1, taken: true, mispredicted: false }),
+        });
+        let p = c.finish().unwrap();
+        assert!((p.mix.int_alu - 0.6).abs() < 1e-12);
+        assert!((p.mix.load - 0.1).abs() < 1e-12);
+        assert!((p.mix.store - 0.1).abs() < 1e-12);
+        assert!((p.mix.branch - 0.2).abs() < 1e-12);
+        assert_eq!(p.mix.fp, 0.0);
+        assert!((p.branch_mispredict_rate - 0.5).abs() < 1e-12);
+        assert!((p.mean_dep_distance - 2.0).abs() < 1e-12);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn cold_stream_is_all_streaming() {
+        let mut c = Characterizer::new("stream");
+        for i in 0..1000u64 {
+            c.observe(&load(i * 64));
+        }
+        let p = c.finish().unwrap();
+        assert_eq!(p.streaming_frac, 1.0);
+        // Vacuous curve: every point 1.0, monotone grid.
+        assert!(p.reuse_hit_points.iter().all(|&(_, h)| h == 1.0));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn tight_reuse_lands_in_the_smallest_capacity() {
+        let mut c = Characterizer::new("hot");
+        // Two lines hammered alternately: reuse distance 2 lines.
+        for i in 0..1000u64 {
+            c.observe(&load((i % 2) * 64));
+        }
+        let p = c.finish().unwrap();
+        // 2 cold accesses of 1000.
+        assert!((p.streaming_frac - 0.002).abs() < 1e-9);
+        assert_eq!(p.reuse_hit_points[0].1, 1.0, "distance-2 reuse fits 1 KiB");
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn reuse_distance_is_stack_distance_not_time() {
+        let mut c = Characterizer::new("stack");
+        // A, then 100 accesses to ONE other line, then A again: only 2
+        // distinct lines between the A pair, so A's reuse is tiny even
+        // though 100 accesses elapsed.
+        c.observe(&load(0));
+        for _ in 0..100 {
+            c.observe(&load(4096));
+        }
+        c.observe(&load(0));
+        let p = c.finish().unwrap();
+        // 2 cold + 100 reuses: all reuses fit the smallest capacity.
+        assert_eq!(p.reuse_hit_points[0].1, 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn far_reuse_counts_as_streaming() {
+        let mut c = Characterizer::new("far");
+        let lines = 80_000u64; // 80k lines × 64 B = ~5 MiB > 4 MiB grid top
+        for round in 0..2 {
+            let _ = round;
+            for i in 0..lines {
+                c.observe(&load(i * 64));
+            }
+        }
+        let p = c.finish().unwrap();
+        // Every access is either cold or farther than the grid top.
+        assert_eq!(p.streaming_frac, 1.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn conflict_skew_detects_single_set_hammering() {
+        let mut c = Characterizer::new("conflict");
+        // All accesses map to set 0: addresses stride by 64 lines
+        // (64 × 64 B = 4096 B), so every line index is ≡ 0 mod 64.
+        for i in 0..1000u64 {
+            c.observe(&load((i % 4) * 4096));
+        }
+        let p = c.finish().unwrap();
+        assert!(p.conflict_frac > 0.9, "single-set skew should be near 1, got {}", p.conflict_frac);
+        let mut u = Characterizer::new("uniform");
+        for i in 0..64_000u64 {
+            u.observe(&load((i % 64) * 64));
+        }
+        let pu = u.finish().unwrap();
+        assert!(
+            pu.conflict_frac < 0.01,
+            "uniform sets should have ~0 skew, got {}",
+            pu.conflict_frac
+        );
+    }
+
+    #[test]
+    fn mlp_counts_independent_neighbors() {
+        let mut c = Characterizer::new("mlp");
+        // Back-to-back independent loads: each sees up to 7 mem ops in
+        // its window, none of which are producers.
+        for i in 0..100u64 {
+            c.observe(&load(i * 64));
+        }
+        let p = c.finish().unwrap();
+        assert!(p.mlp > 7.0, "independent load train should saturate MLP, got {}", p.mlp);
+        // A strict pointer chase: each load depends on the previous one.
+        let mut d = Characterizer::new("chase");
+        d.observe(&load(0));
+        for i in 1..100u64 {
+            d.observe(&Instr {
+                op: Op::Load,
+                deps: [Some(1), None],
+                addr: Some(i * 64),
+                branch: None,
+            });
+        }
+        let pd = d.finish().unwrap();
+        assert!(
+            pd.mlp < p.mlp,
+            "a chase ({}) must score below the independent train ({})",
+            pd.mlp,
+            p.mlp
+        );
+    }
+}

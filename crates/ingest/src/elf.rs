@@ -1,0 +1,200 @@
+//! A minimal ELF64 loader: just enough structure to place a statically
+//! linked RV64 executable's `PT_LOAD` segments into memory and find its
+//! entry point. Everything else (sections, symbols, relocations) is
+//! deliberately ignored — a static image needs none of it to run.
+
+use crate::error::IngestError;
+
+/// `e_machine` value for RISC-V.
+const EM_RISCV: u16 = 243;
+/// `e_type` for a (statically linked) executable.
+const ET_EXEC: u16 = 2;
+/// `e_type` for a shared object / PIE — rejected as dynamically linked.
+const ET_DYN: u16 = 3;
+/// `p_type` for a loadable segment.
+const PT_LOAD: u32 = 1;
+/// `p_type` for the dynamic section — its presence also marks a
+/// dynamically linked image even when `e_type` is `ET_EXEC`.
+const PT_DYNAMIC: u32 = 2;
+/// `p_type` for an interpreter request (`ld.so`) — same verdict.
+const PT_INTERP: u32 = 3;
+
+/// One loadable segment, already sliced out of the file image.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u64,
+    /// File-backed bytes (`p_filesz` of them).
+    pub data: Vec<u8>,
+    /// Total size in memory (`p_memsz` ≥ `data.len()`; the tail is
+    /// zero-filled BSS).
+    pub memsz: u64,
+}
+
+/// A parsed executable image: entry point plus loadable segments.
+#[derive(Debug, Clone)]
+pub struct ElfImage {
+    /// Initial program counter.
+    pub entry: u64,
+    /// The `PT_LOAD` segments in file order.
+    pub segments: Vec<Segment>,
+}
+
+fn u16le(b: &[u8], off: usize) -> Result<u16, IngestError> {
+    let s = b.get(off..off + 2).ok_or(IngestError::Malformed("header out of bounds"))?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn u32le(b: &[u8], off: usize) -> Result<u32, IngestError> {
+    let s = b.get(off..off + 4).ok_or(IngestError::Malformed("header out of bounds"))?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn u64le(b: &[u8], off: usize) -> Result<u64, IngestError> {
+    let s = b.get(off..off + 8).ok_or(IngestError::Malformed("header out of bounds"))?;
+    Ok(u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+}
+
+impl ElfImage {
+    /// Parses the bytes of a statically linked RV64 executable.
+    ///
+    /// # Errors
+    ///
+    /// [`IngestError::NotElf`] for non-ELF bytes,
+    /// [`IngestError::UnsupportedElf`] for the wrong class/endianness,
+    /// [`IngestError::WrongMachine`] for non-RISC-V targets,
+    /// [`IngestError::DynamicallyLinked`] for `ET_DYN` images or ones
+    /// carrying `PT_INTERP`/`PT_DYNAMIC`, and
+    /// [`IngestError::Malformed`] when structural fields point outside
+    /// the file.
+    pub fn parse(bytes: &[u8]) -> Result<Self, IngestError> {
+        if bytes.len() < 4 || bytes[..4] != [0x7f, b'E', b'L', b'F'] {
+            return Err(IngestError::NotElf);
+        }
+        if bytes.len() < 64 {
+            return Err(IngestError::Malformed("file shorter than the ELF64 header"));
+        }
+        if bytes[4] != 2 {
+            return Err(IngestError::UnsupportedElf("not ELFCLASS64"));
+        }
+        if bytes[5] != 1 {
+            return Err(IngestError::UnsupportedElf("not little-endian (ELFDATA2LSB)"));
+        }
+        let e_type = u16le(bytes, 16)?;
+        let machine = u16le(bytes, 18)?;
+        if machine != EM_RISCV {
+            return Err(IngestError::WrongMachine(machine));
+        }
+        if e_type == ET_DYN {
+            return Err(IngestError::DynamicallyLinked);
+        }
+        if e_type != ET_EXEC {
+            return Err(IngestError::UnsupportedElf("not an executable (ET_EXEC)"));
+        }
+        let entry = u64le(bytes, 24)?;
+        let phoff = u64le(bytes, 32)? as usize;
+        let phentsize = u16le(bytes, 54)? as usize;
+        let phnum = u16le(bytes, 56)? as usize;
+        if phentsize < 56 {
+            return Err(IngestError::Malformed("program header entries shorter than 56 bytes"));
+        }
+        if phnum > 128 {
+            return Err(IngestError::Malformed("implausible program header count"));
+        }
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let off = phoff
+                .checked_add(
+                    i.checked_mul(phentsize)
+                        .ok_or(IngestError::Malformed("program header table overflows"))?,
+                )
+                .ok_or(IngestError::Malformed("program header table overflows"))?;
+            let p_type = u32le(bytes, off)?;
+            if p_type == PT_INTERP || p_type == PT_DYNAMIC {
+                return Err(IngestError::DynamicallyLinked);
+            }
+            if p_type != PT_LOAD {
+                continue;
+            }
+            let p_offset = u64le(bytes, off + 8)? as usize;
+            let vaddr = u64le(bytes, off + 16)?;
+            let filesz = u64le(bytes, off + 32)? as usize;
+            let memsz = u64le(bytes, off + 40)?;
+            if (memsz as usize) < filesz {
+                return Err(IngestError::Malformed("segment memsz smaller than filesz"));
+            }
+            let end = p_offset
+                .checked_add(filesz)
+                .ok_or(IngestError::Malformed("segment range overflows"))?;
+            let data = bytes
+                .get(p_offset..end)
+                .ok_or(IngestError::Malformed("segment data outside the file"))?
+                .to_vec();
+            segments.push(Segment { vaddr, data, memsz });
+        }
+        if segments.is_empty() {
+            return Err(IngestError::Malformed("no PT_LOAD segments"));
+        }
+        Ok(ElfImage { entry, segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-builds a minimal valid ELF64 with one PT_LOAD segment.
+    fn tiny_elf(e_type: u16, machine: u16) -> Vec<u8> {
+        let mut f = vec![0u8; 0x78 + 4];
+        f[..4].copy_from_slice(&[0x7f, b'E', b'L', b'F']);
+        f[4] = 2; // ELFCLASS64
+        f[5] = 1; // little-endian
+        f[6] = 1; // EV_CURRENT
+        f[16..18].copy_from_slice(&e_type.to_le_bytes());
+        f[18..20].copy_from_slice(&machine.to_le_bytes());
+        f[24..32].copy_from_slice(&0x1_0000u64.to_le_bytes()); // e_entry
+        f[32..40].copy_from_slice(&64u64.to_le_bytes()); // e_phoff
+        f[54..56].copy_from_slice(&56u16.to_le_bytes()); // e_phentsize
+        f[56..58].copy_from_slice(&1u16.to_le_bytes()); // e_phnum
+        let ph = 64;
+        f[ph..ph + 4].copy_from_slice(&PT_LOAD.to_le_bytes());
+        f[ph + 8..ph + 16].copy_from_slice(&0x78u64.to_le_bytes()); // p_offset
+        f[ph + 16..ph + 24].copy_from_slice(&0x1_0000u64.to_le_bytes()); // p_vaddr
+        f[ph + 32..ph + 40].copy_from_slice(&4u64.to_le_bytes()); // p_filesz
+        f[ph + 40..ph + 48].copy_from_slice(&8u64.to_le_bytes()); // p_memsz
+        f[0x78..0x7c].copy_from_slice(&[0x13, 0, 0, 0]); // nop
+        f
+    }
+
+    #[test]
+    fn parses_a_minimal_static_executable() {
+        let image = ElfImage::parse(&tiny_elf(ET_EXEC, EM_RISCV)).unwrap();
+        assert_eq!(image.entry, 0x1_0000);
+        assert_eq!(image.segments.len(), 1);
+        assert_eq!(image.segments[0].vaddr, 0x1_0000);
+        assert_eq!(image.segments[0].data, vec![0x13, 0, 0, 0]);
+        assert_eq!(image.segments[0].memsz, 8);
+    }
+
+    #[test]
+    fn rejects_non_elf_wrong_machine_and_pie() {
+        assert!(matches!(ElfImage::parse(b"#!/bin/sh\n"), Err(IngestError::NotElf)));
+        assert!(matches!(ElfImage::parse(&[]), Err(IngestError::NotElf)));
+        assert!(matches!(
+            ElfImage::parse(&tiny_elf(ET_EXEC, 62)),
+            Err(IngestError::WrongMachine(62))
+        ));
+        assert!(matches!(
+            ElfImage::parse(&tiny_elf(ET_DYN, EM_RISCV)),
+            Err(IngestError::DynamicallyLinked)
+        ));
+    }
+
+    #[test]
+    fn rejects_segments_pointing_outside_the_file() {
+        let mut bad = tiny_elf(ET_EXEC, EM_RISCV);
+        let ph = 64;
+        bad[ph + 32..ph + 40].copy_from_slice(&4096u64.to_le_bytes()); // filesz > file
+        assert!(matches!(ElfImage::parse(&bad), Err(IngestError::Malformed(_))));
+    }
+}

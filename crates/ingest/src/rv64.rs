@@ -1,0 +1,765 @@
+//! RV64IMC instruction decoding.
+//!
+//! The decoder covers the integer subset a statically linked no-libc
+//! program needs: RV64I (ALU, branches, loads/stores, `jal`/`jalr`,
+//! `lui`/`auipc`), the M extension, `fence` (a no-op here) and
+//! `ecall`/`ebreak`. The C extension is handled by [`expand16`], which
+//! rewrites each 16-bit parcel into its exact 32-bit equivalent and
+//! feeds it back through [`decode32`] — one decoder, one set of
+//! semantics.
+//!
+//! The matching bit-level *encoders* live here too: the committed test
+//! fixtures are assembled by `examples/make_fixtures.rs` with these
+//! same helpers, so the decoder and the fixture generator can never
+//! drift apart.
+
+/// Register-register ALU operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Addition (`sub` is [`AluOp::Sub`]).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Logical left shift.
+    Sll,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+/// M-extension multiply/divide selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulOp {
+    /// Low 64 bits of the product.
+    Mul,
+    /// High bits, signed × signed.
+    Mulh,
+    /// High bits, signed × unsigned.
+    Mulhsu,
+    /// High bits, unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+/// Load width/sign selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// Sign-extended byte.
+    Lb,
+    /// Sign-extended halfword.
+    Lh,
+    /// Sign-extended word.
+    Lw,
+    /// Doubleword.
+    Ld,
+    /// Zero-extended byte.
+    Lbu,
+    /// Zero-extended halfword.
+    Lhu,
+    /// Zero-extended word.
+    Lwu,
+}
+
+impl LoadOp {
+    /// Access width in bytes.
+    pub fn width(self) -> u64 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw | LoadOp::Lwu => 4,
+            LoadOp::Ld => 8,
+        }
+    }
+}
+
+/// Store width selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Byte.
+    Sb,
+    /// Halfword.
+    Sh,
+    /// Word.
+    Sw,
+    /// Doubleword.
+    Sd,
+}
+
+impl StoreOp {
+    /// Access width in bytes.
+    pub fn width(self) -> u64 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+            StoreOp::Sd => 8,
+        }
+    }
+}
+
+/// Conditional-branch comparison selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+/// One decoded RV64IMC instruction, ready to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// `lui rd, imm`.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Sign-extended upper immediate (low 12 bits zero).
+        imm: i64,
+    },
+    /// `auipc rd, imm`.
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Sign-extended upper immediate.
+        imm: i64,
+    },
+    /// `jal rd, offset`.
+    Jal {
+        /// Link register (x0 for a plain jump).
+        rd: u8,
+        /// PC-relative byte offset.
+        offset: i64,
+    },
+    /// `jalr rd, rs1, offset`.
+    Jalr {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// Left operand register.
+        rs1: u8,
+        /// Right operand register.
+        rs2: u8,
+        /// PC-relative byte offset.
+        offset: i64,
+    },
+    /// Memory load.
+    Load {
+        /// Width/sign.
+        op: LoadOp,
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        op: StoreOp,
+        /// Base register.
+        rs1: u8,
+        /// Source register.
+        rs2: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Register-immediate ALU operation (`addi`, `slti`, shifts, …).
+    AluImm {
+        /// Operation (immediate forms of `sub` do not exist).
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i64,
+        /// 32-bit (`…w`) variant.
+        word: bool,
+    },
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source register.
+        rs1: u8,
+        /// Right source register.
+        rs2: u8,
+        /// 32-bit (`…w`) variant.
+        word: bool,
+    },
+    /// M-extension multiply/divide.
+    MulDiv {
+        /// Operation.
+        op: MulOp,
+        /// Destination register.
+        rd: u8,
+        /// Left source register.
+        rs1: u8,
+        /// Right source register.
+        rs2: u8,
+        /// 32-bit (`…w`) variant.
+        word: bool,
+    },
+    /// `fence`/`fence.i` — an architectural no-op for this executor.
+    Fence,
+    /// `ecall`.
+    Ecall,
+    /// `ebreak`.
+    Ebreak,
+}
+
+/// Byte length of the instruction parcel starting with `lo16`: 2 for a
+/// compressed instruction, 4 otherwise.
+pub fn parcel_len(lo16: u16) -> u64 {
+    if lo16 & 0b11 == 0b11 {
+        4
+    } else {
+        2
+    }
+}
+
+fn sext(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value as i64) << shift) >> shift
+}
+
+fn rd(word: u32) -> u8 {
+    ((word >> 7) & 0x1f) as u8
+}
+
+fn rs1(word: u32) -> u8 {
+    ((word >> 15) & 0x1f) as u8
+}
+
+fn rs2(word: u32) -> u8 {
+    ((word >> 20) & 0x1f) as u8
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Decodes one 32-bit instruction word; `None` for anything outside the
+/// supported subset.
+pub fn decode32(word: u32) -> Option<Decoded> {
+    let i_imm = || sext(word >> 20, 12);
+    match word & 0x7f {
+        0x37 => Some(Decoded::Lui { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
+        0x17 => Some(Decoded::Auipc { rd: rd(word), imm: sext(word & 0xffff_f000, 32) }),
+        0x6f => {
+            let imm = ((word >> 31) << 20)
+                | (((word >> 12) & 0xff) << 12)
+                | (((word >> 20) & 0x1) << 11)
+                | (((word >> 21) & 0x3ff) << 1);
+            Some(Decoded::Jal { rd: rd(word), offset: sext(imm, 21) })
+        }
+        0x67 if funct3(word) == 0 => {
+            Some(Decoded::Jalr { rd: rd(word), rs1: rs1(word), offset: i_imm() })
+        }
+        0x63 => {
+            let op = match funct3(word) {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return None,
+            };
+            let imm = ((word >> 31) << 12)
+                | (((word >> 7) & 0x1) << 11)
+                | (((word >> 25) & 0x3f) << 5)
+                | (((word >> 8) & 0xf) << 1);
+            Some(Decoded::Branch { op, rs1: rs1(word), rs2: rs2(word), offset: sext(imm, 13) })
+        }
+        0x03 => {
+            let op = match funct3(word) {
+                0 => LoadOp::Lb,
+                1 => LoadOp::Lh,
+                2 => LoadOp::Lw,
+                3 => LoadOp::Ld,
+                4 => LoadOp::Lbu,
+                5 => LoadOp::Lhu,
+                6 => LoadOp::Lwu,
+                _ => return None,
+            };
+            Some(Decoded::Load { op, rd: rd(word), rs1: rs1(word), offset: i_imm() })
+        }
+        0x23 => {
+            let op = match funct3(word) {
+                0 => StoreOp::Sb,
+                1 => StoreOp::Sh,
+                2 => StoreOp::Sw,
+                3 => StoreOp::Sd,
+                _ => return None,
+            };
+            let offset = sext(((word >> 25) << 5) | ((word >> 7) & 0x1f), 12);
+            Some(Decoded::Store { op, rs1: rs1(word), rs2: rs2(word), offset })
+        }
+        0x13 => {
+            let (op, imm) = match funct3(word) {
+                0 => (AluOp::Add, i_imm()),
+                2 => (AluOp::Slt, i_imm()),
+                3 => (AluOp::Sltu, i_imm()),
+                4 => (AluOp::Xor, i_imm()),
+                6 => (AluOp::Or, i_imm()),
+                7 => (AluOp::And, i_imm()),
+                1 if funct7(word) & !1 == 0 => (AluOp::Sll, ((word >> 20) & 0x3f) as i64),
+                5 if funct7(word) & !1 == 0 => (AluOp::Srl, ((word >> 20) & 0x3f) as i64),
+                5 if funct7(word) & !1 == 0x20 => (AluOp::Sra, ((word >> 20) & 0x3f) as i64),
+                _ => return None,
+            };
+            Some(Decoded::AluImm { op, rd: rd(word), rs1: rs1(word), imm, word: false })
+        }
+        0x1b => {
+            let (op, imm) = match funct3(word) {
+                0 => (AluOp::Add, i_imm()),
+                1 if funct7(word) == 0 => (AluOp::Sll, ((word >> 20) & 0x1f) as i64),
+                5 if funct7(word) == 0 => (AluOp::Srl, ((word >> 20) & 0x1f) as i64),
+                5 if funct7(word) == 0x20 => (AluOp::Sra, ((word >> 20) & 0x1f) as i64),
+                _ => return None,
+            };
+            Some(Decoded::AluImm { op, rd: rd(word), rs1: rs1(word), imm, word: true })
+        }
+        opc @ (0x33 | 0x3b) => {
+            let word_op = opc == 0x3b;
+            let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+            if funct7(word) == 1 {
+                let op = match funct3(word) {
+                    0 => MulOp::Mul,
+                    1 if !word_op => MulOp::Mulh,
+                    2 if !word_op => MulOp::Mulhsu,
+                    3 if !word_op => MulOp::Mulhu,
+                    4 => MulOp::Div,
+                    5 => MulOp::Divu,
+                    6 => MulOp::Rem,
+                    7 => MulOp::Remu,
+                    _ => return None,
+                };
+                return Some(Decoded::MulDiv { op, rd, rs1, rs2, word: word_op });
+            }
+            let op = match (funct3(word), funct7(word)) {
+                (0, 0) => AluOp::Add,
+                (0, 0x20) => AluOp::Sub,
+                (1, 0) => AluOp::Sll,
+                (2, 0) if !word_op => AluOp::Slt,
+                (3, 0) if !word_op => AluOp::Sltu,
+                (4, 0) if !word_op => AluOp::Xor,
+                (5, 0) => AluOp::Srl,
+                (5, 0x20) => AluOp::Sra,
+                (6, 0) if !word_op => AluOp::Or,
+                (7, 0) if !word_op => AluOp::And,
+                _ => return None,
+            };
+            Some(Decoded::Alu { op, rd, rs1, rs2, word: word_op })
+        }
+        0x0f => Some(Decoded::Fence),
+        0x73 => match word >> 7 {
+            0 => Some(Decoded::Ecall),
+            0x2000 => Some(Decoded::Ebreak),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Maps a 3-bit compressed register field to the full register number
+/// (x8–x15).
+fn creg(bits: u16) -> u32 {
+    (bits as u32 & 0x7) + 8
+}
+
+/// Expands one 16-bit C-extension parcel into its 32-bit equivalent;
+/// `None` for illegal or unsupported (floating-point) encodings.
+pub fn expand16(half: u16) -> Option<u32> {
+    let h = half as u32;
+    let op = h & 0b11;
+    let funct3 = (h >> 13) & 0b111;
+    let bit = |n: u32| (h >> n) & 1;
+    match (op, funct3) {
+        (0b00, 0b000) => {
+            // c.addi4spn rd', nzuimm -> addi rd', x2, nzuimm
+            let nzuimm =
+                (((h >> 7) & 0xf) << 6) | (((h >> 11) & 0x3) << 4) | (bit(5) << 3) | (bit(6) << 2);
+            if nzuimm == 0 {
+                return None;
+            }
+            Some(enc_i(0x13, creg(half >> 2), 0, 2, nzuimm as i32))
+        }
+        (0b00, 0b010) => {
+            // c.lw rd', uimm(rs1')
+            let uimm = (((h >> 10) & 0x7) << 3) | (bit(6) << 2) | (bit(5) << 6);
+            Some(enc_i(0x03, creg(half >> 2), 2, creg(half >> 7), uimm as i32))
+        }
+        (0b00, 0b011) => {
+            // c.ld rd', uimm(rs1')
+            let uimm = (((h >> 10) & 0x7) << 3) | (((h >> 5) & 0x3) << 6);
+            Some(enc_i(0x03, creg(half >> 2), 3, creg(half >> 7), uimm as i32))
+        }
+        (0b00, 0b110) => {
+            // c.sw rs2', uimm(rs1')
+            let uimm = (((h >> 10) & 0x7) << 3) | (bit(6) << 2) | (bit(5) << 6);
+            Some(enc_s(0x23, 2, creg(half >> 7), creg(half >> 2), uimm as i32))
+        }
+        (0b00, 0b111) => {
+            // c.sd rs2', uimm(rs1')
+            let uimm = (((h >> 10) & 0x7) << 3) | (((h >> 5) & 0x3) << 6);
+            Some(enc_s(0x23, 3, creg(half >> 7), creg(half >> 2), uimm as i32))
+        }
+        (0b01, 0b000) => {
+            // c.addi rd, imm (c.nop when rd = 0)
+            let imm = sext((bit(12) << 5) | ((h >> 2) & 0x1f), 6) as i32;
+            let r = (h >> 7) & 0x1f;
+            Some(enc_i(0x13, r, 0, r, imm))
+        }
+        (0b01, 0b001) => {
+            // c.addiw rd, imm (rd != 0)
+            let r = (h >> 7) & 0x1f;
+            if r == 0 {
+                return None;
+            }
+            let imm = sext((bit(12) << 5) | ((h >> 2) & 0x1f), 6) as i32;
+            Some(enc_i(0x1b, r, 0, r, imm))
+        }
+        (0b01, 0b010) => {
+            // c.li rd, imm -> addi rd, x0, imm
+            let imm = sext((bit(12) << 5) | ((h >> 2) & 0x1f), 6) as i32;
+            Some(enc_i(0x13, (h >> 7) & 0x1f, 0, 0, imm))
+        }
+        (0b01, 0b011) => {
+            let r = (h >> 7) & 0x1f;
+            if r == 2 {
+                // c.addi16sp -> addi x2, x2, imm
+                let imm = sext(
+                    (bit(12) << 9)
+                        | (bit(6) << 4)
+                        | (bit(5) << 6)
+                        | (((h >> 3) & 0x3) << 7)
+                        | (bit(2) << 5),
+                    10,
+                ) as i32;
+                if imm == 0 {
+                    return None;
+                }
+                Some(enc_i(0x13, 2, 0, 2, imm))
+            } else {
+                // c.lui rd, imm
+                let imm = sext((bit(12) << 17) | (((h >> 2) & 0x1f) << 12), 18) as i32;
+                if imm == 0 || r == 0 {
+                    return None;
+                }
+                Some(enc_u(0x37, r, imm))
+            }
+        }
+        (0b01, 0b100) => {
+            let r = creg(half >> 7);
+            match (h >> 10) & 0b11 {
+                0b00 | 0b01 => {
+                    // c.srli / c.srai
+                    let shamt = ((bit(12) << 5) | ((h >> 2) & 0x1f)) as i32;
+                    let funct7: u32 = if (h >> 10) & 1 == 1 { 0x20 } else { 0 };
+                    Some(enc_i(0x13, r, 5, r, shamt | ((funct7 as i32) << 5)))
+                }
+                0b10 => {
+                    // c.andi
+                    let imm = sext((bit(12) << 5) | ((h >> 2) & 0x1f), 6) as i32;
+                    Some(enc_i(0x13, r, 7, r, imm))
+                }
+                _ => {
+                    let r2 = creg(half >> 2);
+                    match (bit(12), (h >> 5) & 0b11) {
+                        (0, 0b00) => Some(enc_r(0x33, r, 0, r, r2, 0x20)), // c.sub
+                        (0, 0b01) => Some(enc_r(0x33, r, 4, r, r2, 0)),    // c.xor
+                        (0, 0b10) => Some(enc_r(0x33, r, 6, r, r2, 0)),    // c.or
+                        (0, 0b11) => Some(enc_r(0x33, r, 7, r, r2, 0)),    // c.and
+                        (1, 0b00) => Some(enc_r(0x3b, r, 0, r, r2, 0x20)), // c.subw
+                        (1, 0b01) => Some(enc_r(0x3b, r, 0, r, r2, 0)),    // c.addw
+                        _ => None,
+                    }
+                }
+            }
+        }
+        (0b01, 0b101) => {
+            // c.j -> jal x0, imm
+            let imm = sext(
+                (bit(12) << 11)
+                    | (bit(11) << 4)
+                    | (((h >> 9) & 0x3) << 8)
+                    | (bit(8) << 10)
+                    | (bit(7) << 6)
+                    | (bit(6) << 7)
+                    | (((h >> 3) & 0x7) << 1)
+                    | (bit(2) << 5),
+                12,
+            ) as i32;
+            Some(enc_j(0x6f, 0, imm))
+        }
+        (0b01, f @ (0b110 | 0b111)) => {
+            // c.beqz / c.bnez rs1', imm
+            let imm = sext(
+                (bit(12) << 8)
+                    | (((h >> 10) & 0x3) << 3)
+                    | (((h >> 5) & 0x3) << 6)
+                    | (((h >> 3) & 0x3) << 1)
+                    | (bit(2) << 5),
+                9,
+            ) as i32;
+            let funct = if f == 0b110 { 0 } else { 1 };
+            Some(enc_b(0x63, funct, creg(half >> 7), 0, imm))
+        }
+        (0b10, 0b000) => {
+            // c.slli rd, shamt
+            let r = (h >> 7) & 0x1f;
+            let shamt = ((bit(12) << 5) | ((h >> 2) & 0x1f)) as i32;
+            Some(enc_i(0x13, r, 1, r, shamt))
+        }
+        (0b10, 0b010) => {
+            // c.lwsp rd, uimm(x2)
+            let r = (h >> 7) & 0x1f;
+            if r == 0 {
+                return None;
+            }
+            let uimm = (bit(12) << 5) | (((h >> 4) & 0x7) << 2) | (((h >> 2) & 0x3) << 6);
+            Some(enc_i(0x03, r, 2, 2, uimm as i32))
+        }
+        (0b10, 0b011) => {
+            // c.ldsp rd, uimm(x2)
+            let r = (h >> 7) & 0x1f;
+            if r == 0 {
+                return None;
+            }
+            let uimm = (bit(12) << 5) | (((h >> 5) & 0x3) << 3) | (((h >> 2) & 0x7) << 6);
+            Some(enc_i(0x03, r, 3, 2, uimm as i32))
+        }
+        (0b10, 0b100) => {
+            let r1 = (h >> 7) & 0x1f;
+            let r2 = (h >> 2) & 0x1f;
+            match (bit(12), r1, r2) {
+                (0, 0, _) => None,
+                (0, _, 0) => Some(enc_i(0x67, 0, 0, r1, 0)), // c.jr
+                (0, _, _) => Some(enc_r(0x33, r1, 0, 0, r2, 0)), // c.mv
+                (1, 0, 0) => Some(0x0010_0073),              // c.ebreak
+                (1, _, 0) => Some(enc_i(0x67, 1, 0, r1, 0)), // c.jalr
+                _ => Some(enc_r(0x33, r1, 0, r1, r2, 0)),    // c.add
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp rs2, uimm(x2)
+            let uimm = (((h >> 9) & 0xf) << 2) | (((h >> 7) & 0x3) << 6);
+            Some(enc_s(0x23, 2, 2, (h >> 2) & 0x1f, uimm as i32))
+        }
+        (0b10, 0b111) => {
+            // c.sdsp rs2, uimm(x2)
+            let uimm = (((h >> 10) & 0x7) << 3) | (((h >> 7) & 0x7) << 6);
+            Some(enc_s(0x23, 3, 2, (h >> 2) & 0x1f, uimm as i32))
+        }
+        _ => None,
+    }
+}
+
+// --- encoders (shared with the fixture assembler) ---
+
+/// Encodes an R-type instruction.
+pub fn enc_r(opcode: u32, rd: u32, funct3: u32, rs1: u32, rs2: u32, funct7: u32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) | (funct7 << 25)
+}
+
+/// Encodes an I-type instruction (12-bit signed immediate).
+pub fn enc_i(opcode: u32, rd: u32, funct3: u32, rs1: u32, imm: i32) -> u32 {
+    opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (((imm as u32) & 0xfff) << 20)
+}
+
+/// Encodes an S-type (store) instruction.
+pub fn enc_s(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+/// Encodes a B-type (conditional branch) instruction.
+pub fn enc_b(opcode: u32, funct3: u32, rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+/// Encodes a U-type instruction; `imm` carries the full value with its
+/// low 12 bits zero.
+pub fn enc_u(opcode: u32, rd: u32, imm: i32) -> u32 {
+    opcode | (rd << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+/// Encodes a J-type (`jal`) instruction with a byte offset.
+pub fn enc_j(opcode: u32, rd: u32, imm: i32) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (rd << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_encodings_round_trip_through_the_decoder() {
+        // addi a0, x0, 42
+        assert_eq!(
+            decode32(enc_i(0x13, 10, 0, 0, 42)),
+            Some(Decoded::AluImm { op: AluOp::Add, rd: 10, rs1: 0, imm: 42, word: false })
+        );
+        // sub t0, t1, t2
+        assert_eq!(
+            decode32(enc_r(0x33, 5, 0, 6, 7, 0x20)),
+            Some(Decoded::Alu { op: AluOp::Sub, rd: 5, rs1: 6, rs2: 7, word: false })
+        );
+        // mul a4, a0, a0
+        assert_eq!(
+            decode32(enc_r(0x33, 14, 0, 10, 10, 1)),
+            Some(Decoded::MulDiv { op: MulOp::Mul, rd: 14, rs1: 10, rs2: 10, word: false })
+        );
+        // ld t5, 8(t3)
+        assert_eq!(
+            decode32(enc_i(0x03, 30, 3, 28, 8)),
+            Some(Decoded::Load { op: LoadOp::Ld, rd: 30, rs1: 28, offset: 8 })
+        );
+        // sd t0, -16(sp)
+        assert_eq!(
+            decode32(enc_s(0x23, 3, 2, 5, -16)),
+            Some(Decoded::Store { op: StoreOp::Sd, rs1: 2, rs2: 5, offset: -16 })
+        );
+        // blt t0, t1, -8
+        assert_eq!(
+            decode32(enc_b(0x63, 4, 5, 6, -8)),
+            Some(Decoded::Branch { op: BranchOp::Lt, rs1: 5, rs2: 6, offset: -8 })
+        );
+        // jal ra, 2048
+        assert_eq!(decode32(enc_j(0x6f, 1, 2048)), Some(Decoded::Jal { rd: 1, offset: 2048 }));
+        // lui t2, 0x10000
+        assert_eq!(decode32(enc_u(0x37, 7, 0x10000)), Some(Decoded::Lui { rd: 7, imm: 0x10000 }));
+        // ecall
+        assert_eq!(decode32(0x0000_0073), Some(Decoded::Ecall));
+        assert_eq!(decode32(0x0010_0073), Some(Decoded::Ebreak));
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        match decode32(enc_i(0x13, 1, 0, 1, -1)).unwrap() {
+            Decoded::AluImm { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("{other:?}"),
+        }
+        match decode32(enc_j(0x6f, 0, -4)).unwrap() {
+            Decoded::Jal { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("{other:?}"),
+        }
+        match decode32(enc_b(0x63, 0, 1, 2, -4096)).unwrap() {
+            Decoded::Branch { offset, .. } => assert_eq!(offset, -4096),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_words_decode_to_none() {
+        assert_eq!(decode32(0xffff_ffff), None);
+        assert_eq!(decode32(0x0000_0007), None); // FP load
+        assert_eq!(decode32(0x0000_0053), None); // FP op
+                                                 // csrrw (SYSTEM with funct3 != 0)
+        assert_eq!(decode32(0x3004_1073), None);
+    }
+
+    #[test]
+    fn compressed_expansion_matches_the_spelled_out_forms() {
+        // c.li a0, 5 == 0x4515 -> addi a0, x0, 5
+        assert_eq!(expand16(0x4515), Some(enc_i(0x13, 10, 0, 0, 5)));
+        // c.addi a0, 1 == 0x0505
+        assert_eq!(expand16(0x0505), Some(enc_i(0x13, 10, 0, 10, 1)));
+        // c.addi a0, -1 == 0x157d
+        assert_eq!(expand16(0x157d), Some(enc_i(0x13, 10, 0, 10, -1)));
+        // c.mv a1, a0 == 0x85aa -> add a1, x0, a0
+        assert_eq!(expand16(0x85aa), Some(enc_r(0x33, 11, 0, 0, 10, 0)));
+        // c.add a0, a1 == 0x952e
+        assert_eq!(expand16(0x952e), Some(enc_r(0x33, 10, 0, 10, 11, 0)));
+        // c.ld a3, 8(a2) == 0x6614
+        assert_eq!(expand16(0x6614), Some(enc_i(0x03, 13, 3, 12, 8)));
+        // c.sd a3, 8(a2) == 0xe614
+        assert_eq!(expand16(0xe614), Some(enc_s(0x23, 3, 12, 13, 8)));
+        // c.beqz a0, +4 == 0xc111
+        assert_eq!(expand16(0xc111), Some(enc_b(0x63, 0, 10, 0, 4)));
+        // c.bnez a0, -4 == 0xfd75
+        assert_eq!(expand16(0xfd75), Some(enc_b(0x63, 1, 10, 0, -4)));
+        // c.j -6 == 0xbfed
+        assert_eq!(expand16(0xbfed), Some(enc_j(0x6f, 0, -6)));
+        // c.slli a0, 4 == 0x0512
+        assert_eq!(expand16(0x0512), Some(enc_i(0x13, 10, 1, 10, 4)));
+        // c.jr ra == 0x8082
+        assert_eq!(expand16(0x8082), Some(enc_i(0x67, 0, 0, 1, 0)));
+        // c.nop == 0x0001 -> addi x0, x0, 0
+        assert_eq!(expand16(0x0001), Some(enc_i(0x13, 0, 0, 0, 0)));
+        // c.ebreak == 0x9002
+        assert_eq!(expand16(0x9002), Some(0x0010_0073));
+        // Illegal all-zero parcel (the canonical trap pattern).
+        assert_eq!(expand16(0x0000), None);
+        // c.fld (FP) is outside the integer subset.
+        assert_eq!(expand16(0x2000), None);
+    }
+
+    #[test]
+    fn parcel_length_discriminates_compressed() {
+        assert_eq!(parcel_len(0x4515), 2);
+        assert_eq!(parcel_len(0x0073), 4);
+    }
+}

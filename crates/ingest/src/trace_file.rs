@@ -1,0 +1,567 @@
+//! Compact little-endian on-disk trace format with streaming I/O.
+//!
+//! ## Layout (version 1)
+//!
+//! ```text
+//! header : "ADTF" | u16 version=1 | u16 flags=0 | u64 reserved=0   (16 B)
+//! chunk  : u32 payload_len | u32 record_count | payload bytes
+//! ...
+//! end    : u32 0 | u32 0                                            (8 B)
+//! ```
+//!
+//! Chunks carry exactly [`CHUNK_RECORDS`] records except the last data
+//! chunk; the chunking is therefore a pure function of the record
+//! stream, so re-encoding a decoded trace reproduces the input
+//! byte-for-byte. The explicit zero end marker lets the writer stream
+//! without seeking back to patch a count, and lets the reader tell a
+//! truncated file from a complete one.
+//!
+//! ## Record encoding
+//!
+//! One head byte, then varints:
+//!
+//! ```text
+//! head: bit0-2 op (IntAlu=0 IntMul=1 Load=2 Store=3 FpAlu=4 Branch=5)
+//!       bit3   dep[0] present     bit4 dep[1] present
+//!       bit5   branch taken       bit6 branch mispredicted
+//!       bit7   reserved (must be 0)
+//! then: varint dep[0] if present (≥ 1)
+//!       varint dep[1] if present (≥ 1)
+//!       zigzag-varint address delta  (Load/Store only; the previous
+//!       address persists across chunk boundaries, initially 0)
+//!       varint site                  (Branch only)
+//! ```
+//!
+//! The reader holds exactly one reusable chunk buffer whose size is
+//! capped by [`MAX_CHUNK_PAYLOAD_BYTES`], so peak memory is bounded by
+//! the chunk size no matter how many instructions the file holds.
+
+use std::io::{self, Read, Write};
+
+use dse_workloads::{BranchInfo, Instr, Op};
+
+use crate::error::TraceFileError;
+
+/// File magic: "ArchDse Trace Format".
+pub const TRACE_MAGIC: [u8; 4] = *b"ADTF";
+/// The one format version this build reads and writes.
+pub const TRACE_VERSION: u16 = 1;
+/// Records per full chunk (the canonical chunking).
+pub const CHUNK_RECORDS: u32 = 65_536;
+/// Upper bound on the encoded size of one record: head byte, two
+/// 5-byte u32 varints and a 10-byte zigzag address delta, rounded up.
+pub const MAX_RECORD_BYTES: usize = 24;
+/// Hard cap a reader places on any chunk's payload length; a frame
+/// claiming more is corrupt, not a reason to allocate gigabytes.
+pub const MAX_CHUNK_PAYLOAD_BYTES: usize = CHUNK_RECORDS as usize * MAX_RECORD_BYTES;
+
+const OP_CODES: [Op; 6] = [Op::IntAlu, Op::IntMul, Op::Load, Op::Store, Op::FpAlu, Op::Branch];
+
+fn op_code(op: Op) -> u8 {
+    match op {
+        Op::IntAlu => 0,
+        Op::IntMul => 1,
+        Op::Load => 2,
+        Op::Store => 3,
+        Op::FpAlu => 4,
+        Op::Branch => 5,
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, TraceFileError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte =
+            buf.get(*pos).ok_or(TraceFileError::Corrupt("record overruns the chunk payload"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(TraceFileError::Corrupt("varint longer than 64 bits"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn encode_record(
+    instr: &Instr,
+    prev_addr: &mut u64,
+    out: &mut Vec<u8>,
+) -> Result<(), TraceFileError> {
+    let is_mem = matches!(instr.op, Op::Load | Op::Store);
+    let is_branch = instr.op == Op::Branch;
+    if is_mem && instr.addr.is_none() {
+        return Err(TraceFileError::Unencodable("memory op without an address"));
+    }
+    if !is_mem && instr.addr.is_some() {
+        return Err(TraceFileError::Unencodable("address on a non-memory op"));
+    }
+    if is_branch && instr.branch.is_none() {
+        return Err(TraceFileError::Unencodable("branch without a branch payload"));
+    }
+    if !is_branch && instr.branch.is_some() {
+        return Err(TraceFileError::Unencodable("branch payload on a non-branch op"));
+    }
+    if instr.deps.iter().flatten().any(|&d| d == 0) {
+        return Err(TraceFileError::Unencodable("dependency distance of 0"));
+    }
+    let mut head = op_code(instr.op);
+    if instr.deps[0].is_some() {
+        head |= 1 << 3;
+    }
+    if instr.deps[1].is_some() {
+        head |= 1 << 4;
+    }
+    if let Some(b) = instr.branch {
+        if b.taken {
+            head |= 1 << 5;
+        }
+        if b.mispredicted {
+            head |= 1 << 6;
+        }
+    }
+    out.push(head);
+    for dep in instr.deps.into_iter().flatten() {
+        put_varint(out, dep as u64);
+    }
+    if let Some(addr) = instr.addr {
+        let delta = addr.wrapping_sub(*prev_addr) as i64;
+        put_varint(out, zigzag(delta));
+        *prev_addr = addr;
+    }
+    if let Some(b) = instr.branch {
+        put_varint(out, b.site as u64);
+    }
+    Ok(())
+}
+
+fn decode_record(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_addr: &mut u64,
+) -> Result<Instr, TraceFileError> {
+    let &head =
+        buf.get(*pos).ok_or(TraceFileError::Corrupt("record overruns the chunk payload"))?;
+    *pos += 1;
+    if head & 0x80 != 0 {
+        return Err(TraceFileError::Corrupt("reserved head bit set"));
+    }
+    let op =
+        *OP_CODES.get((head & 0x7) as usize).ok_or(TraceFileError::Corrupt("unknown op code"))?;
+    let is_branch = op == Op::Branch;
+    if !is_branch && head & (0b11 << 5) != 0 {
+        return Err(TraceFileError::Corrupt("branch outcome bits on a non-branch op"));
+    }
+    let mut deps = [None, None];
+    for (i, dep) in deps.iter_mut().enumerate() {
+        if head & (1 << (3 + i)) != 0 {
+            let v = get_varint(buf, pos)?;
+            if v == 0 {
+                return Err(TraceFileError::Corrupt("dependency distance of 0"));
+            }
+            if v > u32::MAX as u64 {
+                return Err(TraceFileError::Corrupt("dependency distance exceeds 32 bits"));
+            }
+            *dep = Some(v as u32);
+        }
+    }
+    let addr = if matches!(op, Op::Load | Op::Store) {
+        let delta = unzigzag(get_varint(buf, pos)?);
+        let addr = prev_addr.wrapping_add(delta as u64);
+        *prev_addr = addr;
+        Some(addr)
+    } else {
+        None
+    };
+    let branch = if is_branch {
+        let site = get_varint(buf, pos)?;
+        if site > u16::MAX as u64 {
+            return Err(TraceFileError::Corrupt("branch site exceeds 16 bits"));
+        }
+        Some(BranchInfo {
+            site: site as u16,
+            taken: head & (1 << 5) != 0,
+            mispredicted: head & (1 << 6) != 0,
+        })
+    } else {
+        None
+    };
+    Ok(Instr { op, deps, addr, branch })
+}
+
+/// Streaming trace encoder over any [`Write`] sink.
+///
+/// Call [`TraceWriter::finish`] when done — it emits the end marker a
+/// reader requires. A writer dropped without `finish` leaves a file
+/// that reads back as [`TraceFileError::Truncated`], by design.
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    payload: Vec<u8>,
+    count: u32,
+    prev_addr: u64,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header and returns a ready writer.
+    pub fn new(mut inner: W) -> Result<Self, TraceFileError> {
+        inner.write_all(&TRACE_MAGIC)?;
+        inner.write_all(&TRACE_VERSION.to_le_bytes())?;
+        inner.write_all(&0u16.to_le_bytes())?; // flags
+        inner.write_all(&0u64.to_le_bytes())?; // reserved
+        Ok(TraceWriter { inner, payload: Vec::new(), count: 0, prev_addr: 0, records: 0 })
+    }
+
+    /// Appends one instruction record.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::Unencodable`] when the instruction violates
+    /// the format's op/payload pairing, or an I/O error from the sink.
+    pub fn write(&mut self, instr: &Instr) -> Result<(), TraceFileError> {
+        encode_record(instr, &mut self.prev_addr, &mut self.payload)?;
+        self.count += 1;
+        self.records += 1;
+        if self.count == CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceFileError> {
+        if self.count == 0 {
+            return Ok(());
+        }
+        self.inner.write_all(&(self.payload.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&self.count.to_le_bytes())?;
+        self.inner.write_all(&self.payload)?;
+        self.payload.clear();
+        self.count = 0;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes the tail chunk, writes the end marker and returns the
+    /// sink.
+    pub fn finish(mut self) -> Result<W, TraceFileError> {
+        self.flush_chunk()?;
+        self.inner.write_all(&0u32.to_le_bytes())?;
+        self.inner.write_all(&0u32.to_le_bytes())?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming trace decoder over any [`Read`] source.
+///
+/// Iterates `Result<Instr, TraceFileError>`; after the first error the
+/// stream ends. Peak memory is one chunk buffer, never the whole trace
+/// — see [`TraceReader::buffer_capacity`].
+pub struct TraceReader<R: Read> {
+    inner: R,
+    payload: Vec<u8>,
+    pos: usize,
+    remaining_in_chunk: u32,
+    prev_addr: u64,
+    state: ReaderState,
+}
+
+#[derive(PartialEq)]
+enum ReaderState {
+    Reading,
+    Finished,
+    Failed,
+}
+
+fn read_exact_or(
+    inner: &mut impl Read,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceFileError> {
+    inner.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceFileError::Truncated(what)
+        } else {
+            TraceFileError::Io(e)
+        }
+    })
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceFileError::BadMagic`] for non-trace bytes,
+    /// [`TraceFileError::FutureVersion`] for a newer format and
+    /// [`TraceFileError::Truncated`] when the header itself is cut off.
+    pub fn new(mut inner: R) -> Result<Self, TraceFileError> {
+        let mut magic = [0u8; 4];
+        read_exact_or(&mut inner, &mut magic, "header")?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let mut rest = [0u8; 12];
+        read_exact_or(&mut inner, &mut rest, "header")?;
+        let version = u16::from_le_bytes([rest[0], rest[1]]);
+        if version > TRACE_VERSION {
+            return Err(TraceFileError::FutureVersion(version));
+        }
+        if version == 0 {
+            return Err(TraceFileError::Corrupt("version 0 does not exist"));
+        }
+        if rest[2..4] != [0, 0] {
+            return Err(TraceFileError::Corrupt("reserved flags set"));
+        }
+        Ok(TraceReader {
+            inner,
+            payload: Vec::new(),
+            pos: 0,
+            remaining_in_chunk: 0,
+            prev_addr: 0,
+            state: ReaderState::Reading,
+        })
+    }
+
+    /// Current capacity of the single reused chunk buffer — the
+    /// reader's peak payload memory, bounded by
+    /// [`MAX_CHUNK_PAYLOAD_BYTES`] no matter the trace length.
+    pub fn buffer_capacity(&self) -> usize {
+        self.payload.capacity()
+    }
+
+    /// Loads the next chunk; `Ok(false)` at the end marker.
+    fn next_chunk(&mut self) -> Result<bool, TraceFileError> {
+        let mut frame = [0u8; 8];
+        read_exact_or(&mut self.inner, &mut frame, "chunk frame")?;
+        let payload_len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        let record_count = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if payload_len == 0 && record_count == 0 {
+            return Ok(false);
+        }
+        if payload_len == 0 || record_count == 0 {
+            return Err(TraceFileError::Corrupt("half-empty chunk frame"));
+        }
+        if payload_len > MAX_CHUNK_PAYLOAD_BYTES {
+            return Err(TraceFileError::Corrupt("chunk payload length exceeds the format cap"));
+        }
+        if record_count > CHUNK_RECORDS {
+            return Err(TraceFileError::Corrupt("chunk record count exceeds the format cap"));
+        }
+        self.payload.clear();
+        self.payload.resize(payload_len, 0);
+        read_exact_or(&mut self.inner, &mut self.payload, "chunk payload")?;
+        self.pos = 0;
+        self.remaining_in_chunk = record_count;
+        Ok(true)
+    }
+
+    fn next_instr(&mut self) -> Result<Option<Instr>, TraceFileError> {
+        while self.remaining_in_chunk == 0 {
+            if self.pos != self.payload.len() {
+                return Err(TraceFileError::Corrupt("chunk payload longer than its records"));
+            }
+            if !self.next_chunk()? {
+                return Ok(None);
+            }
+        }
+        let instr = decode_record(&self.payload, &mut self.pos, &mut self.prev_addr)?;
+        self.remaining_in_chunk -= 1;
+        if self.remaining_in_chunk == 0 && self.pos != self.payload.len() {
+            return Err(TraceFileError::Corrupt("chunk payload longer than its records"));
+        }
+        Ok(Some(instr))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Instr, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state != ReaderState::Reading {
+            return None;
+        }
+        match self.next_instr() {
+            Ok(Some(instr)) => Some(Ok(instr)),
+            Ok(None) => {
+                self.state = ReaderState::Finished;
+                None
+            }
+            Err(e) => {
+                self.state = ReaderState::Failed;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Encodes a whole in-memory trace to bytes (tests and small tools;
+/// large traces should stream through [`TraceWriter`] directly).
+pub fn encode_trace(instrs: &[Instr]) -> Result<Vec<u8>, TraceFileError> {
+    let mut w = TraceWriter::new(Vec::new())?;
+    for i in instrs {
+        w.write(i)?;
+    }
+    w.finish()
+}
+
+/// Decodes a whole byte buffer into an in-memory trace.
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<Instr>, TraceFileError> {
+    TraceReader::new(bytes)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Instr> {
+        vec![
+            Instr::nop(),
+            Instr { op: Op::Load, deps: [Some(2), None], addr: Some(0x2_0000), branch: None },
+            Instr { op: Op::Store, deps: [Some(1), Some(3)], addr: Some(0x1_ff80), branch: None },
+            Instr::branch(7, true, false),
+            Instr { op: Op::IntMul, deps: [None, Some(4)], addr: None, branch: None },
+            Instr { op: Op::FpAlu, deps: [Some(1), None], addr: None, branch: None },
+        ]
+    }
+
+    #[test]
+    fn round_trips_and_reencodes_identically() {
+        let bytes = encode_trace(&sample()).unwrap();
+        let decoded = decode_trace(&bytes).unwrap();
+        assert_eq!(decoded, sample());
+        let again = encode_trace(&decoded).unwrap();
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn empty_trace_is_a_header_and_an_end_marker() {
+        let bytes = encode_trace(&[]).unwrap();
+        assert_eq!(bytes.len(), 16 + 8);
+        assert!(decode_trace(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_named_error() {
+        let bytes = encode_trace(&sample()).unwrap();
+        for cut in [0, 3, 10, 17, bytes.len() - 1] {
+            let err = decode_trace(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceFileError::Truncated(_) | TraceFileError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_distinguished() {
+        assert!(matches!(decode_trace(b"JSON{not a trace}"), Err(TraceFileError::BadMagic)));
+        let mut bytes = encode_trace(&[]).unwrap();
+        bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(decode_trace(&bytes), Err(TraceFileError::FutureVersion(9))));
+    }
+
+    #[test]
+    fn corrupt_payloads_are_named() {
+        // Zero dependency distance.
+        let mut bytes = encode_trace(&[Instr {
+            op: Op::IntAlu,
+            deps: [Some(1), None],
+            addr: None,
+            branch: None,
+        }])
+        .unwrap();
+        // Record = head(1<<3) + varint(1); the varint is the last
+        // payload byte before the end marker.
+        let varint_at = 16 + 8 + 1;
+        assert_eq!(bytes[varint_at], 1);
+        bytes[varint_at] = 0;
+        assert!(matches!(decode_trace(&bytes), Err(TraceFileError::Corrupt(_))));
+
+        // Reserved head bit.
+        let mut bytes = encode_trace(&[Instr::nop()]).unwrap();
+        bytes[16 + 8] |= 0x80;
+        assert!(matches!(decode_trace(&bytes), Err(TraceFileError::Corrupt(_))));
+
+        // Branch-outcome bits on a non-branch op.
+        let mut bytes = encode_trace(&[Instr::nop()]).unwrap();
+        bytes[16 + 8] |= 1 << 5;
+        assert!(matches!(decode_trace(&bytes), Err(TraceFileError::Corrupt(_))));
+
+        // Implausible frame length.
+        let mut bytes = encode_trace(&[Instr::nop()]).unwrap();
+        bytes[16..20].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_trace(&bytes), Err(TraceFileError::Corrupt(_))));
+    }
+
+    #[test]
+    fn unencodable_instructions_are_rejected_at_write_time() {
+        let cases = [
+            Instr { op: Op::Load, deps: [None, None], addr: None, branch: None },
+            Instr { op: Op::IntAlu, deps: [None, None], addr: Some(8), branch: None },
+            Instr { op: Op::Branch, deps: [None, None], addr: None, branch: None },
+            Instr { op: Op::IntAlu, deps: [Some(0), None], addr: None, branch: None },
+        ];
+        for bad in cases {
+            assert!(matches!(encode_trace(&[bad]), Err(TraceFileError::Unencodable(_))), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn address_deltas_survive_chunk_boundaries() {
+        // More than one chunk of alternating far/near addresses.
+        let n = CHUNK_RECORDS as usize + 100;
+        let trace: Vec<Instr> = (0..n)
+            .map(|i| Instr {
+                op: Op::Load,
+                deps: [None, None],
+                addr: Some(0x1000_0000u64.wrapping_add((i as u64) * 72)),
+                branch: None,
+            })
+            .collect();
+        let bytes = encode_trace(&trace).unwrap();
+        assert_eq!(decode_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn reader_buffer_stays_chunk_bounded() {
+        let n = 2 * CHUNK_RECORDS as usize + 5;
+        let trace: Vec<Instr> = (0..n).map(|_| Instr::nop()).collect();
+        let bytes = encode_trace(&trace).unwrap();
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut count = 0usize;
+        for item in reader.by_ref() {
+            item.unwrap();
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert!(reader.buffer_capacity() <= MAX_CHUNK_PAYLOAD_BYTES);
+    }
+}

@@ -1,0 +1,39 @@
+# loop_sum — RV64I fixture: fill a 256-element array, sum it back.
+#
+# This listing is a human-readable reference. The committed
+# `loop_sum.elf` is NOT built with a RISC-V toolchain (the CI image
+# has none); it is assembled bit-for-bit by the in-tree generator:
+#
+#     cargo run -p dse-ingest --example make_fixtures
+#
+# which uses the same instruction encoders the decoder tests verify.
+# An equivalent external build would be:
+#
+#     riscv64-unknown-elf-gcc -nostdlib -static -march=rv64i -mabi=lp64 \
+#         -Ttext=0x10078 -o loop_sum.elf loop_sum.s
+#
+# Exit code: sum(0..255) & 0xff = 32640 & 0xff = 128.
+
+    .globl _start
+_start:
+    lui   t0, %hi(0x20000)      # buffer base
+    li    t1, 0                 # i
+    li    t2, 256               # N
+init:
+    slli  t3, t1, 3
+    add   t3, t3, t0
+    sd    t1, 0(t3)             # buf[i] = i
+    addi  t1, t1, 1
+    blt   t1, t2, init
+    li    t1, 0
+    li    a0, 0                 # sum
+sum:
+    slli  t3, t1, 3
+    add   t3, t3, t0
+    ld    t4, 0(t3)
+    add   a0, a0, t4
+    addi  t1, t1, 1
+    blt   t1, t2, sum
+    andi  a0, a0, 0xff          # exit code
+    li    a7, 93                # SYS_exit
+    ecall

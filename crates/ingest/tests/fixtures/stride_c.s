@@ -1,0 +1,47 @@
+# stride_c — RV64IMC fixture: strided store/load loops built from
+# compressed parcels plus an M-extension multiply.
+#
+# This listing is a human-readable reference. The committed
+# `stride_c.elf` is NOT built with a RISC-V toolchain (the CI image
+# has none); it is assembled bit-for-bit by the in-tree generator:
+#
+#     cargo run -p dse-ingest --example make_fixtures
+#
+# which uses the same instruction encoders the decoder tests verify.
+# An equivalent external build would be:
+#
+#     riscv64-unknown-elf-gcc -nostdlib -static -march=rv64imc -mabi=lp64 \
+#         -Ttext=0x10078 -o stride_c.elf stride_c.s
+#
+# Exit code: sum over k in 0..64 of buf[2k] = 6 * sum(0..63)
+#            = 12096; 12096 & 0xff = 64.
+
+    .globl _start
+_start:
+    lui    a2, %hi(0x30000)     # buffer base
+    c.li   a3, 0                # i
+    li     a4, 128              # N
+    c.li   a5, 3
+fill:
+    mul    a1, a3, a5           # a1 = 3*i
+    c.mv   a0, a3
+    c.slli a0, 4                # byte offset = i*16
+    c.add  a0, a2
+    c.sd   a1, 0(a0)            # buf[i] = 3*i (stride 16)
+    c.ld   a1, 0(a0)            # load it straight back
+    c.addi a3, 1
+    bne    a3, a4, fill
+    c.li   a3, 0
+    c.li   a1, 0                # sum
+    li     s0, 64
+gather:
+    c.mv   a0, a3
+    c.slli a0, 5                # every other element (stride 32)
+    c.add  a0, a2
+    c.ld   a5, 0(a0)
+    c.add  a1, a5
+    c.addi a3, 1
+    bne    a3, s0, gather
+    andi   a0, a1, 0xff         # exit code
+    li     a7, 93               # SYS_exit
+    ecall

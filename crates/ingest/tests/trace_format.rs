@@ -1,0 +1,134 @@
+//! Property tests for the on-disk trace format: round-trip identity,
+//! byte-stable re-encode, and named failures on damaged input.
+
+use dse_ingest::trace_file::{self, TRACE_MAGIC, TRACE_VERSION};
+use dse_ingest::TraceFileError;
+use dse_workloads::{BranchInfo, Instr, Op};
+use proptest::prelude::*;
+
+/// Strategy over well-formed instruction records: the op class decides
+/// which optional fields are populated, mirroring what the executor
+/// actually emits.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    proptest::strategy_fn(|rng| {
+        let op = match rng.below(6) {
+            0 => Op::IntAlu,
+            1 => Op::IntMul,
+            2 => Op::Load,
+            3 => Op::Store,
+            4 => Op::FpAlu,
+            _ => Op::Branch,
+        };
+        let mut dep = || (rng.unit() < 0.75).then(|| rng.below(100_000) as u32 + 1);
+        let deps = [dep(), dep()];
+        // Stress both ends of the varint/zigzag range: small local
+        // deltas and full-width 64-bit addresses.
+        let addr = matches!(op, Op::Load | Op::Store).then(|| {
+            if rng.unit() < 0.5 {
+                0x4000_0000 + rng.below(1 << 20)
+            } else {
+                rng.below(u64::MAX)
+            }
+        });
+        let branch = (op == Op::Branch).then(|| BranchInfo {
+            site: rng.below(u64::from(u16::MAX) + 1) as u16,
+            taken: rng.unit() < 0.5,
+            mispredicted: rng.unit() < 0.5,
+        });
+        Instr { op, deps, addr, branch }
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<Instr>> {
+    proptest::collection::vec(arb_instr(), 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_then_decode_is_identity(trace in arb_trace()) {
+        let bytes = trace_file::encode_trace(&trace).unwrap();
+        let decoded = trace_file::decode_trace(&bytes).unwrap();
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn re_encode_is_byte_identical(trace in arb_trace()) {
+        let bytes = trace_file::encode_trace(&trace).unwrap();
+        let decoded = trace_file::decode_trace(&bytes).unwrap();
+        let again = trace_file::encode_trace(&decoded).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn any_truncation_is_a_named_error(trace in arb_trace(), frac in 0.0f64..1.0) {
+        let bytes = trace_file::encode_trace(&trace).unwrap();
+        // Cut strictly inside the stream (the trailing end marker is 8
+        // bytes, so any cut before the end loses something).
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = trace_file::decode_trace(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, TraceFileError::Truncated(_) | TraceFileError::Corrupt(_)),
+            "cut at {} of {} gave {:?}", cut, bytes.len(), err
+        );
+    }
+
+    #[test]
+    fn flipped_magic_is_bad_magic(byte in 0usize..4, trace in arb_trace()) {
+        let mut bytes = trace_file::encode_trace(&trace).unwrap();
+        bytes[byte] ^= 0xff;
+        prop_assert!(matches!(
+            trace_file::decode_trace(&bytes).unwrap_err(),
+            TraceFileError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn corrupting_a_payload_never_panics(trace in arb_trace(), pos in 16usize..4096, bit in 0u8..8) {
+        let bytes = trace_file::encode_trace(&trace).unwrap();
+        prop_assume!(pos < bytes.len());
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 1 << bit;
+        // Damage may decode to a different valid trace (flipped value
+        // bits) or fail with a named error — but it must never panic
+        // and never round-trip to the original bytes while claiming a
+        // different payload.
+        match trace_file::decode_trace(&damaged) {
+            Ok(decoded) => {
+                let re = trace_file::encode_trace(&decoded);
+                if let Ok(re) = re {
+                    // Whatever decoded must re-encode stably.
+                    prop_assert_eq!(trace_file::decode_trace(&re).unwrap(), decoded);
+                }
+            }
+            Err(
+                TraceFileError::Truncated(_)
+                | TraceFileError::Corrupt(_)
+                | TraceFileError::BadMagic
+                | TraceFileError::FutureVersion(_),
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn future_version_is_rejected_by_name() {
+    let mut bytes = trace_file::encode_trace(&[Instr::nop()]).unwrap();
+    assert_eq!(&bytes[..4], &TRACE_MAGIC);
+    let future = TRACE_VERSION + 1;
+    bytes[4..6].copy_from_slice(&future.to_le_bytes());
+    match trace_file::decode_trace(&bytes).unwrap_err() {
+        TraceFileError::FutureVersion(v) => assert_eq!(v, future),
+        other => panic!("expected FutureVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_messages_name_the_failure() {
+    let text = TraceFileError::BadMagic.to_string();
+    assert!(text.contains("ADTF"), "{text}");
+    let text = TraceFileError::FutureVersion(7).to_string();
+    assert!(text.contains('7') && text.contains("version"), "{text}");
+}

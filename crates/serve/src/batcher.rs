@@ -88,10 +88,37 @@ impl CpiModel for LfCostModel {
     }
 }
 
+/// One registered ingested workload's private evaluation stack.
+///
+/// Each upload gets its own LF model (built from the *ingested*
+/// profile), its own HF simulator (replaying the *ingested* trace) and
+/// its own ledger, so synthetic-benchmark accounting and memoization
+/// never mix with real-binary results. The learned tier and the auto
+/// router stay synthetic-only: they are trained on the server's
+/// template workload, and answering a different binary from that
+/// training set would silently misroute — ingested workloads therefore
+/// only accept the `"lf"` and `"hf"` tiers (enforced at parse time).
+#[derive(Debug)]
+pub(crate) struct IngestedCore {
+    /// The registered workload id.
+    pub name: String,
+    /// The characterized profile (kept for `/v1/explore` jobs).
+    pub profile: dse_workloads::WorkloadProfile,
+    /// The full dynamic trace (kept for `/v1/explore` jobs).
+    pub trace: Arc<dse_workloads::Trace>,
+    pub hf: SimulatorHf,
+    pub lf: LfCostModel,
+    /// Per-workload ledger: replay/charge accounting scoped to this
+    /// binary alone.
+    pub ledger: CostLedger,
+}
+
 /// The shared evaluation stack: the full fidelity tier stack (analytical
 /// LF, the server-lifetime learned tier, the simulator) plus the
 /// server-lifetime ledger, locked as one unit so ledger state, evaluator
 /// memos and the learned tier's training set can never drift apart.
+/// Ingested workloads ride in the same lock with their own
+/// [`IngestedCore`] stacks.
 #[derive(Debug)]
 pub(crate) struct EvalCore {
     pub space: DesignSpace,
@@ -103,6 +130,9 @@ pub(crate) struct EvalCore {
     /// Gate for `"auto"` routing.
     pub gate: TierGate,
     pub ledger: CostLedger,
+    /// Uploaded workloads, in registration order; an [`EvalJob`]'s
+    /// `workload` index points into this list.
+    pub ingested: Vec<IngestedCore>,
 }
 
 impl EvalCore {
@@ -139,6 +169,27 @@ impl EvalCore {
             points,
         )
     }
+
+    /// Routes one batch to a registered ingested workload's private
+    /// stack. Only the analytical LF and the trace-replaying HF exist
+    /// there — the learned/auto tiers are synthetic-only (see
+    /// [`IngestedCore`]) and requests naming them are rejected before
+    /// they can reach the queue.
+    fn evaluate_ingested(
+        &mut self,
+        workload: usize,
+        fidelity: Fidelity,
+        points: &[DesignPoint],
+    ) -> Vec<LedgerEntry> {
+        let w = &mut self.ingested[workload];
+        if fidelity == Fidelity::Low {
+            w.ledger.evaluate_batch(&mut w.lf, &self.space, points)
+        } else if fidelity == Fidelity::High {
+            w.ledger.evaluate_batch(&mut w.hf, &self.space, points)
+        } else {
+            unreachable!("learned tier requests on ingested workloads are rejected at parse")
+        }
+    }
 }
 
 /// What tier an evaluate request asked for: a fixed tier by name, or
@@ -152,6 +203,9 @@ pub(crate) enum TierRequest {
 /// One evaluate request, queued for the coalescer.
 pub(crate) struct EvalJob {
     pub tier: TierRequest,
+    /// `None` evaluates the server's synthetic template workload;
+    /// `Some(i)` evaluates registered ingested workload `i`.
+    pub workload: Option<usize>,
     pub points: Vec<DesignPoint>,
     /// Rendezvous back to the connection worker holding the socket; each
     /// entry carries the tier that actually answered it.
@@ -195,9 +249,11 @@ pub(crate) fn run_coalescer(
     }
 }
 
-/// Submits one gathered window: one ledger batch per fixed tier present
-/// plus one routed batch for the `"auto"` group, results split back to
-/// each waiting request in arrival order.
+/// Submits one gathered window: one ledger batch per (tier, workload)
+/// group present — the fixed tiers and the `"auto"` group of the
+/// synthetic template workload first, then each ingested workload in
+/// registration order — results split back to each waiting request in
+/// arrival order.
 fn submit_window(
     window: Vec<EvalJob>,
     core: &Mutex<EvalCore>,
@@ -205,39 +261,48 @@ fn submit_window(
     batch_points: &dse_obs::Histogram,
 ) {
     let jobs = window;
-    let groups: Vec<TierRequest> =
-        Fidelity::STACK.iter().map(|&f| TierRequest::Fixed(f)).chain([TierRequest::Auto]).collect();
+    let tier_rank = |tier: TierRequest| match tier {
+        TierRequest::Fixed(f) => Fidelity::STACK.iter().position(|&s| s == f).unwrap_or(0),
+        TierRequest::Auto => Fidelity::STACK.len(),
+    };
+    let mut groups: Vec<(Option<usize>, TierRequest)> =
+        jobs.iter().map(|j| (j.workload, j.tier)).collect();
+    groups.sort_by_key(|&(workload, tier)| (workload.map_or(0, |i| i + 1), tier_rank(tier)));
+    groups.dedup();
     // Account the window before any reply leaves: a client that reads
     // `/metrics` right after its response must see itself counted.
     {
         let mut stats = stats.lock().expect("coalescer stats poisoned");
         stats.requests += jobs.len() as u64;
-        for &tier in &groups {
-            if jobs.iter().any(|j| j.tier == tier) {
-                stats.batches += 1;
-            }
-        }
+        stats.batches += groups.len() as u64;
         stats.points += jobs.iter().map(|j| j.points.len() as u64).sum::<u64>();
     }
-    for tier in groups {
-        let group: Vec<usize> = (0..jobs.len()).filter(|&i| jobs[i].tier == tier).collect();
-        if group.is_empty() {
-            continue;
-        }
+    for (workload, tier) in groups {
+        let group: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].tier == tier && jobs[i].workload == workload)
+            .collect();
         let merged: Vec<DesignPoint> =
             group.iter().flat_map(|&i| jobs[i].points.iter().cloned()).collect();
         batch_points.observe(merged.len() as f64);
         let answered: Vec<(LedgerEntry, Fidelity)> = {
             let mut core = core.lock().expect("evaluation core poisoned");
-            match tier {
-                TierRequest::Fixed(fidelity) => core
+            match (workload, tier) {
+                (None, TierRequest::Fixed(fidelity)) => core
                     .evaluate(fidelity, &merged)
                     .into_iter()
                     .map(|entry| (entry, fidelity))
                     .collect(),
-                TierRequest::Auto => {
+                (None, TierRequest::Auto) => {
                     let (entries, routes) = core.evaluate_auto(&merged);
                     entries.into_iter().zip(routes).collect()
+                }
+                (Some(idx), TierRequest::Fixed(fidelity)) => core
+                    .evaluate_ingested(idx, fidelity, &merged)
+                    .into_iter()
+                    .map(|entry| (entry, fidelity))
+                    .collect(),
+                (Some(_), TierRequest::Auto) => {
+                    unreachable!("auto routing on ingested workloads is rejected at parse")
                 }
             }
         };

@@ -11,8 +11,23 @@
 //! | `POST /v1/evaluate` | CPI of a batch of encoded design points at `"lf"` or `"hf"` fidelity |
 //! | `POST /v1/explain` | per-rule contributions behind the FNN's decision at a design point |
 //! | `POST /v1/explore` | start a background exploration job |
+//! | `POST /v1/workloads` | upload a statically linked RV64 ELF; it is ingested and registered as an evaluable workload |
 //! | `GET /v1/jobs/<id>` | poll a job |
 //! | `POST /v1/shutdown` | graceful shutdown (drains in-flight work) |
+//!
+//! ## Ingested workloads
+//!
+//! `POST /v1/workloads` accepts `{"name": ..., "elf_base64": ...}`:
+//! the binary is run by the functional executor in `dse-ingest`, its
+//! event stream is characterized into a workload profile, and the
+//! server registers a private evaluation stack for it — an analytical
+//! LF model built from the *ingested* profile, an HF simulator
+//! replaying the *ingested* trace, and a dedicated ledger. Subsequent
+//! `/v1/evaluate` and `/v1/explore` requests address it by
+//! `"workload": "<name>"`. Ingested workloads answer the `"lf"` and
+//! `"hf"` tiers only: the learned tier and the `"auto"` router are
+//! trained on the server's synthetic template workload and would
+//! silently misroute a different binary.
 //!
 //! ## The cross-request micro-batcher
 //!
@@ -73,6 +88,6 @@ pub use http::client;
 pub use loadgen::{run as run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{
     EvaluateResponse, EvaluatedPoint, ExplainResponse, JobResult, JobStatus, MetricsResponse,
-    RequestCounters,
+    RequestCounters, WorkloadUploadResponse,
 };
 pub use server::{spawn, ServeConfig, ServerHandle};

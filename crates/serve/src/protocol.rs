@@ -67,19 +67,27 @@ fn get_bool(value: &Value, key: &str) -> Result<Option<bool>, ProtocolError> {
     }
 }
 
-/// `POST /v1/evaluate` body: encoded design points plus a fidelity tier.
+/// `POST /v1/evaluate` body: encoded design points plus a fidelity tier
+/// and, optionally, a registered ingested workload to evaluate instead
+/// of the server's synthetic template.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct EvaluateRequest {
     /// Encoded design indices (`DesignSpace::encode` order).
     pub points: Vec<u64>,
     /// Which tier to spend — a fixed one, or gate-routed `"auto"`.
     pub fidelity: TierRequest,
+    /// Registered workload id (from `POST /v1/workloads`), or `None`
+    /// for the synthetic template workload.
+    pub workload: Option<String>,
 }
 
 impl EvaluateRequest {
-    /// Parses `{"points": [..], "fidelity": "lf"|"learned"|"hf"|"auto"}`
-    /// (case-insensitive, default `"hf"`) and range-checks every index
-    /// against `space_size`.
+    /// Parses `{"points": [..], "fidelity": "lf"|"learned"|"hf"|"auto",
+    /// "workload": "id"}` (fidelity case-insensitive, default `"hf"`)
+    /// and range-checks every index against `space_size`. Ingested
+    /// workloads have no learned tier or router, so `workload` combined
+    /// with `"learned"`/`"auto"` is rejected here, before anything is
+    /// queued.
     pub fn parse(body: &str, space_size: u64, max_points: usize) -> Result<Self, ProtocolError> {
         let value = parse_body(body)?;
         let fidelity = match get_str(&value, "fidelity")? {
@@ -98,6 +106,16 @@ impl EvaluateRequest {
                 }
             }
         };
+        let workload = get_str(&value, "workload")?.map(str::to_string);
+        if workload.is_some()
+            && !matches!(fidelity, TierRequest::Fixed(Fidelity::Low | Fidelity::High))
+        {
+            return Err(ProtocolError::new(
+                "ingested workloads answer fixed tiers only: use fidelity \"lf\" or \"hf\" \
+                 (the learned tier and \"auto\" routing are trained on the synthetic template \
+                 workload)",
+            ));
+        }
         let raw = value
             .get("points")
             .ok_or_else(|| ProtocolError::new("missing `points` array"))?
@@ -124,8 +142,58 @@ impl EvaluateRequest {
             }
             points.push(code);
         }
-        Ok(Self { points, fidelity })
+        Ok(Self { points, fidelity, workload })
     }
+}
+
+/// `POST /v1/workloads` body: a named ELF upload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WorkloadUploadRequest {
+    /// The id the workload registers under (and is addressed by in
+    /// `/v1/evaluate` and `/v1/explore`).
+    pub name: String,
+    /// The statically linked RV64 ELF binary, standard base64.
+    pub elf_base64: String,
+}
+
+impl WorkloadUploadRequest {
+    /// Parses `{"name": "...", "elf_base64": "..."}`. Names are 1–64
+    /// chars of `[A-Za-z0-9_-]` so they stay unambiguous in URLs, error
+    /// messages and metrics labels.
+    pub fn parse(body: &str) -> Result<Self, ProtocolError> {
+        let value = parse_body(body)?;
+        let name = get_str(&value, "name")?
+            .ok_or_else(|| ProtocolError::new("missing `name` (the id to register under)"))?
+            .to_string();
+        if name.is_empty() || name.len() > 64 {
+            return Err(ProtocolError::new("`name` must be 1-64 characters"));
+        }
+        if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+            return Err(ProtocolError::new(
+                "`name` may only contain ASCII letters, digits, `_` and `-`",
+            ));
+        }
+        let elf_base64 = get_str(&value, "elf_base64")?
+            .ok_or_else(|| {
+                ProtocolError::new("missing `elf_base64` (the ELF binary, base64-encoded)")
+            })?
+            .to_string();
+        Ok(Self { name, elf_base64 })
+    }
+}
+
+/// `POST /v1/workloads` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadUploadResponse {
+    /// The registered workload id, echoing the request.
+    pub workload: String,
+    /// Dynamic instructions the binary retired during ingestion (also
+    /// the length of the trace the HF tier replays).
+    pub instructions: u64,
+    /// The code the binary passed to `exit`.
+    pub exit_code: u64,
+    /// Workloads now registered, in registration order.
+    pub registered: Vec<String>,
 }
 
 /// One evaluated point in an `/v1/evaluate` response.
@@ -214,6 +282,9 @@ pub struct ExplainResponse {
 pub(crate) struct ExploreRequest {
     /// Benchmark name, or `None` for the general-purpose average.
     pub benchmark: Option<String>,
+    /// Registered ingested workload to explore for (mutually exclusive
+    /// with `benchmark`/`general`).
+    pub workload: Option<String>,
     /// Area limit in mm².
     pub area_mm2: f64,
     /// Master seed.
@@ -235,6 +306,12 @@ impl ExploreRequest {
         if general && benchmark.is_some() {
             return Err(ProtocolError::new("`general` and `benchmark` are mutually exclusive"));
         }
+        let workload = get_str(&value, "workload")?.map(str::to_string);
+        if workload.is_some() && (general || benchmark.is_some()) {
+            return Err(ProtocolError::new(
+                "`workload` is mutually exclusive with `benchmark` and `general`",
+            ));
+        }
         let area_mm2 = get_f64(&value, "area")?.unwrap_or(8.0);
         if !area_mm2.is_finite() || area_mm2 <= 0.0 {
             return Err(ProtocolError::new("`area` must be a positive number"));
@@ -244,7 +321,12 @@ impl ExploreRequest {
             return Err(ProtocolError::new("`trace_len` must be at least 1"));
         }
         Ok(Self {
-            benchmark: if general { None } else { Some(benchmark.unwrap_or_else(|| "mm".into())) },
+            benchmark: if general || workload.is_some() {
+                None
+            } else {
+                Some(benchmark.unwrap_or_else(|| "mm".into()))
+            },
+            workload,
             area_mm2,
             seed: get_u64(&value, "seed")?.unwrap_or(0),
             lf_episodes: get_u64(&value, "lf_episodes")?.unwrap_or(50) as usize,
@@ -298,6 +380,8 @@ pub struct RequestCounters {
     pub explain: u64,
     /// `POST /v1/explore` hits.
     pub explore: u64,
+    /// `POST /v1/workloads` hits.
+    pub workloads: u64,
     /// `GET /v1/jobs/<id>` hits.
     pub jobs: u64,
     /// Requests answered 503 by backpressure (full queue).
@@ -384,6 +468,42 @@ mod tests {
         assert_eq!(g.seed, 7);
         assert!(ExploreRequest::parse(r#"{"general": true, "benchmark": "mm"}"#).is_err());
         assert!(ExploreRequest::parse(r#"{"area": -1.0}"#).is_err());
+        // A workload-targeted job drops the benchmark default and
+        // excludes the synthetic selectors.
+        let w = ExploreRequest::parse(r#"{"workload": "firmware"}"#).unwrap();
+        assert_eq!(w.workload.as_deref(), Some("firmware"));
+        assert_eq!(w.benchmark, None);
+        assert!(ExploreRequest::parse(r#"{"workload": "w", "benchmark": "mm"}"#).is_err());
+        assert!(ExploreRequest::parse(r#"{"workload": "w", "general": true}"#).is_err());
+    }
+
+    #[test]
+    fn evaluate_request_workload_constraints() {
+        // Absent workload: wire format identical to before.
+        let plain = EvaluateRequest::parse(r#"{"points": [1]}"#, 10, 8).unwrap();
+        assert_eq!(plain.workload, None);
+        // Named workload with a fixed lf/hf tier is accepted.
+        let w =
+            EvaluateRequest::parse(r#"{"points": [1], "workload": "fw", "fidelity": "lf"}"#, 10, 8)
+                .unwrap();
+        assert_eq!(w.workload.as_deref(), Some("fw"));
+        // Learned/auto on an ingested workload are rejected at parse,
+        // naming the tiers that do work.
+        for tier in ["learned", "auto"] {
+            let body = format!(r#"{{"points": [1], "workload": "fw", "fidelity": "{tier}"}}"#);
+            let msg = EvaluateRequest::parse(&body, 10, 8).unwrap_err().0;
+            assert!(msg.contains("\"lf\"") && msg.contains("\"hf\""), "{msg}");
+        }
+    }
+
+    #[test]
+    fn workload_upload_request_validates_names() {
+        let ok = WorkloadUploadRequest::parse(r#"{"name": "fw-1", "elf_base64": "AAAA"}"#).unwrap();
+        assert_eq!((ok.name.as_str(), ok.elf_base64.as_str()), ("fw-1", "AAAA"));
+        assert!(WorkloadUploadRequest::parse(r#"{"elf_base64": "AAAA"}"#).is_err());
+        assert!(WorkloadUploadRequest::parse(r#"{"name": "fw"}"#).is_err());
+        assert!(WorkloadUploadRequest::parse(r#"{"name": "", "elf_base64": "A"}"#).is_err());
+        assert!(WorkloadUploadRequest::parse(r#"{"name": "a b", "elf_base64": "A"}"#).is_err());
     }
 
     #[test]

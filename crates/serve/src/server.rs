@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use archdse::eval::{AnalyticalLf, DesignConstraints};
+use archdse::eval::{AnalyticalLf, DesignConstraints, IngestedWorkload, SimulatorHf};
 use archdse::{Explorer, Fnn};
 use dse_exec::{CostLedger, Fidelity, LearnedTier, LedgerEntry, TierGate};
 use dse_fnn::{explain_decision, explain_top_action};
@@ -21,7 +21,7 @@ use dse_space::DesignPoint;
 use dse_workloads::Benchmark;
 
 use crate::batcher::{
-    run_coalescer, BatcherConfig, CoalescerStats, EvalCore, EvalJob, LfCostModel,
+    run_coalescer, BatcherConfig, CoalescerStats, EvalCore, EvalJob, IngestedCore, LfCostModel,
 };
 use crate::http::{
     read_request, write_response, BadRequest, ReadOutcome, Request, CT_JSON, CT_PROMETHEUS,
@@ -29,7 +29,18 @@ use crate::http::{
 use crate::protocol::{
     error_body, EvaluateRequest, EvaluateResponse, EvaluatedPoint, ExplainRequest, ExplainResponse,
     ExploreRequest, JobResult, JobStatus, MetricsResponse, ProtocolError, RequestCounters,
+    WorkloadUploadRequest, WorkloadUploadResponse,
 };
+
+/// Most ingested workloads one server instance will register; further
+/// uploads are rejected so a misbehaving client cannot grow the core
+/// without bound.
+const MAX_WORKLOADS: usize = 32;
+
+/// Instruction budget for server-side ingestion. Uploads are ingested
+/// on the connection worker holding the socket, so the budget is
+/// deliberately tighter than the offline CLI default.
+const MAX_INGEST_INSTRS: u64 = 2_000_000;
 
 /// Full configuration of one server instance.
 #[derive(Debug, Clone)]
@@ -97,9 +108,13 @@ struct ServerMetrics {
     evaluate: Counter,
     explain: Counter,
     explore: Counter,
+    workloads: Counter,
     jobs: Counter,
     rejected: Counter,
     errors: Counter,
+    /// Ingested workloads successfully registered over this server's
+    /// lifetime.
+    workloads_registered: Counter,
     coalescer_batch_points: Histogram,
 }
 
@@ -113,9 +128,11 @@ impl ServerMetrics {
             evaluate: endpoint("evaluate"),
             explain: endpoint("explain"),
             explore: endpoint("explore"),
+            workloads: endpoint("workloads"),
             jobs: endpoint("jobs"),
             rejected: registry.counter("serve_rejected_total"),
             errors: registry.counter("serve_errors_total"),
+            workloads_registered: registry.counter("workloads_registered"),
             coalescer_batch_points: registry
                 .histogram("serve_coalescer_batch_points", SIZE_BUCKETS),
             registry,
@@ -167,6 +184,7 @@ impl Shared {
             evaluate: self.metrics.evaluate.get(),
             explain: self.metrics.explain.get(),
             explore: self.metrics.explore.get(),
+            workloads: self.metrics.workloads.get(),
             jobs: self.metrics.jobs.get(),
             rejected: self.metrics.rejected.get(),
             errors: self.metrics.errors.get(),
@@ -232,6 +250,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         learned: LearnedTier::new(LearnedTier::point_features()),
         gate: TierGate::enabled(0.05),
         ledger: CostLedger::new(),
+        ingested: Vec::new(),
     }));
     let fnn = config.fnn.clone().unwrap_or_else(|| explorer.build_fnn());
 
@@ -365,6 +384,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/v1/evaluate" => "evaluate",
         "/v1/explain" => "explain",
         "/v1/explore" => "explore",
+        "/v1/workloads" => "workloads",
         "/v1/shutdown" => "shutdown",
         p if p.starts_with("/v1/jobs/") => "jobs",
         _ => "other",
@@ -384,6 +404,19 @@ fn bad(err: ProtocolError) -> (u16, String) {
     (400, error_body(&err.0))
 }
 
+/// The 400 body for a workload id that is not registered, naming every
+/// id that is (mirroring the unknown-fidelity error style).
+fn unknown_workload(name: &str, ingested: &[IngestedCore]) -> String {
+    if ingested.is_empty() {
+        return error_body(&format!(
+            "unknown workload {name:?} (no workloads registered — upload one via \
+             POST /v1/workloads)"
+        ));
+    }
+    let registered: Vec<String> = ingested.iter().map(|w| format!("{:?}", w.name)).collect();
+    error_body(&format!("unknown workload {name:?} (expected {})", registered.join(", ")))
+}
+
 fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str) {
     // The query string is only meaningful on `/metrics` (the exposition
     // format selector); everywhere else it is ignored, as before.
@@ -399,19 +432,23 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str)
         ("POST", "/v1/evaluate") => handle_evaluate(shared, request),
         ("POST", "/v1/explain") => handle_explain(shared, request),
         ("POST", "/v1/explore") => handle_explore(shared, request),
+        ("POST", "/v1/workloads") => handle_workloads(shared, request),
         ("GET", path) if path.starts_with("/v1/jobs/") => handle_job(shared, path),
         ("POST", "/v1/shutdown") => {
             shared.initiate_shutdown();
             (200, "{\"status\":\"shutting down\"}".into())
         }
-        (_, "/healthz" | "/metrics" | "/v1/evaluate" | "/v1/explain" | "/v1/explore") => {
-            (405, error_body("method not allowed for this endpoint"))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/evaluate" | "/v1/explain" | "/v1/explore"
+            | "/v1/workloads",
+        ) => (405, error_body("method not allowed for this endpoint")),
         _ => (
             404,
             error_body(
                 "no such endpoint; try GET /healthz, GET /metrics, POST /v1/evaluate, \
-                 POST /v1/explain, POST /v1/explore, GET /v1/jobs/<id>, POST /v1/shutdown",
+                 POST /v1/explain, POST /v1/explore, POST /v1/workloads, GET /v1/jobs/<id>, \
+                 POST /v1/shutdown",
             ),
         ),
     };
@@ -425,12 +462,18 @@ fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
         status: &'static str,
         service: &'static str,
         benchmarks: Vec<String>,
+        workloads: Vec<String>,
         space_size: u64,
     }
+    let workloads = {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        core.ingested.iter().map(|w| w.name.clone()).collect()
+    };
     json(&Health {
         status: "ok",
         service: "archdse-serve",
         benchmarks: shared.benchmarks.iter().map(|b| b.name().to_string()).collect(),
+        workloads,
         space_size: shared.space_size,
     })
 }
@@ -494,15 +537,24 @@ fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
             Ok(parsed) => parsed,
             Err(e) => return bad(e),
         };
-    let points: Vec<DesignPoint> = {
+    let (points, workload) = {
         let core = shared.core.lock().expect("evaluation core poisoned");
-        parsed.points.iter().map(|&code| core.space.decode(code)).collect()
+        let workload = match &parsed.workload {
+            None => None,
+            Some(name) => match core.ingested.iter().position(|w| &w.name == name) {
+                Some(index) => Some(index),
+                None => return (400, unknown_workload(name, &core.ingested)),
+            },
+        };
+        let points: Vec<DesignPoint> =
+            parsed.points.iter().map(|&code| core.space.decode(code)).collect();
+        (points, workload)
     };
 
     // Enqueue for the coalescer; a full queue is backpressure, not an
     // error in the request.
     let (reply_tx, reply_rx) = sync_channel::<Vec<(LedgerEntry, Fidelity)>>(1);
-    let job = EvalJob { tier: parsed.fidelity, points, reply: reply_tx };
+    let job = EvalJob { tier: parsed.fidelity, workload, points, reply: reply_tx };
     let sender = shared.eval_tx.lock().expect("eval_tx poisoned").clone();
     let Some(sender) = sender else {
         return (503, error_body("server is shutting down"));
@@ -591,6 +643,74 @@ fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     json(&ExplainResponse { point: parsed.point, design: point.describe(&space), cpi, explanation })
 }
 
+fn handle_workloads(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
+    shared.metrics.workloads.inc();
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    let parsed = match WorkloadUploadRequest::parse(body) {
+        Ok(parsed) => parsed,
+        Err(e) => return bad(e),
+    };
+    // Anything `/v1/explore`'s benchmark resolver would accept (names
+    // and aliases alike) is off-limits as a workload id.
+    if parsed.name.parse::<Benchmark>().is_ok() {
+        return (
+            400,
+            error_body(&format!(
+                "workload name {:?} collides with a built-in benchmark",
+                parsed.name
+            )),
+        );
+    }
+    let elf = match dse_ingest::base64::decode(&parsed.elf_base64) {
+        Ok(elf) => elf,
+        Err(e) => return (400, error_body(&format!("`elf_base64` is not valid base64: {e}"))),
+    };
+    // Ingestion (parse + functional execution + characterization) runs
+    // on this connection worker, outside the core lock — a slow binary
+    // delays its uploader, not the evaluate path.
+    let config = dse_ingest::ExecConfig { max_instrs: MAX_INGEST_INSTRS };
+    let ingested = match dse_ingest::ingest_elf(&parsed.name, &elf, config) {
+        Ok(ingested) => ingested,
+        Err(e) => return (400, error_body(&format!("ingestion failed: {e}"))),
+    };
+    let instructions = ingested.trace.len() as u64;
+    let exit_code = ingested.exit_code;
+
+    let mut core = shared.core.lock().expect("evaluation core poisoned");
+    if core.ingested.iter().any(|w| w.name == parsed.name) {
+        return (400, error_body(&format!("workload {:?} is already registered", parsed.name)));
+    }
+    if core.ingested.len() >= MAX_WORKLOADS {
+        return (
+            400,
+            error_body(&format!(
+                "workload registry is full ({MAX_WORKLOADS} workloads); restart the server to \
+                 register more"
+            )),
+        );
+    }
+    let hf = SimulatorHf::for_traces(vec![ingested.trace.clone()]);
+    let lf = LfCostModel(AnalyticalLf::for_profiles(
+        &core.space,
+        std::slice::from_ref(&ingested.profile),
+    ));
+    core.ingested.push(IngestedCore {
+        name: parsed.name.clone(),
+        profile: ingested.profile,
+        trace: Arc::new(ingested.trace),
+        hf,
+        lf,
+        ledger: CostLedger::new(),
+    });
+    let registered: Vec<String> = core.ingested.iter().map(|w| w.name.clone()).collect();
+    drop(core);
+    shared.metrics.workloads_registered.inc();
+    json(&WorkloadUploadResponse { workload: parsed.name, instructions, exit_code, registered })
+}
+
 fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     shared.metrics.explore.inc();
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -604,12 +724,24 @@ fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         Ok(parsed) => parsed,
         Err(e) => return bad(e),
     };
-    let explorer = match &parsed.benchmark {
-        None => Explorer::general_purpose(),
-        Some(name) => match name.parse::<Benchmark>() {
-            Ok(benchmark) => Explorer::for_benchmark(benchmark),
-            Err(e) => return (400, error_body(&e.to_string())),
-        },
+    let explorer = if let Some(name) = &parsed.workload {
+        let core = shared.core.lock().expect("evaluation core poisoned");
+        match core.ingested.iter().find(|w| &w.name == name) {
+            Some(w) => Explorer::for_workload(IngestedWorkload {
+                name: w.name.clone(),
+                profile: w.profile.clone(),
+                trace: Arc::clone(&w.trace),
+            }),
+            None => return (400, unknown_workload(name, &core.ingested)),
+        }
+    } else {
+        match &parsed.benchmark {
+            None => Explorer::general_purpose(),
+            Some(name) => match name.parse::<Benchmark>() {
+                Ok(benchmark) => Explorer::for_benchmark(benchmark),
+                Err(e) => return (400, error_body(&e.to_string())),
+            },
+        }
     }
     .area_limit_mm2(parsed.area_mm2)
     .seed(parsed.seed)

@@ -197,3 +197,165 @@ fn post_shutdown_drains_and_exits() {
     server.join();
     assert!(client::get(&addr, "/healthz").is_err());
 }
+
+/// The committed ingest fixture, base64-encoded for upload.
+fn fixture_elf_base64(stem: &str) -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../ingest/tests/fixtures")
+        .join(format!("{stem}.elf"));
+    dse_ingest::base64::encode(&std::fs::read(path).expect("fixture elf"))
+}
+
+#[test]
+fn uploaded_workloads_register_and_answer_lf_and_hf() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Upload the fixture; it is ingested and registered.
+    let upload =
+        format!(r#"{{"name": "loop-sum", "elf_base64": "{}"}}"#, fixture_elf_base64("loop_sum"));
+    let response = client::post(&addr, "/v1/workloads", &upload).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let registered: archdse_serve::WorkloadUploadResponse =
+        serde_json::from_str(&response.body).unwrap();
+    assert_eq!(registered.workload, "loop-sum");
+    assert_eq!(registered.exit_code, 128);
+    assert_eq!(registered.instructions, 2823);
+    assert_eq!(registered.registered, vec!["loop-sum".to_string()]);
+
+    // The health report now lists it.
+    let health: Value =
+        serde_json::from_str(&client::get(&addr, "/healthz").unwrap().body).unwrap();
+    let listed = health.get("workloads").and_then(Value::as_array).unwrap();
+    assert_eq!(listed.len(), 1);
+
+    // Evaluate it at both supported tiers; HF twice replays the second
+    // answer from the workload's own ledger.
+    for fidelity in ["lf", "hf"] {
+        let body =
+            format!(r#"{{"points": [0, 777], "fidelity": "{fidelity}", "workload": "loop-sum"}}"#);
+        let first = client::post(&addr, "/v1/evaluate", &body).unwrap();
+        assert_eq!(first.status, 200, "{}", first.body);
+        let first: EvaluateResponse = serde_json::from_str(&first.body).unwrap();
+        assert_eq!(first.results.len(), 2);
+        assert!(first.results.iter().all(|r| r.cpi > 0.0));
+        let again = client::post(&addr, "/v1/evaluate", &body).unwrap();
+        let again: EvaluateResponse = serde_json::from_str(&again.body).unwrap();
+        assert_eq!(again.results[0].cpi, first.results[0].cpi);
+        assert!(again.results.iter().all(|r| r.cached), "repeat must replay");
+    }
+
+    // Same design point, synthetic vs ingested: the answers are
+    // independent stacks and need not agree, but both are finite CPIs.
+    let synth =
+        client::post(&addr, "/v1/evaluate", r#"{"points": [777], "fidelity": "hf"}"#).unwrap();
+    assert_eq!(synth.status, 200, "{}", synth.body);
+
+    // Re-registering the same name is rejected.
+    let dup = client::post(&addr, "/v1/workloads", &upload).unwrap();
+    assert_eq!(dup.status, 400, "{}", dup.body);
+    assert!(dup.body.contains("already registered"), "{}", dup.body);
+
+    // The registration counter is exposed.
+    let prom = client::get(&addr, "/metrics?format=prometheus").unwrap();
+    let line = prom
+        .body
+        .lines()
+        .find(|l| l.starts_with("workloads_registered"))
+        .expect("workloads_registered series");
+    assert!(line.ends_with(" 1"), "unexpected sample: {line}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_workload_ids_are_a_400_naming_the_registered_ones() {
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    // Before anything is registered, the error points at the upload
+    // endpoint.
+    let body = r#"{"points": [1], "fidelity": "lf", "workload": "nope"}"#;
+    let response = client::post(&addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.body.contains("POST /v1/workloads"), "{}", response.body);
+
+    // With a workload registered, the error names it.
+    let upload =
+        format!(r#"{{"name": "stride-c", "elf_base64": "{}"}}"#, fixture_elf_base64("stride_c"));
+    assert_eq!(client::post(&addr, "/v1/workloads", &upload).unwrap().status, 200);
+    let response = client::post(&addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(
+        response.body.contains("unknown workload \\\"nope\\\"")
+            && response.body.contains("stride-c"),
+        "{}",
+        response.body
+    );
+
+    // /v1/explore resolves ids through the same registry.
+    let explore = client::post(&addr, "/v1/explore", r#"{"workload": "nope"}"#).unwrap();
+    assert_eq!(explore.status, 400, "{}", explore.body);
+    assert!(explore.body.contains("stride-c"), "{}", explore.body);
+
+    // Learned/auto tiers on an ingested workload are rejected at parse.
+    for tier in ["learned", "auto"] {
+        let body = format!(r#"{{"points": [1], "fidelity": "{tier}", "workload": "stride-c"}}"#);
+        let response = client::post(&addr, "/v1/evaluate", &body).unwrap();
+        assert_eq!(response.status, 400, "{}", response.body);
+    }
+
+    // Bad uploads are structured 400s, not panics: junk base64, a
+    // non-ELF payload, and a name collision with a benchmark.
+    let cases = [
+        r#"{"name": "x", "elf_base64": "!!!"}"#.to_string(),
+        format!(r#"{{"name": "x", "elf_base64": "{}"}}"#, dse_ingest::base64::encode(b"hello")),
+        format!(r#"{{"name": "mm", "elf_base64": "{}"}}"#, fixture_elf_base64("loop_sum")),
+    ];
+    for body in &cases {
+        let response = client::post(&addr, "/v1/workloads", body).unwrap();
+        assert_eq!(response.status, 400, "{}", response.body);
+        let parsed: Value = serde_json::from_str(&response.body).unwrap();
+        assert!(parsed.get("error").is_some());
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn workload_free_requests_keep_the_legacy_wire_format() {
+    // The six synthetic benchmarks and the pre-ingestion request shapes
+    // must be answered exactly as before the workloads endpoint landed.
+    let server = spawn(quick_config()).expect("bind");
+    let addr = server.addr().to_string();
+
+    let health: Value =
+        serde_json::from_str(&client::get(&addr, "/healthz").unwrap().body).unwrap();
+    let benchmarks = health.get("benchmarks").and_then(Value::as_array).unwrap();
+    assert!(!benchmarks.is_empty(), "benchmark list must survive");
+    assert_eq!(
+        health.get("workloads").and_then(Value::as_array).map(Vec::len),
+        Some(0),
+        "no workloads registered at boot"
+    );
+
+    // A legacy evaluate body (no workload field) answers with the same
+    // response schema: every legacy field present, point order kept.
+    let body = r#"{"points": [3, 1], "fidelity": "lf"}"#;
+    let response = client::post(&addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let parsed: Value = serde_json::from_str(&response.body).unwrap();
+    let results = parsed.get("results").and_then(Value::as_array).unwrap();
+    assert_eq!(results.len(), 2);
+    for (row, expected_point) in results.iter().zip([3u64, 1]) {
+        for field in ["point", "cpi", "fidelity", "cached", "area_mm2", "leakage_mw", "feasible"] {
+            assert!(row.get(field).is_some(), "legacy field {field} missing");
+        }
+        assert_eq!(row.get("point").and_then(Value::as_u64), Some(expected_point));
+    }
+
+    server.shutdown();
+    server.join();
+}

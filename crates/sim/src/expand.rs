@@ -100,6 +100,56 @@ impl ExpandedTrace {
         Self { ops, deps, addrs, branches }
     }
 
+    /// Decodes a *streamed* trace into struct-of-arrays form without
+    /// ever holding a `Vec<Instr>` — the streaming counterpart of
+    /// [`ExpandedTrace::expand`] for traces read incrementally (e.g.
+    /// from an on-disk trace file). The error type is the stream's own;
+    /// the first stream error aborts the expansion and is returned
+    /// verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the underlying stream yields.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dependency distance of 0 or a stream longer than the
+    /// kernel's `u32` entry ids can index, exactly as
+    /// [`ExpandedTrace::expand`] does.
+    pub fn from_stream<E>(
+        stream: impl IntoIterator<Item = Result<dse_workloads::Instr, E>>,
+    ) -> Result<Self, E> {
+        let mut ops = Vec::new();
+        let mut deps = Vec::new();
+        let mut addrs = Vec::new();
+        let mut branches = Vec::new();
+        for item in stream {
+            let instr = item?;
+            assert!(ops.len() < u32::MAX as usize, "trace too long for the event queue");
+            ops.push(instr.op);
+            let dep = |d: Option<u32>| match d {
+                Some(d) => {
+                    assert!(d >= 1, "dependency distances must be >= 1");
+                    d
+                }
+                None => NO_DEP,
+            };
+            deps.push([dep(instr.deps[0]), dep(instr.deps[1])]);
+            addrs.push(instr.addr.unwrap_or(0));
+            branches.push(match instr.branch {
+                Some(b) => {
+                    BR_IS_BRANCH
+                        | if b.taken { BR_TAKEN } else { 0 }
+                        | if b.mispredicted { BR_MISPREDICTED } else { 0 }
+                        | (u32::from(b.site) << BR_SITE_SHIFT)
+                }
+                None => 0,
+            });
+        }
+        metrics().expansions.inc();
+        Ok(Self { ops, deps, addrs, branches })
+    }
+
     /// Number of instructions in the expanded trace.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -159,6 +209,24 @@ mod tests {
         let x = ExpandedTrace::expand(&Vec::new());
         assert!(x.is_empty());
         assert_eq!(x.len(), 0);
+    }
+
+    #[test]
+    fn from_stream_matches_expand() {
+        let trace = Benchmark::Mm.trace(3_000, 11);
+        let eager = ExpandedTrace::expand(&trace);
+        let streamed: ExpandedTrace =
+            ExpandedTrace::from_stream(trace.iter().cloned().map(Ok::<_, ()>)).unwrap();
+        assert_eq!(streamed.ops, eager.ops);
+        assert_eq!(streamed.deps, eager.deps);
+        assert_eq!(streamed.addrs, eager.addrs);
+        assert_eq!(streamed.branches, eager.branches);
+    }
+
+    #[test]
+    fn from_stream_propagates_the_first_error() {
+        let items = vec![Ok(Instr::nop()), Err("boom"), Ok(Instr::nop())];
+        assert_eq!(ExpandedTrace::from_stream(items).unwrap_err(), "boom");
     }
 
     #[test]
