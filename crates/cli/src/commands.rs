@@ -10,7 +10,9 @@ use archdse::experiments::{
     Table2Config,
 };
 use archdse::{CostLedger, DesignSpace, Explorer, Fnn, LedgerSummary, Param};
-use archdse_serve::{run_loadgen, spawn, LoadgenConfig, ServeConfig};
+use archdse_serve::{
+    run_loadgen, spawn, spawn_router, LoadgenConfig, LoadgenReport, RouterConfig, ServeConfig,
+};
 use dse_fnn::explain_top_action;
 use dse_mfrl::{Constraint as _, LowFidelity as _};
 use dse_workloads::Benchmark;
@@ -77,17 +79,43 @@ COMMANDS:
       --max-delay-ms <n>     coalescer gather window (default 2)
       --queue-cap <n>        queue depth before 503 (default 128)
       --fnn <file>           serve a trained network for /v1/explain
+      --shards <n>           fork n shard worker processes (each owning
+                             a hash slice of the design space) behind a
+                             front router bound to --addr (default 1:
+                             a single server, no router)
+      --router-workers <n>   router proxy handlers; size at the peak
+                             concurrency to serve without pushback
+                             (default 256; only with --shards > 1)
   loadgen                    hammer /v1/evaluate with concurrent clients
                              and report how the coalescer batched them
       --addr <host:port>     target server (default: self-host a quick one)
       --clients <n>          concurrent clients (default 4)
       --requests <n>         requests per client (default 8)
+      --concurrency <c>      closed-loop saturating mode: c clients each
+                             keep one request in flight on a keep-alive
+                             connection until --duration elapses,
+                             retrying 503s with backoff
+      --duration <s>         closed-loop run length in seconds (default
+                             2 when --concurrency is set)
+      --shards <n>           self-host n shard worker processes behind a
+                             router and hammer the router
+                             (conflicts with --addr)
+      --trend                sweep {1, --shards} shard stacks across
+                             {16, 256, 1024} clients closed-loop and
+                             record every row in
+                             results/BENCH_loadgen.json
       --points <n>           design points per request (default 4)
       --fidelity <name>      tier to request: lf|learned|hf, or auto to
                              let the uncertainty gate route (default lf)
       --seed <n>             point-choice seed (default 1)
-                             (latency percentiles and status counts are
-                             also written to results/BENCH_loadgen.json)
+      --trace-len <n>        self-hosted servers' trace length
+                             (default 2000)
+      --queue-cap <n>        self-hosted servers' eval queue depth
+                             (default 128)
+      --metrics-out <file>   dump the target's (aggregated) Prometheus
+                             exposition after the run
+                             (run stats also persist to
+                             results/BENCH_loadgen.json)
   trace-report               summarize a JSONL trace from --trace-out:
                              per-phase wall time, per-fidelity budget
                              totals cross-checked against the ledger,
@@ -177,8 +205,24 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "max-delay-ms",
             "queue-cap",
             "fnn",
+            "shards",
+            "router-workers",
         ],
-        "loadgen" => &["addr", "clients", "requests", "points", "fidelity", "seed"],
+        "loadgen" => &[
+            "addr",
+            "clients",
+            "requests",
+            "concurrency",
+            "duration",
+            "shards",
+            "trend",
+            "points",
+            "fidelity",
+            "seed",
+            "trace-len",
+            "queue-cap",
+            "metrics-out",
+        ],
         "trace-report" => &["trace", "top"],
         "check-metrics" => &["file"],
         "ingest" => &["name", "max-instrs", "trace-out", "profile-out"],
@@ -563,6 +607,14 @@ fn serve_config_from_args(args: &Args, addr: &str) -> Result<ServeConfig, Box<dy
 }
 
 fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
+    let shards: usize = args.value_or("shards", 1usize)?;
+    if shards == 0 {
+        eprintln!("--shards must be >= 1");
+        return Ok(2);
+    }
+    if shards > 1 {
+        return cmd_serve_sharded(args, shards);
+    }
     let addr = args.value_or("addr", "127.0.0.1:8711".to_string())?;
     let config = serve_config_from_args(args, &addr)?;
     let benchmarks: Vec<&str> = config.explorer.benchmarks().iter().map(|b| b.name()).collect();
@@ -579,33 +631,287 @@ fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
     Ok(0)
 }
 
+/// A self-hosted shard: a child `archdse serve` worker process and the
+/// ephemeral address it reported on stdout.
+struct ShardProc {
+    child: std::process::Child,
+    addr: String,
+    reaped: bool,
+}
+
+impl ShardProc {
+    /// Re-invokes the current executable as `archdse serve <args>` and
+    /// blocks until the child prints its `listening on` line.
+    fn spawn(child_args: &[String]) -> Result<ShardProc, Box<dyn Error>> {
+        use std::io::BufRead as _;
+        let exe = std::env::current_exe()?;
+        let mut child = std::process::Command::new(exe)
+            .arg("serve")
+            .args(child_args)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("child stdout was piped");
+        let mut reader = std::io::BufReader::new(stdout);
+        let addr = loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("shard process exited before reporting its address".into());
+            }
+            if let Some(addr) = line.trim().strip_prefix("archdse-serve listening on ") {
+                break addr.to_string();
+            }
+        };
+        // Keep draining the child's stdout so it can never block on a
+        // full pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        });
+        Ok(ShardProc { child, addr, reaped: false })
+    }
+
+    /// Waits for the child to exit on its own (it does after a graceful
+    /// shutdown fan-out); kills it if the grace period runs out.
+    fn finish(&mut self, grace: std::time::Duration) {
+        let deadline = std::time::Instant::now() + grace;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => {
+                    self.reaped = true;
+                    return;
+                }
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                _ => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        self.reaped = true;
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        if !self.reaped {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// A self-hosted serving stack: `shards` worker processes, behind a
+/// router when there is more than one.
+struct ShardStack {
+    children: Vec<ShardProc>,
+    router: Option<archdse_serve::RouterHandle>,
+    /// The front-door address clients should hit.
+    addr: String,
+}
+
+impl ShardStack {
+    fn boot(
+        shards: usize,
+        child_args: &[String],
+        router_workers: usize,
+    ) -> Result<Self, Box<dyn Error>> {
+        let mut children = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            children.push(ShardProc::spawn(child_args)?);
+        }
+        if shards == 1 {
+            let addr = children[0].addr.clone();
+            return Ok(Self { children, router: None, addr });
+        }
+        let mut config = RouterConfig::new(children.iter().map(|c| c.addr.clone()).collect());
+        config.workers = router_workers.max(1);
+        config.pool_idle_cap = router_workers.max(64);
+        let router = spawn_router(config)?;
+        let addr = router.addr().to_string();
+        Ok(Self { children, router: Some(router), addr })
+    }
+
+    /// Gracefully drains the whole stack: `POST /v1/shutdown` at the
+    /// front door (the router fans it to every shard), join the router,
+    /// then wait for the worker processes to exit.
+    fn teardown(mut self) {
+        let _ = archdse_serve::client::post(&self.addr, "/v1/shutdown", "");
+        if let Some(router) = self.router.take() {
+            router.join();
+        }
+        for child in &mut self.children {
+            child.finish(std::time::Duration::from_secs(30));
+        }
+    }
+}
+
+fn cmd_serve_sharded(args: &Args, shards: usize) -> Result<i32, Box<dyn Error>> {
+    let addr = args.value_or("addr", "127.0.0.1:8711".to_string())?;
+    let child_args = child_serve_args(args)?;
+    let mut children = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        children.push(ShardProc::spawn(&child_args)?);
+    }
+    let shard_addrs: Vec<String> = children.iter().map(|c| c.addr.clone()).collect();
+    let mut config = RouterConfig::new(shard_addrs.clone());
+    config.addr = addr;
+    config.workers = args.value_or("router-workers", 256usize)?.max(1);
+    config.pool_idle_cap = config.workers.max(64);
+    let router = spawn_router(config)?;
+    println!("archdse-serve listening on {}", router.addr());
+    println!("routing {shards} shards: {}", shard_addrs.join(", "));
+    println!("POST /v1/shutdown to stop");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    router.join();
+    for child in &mut children {
+        child.finish(std::time::Duration::from_secs(30));
+    }
+    println!("archdse-serve drained and stopped");
+    Ok(0)
+}
+
+/// The serve flags a sharded parent forwards verbatim to its worker
+/// processes (everything but the bind address and sharding topology).
+fn child_serve_args(args: &Args) -> Result<Vec<String>, Box<dyn Error>> {
+    let mut out: Vec<String> = vec!["--addr".into(), "127.0.0.1:0".into()];
+    if args.switch("general") {
+        out.push("--general".into());
+    }
+    for flag in [
+        "benchmark",
+        "area",
+        "leakage",
+        "trace-len",
+        "seed",
+        "threads",
+        "workers",
+        "max-batch",
+        "max-delay-ms",
+        "queue-cap",
+        "fnn",
+    ] {
+        if let Some(value) = args.value_of::<String>(flag)? {
+            out.push(format!("--{flag}"));
+            out.push(value);
+        }
+    }
+    Ok(out)
+}
+
+/// What `loadgen` is pointed at, and what must be torn down afterward.
+enum LoadgenTarget {
+    /// `--addr`: an externally managed server; nothing to tear down.
+    External,
+    /// Self-hosted in-process single server (quick default).
+    InProcess(archdse_serve::ServerHandle),
+    /// Self-hosted multi-process shard stack (`--shards > 1`).
+    Stack(ShardStack),
+}
+
+impl LoadgenTarget {
+    fn teardown(self) {
+        match self {
+            LoadgenTarget::External => {}
+            LoadgenTarget::InProcess(server) => {
+                server.shutdown();
+                server.join();
+            }
+            LoadgenTarget::Stack(stack) => stack.teardown(),
+        }
+    }
+}
+
+/// The serve flags `loadgen`'s self-hosted worker processes run with.
+fn loadgen_child_args(args: &Args) -> Result<Vec<String>, Box<dyn Error>> {
+    Ok(vec![
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--benchmark".into(),
+        "ss".into(),
+        "--trace-len".into(),
+        args.value_or("trace-len", 2_000usize)?.to_string(),
+        "--queue-cap".into(),
+        args.value_or("queue-cap", 128usize)?.to_string(),
+    ])
+}
+
 fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
     let fidelity = args.value_or("fidelity", "lf".to_string())?.to_ascii_lowercase();
     if fidelity != "auto" && dse_exec::Fidelity::from_key(&fidelity).is_none() {
         eprintln!("--fidelity must be lf, learned, hf or auto, got {fidelity:?}");
         return Ok(2);
     }
-    // Without --addr, self-host a quick server for the duration.
-    let (addr, hosted) = match args.value_of::<String>("addr")? {
-        Some(addr) => (addr, None),
-        None => {
-            let explorer = Explorer::for_benchmark(Benchmark::StringSearch).trace_len(2_000);
-            let server = spawn(ServeConfig::new(explorer))?;
+    let shards: usize = args.value_or("shards", 1usize)?;
+    if shards == 0 {
+        eprintln!("--shards must be >= 1");
+        return Ok(2);
+    }
+    if args.switch("trend") {
+        return cmd_loadgen_trend(args, &fidelity, shards.max(2));
+    }
+    let concurrency = args.value_of::<usize>("concurrency")?;
+    let duration = match args.value_of::<f64>("duration")? {
+        Some(s) if s <= 0.0 => {
+            eprintln!("--duration must be a positive number of seconds");
+            return Ok(2);
+        }
+        Some(s) => Some(std::time::Duration::from_secs_f64(s)),
+        // --concurrency alone implies a short closed-loop run.
+        None => concurrency.map(|_| std::time::Duration::from_secs(2)),
+    };
+    let external = args.value_of::<String>("addr")?;
+    if external.is_some() && shards > 1 {
+        eprintln!("--shards self-hosts a sharded stack; it conflicts with --addr");
+        return Ok(2);
+    }
+    let (addr, target) = match external {
+        Some(addr) => (addr, LoadgenTarget::External),
+        None if shards == 1 => {
+            // Self-host a quick in-process server for the duration.
+            let explorer = Explorer::for_benchmark(Benchmark::StringSearch)
+                .trace_len(args.value_or("trace-len", 2_000usize)?);
+            let mut config = ServeConfig::new(explorer);
+            config.batcher.queue_capacity =
+                args.value_or("queue-cap", config.batcher.queue_capacity)?.max(1);
+            let server = spawn(config)?;
             println!("(self-hosting a quick server on {})", server.addr());
-            (server.addr().to_string(), Some(server))
+            (server.addr().to_string(), LoadgenTarget::InProcess(server))
+        }
+        None => {
+            let workers = concurrency.unwrap_or(64).max(64);
+            let stack = ShardStack::boot(shards, &loadgen_child_args(args)?, workers)?;
+            println!("(self-hosting {shards} shard processes behind {})", stack.addr);
+            (stack.addr.clone(), LoadgenTarget::Stack(stack))
         }
     };
-    let mut config = LoadgenConfig::new(addr);
-    config.clients = args.value_or("clients", 4usize)?.max(1);
+    let mut config = LoadgenConfig::new(addr.clone());
+    config.clients = concurrency.unwrap_or(args.value_or("clients", 4usize)?).max(1);
     config.requests_per_client = args.value_or("requests", 8usize)?;
+    config.duration = duration;
     config.points_per_request = args.value_or("points", 4usize)?.max(1);
-    config.fidelity = fidelity;
+    config.fidelity = fidelity.clone();
     config.seed = args.value_or("seed", 1u64)?;
     let report = run_loadgen(&config);
-    if let Some(server) = hosted {
-        server.shutdown();
-        server.join();
+    if report.is_ok() {
+        if let Some(path) = args.value_of::<String>("metrics-out")? {
+            match archdse_serve::client::get(&addr, "/metrics?format=prometheus") {
+                Ok(response) => {
+                    std::fs::write(&path, response.body)?;
+                    println!("(wrote metrics to {path})");
+                }
+                Err(e) => eprintln!("could not scrape /metrics for --metrics-out: {e}"),
+            }
+        }
     }
+    target.teardown();
     let report = report?;
     print!("{}", report.render());
     if report.coalescer.batches < report.coalescer.requests {
@@ -616,18 +922,106 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
     }
     // Persist the run as a bench-style artifact so service latency has
     // the same durable record as kernel throughput.
-    let artifact = serde_json::to_string_pretty(&LoadgenArtifact {
+    let row = loadgen_row(&report, &config);
+    let artifact = serde_json::to_string_pretty(&LoadgenArtifact { rows: vec![row] })?;
+    dse_bench::write_results_artifact("BENCH_loadgen.json", &artifact);
+    Ok(if report.failed == 0 { 0 } else { 1 })
+}
+
+/// The trend matrix: {1, N} shard stacks × a fixed concurrency ladder,
+/// every cell on a freshly booted stack so caches start cold and rows
+/// are comparable.
+fn cmd_loadgen_trend(args: &Args, fidelity: &str, shards_n: usize) -> Result<i32, Box<dyn Error>> {
+    if args.value_of::<String>("addr")?.is_some() {
+        eprintln!("--trend self-hosts its serving stacks; it conflicts with --addr");
+        return Ok(2);
+    }
+    let duration_s: f64 = args.value_or("duration", 3.0)?;
+    if duration_s <= 0.0 {
+        eprintln!("--duration must be a positive number of seconds");
+        return Ok(2);
+    }
+    let points = args.value_or("points", 4usize)?.max(1);
+    let seed = args.value_or("seed", 1u64)?;
+    let concurrencies: [usize; 3] = [16, 256, 1024];
+    let child_args = loadgen_child_args(args)?;
+
+    let mut rows = Vec::new();
+    let mut all_clean = true;
+    for shards in [1, shards_n] {
+        for &clients in &concurrencies {
+            println!("== {shards} shard(s), {clients} clients, {duration_s:.1}s closed-loop ==");
+            let stack = ShardStack::boot(shards, &child_args, clients.max(64))?;
+            let mut config = LoadgenConfig::new(stack.addr.clone());
+            config.clients = clients;
+            config.duration = Some(std::time::Duration::from_secs_f64(duration_s));
+            config.points_per_request = points;
+            config.fidelity = fidelity.to_string();
+            config.seed = seed;
+            let report = run_loadgen(&config);
+            stack.teardown();
+            let report = report?;
+            print!("{}", report.render());
+            all_clean &= report.failed == 0;
+            rows.push(loadgen_row(&report, &config));
+        }
+    }
+
+    println!(
+        "{:<7} {:>11} {:>9} {:>8} {:>11} {:>11} {:>9}",
+        "shards", "concurrency", "requests", "failed", "offered/s", "achieved/s", "p99(ms)"
+    );
+    for row in &rows {
+        println!(
+            "{:<7} {:>11} {:>9} {:>8} {:>11.0} {:>11.0} {:>9.1}",
+            row.shards,
+            row.concurrency,
+            row.requests,
+            row.failed,
+            row.offered_rps,
+            row.achieved_rps,
+            row.latency_us.p99 as f64 / 1000.0
+        );
+    }
+    let artifact = serde_json::to_string_pretty(&LoadgenArtifact { rows })?;
+    dse_bench::write_results_artifact("BENCH_loadgen.json", &artifact);
+    Ok(if all_clean { 0 } else { 1 })
+}
+
+/// Flattens a [`LoadgenReport`] into one artifact row.
+fn loadgen_row(report: &LoadgenReport, config: &LoadgenConfig) -> LoadgenRow {
+    let us = |d: std::time::Duration| d.as_micros() as u64;
+    LoadgenRow {
+        shards: report.shards,
+        concurrency: config.clients as u64,
+        duration_s: report.wall.as_secs_f64(),
+        points_per_request: config.points_per_request as u64,
+        fidelity: config.fidelity.clone(),
         requests: report.requests,
         ok: report.ok,
         rejected: report.rejected,
         failed: report.failed,
+        io_errors: report.io_errors,
+        offered_rps: report.offered_rps,
+        achieved_rps: report.achieved_rps,
         latency_us: LatencyMicros {
             samples: report.latency.samples,
-            p50: report.latency.p50.as_micros() as u64,
-            p95: report.latency.p95.as_micros() as u64,
-            p99: report.latency.p99.as_micros() as u64,
-            max: report.latency.max.as_micros() as u64,
+            p50: us(report.latency.p50),
+            p95: us(report.latency.p95),
+            p99: us(report.latency.p99),
+            max: us(report.latency.max),
         },
+        statuses: report
+            .statuses
+            .iter()
+            .map(|s| StatusRow {
+                status: u64::from(s.status),
+                count: s.count,
+                p50_us: us(s.latency.p50),
+                p99_us: us(s.latency.p99),
+                max_us: us(s.latency.max),
+            })
+            .collect(),
         coalescer: report.coalescer,
         tiers: report
             .ledger
@@ -640,9 +1034,7 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
             })
             .collect(),
         escalations: report.escalations,
-    })?;
-    dse_bench::write_results_artifact("BENCH_loadgen.json", &artifact);
-    Ok(if report.failed == 0 { 0 } else { 1 })
+    }
 }
 
 /// Per-tier answered counts in the loadgen artifact.
@@ -663,20 +1055,46 @@ struct LatencyMicros {
     max: u64,
 }
 
-/// The `results/BENCH_loadgen.json` payload: per-status request counts
-/// plus client-side latency percentiles.
+/// Attempt counts and round-trip percentiles for one HTTP status.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct LoadgenArtifact {
+struct StatusRow {
+    status: u64,
+    count: u64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// One measured configuration in `results/BENCH_loadgen.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadgenRow {
+    shards: u64,
+    concurrency: u64,
+    duration_s: f64,
+    points_per_request: u64,
+    fidelity: String,
     requests: u64,
     ok: u64,
     rejected: u64,
     failed: u64,
+    io_errors: u64,
+    offered_rps: f64,
+    achieved_rps: f64,
     latency_us: LatencyMicros,
+    statuses: Vec<StatusRow>,
     coalescer: archdse_serve::CoalescerStats,
     /// Answered/cached counts per fidelity tier, cheapest first.
     tiers: Vec<TierCounts>,
     /// Gate escalations the server recorded during the run.
     escalations: u64,
+}
+
+/// The `results/BENCH_loadgen.json` payload: one row per measured
+/// configuration. A plain run records one row; `--trend` records the
+/// whole 1-shard vs N-shard × concurrency matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LoadgenArtifact {
+    rows: Vec<LoadgenRow>,
 }
 
 fn cmd_trace_report(args: &Args) -> Result<i32, Box<dyn Error>> {
@@ -947,6 +1365,9 @@ mod tests {
         }
         assert!(allowed_flags("table2").contains(&"full"));
         assert!(allowed_flags("serve").contains(&"max-batch"));
+        assert!(allowed_flags("serve").contains(&"shards"));
+        assert!(allowed_flags("loadgen").contains(&"concurrency"));
+        assert!(allowed_flags("loadgen").contains(&"trend"));
     }
 
     #[test]
@@ -958,6 +1379,40 @@ mod tests {
     #[test]
     fn loadgen_rejects_bad_fidelity() {
         assert_eq!(run(&args(&["loadgen", "--fidelity", "mid"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn loadgen_rejects_contradictory_sharding_flags() {
+        // Zero shards is meaningless for both commands.
+        assert_eq!(run(&args(&["loadgen", "--shards", "0"])).unwrap(), 2);
+        assert_eq!(run(&args(&["serve", "--shards", "0"])).unwrap(), 2);
+        // A self-hosted shard stack conflicts with an external target.
+        let a = args(&["loadgen", "--addr", "127.0.0.1:1", "--shards", "2"]);
+        assert_eq!(run(&a).unwrap(), 2);
+        let a = args(&["loadgen", "--trend", "--addr", "127.0.0.1:1"]);
+        assert_eq!(run(&a).unwrap(), 2);
+        // Closed-loop runs need a positive window.
+        let a = args(&["loadgen", "--concurrency", "4", "--duration", "0"]);
+        assert_eq!(run(&a).unwrap(), 2);
+        assert_eq!(run(&args(&["loadgen", "--trend", "--duration", "-1"])).unwrap(), 2);
+    }
+
+    #[test]
+    fn loadgen_closed_loop_runs_in_process() {
+        // A short closed-loop window against the in-process server: every
+        // request must be served (503s retry, so failed stays zero).
+        let a = args(&[
+            "loadgen",
+            "--concurrency",
+            "4",
+            "--duration",
+            "0.3",
+            "--points",
+            "2",
+            "--trace-len",
+            "500",
+        ]);
+        assert_eq!(run(&a).unwrap(), 0);
     }
 
     #[test]

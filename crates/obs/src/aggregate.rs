@@ -1,0 +1,281 @@
+//! Cross-process metric aggregation: parse a Prometheus text exposition
+//! back into a [`Snapshot`] and sum snapshots series-by-series.
+//!
+//! This is the router half of sharded serving: each shard process
+//! renders its own registry with [`Snapshot::to_prometheus_text`], the
+//! front router scrapes them over HTTP, re-parses with
+//! [`parse_prometheus_text`] (de-cumulating histogram buckets back to
+//! per-bucket counts), folds them with [`sum_snapshots`], and renders
+//! one combined exposition. Round-tripping through the text format —
+//! rather than a private side channel — keeps the aggregate honest:
+//! anything the router can sum, any scraper could too.
+
+use std::collections::BTreeMap;
+
+use crate::promcheck::{parse_sample, parse_value, Sample};
+use crate::registry::{MetricSnapshot, MetricValue, Snapshot};
+
+/// Parses a Prometheus text exposition into a [`Snapshot`].
+///
+/// Counter/gauge kinds come from the `# TYPE` comments; histogram
+/// `_bucket`/`_sum`/`_count` triples are reassembled into one
+/// [`MetricValue::Histogram`] per label set, with the cumulative bucket
+/// values de-cumulated back into per-bucket hit counts. `summary` and
+/// `untyped` families are not produced by our renderer and are
+/// rejected.
+///
+/// # Errors
+///
+/// Returns a `line N: ...` message for grammar errors, samples without
+/// a `# TYPE`, or histogram triples that do not reassemble (bounds out
+/// of order, cumulative counts decreasing, missing `+Inf`).
+pub fn parse_prometheus_text(text: &str) -> Result<Snapshot, String> {
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            if parts.next() == Some("TYPE") {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {n}: `# TYPE` without a metric name"))?;
+                let kind = parts.next().unwrap_or("");
+                match kind {
+                    "counter" | "gauge" | "histogram" => {
+                        families.insert(name.to_string(), kind.to_string());
+                    }
+                    other => return Err(format!("line {n}: unsupported metric type {other:?}")),
+                }
+            }
+            continue;
+        }
+        samples.push(parse_sample(n, line)?);
+    }
+
+    let mut metrics: Vec<MetricSnapshot> = Vec::new();
+    // Histogram parts grouped by (family, labels-without-le).
+    type LabelSet = Vec<(String, String)>;
+    struct HistParts {
+        line: usize,
+        buckets: Vec<(f64, f64)>, // (le, cumulative) in file order
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<(String, LabelSet), HistParts> = BTreeMap::new();
+
+    for s in samples {
+        // A histogram part first: `x_bucket`/`x_sum`/`x_count` where `x`
+        // is a declared histogram family.
+        let part = ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+            s.name
+                .strip_suffix(suffix)
+                .filter(|base| families.get(*base).map(String::as_str) == Some("histogram"))
+                .map(|base| (base.to_string(), *suffix))
+        });
+        if let Some((family, suffix)) = part {
+            let mut labels: LabelSet = Vec::new();
+            let mut le: Option<f64> = None;
+            for (k, v) in &s.labels {
+                if suffix == "_bucket" && k == "le" {
+                    le = Some(
+                        parse_value(v)
+                            .ok_or_else(|| format!("line {}: unparseable le={v:?}", s.line))?,
+                    );
+                } else {
+                    labels.push((k.clone(), v.clone()));
+                }
+            }
+            let entry = hists.entry((family, labels)).or_insert_with(|| HistParts {
+                line: s.line,
+                buckets: Vec::new(),
+                sum: None,
+                count: None,
+            });
+            match suffix {
+                "_bucket" => {
+                    let le =
+                        le.ok_or_else(|| format!("line {}: _bucket without le label", s.line))?;
+                    entry.buckets.push((le, s.value));
+                }
+                "_sum" => entry.sum = Some(s.value),
+                _ => entry.count = Some(s.value),
+            }
+            continue;
+        }
+        let kind = families
+            .get(&s.name)
+            .ok_or_else(|| format!("line {}: sample {} has no `# TYPE`", s.line, s.name))?;
+        let value = match kind.as_str() {
+            "counter" => {
+                if s.value < 0.0 || s.value.fract() != 0.0 || s.value > u64::MAX as f64 {
+                    return Err(format!(
+                        "line {}: counter {} value {} is not a u64",
+                        s.line, s.name, s.value
+                    ));
+                }
+                MetricValue::Counter(s.value as u64)
+            }
+            "gauge" => MetricValue::Gauge(s.value),
+            other => {
+                return Err(format!("line {}: {} declared as {other:?}", s.line, s.name));
+            }
+        };
+        metrics.push(MetricSnapshot { name: s.name, labels: s.labels, value });
+    }
+
+    for ((family, labels), parts) in hists {
+        let line = parts.line;
+        let mut bounds = Vec::new();
+        let mut buckets = Vec::new();
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0f64;
+        for (le, cum) in &parts.buckets {
+            if *le <= prev_le {
+                return Err(format!("line {line}: {family} le bounds not increasing"));
+            }
+            if *cum < prev_cum {
+                return Err(format!("line {line}: {family} cumulative buckets decrease"));
+            }
+            if le.is_finite() {
+                bounds.push(*le);
+            }
+            buckets.push((*cum - prev_cum) as u64);
+            prev_le = *le;
+            prev_cum = *cum;
+        }
+        if prev_le != f64::INFINITY {
+            return Err(format!("line {line}: {family} missing the le=\"+Inf\" bucket"));
+        }
+        let sum = parts.sum.ok_or_else(|| format!("line {line}: {family} missing _sum"))?;
+        let count = parts.count.ok_or_else(|| format!("line {line}: {family} missing _count"))?;
+        metrics.push(MetricSnapshot {
+            name: family,
+            labels,
+            value: MetricValue::Histogram { bounds, buckets, sum, count: count as u64 },
+        });
+    }
+
+    metrics.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    Ok(Snapshot { metrics })
+}
+
+/// Folds snapshots into one by summing series with identical
+/// `(name, labels)`: counters and gauges add, histograms add
+/// bucket-by-bucket. A histogram whose bounds disagree with the first
+/// occurrence keeps the first occurrence's value (mixed-version shards
+/// must not corrupt the aggregate); series unique to one snapshot pass
+/// through unchanged.
+#[must_use]
+pub fn sum_snapshots<I: IntoIterator<Item = Snapshot>>(snapshots: I) -> Snapshot {
+    let mut acc: Vec<MetricSnapshot> = Vec::new();
+    let mut index: BTreeMap<(String, Vec<(String, String)>), usize> = BTreeMap::new();
+    for snapshot in snapshots {
+        for m in snapshot.metrics {
+            let key = (m.name.clone(), m.labels.clone());
+            match index.get(&key) {
+                None => {
+                    index.insert(key, acc.len());
+                    acc.push(m);
+                }
+                Some(&i) => match (&mut acc[i].value, m.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                        *a = a.saturating_add(b);
+                    }
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (
+                        MetricValue::Histogram { bounds, buckets, sum, count },
+                        MetricValue::Histogram {
+                            bounds: b_bounds,
+                            buckets: b_buckets,
+                            sum: b_sum,
+                            count: b_count,
+                        },
+                    ) if *bounds == b_bounds && buckets.len() == b_buckets.len() => {
+                        for (a, b) in buckets.iter_mut().zip(&b_buckets) {
+                            *a = a.saturating_add(*b);
+                        }
+                        *sum += b_sum;
+                        *count = count.saturating_add(b_count);
+                    }
+                    // Kind or shape mismatch: keep the first occurrence.
+                    _ => {}
+                },
+            }
+        }
+    }
+    acc.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    Snapshot { metrics: acc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::LATENCY_BUCKETS_S;
+
+    fn sample_registry(scale: u64) -> Registry {
+        let r = Registry::new();
+        r.counter("reqs_total").add(3 * scale);
+        r.counter_with("by_ep_total", &[("endpoint", "healthz")]).add(scale);
+        r.gauge("open").set(2.0 * scale as f64);
+        let h = r.histogram_with("lat_seconds", &[("endpoint", "eval")], LATENCY_BUCKETS_S);
+        for _ in 0..scale {
+            h.observe(0.002);
+            h.observe(0.7);
+        }
+        r
+    }
+
+    #[test]
+    fn text_round_trips_to_the_same_snapshot() {
+        let snap = sample_registry(3).snapshot();
+        let parsed = parse_prometheus_text(&snap.to_prometheus_text()).expect("own output parses");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn summed_shards_equal_one_big_registry() {
+        let a = sample_registry(2).snapshot();
+        let b = sample_registry(5).snapshot();
+        let summed = sum_snapshots([a, b]);
+        assert_eq!(summed, sample_registry(7).snapshot());
+        // And the aggregate still renders a valid exposition.
+        crate::check_text(&summed.to_prometheus_text()).expect("aggregate validates");
+    }
+
+    #[test]
+    fn disjoint_series_pass_through_and_mismatches_keep_first() {
+        let a = Registry::new();
+        a.counter("only_a_total").add(4);
+        let b = Registry::new();
+        b.gauge("only_b").set(1.5);
+        let summed = sum_snapshots([a.snapshot(), b.snapshot()]);
+        assert_eq!(summed.metrics.len(), 2);
+
+        // Same name, conflicting kinds: first wins.
+        let c = Registry::new();
+        c.counter("x_total").add(7);
+        let d = Registry::new();
+        d.gauge("x_total").set(9.0);
+        let summed = sum_snapshots([c.snapshot(), d.snapshot()]);
+        assert_eq!(summed.metrics.len(), 1);
+        assert_eq!(summed.metrics[0].value, MetricValue::Counter(7));
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(parse_prometheus_text("x 1\n").is_err(), "sample without TYPE");
+        assert!(parse_prometheus_text("# TYPE x summary\n").is_err(), "unsupported kind");
+        assert!(
+            parse_prometheus_text("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n")
+                .is_err(),
+            "histogram without +Inf"
+        );
+        assert!(parse_prometheus_text("# TYPE c counter\nc -2\n").is_err(), "negative counter");
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`promcheck`] — a promtool-style validator for the text
 //!   exposition format, shared by the golden tests and the CLI's
 //!   `check-metrics` subcommand so CI needs no external tooling.
+//! * [`aggregate`] — parse a text exposition back into a [`Snapshot`]
+//!   and sum snapshots series-by-series, so a shard router can serve
+//!   one `/metrics` for N worker processes.
 //!
 //! ## Example
 //!
@@ -41,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 mod expo;
 pub mod promcheck;
 mod registry;
 pub mod trace;
 
+pub use aggregate::{parse_prometheus_text, sum_snapshots};
 pub use promcheck::{check_text, CheckSummary};
 pub use registry::{
     global, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry, Snapshot,

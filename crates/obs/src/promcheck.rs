@@ -44,11 +44,11 @@ impl std::fmt::Display for CheckSummary {
 
 /// One parsed sample line.
 #[derive(Debug, Clone)]
-struct Sample {
-    line: usize,
-    name: String,
-    labels: Vec<(String, String)>,
-    value: f64,
+pub(crate) struct Sample {
+    pub(crate) line: usize,
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) value: f64,
 }
 
 /// Validates Prometheus text exposition output.
@@ -237,7 +237,7 @@ fn check_histogram_family(family: &str, samples: &[Sample], errors: &mut Vec<Str
 }
 
 /// Parses a sample value, accepting the Prometheus special spellings.
-fn parse_value(v: &str) -> Option<f64> {
+pub(crate) fn parse_value(v: &str) -> Option<f64> {
     match v {
         "+Inf" | "Inf" => Some(f64::INFINITY),
         "-Inf" => Some(f64::NEG_INFINITY),
@@ -247,7 +247,7 @@ fn parse_value(v: &str) -> Option<f64> {
 }
 
 /// Parses `name{labels} value [timestamp]`.
-fn parse_sample(n: usize, line: &str) -> Result<Sample, String> {
+pub(crate) fn parse_sample(n: usize, line: &str) -> Result<Sample, String> {
     let (series, rest) = match line.find(['{', ' ', '\t']) {
         Some(pos) if line.as_bytes()[pos] == b'{' => {
             let close = line[pos..]

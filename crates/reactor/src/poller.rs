@@ -1,0 +1,273 @@
+//! Level-triggered readiness poller with interchangeable backends.
+//!
+//! On Linux the default backend is epoll; a portable `poll(2)` backend is
+//! always compiled and can be forced (used by tests to exercise both paths on
+//! one platform). The poller tracks one registration per fd and reports
+//! readiness as [`Event`]s carrying the caller's token.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::sys;
+
+/// What readiness a registration wants to be woken for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interest {
+    /// Watch only for errors/hangup (parked connection).
+    None,
+    /// Wake when readable.
+    Read,
+    /// Wake when writable.
+    Write,
+    /// Wake when readable or writable.
+    ReadWrite,
+}
+
+impl Interest {
+    fn mask(self) -> u32 {
+        match self {
+            Interest::None => 0,
+            Interest::Read => sys::EV_READ,
+            Interest::Write => sys::EV_WRITE,
+            Interest::ReadWrite => sys::EV_READ | sys::EV_WRITE,
+        }
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Token supplied at registration time.
+    pub token: u64,
+    /// The fd is readable (or has pending data / incoming connection).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer hung up or the fd is in an error state; the owner should
+    /// attempt a final read/write and then retire the connection.
+    pub hangup: bool,
+}
+
+/// Which syscall family backs a [`Poller`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// `epoll(7)`; Linux only.
+    Epoll,
+    /// Portable `poll(2)`; rebuilds the fd array every wait.
+    Poll,
+}
+
+enum Inner {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+    },
+    Poll {
+        regs: Mutex<HashMap<RawFd, (u64, Interest)>>,
+    },
+}
+
+/// Level-triggered readiness poller; see the module docs.
+pub struct Poller {
+    inner: Inner,
+}
+
+impl Poller {
+    /// Creates a poller on the platform default backend (epoll on Linux,
+    /// `poll(2)` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Poller::with_backend(Backend::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_backend(Backend::Poll)
+        }
+    }
+
+    /// Creates a poller on an explicit backend. Requesting [`Backend::Epoll`]
+    /// off Linux yields `Unsupported`.
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            Backend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    let epfd = sys::epoll_new()?;
+                    Ok(Poller { inner: Inner::Epoll { epfd } })
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Err(io::Error::new(io::ErrorKind::Unsupported, "epoll backend requires Linux"))
+                }
+            }
+            Backend::Poll => Ok(Poller { inner: Inner::Poll { regs: Mutex::new(HashMap::new()) } }),
+        }
+    }
+
+    /// Reports which backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll { .. } => Backend::Epoll,
+            Inner::Poll { .. } => Backend::Poll,
+        }
+    }
+
+    /// Adds `fd` to the interest set. One registration per fd; registering an
+    /// fd twice is a caller bug (epoll reports `EEXIST`).
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll { epfd } => sys::epoll_add(*epfd, fd, interest.mask(), token),
+            Inner::Poll { regs } => {
+                regs.lock().unwrap().insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest mask (and token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll { epfd } => sys::epoll_mod(*epfd, fd, interest.mask(), token),
+            Inner::Poll { regs } => {
+                regs.lock().unwrap().insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes `fd` from the interest set. Must be called before the fd is
+    /// closed when using the `poll` backend (epoll drops closed fds itself,
+    /// `poll` would keep passing a stale fd to the kernel).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll { epfd } => sys::epoll_del(*epfd, fd),
+            Inner::Poll { regs } => {
+                regs.lock().unwrap().remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout` elapses,
+    /// appending notifications to `events` (which is cleared first). Returns
+    /// the number of events delivered; zero means timeout or `EINTR`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms = timeout.map(|d| {
+            // Round up so a 0.5 ms deadline does not spin at timeout 0.
+            let ms = d.as_millis().saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            ms.min(i32::MAX as u128) as i32
+        });
+        match &self.inner {
+            #[cfg(target_os = "linux")]
+            Inner::Epoll { epfd } => {
+                let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 128];
+                let n = sys::epoll_pwait(*epfd, &mut raw, timeout_ms)?;
+                for ev in raw.iter().take(n) {
+                    let bits = ev.events;
+                    events.push(Event {
+                        token: ev.data,
+                        readable: bits & sys::EV_READ != 0,
+                        writable: bits & sys::EV_WRITE != 0,
+                        hangup: bits & (sys::EV_ERR | sys::EV_HUP) != 0,
+                    });
+                }
+                Ok(n)
+            }
+            Inner::Poll { regs } => {
+                let (mut fds, tokens): (Vec<_>, Vec<_>) = {
+                    let regs = regs.lock().unwrap();
+                    regs.iter()
+                        .map(|(&fd, &(token, interest))| {
+                            (sys::PollFd::new(fd, interest.mask()), token)
+                        })
+                        .unzip()
+                };
+                let n = sys::poll_wait(&mut fds, timeout_ms)?;
+                if n > 0 {
+                    for (slot, &token) in fds.iter().zip(&tokens) {
+                        let bits = slot.revents as u32;
+                        if bits == 0 {
+                            continue;
+                        }
+                        events.push(Event {
+                            token,
+                            readable: bits & sys::EV_READ != 0,
+                            writable: bits & sys::EV_WRITE != 0,
+                            hangup: bits & (sys::EV_ERR | sys::EV_HUP) != 0,
+                        });
+                    }
+                }
+                Ok(events.len())
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Inner::Epoll { epfd } = &self.inner {
+            sys::close_fd(*epfd);
+        }
+    }
+}
+
+/// Token conventionally used for the waker registration.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Cross-thread wakeup handle for a poller loop. Cloneable and cheap: a
+/// `wake()` writes one byte into a socketpair whose read end the loop has
+/// registered; a full pipe means a wakeup is already pending, which is fine.
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Forces the next (or current) `Poller::wait` to return.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// Read end of a waker pair; register its fd with [`Interest::Read`] and call
+/// [`WakeRx::drain`] whenever it reports readable.
+pub struct WakeRx {
+    rx: UnixStream,
+}
+
+impl WakeRx {
+    /// Discards all pending wakeup bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n < buf.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl AsRawFd for WakeRx {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// Creates a connected waker pair (both ends nonblocking).
+pub fn waker_pair() -> io::Result<(Waker, WakeRx)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeRx { rx }))
+}

@@ -1,0 +1,174 @@
+//! Raw syscall declarations for the readiness backends.
+//!
+//! This is the only module in the workspace that contains `unsafe` code. It
+//! deliberately avoids the `libc` crate (the build environment has no registry
+//! access): `std` already links the platform C library, so declaring the four
+//! symbols we need (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`, plus
+//! `poll` for the portable fallback) is enough. Everything exported from here
+//! is a safe wrapper with a narrow contract; callers in `poller.rs` never see
+//! a raw pointer.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::raw::{c_int, c_short};
+use std::os::unix::io::RawFd;
+
+/// Readable readiness bit (`EPOLLIN` / `POLLIN` share the value 0x001).
+pub const EV_READ: u32 = 0x001;
+/// Writable readiness bit (`EPOLLOUT` / `POLLOUT` share the value 0x004).
+pub const EV_WRITE: u32 = 0x004;
+/// Error condition bit (`EPOLLERR` / `POLLERR`).
+pub const EV_ERR: u32 = 0x008;
+/// Hangup bit (`EPOLLHUP` / `POLLHUP`).
+pub const EV_HUP: u32 = 0x010;
+
+#[cfg(target_os = "linux")]
+pub use epoll::{epoll_add, epoll_del, epoll_mod, epoll_new, epoll_pwait, EpollEvent};
+
+/// Closes a raw file descriptor, ignoring `EINTR` (the fd is gone either way).
+pub fn close_fd(fd: RawFd) {
+    extern "C" {
+        fn close(fd: c_int) -> c_int;
+    }
+    // SAFETY: `close` is async-signal-safe and accepts any integer; closing an
+    // invalid fd merely returns EBADF, which we ignore.
+    unsafe {
+        close(fd);
+    }
+}
+
+/// One entry handed to [`poll_wait`]; layout matches `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored by the kernel).
+    pub fd: RawFd,
+    /// Requested events (`EV_READ` / `EV_WRITE` truncated to short).
+    pub events: c_short,
+    /// Returned events.
+    pub revents: c_short,
+}
+
+impl PollFd {
+    /// Builds a watch entry for `fd` with an `EV_*` interest mask.
+    pub fn new(fd: RawFd, interest: u32) -> Self {
+        PollFd { fd, events: interest as c_short, revents: 0 }
+    }
+}
+
+/// Safe wrapper over `poll(2)`. Returns the number of ready entries; the
+/// caller inspects `revents` on each slot. A `timeout` of `None` blocks.
+pub fn poll_wait(fds: &mut [PollFd], timeout_ms: Option<i32>) -> io::Result<usize> {
+    #[cfg(target_os = "linux")]
+    type NFds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: c_int) -> c_int;
+    }
+
+    let timeout = timeout_ms.unwrap_or(-1);
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of `repr(C)`
+    // pollfd-layout structs, and `nfds` is its exact length.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::*;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    /// Layout-compatible `struct epoll_event`. The kernel ABI packs this
+    /// struct on x86-64 (no padding between `events` and `data`).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        /// Ready/interest mask (`EV_*`).
+        pub events: u32,
+        /// Caller-chosen token returned verbatim with each event.
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    fn cvt(rc: c_int) -> io::Result<c_int> {
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc)
+        }
+    }
+
+    /// Creates a close-on-exec epoll instance and returns its fd.
+    pub fn epoll_new() -> io::Result<RawFd> {
+        // SAFETY: no pointers involved; the kernel validates the flag.
+        cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    fn ctl(epfd: RawFd, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. DEL ignores the event pointer entirely.
+        cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` with an interest mask and token.
+    pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Updates the interest mask / token of an already registered fd.
+    pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn epoll_del(epfd: RawFd, fd: RawFd) -> io::Result<()> {
+        ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for events; `timeout_ms` of `None` blocks indefinitely. `EINTR`
+    /// is reported as zero events so callers simply re-enter their loop.
+    pub fn epoll_pwait(
+        epfd: RawFd,
+        events: &mut [EpollEvent],
+        timeout_ms: Option<i32>,
+    ) -> io::Result<usize> {
+        let timeout = timeout_ms.unwrap_or(-1);
+        // SAFETY: `events` is a valid exclusively borrowed buffer and
+        // `maxevents` is its exact capacity.
+        let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(rc as usize)
+    }
+}

@@ -1,0 +1,169 @@
+//! Hashed timer wheel for coarse per-connection deadlines.
+//!
+//! The reactor needs thousands of read/write deadlines that are armed and
+//! re-armed constantly but almost never fire. A hashed wheel gives O(1)
+//! insert and amortised O(1) expiry at a fixed granularity (the tick).
+//! Cancellation is lazy: entries carry a caller generation counter and the
+//! reactor ignores entries whose generation no longer matches the connection,
+//! so re-arming a deadline is just an insert plus a generation bump.
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy)]
+struct Entry {
+    due_tick: u64,
+    token: u64,
+    generation: u64,
+}
+
+/// Fixed-granularity timer wheel; see the module docs.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    start: Instant,
+    /// First tick index that has not been expired yet.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel of `slots` buckets at `tick` granularity. Deadlines
+    /// longer than `slots * tick` are still correct (entries re-queue on
+    /// their slot until their tick comes up), just slightly more work.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(tick > Duration::ZERO, "tick must be positive");
+        assert!(slots > 0, "wheel needs at least one slot");
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            start: Instant::now(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        (elapsed.as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Arms a deadline `after` from `now` for `(token, generation)`. The
+    /// deadline is rounded *up* to the next tick so it never fires early.
+    pub fn insert(&mut self, now: Instant, after: Duration, token: u64, generation: u64) {
+        let due_tick = self.tick_of(now + after) + 1;
+        let slot = (due_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { due_tick, token, generation });
+        self.len += 1;
+    }
+
+    /// Collects every `(token, generation)` whose deadline has passed by
+    /// `now` into `out` (cleared first). Stale generations are the caller's
+    /// problem to filter.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        let now_tick = self.tick_of(now);
+        if now_tick < self.cursor {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        // Visit each slot at most once even if we fell far behind.
+        let last = now_tick.min(self.cursor + nslots - 1);
+        for t in self.cursor..=last {
+            let slot = (t % nslots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].due_tick <= now_tick {
+                    let e = bucket.swap_remove(i);
+                    out.push((e.token, e.generation));
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// Earliest instant at which any pending entry could be due, or `None`
+    /// when the wheel is empty. Used to bound the poller timeout.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut min_tick = u64::MAX;
+        for bucket in &self.slots {
+            for e in bucket {
+                if e.due_tick < min_tick {
+                    min_tick = e.due_tick;
+                }
+            }
+        }
+        let nanos =
+            self.tick.as_nanos().saturating_mul(u128::from(min_tick)).min(u128::from(u64::MAX))
+                as u64;
+        Some(self.start + Duration::from_nanos(nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_fire_in_order_and_never_early() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 16);
+        let t0 = Instant::now();
+        wheel.insert(t0, Duration::from_millis(5), 1, 0);
+        wheel.insert(t0, Duration::from_millis(50), 2, 0);
+        let mut out = Vec::new();
+
+        wheel.expire(t0 + Duration::from_millis(2), &mut out);
+        assert!(out.is_empty(), "nothing due yet: {out:?}");
+
+        wheel.expire(t0 + Duration::from_millis(10), &mut out);
+        assert_eq!(out, vec![(1, 0)]);
+        assert_eq!(wheel.len(), 1);
+
+        // Far beyond the wheel horizon (16 ticks) in one jump.
+        wheel.expire(t0 + Duration::from_millis(200), &mut out);
+        assert_eq!(out, vec![(2, 0)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn entries_beyond_the_horizon_wait_for_their_tick() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        let t0 = Instant::now();
+        // 10 ms with a 4-slot wheel: lands on slot 10 % 4 = 2 but must not
+        // fire when the cursor first passes slot 2 (at ~2 ms).
+        wheel.insert(t0, Duration::from_millis(10), 7, 3);
+        let mut out = Vec::new();
+        wheel.expire(t0 + Duration::from_millis(4), &mut out);
+        assert!(out.is_empty());
+        wheel.expire(t0 + Duration::from_millis(12), &mut out);
+        assert_eq!(out, vec![(7, 3)]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_entry() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        assert!(wheel.next_deadline().is_none());
+        let t0 = Instant::now();
+        wheel.insert(t0, Duration::from_millis(30), 1, 0);
+        wheel.insert(t0, Duration::from_millis(3), 2, 0);
+        let dl = wheel.next_deadline().expect("entries pending");
+        let dt = dl.saturating_duration_since(t0);
+        assert!(dt >= Duration::from_millis(3) && dt <= Duration::from_millis(6), "{dt:?}");
+    }
+}

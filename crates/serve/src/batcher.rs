@@ -18,7 +18,7 @@
 //! [`max_delay`]: BatcherConfig::max_delay
 //! [`CostLedger::evaluate_batch`]: dse_exec::CostLedger::evaluate_batch
 
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -200,6 +200,11 @@ pub(crate) enum TierRequest {
     Auto,
 }
 
+/// How a finished evaluation gets back to whoever is waiting: the
+/// reactor posts a completion (and wakes its poller), tests hand in a
+/// plain channel sender. Either way it is a one-shot callback.
+pub(crate) type ReplyFn = Box<dyn FnOnce(Vec<(LedgerEntry, Fidelity)>) + Send>;
+
 /// One evaluate request, queued for the coalescer.
 pub(crate) struct EvalJob {
     pub tier: TierRequest,
@@ -207,9 +212,12 @@ pub(crate) struct EvalJob {
     /// `Some(i)` evaluates registered ingested workload `i`.
     pub workload: Option<usize>,
     pub points: Vec<DesignPoint>,
-    /// Rendezvous back to the connection worker holding the socket; each
-    /// entry carries the tier that actually answered it.
-    pub reply: SyncSender<Vec<(LedgerEntry, Fidelity)>>,
+    /// When the job entered the queue; the coalescer observes the queue
+    /// wait (enqueue → window submit) per request.
+    pub enqueued_at: Instant,
+    /// Rendezvous back to the parked connection; each entry carries the
+    /// tier that actually answered it.
+    pub reply: ReplyFn,
 }
 
 /// The coalescer thread body: gather → submit → reply, until every
@@ -221,6 +229,7 @@ pub(crate) fn run_coalescer(
     stats: Arc<Mutex<CoalescerStats>>,
     config: BatcherConfig,
     batch_points: dse_obs::Histogram,
+    queue_wait: dse_obs::Histogram,
 ) {
     loop {
         // Block until a window opens; a disconnect here means every
@@ -245,7 +254,7 @@ pub(crate) fn run_coalescer(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        submit_window(window, &core, &stats, &batch_points);
+        submit_window(window, &core, &stats, &batch_points, &queue_wait);
     }
 }
 
@@ -259,8 +268,14 @@ fn submit_window(
     core: &Mutex<EvalCore>,
     stats: &Mutex<CoalescerStats>,
     batch_points: &dse_obs::Histogram,
+    queue_wait: &dse_obs::Histogram,
 ) {
     let jobs = window;
+    let now = Instant::now();
+    for job in &jobs {
+        queue_wait.observe_duration(now.saturating_duration_since(job.enqueued_at));
+    }
+    let mut jobs = jobs;
     let tier_rank = |tier: TierRequest| match tier {
         TierRequest::Fixed(f) => Fidelity::STACK.iter().position(|&s| s == f).unwrap_or(0),
         TierRequest::Auto => Fidelity::STACK.len(),
@@ -311,9 +326,12 @@ fn submit_window(
             let take = jobs[i].points.len();
             let slice = answered[cursor..cursor + take].to_vec();
             cursor += take;
-            // A dropped receiver means the worker gave up (socket
-            // died); the evaluation is already accounted — ignore it.
-            let _ = jobs[i].reply.send(slice);
+            // Each job sits in exactly one group, so its one-shot reply
+            // is consumed exactly once. If the connection died in the
+            // meantime the completion is simply dropped on the reactor
+            // floor — the evaluation is already accounted.
+            let reply: ReplyFn = std::mem::replace(&mut jobs[i].reply, Box::new(|_| {}));
+            reply(slice);
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Per-connection state machine driven by the reactor.
+//!
+//! Each accepted socket becomes one [`Conn`]: a nonblocking `TcpStream`, a
+//! resumable [`RequestParser`], and an outgoing byte buffer. The reactor
+//! feeds it readiness events; the connection never blocks and never owns a
+//! thread. States:
+//!
+//! ```text
+//!            ┌──────────── keep-alive / pipelined ───────────┐
+//!            ▼                                               │
+//!   Reading ──(request parsed)──▶ InFlight ──(completion)──▶ Writing ──▶ Closed
+//!      │                            (parked: interest None,       (partial writes,
+//!      │  (parse error/timeout)      waiting on coalescer          write deadline)
+//!      └──────────────────────▶      or app pool)
+//! ```
+//!
+//! Timers use a per-connection `generation`: every phase change bumps it, so
+//! a deadline armed for an earlier phase is recognisably stale when it pops
+//! out of the timer wheel.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::http::{Parsed, RequestParser};
+
+/// Read chunk size; also bounds how much one readable event consumes.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Connection phase, as seen by the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    /// Accumulating request bytes (read deadline armed).
+    Reading,
+    /// A complete request was dispatched; waiting for its completion
+    /// (interest `None`, no deadline — the pipeline always replies).
+    InFlight,
+    /// Flushing the response (write deadline armed).
+    Writing,
+    /// Finished; the reactor removes and drops the connection.
+    Closed,
+}
+
+/// What a read pass produced, for the reactor to act on.
+#[derive(Debug)]
+pub(crate) enum ReadEvent {
+    /// No complete request yet; stay in `Reading`.
+    More,
+    /// A complete request is ready (returned to the reactor for dispatch).
+    Request(crate::http::Request),
+    /// Protocol error: respond with this status/reason, then close.
+    Bad(crate::http::BadRequest),
+    /// Peer is gone / stream unusable with nothing to answer.
+    Close,
+}
+
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    /// Phase-change counter guarding timers and completions.
+    pub generation: u64,
+    pub state: ConnState,
+    parser: RequestParser,
+    /// Pending response bytes and the write cursor into them.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Whether the connection survives the current response.
+    pub keep_alive_after: bool,
+    /// Any request bytes seen since the last response (408 vs quiet close
+    /// when the read deadline fires).
+    pub got_bytes: bool,
+    /// Request start (first complete parse), for the latency histogram.
+    pub started: Option<Instant>,
+    /// Low-cardinality endpoint label of the in-flight request.
+    pub endpoint: &'static str,
+    /// Encoded design points of an in-flight `/v1/evaluate` (local mode),
+    /// kept for rendering the reply when the completion arrives.
+    pub pending_codes: Vec<u64>,
+    /// The peer's read half hit EOF.
+    read_closed: bool,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, max_body_bytes: usize) -> Conn {
+        Conn {
+            stream,
+            generation: 0,
+            state: ConnState::Reading,
+            parser: RequestParser::new(max_body_bytes),
+            out: Vec::new(),
+            out_pos: 0,
+            keep_alive_after: false,
+            got_bytes: false,
+            started: None,
+            endpoint: "other",
+            pending_codes: Vec::new(),
+            read_closed: false,
+        }
+    }
+
+    /// Marks a phase change; stale timers/completions carry the old value.
+    pub fn bump_generation(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Drains the socket into the parser and steps the parser once.
+    /// Call only in `Reading`.
+    pub fn on_readable(&mut self) -> ReadEvent {
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    self.parser.eof();
+                    break;
+                }
+                Ok(n) => {
+                    self.got_bytes = true;
+                    self.parser.feed(&buf[..n]);
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadEvent::Close,
+            }
+        }
+        self.step_parser()
+    }
+
+    /// Advances the parser without reading (used right after a response
+    /// completes, when a pipelined request may already be buffered).
+    pub fn step_parser(&mut self) -> ReadEvent {
+        match self.parser.next_request() {
+            Parsed::Incomplete => {
+                if self.read_closed {
+                    // EOF declared and the parser still wants more: it has
+                    // already emitted its verdict (or will return Closed);
+                    // an Incomplete here means the stream is spent.
+                    ReadEvent::Close
+                } else {
+                    ReadEvent::More
+                }
+            }
+            Parsed::Request(request) => ReadEvent::Request(request),
+            Parsed::Closed => ReadEvent::Close,
+            Parsed::Bad(bad) => ReadEvent::Bad(bad),
+        }
+    }
+
+    /// Loads a rendered response for writing. Returns `false` when the
+    /// socket already failed and the connection should just close.
+    pub fn set_response(&mut self, bytes: Vec<u8>) {
+        self.out = bytes;
+        self.out_pos = 0;
+        self.state = ConnState::Writing;
+    }
+
+    /// Writes as much of the pending response as the socket accepts.
+    /// `Ok(true)` means fully flushed.
+    pub fn try_flush(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Resets per-request state after a fully flushed keep-alive response.
+    /// Returns `false` if the connection cannot take another request (peer
+    /// half closed and nothing buffered).
+    pub fn reset_for_next_request(&mut self) -> bool {
+        self.out = Vec::new();
+        self.out_pos = 0;
+        self.started = None;
+        self.endpoint = "other";
+        self.pending_codes = Vec::new();
+        self.keep_alive_after = false;
+        self.got_bytes = self.parser.buffered() > 0;
+        self.state = ConnState::Reading;
+        !(self.read_closed && self.parser.buffered() == 0)
+    }
+}

@@ -44,9 +44,11 @@
 //!
 //! ## Robustness policy
 //!
-//! * **Backpressure** — full connection or evaluation queues answer
+//! * **Backpressure** — a full evaluation or request queue answers
 //!   `503` immediately instead of queueing unboundedly.
-//! * **Timeouts** — every accepted socket gets read and write timeouts.
+//! * **Timeouts** — every connection gets read and write deadlines from
+//!   the reactor's timer wheel; slow-loris senders get `408` or a
+//!   silent close instead of pinning resources.
 //! * **Size limits** — request line, header count and body size are all
 //!   capped; oversize bodies answer `413`.
 //! * **Graceful shutdown** — `POST /v1/shutdown` (or
@@ -78,16 +80,20 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod conn;
 mod http;
 mod loadgen;
 mod protocol;
+mod reactor;
 mod server;
+mod shard;
 
 pub use batcher::{BatcherConfig, CoalescerStats};
 pub use http::client;
-pub use loadgen::{run as run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{run as run_loadgen, LatencyStats, LoadgenConfig, LoadgenReport, StatusLatency};
 pub use protocol::{
     EvaluateResponse, EvaluatedPoint, ExplainResponse, JobResult, JobStatus, MetricsResponse,
     RequestCounters, WorkloadUploadResponse,
 };
 pub use server::{spawn, ServeConfig, ServerHandle};
+pub use shard::{spawn_router, RouterConfig, RouterHandle};

@@ -1,8 +1,21 @@
 //! The load generator: N client threads hammering `/v1/evaluate` on a
 //! running server, then reading `/metrics` back to show how the
 //! coalescer amortized their requests into fewer ledger batches.
+//!
+//! Two modes share one per-client engine:
+//!
+//! * **Fixed-count** (`duration: None`) — every client sends
+//!   `requests_per_client` requests and stops; the historical mode used
+//!   by quick demos and tests.
+//! * **Closed-loop saturating** (`duration: Some(..)`) — every client
+//!   keeps exactly one request in flight on a persistent keep-alive
+//!   connection until the deadline, retrying `503` backpressure answers
+//!   with exponential backoff. The report then separates *offered*
+//!   throughput (HTTP attempts per second, retries included) from
+//!   *achieved* throughput (served requests per second): their gap is
+//!   the retry traffic the server burned CPU rejecting.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dse_exec::LedgerSummary;
 
@@ -17,8 +30,11 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Concurrent client threads.
     pub clients: usize,
-    /// Evaluate requests each client sends.
+    /// Evaluate requests each client sends (fixed-count mode only).
     pub requests_per_client: usize,
+    /// When set, run closed-loop for this long instead of counting
+    /// requests: every client loops until the deadline.
+    pub duration: Option<Duration>,
     /// Design points per request.
     pub points_per_request: usize,
     /// The wire fidelity name every request asks for: a tier key
@@ -30,12 +46,13 @@ pub struct LoadgenConfig {
 
 impl LoadgenConfig {
     /// A default workload against `addr`: 4 clients × 8 LF requests of
-    /// 4 points each.
+    /// 4 points each, fixed-count mode.
     pub fn new(addr: impl Into<String>) -> Self {
         Self {
             addr: addr.into(),
             clients: 4,
             requests_per_client: 8,
+            duration: None,
             points_per_request: 4,
             fidelity: "lf".into(),
             seed: 1,
@@ -45,10 +62,11 @@ impl LoadgenConfig {
 
 /// Per-request latency percentiles observed client-side.
 ///
-/// Latency is measured around a request's whole service interval —
-/// including any 503-backoff retries it absorbed — for requests that
-/// were eventually served, which is the latency a well-behaved client
-/// actually experiences.
+/// For served requests latency is measured around the whole service
+/// interval — including any 503-backoff retries it absorbed — which is
+/// the latency a well-behaved client actually experiences. Per-status
+/// attempt latencies (see [`StatusLatency`]) measure single round-trips
+/// instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyStats {
     /// Served requests the percentiles are computed over.
@@ -87,10 +105,25 @@ impl LatencyStats {
     }
 }
 
+/// Round-trip latency percentiles of every attempt that answered one
+/// HTTP status — `200` rows show service time, `503` rows show how fast
+/// the server sheds load.
+#[derive(Debug, Clone, Copy)]
+pub struct StatusLatency {
+    /// The HTTP status these attempts answered.
+    pub status: u16,
+    /// Attempts answering it.
+    pub count: u64,
+    /// Single round-trip latency percentiles of those attempts.
+    pub latency: LatencyStats,
+}
+
 /// What a load-generation run observed.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Evaluate requests attempted.
+    /// Evaluate requests that reached a final disposition (`ok +
+    /// failed`; a request retried through any number of 503s is counted
+    /// once).
     pub requests: u64,
     /// Requests answered 200.
     pub ok: u64,
@@ -98,9 +131,23 @@ pub struct LoadgenReport {
     pub rejected: u64,
     /// Requests that never got a 200 (gave up after retries / IO error).
     pub failed: u64,
-    /// Client-side per-request latency percentiles of served requests.
+    /// Socket-level errors absorbed (each triggered a reconnect).
+    pub io_errors: u64,
+    /// Wall clock of the request phase, start to last client joined.
+    pub wall: Duration,
+    /// HTTP attempts per second the clients put on the wire (retries
+    /// and rejected attempts included).
+    pub offered_rps: f64,
+    /// Served (200) requests per second.
+    pub achieved_rps: f64,
+    /// Client-side per-request latency percentiles of served requests,
+    /// whole service interval (retries included).
     pub latency: LatencyStats,
-    /// The server's coalescer counters after the run.
+    /// Per-status single-attempt round-trip percentiles, sorted by
+    /// status code.
+    pub statuses: Vec<StatusLatency>,
+    /// The server's coalescer counters after the run (summed across
+    /// shards when the target is a shard router).
     pub coalescer: CoalescerStats,
     /// The server's evaluate-ledger summary after the run — the per-tier
     /// answered counts live in its sections.
@@ -109,6 +156,9 @@ pub struct LoadgenReport {
     /// (`tier_gate_escalations_total`, scraped from the Prometheus
     /// exposition; only `"auto"` requests can escalate).
     pub escalations: u64,
+    /// Shards behind the target (`1` for a plain server; a shard router
+    /// reports its fan-out width in `/metrics`).
+    pub shards: u64,
 }
 
 impl LoadgenReport {
@@ -116,8 +166,16 @@ impl LoadgenReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "loadgen: {} requests ({} ok, {} backpressured, {} failed)\n",
-            self.requests, self.ok, self.rejected, self.failed
+            "loadgen: {} requests ({} ok, {} backpressured, {} failed, {} io errors)\n",
+            self.requests, self.ok, self.rejected, self.failed, self.io_errors
+        ));
+        out.push_str(&format!(
+            "throughput: offered {:.0} attempts/s, achieved {:.0} req/s over {:.2?} ({} shard{})\n",
+            self.offered_rps,
+            self.achieved_rps,
+            self.wall,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" }
         ));
         if self.latency.samples > 0 {
             out.push_str(&format!(
@@ -127,6 +185,12 @@ impl LoadgenReport {
                 self.latency.p99,
                 self.latency.max,
                 self.latency.samples
+            ));
+        }
+        for s in &self.statuses {
+            out.push_str(&format!(
+                "  status {}: {} attempts (rtt p50 {:?}, p99 {:?}, max {:?})\n",
+                s.status, s.count, s.latency.p50, s.latency.p99, s.latency.max
             ));
         }
         out.push_str(&format!(
@@ -182,6 +246,159 @@ fn next_code(state: &mut u64, space_size: u64) -> u64 {
     (mixed ^ (mixed >> 33)) % space_size
 }
 
+/// What one client thread accumulated.
+#[derive(Debug, Default)]
+struct ClientOutcome {
+    ok: u64,
+    rejected: u64,
+    failed: u64,
+    io_errors: u64,
+    /// Whole-service-interval latencies of served requests.
+    served: Vec<Duration>,
+    /// Per-attempt round-trip latencies keyed by answering status.
+    by_status: Vec<(u16, Vec<Duration>)>,
+}
+
+impl ClientOutcome {
+    fn record_attempt(&mut self, status: u16, rtt: Duration) {
+        match self.by_status.iter_mut().find(|(s, _)| *s == status) {
+            Some((_, rtts)) => rtts.push(rtt),
+            None => self.by_status.push((status, vec![rtt])),
+        }
+    }
+
+    fn absorb(&mut self, other: ClientOutcome) {
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.failed += other.failed;
+        self.io_errors += other.io_errors;
+        self.served.extend(other.served);
+        for (status, rtts) in other.by_status {
+            match self.by_status.iter_mut().find(|(s, _)| *s == status) {
+                Some((_, acc)) => acc.extend(rtts),
+                None => self.by_status.push((status, rtts)),
+            }
+        }
+    }
+}
+
+/// Hard tries per request in fixed-count mode; closed-loop requests
+/// retry 503s until served (backpressure is not a failure).
+const FIXED_MODE_TRIES: usize = 50;
+/// Consecutive socket errors on one request before giving it up.
+const IO_RETRY_LIMIT: usize = 100;
+/// 503 backoff bounds: exponential from first to cap.
+const BACKOFF_FIRST: Duration = Duration::from_millis(1);
+const BACKOFF_CAP: Duration = Duration::from_millis(16);
+
+/// One client thread: sends requests on a persistent keep-alive
+/// connection until its quota (fixed-count) or the deadline
+/// (closed-loop) is reached, reconnecting on socket errors.
+fn client_loop(
+    config: &LoadgenConfig,
+    client_id: usize,
+    space_size: u64,
+    deadline: Option<Instant>,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let mut state = config.seed ^ ((client_id as u64 + 1) << 32);
+    let mut conn: Option<client::Conn> = None;
+    let mut sent = 0usize;
+    loop {
+        match deadline {
+            Some(deadline) => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            None => {
+                if sent >= config.requests_per_client {
+                    break;
+                }
+            }
+        }
+        sent += 1;
+        let points: Vec<String> = (0..config.points_per_request.max(1))
+            .map(|_| next_code(&mut state, space_size).to_string())
+            .collect();
+        let body =
+            format!("{{\"points\":[{}],\"fidelity\":\"{}\"}}", points.join(","), config.fidelity);
+
+        // One request cycle: a 503 is backpressure doing its job — back
+        // off and retry the same request. Served latency is the whole
+        // service interval, retries included.
+        let started = Instant::now();
+        let mut served = false;
+        let mut backoff = BACKOFF_FIRST;
+        let mut io_failures = 0usize;
+        let mut tries = 0usize;
+        loop {
+            if deadline.is_none() {
+                tries += 1;
+                if tries > FIXED_MODE_TRIES {
+                    break;
+                }
+            }
+            if conn.is_none() {
+                match client::Conn::connect(&config.addr) {
+                    Ok(fresh) => conn = Some(fresh),
+                    Err(_) => {
+                        outcome.io_errors += 1;
+                        io_failures += 1;
+                        if io_failures >= IO_RETRY_LIMIT || deadline.is_none() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                        continue;
+                    }
+                }
+            }
+            let attempt_started = Instant::now();
+            let response = conn.as_mut().expect("connection was just established").request(
+                "POST",
+                "/v1/evaluate",
+                Some(&body),
+            );
+            match response {
+                Ok(r) => {
+                    outcome.record_attempt(r.status, attempt_started.elapsed());
+                    match r.status {
+                        200 => {
+                            outcome.ok += 1;
+                            served = true;
+                            break;
+                        }
+                        503 => {
+                            outcome.rejected += 1;
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(BACKOFF_CAP);
+                        }
+                        // Anything else is a hard per-request failure.
+                        _ => break,
+                    }
+                }
+                Err(_) => {
+                    // The keep-alive connection died (server deadline,
+                    // restart, drain): reconnect and retry.
+                    conn = None;
+                    outcome.io_errors += 1;
+                    io_failures += 1;
+                    if io_failures >= IO_RETRY_LIMIT || deadline.is_none() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        if served {
+            outcome.served.push(started.elapsed());
+        } else {
+            outcome.failed += 1;
+        }
+    }
+    outcome
+}
+
 /// Runs the configured workload and gathers the server's own counters.
 ///
 /// # Errors
@@ -199,76 +416,66 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         .and_then(|v| v.get("space_size").and_then(|s| s.as_u64()))
         .ok_or_else(|| std::io::Error::other("healthz reported no space_size"))?;
 
-    let fidelity = config.fidelity.as_str();
-    let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
-    let mut latencies: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    let deadline = config.duration.map(|d| started + d);
+    let mut total = ClientOutcome::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.clients.max(1))
             .map(|client_id| {
-                scope.spawn(move || {
-                    let mut state = config.seed ^ ((client_id as u64 + 1) << 32);
-                    let (mut ok, mut rejected, mut failed) = (0u64, 0u64, 0u64);
-                    let mut latencies = Vec::with_capacity(config.requests_per_client);
-                    for _ in 0..config.requests_per_client {
-                        let points: Vec<String> = (0..config.points_per_request.max(1))
-                            .map(|_| next_code(&mut state, space_size).to_string())
-                            .collect();
-                        let body = format!(
-                            "{{\"points\":[{}],\"fidelity\":\"{fidelity}\"}}",
-                            points.join(",")
-                        );
-                        // A 503 is backpressure doing its job: back off
-                        // briefly and retry the same request. Latency is
-                        // the whole service interval, retries included.
-                        let started = std::time::Instant::now();
-                        let mut served = false;
-                        for _ in 0..50 {
-                            match client::post(&config.addr, "/v1/evaluate", &body) {
-                                Ok(r) if r.status == 200 => {
-                                    ok += 1;
-                                    served = true;
-                                    break;
-                                }
-                                Ok(r) if r.status == 503 => {
-                                    rejected += 1;
-                                    std::thread::sleep(Duration::from_millis(2));
-                                }
-                                Ok(_) | Err(_) => break,
-                            }
-                        }
-                        if served {
-                            latencies.push(started.elapsed());
-                        } else {
-                            failed += 1;
-                        }
-                    }
-                    (ok, rejected, failed, latencies)
-                })
+                // Saturating runs want many mostly-blocked clients; a
+                // small stack keeps a 1024-client run cheap.
+                std::thread::Builder::new()
+                    .stack_size(128 * 1024)
+                    .spawn_scoped(scope, move || {
+                        client_loop(config, client_id, space_size, deadline)
+                    })
+                    .expect("spawning a loadgen client failed")
             })
             .collect();
         for handle in handles {
-            let (o, r, f, l) = handle.join().expect("loadgen client panicked");
-            ok += o;
-            rejected += r;
-            failed += f;
-            latencies.extend(l);
+            total.absorb(handle.join().expect("loadgen client panicked"));
         }
     });
+    let wall = started.elapsed();
 
     let metrics = client::get(&config.addr, "/metrics")?;
+    let shards = serde_json::from_str::<serde_json::Value>(&metrics.body)
+        .ok()
+        .and_then(|v| v.get("shards").and_then(|s| s.as_u64()))
+        .unwrap_or(1);
     let metrics: MetricsResponse = serde_json::from_str(&metrics.body)
         .map_err(|e| std::io::Error::other(format!("bad /metrics payload: {e}")))?;
     let exposition = client::get(&config.addr, "/metrics?format=prometheus")?;
     let escalations = scrape_counter(&exposition.body, "tier_gate_escalations_total");
+
+    let attempts: u64 =
+        total.by_status.iter().map(|(_, rtts)| rtts.len() as u64).sum::<u64>() + total.io_errors;
+    let wall_s = wall.as_secs_f64().max(f64::EPSILON);
+    let mut statuses: Vec<StatusLatency> = total
+        .by_status
+        .into_iter()
+        .map(|(status, rtts)| StatusLatency {
+            status,
+            count: rtts.len() as u64,
+            latency: LatencyStats::from_samples(rtts),
+        })
+        .collect();
+    statuses.sort_by_key(|s| s.status);
     Ok(LoadgenReport {
-        requests: (config.clients.max(1) * config.requests_per_client) as u64,
-        ok,
-        rejected,
-        failed,
-        latency: LatencyStats::from_samples(latencies),
+        requests: total.ok + total.failed,
+        ok: total.ok,
+        rejected: total.rejected,
+        failed: total.failed,
+        io_errors: total.io_errors,
+        wall,
+        offered_rps: attempts as f64 / wall_s,
+        achieved_rps: total.ok as f64 / wall_s,
+        latency: LatencyStats::from_samples(total.served),
+        statuses,
         coalescer: metrics.coalescer,
         ledger: metrics.ledger,
         escalations,
+        shards,
     })
 }
 
@@ -308,24 +515,71 @@ mod tests {
     }
 
     #[test]
-    fn report_renders_latency_line_only_when_sampled() {
+    fn report_renders_latency_and_status_lines() {
         let report = LoadgenReport {
             requests: 4,
             ok: 4,
-            rejected: 0,
+            rejected: 1,
             failed: 0,
+            io_errors: 0,
+            wall: Duration::from_secs(2),
+            offered_rps: 2.5,
+            achieved_rps: 2.0,
             latency: LatencyStats::from_samples(vec![ms(2), ms(3), ms(4), ms(40)]),
+            statuses: vec![
+                StatusLatency {
+                    status: 200,
+                    count: 4,
+                    latency: LatencyStats::from_samples(vec![ms(2), ms(3), ms(4), ms(5)]),
+                },
+                StatusLatency {
+                    status: 503,
+                    count: 1,
+                    latency: LatencyStats::from_samples(vec![ms(1)]),
+                },
+            ],
             coalescer: CoalescerStats::default(),
             ledger: LedgerSummary::default(),
             escalations: 0,
+            shards: 2,
         };
         let rendered = report.render();
         assert!(rendered.contains("latency: p50 3ms"), "{rendered}");
         assert!(rendered.contains("max 40ms (4 served)"), "{rendered}");
+        assert!(rendered.contains("offered 2 attempts/s, achieved 2 req/s"), "{rendered}");
+        assert!(rendered.contains("(2 shards)"), "{rendered}");
+        assert!(rendered.contains("status 200: 4 attempts"), "{rendered}");
+        assert!(rendered.contains("status 503: 1 attempts"), "{rendered}");
         assert!(rendered.contains("tiers: lf 0 answered"), "{rendered}");
         let mut silent = report;
         silent.latency = LatencyStats::default();
+        silent.statuses.clear();
         assert!(!silent.render().contains("latency"), "no line without samples");
+    }
+
+    #[test]
+    fn client_outcomes_merge_by_status() {
+        let mut a = ClientOutcome {
+            ok: 2,
+            rejected: 1,
+            failed: 0,
+            io_errors: 1,
+            served: vec![ms(5)],
+            by_status: vec![(200, vec![ms(5), ms(6)]), (503, vec![ms(1)])],
+        };
+        let b = ClientOutcome {
+            ok: 1,
+            rejected: 0,
+            failed: 1,
+            io_errors: 0,
+            served: vec![ms(7)],
+            by_status: vec![(200, vec![ms(7)]), (400, vec![ms(2)])],
+        };
+        a.absorb(b);
+        assert_eq!((a.ok, a.rejected, a.failed, a.io_errors), (3, 1, 1, 1));
+        assert_eq!(a.served.len(), 2);
+        let lens: Vec<(u16, usize)> = a.by_status.iter().map(|(s, v)| (*s, v.len())).collect();
+        assert!(lens.contains(&(200, 3)) && lens.contains(&(503, 1)) && lens.contains(&(400, 1)));
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! The readiness event loop behind both server modes.
+//!
+//! One reactor thread owns the listener, every connection state machine
+//! ([`Conn`]), a [`TimerWheel`] of read/write deadlines, and a [`Poller`]
+//! (epoll on Linux, `poll` fallback — selectable with
+//! `ARCHDSE_REACTOR_BACKEND=poll` for testing). Connections therefore cost
+//! one fd each, not one thread each; at rest the reactor blocks in the
+//! kernel with zero CPU.
+//!
+//! Work leaves the reactor two ways and comes back through one:
+//!
+//! - `/v1/evaluate` (local mode) is parsed inline — it is cheap string work —
+//!   and enqueued on the coalescer, which stays the batching heart of the
+//!   service; the connection parks with interest `None`.
+//! - Every other endpoint is handed to a small app-handler pool (CPU-bound
+//!   JSON/ingestion/aggregation work must not stall the event loop).
+//!
+//! Both paths post a [`Completion`] to the shared [`CompletionQueue`] and
+//! wake the poller; the reactor then renders/loads the response and drives
+//! the nonblocking write. A `generation` counter per connection makes stale
+//! timers and stale completions (from a connection that died or moved on)
+//! recognisable.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpListener;
+use std::os::unix::io::AsRawFd;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dse_exec::{Fidelity, LedgerEntry};
+use dse_reactor::{Backend, Event, Interest, Poller, TimerWheel, WakeRx, Waker, WAKE_TOKEN};
+
+use crate::conn::{Conn, ConnState, ReadEvent};
+use crate::http::{build_response, Request, CT_JSON};
+use crate::protocol::error_body;
+use crate::server::{endpoint_label, Shared};
+use crate::shard::RouterShared;
+
+/// Listener registration token (connection tokens start above it).
+const LISTEN_TOKEN: u64 = 0;
+/// Timer wheel granularity.
+const TICK: Duration = Duration::from_millis(5);
+/// Timer wheel size (deadlines beyond the horizon re-queue transparently).
+const WHEEL_SLOTS: usize = 512;
+
+/// Which service logic a reactor instance drives.
+#[derive(Clone)]
+pub(crate) enum Engine {
+    /// A full evaluation server (coalescer, eval core, jobs).
+    Local(Arc<Shared>),
+    /// A shard router front (fan-out to upstream shard servers).
+    Router(Arc<RouterShared>),
+}
+
+impl Engine {
+    pub(crate) fn shutting_down(&self) -> bool {
+        match self {
+            Engine::Local(s) => s.is_shutting_down(),
+            Engine::Router(r) => r.is_shutting_down(),
+        }
+    }
+
+    fn metrics(&self) -> &crate::server::ServerMetrics {
+        match self {
+            Engine::Local(s) => s.metrics(),
+            Engine::Router(r) => r.metrics(),
+        }
+    }
+
+    fn limits(&self) -> (Duration, Duration, usize) {
+        match self {
+            Engine::Local(s) => s.limits(),
+            Engine::Router(r) => r.limits(),
+        }
+    }
+
+    /// Reactor-thread dispatch of a parsed request. Only work that is cheap
+    /// and nonblocking may run here.
+    fn dispatch(
+        &self,
+        request: Request,
+        token: u64,
+        generation: u64,
+        completions: &Arc<CompletionQueue>,
+        app_tx: &SyncSender<AppJob>,
+    ) -> Dispatch {
+        // Local mode answers `/v1/evaluate` through the coalescer; every
+        // other request (and everything in router mode, whose handlers do
+        // blocking upstream I/O) goes to the app pool.
+        if let Engine::Local(shared) = self {
+            let path = request.path.split('?').next().unwrap_or(&request.path);
+            if (request.method.as_str(), path) == ("POST", "/v1/evaluate") {
+                return shared.dispatch_evaluate(&request, token, generation, completions);
+            }
+            if (request.method.as_str(), path) == ("POST", "/v1/shutdown") {
+                shared.initiate_shutdown();
+                return Dispatch::Immediate(200, "{\"status\":\"shutting down\"}".into(), CT_JSON);
+            }
+        }
+        // Router mode handles everything (including /v1/shutdown, whose
+        // upstream fan-out blocks) on the app pool.
+        match app_tx.try_send(AppJob { token, generation, request }) {
+            Ok(()) => Dispatch::Queued,
+            Err(TrySendError::Full(_)) => {
+                self.metrics().rejected.inc();
+                Dispatch::Immediate(503, error_body("request queue full, retry later"), CT_JSON)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Dispatch::Immediate(503, error_body("server is shutting down"), CT_JSON)
+            }
+        }
+    }
+
+    /// Renders a parked evaluate completion (local mode only).
+    fn render_eval(
+        &self,
+        codes: &[u64],
+        entries: Vec<(LedgerEntry, Fidelity)>,
+    ) -> (u16, String, &'static str) {
+        match self {
+            Engine::Local(shared) => shared.render_evaluate(codes, entries),
+            Engine::Router(_) => (500, error_body("router has no local evaluator"), CT_JSON),
+        }
+    }
+
+    /// Blocking request handling on an app-pool worker.
+    fn app_handle(&self, request: &Request) -> (u16, String, &'static str) {
+        match self {
+            Engine::Local(shared) => crate::server::route(shared, request),
+            Engine::Router(router) => crate::shard::route(router, request),
+        }
+    }
+}
+
+/// Outcome of [`Engine::dispatch`].
+pub(crate) enum Dispatch {
+    /// Respond now from the reactor thread.
+    Immediate(u16, String, &'static str),
+    /// Parked on the coalescer; a [`Completion::Eval`] will arrive.
+    EvalParked { codes: Vec<u64> },
+    /// Handed to the app pool; a [`Completion::App`] will arrive.
+    Queued,
+}
+
+/// One finished piece of off-reactor work, addressed by connection token
+/// and the generation it was issued under.
+pub(crate) enum Completion {
+    Eval { token: u64, generation: u64, entries: Vec<(LedgerEntry, Fidelity)> },
+    App { token: u64, generation: u64, status: u16, body: String, content_type: &'static str },
+}
+
+/// MPSC rendezvous from workers back to the reactor, with a built-in wake.
+pub(crate) struct CompletionQueue {
+    items: Mutex<VecDeque<Completion>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(waker: Waker) -> Self {
+        CompletionQueue { items: Mutex::new(VecDeque::new()), waker }
+    }
+
+    pub(crate) fn push(&self, completion: Completion) {
+        self.items.lock().expect("completion queue poisoned").push_back(completion);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> VecDeque<Completion> {
+        std::mem::take(&mut *self.items.lock().expect("completion queue poisoned"))
+    }
+}
+
+/// One queued app-pool request.
+pub(crate) struct AppJob {
+    pub token: u64,
+    pub generation: u64,
+    pub request: Request,
+}
+
+/// The app-pool worker body: handle requests until the queue closes.
+pub(crate) fn app_worker_loop(
+    engine: Engine,
+    rx: Arc<Mutex<Receiver<AppJob>>>,
+    completions: Arc<CompletionQueue>,
+) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("app queue poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else { return };
+        let (status, body, content_type) = engine.app_handle(&job.request);
+        completions.push(Completion::App {
+            token: job.token,
+            generation: job.generation,
+            status,
+            body,
+            content_type,
+        });
+    }
+}
+
+/// Picks the poller backend: platform default, unless
+/// `ARCHDSE_REACTOR_BACKEND=poll` forces the portable fallback.
+fn make_poller() -> std::io::Result<Poller> {
+    match std::env::var("ARCHDSE_REACTOR_BACKEND").as_deref() {
+        Ok("poll") => Poller::with_backend(Backend::Poll),
+        _ => Poller::new(),
+    }
+}
+
+pub(crate) struct Reactor {
+    engine: Engine,
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: HashMap<u64, Conn>,
+    completions: Arc<CompletionQueue>,
+    app_tx: SyncSender<AppJob>,
+    wake_rx: WakeRx,
+    listener: Option<TcpListener>,
+    next_token: u64,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    max_body_bytes: usize,
+}
+
+impl Reactor {
+    /// The reactor thread body. Returns when shutdown has been requested
+    /// and every accepted connection has fully drained.
+    pub(crate) fn run(
+        engine: Engine,
+        listener: TcpListener,
+        wake_rx: WakeRx,
+        completions: Arc<CompletionQueue>,
+        app_tx: SyncSender<AppJob>,
+    ) {
+        let Ok(poller) = make_poller() else { return };
+        if listener.set_nonblocking(true).is_err() {
+            return;
+        }
+        if poller.register(listener.as_raw_fd(), LISTEN_TOKEN, Interest::Read).is_err() {
+            return;
+        }
+        if poller.register(wake_rx.as_raw_fd(), WAKE_TOKEN, Interest::Read).is_err() {
+            return;
+        }
+        let (read_timeout, write_timeout, max_body_bytes) = engine.limits();
+        let mut reactor = Reactor {
+            engine,
+            poller,
+            wheel: TimerWheel::new(TICK, WHEEL_SLOTS),
+            conns: HashMap::new(),
+            completions,
+            app_tx,
+            wake_rx,
+            listener: Some(listener),
+            next_token: LISTEN_TOKEN + 1,
+            read_timeout,
+            write_timeout,
+            max_body_bytes,
+        };
+        reactor.event_loop();
+    }
+
+    fn event_loop(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<(u64, u64)> = Vec::new();
+        loop {
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|deadline| deadline.saturating_duration_since(Instant::now()));
+            match self.poller.wait(&mut events, timeout) {
+                Ok(_) => {}
+                Err(_) => {
+                    // A broken poller cannot make progress; back off briefly
+                    // so a transient failure does not spin the CPU.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            self.engine.metrics().reactor_wakeups.inc();
+
+            let batch = std::mem::take(&mut events);
+            for event in &batch {
+                match event.token {
+                    WAKE_TOKEN => self.wake_rx.drain(),
+                    LISTEN_TOKEN => self.accept_ready(),
+                    token => self.conn_event(token, event),
+                }
+            }
+            events = batch;
+
+            for completion in self.completions.drain() {
+                self.apply_completion(completion);
+            }
+
+            let now = Instant::now();
+            self.wheel.expire(now, &mut fired);
+            let due = std::mem::take(&mut fired);
+            for &(token, generation) in &due {
+                self.on_deadline(token, generation);
+            }
+            fired = due;
+
+            if self.engine.shutting_down() && self.shutdown_sweep() {
+                return;
+            }
+        }
+    }
+
+    /// Progresses shutdown: stop accepting, shed idle connections, and
+    /// report whether the drain is complete.
+    fn shutdown_sweep(&mut self) -> bool {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+            // Dropping closes the socket; pending SYNs get RST, which is
+            // the contract: after /v1/shutdown answers, connects fail.
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.state == ConnState::Reading && !c.got_bytes)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+        self.conns.is_empty()
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.engine.shutting_down() {
+                        continue; // drop it; we are draining
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let conn = Conn::new(stream, self.max_body_bytes);
+                    if self.poller.register(conn.stream.as_raw_fd(), token, Interest::Read).is_err()
+                    {
+                        continue;
+                    }
+                    self.wheel.insert(Instant::now(), self.read_timeout, token, conn.generation);
+                    self.conns.insert(token, conn);
+                    self.engine.metrics().connections_open.set(self.conns.len() as f64);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Out of fds or a transient accept failure: count it and
+                    // yield briefly — level-triggered readiness would
+                    // otherwise spin the loop at full speed.
+                    self.engine.metrics().accept_errors.inc();
+                    std::thread::sleep(Duration::from_millis(2));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, event: &Event) {
+        let Some(state) = self.conns.get(&token).map(|conn| conn.state) else { return };
+        match state {
+            ConnState::Reading if event.readable || event.hangup => self.pump(token, true),
+            ConnState::Writing
+                if (event.writable || event.hangup) && self.continue_write(token) =>
+            {
+                // Response done and the connection went back to
+                // Reading: service any buffered pipelined requests.
+                self.pump(token, false);
+            }
+            ConnState::InFlight if event.hangup => {
+                // Peer is gone; the eventual completion will find no
+                // connection and be dropped.
+                self.close_conn(token);
+            }
+            _ => {}
+        }
+    }
+
+    /// Reads (optionally) and processes as many buffered requests as
+    /// possible — the pipelining loop.
+    fn pump(&mut self, token: u64, mut do_read: bool) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.state != ConnState::Reading {
+                return;
+            }
+            let read_event = if do_read { conn.on_readable() } else { conn.step_parser() };
+            do_read = false;
+            match read_event {
+                ReadEvent::More => return,
+                ReadEvent::Close => {
+                    self.close_conn(token);
+                    return;
+                }
+                ReadEvent::Bad(bad) => {
+                    let metrics = self.engine.metrics();
+                    metrics.errors.inc();
+                    metrics.response("unparsed", bad.status).inc();
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.keep_alive_after = false;
+                    }
+                    self.respond(token, bad.status, &error_body(&bad.reason), CT_JSON, false);
+                    return;
+                }
+                ReadEvent::Request(request) => {
+                    if !self.begin_request(token, request) {
+                        return;
+                    }
+                    // begin_request finished the whole response inline and
+                    // the connection is ready for the next pipelined
+                    // request: loop without reading.
+                }
+            }
+        }
+    }
+
+    /// Dispatches one parsed request. Returns `true` when the response was
+    /// written out entirely and the connection is back in `Reading` (so the
+    /// caller may continue pumping pipelined input).
+    fn begin_request(&mut self, token: u64, request: Request) -> bool {
+        let shutting_down = self.engine.shutting_down();
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        conn.started = Some(Instant::now());
+        conn.endpoint = endpoint_label(&request.path);
+        conn.keep_alive_after = request.keep_alive && !shutting_down;
+        conn.state = ConnState::InFlight;
+        let generation = conn.bump_generation();
+        let fd = conn.stream.as_raw_fd();
+        let _ = self.poller.modify(fd, token, Interest::None);
+
+        match self.engine.dispatch(request, token, generation, &self.completions, &self.app_tx) {
+            Dispatch::Immediate(status, body, content_type) => {
+                self.finish_and_respond(token, status, &body, content_type)
+            }
+            Dispatch::EvalParked { codes } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending_codes = codes;
+                }
+                false
+            }
+            Dispatch::Queued => false,
+        }
+    }
+
+    /// Observes per-request metrics, then writes the response. Returns
+    /// `true` when the connection is immediately ready for the next request.
+    fn finish_and_respond(
+        &mut self,
+        token: u64,
+        status: u16,
+        body: &str,
+        content_type: &'static str,
+    ) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        let endpoint = conn.endpoint;
+        let elapsed = conn.started.map(|s| s.elapsed());
+        let metrics = self.engine.metrics();
+        if let Some(elapsed) = elapsed {
+            metrics.request_seconds(endpoint).observe_duration(elapsed);
+        }
+        metrics.response(endpoint, status).inc();
+        if status >= 400 {
+            metrics.errors.inc();
+        }
+        self.respond(token, status, body, content_type, true)
+    }
+
+    /// Loads and starts writing a response. `keep_alive_allowed` is false
+    /// for protocol-error responses which always close. Returns `true` when
+    /// the response flushed completely and the connection took the
+    /// keep-alive path back to `Reading`.
+    fn respond(
+        &mut self,
+        token: u64,
+        status: u16,
+        body: &str,
+        content_type: &'static str,
+        keep_alive_allowed: bool,
+    ) -> bool {
+        let shutting_down = self.engine.shutting_down();
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        let keep = keep_alive_allowed && conn.keep_alive_after && !shutting_down;
+        conn.keep_alive_after = keep;
+        conn.set_response(build_response(status, content_type, body, keep));
+        let generation = conn.bump_generation();
+        self.wheel.insert(Instant::now(), self.write_timeout, token, generation);
+        self.continue_write(token)
+    }
+
+    /// Drives the nonblocking write; on completion either resets for
+    /// keep-alive (returning `true`) or closes.
+    fn continue_write(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else { return false };
+        if conn.state != ConnState::Writing {
+            return false;
+        }
+        match conn.try_flush() {
+            Ok(true) => {
+                conn.bump_generation(); // cancel the write deadline
+                if conn.keep_alive_after && conn.reset_for_next_request() {
+                    let generation = conn.generation;
+                    let fd = conn.stream.as_raw_fd();
+                    let _ = self.poller.modify(fd, token, Interest::Read);
+                    self.wheel.insert(Instant::now(), self.read_timeout, token, generation);
+                    // A pipelined request may already be buffered; the
+                    // caller (pump) keeps going. When called from a
+                    // completion path, pump explicitly.
+                    true
+                } else {
+                    self.close_conn(token);
+                    false
+                }
+            }
+            Ok(false) => {
+                let fd = conn.stream.as_raw_fd();
+                let _ = self.poller.modify(fd, token, Interest::Write);
+                false
+            }
+            Err(_) => {
+                self.close_conn(token);
+                false
+            }
+        }
+    }
+
+    fn apply_completion(&mut self, completion: Completion) {
+        let (token, generation) = match &completion {
+            Completion::Eval { token, generation, .. } => (*token, *generation),
+            Completion::App { token, generation, .. } => (*token, *generation),
+        };
+        let Some(conn) = self.conns.get(&token) else { return };
+        if conn.generation != generation || conn.state != ConnState::InFlight {
+            return; // stale: the connection moved on (timeout/close path)
+        }
+        let ready = match completion {
+            Completion::Eval { entries, .. } => {
+                let codes = self
+                    .conns
+                    .get_mut(&token)
+                    .map(|c| std::mem::take(&mut c.pending_codes))
+                    .unwrap_or_default();
+                let (status, body, content_type) = self.engine.render_eval(&codes, entries);
+                self.finish_and_respond(token, status, &body, content_type)
+            }
+            Completion::App { status, body, content_type, .. } => {
+                self.finish_and_respond(token, status, &body, content_type)
+            }
+        };
+        if ready {
+            // The response flushed inline and the connection is reading
+            // again — service any pipelined input that is already buffered.
+            self.pump(token, false);
+        }
+    }
+
+    fn on_deadline(&mut self, token: u64, generation: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.generation != generation {
+            return; // stale deadline from an earlier phase
+        }
+        match conn.state {
+            ConnState::Reading => {
+                if conn.got_bytes {
+                    // Slow-loris: a partial request dribbled past the read
+                    // deadline gets a 408 and the door.
+                    let metrics = self.engine.metrics();
+                    metrics.errors.inc();
+                    metrics.response("unparsed", 408).inc();
+                    conn.keep_alive_after = false;
+                    self.respond(token, 408, &error_body("request timed out"), CT_JSON, false);
+                } else {
+                    // Idle keep-alive / never-spoke connection: quiet close.
+                    self.close_conn(token);
+                }
+            }
+            ConnState::Writing => self.close_conn(token), // write deadline
+            ConnState::InFlight | ConnState::Closed => {}
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            conn.state = ConnState::Closed;
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.engine.metrics().connections_open.set(self.conns.len() as f64);
+        }
+    }
+}

@@ -1,12 +1,17 @@
-//! The service itself: bounded worker pool over `std::net`, request
-//! routing, background exploration jobs, and graceful shutdown that
-//! drains all accepted work.
+//! The service itself: shared state, request routing, background
+//! exploration jobs, and graceful shutdown that drains all accepted work.
+//!
+//! Since the readiness-loop rewrite the thread layout is: one reactor
+//! thread owning every socket (see [`crate::reactor`]), a small app-handler
+//! pool for blocking endpoint work, the coalescer thread batching
+//! `/v1/evaluate`, and detached exploration job threads. The `Shared`
+//! struct here is the hub all of them hang off.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -16,20 +21,23 @@ use archdse::{Explorer, Fnn};
 use dse_exec::{CostLedger, Fidelity, LearnedTier, LedgerEntry, TierGate};
 use dse_fnn::{explain_decision, explain_top_action};
 use dse_mfrl::{Constraint as _, LowFidelity as _};
-use dse_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS_S, SIZE_BUCKETS};
-use dse_space::DesignPoint;
+use dse_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_S, SIZE_BUCKETS};
+use dse_reactor::{waker_pair, Waker};
+use dse_space::{DesignPoint, DesignSpace};
 use dse_workloads::Benchmark;
 
 use crate::batcher::{
     run_coalescer, BatcherConfig, CoalescerStats, EvalCore, EvalJob, IngestedCore, LfCostModel,
+    ReplyFn,
 };
-use crate::http::{
-    read_request, write_response, BadRequest, ReadOutcome, Request, CT_JSON, CT_PROMETHEUS,
-};
+use crate::http::{BadRequest, Request, CT_JSON, CT_PROMETHEUS};
 use crate::protocol::{
     error_body, EvaluateRequest, EvaluateResponse, EvaluatedPoint, ExplainRequest, ExplainResponse,
     ExploreRequest, JobResult, JobStatus, MetricsResponse, ProtocolError, RequestCounters,
     WorkloadUploadRequest, WorkloadUploadResponse,
+};
+use crate::reactor::{
+    app_worker_loop, AppJob, Completion, CompletionQueue, Dispatch, Engine, Reactor,
 };
 
 /// Most ingested workloads one server instance will register; further
@@ -38,8 +46,8 @@ use crate::protocol::{
 const MAX_WORKLOADS: usize = 32;
 
 /// Instruction budget for server-side ingestion. Uploads are ingested
-/// on the connection worker holding the socket, so the budget is
-/// deliberately tighter than the offline CLI default.
+/// on an app-pool worker, so the budget is deliberately tighter than
+/// the offline CLI default.
 const MAX_INGEST_INSTRS: u64 = 2_000_000;
 
 /// Full configuration of one server instance.
@@ -47,13 +55,13 @@ const MAX_INGEST_INSTRS: u64 = 2_000_000;
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Connection-worker pool size.
+    /// App-handler pool size (blocking endpoint work).
     pub workers: usize,
     /// Micro-batcher policy (window, batch size, queue depth).
     pub batcher: BatcherConfig,
-    /// Per-connection read timeout.
+    /// Per-connection read deadline (slow clients get a 408).
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Per-connection write deadline.
     pub write_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
@@ -69,7 +77,7 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Defaults around an explorer template: ephemeral localhost port,
-    /// 4 workers, 1 MiB bodies, 10 s socket timeouts.
+    /// 4 app workers, 1 MiB bodies, 10 s socket deadlines.
     pub fn new(explorer: Explorer) -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
@@ -101,25 +109,34 @@ struct JobTable {
 /// through one per-instance [`Registry`], so `/metrics` is a single
 /// consistent snapshot of the same storage both expositions read — and
 /// tests hosting several servers in one process never share counts.
-struct ServerMetrics {
-    registry: Registry,
-    healthz: Counter,
-    metrics: Counter,
-    evaluate: Counter,
-    explain: Counter,
-    explore: Counter,
-    workloads: Counter,
-    jobs: Counter,
-    rejected: Counter,
-    errors: Counter,
+pub(crate) struct ServerMetrics {
+    pub(crate) registry: Registry,
+    pub(crate) healthz: Counter,
+    pub(crate) metrics: Counter,
+    pub(crate) evaluate: Counter,
+    pub(crate) explain: Counter,
+    pub(crate) explore: Counter,
+    pub(crate) workloads: Counter,
+    pub(crate) jobs: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) errors: Counter,
     /// Ingested workloads successfully registered over this server's
     /// lifetime.
-    workloads_registered: Counter,
-    coalescer_batch_points: Histogram,
+    pub(crate) workloads_registered: Counter,
+    pub(crate) coalescer_batch_points: Histogram,
+    /// Time evaluate jobs sat in the coalescer queue before a batch
+    /// picked them up.
+    pub(crate) coalescer_queue_wait: Histogram,
+    /// Currently open connections on the reactor.
+    pub(crate) connections_open: Gauge,
+    /// `accept(2)` failures (out of fds, transient kernel errors).
+    pub(crate) accept_errors: Counter,
+    /// Reactor poll returns — the loop's heartbeat.
+    pub(crate) reactor_wakeups: Counter,
 }
 
 impl ServerMetrics {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let registry = Registry::new();
         let endpoint = |name| registry.counter_with("serve_requests_total", &[("endpoint", name)]);
         Self {
@@ -135,12 +152,17 @@ impl ServerMetrics {
             workloads_registered: registry.counter("workloads_registered"),
             coalescer_batch_points: registry
                 .histogram("serve_coalescer_batch_points", SIZE_BUCKETS),
+            coalescer_queue_wait: registry
+                .histogram("serve_coalescer_queue_wait_seconds", LATENCY_BUCKETS_S),
+            connections_open: registry.gauge("serve_connections_open"),
+            accept_errors: registry.counter("serve_accept_errors_total"),
+            reactor_wakeups: registry.counter("serve_reactor_wakeups_total"),
             registry,
         }
     }
 
     /// Per-endpoint request latency series (registered on first hit).
-    fn request_seconds(&self, endpoint: &str) -> Histogram {
+    pub(crate) fn request_seconds(&self, endpoint: &str) -> Histogram {
         self.registry.histogram_with(
             "serve_request_seconds",
             &[("endpoint", endpoint)],
@@ -149,7 +171,7 @@ impl ServerMetrics {
     }
 
     /// Per-endpoint, per-status response counter.
-    fn response(&self, endpoint: &str, status: u16) -> Counter {
+    pub(crate) fn response(&self, endpoint: &str, status: u16) -> Counter {
         let status = status.to_string();
         self.registry
             .counter_with("serve_responses_total", &[("endpoint", endpoint), ("status", &status)])
@@ -157,18 +179,25 @@ impl ServerMetrics {
 }
 
 /// Cross-thread server state.
-struct Shared {
+pub(crate) struct Shared {
     addr: SocketAddr,
     config: ServeConfig,
     benchmarks: Vec<Benchmark>,
+    space: DesignSpace,
     space_size: u64,
     fnn: Fnn,
     lf_explain: AnalyticalLf,
     constraints: DesignConstraints,
     core: Arc<Mutex<EvalCore>>,
     coalescer_stats: Arc<Mutex<CoalescerStats>>,
-    eval_tx: Mutex<Option<SyncSender<EvalJob>>>,
+    eval_tx: Mutex<Option<std::sync::mpsc::SyncSender<EvalJob>>>,
     shutdown: AtomicBool,
+    /// Pokes the reactor when shutdown trips or a completion lands.
+    waker: Waker,
+    /// Registered workload names, mirrored out of the core so the
+    /// reactor thread can resolve them without touching the core lock
+    /// (the coalescer holds that lock for whole simulation batches).
+    workload_names: Mutex<Vec<String>>,
     jobs: JobTable,
     job_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Request accounting (the `/metrics` `requests` section and the
@@ -191,11 +220,112 @@ impl Shared {
         }
     }
 
-    /// Flags shutdown and pokes the acceptor awake with a throwaway
-    /// connection so it notices without polling.
-    fn initiate_shutdown(&self) {
+    pub(crate) fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    pub(crate) fn limits(&self) -> (Duration, Duration, usize) {
+        (self.config.read_timeout, self.config.write_timeout, self.config.max_body_bytes)
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and wakes the reactor so it notices immediately.
+    pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
+    }
+
+    /// Reactor-thread half of `/v1/evaluate`: parse, resolve, enqueue on
+    /// the coalescer. Never blocks and never takes the core lock.
+    pub(crate) fn dispatch_evaluate(
+        &self,
+        request: &Request,
+        token: u64,
+        generation: u64,
+        completions: &Arc<CompletionQueue>,
+    ) -> Dispatch {
+        self.metrics.evaluate.inc();
+        let immediate = |status: u16, body: String| Dispatch::Immediate(status, body, CT_JSON);
+        let body = match request.body_utf8() {
+            Ok(body) => body,
+            Err(BadRequest { status, reason }) => return immediate(status, error_body(&reason)),
+        };
+        let parsed =
+            match EvaluateRequest::parse(body, self.space_size, self.config.max_points_per_request)
+            {
+                Ok(parsed) => parsed,
+                Err(e) => return immediate(400, error_body(&e.0)),
+            };
+        let workload = match &parsed.workload {
+            None => None,
+            Some(name) => {
+                let names = self.workload_names.lock().expect("workload names poisoned");
+                match names.iter().position(|w| w == name) {
+                    Some(index) => Some(index),
+                    None => return immediate(400, unknown_workload(name, &names)),
+                }
+            }
+        };
+        let points: Vec<DesignPoint> =
+            parsed.points.iter().map(|&code| self.space.decode(code)).collect();
+
+        let completions = Arc::clone(completions);
+        let reply: ReplyFn = Box::new(move |entries| {
+            completions.push(Completion::Eval { token, generation, entries });
+        });
+        let job =
+            EvalJob { tier: parsed.fidelity, workload, points, enqueued_at: Instant::now(), reply };
+        let sender = self.eval_tx.lock().expect("eval_tx poisoned").clone();
+        let Some(sender) = sender else {
+            return immediate(503, error_body("server is shutting down"));
+        };
+        match sender.try_send(job) {
+            Ok(()) => Dispatch::EvalParked { codes: parsed.points },
+            Err(TrySendError::Full(_)) => {
+                self.metrics.rejected.inc();
+                immediate(503, error_body("evaluation queue full, retry later"))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                immediate(503, error_body("server is shutting down"))
+            }
+        }
+    }
+
+    /// Renders the `/v1/evaluate` response once the coalescer's ledger
+    /// entries come back. Runs on the reactor thread; pure computation.
+    pub(crate) fn render_evaluate(
+        &self,
+        codes: &[u64],
+        entries: Vec<(LedgerEntry, Fidelity)>,
+    ) -> (u16, String, &'static str) {
+        let mut results = Vec::with_capacity(entries.len());
+        for (&code, (entry, answered_by)) in codes.iter().zip(&entries) {
+            let point = self.space.decode(code);
+            let (cpi, cached) = match entry {
+                LedgerEntry::Charged(ev) => (ev.cpi, ev.cached),
+                LedgerEntry::Replayed(cpi) => (*cpi, true),
+                // The service ledger installs no budget, so denial can only
+                // mean a configuration bug; fail loudly rather than fake a
+                // number.
+                LedgerEntry::Denied => {
+                    return (500, error_body("evaluation was denied by the server ledger"), CT_JSON)
+                }
+            };
+            results.push(EvaluatedPoint {
+                point: code,
+                cpi,
+                fidelity: answered_by.label().to_string(),
+                cached,
+                area_mm2: self.constraints.area().area_mm2(&self.space, &point),
+                leakage_mw: self.constraints.leakage_mw(&self.space, &point),
+                feasible: self.constraints.fits(&self.space, &point),
+            });
+        }
+        let (status, body) = json(&EvaluateResponse { results });
+        (status, body, CT_JSON)
     }
 }
 
@@ -230,8 +360,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and spawns the whole service (coalescer, worker
-/// pool, acceptor). Returns immediately with the running handle.
+/// Binds the listener and spawns the whole service (reactor, app pool,
+/// coalescer). Returns immediately with the running handle.
 ///
 /// # Errors
 ///
@@ -253,11 +383,13 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         ingested: Vec::new(),
     }));
     let fnn = config.fnn.clone().unwrap_or_else(|| explorer.build_fnn());
+    let (waker, wake_rx) = waker_pair()?;
 
     let shared = Arc::new(Shared {
         addr,
         benchmarks: explorer.benchmarks().to_vec(),
         space_size: space.size(),
+        space,
         fnn,
         lf_explain: lf_model,
         constraints: explorer.constraints(),
@@ -265,11 +397,14 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         coalescer_stats: Arc::new(Mutex::new(CoalescerStats::default())),
         eval_tx: Mutex::new(None),
         shutdown: AtomicBool::new(false),
+        waker: waker.clone(),
+        workload_names: Mutex::new(Vec::new()),
         jobs: JobTable::default(),
         job_handles: Mutex::new(Vec::new()),
         metrics: ServerMetrics::new(),
         config,
     });
+    let completions = Arc::new(CompletionQueue::new(waker));
 
     // Coalescer thread: owns the evaluation queue's receiving end.
     let (eval_tx, eval_rx) = sync_channel::<EvalJob>(shared.config.batcher.queue_capacity);
@@ -279,31 +414,44 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         let stats = Arc::clone(&shared.coalescer_stats);
         let batcher = shared.config.batcher;
         let batch_points = shared.metrics.coalescer_batch_points.clone();
-        std::thread::spawn(move || run_coalescer(eval_rx, core, stats, batcher, batch_points))
+        let queue_wait = shared.metrics.coalescer_queue_wait.clone();
+        std::thread::spawn(move || {
+            run_coalescer(eval_rx, core, stats, batcher, batch_points, queue_wait)
+        })
     };
 
-    // Worker pool: a bounded queue of accepted connections.
-    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(shared.config.batcher.queue_capacity);
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
-    let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+    // App-handler pool: blocking endpoint work off the reactor thread.
+    let (app_tx, app_rx) = sync_channel::<AppJob>(shared.config.batcher.queue_capacity);
+    let app_rx = Arc::new(Mutex::new(app_rx));
+    let app_workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
         .map(|_| {
-            let shared = Arc::clone(&shared);
-            let conn_rx = Arc::clone(&conn_rx);
-            std::thread::spawn(move || worker_loop(&shared, &conn_rx))
+            let engine = Engine::Local(Arc::clone(&shared));
+            let app_rx = Arc::clone(&app_rx);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || app_worker_loop(engine, app_rx, completions))
         })
         .collect();
 
-    // The acceptor doubles as supervisor: when shutdown trips, it tears
-    // the pipeline down stage by stage so all accepted work drains.
+    // Reactor thread: owns the listener and every connection.
+    let reactor = {
+        let engine = Engine::Local(Arc::clone(&shared));
+        let completions = Arc::clone(&completions);
+        std::thread::spawn(move || Reactor::run(engine, listener, wake_rx, completions, app_tx))
+    };
+
+    // Supervisor: tear the pipeline down stage by stage once the reactor
+    // has drained every connection.
     let supervisor = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
-            accept_loop(&shared, &listener, conn_tx);
-            for worker in workers {
+            let _ = reactor.join();
+            // The reactor owned the only app sender; its exit closes the
+            // app queue and the workers drain out.
+            for worker in app_workers {
                 let _ = worker.join();
             }
-            // Workers are gone; dropping the primary sender lets the
-            // coalescer drain the queue and exit.
+            // Dropping the primary eval sender lets the coalescer drain
+            // the queue and exit.
             *shared.eval_tx.lock().expect("eval_tx poisoned") = None;
             let _ = coalescer.join();
             let handles = std::mem::take(&mut *shared.job_handles.lock().expect("jobs poisoned"));
@@ -316,67 +464,9 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
     Ok(ServerHandle { shared, supervisor: Some(supervisor) })
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, conn_tx: SyncSender<TcpStream>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return; // conn_tx drops here; workers drain and exit.
-        }
-        let Ok(stream) = stream else { continue };
-        match conn_tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
-                // Backpressure: answer 503 inline rather than queueing
-                // unbounded work.
-                shared.metrics.rejected.inc();
-                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-                let _ =
-                    write_response(&mut stream, 503, CT_JSON, &error_body("connection queue full"));
-            }
-            Err(TrySendError::Disconnected(_)) => return,
-        }
-    }
-}
-
-fn worker_loop(shared: &Arc<Shared>, conn_rx: &Mutex<Receiver<TcpStream>>) {
-    loop {
-        let next = {
-            let rx = conn_rx.lock().expect("connection queue poisoned");
-            rx.recv()
-        };
-        match next {
-            Ok(stream) => handle_connection(shared, stream),
-            Err(_) => return,
-        }
-    }
-}
-
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let request = match read_request(&mut stream, shared.config.max_body_bytes) {
-        ReadOutcome::Request(request) => request,
-        ReadOutcome::Closed | ReadOutcome::Io => return,
-        ReadOutcome::Bad(bad) => {
-            shared.metrics.errors.inc();
-            shared.metrics.response("unparsed", bad.status).inc();
-            let _ = write_response(&mut stream, bad.status, CT_JSON, &error_body(&bad.reason));
-            return;
-        }
-    };
-    let started = Instant::now();
-    let (status, body, content_type) = route(shared, &request);
-    let endpoint = endpoint_label(&request.path);
-    shared.metrics.request_seconds(endpoint).observe_duration(started.elapsed());
-    shared.metrics.response(endpoint, status).inc();
-    if status >= 400 {
-        shared.metrics.errors.inc();
-    }
-    let _ = write_response(&mut stream, status, content_type, &body);
-}
-
 /// The low-cardinality endpoint label of a request path (query string
 /// and job ids stripped).
-fn endpoint_label(path: &str) -> &'static str {
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
     let path = path.split('?').next().unwrap_or(path);
     match path {
         "/healthz" => "healthz",
@@ -406,18 +496,20 @@ fn bad(err: ProtocolError) -> (u16, String) {
 
 /// The 400 body for a workload id that is not registered, naming every
 /// id that is (mirroring the unknown-fidelity error style).
-fn unknown_workload(name: &str, ingested: &[IngestedCore]) -> String {
-    if ingested.is_empty() {
+fn unknown_workload(name: &str, registered: &[String]) -> String {
+    if registered.is_empty() {
         return error_body(&format!(
             "unknown workload {name:?} (no workloads registered — upload one via \
              POST /v1/workloads)"
         ));
     }
-    let registered: Vec<String> = ingested.iter().map(|w| format!("{:?}", w.name)).collect();
+    let registered: Vec<String> = registered.iter().map(|w| format!("{w:?}")).collect();
     error_body(&format!("unknown workload {name:?} (expected {})", registered.join(", ")))
 }
 
-fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str) {
+/// App-pool request routing (every endpoint except `/v1/evaluate`,
+/// which the reactor dispatches straight to the coalescer).
+pub(crate) fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str) {
     // The query string is only meaningful on `/metrics` (the exposition
     // format selector); everywhere else it is ignored, as before.
     let (path, query) = match request.path.split_once('?') {
@@ -429,7 +521,9 @@ fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'static str)
     }
     let (status, body) = match (request.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(shared),
-        ("POST", "/v1/evaluate") => handle_evaluate(shared, request),
+        // Dispatched on the reactor in local mode; reaching here means a
+        // routing bug, not a client error.
+        ("POST", "/v1/evaluate") => (500, error_body("evaluate must be reactor-dispatched")),
         ("POST", "/v1/explain") => handle_explain(shared, request),
         ("POST", "/v1/explore") => handle_explore(shared, request),
         ("POST", "/v1/workloads") => handle_workloads(shared, request),
@@ -465,10 +559,7 @@ fn handle_healthz(shared: &Arc<Shared>) -> (u16, String) {
         workloads: Vec<String>,
         space_size: u64,
     }
-    let workloads = {
-        let core = shared.core.lock().expect("evaluation core poisoned");
-        core.ingested.iter().map(|w| w.name.clone()).collect()
-    };
+    let workloads = shared.workload_names.lock().expect("workload names poisoned").clone();
     json(&Health {
         status: "ok",
         service: "archdse-serve",
@@ -525,85 +616,6 @@ fn handle_metrics(shared: &Arc<Shared>, query: &str) -> (u16, String, &'static s
     }
 }
 
-fn handle_evaluate(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
-    shared.metrics.evaluate.inc();
-    let body = match request.body_utf8() {
-        Ok(body) => body,
-        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
-    };
-    let parsed =
-        match EvaluateRequest::parse(body, shared.space_size, shared.config.max_points_per_request)
-        {
-            Ok(parsed) => parsed,
-            Err(e) => return bad(e),
-        };
-    let (points, workload) = {
-        let core = shared.core.lock().expect("evaluation core poisoned");
-        let workload = match &parsed.workload {
-            None => None,
-            Some(name) => match core.ingested.iter().position(|w| &w.name == name) {
-                Some(index) => Some(index),
-                None => return (400, unknown_workload(name, &core.ingested)),
-            },
-        };
-        let points: Vec<DesignPoint> =
-            parsed.points.iter().map(|&code| core.space.decode(code)).collect();
-        (points, workload)
-    };
-
-    // Enqueue for the coalescer; a full queue is backpressure, not an
-    // error in the request.
-    let (reply_tx, reply_rx) = sync_channel::<Vec<(LedgerEntry, Fidelity)>>(1);
-    let job = EvalJob { tier: parsed.fidelity, workload, points, reply: reply_tx };
-    let sender = shared.eval_tx.lock().expect("eval_tx poisoned").clone();
-    let Some(sender) = sender else {
-        return (503, error_body("server is shutting down"));
-    };
-    match sender.try_send(job) {
-        Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            shared.metrics.rejected.inc();
-            return (503, error_body("evaluation queue full, retry later"));
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            return (503, error_body("server is shutting down"));
-        }
-    }
-    let entries = match reply_rx.recv() {
-        Ok(entries) => entries,
-        Err(_) => return (500, error_body("evaluation pipeline dropped the request")),
-    };
-
-    let space = {
-        let core = shared.core.lock().expect("evaluation core poisoned");
-        core.space.clone()
-    };
-    let mut results = Vec::with_capacity(entries.len());
-    for (&code, (entry, answered_by)) in parsed.points.iter().zip(&entries) {
-        let point = space.decode(code);
-        let (cpi, cached) = match entry {
-            LedgerEntry::Charged(ev) => (ev.cpi, ev.cached),
-            LedgerEntry::Replayed(cpi) => (*cpi, true),
-            // The service ledger installs no budget, so denial can only
-            // mean a configuration bug; fail loudly rather than fake a
-            // number.
-            LedgerEntry::Denied => {
-                return (500, error_body("evaluation was denied by the server ledger"))
-            }
-        };
-        results.push(EvaluatedPoint {
-            point: code,
-            cpi,
-            fidelity: answered_by.label().to_string(),
-            cached,
-            area_mm2: shared.constraints.area().area_mm2(&space, &point),
-            leakage_mw: shared.constraints.leakage_mw(&space, &point),
-            feasible: shared.constraints.fits(&space, &point),
-        });
-    }
-    json(&EvaluateResponse { results })
-}
-
 fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     shared.metrics.explain.inc();
     let body = match request.body_utf8() {
@@ -614,15 +626,12 @@ fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         Ok(parsed) => parsed,
         Err(e) => return bad(e),
     };
-    let space = {
-        let core = shared.core.lock().expect("evaluation core poisoned");
-        core.space.clone()
-    };
+    let space = &shared.space;
     let point = space.decode(parsed.point);
     // Explanations read the LF proxy directly: they are introspection,
     // not proposals, so they are deliberately not ledger-accounted.
-    let cpi = parsed.cpi.unwrap_or_else(|| shared.lf_explain.cpi(&space, &point));
-    let obs = shared.fnn.observation(&space, &point, cpi);
+    let cpi = parsed.cpi.unwrap_or_else(|| shared.lf_explain.cpi(space, &point));
+    let obs = shared.fnn.observation(space, &point, cpi);
     let explanation = match parsed.output {
         None => explain_top_action(&shared.fnn, &obs, parsed.k),
         Some(name) => {
@@ -640,7 +649,7 @@ fn handle_explain(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
             explain_decision(&shared.fnn, &obs, output, parsed.k)
         }
     };
-    json(&ExplainResponse { point: parsed.point, design: point.describe(&space), cpi, explanation })
+    json(&ExplainResponse { point: parsed.point, design: point.describe(space), cpi, explanation })
 }
 
 fn handle_workloads(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
@@ -669,8 +678,8 @@ fn handle_workloads(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
         Err(e) => return (400, error_body(&format!("`elf_base64` is not valid base64: {e}"))),
     };
     // Ingestion (parse + functional execution + characterization) runs
-    // on this connection worker, outside the core lock — a slow binary
-    // delays its uploader, not the evaluate path.
+    // on this app worker, outside the core lock — a slow binary delays
+    // its uploader, not the evaluate path.
     let config = dse_ingest::ExecConfig { max_instrs: MAX_INGEST_INSTRS };
     let ingested = match dse_ingest::ingest_elf(&parsed.name, &elf, config) {
         Ok(ingested) => ingested,
@@ -707,13 +716,15 @@ fn handle_workloads(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     });
     let registered: Vec<String> = core.ingested.iter().map(|w| w.name.clone()).collect();
     drop(core);
+    // Mirror the registry for the reactor thread (see `workload_names`).
+    *shared.workload_names.lock().expect("workload names poisoned") = registered.clone();
     shared.metrics.workloads_registered.inc();
     json(&WorkloadUploadResponse { workload: parsed.name, instructions, exit_code, registered })
 }
 
 fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
     shared.metrics.explore.inc();
-    if shared.shutdown.load(Ordering::SeqCst) {
+    if shared.is_shutting_down() {
         return (503, error_body("server is shutting down"));
     }
     let body = match request.body_utf8() {
@@ -732,7 +743,10 @@ fn handle_explore(shared: &Arc<Shared>, request: &Request) -> (u16, String) {
                 profile: w.profile.clone(),
                 trace: Arc::clone(&w.trace),
             }),
-            None => return (400, unknown_workload(name, &core.ingested)),
+            None => {
+                let names: Vec<String> = core.ingested.iter().map(|w| w.name.clone()).collect();
+                return (400, unknown_workload(name, &names));
+            }
         }
     } else {
         match &parsed.benchmark {

@@ -1,0 +1,738 @@
+//! Sharded serving: a front router over N independent shard servers.
+//!
+//! Each shard is a full `archdse-serve` instance (its own reactor,
+//! coalescer, `CpiCache` and learned tier — shared-nothing). The router
+//! is a second, thinner instance of the same reactor whose app handlers
+//! proxy to the shards over persistent keep-alive connections:
+//!
+//! * `/v1/evaluate` — each point is owned by the shard
+//!   `shard_of(code)` (a splitmix64 hash of the encoded design point,
+//!   so ownership is a pure function of the point, not of arrival
+//!   order). The batch splits by owner, fans out concurrently, and the
+//!   replies merge back in the caller's original point order. Because
+//!   every shard evaluates deterministically and a point always lands
+//!   on the same shard's cache, the merged answers are bit-identical to
+//!   a single server's — sharding changes throughput, never answers.
+//! * `/v1/explain` — routed by the same hash (stateless, but keeps a
+//!   point's traffic on one shard).
+//! * `/v1/workloads` — fanned to *all* shards so every shard can answer
+//!   for every registered workload.
+//! * `/v1/explore` + `/v1/jobs` — jobs round-robin across shards; the
+//!   router hands out global ids `local * N + shard` so a job id alone
+//!   names its shard.
+//! * `/metrics` — the JSON form is a field-wise sum of the shards'
+//!   reports; the Prometheus form re-parses each shard's exposition
+//!   ([`dse_obs::parse_prometheus_text`]), sums series
+//!   ([`dse_obs::sum_snapshots`]) and overlays the router's own
+//!   registry (router series win collisions).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dse_obs::Counter;
+use dse_reactor::{waker_pair, Waker};
+use serde_json::Value;
+
+use crate::http::client::{ClientResponse, Conn};
+use crate::http::{BadRequest, Request, CT_JSON, CT_PROMETHEUS};
+use crate::protocol::{error_body, RequestCounters};
+use crate::reactor::{app_worker_loop, AppJob, CompletionQueue, Engine, Reactor};
+use crate::server::ServerMetrics;
+
+/// Socket timeout on upstream connections (generous: an upstream
+/// evaluate can sit behind a long coalescer batch).
+const UPSTREAM_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The shard that owns an encoded design point: a splitmix64 finalizer
+/// over the code, mod the shard count. Pure function of the point, so
+/// a point always hits the same shard's cache.
+pub(crate) fn shard_of(code: u64, shards: usize) -> usize {
+    let mut z = code.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// Configuration of a shard router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Upstream shard addresses (`host:port`), shard index = position.
+    pub shard_addrs: Vec<String>,
+    /// App-handler pool size. The router proxies with blocking upstream
+    /// I/O, so one handler is occupied for a request's whole upstream
+    /// round-trip: size this at or above the peak client concurrency
+    /// you want served without `503` admission pushback.
+    pub workers: usize,
+    /// Idle upstream keep-alive connections kept per shard; checked-out
+    /// connections are unbounded, this only caps what parks between
+    /// requests.
+    pub pool_idle_cap: usize,
+    /// Per-connection read deadline on the router's own sockets.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline on the router's own sockets.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl RouterConfig {
+    /// Defaults: ephemeral localhost port, 64 app workers, 64 parked
+    /// upstream connections per shard, 1 MiB bodies, 10 s socket
+    /// deadlines.
+    #[must_use]
+    pub fn new(shard_addrs: Vec<String>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            shard_addrs,
+            workers: 64,
+            pool_idle_cap: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Cross-thread router state.
+pub(crate) struct RouterShared {
+    addr: SocketAddr,
+    config: RouterConfig,
+    shutdown: AtomicBool,
+    waker: Waker,
+    metrics: ServerMetrics,
+    /// Requests forwarded per shard (`serve_shard_requests_total{shard}`).
+    shard_requests: Vec<Counter>,
+    /// Round-robin cursor for `/v1/explore`.
+    explore_rr: AtomicU64,
+    /// Idle keep-alive connections per shard.
+    pools: Vec<Mutex<Vec<Conn>>>,
+}
+
+impl RouterShared {
+    pub(crate) fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    pub(crate) fn limits(&self) -> (Duration, Duration, usize) {
+        (self.config.read_timeout, self.config.write_timeout, self.config.max_body_bytes)
+    }
+
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    fn shards(&self) -> usize {
+        self.config.shard_addrs.len()
+    }
+
+    fn counters(&self) -> RequestCounters {
+        RequestCounters {
+            healthz: self.metrics.healthz.get(),
+            metrics: self.metrics.metrics.get(),
+            evaluate: self.metrics.evaluate.get(),
+            explain: self.metrics.explain.get(),
+            explore: self.metrics.explore.get(),
+            workloads: self.metrics.workloads.get(),
+            jobs: self.metrics.jobs.get(),
+            rejected: self.metrics.rejected.get(),
+            errors: self.metrics.errors.get(),
+        }
+    }
+
+    /// One request/response round-trip to a shard over a pooled
+    /// keep-alive connection, with one reconnect-and-retry on failure
+    /// (a pooled connection may have idled past the shard's deadline).
+    fn upstream(
+        &self,
+        shard: usize,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<ClientResponse> {
+        self.shard_requests[shard].inc();
+        let pooled = self.pools[shard].lock().expect("shard pool poisoned").pop();
+        if let Some(mut conn) = pooled {
+            if let Ok(response) = conn.request(method, path, body) {
+                self.park(shard, conn);
+                return Ok(response);
+            }
+        }
+        let addr = &self.config.shard_addrs[shard];
+        let mut conn = Conn::connect_with_timeout(addr, UPSTREAM_TIMEOUT)?;
+        let response = conn.request(method, path, body)?;
+        self.park(shard, conn);
+        Ok(response)
+    }
+
+    fn park(&self, shard: usize, conn: Conn) {
+        if !conn.is_alive() {
+            return;
+        }
+        let mut pool = self.pools[shard].lock().expect("shard pool poisoned");
+        if pool.len() < self.config.pool_idle_cap {
+            pool.push(conn);
+        }
+    }
+}
+
+/// A running shard router: bound address plus shutdown/join control.
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The address the router is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Requests a graceful shutdown of the router (the shards are shut
+    /// down by `POST /v1/shutdown`, not by this call).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the router has drained and exited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor thread itself panicked.
+    pub fn join(mut self) {
+        if let Some(handle) = self.supervisor.take() {
+            handle.join().expect("router supervisor panicked");
+        }
+    }
+}
+
+/// Binds the router and verifies every shard answers `/healthz`.
+/// Returns immediately with the running handle.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound, no shards were given, or a
+/// shard does not answer its health check.
+pub fn spawn_router(config: RouterConfig) -> io::Result<RouterHandle> {
+    if config.shard_addrs.is_empty() {
+        return Err(io::Error::other("a router needs at least one shard address"));
+    }
+    for (i, addr) in config.shard_addrs.iter().enumerate() {
+        let health = crate::http::client::get(addr, "/healthz")
+            .map_err(|e| io::Error::other(format!("shard {i} at {addr} is unreachable: {e}")))?;
+        if health.status != 200 {
+            return Err(io::Error::other(format!(
+                "shard {i} at {addr} failed its health check (status {})",
+                health.status
+            )));
+        }
+    }
+
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let (waker, wake_rx) = waker_pair()?;
+    let metrics = ServerMetrics::new();
+    let shard_requests = (0..config.shard_addrs.len())
+        .map(|i| {
+            metrics
+                .registry
+                .counter_with("serve_shard_requests_total", &[("shard", &i.to_string())])
+        })
+        .collect();
+    let pools = (0..config.shard_addrs.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let shared = Arc::new(RouterShared {
+        addr,
+        shutdown: AtomicBool::new(false),
+        waker: waker.clone(),
+        metrics,
+        shard_requests,
+        explore_rr: AtomicU64::new(0),
+        pools,
+        config,
+    });
+    let completions = Arc::new(CompletionQueue::new(waker));
+
+    // The queue buffers between the reactor and the handler pool; with
+    // a pool sized for the target concurrency it stays near-empty, so
+    // it only needs to absorb scheduling jitter.
+    let (app_tx, app_rx) = sync_channel::<AppJob>(shared.config.workers.max(128));
+    let app_rx = Arc::new(Mutex::new(app_rx));
+    let app_workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let engine = Engine::Router(Arc::clone(&shared));
+            let app_rx = Arc::clone(&app_rx);
+            let completions = Arc::clone(&completions);
+            std::thread::spawn(move || app_worker_loop(engine, app_rx, completions))
+        })
+        .collect();
+
+    let reactor = {
+        let engine = Engine::Router(Arc::clone(&shared));
+        let completions = Arc::clone(&completions);
+        std::thread::spawn(move || Reactor::run(engine, listener, wake_rx, completions, app_tx))
+    };
+
+    let supervisor = std::thread::spawn(move || {
+        let _ = reactor.join();
+        for worker in app_workers {
+            let _ = worker.join();
+        }
+    });
+
+    Ok(RouterHandle { shared, supervisor: Some(supervisor) })
+}
+
+/// Renders an upstream failure as a 502 naming the shard.
+fn shard_down(shard: usize, e: &io::Error) -> (u16, String) {
+    (502, error_body(&format!("shard {shard} is unreachable: {e}")))
+}
+
+/// Forwards a request to one shard verbatim, proxying status and body.
+fn forward(router: &RouterShared, shard: usize, request: &Request) -> (u16, String) {
+    let body = match request.body_utf8() {
+        Ok(body) if !body.is_empty() => Some(body),
+        Ok(_) => None,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    match router.upstream(shard, &request.method, &request.path, body) {
+        Ok(response) => (response.status, response.body),
+        Err(e) => shard_down(shard, &e),
+    }
+}
+
+/// App-pool request routing for the router engine.
+pub(crate) fn route(router: &Arc<RouterShared>, request: &Request) -> (u16, String, &'static str) {
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
+    if let ("GET", "/metrics") = (request.method.as_str(), path) {
+        return handle_metrics(router, query);
+    }
+    let (status, body) = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            router.metrics.healthz.inc();
+            forward(router, 0, request)
+        }
+        ("POST", "/v1/evaluate") => handle_evaluate(router, request),
+        ("POST", "/v1/explain") => handle_explain(router, request),
+        ("POST", "/v1/explore") => handle_explore(router, request),
+        ("POST", "/v1/workloads") => handle_workloads(router, request),
+        ("GET", path) if path.starts_with("/v1/jobs/") => handle_job(router, path),
+        ("POST", "/v1/shutdown") => handle_shutdown(router),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/evaluate" | "/v1/explain" | "/v1/explore"
+            | "/v1/workloads",
+        ) => (405, error_body("method not allowed for this endpoint")),
+        _ => (
+            404,
+            error_body(
+                "no such endpoint; try GET /healthz, GET /metrics, POST /v1/evaluate, \
+                 POST /v1/explain, POST /v1/explore, POST /v1/workloads, GET /v1/jobs/<id>, \
+                 POST /v1/shutdown",
+            ),
+        ),
+    };
+    (status, body, CT_JSON)
+}
+
+fn handle_evaluate(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
+    router.metrics.evaluate.inc();
+    let body = match request.body_utf8() {
+        Ok(body) => body,
+        Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
+    };
+    let shards = router.shards();
+    // Malformed bodies (or ones whose points we cannot read) forward to
+    // shard 0 verbatim so clients get the shard's canonical error text.
+    let Ok(parsed) = serde_json::from_str::<Value>(body) else {
+        return forward(router, 0, request);
+    };
+    let codes: Option<Vec<u64>> = parsed
+        .get("points")
+        .and_then(Value::as_array)
+        .map(|points| points.iter().map(Value::as_u64).collect::<Option<Vec<u64>>>())
+        .unwrap_or(None);
+    let Some(codes) = codes else {
+        return forward(router, 0, request);
+    };
+    if codes.is_empty() || shards == 1 {
+        return forward(router, 0, request);
+    }
+
+    // Split the batch by owning shard, preserving arrival order within
+    // each shard's sub-batch.
+    let owners: Vec<usize> = codes.iter().map(|&code| shard_of(code, shards)).collect();
+    // Single-owner fast path: when the whole batch hashes to one shard
+    // (always true for one-point requests), the original body forwards
+    // verbatim and the shard's response relays untouched — no sub-batch
+    // serialization, no fan-out threads, no response re-parse/merge.
+    // Identical answers either way; this only removes router work.
+    if owners.iter().all(|&owner| owner == owners[0]) {
+        return forward(router, owners[0], request);
+    }
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+    for (&owner, &code) in owners.iter().zip(&codes) {
+        per_shard[owner].push(code);
+    }
+    let mut bodies: Vec<Option<String>> = Vec::with_capacity(shards);
+    for codes in &per_shard {
+        if codes.is_empty() {
+            bodies.push(None);
+            continue;
+        }
+        let mut sub = parsed.clone();
+        set_field(&mut sub, "points", Value::Seq(codes.iter().map(|&c| Value::U64(c)).collect()));
+        match serde_json::to_string(&sub) {
+            Ok(body) => bodies.push(Some(body)),
+            Err(e) => return (500, error_body(&format!("sub-batch serialization failed: {e}"))),
+        }
+    }
+
+    // Concurrent fan-out: every active shard's sub-batch is in flight at
+    // once, so the router adds one upstream round-trip, not N.
+    let router_ref: &RouterShared = router;
+    let mut replies: Vec<Option<io::Result<ClientResponse>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .enumerate()
+            .map(|(shard, body)| {
+                body.as_deref().map(|body| {
+                    scope.spawn(move || {
+                        router_ref.upstream(shard, "POST", "/v1/evaluate", Some(body))
+                    })
+                })
+            })
+            .collect();
+        replies = handles
+            .into_iter()
+            .map(|handle| handle.map(|h| h.join().expect("shard fan-out thread panicked")))
+            .collect();
+    });
+
+    // Any failure propagates (lowest shard index first, deterministic).
+    let mut results_per_shard: Vec<std::vec::IntoIter<Value>> = Vec::with_capacity(shards);
+    for (shard, reply) in replies.into_iter().enumerate() {
+        match reply {
+            None => results_per_shard.push(Vec::new().into_iter()),
+            Some(Err(e)) => return shard_down(shard, &e),
+            Some(Ok(response)) if response.status != 200 => {
+                return (response.status, response.body)
+            }
+            Some(Ok(response)) => {
+                let rows = serde_json::from_str::<Value>(&response.body)
+                    .ok()
+                    .and_then(|v| v.get("results").and_then(Value::as_array).cloned());
+                match rows {
+                    Some(rows) if rows.len() == per_shard[shard].len() => {
+                        results_per_shard.push(rows.into_iter());
+                    }
+                    _ => {
+                        return (
+                            502,
+                            error_body(&format!(
+                                "shard {shard} returned a malformed evaluate response"
+                            )),
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    // Order-stable merge: walk the original points, taking each row from
+    // its owner's reply stream.
+    let mut merged = Vec::with_capacity(codes.len());
+    for &owner in &owners {
+        match results_per_shard[owner].next() {
+            Some(row) => merged.push(row),
+            None => return (502, error_body(&format!("shard {owner} returned too few results"))),
+        }
+    }
+    let merged = Value::Map(vec![("results".to_string(), Value::Seq(merged))]);
+    match serde_json::to_string(&merged) {
+        Ok(body) => (200, body),
+        Err(e) => (500, error_body(&format!("merge serialization failed: {e}"))),
+    }
+}
+
+fn handle_explain(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
+    router.metrics.explain.inc();
+    let shards = router.shards();
+    let point = request
+        .body_utf8()
+        .ok()
+        .and_then(|body| serde_json::from_str::<Value>(body).ok())
+        .and_then(|v| v.get("point").and_then(Value::as_u64));
+    let shard = point.map_or(0, |p| shard_of(p, shards));
+    forward(router, shard, request)
+}
+
+fn handle_workloads(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
+    router.metrics.workloads.inc();
+    // Every shard must know every workload; fan the upload to all of
+    // them and report shard 0's response. A failure part-way leaves the
+    // registries inconsistent, so it is surfaced loudly as a 502.
+    let mut first: Option<(u16, String)> = None;
+    for shard in 0..router.shards() {
+        let (status, body) = forward(router, shard, request);
+        if status != 200 {
+            if shard == 0 {
+                // Shard 0 rejected it outright (bad request, duplicate):
+                // nothing was registered anywhere; relay verbatim.
+                return (status, body);
+            }
+            return (
+                502,
+                error_body(&format!(
+                    "workload registration diverged: shard {shard} answered {status} after \
+                     earlier shards accepted ({body})"
+                )),
+            );
+        }
+        if first.is_none() {
+            first = Some((status, body));
+        }
+    }
+    first.unwrap_or((502, error_body("no shards configured")))
+}
+
+fn handle_explore(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
+    router.metrics.explore.inc();
+    if router.is_shutting_down() {
+        return (503, error_body("server is shutting down"));
+    }
+    let shards = router.shards() as u64;
+    let shard = (router.explore_rr.fetch_add(1, Ordering::Relaxed) % shards) as usize;
+    let (status, body) = forward(router, shard, request);
+    if status != 200 {
+        return (status, body);
+    }
+    // Rewrite the local job id into a global one that encodes the shard.
+    match serde_json::from_str::<Value>(&body) {
+        Ok(mut v) => {
+            let Some(local) = v.get("job").and_then(Value::as_u64) else {
+                return (502, error_body(&format!("shard {shard} returned a jobless response")));
+            };
+            set_field(&mut v, "job", Value::U64(local * shards + shard as u64));
+            match serde_json::to_string(&v) {
+                Ok(body) => (200, body),
+                Err(e) => (500, error_body(&format!("job id rewrite failed: {e}"))),
+            }
+        }
+        Err(_) => (502, error_body(&format!("shard {shard} returned malformed job JSON"))),
+    }
+}
+
+fn handle_job(router: &Arc<RouterShared>, path: &str) -> (u16, String) {
+    router.metrics.jobs.inc();
+    let Some(global) = path.strip_prefix("/v1/jobs/").and_then(|raw| raw.parse::<u64>().ok())
+    else {
+        return (400, error_body("job ids are integers: GET /v1/jobs/<id>"));
+    };
+    let shards = router.shards() as u64;
+    let (shard, local) = ((global % shards) as usize, global / shards);
+    if local == 0 {
+        // Local ids start at 1, so no global id maps to local 0.
+        return (404, error_body(&format!("no job {global}")));
+    }
+    match router.upstream(shard, "GET", &format!("/v1/jobs/{local}"), None) {
+        Err(e) => shard_down(shard, &e),
+        Ok(response) => {
+            // Patch the shard-local id back into the caller's global id.
+            match serde_json::from_str::<Value>(&response.body) {
+                Ok(mut v) if v.get("job").is_some() => {
+                    set_field(&mut v, "job", Value::U64(global));
+                    match serde_json::to_string(&v) {
+                        Ok(body) => (response.status, body),
+                        Err(_) => (response.status, response.body),
+                    }
+                }
+                _ => (response.status, response.body),
+            }
+        }
+    }
+}
+
+fn handle_shutdown(router: &Arc<RouterShared>) -> (u16, String) {
+    for shard in 0..router.shards() {
+        let _ = router.upstream(shard, "POST", "/v1/shutdown", None);
+    }
+    router.initiate_shutdown();
+    (200, "{\"status\":\"shutting down\"}".into())
+}
+
+fn handle_metrics(router: &Arc<RouterShared>, query: &str) -> (u16, String, &'static str) {
+    router.metrics.metrics.inc();
+    let format = query.split('&').find_map(|pair| pair.strip_prefix("format=")).unwrap_or("json");
+    match format {
+        "prometheus" => {
+            let mut shard_snaps = Vec::with_capacity(router.shards());
+            for shard in 0..router.shards() {
+                let response =
+                    match router.upstream(shard, "GET", "/metrics?format=prometheus", None) {
+                        Ok(r) if r.status == 200 => r,
+                        Ok(r) => return (r.status, r.body, CT_JSON),
+                        Err(e) => {
+                            let (status, body) = shard_down(shard, &e);
+                            return (status, body, CT_JSON);
+                        }
+                    };
+                match dse_obs::parse_prometheus_text(&response.body) {
+                    Ok(snap) => shard_snaps.push(snap),
+                    Err(e) => {
+                        return (
+                            502,
+                            error_body(&format!("shard {shard} exposition did not parse: {e}")),
+                            CT_JSON,
+                        )
+                    }
+                }
+            }
+            let summed = dse_obs::sum_snapshots(shard_snaps);
+            // Router registry first: its serve_* series (its own request
+            // counts, shard counters, reactor gauges) win collisions;
+            // shard-only series (ledger, sim kernel) pass through summed.
+            let text = router.metrics.registry.snapshot().merged(summed).to_prometheus_text();
+            (200, text, CT_PROMETHEUS)
+        }
+        "json" => {
+            let mut acc: Option<Value> = None;
+            for shard in 0..router.shards() {
+                let response = match router.upstream(shard, "GET", "/metrics?format=json", None) {
+                    Ok(r) if r.status == 200 => r,
+                    Ok(r) => return (r.status, r.body, CT_JSON),
+                    Err(e) => {
+                        let (status, body) = shard_down(shard, &e);
+                        return (status, body, CT_JSON);
+                    }
+                };
+                let Ok(v) = serde_json::from_str::<Value>(&response.body) else {
+                    return (
+                        502,
+                        error_body(&format!("shard {shard} metrics did not parse")),
+                        CT_JSON,
+                    );
+                };
+                match &mut acc {
+                    None => acc = Some(v),
+                    Some(acc) => sum_json(acc, &v),
+                }
+            }
+            let mut v = acc.unwrap_or(Value::Null);
+            // The shard-summed `requests` section counts backend work
+            // (sub-batches, fan-outs); replace it with the router's own
+            // front-door view and record the topology.
+            if v.is_object() {
+                set_field(&mut v, "requests", serde::Serialize::to_content(&router.counters()));
+                set_field(&mut v, "shards", Value::U64(router.shards() as u64));
+            }
+            match serde_json::to_string(&v) {
+                Ok(body) => (200, body, CT_JSON),
+                Err(e) => (500, error_body(&format!("metrics serialization failed: {e}")), CT_JSON),
+            }
+        }
+        other => (
+            400,
+            error_body(&format!("unknown format {other:?} (expected \"json\" or \"prometheus\")")),
+            CT_JSON,
+        ),
+    }
+}
+
+/// Field-wise sum of two JSON documents: numbers add (u64 arithmetic
+/// when both sides are u64, f64 otherwise), arrays add elementwise,
+/// objects union-sum, and anything else (strings, bools, nulls, type
+/// mismatches) keeps the first value seen.
+fn sum_json(acc: &mut Value, add: &Value) {
+    match (&mut *acc, add) {
+        (Value::Map(a), Value::Map(b)) => {
+            for (key, value) in b {
+                match a.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, slot)) => sum_json(slot, value),
+                    None => a.push((key.clone(), value.clone())),
+                }
+            }
+        }
+        (Value::Seq(a), Value::Seq(b)) => {
+            for (i, value) in b.iter().enumerate() {
+                match a.get_mut(i) {
+                    Some(slot) => sum_json(slot, value),
+                    None => a.push(value.clone()),
+                }
+            }
+        }
+        (Value::U64(a), Value::U64(b)) => *a = a.saturating_add(*b),
+        (number, add) if number.is_number() && add.is_number() => {
+            let summed = number.as_f64().unwrap_or(0.0) + add.as_f64().unwrap_or(0.0);
+            *number = Value::F64(summed);
+        }
+        _ => {}
+    }
+}
+
+/// Sets (or appends) one field of a JSON map; no-op on non-maps.
+fn set_field(v: &mut Value, key: &str, value: Value) {
+    if let Value::Map(entries) = v {
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => entries.push((key.to_string(), value)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_covers_all_shards() {
+        // Determinism: same code, same shard, always.
+        for code in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            assert_eq!(shard_of(code, 4), shard_of(code, 4));
+        }
+        // Coverage: a small code range must not collapse onto one shard.
+        for shards in [2usize, 3, 4] {
+            let mut hit = vec![false; shards];
+            for code in 0..64u64 {
+                hit[shard_of(code, shards)] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "{shards} shards not all hit");
+        }
+    }
+
+    #[test]
+    fn sum_json_adds_numbers_and_keeps_first_on_mismatch() {
+        let mut a: Value = serde_json::from_str(
+            r#"{"requests": {"evaluate": 3, "errors": 0}, "job_states": [1, 0, 0],
+                "label": "shard", "ratio": 0.5}"#,
+        )
+        .expect("fixture parses");
+        let b: Value = serde_json::from_str(
+            r#"{"requests": {"evaluate": 4, "errors": 2, "extra": 9}, "job_states": [0, 2, 0],
+                "label": "other", "ratio": 0.25}"#,
+        )
+        .expect("fixture parses");
+        sum_json(&mut a, &b);
+        let want: Value = serde_json::from_str(
+            r#"{"requests": {"evaluate": 7, "errors": 2, "extra": 9}, "job_states": [1, 2, 0],
+                "label": "shard", "ratio": 0.75}"#,
+        )
+        .expect("fixture parses");
+        assert_eq!(a, want);
+    }
+}

@@ -1,0 +1,236 @@
+//! Sharded serving over real sockets: a front router proxying to two
+//! in-process shard servers. Checks the load-bearing invariants —
+//! sharded answers bit-identical to a single server's, order-stable
+//! merges, global job ids, aggregated metrics, graceful fan-out
+//! shutdown.
+
+use std::time::Duration;
+
+use archdse::Explorer;
+use archdse_serve::{
+    client, spawn, spawn_router, EvaluateResponse, RouterConfig, ServeConfig, ServerHandle,
+};
+use dse_workloads::Benchmark;
+use serde_json::Value;
+
+fn quick_config() -> ServeConfig {
+    let explorer =
+        Explorer::for_benchmark(Benchmark::StringSearch).trace_len(2_000).seed(7).threads(2);
+    let mut config = ServeConfig::new(explorer);
+    config.workers = 3;
+    config
+}
+
+/// Two identically configured shards behind a router.
+fn boot_stack() -> (Vec<ServerHandle>, archdse_serve::RouterHandle) {
+    let shards: Vec<ServerHandle> =
+        (0..2).map(|_| spawn(quick_config()).expect("bind shard")).collect();
+    let addrs = shards.iter().map(|s| s.addr().to_string()).collect();
+    let router = spawn_router(RouterConfig::new(addrs)).expect("bind router");
+    (shards, router)
+}
+
+#[test]
+fn sharded_answers_are_bit_identical_to_a_single_server() {
+    // The reference: one plain server evaluating a mixed batch.
+    let single = spawn(quick_config()).expect("bind");
+    let single_addr = single.addr().to_string();
+    let body = r#"{"points": [0, 12345, 999983, 31, 500000, 31], "fidelity": "lf"}"#;
+    let reference = client::post(&single_addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(reference.status, 200, "{}", reference.body);
+    let reference: EvaluateResponse = serde_json::from_str(&reference.body).unwrap();
+    single.shutdown();
+    single.join();
+
+    // The same batch through the router must merge back in the caller's
+    // point order with bit-identical CPIs, even though the points split
+    // across two shard caches.
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+    let routed = client::post(&addr, "/v1/evaluate", body).unwrap();
+    assert_eq!(routed.status, 200, "{}", routed.body);
+    let routed: EvaluateResponse = serde_json::from_str(&routed.body).unwrap();
+    assert_eq!(routed.results.len(), reference.results.len());
+    for (r, e) in routed.results.iter().zip(&reference.results) {
+        assert_eq!(r.point, e.point, "merge must preserve request order");
+        assert_eq!(r.cpi.to_bits(), e.cpi.to_bits(), "point {}: sharded CPI differs", r.point);
+    }
+
+    // HF answers carry the same provenance stamps through the proxy.
+    let hf = client::post(&addr, "/v1/evaluate", r#"{"points": [7], "fidelity": "hf"}"#).unwrap();
+    assert_eq!(hf.status, 200, "{}", hf.body);
+    let hf: EvaluateResponse = serde_json::from_str(&hf.body).unwrap();
+    assert_eq!(hf.results[0].fidelity, "HF");
+    assert!(hf.results[0].area_mm2 > 0.0);
+
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+}
+
+#[test]
+fn concurrent_routed_clients_match_a_sequential_walk() {
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+
+    // Eight concurrent clients, overlapping point sets.
+    let cpi_of = |addr: &str, chunk: usize| -> Vec<(u64, u64)> {
+        let points: Vec<u64> = (0..6).map(|i| (chunk as u64 * 7 + i) % 64).collect();
+        let body = format!(
+            r#"{{"points": [{}], "fidelity": "lf"}}"#,
+            points.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+        let response = client::post(addr, "/v1/evaluate", &body).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        let parsed: EvaluateResponse = serde_json::from_str(&response.body).unwrap();
+        parsed.results.iter().map(|r| (r.point, r.cpi.to_bits())).collect()
+    };
+    let concurrent: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|chunk| {
+                scope.spawn({
+                    let addr = &addr;
+                    move || cpi_of(addr, chunk)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+
+    // A fresh stack walked sequentially must produce the same bits.
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+    for (chunk, observed) in concurrent.iter().enumerate() {
+        assert_eq!(&cpi_of(&addr, chunk), observed, "chunk {chunk} diverged under concurrency");
+    }
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+}
+
+#[test]
+fn explore_jobs_get_global_ids_and_finish() {
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+
+    // Two jobs round-robin onto different shards; the global ids the
+    // router hands out are distinct and resolvable.
+    let spec =
+        r#"{"benchmark": "ss", "lf_episodes": 10, "hf_budget": 1, "trace_len": 500, "seed": 3}"#;
+    let mut jobs = Vec::new();
+    for _ in 0..2 {
+        let started = client::post(&addr, "/v1/explore", spec).unwrap();
+        assert_eq!(started.status, 200, "{}", started.body);
+        let started: archdse_serve::JobStatus = serde_json::from_str(&started.body).unwrap();
+        jobs.push(started.job);
+    }
+    assert_ne!(jobs[0], jobs[1]);
+
+    for job in jobs {
+        let path = format!("/v1/jobs/{job}");
+        let mut done = false;
+        for _ in 0..600 {
+            let polled = client::get(&addr, &path).unwrap();
+            assert_eq!(polled.status, 200, "{}", polled.body);
+            let status: archdse_serve::JobStatus = serde_json::from_str(&polled.body).unwrap();
+            assert_ne!(status.state, "failed", "job failed: {:?}", status.error);
+            if status.state == "done" {
+                assert!(status.result.expect("done jobs carry a result").best_cpi > 0.0);
+                done = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        assert!(done, "job {job} never finished");
+    }
+
+    // Unknown global ids 404 through the proxy, junk ids 400.
+    assert_eq!(client::get(&addr, "/v1/jobs/9999").unwrap().status, 404);
+    assert_eq!(client::get(&addr, "/v1/jobs/xyz").unwrap().status, 400);
+
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+}
+
+#[test]
+fn metrics_aggregate_across_shards_in_both_forms() {
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+
+    // Enough distinct points that both shards see traffic.
+    let body = format!(
+        r#"{{"points": [{}], "fidelity": "lf"}}"#,
+        (0..32).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+    );
+    assert_eq!(client::post(&addr, "/v1/evaluate", &body).unwrap().status, 200);
+    assert_eq!(client::get(&addr, "/healthz").unwrap().status, 200);
+
+    // JSON: the router overlays its own request counters on the
+    // field-wise shard sum and reports the shard count.
+    let json = client::get(&addr, "/metrics").unwrap();
+    assert_eq!(json.status, 200);
+    let parsed: Value = serde_json::from_str(&json.body).unwrap();
+    assert_eq!(parsed.get("shards").and_then(Value::as_u64), Some(2));
+    let requests = parsed.get("requests").expect("requests overlay");
+    assert_eq!(requests.get("evaluate").and_then(Value::as_u64), Some(1));
+    assert_eq!(requests.get("healthz").and_then(Value::as_u64), Some(1));
+    // The summed ledger accounts for each distinct point exactly once
+    // across the two shard caches.
+    let low = parsed.get("ledger").and_then(|l| l.get("low")).expect("summed ledger");
+    assert_eq!(low.get("evaluations").and_then(Value::as_u64), Some(32));
+
+    // Prometheus: the merged exposition is grammatical and carries the
+    // per-shard routing series.
+    let prom = client::get(&addr, "/metrics?format=prometheus").unwrap();
+    assert_eq!(prom.status, 200);
+    let summary = dse_obs::check_text(&prom.body)
+        .unwrap_or_else(|errors| panic!("invalid merged exposition: {errors:?}"));
+    assert!(summary.samples > 0);
+    for shard in 0..2 {
+        let prefix = format!("serve_shard_requests_total{{shard=\"{shard}\"}}");
+        assert!(
+            prom.body.lines().any(|l| l.starts_with(&prefix)),
+            "missing series {prefix} in:\n{}",
+            prom.body
+        );
+    }
+
+    router.shutdown();
+    router.join();
+    for shard in shards {
+        shard.shutdown();
+        shard.join();
+    }
+}
+
+#[test]
+fn shutdown_fans_out_to_every_shard() {
+    let (shards, router) = boot_stack();
+    let addr = router.addr().to_string();
+    let shard_addrs: Vec<String> = shards.iter().map(|s| s.addr().to_string()).collect();
+
+    let response = client::post(&addr, "/v1/shutdown", "").unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    router.join();
+    for (shard, shard_addr) in shards.into_iter().zip(shard_addrs) {
+        shard.join();
+        assert!(client::get(&shard_addr, "/healthz").is_err(), "shard must be gone after join");
+    }
+    assert!(client::get(&addr, "/healthz").is_err(), "router must be gone after join");
+}
