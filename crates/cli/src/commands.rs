@@ -86,6 +86,13 @@ COMMANDS:
       --router-workers <n>   router proxy handlers; size at the peak
                              concurrency to serve without pushback
                              (default 256; only with --shards > 1)
+      --trace-out <file>     write a JSONL request trace; a sharded run
+                             writes the router's records here plus one
+                             <file>.shardN per worker process (merge
+                             them with trace-report --requests)
+      --trace-sample <n>     trace 1 in n requests, chosen by a
+                             deterministic trace-id hash (default 1 =
+                             every request; 0 = none)
   loadgen                    hammer /v1/evaluate with concurrent clients
                              and report how the coalescer batched them
       --addr <host:port>     target server (default: self-host a quick one)
@@ -112,6 +119,13 @@ COMMANDS:
                              (default 2000)
       --queue-cap <n>        self-hosted servers' eval queue depth
                              (default 128)
+      --trace                send a client-generated X-ArchDSE-Trace id
+                             with every request and report the client
+                             RTT vs server-reported-time gap from the
+                             Server-Timing response header
+      --trace-out <file>     trace the self-hosted target (router
+                             records here, one <file>.shardN per shard
+                             worker); conflicts with --addr
       --metrics-out <file>   dump the target's (aggregated) Prometheus
                              exposition after the run
                              (run stats also persist to
@@ -120,8 +134,14 @@ COMMANDS:
                              per-phase wall time, per-fidelity budget
                              totals cross-checked against the ledger,
                              and the hottest spans
-      --trace <file>         the trace to read (required)
+      --trace <file>         the trace to read (required); --requests
+                             mode accepts a comma-separated list
       --top <n>              slowest spans to list (default 10)
+      --requests             per-request timeline mode: merge request
+                             records across router + shard trace files,
+                             report per-phase p50/p95/p99 and verify
+                             every proxied router span joins its shard
+                             span(s) and phase sums fit the wall time
   check-metrics              validate a Prometheus text exposition
                              (from --metrics-out or /metrics)
       --file <path>          the exposition to check (required)
@@ -207,6 +227,9 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "fnn",
             "shards",
             "router-workers",
+            "trace-out",
+            "trace-sample",
+            "shard-id",
         ],
         "loadgen" => &[
             "addr",
@@ -221,9 +244,11 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "seed",
             "trace-len",
             "queue-cap",
+            "trace",
+            "trace-out",
             "metrics-out",
         ],
-        "trace-report" => &["trace", "top"],
+        "trace-report" => &["trace", "top", "requests"],
         "check-metrics" => &["file"],
         "ingest" => &["name", "max-instrs", "trace-out", "profile-out"],
         "workload-diff" => &["benchmark", "golden", "json"],
@@ -616,6 +641,7 @@ fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
         return cmd_serve_sharded(args, shards);
     }
     let addr = args.value_or("addr", "127.0.0.1:8711".to_string())?;
+    let trace_out = install_serve_tracer(args)?;
     let config = serve_config_from_args(args, &addr)?;
     let benchmarks: Vec<&str> = config.explorer.benchmarks().iter().map(|b| b.name()).collect();
     let server = spawn(config)?;
@@ -627,8 +653,57 @@ fn cmd_serve(args: &Args) -> Result<i32, Box<dyn Error>> {
     use std::io::Write as _;
     std::io::stdout().flush()?;
     server.join();
+    if trace_out {
+        dse_obs::trace::shutdown()?;
+    }
     println!("archdse-serve drained and stopped");
     Ok(0)
+}
+
+/// Installs the JSONL tracer from serve's `--trace-out` /
+/// `--trace-sample` / `--shard-id` flags; returns whether one was
+/// installed (so the caller flushes it on shutdown). Shard worker
+/// processes are spawned with `--shard-id`, which stamps every record
+/// with the shard number and pid for multi-process merging.
+fn install_serve_tracer(args: &Args) -> Result<bool, Box<dyn Error>> {
+    let Some(path) = args.value_of::<String>("trace-out")? else {
+        return Ok(false);
+    };
+    dse_obs::trace::install_file(&path)?;
+    dse_obs::trace::set_request_sampling(args.value_or("trace-sample", 1u64)?);
+    if let Some(shard) = args.value_of::<u64>("shard-id")? {
+        dse_obs::trace::set_shard(shard);
+    }
+    Ok(true)
+}
+
+/// The per-shard trace path a sharded `--trace-out <file>` derives:
+/// `trace.jsonl` becomes `trace.shard3.jsonl` (the router keeps the
+/// plain path).
+fn shard_trace_path(path: &str, shard: usize) -> String {
+    let p = std::path::Path::new(path);
+    match (p.file_stem().and_then(|s| s.to_str()), p.extension().and_then(|e| e.to_str())) {
+        (Some(stem), Some(ext)) => {
+            p.with_file_name(format!("{stem}.shard{shard}.{ext}")).display().to_string()
+        }
+        _ => format!("{path}.shard{shard}"),
+    }
+}
+
+/// The extra serve flags one traced shard worker gets: its own trace
+/// file, its shard id, and the parent's sampling rate.
+fn shard_trace_args(trace_out: Option<&str>, sample: u64, shard: usize) -> Vec<String> {
+    match trace_out {
+        Some(path) => vec![
+            "--trace-out".into(),
+            shard_trace_path(path, shard),
+            "--shard-id".into(),
+            shard.to_string(),
+            "--trace-sample".into(),
+            sample.to_string(),
+        ],
+        None => Vec::new(),
+    }
 }
 
 /// A self-hosted shard: a child `archdse serve` worker process and the
@@ -719,12 +794,12 @@ struct ShardStack {
 impl ShardStack {
     fn boot(
         shards: usize,
-        child_args: &[String],
+        child_args_for: impl Fn(usize) -> Vec<String>,
         router_workers: usize,
     ) -> Result<Self, Box<dyn Error>> {
         let mut children = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            children.push(ShardProc::spawn(child_args)?);
+        for shard in 0..shards {
+            children.push(ShardProc::spawn(&child_args_for(shard))?);
         }
         if shards == 1 {
             let addr = children[0].addr.clone();
@@ -754,10 +829,22 @@ impl ShardStack {
 
 fn cmd_serve_sharded(args: &Args, shards: usize) -> Result<i32, Box<dyn Error>> {
     let addr = args.value_or("addr", "127.0.0.1:8711".to_string())?;
+    // The parent process hosts the router: its records (role "router",
+    // no shard id) go to the plain --trace-out path, each worker's to a
+    // derived .shardN path with the same sampling rate so a trace id
+    // gets the same verdict on both sides of the proxy.
+    let trace_out = args.value_of::<String>("trace-out")?;
+    let trace_sample = args.value_or("trace-sample", 1u64)?;
+    if let Some(path) = &trace_out {
+        dse_obs::trace::install_file(path)?;
+        dse_obs::trace::set_request_sampling(trace_sample);
+    }
     let child_args = child_serve_args(args)?;
     let mut children = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        children.push(ShardProc::spawn(&child_args)?);
+    for shard in 0..shards {
+        let mut shard_args = child_args.clone();
+        shard_args.extend(shard_trace_args(trace_out.as_deref(), trace_sample, shard));
+        children.push(ShardProc::spawn(&shard_args)?);
     }
     let shard_addrs: Vec<String> = children.iter().map(|c| c.addr.clone()).collect();
     let mut config = RouterConfig::new(shard_addrs.clone());
@@ -773,6 +860,9 @@ fn cmd_serve_sharded(args: &Args, shards: usize) -> Result<i32, Box<dyn Error>> 
     router.join();
     for child in &mut children {
         child.finish(std::time::Duration::from_secs(30));
+    }
+    if trace_out.is_some() {
+        dse_obs::trace::shutdown()?;
     }
     println!("archdse-serve drained and stopped");
     Ok(0)
@@ -872,6 +962,17 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
         eprintln!("--shards self-hosts a sharded stack; it conflicts with --addr");
         return Ok(2);
     }
+    let trace_out = args.value_of::<String>("trace-out")?;
+    if external.is_some() && trace_out.is_some() {
+        eprintln!("--trace-out traces the self-hosted target; it conflicts with --addr");
+        return Ok(2);
+    }
+    if let Some(path) = &trace_out {
+        // The self-hosted single server (or the sharded stack's router)
+        // runs in this process; its records land here, shard workers
+        // write derived .shardN files.
+        dse_obs::trace::install_file(path)?;
+    }
     let (addr, target) = match external {
         Some(addr) => (addr, LoadgenTarget::External),
         None if shards == 1 => {
@@ -887,7 +988,17 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
         }
         None => {
             let workers = concurrency.unwrap_or(64).max(64);
-            let stack = ShardStack::boot(shards, &loadgen_child_args(args)?, workers)?;
+            let base_args = loadgen_child_args(args)?;
+            let trace_out = trace_out.as_deref();
+            let stack = ShardStack::boot(
+                shards,
+                |shard| {
+                    let mut shard_args = base_args.clone();
+                    shard_args.extend(shard_trace_args(trace_out, 1, shard));
+                    shard_args
+                },
+                workers,
+            )?;
             println!("(self-hosting {shards} shard processes behind {})", stack.addr);
             (stack.addr.clone(), LoadgenTarget::Stack(stack))
         }
@@ -899,6 +1010,7 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
     config.points_per_request = args.value_or("points", 4usize)?.max(1);
     config.fidelity = fidelity.clone();
     config.seed = args.value_or("seed", 1u64)?;
+    config.trace = args.switch("trace");
     let report = run_loadgen(&config);
     if report.is_ok() {
         if let Some(path) = args.value_of::<String>("metrics-out")? {
@@ -912,6 +1024,9 @@ fn cmd_loadgen(args: &Args) -> Result<i32, Box<dyn Error>> {
         }
     }
     target.teardown();
+    if trace_out.is_some() {
+        dse_obs::trace::shutdown()?;
+    }
     let report = report?;
     print!("{}", report.render());
     if report.coalescer.batches < report.coalescer.requests {
@@ -936,6 +1051,10 @@ fn cmd_loadgen_trend(args: &Args, fidelity: &str, shards_n: usize) -> Result<i32
         eprintln!("--trend self-hosts its serving stacks; it conflicts with --addr");
         return Ok(2);
     }
+    if args.value_of::<String>("trace-out")?.is_some() {
+        eprintln!("--trend boots many stacks; trace a single run without --trend instead");
+        return Ok(2);
+    }
     let duration_s: f64 = args.value_or("duration", 3.0)?;
     if duration_s <= 0.0 {
         eprintln!("--duration must be a positive number of seconds");
@@ -951,13 +1070,14 @@ fn cmd_loadgen_trend(args: &Args, fidelity: &str, shards_n: usize) -> Result<i32
     for shards in [1, shards_n] {
         for &clients in &concurrencies {
             println!("== {shards} shard(s), {clients} clients, {duration_s:.1}s closed-loop ==");
-            let stack = ShardStack::boot(shards, &child_args, clients.max(64))?;
+            let stack = ShardStack::boot(shards, |_| child_args.clone(), clients.max(64))?;
             let mut config = LoadgenConfig::new(stack.addr.clone());
             config.clients = clients;
             config.duration = Some(std::time::Duration::from_secs_f64(duration_s));
             config.points_per_request = points;
             config.fidelity = fidelity.to_string();
             config.seed = seed;
+            config.trace = args.switch("trace");
             let report = run_loadgen(&config);
             stack.teardown();
             let report = report?;
@@ -1010,6 +1130,13 @@ fn loadgen_row(report: &LoadgenReport, config: &LoadgenConfig) -> LoadgenRow {
             p95: us(report.latency.p95),
             p99: us(report.latency.p99),
             max: us(report.latency.max),
+        },
+        delta_us: LatencyMicros {
+            samples: report.delta.samples,
+            p50: us(report.delta.p50),
+            p95: us(report.delta.p95),
+            p99: us(report.delta.p99),
+            max: us(report.delta.max),
         },
         statuses: report
             .statuses
@@ -1081,6 +1208,9 @@ struct LoadgenRow {
     offered_rps: f64,
     achieved_rps: f64,
     latency_us: LatencyMicros,
+    /// Client RTT minus server-reported time percentiles; all-zero
+    /// unless the run used `--trace`.
+    delta_us: LatencyMicros,
     statuses: Vec<StatusRow>,
     coalescer: archdse_serve::CoalescerStats,
     /// Answered/cached counts per fidelity tier, cheapest first.
@@ -1102,6 +1232,25 @@ fn cmd_trace_report(args: &Args) -> Result<i32, Box<dyn Error>> {
         eprintln!("trace-report requires --trace <file> (produce one with explore --trace-out)");
         return Ok(2);
     };
+    if args.switch("requests") {
+        let mut files = Vec::new();
+        for part in path.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            files.push((part.to_string(), std::fs::read_to_string(part)?));
+        }
+        let report = match crate::trace_report::summarize_requests(&files) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{e}");
+                return Ok(1);
+            }
+        };
+        print!("{}", crate::trace_report::render_requests(&report));
+        return Ok(if crate::trace_report::verify_requests(&report).is_ok() { 0 } else { 1 });
+    }
     let top: usize = args.value_or("top", 10)?;
     let text = std::fs::read_to_string(&path)?;
     let summary = match crate::trace_report::summarize(&text, top) {

@@ -1,0 +1,77 @@
+//! Backward compatibility of the trace readers: traces written by
+//! earlier revisions of the tracer — before records carried `shard` /
+//! `pid` stamps, span links, or `request` timelines — must keep
+//! parsing with defaults, and their ledger deltas must still reconcile.
+//!
+//! The fixtures are verbatim golden copies of the two earlier schema
+//! generations: `trace_pr5_two_tier.jsonl` (LF+HF only, no `learned_*`
+//! fields) and `trace_pr7_three_tier.jsonl` (adds the learned tier and
+//! `tier_gate` events). Do not regenerate them; they pin the past.
+
+use archdse_cli::trace_report;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn pr5_era_two_tier_trace_parses_and_reconciles() {
+    let text = fixture("trace_pr5_two_tier.jsonl");
+    let summary = trace_report::summarize(&text, 5).expect("legacy trace parses");
+    assert_eq!(summary.spans, 3);
+    assert_eq!(summary.per_fidelity["lf"].evaluations, 5);
+    assert_eq!(summary.per_fidelity["hf"].evaluations, 2);
+    // No learned tier anywhere: both sides default to zero and agree.
+    assert_eq!(summary.run_summary.unwrap().learned, (0, 0, 0, 0, 0.0));
+    assert!(trace_report::reconcile(&summary).is_ok());
+    // And no request records, which `--requests` mode reports as such
+    // rather than choking on the old schema.
+    assert_eq!(summary.requests, 0);
+}
+
+#[test]
+fn pr7_era_three_tier_trace_parses_and_reconciles() {
+    let text = fixture("trace_pr7_three_tier.jsonl");
+    let summary = trace_report::summarize(&text, 5).expect("legacy trace parses");
+    assert_eq!(summary.per_fidelity["learned"].cache_hits, 1);
+    assert!(trace_report::reconcile(&summary).is_ok());
+}
+
+#[test]
+fn requests_mode_skips_legacy_records_without_erroring() {
+    let files = vec![
+        ("pr5".to_string(), fixture("trace_pr5_two_tier.jsonl")),
+        ("pr7".to_string(), fixture("trace_pr7_three_tier.jsonl")),
+    ];
+    let report = trace_report::summarize_requests(&files).expect("legacy records skip cleanly");
+    assert_eq!(report.rows.len(), 0);
+    // An empty merge is a verification failure (nothing was traced),
+    // not a parse error.
+    assert!(trace_report::verify_requests(&report).is_err());
+}
+
+#[test]
+fn new_records_with_process_stamps_parse_alongside_legacy_ones() {
+    // A merged stream mixing an old-era event line with new-schema
+    // lines (shard/pid stamps, span links, request timelines): the
+    // summarizer must take all of them.
+    let mixed = concat!(
+        r#"{"type":"event","name":"ledger_batch","span":null,"ts_us":1,"fidelity":"lf","proposals":1,"evaluations":1,"cache_hits":0,"cache_misses":1,"denied":0,"model_time_units":1.0,"dur_us":10}"#,
+        "\n",
+        r#"{"type":"event","name":"ledger_batch","span":null,"ts_us":2,"fidelity":"lf","proposals":1,"evaluations":1,"cache_hits":0,"cache_misses":1,"denied":0,"model_time_units":1.0,"dur_us":9,"links":["lg0.1"],"shard":1,"pid":4242}"#,
+        "\n",
+        r#"{"type":"request","trace":"lg0.1","role":"server","endpoint":"evaluate","status":200,"ts_us":30,"dur_us":500,"parse_us":5,"queue_us":100,"coalesce_us":80,"exec_us":300,"serialize_us":5,"write_us":10,"shard":1,"pid":4242}"#,
+        "\n"
+    );
+    let summary = trace_report::summarize(mixed, 5).expect("mixed-era trace parses");
+    assert_eq!(summary.requests, 1);
+    assert_eq!(summary.per_fidelity["lf"].batches, 2);
+
+    let report =
+        trace_report::summarize_requests(&[("mixed".to_string(), mixed.to_string())]).unwrap();
+    assert_eq!(report.rows.len(), 1);
+    assert_eq!(report.rows[0].shard, Some(1));
+    assert_eq!(report.rows[0].phase_sum(), 500);
+    assert!(trace_report::verify_requests(&report).is_ok());
+}

@@ -431,22 +431,25 @@ impl CostLedger {
                 // reproduces the final `LedgerSummary` exactly — the
                 // invariant `trace-report` checks offline.
                 let after = *self.section(fidelity);
-                trace::event(
-                    "ledger_batch",
-                    &[
-                        ("fidelity", fidelity.key().into()),
-                        ("proposals", points.len().into()),
-                        ("evaluations", (after.evaluations - before.evaluations).into()),
-                        ("cache_hits", (after.cache_hits - before.cache_hits).into()),
-                        ("cache_misses", (after.cache_misses - before.cache_misses).into()),
-                        ("denied", (after.denied - before.denied).into()),
-                        (
-                            "model_time_units",
-                            (after.model_time_units - before.model_time_units).into(),
-                        ),
-                        ("dur_us", (eval_elapsed.as_micros() as u64).into()),
-                    ],
-                );
+                let mut fields: Vec<(&str, trace::FieldValue)> = vec![
+                    ("fidelity", fidelity.key().into()),
+                    ("proposals", points.len().into()),
+                    ("evaluations", (after.evaluations - before.evaluations).into()),
+                    ("cache_hits", (after.cache_hits - before.cache_hits).into()),
+                    ("cache_misses", (after.cache_misses - before.cache_misses).into()),
+                    ("denied", (after.denied - before.denied).into()),
+                    ("model_time_units", (after.model_time_units - before.model_time_units).into()),
+                    ("dur_us", (eval_elapsed.as_micros() as u64).into()),
+                ];
+                // Span links: when a coalesced service batch parked the
+                // trace ids it serves (`trace::set_batch_links`), the
+                // batch record names every member request it fanned
+                // cost back to.
+                let links = trace::take_batch_links();
+                if !links.is_empty() {
+                    fields.push(("links", links.into()));
+                }
+                trace::event("ledger_batch", &fields);
             }
         }
         slots

@@ -233,6 +233,16 @@ fn check_histogram_family(family: &str, samples: &[Sample], errors: &mut Vec<Str
             None => errors.push(format!("line {line}: {family}{label_desc} missing _sum")),
         }
     }
+    // A `_sum`/`_count` label-set with no `_bucket` series at all is a
+    // malformed histogram too, not merely unchecked.
+    let orphans: std::collections::BTreeSet<&LabelSet> =
+        counts.keys().chain(sums.keys()).filter(|l| !buckets.contains_key(*l)).collect();
+    for labels in orphans {
+        errors.push(format!(
+            "histogram {family}{:?} has _sum/_count but no _bucket series",
+            labels.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>()
+        ));
+    }
     checked
 }
 

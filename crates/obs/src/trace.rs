@@ -23,13 +23,29 @@
 //! threads report through the metrics registry instead, whose atomic
 //! counters are order-free. That split is what keeps traces
 //! deterministic under `par_map` parallelism.
+//!
+//! ## Multi-process traces
+//!
+//! A sharded service runs one tracer per process, each writing its own
+//! file. [`set_shard`] stamps every subsequent record with
+//! `"shard":N,"pid":P` so the per-shard files can be merged offline
+//! (`trace-report --requests`) without losing which process said what.
+//! Single-process traces never carry the two keys, so pre-shard trace
+//! files and their consumers are unaffected.
+//!
+//! Request-level records (`{"type":"request", ...}`, see [`request`])
+//! capture one completed HTTP request with its phase breakdown.
+//! Whether a given request id is traced is decided by
+//! [`request_sampled`] — a deterministic hash of the id against the
+//! configured sampling divisor, so two same-seed runs sample exactly
+//! the same requests and the off path stays one relaxed atomic load.
 
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -37,9 +53,15 @@ use crate::expo;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static TRACER: Mutex<Option<Tracer>> = Mutex::new(None);
+/// Shard id stamped into records, or `u64::MAX` when unset.
+static SHARD: AtomicU64 = AtomicU64::new(u64::MAX);
+/// Request-sampling divisor: a request id is traced when
+/// `splitmix64(id) % divisor == 0`. 1 = every request, 0 = none.
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static BATCH_LINKS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 struct Tracer {
@@ -56,6 +78,61 @@ impl Tracer {
     fn write_line(&mut self, line: &str) {
         // Trace IO failures must never take down a run; drop the line.
         let _ = writeln!(self.out, "{line}");
+    }
+}
+
+/// Appends `,"shard":N,"pid":P` when a shard context is set. Called
+/// just before a record's closing brace, so single-process traces stay
+/// byte-identical to the pre-shard format.
+fn write_process_suffix(line: &mut String) {
+    let shard = SHARD.load(Ordering::Relaxed);
+    if shard != u64::MAX {
+        let _ = write!(line, ",\"shard\":{shard},\"pid\":{}", std::process::id());
+    }
+}
+
+/// The finalizer of the splitmix64 generator: a cheap, well-mixed
+/// 64-bit hash. Used for deterministic request sampling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Declares this process to be shard `shard` of a multi-process
+/// service: every record emitted from now on carries
+/// `"shard":shard,"pid":<pid>`. Survives [`install_file`] reinstalls —
+/// it is process identity, not sink state.
+pub fn set_shard(shard: u64) {
+    assert_ne!(shard, u64::MAX, "shard id u64::MAX is reserved for 'unset'");
+    SHARD.store(shard, Ordering::Relaxed);
+}
+
+/// Removes the shard context; records stop carrying `shard`/`pid`.
+pub fn clear_shard() {
+    SHARD.store(u64::MAX, Ordering::Relaxed);
+}
+
+/// Sets the request-sampling divisor: a request id is traced when
+/// `hash(id) % every == 0`. `1` (the default) traces every request,
+/// `0` traces none. Deterministic in the id, so same-seed runs sample
+/// identically.
+pub fn set_request_sampling(every: u64) {
+    SAMPLE_EVERY.store(every, Ordering::Relaxed);
+}
+
+/// Whether the request with numeric id `id` should be traced. When no
+/// trace sink is installed this is a single relaxed atomic load.
+#[inline]
+pub fn request_sampled(id: u64) -> bool {
+    if !enabled() {
+        return false;
+    }
+    match SAMPLE_EVERY.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        every => splitmix64(id).is_multiple_of(every),
     }
 }
 
@@ -116,6 +193,9 @@ pub enum FieldValue {
     Str(String),
     /// Boolean.
     Bool(bool),
+    /// A list of strings (rendered as a JSON array). Used for span
+    /// links: the trace ids a coalesced batch served.
+    StrList(Vec<String>),
 }
 
 impl From<u64> for FieldValue {
@@ -158,6 +238,11 @@ impl From<bool> for FieldValue {
         FieldValue::Bool(v)
     }
 }
+impl From<Vec<String>> for FieldValue {
+    fn from(v: Vec<String>) -> Self {
+        FieldValue::StrList(v)
+    }
+}
 
 fn write_field_value(out: &mut String, v: &FieldValue) {
     match v {
@@ -172,7 +257,30 @@ fn write_field_value(out: &mut String, v: &FieldValue) {
         FieldValue::Bool(b) => {
             let _ = write!(out, "{b}");
         }
+        FieldValue::StrList(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                expo::write_json_string(out, item);
+            }
+            out.push(']');
+        }
     }
+}
+
+/// Parks the trace ids a coalesced batch is about to serve, so the
+/// `ledger_batch` event emitted inside `CostLedger::evaluate_batch`
+/// can carry them as span links. Thread-local: the coalescer sets the
+/// links just before submitting the batch on the same thread.
+pub fn set_batch_links(links: Vec<String>) {
+    BATCH_LINKS.with(|l| *l.borrow_mut() = links);
+}
+
+/// Takes (and clears) the parked batch links for this thread.
+pub fn take_batch_links() -> Vec<String> {
+    BATCH_LINKS.with(|l| std::mem::take(&mut *l.borrow_mut()))
 }
 
 /// A named field: `("cpi", 1.37.into())`.
@@ -205,6 +313,51 @@ pub fn event(name: &str, fields: &[Field<'_>]) {
         line.push(':');
         write_field_value(&mut line, value);
     }
+    write_process_suffix(&mut line);
+    line.push('}');
+    t.write_line(&line);
+}
+
+/// One completed HTTP request, for [`request`].
+#[derive(Debug, Clone)]
+pub struct RequestRecord<'a> {
+    /// The request's trace id (hex, client-supplied or server-assigned).
+    pub trace: &'a str,
+    /// Which process role observed it: `"server"` or `"router"`.
+    pub role: &'a str,
+    /// The endpoint label the server accounted the request under.
+    pub endpoint: &'a str,
+    /// The HTTP status the request was answered with.
+    pub status: u16,
+    /// End-to-end wall time, request parsed → response written, in µs.
+    pub dur_us: u64,
+    /// Named phase durations in µs (`("parse", 12)`, …). Rendered as
+    /// `"<name>_us":N` keys so determinism tooling can strip every
+    /// wall-clock field by the `_us` suffix alone.
+    pub phases: &'a [(&'static str, u64)],
+}
+
+/// Emits one `{"type":"request",...}` line: a completed request with
+/// its phase timeline. No-op when tracing is off. Callers decide
+/// sampling via [`request_sampled`] before building the record.
+pub fn request(rec: &RequestRecord<'_>) {
+    if !enabled() {
+        return;
+    }
+    let mut tracer = TRACER.lock().expect("tracer poisoned");
+    let Some(t) = tracer.as_mut() else { return };
+    let mut line = String::from("{\"type\":\"request\",\"trace\":");
+    expo::write_json_string(&mut line, rec.trace);
+    line.push_str(",\"role\":");
+    expo::write_json_string(&mut line, rec.role);
+    line.push_str(",\"endpoint\":");
+    expo::write_json_string(&mut line, rec.endpoint);
+    let _ = write!(line, ",\"status\":{}", rec.status);
+    let _ = write!(line, ",\"ts_us\":{},\"dur_us\":{}", t.ts_us(), rec.dur_us);
+    for (name, us) in rec.phases {
+        let _ = write!(line, ",\"{name}_us\":{us}");
+    }
+    write_process_suffix(&mut line);
     line.push('}');
     t.write_line(&line);
 }
@@ -233,7 +386,9 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
     line.push_str(",\"name\":");
     expo::write_json_string(&mut line, name);
-    let _ = write!(line, ",\"ts_us\":{begin_us}}}");
+    let _ = write!(line, ",\"ts_us\":{begin_us}");
+    write_process_suffix(&mut line);
+    line.push('}');
     t.write_line(&line);
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
     SpanGuard { id: Some(id), name, begin_us }
@@ -267,7 +422,9 @@ impl Drop for SpanGuard {
         let _ = write!(line, "{id}");
         line.push_str(",\"name\":");
         expo::write_json_string(&mut line, self.name);
-        let _ = write!(line, ",\"ts_us\":{now},\"dur_us\":{}}}", now.saturating_sub(self.begin_us));
+        let _ = write!(line, ",\"ts_us\":{now},\"dur_us\":{}", now.saturating_sub(self.begin_us));
+        write_process_suffix(&mut line);
+        line.push('}');
         t.write_line(&line);
     }
 }
@@ -339,5 +496,61 @@ mod tests {
         shutdown().unwrap();
         let text2 = String::from_utf8(buf2.0.lock().unwrap().clone()).unwrap();
         assert!(text2.starts_with("{\"type\":\"span_begin\",\"id\":1,"), "{text2}");
+
+        // Request records carry trace id, phases as `_us` keys, and —
+        // once a shard context is set — shard + pid on every record.
+        let buf3 = SharedBuf::default();
+        install_writer(Box::new(buf3.clone()));
+        request(&RequestRecord {
+            trace: "00000000deadbeef",
+            role: "server",
+            endpoint: "/v1/evaluate",
+            status: 200,
+            dur_us: 1234,
+            phases: &[("parse", 5), ("queue", 40)],
+        });
+        set_shard(3);
+        event("with_shard", &[("links", vec!["a1".to_string(), "b2".to_string()].into())]);
+        {
+            let _s = span("sharded_span");
+        }
+        clear_shard();
+        event("without_shard", &[]);
+        shutdown().unwrap();
+        let text3 = String::from_utf8(buf3.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text3.lines().collect();
+        assert_eq!(lines.len(), 5, "{text3}");
+        assert!(lines[0].starts_with("{\"type\":\"request\",\"trace\":\"00000000deadbeef\""));
+        assert!(lines[0].contains("\"endpoint\":\"/v1/evaluate\",\"status\":200"));
+        assert!(lines[0].contains("\"parse_us\":5,\"queue_us\":40"));
+        assert!(!lines[0].contains("\"shard\""), "{}", lines[0]);
+        let pid = std::process::id();
+        let suffix = format!(",\"shard\":3,\"pid\":{pid}}}");
+        assert!(lines[1].contains("\"links\":[\"a1\",\"b2\"]"), "{}", lines[1]);
+        for sharded in &lines[1..4] {
+            assert!(sharded.ends_with(&suffix), "{sharded}");
+        }
+        assert!(!lines[4].contains("\"pid\""), "{}", lines[4]);
+
+        // Sampling is a pure function of the id: divisor 1 keeps all,
+        // 0 drops all, and any other divisor is deterministic.
+        install_writer(Box::new(SharedBuf::default()));
+        assert!(request_sampled(7));
+        set_request_sampling(0);
+        assert!(!request_sampled(7));
+        set_request_sampling(4);
+        let picked: Vec<u64> = (0..64).filter(|&id| request_sampled(id)).collect();
+        let again: Vec<u64> = (0..64).filter(|&id| request_sampled(id)).collect();
+        assert_eq!(picked, again);
+        assert!(!picked.is_empty() && picked.len() < 64, "{picked:?}");
+        set_request_sampling(1);
+        shutdown().unwrap();
+        // Off path: no sink installed → nothing sampled.
+        assert!(!request_sampled(7));
+
+        // Batch links park-and-take round-trips per thread.
+        set_batch_links(vec!["x".into()]);
+        assert_eq!(take_batch_links(), vec!["x".to_string()]);
+        assert!(take_batch_links().is_empty());
     }
 }

@@ -139,6 +139,59 @@ fn json_and_prometheus_agree_on_every_value() {
 }
 
 #[test]
+fn histogram_conformance_rules_are_pinned() {
+    // Golden pin of the checker's histogram rules: the well-formed
+    // exposition passes, and each single-rule violation is caught with
+    // a message naming the rule. If check_text ever loosens, this test
+    // names exactly which conformance rule regressed.
+    let golden = "# TYPE req_seconds histogram\n\
+                  req_seconds_bucket{le=\"0.1\"} 1\n\
+                  req_seconds_bucket{le=\"1\"} 3\n\
+                  req_seconds_bucket{le=\"+Inf\"} 4\n\
+                  req_seconds_sum 2.5\n\
+                  req_seconds_count 4\n";
+    promcheck::check_text(golden).expect("golden exposition conforms");
+
+    let violations: [(&str, &str, &str); 6] = [
+        (
+            "missing +Inf bucket",
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+            "+Inf",
+        ),
+        (
+            "cumulative buckets decrease",
+            "# TYPE h histogram\nh_bucket{le=\"0.1\"} 3\nh_bucket{le=\"1\"} 2\n\
+             h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+            "cumulative",
+        ),
+        (
+            "le bounds out of order",
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\n\
+             h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+            "not increasing",
+        ),
+        (
+            "_count disagrees with +Inf",
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+            "_count",
+        ),
+        (
+            "negative _sum",
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum -2\nh_count 1\n",
+            "_sum",
+        ),
+        ("_sum/_count without buckets", "# TYPE h histogram\nh_sum 1\nh_count 1\n", "no _bucket"),
+    ];
+    for (rule, text, needle) in violations {
+        let errors = promcheck::check_text(text).expect_err(rule);
+        assert!(
+            errors.iter().any(|e| e.contains(needle)),
+            "{rule}: expected an error mentioning {needle:?}, got {errors:?}"
+        );
+    }
+}
+
+#[test]
 fn histogram_triples_sum_consistently() {
     // The acceptance criterion spelled out: `_count` equals the +Inf
     // cumulative bucket, and `_sum` is a monotone total.

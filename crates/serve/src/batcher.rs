@@ -27,6 +27,7 @@ use dse_exec::{
     CostLedger, CpiModel, Evaluation, Fidelity, LearnedTier, LedgerEntry, TierGate, TieredEvaluator,
 };
 use dse_mfrl::LowFidelity;
+use dse_obs::trace;
 use dse_space::{DesignPoint, DesignSpace};
 use serde::{Deserialize, Serialize};
 
@@ -200,10 +201,25 @@ pub(crate) enum TierRequest {
     Auto,
 }
 
+/// Phase durations the coalescer measured for one job, handed back
+/// through its [`ReplyFn`] so the request timeline can be completed.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct EvalTiming {
+    /// Enqueue → this job's window opening (queueing behind earlier
+    /// windows), µs.
+    pub queue_us: u64,
+    /// Window opening → this job's batch starting to execute (the
+    /// coalescer's gather delay, plus earlier groups in the window), µs.
+    pub coalesce_us: u64,
+    /// The ledger batch execution this job rode, µs (shared by every
+    /// member of the batch — the batch ran once for all of them).
+    pub exec_us: u64,
+}
+
 /// How a finished evaluation gets back to whoever is waiting: the
 /// reactor posts a completion (and wakes its poller), tests hand in a
 /// plain channel sender. Either way it is a one-shot callback.
-pub(crate) type ReplyFn = Box<dyn FnOnce(Vec<(LedgerEntry, Fidelity)>) + Send>;
+pub(crate) type ReplyFn = Box<dyn FnOnce(Vec<(LedgerEntry, Fidelity)>, EvalTiming) + Send>;
 
 /// One evaluate request, queued for the coalescer.
 pub(crate) struct EvalJob {
@@ -215,6 +231,8 @@ pub(crate) struct EvalJob {
     /// When the job entered the queue; the coalescer observes the queue
     /// wait (enqueue → window submit) per request.
     pub enqueued_at: Instant,
+    /// The request's trace id, when it has one — batch span links.
+    pub trace: Option<String>,
     /// Rendezvous back to the parked connection; each entry carries the
     /// tier that actually answered it.
     pub reply: ReplyFn,
@@ -238,9 +256,10 @@ pub(crate) fn run_coalescer(
             Ok(job) => job,
             Err(_) => return,
         };
+        let window_opened = Instant::now();
         let mut window = vec![first];
         let mut gathered = window[0].points.len();
-        let deadline = Instant::now() + config.max_delay;
+        let deadline = window_opened + config.max_delay;
         while gathered < config.max_batch_points {
             let now = Instant::now();
             if now >= deadline {
@@ -254,7 +273,7 @@ pub(crate) fn run_coalescer(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        submit_window(window, &core, &stats, &batch_points, &queue_wait);
+        submit_window(window, window_opened, &core, &stats, &batch_points, &queue_wait);
     }
 }
 
@@ -265,6 +284,7 @@ pub(crate) fn run_coalescer(
 /// arrival order.
 fn submit_window(
     window: Vec<EvalJob>,
+    window_opened: Instant,
     core: &Mutex<EvalCore>,
     stats: &Mutex<CoalescerStats>,
     batch_points: &dse_obs::Histogram,
@@ -299,6 +319,16 @@ fn submit_window(
         let merged: Vec<DesignPoint> =
             group.iter().flat_map(|&i| jobs[i].points.iter().cloned()).collect();
         batch_points.observe(merged.len() as f64);
+        if trace::enabled() {
+            // Hand the member request ids to the exec layer: the
+            // `ledger_batch` event this group produces carries span
+            // links back to every request that rode the batch.
+            let links: Vec<String> = group.iter().filter_map(|&i| jobs[i].trace.clone()).collect();
+            if !links.is_empty() {
+                trace::set_batch_links(links);
+            }
+        }
+        let exec_start = Instant::now();
         let answered: Vec<(LedgerEntry, Fidelity)> = {
             let mut core = core.lock().expect("evaluation core poisoned");
             match (workload, tier) {
@@ -321,17 +351,30 @@ fn submit_window(
                 }
             }
         };
+        // Drain any links the exec layer did not consume (tracing may
+        // have been toggled mid-window) so they cannot leak into the
+        // next group's batch event.
+        let _ = trace::take_batch_links();
+        let exec_us = exec_start.elapsed().as_micros() as u64;
         let mut cursor = 0usize;
         for &i in &group {
             let take = jobs[i].points.len();
             let slice = answered[cursor..cursor + take].to_vec();
             cursor += take;
+            let enqueued = jobs[i].enqueued_at;
+            let timing = EvalTiming {
+                queue_us: window_opened.saturating_duration_since(enqueued).as_micros() as u64,
+                coalesce_us: exec_start
+                    .saturating_duration_since(window_opened.max(enqueued))
+                    .as_micros() as u64,
+                exec_us,
+            };
             // Each job sits in exactly one group, so its one-shot reply
             // is consumed exactly once. If the connection died in the
             // meantime the completion is simply dropped on the reactor
             // floor — the evaluation is already accounted.
-            let reply: ReplyFn = std::mem::replace(&mut jobs[i].reply, Box::new(|_| {}));
-            reply(slice);
+            let reply: ReplyFn = std::mem::replace(&mut jobs[i].reply, Box::new(|_, _| {}));
+            reply(slice, timing);
         }
     }
 }

@@ -27,6 +27,91 @@ use crate::http::{Parsed, RequestParser};
 /// Read chunk size; also bounds how much one readable event consumes.
 const READ_CHUNK: usize = 16 * 1024;
 
+/// The named request phases, in pipeline order. Every timeline renders
+/// all six (zeros included) so records have one fixed shape.
+pub(crate) const PHASES: [&str; 6] = ["parse", "queue", "coalesce", "exec", "serialize", "write"];
+
+/// FNV-1a over a trace id, feeding the tracer's deterministic request
+/// sampler (string ids need a stable u64 before the splitmix hash).
+pub(crate) fn trace_id_hash(id: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-request phase timeline, filled in as the request crosses the
+/// reactor, the queues and the coalescer:
+///
+/// * `parse` — first byte seen → complete request parsed (includes
+///   inter-packet waits; loopback requests arrive in one packet).
+/// * `queue` — dispatched → picked up (coalescer or app pool).
+/// * `coalesce` — picked up → batch submitted (the gather delay).
+/// * `exec` — ledger batch execution / handler / upstream round-trip.
+/// * `serialize` — response rendering.
+/// * `write` — completion posted → response fully flushed (includes
+///   the reactor wake-up, so the phases tile the request wall time).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Timeline {
+    /// The request's trace id: the client's `X-ArchDSE-Trace`, or a
+    /// server-assigned one.
+    pub trace: Option<String>,
+    /// Whether this request is traced (deterministic id-hash sampling).
+    pub sampled: bool,
+    /// When the first byte of this request was seen.
+    pub read_started: Option<Instant>,
+    /// When the completion was posted (write-phase anchor).
+    pub resp_ready: Option<Instant>,
+    /// Phase durations, µs, in [`PHASES`] order minus `write`.
+    pub parse_us: u64,
+    /// Queue wait, µs.
+    pub queue_us: u64,
+    /// Coalescer gather delay, µs.
+    pub coalesce_us: u64,
+    /// Execution share, µs.
+    pub exec_us: u64,
+    /// Response rendering, µs.
+    pub serialize_us: u64,
+    /// Response flush, µs (filled when the write completes).
+    pub write_us: u64,
+}
+
+impl Timeline {
+    /// The phase durations in [`PHASES`] order.
+    pub fn phase_values(&self) -> [u64; 6] {
+        [
+            self.parse_us,
+            self.queue_us,
+            self.coalesce_us,
+            self.exec_us,
+            self.serialize_us,
+            self.write_us,
+        ]
+    }
+
+    /// Renders the `Server-Timing` response header value for the
+    /// phases known before the write begins (everything but `write`,
+    /// plus `app;dur=` total server time so clients can compute the
+    /// network/queue gap). Durations are milliseconds per the spec.
+    pub fn server_timing_value(&self) -> String {
+        let ms = |us: u64| us as f64 / 1000.0;
+        let server_us =
+            self.parse_us + self.queue_us + self.coalesce_us + self.exec_us + self.serialize_us;
+        format!(
+            "parse;dur={:.3}, queue;dur={:.3}, coalesce;dur={:.3}, exec;dur={:.3}, \
+             serialize;dur={:.3}, app;dur={:.3}",
+            ms(self.parse_us),
+            ms(self.queue_us),
+            ms(self.coalesce_us),
+            ms(self.exec_us),
+            ms(self.serialize_us),
+            ms(server_us),
+        )
+    }
+}
+
 /// Connection phase, as seen by the reactor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ConnState {
@@ -72,9 +157,13 @@ pub(crate) struct Conn {
     pub started: Option<Instant>,
     /// Low-cardinality endpoint label of the in-flight request.
     pub endpoint: &'static str,
+    /// Status of the response currently being written (flight record).
+    pub status: u16,
     /// Encoded design points of an in-flight `/v1/evaluate` (local mode),
     /// kept for rendering the reply when the completion arrives.
     pub pending_codes: Vec<u64>,
+    /// Phase timeline of the in-flight request.
+    pub timeline: Timeline,
     /// The peer's read half hit EOF.
     read_closed: bool,
 }
@@ -92,7 +181,9 @@ impl Conn {
             got_bytes: false,
             started: None,
             endpoint: "other",
+            status: 0,
             pending_codes: Vec::new(),
+            timeline: Timeline::default(),
             read_closed: false,
         }
     }
@@ -116,6 +207,9 @@ impl Conn {
                 }
                 Ok(n) => {
                     self.got_bytes = true;
+                    if self.timeline.read_started.is_none() {
+                        self.timeline.read_started = Some(Instant::now());
+                    }
                     self.parser.feed(&buf[..n]);
                     if n < buf.len() {
                         break;
@@ -180,9 +274,15 @@ impl Conn {
         self.out_pos = 0;
         self.started = None;
         self.endpoint = "other";
+        self.status = 0;
         self.pending_codes = Vec::new();
+        self.timeline = Timeline::default();
         self.keep_alive_after = false;
         self.got_bytes = self.parser.buffered() > 0;
+        if self.got_bytes {
+            // Pipelined bytes of the next request are already here.
+            self.timeline.read_started = Some(Instant::now());
+        }
         self.state = ConnState::Reading;
         !(self.read_closed && self.parser.buffered() == 0)
     }

@@ -1,0 +1,175 @@
+//! The in-memory flight recorder: the last N completed request
+//! timelines plus the slowest ones seen, inspectable on a live server
+//! at `GET /debug/requests` — no tracing required.
+//!
+//! The recorder is a bounded ring guarded by one uncontended mutex;
+//! only the reactor thread writes (one push per completed request) and
+//! the rare debug read snapshots under the same lock. The slow capture
+//! is reservoir-style: the `SLOW_CAP` worst wall times seen since
+//! start, evicting the current minimum — so a p99 offender is
+//! retrievable long after it scrolled out of the recent ring.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::conn::{Timeline, PHASES};
+
+/// Completed requests kept in the recent ring.
+const RECENT_CAP: usize = 64;
+/// Slowest-ever requests kept alongside the ring.
+const SLOW_CAP: usize = 16;
+
+/// One completed request as the recorder keeps it.
+#[derive(Debug, Clone)]
+pub(crate) struct CompletedRequest {
+    /// The request's trace id (always set by completion time).
+    pub trace: String,
+    /// Endpoint label the request was accounted under.
+    pub endpoint: &'static str,
+    /// HTTP status it was answered with.
+    pub status: u16,
+    /// End-to-end wall time in µs.
+    pub total_us: u64,
+    /// Phase durations in [`PHASES`] order.
+    pub phases: [u64; 6],
+}
+
+impl CompletedRequest {
+    pub(crate) fn new(
+        timeline: &Timeline,
+        endpoint: &'static str,
+        status: u16,
+        total_us: u64,
+    ) -> CompletedRequest {
+        CompletedRequest {
+            trace: timeline.trace.clone().unwrap_or_default(),
+            endpoint,
+            status,
+            total_us,
+            phases: timeline.phase_values(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"trace\":\"");
+        // Trace ids are validated to `[A-Za-z0-9_.-]`, so no escaping.
+        out.push_str(&self.trace);
+        let _ = write!(
+            out,
+            "\",\"endpoint\":\"{}\",\"status\":{},\"total_us\":{}",
+            self.endpoint, self.status, self.total_us
+        );
+        for (name, us) in PHASES.iter().zip(self.phases) {
+            let _ = write!(out, ",\"{name}_us\":{us}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    recent: VecDeque<CompletedRequest>,
+    slow: Vec<CompletedRequest>,
+    recorded: u64,
+}
+
+/// The per-server flight recorder; see the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct FlightRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::default()
+    }
+
+    /// Records one completed request. One short mutex hold; called from
+    /// the reactor thread only.
+    pub fn record(&self, req: CompletedRequest) {
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        inner.recorded += 1;
+        if inner.recent.len() == RECENT_CAP {
+            inner.recent.pop_front();
+        }
+        if inner.slow.len() < SLOW_CAP {
+            inner.slow.push(req.clone());
+        } else if let Some((idx, min)) = inner
+            .slow
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.total_us)
+            .map(|(i, r)| (i, r.total_us))
+        {
+            if req.total_us > min {
+                inner.slow[idx] = req.clone();
+            }
+        }
+        inner.recent.push_back(req);
+    }
+
+    /// Renders the `GET /debug/requests` JSON body:
+    /// `{"recorded":N,"recent":[...],"slow":[...]}` with `slow` sorted
+    /// slowest-first.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        let render = |rows: Vec<String>| format!("[{}]", rows.join(","));
+        let mut slow: Vec<&CompletedRequest> = inner.slow.iter().collect();
+        slow.sort_by_key(|r| std::cmp::Reverse(r.total_us));
+        format!(
+            "{{\"recorded\":{},\"recent\":{},\"slow\":{}}}",
+            inner.recorded,
+            render(inner.recent.iter().map(CompletedRequest::to_json).collect()),
+            render(slow.iter().map(|r| r.to_json()).collect())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(trace: &str, total_us: u64) -> CompletedRequest {
+        CompletedRequest {
+            trace: trace.to_string(),
+            endpoint: "/v1/evaluate",
+            status: 200,
+            total_us,
+            phases: [1, 2, 3, 4, 5, total_us.saturating_sub(15)],
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_slow_capture() {
+        let rec = FlightRecorder::new();
+        // 200 requests with increasing wall time: the ring keeps the
+        // last 64, the slow set the 16 largest.
+        for i in 0..200u64 {
+            rec.record(req(&format!("t{i}"), i + 1));
+        }
+        let json = rec.to_json();
+        assert!(json.starts_with("{\"recorded\":200,"), "{json}");
+        // Most recent entry present, oldest evicted.
+        assert!(json.contains("\"trace\":\"t199\""));
+        assert!(!json.contains("\"trace\":\"t10\","));
+        // The slowest-ever request leads the slow list.
+        let slow_part = json.split("\"slow\":").nth(1).unwrap();
+        assert!(slow_part.starts_with("[{\"trace\":\"t199\""), "{slow_part}");
+        // Slow keeps exactly SLOW_CAP entries: t184..t199.
+        assert!(slow_part.contains("\"trace\":\"t184\""));
+        assert!(!slow_part.contains("\"trace\":\"t183\""));
+    }
+
+    #[test]
+    fn json_shape_carries_every_phase() {
+        let rec = FlightRecorder::new();
+        rec.record(req("abc.1", 100));
+        let json = rec.to_json();
+        for phase in PHASES {
+            assert!(json.contains(&format!("\"{phase}_us\":")), "{json}");
+        }
+        assert!(json.contains("\"endpoint\":\"/v1/evaluate\",\"status\":200,\"total_us\":100"));
+    }
+}

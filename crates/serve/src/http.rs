@@ -33,6 +33,10 @@ pub(crate) struct Request {
     /// The peer sent `Connection: keep-alive` and may pipeline another
     /// request on this connection after the response.
     pub keep_alive: bool,
+    /// The `X-ArchDSE-Trace` header value, when the client sent a
+    /// well-formed one (1–64 chars of `[A-Za-z0-9_.-]`); malformed
+    /// values are ignored rather than rejected.
+    pub trace: Option<String>,
 }
 
 impl Request {
@@ -95,7 +99,21 @@ struct Head {
     path: String,
     content_length: Option<usize>,
     keep_alive: bool,
+    trace: Option<String>,
     headers_seen: usize,
+}
+
+/// The header requests and proxied upstream hops carry their trace id
+/// in.
+pub(crate) const TRACE_HEADER: &str = "X-ArchDSE-Trace";
+
+/// Whether a client-supplied trace id is acceptable: 1–64 chars of
+/// `[A-Za-z0-9_.-]`, so ids stay unambiguous in headers, JSON records
+/// and log lines.
+pub(crate) fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
 }
 
 /// Incremental HTTP/1.1 request parser; the server side of this module.
@@ -283,6 +301,11 @@ impl RequestParser {
                     } else if name == "connection" {
                         head.keep_alive =
                             value.split(',').any(|t| t.trim().eq_ignore_ascii_case("keep-alive"));
+                    } else if name == "x-archdse-trace" {
+                        let id = value.trim();
+                        if valid_trace_id(id) {
+                            head.trace = Some(id.to_string());
+                        }
                     }
                     self.state = State::Headers(head);
                 }
@@ -298,6 +321,7 @@ impl RequestParser {
                             path: head.path,
                             body,
                             keep_alive: head.keep_alive,
+                            trace: head.trace,
                         });
                     }
                     if self.eof {
@@ -356,12 +380,31 @@ pub(crate) fn build_response(
     body: &str,
     keep_alive: bool,
 ) -> Vec<u8> {
+    build_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`build_response`] plus extra response headers (`Server-Timing`,
+/// notably). Each pair is rendered verbatim as `Name: value`.
+pub(crate) fn build_response_with(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason_phrase(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     let mut out = Vec::with_capacity(head.len() + body.len());
     out.extend_from_slice(head.as_bytes());
     out.extend_from_slice(body.as_bytes());
@@ -385,6 +428,9 @@ pub mod client {
         pub status: u16,
         /// The response body (JSON for every service endpoint).
         pub body: String,
+        /// The `Server-Timing` header, verbatim, when the server sent
+        /// one (per-phase durations in milliseconds).
+        pub server_timing: Option<String>,
     }
 
     /// Sends one request and reads the whole response.
@@ -442,8 +488,12 @@ pub mod client {
 
     fn parse_response(raw: &str) -> Option<ClientResponse> {
         let status: u16 = raw.strip_prefix("HTTP/1.1 ")?.get(..3)?.parse().ok()?;
-        let body = raw.split_once("\r\n\r\n")?.1.to_string();
-        Some(ClientResponse { status, body })
+        let (head, body) = raw.split_once("\r\n\r\n")?;
+        let server_timing = head.lines().find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim().eq_ignore_ascii_case("server-timing").then(|| value.trim().to_string())
+        });
+        Some(ClientResponse { status, body: body.to_string(), server_timing })
     }
 
     /// A persistent keep-alive connection: many requests, one socket.
@@ -503,6 +553,24 @@ pub mod client {
             path: &str,
             body: Option<&str>,
         ) -> io::Result<ClientResponse> {
+            self.request_with(method, path, body, &[])
+        }
+
+        /// [`request`](Conn::request) plus extra request headers — the
+        /// trace-context hop (`X-ArchDSE-Trace`) the load generator and
+        /// the shard router add.
+        ///
+        /// # Errors
+        ///
+        /// Any socket or framing error; the connection is dead afterwards
+        /// (reconnect and retry at the call site if appropriate).
+        pub fn request_with(
+            &mut self,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+            extra_headers: &[(&str, &str)],
+        ) -> io::Result<ClientResponse> {
             if !self.alive {
                 return Err(io::Error::new(
                     io::ErrorKind::NotConnected,
@@ -510,11 +578,18 @@ pub mod client {
                 ));
             }
             let payload = body.unwrap_or("");
-            let head = format!(
-                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            let mut head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n",
                 self.addr,
                 payload.len()
             );
+            for (name, value) in extra_headers {
+                head.push_str(name);
+                head.push_str(": ");
+                head.push_str(value);
+                head.push_str("\r\n");
+            }
+            head.push_str("\r\n");
             let res = self.exchange(&head, payload);
             if res.is_err() {
                 self.alive = false;
@@ -538,6 +613,7 @@ pub mod client {
 
             let mut content_length = 0usize;
             let mut server_closes = false;
+            let mut server_timing = None;
             loop {
                 line.clear();
                 self.reader.read_line(&mut line)?;
@@ -553,6 +629,8 @@ pub mod client {
                         })?;
                     } else if name == "connection" && value.trim().eq_ignore_ascii_case("close") {
                         server_closes = true;
+                    } else if name == "server-timing" {
+                        server_timing = Some(value.trim().to_string());
                     }
                 }
             }
@@ -563,7 +641,7 @@ pub mod client {
             }
             let body = String::from_utf8(body)
                 .map_err(|_| io::Error::other("response body is not UTF-8"))?;
-            Ok(ClientResponse { status, body })
+            Ok(ClientResponse { status, body, server_timing })
         }
     }
 }
@@ -751,6 +829,48 @@ mod tests {
                 "value {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn trace_header_is_captured_when_well_formed() {
+        let parse_one = |header: &str| -> Option<String> {
+            let mut parser = RequestParser::new(1024);
+            parser.feed(
+                format!("GET /healthz HTTP/1.1\r\n{header}\r\nContent-Length: 0\r\n\r\n")
+                    .as_bytes(),
+            );
+            match parser.next_request() {
+                Parsed::Request(r) => r.trace,
+                other => panic!("expected a request, got {other:?}"),
+            }
+        };
+        assert_eq!(parse_one("X-ArchDSE-Trace: 00c0ffee.7"), Some("00c0ffee.7".to_string()));
+        // Case-insensitive name, trimmed value.
+        assert_eq!(parse_one("x-archdse-trace:  abc-DEF_1  "), Some("abc-DEF_1".to_string()));
+        // Malformed ids are ignored, not rejected.
+        assert_eq!(parse_one("X-ArchDSE-Trace: has space"), None);
+        assert_eq!(parse_one("X-ArchDSE-Trace: "), None);
+        assert_eq!(parse_one(&format!("X-ArchDSE-Trace: {}", "a".repeat(65))), None);
+        assert_eq!(parse_one("X-Other: x"), None);
+    }
+
+    #[test]
+    fn extra_response_headers_are_rendered_and_parsed_back() {
+        let raw = build_response_with(
+            200,
+            CT_JSON,
+            "{}",
+            true,
+            &[("Server-Timing", "parse;dur=0.01, exec;dur=1.50".to_string())],
+        );
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains("\r\nServer-Timing: parse;dur=0.01, exec;dur=1.50\r\n"), "{text}");
+        // And build_response stays byte-identical to the no-extras form.
+        assert_eq!(build_response(200, CT_JSON, "{}", true), {
+            let mut t = text.clone();
+            t = t.replace("Server-Timing: parse;dur=0.01, exec;dur=1.50\r\n", "");
+            t.into_bytes()
+        });
     }
 
     #[test]

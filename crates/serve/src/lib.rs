@@ -81,6 +81,7 @@
 
 mod batcher;
 mod conn;
+mod flight;
 mod http;
 mod loadgen;
 mod protocol;

@@ -42,6 +42,11 @@ pub struct LoadgenConfig {
     pub fidelity: String,
     /// Seed of the deterministic point choice.
     pub seed: u64,
+    /// Send a client-generated `X-ArchDSE-Trace` id with every request
+    /// and parse the `Server-Timing` phase breakdown out of responses;
+    /// the report then carries client-RTT vs server-time deltas (the
+    /// network/queue gap the server cannot see).
+    pub trace: bool,
 }
 
 impl LoadgenConfig {
@@ -56,6 +61,7 @@ impl LoadgenConfig {
             points_per_request: 4,
             fidelity: "lf".into(),
             seed: 1,
+            trace: false,
         }
     }
 }
@@ -143,6 +149,11 @@ pub struct LoadgenReport {
     /// Client-side per-request latency percentiles of served requests,
     /// whole service interval (retries included).
     pub latency: LatencyStats,
+    /// Client-RTT minus server-reported time (`Server-Timing` `app`
+    /// entry) of served attempts — the network + connection-handling
+    /// gap the server cannot see. All-zero unless
+    /// [`LoadgenConfig::trace`] was set.
+    pub delta: LatencyStats,
     /// Per-status single-attempt round-trip percentiles, sorted by
     /// status code.
     pub statuses: Vec<StatusLatency>,
@@ -185,6 +196,12 @@ impl LoadgenReport {
                 self.latency.p99,
                 self.latency.max,
                 self.latency.samples
+            ));
+        }
+        if self.delta.samples > 0 {
+            out.push_str(&format!(
+                "client-server gap: p50 {:?}, p95 {:?}, p99 {:?}, max {:?} ({} timed)\n",
+                self.delta.p50, self.delta.p95, self.delta.p99, self.delta.max, self.delta.samples
             ));
         }
         for s in &self.statuses {
@@ -246,6 +263,15 @@ fn next_code(state: &mut u64, space_size: u64) -> u64 {
     (mixed ^ (mixed >> 33)) % space_size
 }
 
+/// Extracts the server-reported total (`app;dur=<ms>`) out of a
+/// `Server-Timing` header value.
+fn server_timing_app_ms(value: &str) -> Option<f64> {
+    value
+        .split(',')
+        .find_map(|part| part.trim().strip_prefix("app;dur="))
+        .and_then(|ms| ms.trim().parse::<f64>().ok())
+}
+
 /// What one client thread accumulated.
 #[derive(Debug, Default)]
 struct ClientOutcome {
@@ -255,6 +281,8 @@ struct ClientOutcome {
     io_errors: u64,
     /// Whole-service-interval latencies of served requests.
     served: Vec<Duration>,
+    /// Client-RTT minus server-reported time, per timed served attempt.
+    deltas: Vec<Duration>,
     /// Per-attempt round-trip latencies keyed by answering status.
     by_status: Vec<(u16, Vec<Duration>)>,
 }
@@ -273,6 +301,7 @@ impl ClientOutcome {
         self.failed += other.failed;
         self.io_errors += other.io_errors;
         self.served.extend(other.served);
+        self.deltas.extend(other.deltas);
         for (status, rtts) in other.by_status {
             match self.by_status.iter_mut().find(|(s, _)| *s == status) {
                 Some((_, acc)) => acc.extend(rtts),
@@ -323,6 +352,8 @@ fn client_loop(
             .collect();
         let body =
             format!("{{\"points\":[{}],\"fidelity\":\"{}\"}}", points.join(","), config.fidelity);
+        // Deterministic client-side trace id: same config, same ids.
+        let trace_id = config.trace.then(|| format!("lg{client_id}.{sent}"));
 
         // One request cycle: a 503 is backpressure doing its job — back
         // off and retry the same request. Served latency is the whole
@@ -354,18 +385,27 @@ fn client_loop(
                 }
             }
             let attempt_started = Instant::now();
-            let response = conn.as_mut().expect("connection was just established").request(
+            let trace_header = trace_id.as_deref().map(|id| (crate::http::TRACE_HEADER, id));
+            let response = conn.as_mut().expect("connection was just established").request_with(
                 "POST",
                 "/v1/evaluate",
                 Some(&body),
+                trace_header.as_slice(),
             );
             match response {
                 Ok(r) => {
-                    outcome.record_attempt(r.status, attempt_started.elapsed());
+                    let rtt = attempt_started.elapsed();
+                    outcome.record_attempt(r.status, rtt);
                     match r.status {
                         200 => {
                             outcome.ok += 1;
                             served = true;
+                            if let Some(app_ms) =
+                                r.server_timing.as_deref().and_then(server_timing_app_ms)
+                            {
+                                let server = Duration::from_secs_f64(app_ms.max(0.0) / 1000.0);
+                                outcome.deltas.push(rtt.saturating_sub(server));
+                            }
                             break;
                         }
                         503 => {
@@ -471,6 +511,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         offered_rps: attempts as f64 / wall_s,
         achieved_rps: total.ok as f64 / wall_s,
         latency: LatencyStats::from_samples(total.served),
+        delta: LatencyStats::from_samples(total.deltas),
         statuses,
         coalescer: metrics.coalescer,
         ledger: metrics.ledger,
@@ -526,6 +567,7 @@ mod tests {
             offered_rps: 2.5,
             achieved_rps: 2.0,
             latency: LatencyStats::from_samples(vec![ms(2), ms(3), ms(4), ms(40)]),
+            delta: LatencyStats::from_samples(vec![ms(1), ms(2)]),
             statuses: vec![
                 StatusLatency {
                     status: 200,
@@ -545,6 +587,7 @@ mod tests {
         };
         let rendered = report.render();
         assert!(rendered.contains("latency: p50 3ms"), "{rendered}");
+        assert!(rendered.contains("client-server gap: p50 1ms"), "{rendered}");
         assert!(rendered.contains("max 40ms (4 served)"), "{rendered}");
         assert!(rendered.contains("offered 2 attempts/s, achieved 2 req/s"), "{rendered}");
         assert!(rendered.contains("(2 shards)"), "{rendered}");
@@ -565,6 +608,7 @@ mod tests {
             failed: 0,
             io_errors: 1,
             served: vec![ms(5)],
+            deltas: vec![ms(1)],
             by_status: vec![(200, vec![ms(5), ms(6)]), (503, vec![ms(1)])],
         };
         let b = ClientOutcome {
@@ -573,13 +617,27 @@ mod tests {
             failed: 1,
             io_errors: 0,
             served: vec![ms(7)],
+            deltas: vec![ms(2)],
             by_status: vec![(200, vec![ms(7)]), (400, vec![ms(2)])],
         };
         a.absorb(b);
         assert_eq!((a.ok, a.rejected, a.failed, a.io_errors), (3, 1, 1, 1));
         assert_eq!(a.served.len(), 2);
+        assert_eq!(a.deltas.len(), 2);
         let lens: Vec<(u16, usize)> = a.by_status.iter().map(|(s, v)| (*s, v.len())).collect();
         assert!(lens.contains(&(200, 3)) && lens.contains(&(503, 1)) && lens.contains(&(400, 1)));
+    }
+
+    #[test]
+    fn server_timing_app_entry_parses_and_tolerates_noise() {
+        let value = "parse;dur=0.012, queue;dur=1.500, coalesce;dur=0.200, \
+                     exec;dur=3.100, serialize;dur=0.050, app;dur=4.862";
+        assert_eq!(server_timing_app_ms(value), Some(4.862));
+        assert_eq!(server_timing_app_ms("app;dur=0.5"), Some(0.5));
+        assert_eq!(server_timing_app_ms(" app;dur= 2.0 "), Some(2.0));
+        assert_eq!(server_timing_app_ms("exec;dur=1.0"), None);
+        assert_eq!(server_timing_app_ms("app;dur=nope"), None);
+        assert_eq!(server_timing_app_ms(""), None);
     }
 
     #[test]

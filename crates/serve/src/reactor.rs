@@ -29,10 +29,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dse_exec::{Fidelity, LedgerEntry};
+use dse_obs::trace;
 use dse_reactor::{Backend, Event, Interest, Poller, TimerWheel, WakeRx, Waker, WAKE_TOKEN};
 
-use crate::conn::{Conn, ConnState, ReadEvent};
-use crate::http::{build_response, Request, CT_JSON};
+use crate::batcher::EvalTiming;
+use crate::conn::{trace_id_hash, Conn, ConnState, ReadEvent, Timeline, PHASES};
+use crate::flight::CompletedRequest;
+use crate::http::{build_response, build_response_with, Request, CT_JSON};
 use crate::protocol::error_body;
 use crate::server::{endpoint_label, Shared};
 use crate::shard::RouterShared;
@@ -75,6 +78,55 @@ impl Engine {
         }
     }
 
+    /// The next server-assigned trace id (deterministic per-process
+    /// counter; prefixed by role so router- and shard-assigned ids
+    /// never collide in a merged trace).
+    fn next_trace_id(&self) -> String {
+        match self {
+            Engine::Local(s) => format!("s{:08x}", s.next_trace_seq()),
+            Engine::Router(r) => format!("r{:08x}", r.next_trace_seq()),
+        }
+    }
+
+    /// The role label this engine stamps on its request records.
+    fn role(&self) -> &'static str {
+        match self {
+            Engine::Local(_) => "server",
+            Engine::Router(_) => "router",
+        }
+    }
+
+    /// Records one fully written response: always into the in-memory
+    /// flight recorder, and — when the request is trace-sampled — as a
+    /// `request` record in the JSONL trace.
+    fn record_request(
+        &self,
+        timeline: &Timeline,
+        endpoint: &'static str,
+        status: u16,
+        total_us: u64,
+    ) {
+        let completed = CompletedRequest::new(timeline, endpoint, status, total_us);
+        match self {
+            Engine::Local(s) => s.flight().record(completed),
+            Engine::Router(r) => r.flight().record(completed),
+        }
+        if timeline.sampled {
+            if let Some(id) = &timeline.trace {
+                let phases: Vec<(&'static str, u64)> =
+                    PHASES.iter().copied().zip(timeline.phase_values()).collect();
+                trace::request(&trace::RequestRecord {
+                    trace: id,
+                    role: self.role(),
+                    endpoint,
+                    status,
+                    dur_us: total_us,
+                    phases: &phases,
+                });
+            }
+        }
+    }
+
     /// Reactor-thread dispatch of a parsed request. Only work that is cheap
     /// and nonblocking may run here.
     fn dispatch(
@@ -100,7 +152,7 @@ impl Engine {
         }
         // Router mode handles everything (including /v1/shutdown, whose
         // upstream fan-out blocks) on the app pool.
-        match app_tx.try_send(AppJob { token, generation, request }) {
+        match app_tx.try_send(AppJob { token, generation, request, enqueued_at: Instant::now() }) {
             Ok(()) => Dispatch::Queued,
             Err(TrySendError::Full(_)) => {
                 self.metrics().rejected.inc();
@@ -146,8 +198,23 @@ pub(crate) enum Dispatch {
 /// One finished piece of off-reactor work, addressed by connection token
 /// and the generation it was issued under.
 pub(crate) enum Completion {
-    Eval { token: u64, generation: u64, entries: Vec<(LedgerEntry, Fidelity)> },
-    App { token: u64, generation: u64, status: u16, body: String, content_type: &'static str },
+    Eval {
+        token: u64,
+        generation: u64,
+        entries: Vec<(LedgerEntry, Fidelity)>,
+        timing: EvalTiming,
+        /// When the completion was posted — anchors the write phase.
+        posted_at: Instant,
+    },
+    App {
+        token: u64,
+        generation: u64,
+        status: u16,
+        body: String,
+        content_type: &'static str,
+        timing: EvalTiming,
+        posted_at: Instant,
+    },
 }
 
 /// MPSC rendezvous from workers back to the reactor, with a built-in wake.
@@ -176,6 +243,8 @@ pub(crate) struct AppJob {
     pub token: u64,
     pub generation: u64,
     pub request: Request,
+    /// When the job was queued (timeline `queue` phase).
+    pub enqueued_at: Instant,
 }
 
 /// The app-pool worker body: handle requests until the queue closes.
@@ -190,13 +259,21 @@ pub(crate) fn app_worker_loop(
             rx.recv()
         };
         let Ok(job) = job else { return };
+        let picked_at = Instant::now();
         let (status, body, content_type) = engine.app_handle(&job.request);
+        let timing = EvalTiming {
+            queue_us: picked_at.saturating_duration_since(job.enqueued_at).as_micros() as u64,
+            coalesce_us: 0,
+            exec_us: picked_at.elapsed().as_micros() as u64,
+        };
         completions.push(Completion::App {
             token: job.token,
             generation: job.generation,
             status,
             body,
             content_type,
+            timing,
+            posted_at: Instant::now(),
         });
     }
 }
@@ -427,10 +504,22 @@ impl Reactor {
     /// Dispatches one parsed request. Returns `true` when the response was
     /// written out entirely and the connection is back in `Reading` (so the
     /// caller may continue pumping pipelined input).
-    fn begin_request(&mut self, token: u64, request: Request) -> bool {
+    fn begin_request(&mut self, token: u64, mut request: Request) -> bool {
         let shutting_down = self.engine.shutting_down();
+        // Trace context: adopt the client's id, or — only when a trace
+        // sink is installed — assign one. Off path this is one load.
+        if request.trace.is_none() && trace::enabled() {
+            request.trace = Some(self.engine.next_trace_id());
+        }
         let Some(conn) = self.conns.get_mut(&token) else { return false };
-        conn.started = Some(Instant::now());
+        let now = Instant::now();
+        conn.started = Some(now);
+        conn.timeline.sampled =
+            request.trace.as_deref().is_some_and(|id| trace::request_sampled(trace_id_hash(id)));
+        conn.timeline.trace = request.trace.clone();
+        if let Some(read_started) = conn.timeline.read_started {
+            conn.timeline.parse_us = now.saturating_duration_since(read_started).as_micros() as u64;
+        }
         conn.endpoint = endpoint_label(&request.path);
         conn.keep_alive_after = request.keep_alive && !shutting_down;
         conn.state = ConnState::InFlight;
@@ -491,7 +580,21 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else { return false };
         let keep = keep_alive_allowed && conn.keep_alive_after && !shutting_down;
         conn.keep_alive_after = keep;
-        conn.set_response(build_response(status, content_type, body, keep));
+        conn.status = status;
+        // Immediate responses never went through a completion; anchor
+        // the write phase here.
+        if conn.timeline.resp_ready.is_none() {
+            conn.timeline.resp_ready = Some(Instant::now());
+        }
+        // Requests with trace context get the phase breakdown echoed as
+        // a `Server-Timing` header; everyone else keeps the old bytes.
+        let response = if conn.timeline.trace.is_some() {
+            let timing = conn.timeline.server_timing_value();
+            build_response_with(status, content_type, body, keep, &[("Server-Timing", timing)])
+        } else {
+            build_response(status, content_type, body, keep)
+        };
+        conn.set_response(response);
         let generation = conn.bump_generation();
         self.wheel.insert(Instant::now(), self.write_timeout, token, generation);
         self.continue_write(token)
@@ -507,6 +610,26 @@ impl Reactor {
         match conn.try_flush() {
             Ok(true) => {
                 conn.bump_generation(); // cancel the write deadline
+                                        // The response is fully on the wire: close the write
+                                        // phase and record the finished timeline.
+                let now = Instant::now();
+                if let Some(ready) = conn.timeline.resp_ready {
+                    // The write window opens when the completion was
+                    // posted; serialization happened inside it and is
+                    // reported separately, so subtract it to keep the
+                    // phases tiling (never exceeding) the wall time.
+                    let since_ready = now.saturating_duration_since(ready).as_micros() as u64;
+                    conn.timeline.write_us = since_ready.saturating_sub(conn.timeline.serialize_us);
+                }
+                let total_us = conn
+                    .timeline
+                    .read_started
+                    .map(|s| now.saturating_duration_since(s).as_micros() as u64)
+                    .unwrap_or(0);
+                let timeline = conn.timeline.clone();
+                let (endpoint, status) = (conn.endpoint, conn.status);
+                self.engine.record_request(&timeline, endpoint, status, total_us);
+                let Some(conn) = self.conns.get_mut(&token) else { return false };
                 if conn.keep_alive_after && conn.reset_for_next_request() {
                     let generation = conn.generation;
                     let fd = conn.stream.as_raw_fd();
@@ -543,16 +666,31 @@ impl Reactor {
             return; // stale: the connection moved on (timeout/close path)
         }
         let ready = match completion {
-            Completion::Eval { entries, .. } => {
+            Completion::Eval { entries, timing, posted_at, .. } => {
                 let codes = self
                     .conns
                     .get_mut(&token)
-                    .map(|c| std::mem::take(&mut c.pending_codes))
+                    .map(|c| {
+                        c.timeline.queue_us = timing.queue_us;
+                        c.timeline.coalesce_us = timing.coalesce_us;
+                        c.timeline.exec_us = timing.exec_us;
+                        c.timeline.resp_ready = Some(posted_at);
+                        std::mem::take(&mut c.pending_codes)
+                    })
                     .unwrap_or_default();
+                let serialize_start = Instant::now();
                 let (status, body, content_type) = self.engine.render_eval(&codes, entries);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.timeline.serialize_us = serialize_start.elapsed().as_micros() as u64;
+                }
                 self.finish_and_respond(token, status, &body, content_type)
             }
-            Completion::App { status, body, content_type, .. } => {
+            Completion::App { status, body, content_type, timing, posted_at, .. } => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.timeline.queue_us = timing.queue_us;
+                    conn.timeline.exec_us = timing.exec_us;
+                    conn.timeline.resp_ready = Some(posted_at);
+                }
                 self.finish_and_respond(token, status, &body, content_type)
             }
         };
@@ -580,6 +718,7 @@ impl Reactor {
                     self.respond(token, 408, &error_body("request timed out"), CT_JSON, false);
                 } else {
                     // Idle keep-alive / never-spoke connection: quiet close.
+                    self.engine.metrics().conns_reaped.inc();
                     self.close_conn(token);
                 }
             }

@@ -129,6 +129,9 @@ pub(crate) struct ServerMetrics {
     pub(crate) coalescer_queue_wait: Histogram,
     /// Currently open connections on the reactor.
     pub(crate) connections_open: Gauge,
+    /// Idle / never-spoke connections quietly closed by the read
+    /// deadline (the non-408 half of the reaping policy).
+    pub(crate) conns_reaped: Counter,
     /// `accept(2)` failures (out of fds, transient kernel errors).
     pub(crate) accept_errors: Counter,
     /// Reactor poll returns — the loop's heartbeat.
@@ -155,6 +158,7 @@ impl ServerMetrics {
             coalescer_queue_wait: registry
                 .histogram("serve_coalescer_queue_wait_seconds", LATENCY_BUCKETS_S),
             connections_open: registry.gauge("serve_connections_open"),
+            conns_reaped: registry.counter("serve_conns_reaped_total"),
             accept_errors: registry.counter("serve_accept_errors_total"),
             reactor_wakeups: registry.counter("serve_reactor_wakeups_total"),
             registry,
@@ -203,6 +207,10 @@ pub(crate) struct Shared {
     /// Request accounting (the `/metrics` `requests` section and the
     /// Prometheus exposition alike).
     metrics: ServerMetrics,
+    /// Completed-request ring for `GET /debug/requests`.
+    flight: crate::flight::FlightRecorder,
+    /// Server-assigned trace id sequence (deterministic per process).
+    trace_seq: AtomicU64,
 }
 
 impl Shared {
@@ -222,6 +230,14 @@ impl Shared {
 
     pub(crate) fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    pub(crate) fn flight(&self) -> &crate::flight::FlightRecorder {
+        &self.flight
+    }
+
+    pub(crate) fn next_trace_seq(&self) -> u64 {
+        self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     pub(crate) fn limits(&self) -> (Duration, Duration, usize) {
@@ -273,11 +289,23 @@ impl Shared {
             parsed.points.iter().map(|&code| self.space.decode(code)).collect();
 
         let completions = Arc::clone(completions);
-        let reply: ReplyFn = Box::new(move |entries| {
-            completions.push(Completion::Eval { token, generation, entries });
+        let reply: ReplyFn = Box::new(move |entries, timing| {
+            completions.push(Completion::Eval {
+                token,
+                generation,
+                entries,
+                timing,
+                posted_at: Instant::now(),
+            });
         });
-        let job =
-            EvalJob { tier: parsed.fidelity, workload, points, enqueued_at: Instant::now(), reply };
+        let job = EvalJob {
+            tier: parsed.fidelity,
+            workload,
+            points,
+            enqueued_at: Instant::now(),
+            trace: request.trace.clone(),
+            reply,
+        };
         let sender = self.eval_tx.lock().expect("eval_tx poisoned").clone();
         let Some(sender) = sender else {
             return immediate(503, error_body("server is shutting down"));
@@ -402,6 +430,8 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         jobs: JobTable::default(),
         job_handles: Mutex::new(Vec::new()),
         metrics: ServerMetrics::new(),
+        flight: crate::flight::FlightRecorder::new(),
+        trace_seq: AtomicU64::new(0),
         config,
     });
     let completions = Arc::new(CompletionQueue::new(waker));
@@ -471,6 +501,7 @@ pub(crate) fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
         "/metrics" => "metrics",
+        "/debug/requests" => "debug",
         "/v1/evaluate" => "evaluate",
         "/v1/explain" => "explain",
         "/v1/explore" => "explore",
@@ -521,6 +552,7 @@ pub(crate) fn route(shared: &Arc<Shared>, request: &Request) -> (u16, String, &'
     }
     let (status, body) = match (request.method.as_str(), path) {
         ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/debug/requests") => (200, shared.flight.to_json()),
         // Dispatched on the reactor in local mode; reaching here means a
         // routing bug, not a client error.
         ("POST", "/v1/evaluate") => (500, error_body("evaluate must be reactor-dispatched")),

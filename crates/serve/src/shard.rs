@@ -114,11 +114,23 @@ pub(crate) struct RouterShared {
     explore_rr: AtomicU64,
     /// Idle keep-alive connections per shard.
     pools: Vec<Mutex<Vec<Conn>>>,
+    /// Completed-request ring for `GET /debug/requests` (router view).
+    flight: crate::flight::FlightRecorder,
+    /// Router-assigned trace id sequence (deterministic per process).
+    trace_seq: AtomicU64,
 }
 
 impl RouterShared {
     pub(crate) fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    pub(crate) fn flight(&self) -> &crate::flight::FlightRecorder {
+        &self.flight
+    }
+
+    pub(crate) fn next_trace_seq(&self) -> u64 {
+        self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     pub(crate) fn limits(&self) -> (Duration, Duration, usize) {
@@ -155,24 +167,29 @@ impl RouterShared {
     /// One request/response round-trip to a shard over a pooled
     /// keep-alive connection, with one reconnect-and-retry on failure
     /// (a pooled connection may have idled past the shard's deadline).
+    /// `trace` propagates the caller's trace context to the shard via
+    /// the `X-ArchDSE-Trace` header.
     fn upstream(
         &self,
         shard: usize,
         method: &str,
         path: &str,
         body: Option<&str>,
+        trace: Option<&str>,
     ) -> io::Result<ClientResponse> {
         self.shard_requests[shard].inc();
+        let trace_header = trace.map(|id| (crate::http::TRACE_HEADER, id));
+        let headers: &[(&str, &str)] = trace_header.as_slice();
         let pooled = self.pools[shard].lock().expect("shard pool poisoned").pop();
         if let Some(mut conn) = pooled {
-            if let Ok(response) = conn.request(method, path, body) {
+            if let Ok(response) = conn.request_with(method, path, body, headers) {
                 self.park(shard, conn);
                 return Ok(response);
             }
         }
         let addr = &self.config.shard_addrs[shard];
         let mut conn = Conn::connect_with_timeout(addr, UPSTREAM_TIMEOUT)?;
-        let response = conn.request(method, path, body)?;
+        let response = conn.request_with(method, path, body, headers)?;
         self.park(shard, conn);
         Ok(response)
     }
@@ -260,6 +277,8 @@ pub fn spawn_router(config: RouterConfig) -> io::Result<RouterHandle> {
         shard_requests,
         explore_rr: AtomicU64::new(0),
         pools,
+        flight: crate::flight::FlightRecorder::new(),
+        trace_seq: AtomicU64::new(0),
         config,
     });
     let completions = Arc::new(CompletionQueue::new(waker));
@@ -306,7 +325,7 @@ fn forward(router: &RouterShared, shard: usize, request: &Request) -> (u16, Stri
         Ok(_) => None,
         Err(BadRequest { status, reason }) => return (status, error_body(&reason)),
     };
-    match router.upstream(shard, &request.method, &request.path, body) {
+    match router.upstream(shard, &request.method, &request.path, body, request.trace.as_deref()) {
         Ok(response) => (response.status, response.body),
         Err(e) => shard_down(shard, &e),
     }
@@ -326,6 +345,7 @@ pub(crate) fn route(router: &Arc<RouterShared>, request: &Request) -> (u16, Stri
             router.metrics.healthz.inc();
             forward(router, 0, request)
         }
+        ("GET", "/debug/requests") => handle_debug_requests(router, request),
         ("POST", "/v1/evaluate") => handle_evaluate(router, request),
         ("POST", "/v1/explain") => handle_explain(router, request),
         ("POST", "/v1/explore") => handle_explore(router, request),
@@ -347,6 +367,26 @@ pub(crate) fn route(router: &Arc<RouterShared>, request: &Request) -> (u16, Stri
         ),
     };
     (status, body, CT_JSON)
+}
+
+/// `GET /debug/requests` on the router: the router's own flight
+/// recorder plus each shard's, in shard order.
+fn handle_debug_requests(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
+    let mut out = String::from("{\"router\":");
+    out.push_str(&router.flight.to_json());
+    out.push_str(",\"shards\":[");
+    for shard in 0..router.shards() {
+        if shard > 0 {
+            out.push(',');
+        }
+        match router.upstream(shard, "GET", "/debug/requests", None, request.trace.as_deref()) {
+            Ok(response) if response.status == 200 => out.push_str(&response.body),
+            Ok(response) => return (response.status, response.body),
+            Err(e) => return shard_down(shard, &e),
+        }
+    }
+    out.push_str("]}");
+    (200, out)
 }
 
 fn handle_evaluate(router: &Arc<RouterShared>, request: &Request) -> (u16, String) {
@@ -403,8 +443,11 @@ fn handle_evaluate(router: &Arc<RouterShared>, request: &Request) -> (u16, Strin
     }
 
     // Concurrent fan-out: every active shard's sub-batch is in flight at
-    // once, so the router adds one upstream round-trip, not N.
+    // once, so the router adds one upstream round-trip, not N. Every leg
+    // carries the same trace context, so one router request span joins
+    // each shard sub-batch it touched.
     let router_ref: &RouterShared = router;
+    let trace = request.trace.as_deref();
     let mut replies: Vec<Option<io::Result<ClientResponse>>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = bodies
@@ -413,7 +456,7 @@ fn handle_evaluate(router: &Arc<RouterShared>, request: &Request) -> (u16, Strin
             .map(|(shard, body)| {
                 body.as_deref().map(|body| {
                     scope.spawn(move || {
-                        router_ref.upstream(shard, "POST", "/v1/evaluate", Some(body))
+                        router_ref.upstream(shard, "POST", "/v1/evaluate", Some(body), trace)
                     })
                 })
             })
@@ -550,7 +593,7 @@ fn handle_job(router: &Arc<RouterShared>, path: &str) -> (u16, String) {
         // Local ids start at 1, so no global id maps to local 0.
         return (404, error_body(&format!("no job {global}")));
     }
-    match router.upstream(shard, "GET", &format!("/v1/jobs/{local}"), None) {
+    match router.upstream(shard, "GET", &format!("/v1/jobs/{local}"), None, None) {
         Err(e) => shard_down(shard, &e),
         Ok(response) => {
             // Patch the shard-local id back into the caller's global id.
@@ -570,7 +613,7 @@ fn handle_job(router: &Arc<RouterShared>, path: &str) -> (u16, String) {
 
 fn handle_shutdown(router: &Arc<RouterShared>) -> (u16, String) {
     for shard in 0..router.shards() {
-        let _ = router.upstream(shard, "POST", "/v1/shutdown", None);
+        let _ = router.upstream(shard, "POST", "/v1/shutdown", None, None);
     }
     router.initiate_shutdown();
     (200, "{\"status\":\"shutting down\"}".into())
@@ -584,7 +627,7 @@ fn handle_metrics(router: &Arc<RouterShared>, query: &str) -> (u16, String, &'st
             let mut shard_snaps = Vec::with_capacity(router.shards());
             for shard in 0..router.shards() {
                 let response =
-                    match router.upstream(shard, "GET", "/metrics?format=prometheus", None) {
+                    match router.upstream(shard, "GET", "/metrics?format=prometheus", None, None) {
                         Ok(r) if r.status == 200 => r,
                         Ok(r) => return (r.status, r.body, CT_JSON),
                         Err(e) => {
@@ -613,14 +656,15 @@ fn handle_metrics(router: &Arc<RouterShared>, query: &str) -> (u16, String, &'st
         "json" => {
             let mut acc: Option<Value> = None;
             for shard in 0..router.shards() {
-                let response = match router.upstream(shard, "GET", "/metrics?format=json", None) {
-                    Ok(r) if r.status == 200 => r,
-                    Ok(r) => return (r.status, r.body, CT_JSON),
-                    Err(e) => {
-                        let (status, body) = shard_down(shard, &e);
-                        return (status, body, CT_JSON);
-                    }
-                };
+                let response =
+                    match router.upstream(shard, "GET", "/metrics?format=json", None, None) {
+                        Ok(r) if r.status == 200 => r,
+                        Ok(r) => return (r.status, r.body, CT_JSON),
+                        Err(e) => {
+                            let (status, body) = shard_down(shard, &e);
+                            return (status, body, CT_JSON);
+                        }
+                    };
                 let Ok(v) = serde_json::from_str::<Value>(&response.body) else {
                     return (
                         502,

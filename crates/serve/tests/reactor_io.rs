@@ -91,6 +91,47 @@ fn dribbled_request_inside_the_deadline_is_served() {
 }
 
 #[test]
+fn timeout_and_reap_paths_are_observable_in_metrics() {
+    let server = server_with_read_timeout(Duration::from_millis(300));
+    let addr = server.addr().to_string();
+
+    // An idle connection (no bytes) is reaped silently…
+    {
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+        let silence = drain(&mut idle);
+        assert!(silence.is_empty(), "{silence:?}");
+    }
+    // …while a byte-at-a-time dribble that outlives the read deadline
+    // gets an observable 408.
+    let mut loris = TcpStream::connect(server.addr()).unwrap();
+    for byte in b"POST /v1/evaluate HT" {
+        if loris.write_all(&[*byte]).is_err() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let response = drain(&mut loris);
+    assert!(response.starts_with("HTTP/1.1 408"), "{response:?}");
+
+    // Both reap paths must show up in the exposition: the quiet close
+    // as serve_conns_reaped_total, the noisy one as a counted 408.
+    let expo = archdse_serve::client::get(&addr, "/metrics?format=prometheus").unwrap().body;
+    let reaped = expo
+        .lines()
+        .find_map(|l| l.strip_prefix("serve_conns_reaped_total "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0);
+    assert!(reaped >= 1.0, "quiet reap not counted:\n{expo}");
+    let timed_out = expo
+        .lines()
+        .any(|l| l.starts_with("serve_responses_total{") && l.contains("status=\"408\""));
+    assert!(timed_out, "408 response not counted:\n{expo}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn keep_alive_serves_back_to_back_requests_then_reaps_idle() {
     let server = server_with_read_timeout(Duration::from_millis(500));
     let mut stream = TcpStream::connect(server.addr()).unwrap();

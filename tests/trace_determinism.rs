@@ -3,11 +3,15 @@
 //!
 //! This is the observability analogue of the existing result-determinism
 //! guarantees — the trace is part of the run's reproducible output, not a
-//! best-effort log. Only `ts_us` and `dur_us` (monotonic-clock readings)
-//! may differ between runs.
+//! best-effort log. Only wall-clock readings (any `*_us` field: `ts_us`,
+//! `dur_us`, and the per-request phase timings) and the `pid` process
+//! stamp may differ between runs.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::Path;
-use std::process::Command;
+use std::process::{Command, Stdio};
+use std::time::Duration;
 
 fn run_traced_explore(trace_path: &Path) {
     let out = Command::new(env!("CARGO_BIN_EXE_fnn-mfrl-archdse"))
@@ -33,14 +37,15 @@ fn run_traced_explore(trace_path: &Path) {
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
 }
 
-/// Drop the `ts_us` / `dur_us` keys from one JSONL line, keeping
+/// Drop every wall-clock key (`ts_us`, `dur_us`, per-phase `*_us`
+/// timings) plus the `pid` process stamp from one JSONL line, keeping
 /// everything else (including field order) intact.
 fn strip_timestamps(line: &str) -> String {
     let parsed: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
     let map = parsed.as_map().expect("trace line is an object");
     let kept: Vec<String> = map
         .iter()
-        .filter(|(key, _)| key != "ts_us" && key != "dur_us")
+        .filter(|(key, _)| !key.ends_with("_us") && key != "pid")
         .map(|(key, value)| {
             format!(
                 "{}:{}",
@@ -71,6 +76,90 @@ fn same_seed_runs_emit_identical_traces_modulo_timestamps() {
         "trace line counts differ between same-seed runs"
     );
 
+    for (idx, (line_a, line_b)) in text_a.lines().zip(text_b.lines()).enumerate() {
+        let stripped_a = strip_timestamps(line_a);
+        let stripped_b = strip_timestamps(line_b);
+        assert_eq!(stripped_a, stripped_b, "trace line {} differs between runs", idx + 1);
+    }
+
+    std::fs::remove_file(&first).unwrap();
+    std::fs::remove_file(&second).unwrap();
+}
+
+/// One raw HTTP/1.1 request on its own connection.
+fn raw_request(addr: &str, method: &str, path: &str, body: &str, trace: Option<&str>) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n", body.len());
+    if let Some(id) = trace {
+        head.push_str(&format!("X-ArchDSE-Trace: {id}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    write!(stream, "{head}{body}").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    raw.strip_prefix("HTTP/1.1 ").and_then(|r| r.get(..3)).unwrap().parse().unwrap()
+}
+
+/// Boots a traced single-shard server, drives a fixed sequential
+/// request script with client-supplied trace ids, and shuts it down.
+fn run_traced_serve(trace_path: &Path) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fnn-mfrl-archdse"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--benchmark",
+            "ss",
+            "--trace-len",
+            "1000",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("binary starts");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(stdout.read_line(&mut line).expect("announce") > 0, "server died while booting");
+        if let Some(addr) = line.trim().strip_prefix("archdse-serve listening on ") {
+            break addr.to_string();
+        }
+    };
+    for i in 0..4 {
+        let body = format!("{{\"points\":[{},{}],\"fidelity\":\"lf\"}}", i, i + 97);
+        let id = format!("det{i}");
+        assert_eq!(raw_request(&addr, "POST", "/v1/evaluate", &body, Some(&id)), 200);
+    }
+    assert_eq!(raw_request(&addr, "POST", "/v1/shutdown", "", None), 200);
+    let exit = child.wait().expect("server exits");
+    assert!(exit.success(), "server exited with {exit:?}");
+}
+
+#[test]
+fn same_seed_traced_serve_runs_emit_identical_traces_modulo_timestamps() {
+    let dir = std::env::temp_dir().join("archdse_trace_determinism_serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let first = dir.join("serve_a.jsonl");
+    let second = dir.join("serve_b.jsonl");
+
+    run_traced_serve(&first);
+    run_traced_serve(&second);
+
+    let text_a = std::fs::read_to_string(&first).unwrap();
+    let text_b = std::fs::read_to_string(&second).unwrap();
+    assert!(
+        text_a.lines().any(|l| l.contains("\"type\":\"request\"")),
+        "traced serve run recorded no request timelines"
+    );
+    assert_eq!(
+        text_a.lines().count(),
+        text_b.lines().count(),
+        "trace line counts differ between same-script serve runs"
+    );
     for (idx, (line_a, line_b)) in text_a.lines().zip(text_b.lines()).enumerate() {
         let stripped_a = strip_timestamps(line_a);
         let stripped_b = strip_timestamps(line_b);
